@@ -1,0 +1,46 @@
+//! Ablation: BTB size sweep under MXS (multiprogramming workload).
+//!
+//! The paper's CPU uses a 1024-entry BTB; the OS workload's large code
+//! footprint is the stress case for it. Smaller BTBs alias and mispredict
+//! more, growing the pipeline-stall component of Figure 11.
+
+use cmpsim_bench::{bench_header, shape_check, BUDGET};
+use cmpsim_core::machine::run_workload;
+use cmpsim_core::{ArchKind, CpuKind, MachineConfig, MxsConfig};
+use cmpsim_kernels::build_by_name;
+
+fn main() {
+    bench_header("Ablation", "BTB entries 16..4096, multiprog, MXS, shared-memory");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14}",
+        "entries", "cycles", "mispredicts", "branches"
+    );
+    let mut rows = Vec::new();
+    for entries in [16usize, 64, 256, 1024, 4096] {
+        let w = build_by_name("multiprog", 4, 1.0).expect("builds");
+        let mxs = MxsConfig {
+            btb_entries: entries,
+            ..MxsConfig::default()
+        };
+        let cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::MxsCustom(mxs));
+        let s = run_workload(&cfg, &w, BUDGET).expect("runs");
+        println!(
+            "{:<8} {:>12} {:>12} {:>14}",
+            entries, s.wall_cycles, s.total.mispredicts, s.total.branches
+        );
+        rows.push((s.wall_cycles, s.total.mispredicts));
+    }
+    println!("\nShape checks:");
+    shape_check(
+        "mispredicts fall as the BTB grows",
+        rows[0].1 > rows[3].1,
+    );
+    shape_check(
+        "a 16-entry BTB mispredicts >20% more than the paper's 1024",
+        rows[0].1 as f64 > 1.2 * rows[3].1 as f64,
+    );
+    shape_check(
+        "4096 entries buy little over 1024 (the paper's choice saturates)",
+        (rows[4].0 as f64) > 0.97 * rows[3].0 as f64,
+    );
+}

@@ -1,0 +1,34 @@
+//! Ablation: shared-L2 datapath width (Ocean, Mipsy).
+//!
+//! The shared-L2 design halves the L2 datapath to 64 bits to keep the
+//! crossbar chip's pin count feasible, doubling the per-line occupancy
+//! from 2 to 4 cycles. This ablation asks what the full-width (128-bit,
+//! 2-cycle) crossbar would have bought on the bandwidth-hungry Ocean.
+
+use cmpsim_bench::{bench_header, shape_check, BUDGET};
+use cmpsim_core::machine::run_workload;
+use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
+use cmpsim_kernels::build_by_name;
+
+fn main() {
+    bench_header("Ablation", "shared-L2 datapath 64-bit (occ 4) vs 128-bit (occ 2), Ocean");
+    println!("{:<22} {:>12} {:>14}", "datapath", "cycles", "L2 bank waits");
+    let mut res = Vec::new();
+    for (name, occ) in [("64-bit (paper)", 4u64), ("128-bit", 2)] {
+        let w = build_by_name("ocean", 4, 1.0).expect("builds");
+        let mut cfg = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mipsy);
+        cfg.l2_occupancy = Some(occ);
+        let s = run_workload(&cfg, &w, BUDGET).expect("runs");
+        println!("{:<22} {:>12} {:>14}", name, s.wall_cycles, s.mem.l2_bank_wait);
+        res.push(s);
+    }
+    println!("\nShape checks:");
+    shape_check(
+        "the 128-bit path reduces L2 bank waiting",
+        res[1].mem.l2_bank_wait < res[0].mem.l2_bank_wait,
+    );
+    shape_check(
+        "the narrower path costs execution time on a bandwidth-bound code",
+        res[0].wall_cycles > res[1].wall_cycles,
+    );
+}

@@ -1,0 +1,82 @@
+//! Section 6 conclusions: the cross-application summary table.
+//!
+//! Classes per the paper: high communication (Ear, MP3D, Eqntott),
+//! moderate (Volpack, FFT), little or none (Ocean, multiprogramming).
+
+use cmpsim_bench::{bench_header, run_figure, shape_check, FigureData};
+use cmpsim_core::{ArchKind, CpuKind};
+
+fn row(data: &FigureData) {
+    println!(
+        "{:<10} {:>12.3} {:>12.3} {:>12.3}  (speedup vs shared-mem: L1 {:+.0}%, L2 {:+.0}%)",
+        data.workload,
+        data.normalized(ArchKind::SharedL1),
+        data.normalized(ArchKind::SharedL2),
+        1.0,
+        data.speedup_pct(ArchKind::SharedL1),
+        data.speedup_pct(ArchKind::SharedL2),
+    );
+}
+
+fn main() {
+    bench_header(
+        "Conclusions",
+        "normalized execution time, all workloads, Mipsy (shared-mem = 1.0)",
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "workload", "shared-L1", "shared-L2", "shared-mem"
+    );
+    let all: Vec<FigureData> = cmpsim_kernels::ALL_WORKLOADS
+        .iter()
+        .map(|w| {
+            let d = run_figure(w, 1.0, CpuKind::Mipsy);
+            row(&d);
+            d
+        })
+        .collect();
+    let get = |name: &str| all.iter().find(|d| d.workload == name).expect("ran");
+
+    println!("\nShape checks (paper section 6):");
+    // Class 1: high interprocessor communication -> shared-L1 usually wins
+    // substantially; MP3D is the exception (L2 conflicts).
+    for w in ["eqntott", "ear"] {
+        shape_check(
+            &format!("class 1 ({w}): shared-L1 beats shared-memory substantially"),
+            get(w).speedup_pct(ArchKind::SharedL1) > 20.0,
+        );
+    }
+    shape_check(
+        "class 1 exception (mp3d): shared-L1 *loses* to shared-memory",
+        get("mp3d").normalized(ArchKind::SharedL1) > 1.0,
+    );
+    shape_check(
+        "mp3d: shared-L2 beats shared-memory (paper: 11%)",
+        get("mp3d").normalized(ArchKind::SharedL2) < 1.0,
+    );
+    // Class 2: moderate communication -> shared-L1 ~10% better.
+    for w in ["volpack", "fft"] {
+        shape_check(
+            &format!("class 2 ({w}): shared-L1 moderately better"),
+            get(w).speedup_pct(ArchKind::SharedL1) > 0.0,
+        );
+    }
+    // Class 3: little/no communication -> shared-L1 still slightly better,
+    // contrary to conventional wisdom; shared-L2 slightly worse on the OS
+    // workload.
+    for w in ["ocean", "multiprog"] {
+        shape_check(
+            &format!("class 3 ({w}): shared-L1 at least matches shared-memory"),
+            get(w).normalized(ArchKind::SharedL1) <= 1.02,
+        );
+    }
+    shape_check(
+        "multiprog: shared-L2 slightly worse than shared-memory (paper: 6%)",
+        get("multiprog").normalized(ArchKind::SharedL2) > 1.0,
+    );
+    shape_check(
+        "shared-L2 tracks shared-L1's gains at reduced magnitude (class 1)",
+        get("ear").normalized(ArchKind::SharedL2) > get("ear").normalized(ArchKind::SharedL1)
+            && get("ear").normalized(ArchKind::SharedL2) < 1.0,
+    );
+}

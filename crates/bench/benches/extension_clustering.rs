@@ -1,0 +1,60 @@
+//! Extension study: shared-cache clustering (the authors' HPCA'96
+//! follow-up, reference [16]).
+//!
+//! Two 2-CPU clusters each sharing an L1, over the shared L2 — a middle
+//! point in the design space. Expectations from [16]: clustering captures
+//! much of the shared-L1's fine-grained-sharing benefit when communicating
+//! CPUs land in the same cluster, at roughly the shared-L2's hardware cost.
+
+use cmpsim_bench::{bench_header, shape_check, BUDGET};
+use cmpsim_core::machine::run_workload;
+use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
+use cmpsim_kernels::build_by_name;
+
+const ARCHS: [ArchKind; 4] = [
+    ArchKind::SharedL1,
+    ArchKind::Clustered,
+    ArchKind::SharedL2,
+    ArchKind::SharedMem,
+];
+
+fn main() {
+    bench_header(
+        "Extension",
+        "shared-cache clustering: 4-way comparison (Mipsy, normalized to shared-memory)",
+    );
+    for workload in ["ear", "eqntott", "multiprog"] {
+        println!("\n{workload}:");
+        let mut cycles = Vec::new();
+        for arch in ARCHS {
+            let w = build_by_name(workload, 4, 1.0).expect("builds");
+            let cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+            let s = run_workload(&cfg, &w, BUDGET).expect("validates");
+            cycles.push((arch, s.wall_cycles));
+        }
+        let base = cycles.iter().find(|(a, _)| *a == ArchKind::SharedMem).unwrap().1;
+        for (arch, c) in &cycles {
+            println!("  {:<14} {:>12} cycles  (norm {:.3})", arch.name(), c, *c as f64 / base as f64);
+        }
+        let get = |a: ArchKind| cycles.iter().find(|(x, _)| *x == a).unwrap().1;
+        if workload == "ear" {
+            println!("\nShape checks (ear, finest grain):");
+            shape_check(
+                "clustering lands between shared-L1 and shared-L2",
+                get(ArchKind::SharedL1) <= get(ArchKind::Clustered)
+                    && get(ArchKind::Clustered) <= get(ArchKind::SharedL2),
+            );
+            shape_check(
+                "clustering beats the bus machine clearly",
+                (get(ArchKind::Clustered) as f64) < 0.8 * get(ArchKind::SharedMem) as f64,
+            );
+        }
+        if workload == "multiprog" {
+            println!("\nShape checks (multiprog, no user sharing):");
+            shape_check(
+                "with nothing to share, clustering neither helps nor badly hurts (within 10% of shared-memory)",
+                (get(ArchKind::Clustered) as f64) < 1.10 * get(ArchKind::SharedMem) as f64,
+            );
+        }
+    }
+}

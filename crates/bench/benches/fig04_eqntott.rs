@@ -1,0 +1,43 @@
+//! Figure 4: Eqntott performance (Mipsy), normalized to shared-memory.
+//!
+//! Paper's story: small working set (low L1R everywhere), high
+//! communication-to-computation ratio (L1I ≈ 1% on the private-L1
+//! architectures), and a substantial shared-L1 win because the master's
+//! vector copies are free in a shared cache.
+
+use cmpsim_bench::{bench_header, print_mipsy_figure, run_figure, shape_check};
+use cmpsim_core::{ArchKind, CpuKind};
+
+fn main() {
+    bench_header("Figure 4", "Eqntott under the simple CPU model (Mipsy)");
+    let data = run_figure("eqntott", 1.0, CpuKind::Mipsy);
+    print_mipsy_figure("Figure 4", &data);
+
+    println!("\nShape checks (paper section 4.1):");
+    let l1 = data.result(ArchKind::SharedL1);
+    let l2 = data.result(ArchKind::SharedL2);
+    let sm = data.result(ArchKind::SharedMem);
+    shape_check(
+        "shared-L1 substantially outperforms shared-memory (class 1: 20-70%)",
+        data.speedup_pct(ArchKind::SharedL1) > 20.0,
+    );
+    shape_check(
+        "shared-L2 lands between the other two",
+        data.normalized(ArchKind::SharedL2) > data.normalized(ArchKind::SharedL1)
+            && data.normalized(ArchKind::SharedL2) < 1.0,
+    );
+    shape_check(
+        "low replacement miss rates everywhere (small working set)",
+        l1.miss_rates.l1d_repl < 0.05 && sm.miss_rates.l1d_repl < 0.05,
+    );
+    shape_check(
+        "invalidation misses on the private-L1 architectures, none on shared-L1",
+        l1.miss_rates.l1d_inval == 0.0
+            && l2.miss_rates.l1d_inval > 0.003
+            && sm.miss_rates.l1d_inval > 0.003,
+    );
+    shape_check(
+        "shared-memory pays cache-to-cache transfers for the vector copies",
+        sm.breakdown.cache_to_cache > 0.05,
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 5: MP3D performance (Mipsy) plus the paper's L2-associativity
+//! verification.
+//!
+//! Paper's story: replacement-dominated L1 misses on all three
+//! architectures; the shared-L1's L1 conflicts inflate its L1R and turn
+//! into *L2 conflict misses* in the direct-mapped L2, making shared-L1 the
+//! slowest despite MP3D's heavy sharing; shared-L2 is the fastest; the
+//! shared-memory L2 misses are invalidation-dominated. Raising the L2 to
+//! 4-way associative removes the shared-L1's L2 conflicts.
+
+use cmpsim_bench::{bench_header, print_mipsy_figure, run_figure, run_figure_with, shape_check};
+use cmpsim_core::{ArchKind, CpuKind};
+
+fn main() {
+    bench_header("Figure 5", "MP3D under the simple CPU model (Mipsy)");
+    let data = run_figure("mp3d", 1.0, CpuKind::Mipsy);
+    print_mipsy_figure("Figure 5", &data);
+
+    println!("\nShape checks (paper section 4.1):");
+    let l1 = data.result(ArchKind::SharedL1);
+    let l2 = data.result(ArchKind::SharedL2);
+    let sm = data.result(ArchKind::SharedMem);
+    shape_check(
+        "L1 misses replacement-dominated on all three architectures",
+        l1.miss_rates.l1d_repl > l1.miss_rates.l1d_inval
+            && l2.miss_rates.l1d_repl > l2.miss_rates.l1d_inval
+            && sm.miss_rates.l1d_repl > sm.miss_rates.l1d_inval,
+    );
+    shape_check(
+        "shared-L1 L1R exceeds the private architectures' (cross-CPU conflicts)",
+        l1.miss_rates.l1d_repl > sm.miss_rates.l1d_repl,
+    );
+    shape_check(
+        "shared-L1 L2 miss rate elevated (conflicts in the direct-mapped L2)",
+        l1.miss_rates.l2_total() > 1.4 * l2.miss_rates.l2_total(),
+    );
+    shape_check(
+        "shared-memory L2 misses have a large invalidation component",
+        sm.miss_rates.l2_inval > sm.miss_rates.l2_repl,
+    );
+    shape_check(
+        "shared-L1 is the slowest architecture (the paper's 16%-worse result)",
+        data.normalized(ArchKind::SharedL1) > 1.0
+            && data.normalized(ArchKind::SharedL1) >= data.normalized(ArchKind::SharedL2),
+    );
+    shape_check(
+        "shared-L2 outperforms shared-memory (the paper's 11%-better result)",
+        data.normalized(ArchKind::SharedL2) < 1.0,
+    );
+
+    // The paper's verification: with a 4-way L2 the shared-L1's L2 miss
+    // rate drops to the level of the other architectures.
+    println!("\nL2 associativity verification (paper: 4-way drops the miss rate to ~10%):");
+    let assoc4 = run_figure_with("mp3d", 1.0, CpuKind::Mipsy, |cfg| {
+        cfg.l2_assoc = Some(4);
+    });
+    let l1_a4 = assoc4.result(ArchKind::SharedL1);
+    println!(
+        "  shared-L1 L2 miss rate: direct-mapped {:.1}% -> 4-way {:.1}%",
+        l1.miss_rates.l2_total() * 100.0,
+        l1_a4.miss_rates.l2_total() * 100.0
+    );
+    shape_check(
+        "4-way associativity removes the shared-L1 L2 conflict misses",
+        l1_a4.miss_rates.l2_total() < 0.6 * l1.miss_rates.l2_total(),
+    );
+}

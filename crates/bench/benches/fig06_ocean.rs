@@ -1,0 +1,43 @@
+//! Figure 6: Ocean performance (Mipsy).
+//!
+//! Paper's story: large per-CPU working sets produce high L1R on all three
+//! architectures; only boundary rows are communicated, so sharing support
+//! matters little. The write-streaming hurts the shared-L2 architecture
+//! (write-through L1s over a narrower datapath); shared-L1 ends slightly
+//! ahead of shared-memory, shared-L2 slightly behind the others.
+
+use cmpsim_bench::{bench_header, print_mipsy_figure, run_figure, shape_check};
+use cmpsim_core::{ArchKind, CpuKind};
+
+fn main() {
+    bench_header("Figure 6", "Ocean under the simple CPU model (Mipsy)");
+    let data = run_figure("ocean", 1.0, CpuKind::Mipsy);
+    print_mipsy_figure("Figure 6", &data);
+
+    println!("\nShape checks (paper section 4.1):");
+    let l1 = data.result(ArchKind::SharedL1);
+    let l2 = data.result(ArchKind::SharedL2);
+    let sm = data.result(ArchKind::SharedMem);
+    shape_check(
+        "high L1 replacement miss rates on all three architectures",
+        l1.miss_rates.l1d_repl > 0.03
+            && l2.miss_rates.l1d_repl > 0.03
+            && sm.miss_rates.l1d_repl > 0.03,
+    );
+    shape_check(
+        "communication is a small fraction (invalidation misses scarce)",
+        sm.miss_rates.l1d_inval < 0.01,
+    );
+    shape_check(
+        "shared-L1 slightly better than shared-memory",
+        data.normalized(ArchKind::SharedL1) < 1.0,
+    );
+    shape_check(
+        "shared-L2 behind shared-L1 (narrow datapath + write-through stores)",
+        data.normalized(ArchKind::SharedL2) > data.normalized(ArchKind::SharedL1),
+    );
+    shape_check(
+        "shared-L2 pays visibly more L2 stall time than shared-memory",
+        l2.breakdown.l2 > sm.breakdown.l2,
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 8: Ear performance (Mipsy).
+//!
+//! Paper's story: the finest-grained application in the study. Near-zero
+//! L1 misses on shared-L1 ("almost no memory system stalls") but the
+//! highest L1I of any application on the private-L1 architectures;
+//! shared-L2 is considerably better than shared-memory but not as good as
+//! shared-L1.
+
+use cmpsim_bench::{bench_header, print_mipsy_figure, run_figure, shape_check};
+use cmpsim_core::{ArchKind, CpuKind};
+
+fn main() {
+    bench_header("Figure 8", "Ear under the simple CPU model (Mipsy)");
+    let data = run_figure("ear", 1.0, CpuKind::Mipsy);
+    print_mipsy_figure("Figure 8", &data);
+
+    println!("\nShape checks (paper section 4.2):");
+    let l1 = data.result(ArchKind::SharedL1);
+    let l2 = data.result(ArchKind::SharedL2);
+    let sm = data.result(ArchKind::SharedMem);
+    shape_check(
+        "shared-L1 has almost no memory-system stalls",
+        l1.breakdown.cpu > 0.97,
+    );
+    shape_check(
+        "negligible L1 miss rate on shared-L1 (working set fits)",
+        l1.miss_rates.l1d_total() < 0.005,
+    );
+    shape_check(
+        "highest L1I of the suite on the private-L1 architectures (> 4%)",
+        l2.miss_rates.l1d_inval > 0.04,
+    );
+    shape_check(
+        "ordering: shared-L1 < shared-L2 < shared-memory",
+        data.normalized(ArchKind::SharedL1) < data.normalized(ArchKind::SharedL2)
+            && data.normalized(ArchKind::SharedL2) < 1.0,
+    );
+    shape_check(
+        "shared-L1 outperforms shared-memory substantially (class 1)",
+        data.speedup_pct(ArchKind::SharedL1) > 20.0,
+    );
+    shape_check(
+        "shared-memory communication goes through the bus (c2c + memory)",
+        sm.breakdown.cache_to_cache + sm.breakdown.memory > 0.2,
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 9: FFT performance (Mipsy).
+//!
+//! Paper's story: large-grained compiler-parallelized loops with modest
+//! sharing: low L1R and L1I everywhere, all three architectures fairly
+//! close, the shared caches slightly ahead via reduced L2R/L2I traffic.
+
+use cmpsim_bench::{bench_header, print_mipsy_figure, run_figure, shape_check};
+use cmpsim_core::{ArchKind, CpuKind};
+
+fn main() {
+    bench_header("Figure 9", "FFT under the simple CPU model (Mipsy)");
+    let data = run_figure("fft", 1.0, CpuKind::Mipsy);
+    print_mipsy_figure("Figure 9", &data);
+
+    println!("\nShape checks (paper section 4.2):");
+    let l1 = data.result(ArchKind::SharedL1);
+    let l2 = data.result(ArchKind::SharedL2);
+    shape_check(
+        "low L1 replacement miss rates (far below the streaming codes')",
+        l1.miss_rates.l1d_repl < 0.08 && l2.miss_rates.l1d_repl < 0.08,
+    );
+    shape_check(
+        "both shared-cache architectures at least match shared-memory",
+        data.normalized(ArchKind::SharedL1) <= 1.0
+            && data.normalized(ArchKind::SharedL2) <= 1.0,
+    );
+    shape_check(
+        "no architecture wins by the class-1 margins (moderate sharing)",
+        data.speedup_pct(ArchKind::SharedL2) < 60.0,
+    );
+}

@@ -1,0 +1,46 @@
+//! Criterion benchmark of the simulator's own speed: simulated
+//! instructions per host second for both CPU models. Not a paper figure —
+//! a regression guard for the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cmpsim_core::machine::run_workload;
+use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
+use cmpsim_kernels::build_by_name;
+
+fn mipsy_throughput(c: &mut Criterion) {
+    c.bench_function("mipsy_eqntott_small", |b| {
+        b.iter(|| {
+            let w = build_by_name("eqntott", 4, 0.05).expect("builds");
+            let cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mipsy);
+            run_workload(&cfg, &w, 100_000_000).expect("runs")
+        })
+    });
+}
+
+fn mxs_throughput(c: &mut Criterion) {
+    c.bench_function("mxs_eqntott_small", |b| {
+        b.iter(|| {
+            let w = build_by_name("eqntott", 4, 0.05).expect("builds");
+            let cfg = MachineConfig::new(ArchKind::SharedL1, CpuKind::Mxs);
+            run_workload(&cfg, &w, 100_000_000).expect("runs")
+        })
+    });
+}
+
+fn memsys_throughput(c: &mut Criterion) {
+    use cmpsim_engine::Cycle;
+    use cmpsim_mem::{MemRequest, MemorySystem, SharedMemSystem, SystemConfig};
+    c.bench_function("shared_mem_1m_accesses", |b| {
+        b.iter(|| {
+            let mut sys = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+            for i in 0..1_000_000u32 {
+                let addr = (i.wrapping_mul(2654435761)) & 0x3f_ffff;
+                sys.access(Cycle(u64::from(i)), MemRequest::load((i & 3) as usize, addr));
+            }
+            sys.stats().l1d.accesses
+        })
+    });
+}
+
+criterion_group!(benches, mipsy_throughput, mxs_throughput, memsys_throughput);
+criterion_main!(benches);

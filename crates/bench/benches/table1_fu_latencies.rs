@@ -1,0 +1,40 @@
+//! Table 1: CPU functional-unit latencies.
+//!
+//! The latencies are configuration, not measurement; this target prints the
+//! paper's table next to the simulator's `FuLatencies::table1()` and fails
+//! loudly if they ever drift.
+
+use cmpsim_bench::bench_header;
+use cmpsim_cpu::FuLatencies;
+use cmpsim_isa::FuClass;
+
+fn main() {
+    bench_header("Table 1", "CPU functional unit latencies (cycles)");
+    let t = FuLatencies::table1();
+    let rows: [(&str, FuClass, u64); 11] = [
+        ("Integer ALU", FuClass::IntAlu, 1),
+        ("Integer Multiply", FuClass::IntMul, 2),
+        ("Integer Divide", FuClass::IntDiv, 12),
+        ("Branch", FuClass::Branch, 2),
+        ("Store", FuClass::Store, 1),
+        ("SP Add/Sub", FuClass::FpAddSubSp, 2),
+        ("SP Multiply", FuClass::FpMulSp, 2),
+        ("SP Divide", FuClass::FpDivSp, 12),
+        ("DP Add/Sub", FuClass::FpAddSubDp, 2),
+        ("DP Multiply", FuClass::FpMulDp, 2),
+        ("DP Divide", FuClass::FpDivDp, 18),
+    ];
+    println!("{:<18} {:>6} {:>9}", "unit", "paper", "simulator");
+    let mut ok = true;
+    for (name, class, paper) in rows {
+        let got = t.of(class);
+        println!("{name:<18} {paper:>6} {got:>9}");
+        ok &= got == paper;
+    }
+    println!(
+        "{:<18} {:>6} {:>9}  (architecture-dependent; see Table 2)",
+        "Load", "1or3", "mem"
+    );
+    assert!(ok, "Table 1 latencies drifted from the paper");
+    println!("\nAll Table 1 latencies match the paper.");
+}

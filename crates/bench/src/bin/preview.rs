@@ -1,0 +1,14 @@
+//! Quick preview of all Mipsy figures at reduced scale (development tool).
+use cmpsim_bench::{print_mipsy_figure, run_figure};
+use cmpsim_core::CpuKind;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    for w in cmpsim_kernels::ALL_WORKLOADS {
+        let data = run_figure(w, scale, CpuKind::Mipsy);
+        print_mipsy_figure("preview", &data);
+    }
+}

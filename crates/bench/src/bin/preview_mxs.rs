@@ -1,0 +1,14 @@
+//! Preview of the Figure 11 MXS runs (development tool).
+use cmpsim_bench::{print_mxs_figure, run_figure};
+use cmpsim_core::CpuKind;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    for w in ["eqntott", "ear", "multiprog"] {
+        let data = run_figure(w, scale, CpuKind::Mxs);
+        print_mxs_figure("preview", &data);
+    }
+}

@@ -1,0 +1,38 @@
+//! `cmpsim-core`: the paper's experimental apparatus.
+//!
+//! This crate assembles complete machines — one of the three multiprocessor
+//! architectures ([`ArchKind`]) under one of the two CPU models
+//! ([`CpuKind`]) — loads a workload from `cmpsim-kernels`, runs it to
+//! completion with the multiprogramming process scheduler, and reports the
+//! paper's metrics: execution-time breakdowns (Figures 4–10), IPC
+//! breakdowns (Figure 11) and cache miss rates split into replacement and
+//! invalidation components.
+//!
+//! # Examples
+//!
+//! Run Eqntott on all three architectures and compare:
+//!
+//! ```
+//! use cmpsim_core::{ArchKind, CpuKind, Machine, MachineConfig};
+//! use cmpsim_kernels::build_by_name;
+//!
+//! # fn main() -> Result<(), String> {
+//! let w = build_by_name("eqntott", 4, 0.02)?;
+//! for arch in ArchKind::ALL {
+//!     let cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+//!     let mut m = Machine::new(&cfg, &w);
+//!     let summary = m.run(200_000_000).map_err(|e| e.to_string())?;
+//!     assert!(summary.wall_cycles > 0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod machine;
+pub mod probe;
+pub mod report;
+
+pub use cmpsim_cpu::MxsConfig;
+pub use machine::{ArchKind, CpuKind, Machine, MachineConfig, RunError, RunSummary};
+pub use probe::{probe_latencies, ProbeResult};
+pub use report::{Breakdown, MissRates};

@@ -1,0 +1,75 @@
+//! Architectural register state.
+
+use cmpsim_isa::{FReg, Reg};
+
+/// The architectural state of one CPU: 32 integer registers, 32
+/// floating-point registers and the program counter. `$zero` reads as 0 and
+/// ignores writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchState {
+    gpr: [u32; 32],
+    fpr: [f64; 32],
+    /// Program counter (virtual byte address).
+    pub pc: u32,
+}
+
+impl ArchState {
+    /// Zeroed state starting at `pc`.
+    pub fn new(pc: u32) -> ArchState {
+        ArchState {
+            gpr: [0; 32],
+            fpr: [0.0; 32],
+            pc,
+        }
+    }
+
+    /// Reads an integer register.
+    pub fn gpr(&self, r: Reg) -> u32 {
+        self.gpr[r.index()]
+    }
+
+    /// Writes an integer register (writes to `$zero` are dropped).
+    pub fn set_gpr(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.gpr[r.index()] = value;
+        }
+    }
+
+    /// Reads a floating-point register.
+    pub fn fpr(&self, f: FReg) -> f64 {
+        self.fpr[f.index()]
+    }
+
+    /// Writes a floating-point register.
+    pub fn set_fpr(&mut self, f: FReg, value: f64) {
+        self.fpr[f.index()] = value;
+    }
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        ArchState::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut s = ArchState::new(0);
+        s.set_gpr(Reg::ZERO, 99);
+        assert_eq!(s.gpr(Reg::ZERO), 0);
+        s.set_gpr(Reg::T0, 7);
+        assert_eq!(s.gpr(Reg::T0), 7);
+    }
+
+    #[test]
+    fn fp_registers_hold_doubles() {
+        let mut s = ArchState::default();
+        s.set_fpr(FReg::F5, -2.5);
+        assert_eq!(s.fpr(FReg::F5), -2.5);
+        assert_eq!(s.pc, 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Branch target buffer: 1024-entry direct-mapped, 2-bit counters.
+//!
+//! The paper's CPU predicts branches with a 1024-entry BTB. Conditional
+//! branches predict taken when the counter is in the taken half and the tag
+//! matches; indirect jumps predict the stored target on a tag match.
+
+#[derive(Debug, Clone, Copy)]
+struct BtbEntry {
+    tag: u32,
+    target: u32,
+    ctr: u8,
+}
+
+/// The branch target buffer.
+#[derive(Debug)]
+pub struct Btb {
+    entries: Vec<Option<BtbEntry>>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `n` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two.
+    pub fn new(n: usize) -> Btb {
+        assert!(n.is_power_of_two(), "BTB size must be a power of two");
+        Btb {
+            entries: vec![None; n],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Predicted target of the *conditional branch* at `pc`:
+    /// `Some(target)` when predicted taken, `None` for fall-through.
+    pub fn predict_branch(&mut self, pc: u32) -> Option<u32> {
+        self.lookups += 1;
+        let idx = self.index(pc);
+        match self.entries[idx] {
+            Some(e) if e.tag == pc && e.ctr >= 2 => {
+                self.hits += 1;
+                Some(e.target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Predicted target of the *indirect jump* at `pc` (tag match only).
+    pub fn predict_indirect(&mut self, pc: u32) -> Option<u32> {
+        self.lookups += 1;
+        let idx = self.index(pc);
+        match self.entries[idx] {
+            Some(e) if e.tag == pc => {
+                self.hits += 1;
+                Some(e.target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Trains the BTB with the resolved outcome of the control instruction
+    /// at `pc`.
+    pub fn update(&mut self, pc: u32, taken: bool, target: u32) {
+        let idx = self.index(pc);
+        match &mut self.entries[idx] {
+            Some(e) if e.tag == pc => {
+                if taken {
+                    e.ctr = (e.ctr + 1).min(3);
+                    e.target = target;
+                } else {
+                    e.ctr = e.ctr.saturating_sub(1);
+                }
+            }
+            slot => {
+                if taken {
+                    *slot = Some(BtbEntry { tag: pc, target, ctr: 2 });
+                }
+            }
+        }
+    }
+
+    /// (lookups, hits) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.lookups, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_btb_predicts_fallthrough() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.predict_branch(0x100), None);
+        assert_eq!(b.predict_indirect(0x100), None);
+    }
+
+    #[test]
+    fn learns_taken_branch() {
+        let mut b = Btb::new(16);
+        b.update(0x100, true, 0x80);
+        assert_eq!(b.predict_branch(0x100), Some(0x80));
+        // One not-taken drops to weakly-taken (ctr 1): predicts fall-through.
+        b.update(0x100, false, 0);
+        assert_eq!(b.predict_branch(0x100), None);
+        // Re-train.
+        b.update(0x100, true, 0x80);
+        assert_eq!(b.predict_branch(0x100), Some(0x80));
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut b = Btb::new(16);
+        for _ in 0..10 {
+            b.update(0x40, true, 0x0);
+        }
+        b.update(0x40, false, 0);
+        assert_eq!(b.predict_branch(0x40), Some(0x0), "3 -> 2 still taken");
+    }
+
+    #[test]
+    fn aliasing_replaces_entry() {
+        let mut b = Btb::new(4);
+        b.update(0x10, true, 0xaa);
+        // 0x10 and 0x10 + 4*4 alias in a 4-entry BTB.
+        b.update(0x20, true, 0xbb);
+        assert_eq!(b.predict_branch(0x10), None, "tag mismatch");
+        assert_eq!(b.predict_branch(0x20), Some(0xbb));
+    }
+
+    #[test]
+    fn not_taken_branches_not_allocated() {
+        let mut b = Btb::new(16);
+        b.update(0x100, false, 0);
+        assert_eq!(b.predict_branch(0x100), None);
+        let (lookups, hits) = b.stats();
+        assert_eq!(lookups, 1);
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn indirect_prediction_ignores_counter() {
+        let mut b = Btb::new(16);
+        b.update(0x200, true, 0x1234);
+        b.update(0x200, false, 0); // ctr drops to 1
+        assert_eq!(b.predict_indirect(0x200), Some(0x1234));
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-CPU statistics: the raw material of the paper's figures.
+//!
+//! Under Mipsy every cycle of a CPU is either *busy* (executing; spin-lock
+//! and barrier wait time counts as busy, exactly as in the paper) or stalled
+//! in one [`StallCategory`]. Under MXS, the counters track graduated
+//! instructions plus lost graduation slots per blame category, which yields
+//! the IPC breakdown of Figure 11.
+
+/// Where a stalled cycle is attributed in the breakdown graphs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCategory {
+    /// Instruction-fetch stalls (I-cache misses and shared-L1 I-bank time).
+    Instruction,
+    /// Extra data-access time serviced at L1 (shared-L1's 3-cycle hits and
+    /// bank conflicts under the non-ideal model).
+    L1Data,
+    /// Data stalls serviced by the L2.
+    L2,
+    /// Data stalls serviced by main memory.
+    Memory,
+    /// Data stalls serviced by a cache-to-cache transfer.
+    CacheToCache,
+    /// Store issued while the write buffer was full.
+    StoreBuffer,
+    /// `SYNC` waiting for outstanding stores to drain.
+    Fence,
+}
+
+/// Counter block for one CPU.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpuCounters {
+    /// Instructions executed (graduated, for MXS).
+    pub instructions: u64,
+    /// Cycles spent busy executing (Mipsy: 1 per instruction).
+    pub busy_cycles: u64,
+    /// Stall cycles per category (Mipsy).
+    pub stall_instruction: u64,
+    pub stall_l1_data: u64,
+    pub stall_l2: u64,
+    pub stall_memory: u64,
+    pub stall_c2c: u64,
+    pub stall_store_buffer: u64,
+    pub stall_fence: u64,
+    /// Loads / stores executed.
+    pub loads: u64,
+    pub stores: u64,
+    /// Conditional branches executed and mispredicted (MXS).
+    pub branches: u64,
+    pub mispredicts: u64,
+    /// Failed store-conditionals.
+    pub sc_failures: u64,
+    /// MXS: total cycles the core was clocked.
+    pub mxs_cycles: u64,
+    /// MXS: graduation slots lost to instruction-cache stalls.
+    pub slots_icache: u64,
+    /// MXS: graduation slots lost to data-cache stalls (L1 misses).
+    pub slots_dcache: u64,
+    /// MXS: graduation slots lost to pipeline stalls (dependences, FU
+    /// conflicts, mispredict refill, shared-L1 extra hit time and bank
+    /// contention).
+    pub slots_pipeline: u64,
+    /// MXS: dispatch opportunities lost to a full reorder buffer.
+    pub dispatch_stall_rob: u64,
+    /// MXS: dispatch opportunities lost to physical-register exhaustion.
+    pub dispatch_stall_preg: u64,
+    /// MXS: sum of per-cycle window occupancy (divide by `mxs_cycles` for
+    /// the average).
+    pub window_occupancy_sum: u64,
+}
+
+impl CpuCounters {
+    /// Zeroed counters.
+    pub fn new() -> CpuCounters {
+        CpuCounters::default()
+    }
+
+    /// Adds `cycles` to the given stall bucket.
+    pub fn stall(&mut self, cat: StallCategory, cycles: u64) {
+        match cat {
+            StallCategory::Instruction => self.stall_instruction += cycles,
+            StallCategory::L1Data => self.stall_l1_data += cycles,
+            StallCategory::L2 => self.stall_l2 += cycles,
+            StallCategory::Memory => self.stall_memory += cycles,
+            StallCategory::CacheToCache => self.stall_c2c += cycles,
+            StallCategory::StoreBuffer => self.stall_store_buffer += cycles,
+            StallCategory::Fence => self.stall_fence += cycles,
+        }
+    }
+
+    /// Total stall cycles across all categories.
+    pub fn total_stalls(&self) -> u64 {
+        self.stall_instruction
+            + self.stall_l1_data
+            + self.stall_l2
+            + self.stall_memory
+            + self.stall_c2c
+            + self.stall_store_buffer
+            + self.stall_fence
+    }
+
+    /// Total accounted cycles (busy + stalled) for Mipsy.
+    pub fn total_cycles(&self) -> u64 {
+        self.busy_cycles + self.total_stalls()
+    }
+
+    /// MXS average instruction-window occupancy.
+    pub fn avg_window_occupancy(&self) -> f64 {
+        if self.mxs_cycles == 0 {
+            0.0
+        } else {
+            self.window_occupancy_sum as f64 / self.mxs_cycles as f64
+        }
+    }
+
+    /// MXS instructions-per-cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.mxs_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.mxs_cycles as f64
+        }
+    }
+
+    /// Resets everything (region-of-interest marker).
+    pub fn reset(&mut self) {
+        *self = CpuCounters::default();
+    }
+
+    /// Merges another CPU's counters into this one (whole-machine totals).
+    pub fn merge(&mut self, other: &CpuCounters) {
+        self.instructions += other.instructions;
+        self.busy_cycles += other.busy_cycles;
+        self.stall_instruction += other.stall_instruction;
+        self.stall_l1_data += other.stall_l1_data;
+        self.stall_l2 += other.stall_l2;
+        self.stall_memory += other.stall_memory;
+        self.stall_c2c += other.stall_c2c;
+        self.stall_store_buffer += other.stall_store_buffer;
+        self.stall_fence += other.stall_fence;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+        self.sc_failures += other.sc_failures;
+        self.mxs_cycles += other.mxs_cycles;
+        self.slots_icache += other.slots_icache;
+        self.slots_dcache += other.slots_dcache;
+        self.slots_pipeline += other.slots_pipeline;
+        self.dispatch_stall_rob += other.dispatch_stall_rob;
+        self.dispatch_stall_preg += other.dispatch_stall_preg;
+        self.window_occupancy_sum += other.window_occupancy_sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_buckets_accumulate() {
+        let mut c = CpuCounters::new();
+        c.stall(StallCategory::L2, 10);
+        c.stall(StallCategory::Memory, 50);
+        c.stall(StallCategory::Instruction, 3);
+        c.busy_cycles = 100;
+        assert_eq!(c.total_stalls(), 63);
+        assert_eq!(c.total_cycles(), 163);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = CpuCounters::new();
+        a.instructions = 10;
+        a.slots_dcache = 4;
+        let mut b = CpuCounters::new();
+        b.instructions = 5;
+        b.slots_dcache = 2;
+        a.merge(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.slots_dcache, 6);
+    }
+
+    #[test]
+    fn ipc_computation() {
+        let mut c = CpuCounters::new();
+        assert_eq!(c.ipc(), 0.0);
+        c.instructions = 150;
+        c.mxs_cycles = 100;
+        assert_eq!(c.ipc(), 1.5);
+        c.reset();
+        assert_eq!(c.instructions, 0);
+    }
+}

@@ -1,0 +1,1255 @@
+//! The MXS CPU model: a 2-way-issue dynamically scheduled superscalar.
+//!
+//! Reimplements the documented microarchitecture of the paper's detailed
+//! simulator (Bennett's MXS): a decoupled fetch/execute/graduate pipeline
+//! with a 32-entry centralized instruction window, a 32-entry reorder buffer
+//! for precise state, register renaming over physical register files,
+//! speculative execution past branches predicted by a 1024-entry BTB, and a
+//! non-blocking data cache supporting four outstanding misses. Functional
+//! units follow Table 1 with two copies of every unit except the single
+//! memory data port.
+//!
+//! Speculation safety: instructions compute into *renamed physical
+//! registers* at execute, so wrong-path results never touch architectural
+//! state; stores buffer their data in the reorder buffer and only write
+//! memory at graduation, in program order. Loads read memory speculatively
+//! at execute (after disambiguating against older stores in the window, with
+//! exact-match forwarding). `SYNC` is a full fence: younger memory
+//! operations do not issue until it graduates and the write buffer drains —
+//! the synchronization runtime relies on this, exactly as MIPS code relies
+//! on `sync`.
+
+use crate::arch::ArchState;
+use crate::btb::Btb;
+use crate::counters::CpuCounters;
+use crate::decode::DecodeCache;
+use crate::func::{
+    eval_alu, eval_alui, eval_branch, eval_cvt_fi, eval_cvt_if, eval_fcmp, eval_fp,
+    effective_addr,
+};
+use crate::{CpuModel, FuLatencies, StepEvent};
+use cmpsim_engine::Cycle;
+use cmpsim_isa::{FuClass, Instr, Reg};
+use cmpsim_mem::{AddrSpace, CpuId, MemRequest, MemorySystem, PhysMem, WriteBuffer};
+use std::collections::VecDeque;
+
+/// Configuration of the MXS core; defaults follow the paper (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MxsConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions graduated per cycle.
+    pub graduate_width: usize,
+    /// Reorder-buffer (= instruction window) entries.
+    pub rob_entries: usize,
+    /// Maximum outstanding load misses (non-blocking cache MSHRs).
+    pub mshrs: usize,
+    /// Branch-target-buffer entries.
+    pub btb_entries: usize,
+    /// Copies of each functional unit (except the single memory port).
+    pub fu_per_class: usize,
+    /// Physical registers per file.
+    pub phys_regs: usize,
+    /// Write-buffer entries.
+    pub wbuf_entries: usize,
+    /// Functional-unit latencies.
+    pub fu: FuLatencies,
+}
+
+impl Default for MxsConfig {
+    fn default() -> Self {
+        MxsConfig {
+            fetch_width: 2,
+            issue_width: 2,
+            graduate_width: 2,
+            rob_entries: 32,
+            mshrs: 4,
+            btb_entries: 1024,
+            fu_per_class: 2,
+            phys_regs: 96,
+            wbuf_entries: 4,
+            fu: FuLatencies::table1(),
+        }
+    }
+}
+
+/// Buffered store data awaiting graduation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StoreVal {
+    W8(u8),
+    W32(u32),
+    F32(f32),
+    F64(f64),
+}
+
+impl StoreVal {
+    fn bytes(self) -> u32 {
+        match self {
+            StoreVal::W8(_) => 1,
+            StoreVal::W32(_) | StoreVal::F32(_) => 4,
+            StoreVal::F64(_) => 8,
+        }
+    }
+}
+
+/// A fetched, renamed, in-flight instruction.
+#[derive(Debug)]
+struct RobEntry {
+    pc: u32,
+    instr: Instr,
+    /// The pc fetch assumed would follow this instruction.
+    predicted_next: u32,
+    int_def: Option<(usize, usize, usize)>, // (arch, new phys, old phys)
+    fp_def: Option<(usize, usize, usize)>,
+    int_srcs: [Option<usize>; 2],
+    fp_srcs: [Option<usize>; 2],
+    issued: bool,
+    done_at: Cycle,
+    mispredicted: bool,
+    mem_paddr: Option<u32>,
+    store_val: Option<StoreVal>,
+    is_sc: bool,
+    /// Load that missed the L1 (blame graduation stalls on the data cache).
+    dcache_blame: bool,
+}
+
+/// A fetched instruction waiting for rename (the fetch buffer).
+#[derive(Debug, Clone, Copy)]
+struct Fetched {
+    pc: u32,
+    instr: Instr,
+    predicted_next: u32,
+    avail_at: Cycle,
+    was_icache_miss: bool,
+}
+
+/// The detailed dynamic superscalar CPU model.
+#[derive(Debug)]
+pub struct MxsCpu {
+    cpu: CpuId,
+    cfg: MxsConfig,
+    space: AddrSpace,
+    arch: ArchState,
+    halted: bool,
+
+    int_preg: Vec<u32>,
+    int_ready: Vec<Cycle>,
+    fp_preg: Vec<f64>,
+    fp_ready: Vec<Cycle>,
+    front_int: [usize; 32],
+    front_fp: [usize; 32],
+    retire_int: [usize; 32],
+    retire_fp: [usize; 32],
+    int_free: Vec<usize>,
+    fp_free: Vec<usize>,
+
+    rob: VecDeque<RobEntry>,
+    fetch_pc: u32,
+    fetch_resume_at: Cycle,
+    fetch_stopped: bool,
+    fbuf: VecDeque<Fetched>,
+    btb: Btb,
+    decode: DecodeCache,
+    wbuf: WriteBuffer,
+    /// Outstanding load misses: (line address, completion).
+    outstanding: Vec<(u32, Cycle)>,
+    /// Fetch line buffer: the last I-cache line delivered. Consecutive
+    /// fetch groups within one line are served from this buffer without
+    /// re-accessing the cache (loop bodies and spin loops re-fetch the same
+    /// line every cycle; a real fetch unit holds it in a line register).
+    fetch_line: Option<u32>,
+    counters: CpuCounters,
+}
+
+/// Fetch-buffer capacity in instructions (a few groups in flight keeps the
+/// 3-cycle shared-L1 fetch path fully pipelined).
+const FBUF_CAP: usize = 8;
+
+impl MxsCpu {
+    /// Creates an MXS CPU with id `cpu` starting at `pc` in `space`.
+    pub fn new(cpu: CpuId, pc: u32, space: AddrSpace) -> MxsCpu {
+        MxsCpu::with_config(cpu, pc, space, MxsConfig::default())
+    }
+
+    /// Creates an MXS CPU with a custom configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys_regs < 32 + rob_entries` (renaming could deadlock).
+    pub fn with_config(cpu: CpuId, pc: u32, space: AddrSpace, cfg: MxsConfig) -> MxsCpu {
+        assert!(
+            cfg.phys_regs >= 32 + cfg.rob_entries,
+            "need at least 32 + rob_entries physical registers"
+        );
+        assert!(
+            cfg.fetch_width > 0 && cfg.fetch_width <= FBUF_CAP,
+            "fetch width must be 1..={FBUF_CAP} (the fetch buffer capacity)"
+        );
+        let mut m = MxsCpu {
+            cpu,
+            cfg,
+            space,
+            arch: ArchState::new(pc),
+            halted: false,
+            int_preg: vec![0; cfg.phys_regs],
+            int_ready: vec![Cycle::ZERO; cfg.phys_regs],
+            fp_preg: vec![0.0; cfg.phys_regs],
+            fp_ready: vec![Cycle::ZERO; cfg.phys_regs],
+            front_int: [0; 32],
+            front_fp: [0; 32],
+            retire_int: [0; 32],
+            retire_fp: [0; 32],
+            int_free: Vec::new(),
+            fp_free: Vec::new(),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            fetch_pc: pc,
+            fetch_resume_at: Cycle::ZERO,
+            fetch_stopped: false,
+            fbuf: VecDeque::new(),
+            btb: Btb::new(cfg.btb_entries),
+            decode: DecodeCache::new(),
+            wbuf: WriteBuffer::new(cfg.wbuf_entries),
+            outstanding: Vec::new(),
+            fetch_line: None,
+            counters: CpuCounters::new(),
+        };
+        m.reset_pipeline();
+        m
+    }
+
+    /// Rebuilds all speculative state from the committed `arch` state.
+    fn reset_pipeline(&mut self) {
+        for r in 0..32 {
+            self.front_int[r] = r;
+            self.front_fp[r] = r;
+            self.retire_int[r] = r;
+            self.retire_fp[r] = r;
+            self.int_preg[r] = self.arch.gpr(Reg::new(r as u8));
+            self.fp_preg[r] = self.arch.fpr(cmpsim_isa::FReg::new(r as u8));
+            self.int_ready[r] = Cycle::ZERO;
+            self.fp_ready[r] = Cycle::ZERO;
+        }
+        self.int_free = (32..self.cfg.phys_regs).collect();
+        self.fp_free = (32..self.cfg.phys_regs).collect();
+        self.rob.clear();
+        self.fbuf.clear();
+        self.fetch_pc = self.arch.pc;
+        self.fetch_stopped = false;
+        self.outstanding.clear();
+        self.fetch_line = None;
+    }
+
+    /// Copies the committed register state into `arch` (pc set by caller).
+    fn sync_arch(&mut self) {
+        for r in 1..32u8 {
+            self.arch
+                .set_gpr(Reg::new(r), self.int_preg[self.retire_int[r as usize]]);
+        }
+        for r in 0..32u8 {
+            self.arch
+                .set_fpr(cmpsim_isa::FReg::new(r), self.fp_preg[self.retire_fp[r as usize]]);
+        }
+    }
+
+    /// Squashes every ROB entry younger than index `keep` (exclusive),
+    /// restoring the front rename maps by walking the undo records in
+    /// reverse order.
+    fn squash_after(&mut self, keep: usize) {
+        while self.rob.len() > keep + 1 {
+            let e = self.rob.pop_back().expect("len checked");
+            if let Some((arch, new, old)) = e.int_def {
+                self.front_int[arch] = old;
+                self.int_free.push(new);
+            }
+            if let Some((arch, new, old)) = e.fp_def {
+                self.front_fp[arch] = old;
+                self.fp_free.push(new);
+            }
+        }
+        self.fbuf.clear();
+    }
+
+    fn src_ready(&self, e: &RobEntry, now: Cycle) -> bool {
+        e.int_srcs
+            .iter()
+            .flatten()
+            .all(|&p| self.int_ready[p] <= now)
+            && e.fp_srcs.iter().flatten().all(|&p| self.fp_ready[p] <= now)
+    }
+
+    fn write_int(&mut self, def: Option<(usize, usize, usize)>, value: u32, ready: Cycle) {
+        if let Some((_, new, _)) = def {
+            self.int_preg[new] = value;
+            self.int_ready[new] = ready;
+        }
+    }
+
+    fn write_fp(&mut self, def: Option<(usize, usize, usize)>, value: f64, ready: Cycle) {
+        if let Some((_, new, _)) = def {
+            self.fp_preg[new] = value;
+            self.fp_ready[new] = ready;
+        }
+    }
+
+    fn ival(&self, src: Option<usize>) -> u32 {
+        src.map_or(0, |p| self.int_preg[p])
+    }
+
+    fn fval(&self, src: Option<usize>) -> f64 {
+        src.map_or(0.0, |p| self.fp_preg[p])
+    }
+
+    // ------------------------------------------------------------------
+    // Graduate stage
+    // ------------------------------------------------------------------
+
+    fn graduate(
+        &mut self,
+        now: Cycle,
+        mem: &mut dyn MemorySystem,
+        phys: &mut PhysMem,
+    ) -> Option<StepEvent> {
+        let width = self.cfg.graduate_width as u64;
+        let mut grads: u64 = 0;
+        let mut event = None;
+
+        while grads < width {
+            let Some(head) = self.rob.front() else {
+                // Empty window: blame the front end.
+                let icache = self
+                    .fbuf
+                    .front()
+                    .is_some_and(|f| f.avail_at > now && f.was_icache_miss);
+                if icache {
+                    self.counters.slots_icache += width - grads;
+                } else {
+                    self.counters.slots_pipeline += width - grads;
+                }
+                return event;
+            };
+            if head.done_at > now {
+                if head.instr.is_load() && head.dcache_blame {
+                    self.counters.slots_dcache += width - grads;
+                } else {
+                    self.counters.slots_pipeline += width - grads;
+                }
+                return event;
+            }
+
+            // Effects that happen at graduation.
+            if head.instr.is_store() {
+                let paddr = head.mem_paddr.expect("store executed");
+                if head.is_sc {
+                    // The write-buffer check must precede *every* effect:
+                    // consuming the link or publishing the success flag and
+                    // then aborting graduation would let dependents observe
+                    // a success whose store never happened (a lost update).
+                    if self.wbuf.is_full(now) {
+                        self.counters.slots_dcache += width - grads;
+                        return event;
+                    }
+                    let ok = phys.check_and_clear_link(self.cpu, paddr);
+                    let def = self.rob.front().expect("head exists").int_def;
+                    self.write_int(def, u32::from(ok), now);
+                    if ok {
+                        let val = self.rob.front().expect("head").store_val.expect("sc value");
+                        Self::apply_store(phys, self.cpu, paddr, val);
+                        let res = mem.access(now, MemRequest::store(self.cpu, paddr));
+                        self.wbuf.push(now, res.finish);
+                    } else {
+                        self.counters.sc_failures += 1;
+                    }
+                } else {
+                    if self.wbuf.is_full(now) {
+                        self.counters.slots_dcache += width - grads;
+                        return event;
+                    }
+                    let val = head.store_val.expect("store executed");
+                    Self::apply_store(phys, self.cpu, paddr, val);
+                    let res = mem.access(now, MemRequest::store(self.cpu, paddr));
+                    self.wbuf.push(now, res.finish);
+                }
+                self.counters.stores += 1;
+            } else if matches!(head.instr, Instr::Sync) {
+                if self.wbuf.drain_time(now) > now {
+                    self.counters.slots_dcache += width - grads;
+                    return event;
+                }
+            } else if head.instr.is_load() {
+                if matches!(head.instr, Instr::Ll { .. }) {
+                    // LL is architectural: read the value and arm the
+                    // reservation atomically, in program order. Every older
+                    // store (own or remote) has already reached memory.
+                    let pa = head.mem_paddr.expect("LL executed");
+                    phys.set_link(self.cpu, pa);
+                    let value = phys.read_u32(pa);
+                    let def = head.int_def;
+                    self.write_int(def, value, now);
+                }
+                self.counters.loads += 1;
+            }
+
+            let head = self.rob.pop_front().expect("head exists");
+            if head.instr.is_control() && !head.instr.is_direct_jump() {
+                self.counters.branches += 1;
+                if head.mispredicted {
+                    self.counters.mispredicts += 1;
+                }
+            }
+            if let Some((arch, new, old)) = head.int_def {
+                self.retire_int[arch] = new;
+                self.int_free.push(old);
+            }
+            if let Some((arch, new, old)) = head.fp_def {
+                self.retire_fp[arch] = new;
+                self.fp_free.push(old);
+            }
+            self.counters.instructions += 1;
+            grads += 1;
+
+            match head.instr {
+                Instr::Halt => {
+                    self.sync_arch();
+                    self.arch.pc = head.pc;
+                    self.halted = true;
+                    self.counters.slots_pipeline += width - grads;
+                    return Some(StepEvent::Halted);
+                }
+                Instr::Hcall { no } => {
+                    self.sync_arch();
+                    self.arch.pc = head.pc.wrapping_add(4);
+                    self.reset_pipeline();
+                    self.fetch_resume_at = now + 1;
+                    self.counters.slots_pipeline += width - grads;
+                    event = Some(StepEvent::Hcall(no));
+                    return event;
+                }
+                _ => {}
+            }
+        }
+        event
+    }
+
+    fn apply_store(phys: &mut PhysMem, _cpu: CpuId, paddr: u32, val: StoreVal) {
+        phys.snoop_store(paddr);
+        match val {
+            StoreVal::W8(b) => phys.write_u8(paddr, b),
+            StoreVal::W32(w) => phys.write_u32(paddr, w),
+            StoreVal::F32(f) => phys.write_f32(paddr, f),
+            StoreVal::F64(f) => phys.write_f64(paddr, f),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute stage
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self, now: Cycle, mem: &mut dyn MemorySystem, phys: &mut PhysMem) {
+        self.outstanding.retain(|&(_, f)| f > now);
+        let mut issued = 0usize;
+        let mut mem_port_used = false;
+        let mut class_counts = [0usize; 12];
+        // Index of the oldest un-graduated SYNC; younger memory operations
+        // must not issue past it (full-fence semantics).
+        let fence_idx = self
+            .rob
+            .iter()
+            .position(|e| matches!(e.instr, Instr::Sync));
+
+        let mut i = 0;
+        while i < self.rob.len() && issued < self.cfg.issue_width {
+            if self.rob[i].issued {
+                i += 1;
+                continue;
+            }
+            if !self.src_ready(&self.rob[i], now) {
+                i += 1;
+                continue;
+            }
+            let class = self.rob[i].instr.fu_class();
+            let is_mem = matches!(class, FuClass::Load | FuClass::Store);
+            if is_mem {
+                if mem_port_used {
+                    i += 1;
+                    continue;
+                }
+                if fence_idx.is_some_and(|f| f < i) {
+                    i += 1;
+                    continue;
+                }
+            } else if class_counts[class_index(class)] >= self.cfg.fu_per_class {
+                i += 1;
+                continue;
+            }
+
+            let ok = self.execute_at(i, now, mem, phys);
+            if ok {
+                issued += 1;
+                if is_mem {
+                    mem_port_used = true;
+                } else {
+                    class_counts[class_index(class)] += 1;
+                }
+                if self.rob[i].mispredicted {
+                    // Squash redirects fetch; nothing younger remains.
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Executes the instruction in ROB slot `idx`. Returns false if it
+    /// could not issue after all (memory structural hazards).
+    fn execute_at(
+        &mut self,
+        idx: usize,
+        now: Cycle,
+        mem: &mut dyn MemorySystem,
+        phys: &mut PhysMem,
+    ) -> bool {
+        let instr = self.rob[idx].instr;
+        let pc = self.rob[idx].pc;
+        let next = pc.wrapping_add(4);
+        let int_srcs = self.rob[idx].int_srcs;
+        let fp_srcs = self.rob[idx].fp_srcs;
+        let int_def = self.rob[idx].int_def;
+        let fp_def = self.rob[idx].fp_def;
+        let fu = self.cfg.fu;
+        let mut done = now + fu.of(instr.fu_class());
+        let mut actual_next = next;
+
+        use Instr::*;
+        match instr {
+            Alu { op, .. } => {
+                let v = eval_alu(op, self.ival(int_srcs[0]), self.ival(int_srcs[1]));
+                self.write_int(int_def, v, done);
+            }
+            AluI { op, imm, .. } => {
+                let v = eval_alui(op, self.ival(int_srcs[0]), imm);
+                self.write_int(int_def, v, done);
+            }
+            Lui { imm, .. } => self.write_int(int_def, u32::from(imm) << 16, done),
+            Mul { .. } => {
+                let v = self.ival(int_srcs[0]).wrapping_mul(self.ival(int_srcs[1]));
+                self.write_int(int_def, v, done);
+            }
+            Div { .. } => {
+                let (a, b) = (self.ival(int_srcs[0]) as i32, self.ival(int_srcs[1]) as i32);
+                let v = if b == 0 { 0 } else { a.wrapping_div(b) as u32 };
+                self.write_int(int_def, v, done);
+            }
+            Rem { .. } => {
+                let (a, b) = (self.ival(int_srcs[0]) as i32, self.ival(int_srcs[1]) as i32);
+                let v = if b == 0 { 0 } else { a.wrapping_rem(b) as u32 };
+                self.write_int(int_def, v, done);
+            }
+            Fp { op, .. } => {
+                let v = eval_fp(op, self.fval(fp_srcs[0]), self.fval(fp_srcs[1]));
+                self.write_fp(fp_def, v, done);
+            }
+            Fcmp { cmp, .. } => {
+                let v = eval_fcmp(cmp, self.fval(fp_srcs[0]), self.fval(fp_srcs[1]));
+                self.write_int(int_def, u32::from(v), done);
+            }
+            Fmov { .. } => {
+                let v = self.fval(fp_srcs[0]);
+                self.write_fp(fp_def, v, done);
+            }
+            CvtIf { .. } => {
+                let v = eval_cvt_if(self.ival(int_srcs[0]));
+                self.write_fp(fp_def, v, done);
+            }
+            CvtFi { .. } => {
+                let v = eval_cvt_fi(self.fval(fp_srcs[0]));
+                self.write_int(int_def, v, done);
+            }
+            Lb { off, .. } | Lbu { off, .. } | Lw { off, .. } | Ll { off, .. }
+            | Fls { off, .. } | Fld { off, .. } => {
+                let va = effective_addr(self.ival(int_srcs[0]), off);
+                let pa = self.space.translate(va);
+                let bytes = instr.mem_bytes().expect("load has a size");
+                // Disambiguate against older stores in the window.
+                match self.scan_older_stores(idx, pa, bytes) {
+                    StoreScan::Unknown | StoreScan::Partial => return false,
+                    StoreScan::Forward(val) => {
+                        done = now + 1;
+                        self.finish_load(instr, int_def, fp_def, pa, Some(val), done, phys);
+                        self.rob[idx].mem_paddr = Some(pa);
+                    }
+                    StoreScan::Clear => {
+                        let line = pa & !(mem.line_bytes() - 1);
+                        if let Some(&(_, fin)) =
+                            self.outstanding.iter().find(|&&(l, _)| l == line)
+                        {
+                            // Merge with the outstanding miss to this line.
+                            done = fin.max(now + 1);
+                            self.rob[idx].dcache_blame = true;
+                        } else {
+                            if !mem.load_would_hit_l1(self.cpu, pa)
+                                && self.outstanding.len() >= self.cfg.mshrs
+                            {
+                                return false; // all MSHRs busy
+                            }
+                            let res = mem.access(now, MemRequest::load(self.cpu, pa));
+                            done = res.finish;
+                            if res.l1_miss {
+                                self.outstanding.push((line, res.finish));
+                                self.rob[idx].dcache_blame = true;
+                            }
+                        }
+                        self.finish_load(instr, int_def, fp_def, pa, None, done, phys);
+                        self.rob[idx].mem_paddr = Some(pa);
+                    }
+                }
+            }
+            Sb { off, .. } | Sw { off, .. } | Sc { off, .. } | Fss { off, .. }
+            | Fsd { off, .. } => {
+                let va = effective_addr(self.ival(int_srcs[0]), off);
+                let pa = self.space.translate(va);
+                let val = match instr {
+                    Sb { .. } => StoreVal::W8(self.ival(int_srcs[1]) as u8),
+                    Sw { .. } | Sc { .. } => StoreVal::W32(self.ival(int_srcs[1])),
+                    Fss { .. } => StoreVal::F32(self.fval(fp_srcs[0]) as f32),
+                    Fsd { .. } => StoreVal::F64(self.fval(fp_srcs[0])),
+                    _ => unreachable!(),
+                };
+                done = now + fu.store;
+                self.rob[idx].mem_paddr = Some(pa);
+                self.rob[idx].store_val = Some(val);
+                // An SC's destination becomes ready at graduation, when the
+                // link is checked; leave it not-ready here.
+            }
+            Branch { cond, off, .. } => {
+                let taken = eval_branch(cond, self.ival(int_srcs[0]), self.ival(int_srcs[1]));
+                actual_next = if taken {
+                    next.wrapping_add((off as i32 as u32).wrapping_mul(4))
+                } else {
+                    next
+                };
+                self.btb.update(pc, taken, actual_next);
+            }
+            J { target } => actual_next = target * 4,
+            Jal { target } => {
+                actual_next = target * 4;
+                self.write_int(int_def, next, done);
+            }
+            Jr { .. } => {
+                actual_next = self.ival(int_srcs[0]);
+                self.btb.update(pc, true, actual_next);
+            }
+            Jalr { .. } => {
+                actual_next = self.ival(int_srcs[0]);
+                self.write_int(int_def, next, done);
+                self.btb.update(pc, true, actual_next);
+            }
+            Cpuid { .. } => self.write_int(int_def, self.cpu as u32, done),
+            Sync | Hcall { .. } | Halt | Nop => {}
+        }
+
+        let e = &mut self.rob[idx];
+        e.issued = true;
+        e.done_at = done;
+        if instr.is_control() && actual_next != e.predicted_next {
+            e.mispredicted = true;
+            self.squash_after(idx);
+            self.fetch_pc = actual_next;
+            self.fetch_resume_at = now + self.cfg.fu.branch;
+            self.fetch_stopped = false;
+            self.fetch_line = None;
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the execute-stage operands
+    fn finish_load(
+        &mut self,
+        instr: Instr,
+        int_def: Option<(usize, usize, usize)>,
+        fp_def: Option<(usize, usize, usize)>,
+        pa: u32,
+        forwarded: Option<StoreVal>,
+        ready: Cycle,
+        phys: &mut PhysMem,
+    ) {
+        use Instr::*;
+        match instr {
+            Lb { .. } => {
+                let b = match forwarded {
+                    Some(StoreVal::W8(b)) => b,
+                    Some(StoreVal::W32(w)) => w as u8,
+                    _ => phys.read_u8(pa),
+                };
+                self.write_int(int_def, b as i8 as i32 as u32, ready);
+            }
+            Lbu { .. } => {
+                let b = match forwarded {
+                    Some(StoreVal::W8(b)) => b,
+                    Some(StoreVal::W32(w)) => w as u8,
+                    _ => phys.read_u8(pa),
+                };
+                self.write_int(int_def, u32::from(b), ready);
+            }
+            Lw { .. } => {
+                let w = match forwarded {
+                    Some(StoreVal::W32(w)) => w,
+                    Some(StoreVal::F32(f)) => f.to_bits(),
+                    _ => phys.read_u32(pa),
+                };
+                self.write_int(int_def, w, ready);
+            }
+            Ll { .. } => {
+                // Both the value read and the link establishment happen at
+                // graduation: reading the value early while arming the link
+                // late would open a lost-update window for remote stores
+                // (all four CPUs' barrier counts collapsed that way), and
+                // arming early lets older own stores spuriously clear it.
+                // The destination stays not-ready until graduation.
+                let _ = forwarded;
+            }
+            Fls { .. } => {
+                let f = match forwarded {
+                    Some(StoreVal::F32(f)) => f,
+                    Some(StoreVal::W32(w)) => f32::from_bits(w),
+                    _ => phys.read_f32(pa),
+                };
+                self.write_fp(fp_def, f64::from(f), ready);
+            }
+            Fld { .. } => {
+                let f = match forwarded {
+                    Some(StoreVal::F64(f)) => f,
+                    _ => phys.read_f64(pa),
+                };
+                self.write_fp(fp_def, f, ready);
+            }
+            _ => unreachable!("finish_load on non-load"),
+        }
+    }
+
+    fn scan_older_stores(&self, idx: usize, pa: u32, bytes: u32) -> StoreScan {
+        let mut result = StoreScan::Clear;
+        for j in 0..idx {
+            let e = &self.rob[j];
+            if !e.instr.is_store() {
+                continue;
+            }
+            if !e.issued {
+                return StoreScan::Unknown;
+            }
+            let spa = e.mem_paddr.expect("issued store has an address");
+            let sval = e.store_val.expect("issued store has a value");
+            let sbytes = sval.bytes();
+            let overlap = pa < spa + sbytes && spa < pa + bytes;
+            if !overlap {
+                continue;
+            }
+            if spa == pa && sbytes == bytes && !e.is_sc {
+                // Youngest exact match wins (keep scanning).
+                result = StoreScan::Forward(sval);
+            } else {
+                // Partial overlap (or an SC whose success is unknown):
+                // wait for the store to graduate.
+                result = StoreScan::Partial;
+            }
+        }
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Rename / dispatch stage
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, now: Cycle) {
+        let mut n = 0;
+        loop {
+            if n >= self.cfg.fetch_width {
+                break;
+            }
+            let Some(f) = self.fbuf.front() else { break };
+            if f.avail_at > now {
+                break;
+            }
+            if self.rob.len() >= self.cfg.rob_entries {
+                self.counters.dispatch_stall_rob += 1;
+                break;
+            }
+            let ops = f.instr.reg_ops();
+            if (ops.int_def.is_some() && self.int_free.is_empty())
+                || (ops.fp_def.is_some() && self.fp_free.is_empty())
+            {
+                // No physical register: stall rename.
+                self.counters.dispatch_stall_preg += 1;
+                break;
+            }
+            let f = self.fbuf.pop_front().expect("peeked");
+            let int_srcs = [
+                ops.int_uses[0].map(|r| self.front_int[r.index()]),
+                ops.int_uses[1].map(|r| self.front_int[r.index()]),
+            ];
+            let fp_srcs = [
+                ops.fp_uses[0].map(|r| self.front_fp[r.index()]),
+                ops.fp_uses[1].map(|r| self.front_fp[r.index()]),
+            ];
+            let int_def = ops.int_def.map(|r| {
+                let new = self.int_free.pop().expect("checked non-empty");
+                let old = self.front_int[r.index()];
+                self.front_int[r.index()] = new;
+                self.int_ready[new] = Cycle::MAX;
+                (r.index(), new, old)
+            });
+            let fp_def = ops.fp_def.map(|r| {
+                let new = self.fp_free.pop().expect("checked non-empty");
+                let old = self.front_fp[r.index()];
+                self.front_fp[r.index()] = new;
+                self.fp_ready[new] = Cycle::MAX;
+                (r.index(), new, old)
+            });
+            self.rob.push_back(RobEntry {
+                pc: f.pc,
+                instr: f.instr,
+                predicted_next: f.predicted_next,
+                int_def,
+                fp_def,
+                int_srcs,
+                fp_srcs,
+                issued: false,
+                done_at: Cycle::MAX,
+                mispredicted: false,
+                mem_paddr: None,
+                store_val: None,
+                is_sc: matches!(f.instr, Instr::Sc { .. }),
+                dcache_blame: false,
+            });
+            n += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch stage
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, now: Cycle, mem: &mut dyn MemorySystem, phys: &PhysMem) {
+        if self.fetch_stopped
+            || now < self.fetch_resume_at
+            || self.fbuf.len() + self.cfg.fetch_width > FBUF_CAP
+        {
+            return;
+        }
+        let group_pa = self.space.translate(self.fetch_pc);
+        let mut staged: Vec<Fetched> = Vec::with_capacity(self.cfg.fetch_width);
+        for _ in 0..self.cfg.fetch_width {
+            let pc = self.fetch_pc;
+            let pa = self.space.translate(pc);
+            let instr = self.decode.fetch(phys, pa);
+            let predicted_next = match instr {
+                Instr::J { target } | Instr::Jal { target } => target * 4,
+                Instr::Branch { .. } => self.btb.predict_branch(pc).unwrap_or(pc.wrapping_add(4)),
+                Instr::Jr { .. } | Instr::Jalr { .. } => {
+                    self.btb.predict_indirect(pc).unwrap_or(pc.wrapping_add(4))
+                }
+                _ => pc.wrapping_add(4),
+            };
+            staged.push(Fetched {
+                pc,
+                instr,
+                predicted_next,
+                avail_at: Cycle::MAX, // patched below
+                was_icache_miss: false,
+            });
+            self.fetch_pc = predicted_next;
+            if matches!(instr, Instr::Halt | Instr::Hcall { .. }) {
+                self.fetch_stopped = true;
+                break;
+            }
+            if predicted_next != pc.wrapping_add(4) {
+                break; // taken prediction ends the fetch group
+            }
+        }
+        let line = group_pa & !(mem.line_bytes() - 1);
+        let (avail_at, was_miss) = if self.fetch_line == Some(line) {
+            // Same line as the previous group: served from the line buffer.
+            (now + 1, false)
+        } else {
+            let res = mem.access(now, MemRequest::ifetch(self.cpu, group_pa));
+            self.fetch_line = Some(line);
+            (res.finish, res.l1_miss)
+        };
+        for mut f in staged {
+            f.avail_at = avail_at;
+            f.was_icache_miss = was_miss;
+            self.fbuf.push_back(f);
+        }
+    }
+
+    /// Number of in-flight instructions (fetch buffer + window), for tests.
+    pub fn in_flight(&self) -> usize {
+        self.fbuf.len() + self.rob.len()
+    }
+
+    /// The oldest un-graduated instruction's pc (or the fetch pc if the
+    /// window is empty) — diagnostics only.
+    pub fn head_pc(&self) -> u32 {
+        self.rob.front().map_or(self.fetch_pc, |e| e.pc)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StoreScan {
+    /// No older store overlaps.
+    Clear,
+    /// An older store has an unknown address.
+    Unknown,
+    /// Overlap without exact match; wait for graduation.
+    Partial,
+    /// Exact match: forward this value.
+    Forward(StoreVal),
+}
+
+fn class_index(c: FuClass) -> usize {
+    match c {
+        FuClass::IntAlu => 0,
+        FuClass::IntMul => 1,
+        FuClass::IntDiv => 2,
+        FuClass::Branch => 3,
+        FuClass::Load => 4,
+        FuClass::Store => 5,
+        FuClass::FpAddSubSp => 6,
+        FuClass::FpMulSp => 7,
+        FuClass::FpDivSp => 8,
+        FuClass::FpAddSubDp => 9,
+        FuClass::FpMulDp => 10,
+        FuClass::FpDivDp => 11,
+    }
+}
+
+impl CpuModel for MxsCpu {
+    fn step(
+        &mut self,
+        now: Cycle,
+        mem: &mut dyn MemorySystem,
+        phys: &mut PhysMem,
+    ) -> (Cycle, StepEvent) {
+        debug_assert!(!self.halted, "stepping a halted CPU");
+        self.counters.mxs_cycles += 1;
+        self.counters.window_occupancy_sum += self.rob.len() as u64;
+        let event = self.graduate(now, mem, phys);
+        if let Some(ev) = event {
+            return (now + 1, ev);
+        }
+        self.issue(now, mem, phys);
+        self.dispatch(now);
+        self.fetch(now, mem, phys);
+        (now + 1, StepEvent::None)
+    }
+
+    fn arch(&self) -> &ArchState {
+        &self.arch
+    }
+
+    fn arch_mut(&mut self) -> &mut ArchState {
+        &mut self.arch
+    }
+
+    fn set_space(&mut self, space: AddrSpace) {
+        self.space = space;
+    }
+
+    fn space(&self) -> AddrSpace {
+        self.space
+    }
+
+    fn flush(&mut self) {
+        self.reset_pipeline();
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+
+    fn counters(&self) -> &CpuCounters {
+        &self.counters
+    }
+
+    fn counters_mut(&mut self) -> &mut CpuCounters {
+        &mut self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpsim_isa::{Asm, FReg};
+    use cmpsim_mem::{SharedMemSystem, SystemConfig};
+
+    fn build(asm: &Asm) -> (PhysMem, SharedMemSystem, MxsCpu) {
+        let prog = asm.assemble().expect("assembles");
+        let mut phys = PhysMem::new(4);
+        phys.load_words(prog.base, &prog.words);
+        let mem = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+        let cpu = MxsCpu::new(0, prog.base, AddrSpace::identity());
+        (phys, mem, cpu)
+    }
+
+    fn run_to_halt(phys: &mut PhysMem, mem: &mut SharedMemSystem, cpu: &mut MxsCpu) -> Cycle {
+        let mut now = Cycle(0);
+        for _ in 0..2_000_000 {
+            if cpu.halted() {
+                return now;
+            }
+            let (next, _) = cpu.step(now, mem, phys);
+            now = next;
+        }
+        panic!("program did not halt; pc={:#x}", cpu.arch().pc);
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::T0, 5);
+        a.li(Reg::T1, 7);
+        a.add(Reg::T2, Reg::T0, Reg::T1);
+        a.mul(Reg::T3, Reg::T2, Reg::T2);
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(cpu.arch().gpr(Reg::T2), 12);
+        assert_eq!(cpu.arch().gpr(Reg::T3), 144);
+        assert_eq!(cpu.counters().instructions, 5);
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 50);
+        a.label("loop");
+        a.addi(Reg::T0, Reg::T0, 2);
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, "loop");
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(cpu.arch().gpr(Reg::T0), 100);
+        let c = cpu.counters();
+        assert_eq!(c.instructions, 2 + 150 + 1);
+        assert_eq!(c.branches, 50);
+        // BTB learns the loop: far fewer mispredicts than branches.
+        assert!(c.mispredicts <= 4, "mispredicts = {}", c.mispredicts);
+    }
+
+    #[test]
+    fn stores_commit_in_order_and_loads_forward() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0x8000);
+        a.li(Reg::T0, 0xaa);
+        a.li(Reg::T1, 0xbb);
+        a.sw(Reg::T0, Reg::A0, 0);
+        a.sw(Reg::T1, Reg::A0, 0); // overwrite
+        a.lw(Reg::T2, Reg::A0, 0); // must see 0xbb (forwarded)
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(cpu.arch().gpr(Reg::T2), 0xbb);
+        assert_eq!(phys.read_u32(0x8000), 0xbb);
+    }
+
+    #[test]
+    fn partial_overlap_waits_for_graduation() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0x8000);
+        a.li(Reg::T0, 0x11223344);
+        a.sw(Reg::T0, Reg::A0, 0);
+        a.lb(Reg::T1, Reg::A0, 1); // partial overlap: byte 1 of the word
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(cpu.arch().gpr(Reg::T1), 0x33);
+    }
+
+    #[test]
+    fn mispredicted_branch_recovers_precisely() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::T0, 1);
+        a.li(Reg::T3, 7);
+        // Taken branch over a poison section (cold BTB predicts fall-through
+        // -> wrong path executes speculatively, then squashes).
+        a.bnez(Reg::T0, "past");
+        a.li(Reg::T3, 999); // wrong path
+        a.li(Reg::T4, 888); // wrong path
+        a.label("past");
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(cpu.arch().gpr(Reg::T3), 7, "wrong path must not commit");
+        assert_eq!(cpu.arch().gpr(Reg::T4), 0);
+        assert_eq!(cpu.counters().mispredicts, 1);
+    }
+
+    #[test]
+    fn wrong_path_stores_never_reach_memory() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0x9000);
+        a.li(Reg::T0, 1);
+        a.bnez(Reg::T0, "past");
+        a.sw(Reg::T0, Reg::A0, 0); // wrong path store
+        a.label("past");
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(phys.read_u32(0x9000), 0, "speculative store must not commit");
+    }
+
+    #[test]
+    fn ll_sc_works_under_speculation() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0xa000);
+        a.label("retry");
+        a.ll(Reg::T0, Reg::A0, 0);
+        a.addi(Reg::T1, Reg::T0, 1);
+        a.sc(Reg::T1, Reg::A0, 0);
+        a.beqz(Reg::T1, "retry");
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(phys.read_u32(0xa000), 1);
+    }
+
+    #[test]
+    fn fp_pipeline_latencies_respected() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0xb000);
+        a.cvt_if(FReg::F1, Reg::A0); // f1 = 45056.0
+        a.fmov(FReg::F2, FReg::F1);
+        a.fdiv_d(FReg::F3, FReg::F1, FReg::F2); // 18-cycle divide
+        a.fadd_d(FReg::F4, FReg::F3, FReg::F3);
+        a.fsd(FReg::F4, Reg::A0, 0);
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        let end = run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(phys.read_f64(0xb000), 2.0);
+        assert!(end.0 >= 18, "dp divide latency must show up");
+    }
+
+    #[test]
+    fn nonblocking_loads_overlap_misses() {
+        // Four independent cold loads to different lines: with 4 MSHRs they
+        // overlap; total time must be far less than 4 * 50.
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0x2_0000);
+        a.lw(Reg::T0, Reg::A0, 0);
+        a.lw(Reg::T1, Reg::A0, 0x40);
+        a.lw(Reg::T2, Reg::A0, 0x80);
+        a.lw(Reg::T3, Reg::A0, 0xc0);
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        let end = run_to_halt(&mut phys, &mut mem, &mut cpu);
+        // The cold I-fetch costs ~50 cycles; the four load misses then
+        // overlap behind the 6-cycle bus occupancy. Blocking loads would
+        // need ~50 + 4*50 = 250 cycles.
+        assert!(
+            end.0 < 140,
+            "loads must overlap (took {} cycles; serial would be ~250)",
+            end.0
+        );
+    }
+
+    #[test]
+    fn ipc_near_two_on_independent_alu_code() {
+        let mut a = Asm::new(0x1000);
+        // Warm loop: independent adds in pairs.
+        a.li(Reg::T5, 200);
+        a.label("loop");
+        for _ in 0..4 {
+            a.addi(Reg::T0, Reg::T0, 1);
+            a.addi(Reg::T1, Reg::T1, 1);
+        }
+        a.addi(Reg::T5, Reg::T5, -1);
+        a.bnez(Reg::T5, "loop");
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        let ipc = cpu.counters().ipc();
+        assert!(ipc > 1.2, "expected high IPC, got {ipc:.2}");
+    }
+
+    #[test]
+    fn sync_fences_memory_operations() {
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0xc000);
+        a.li(Reg::T0, 77);
+        a.sw(Reg::T0, Reg::A0, 0);
+        a.sync();
+        a.lw(Reg::T1, Reg::A0, 0);
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        run_to_halt(&mut phys, &mut mem, &mut cpu);
+        assert_eq!(cpu.arch().gpr(Reg::T1), 77);
+    }
+
+    #[test]
+    fn matches_mipsy_architectural_results() {
+        // The same program must produce identical architectural state under
+        // both CPU models.
+        use crate::mipsy::MipsyCpu;
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::A0, 0xd000);
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 20);
+        a.label("loop");
+        a.mul(Reg::T2, Reg::T1, Reg::T1);
+        a.add(Reg::T0, Reg::T0, Reg::T2);
+        a.sw(Reg::T0, Reg::A0, 0);
+        a.lw(Reg::T3, Reg::A0, 0);
+        a.addi(Reg::T1, Reg::T1, -1);
+        a.bnez(Reg::T1, "loop");
+        a.halt();
+
+        let (mut phys_a, mut mem_a, mut mxs) = build(&a);
+        run_to_halt(&mut phys_a, &mut mem_a, &mut mxs);
+
+        let prog = a.assemble().expect("assembles");
+        let mut phys_b = PhysMem::new(4);
+        phys_b.load_words(prog.base, &prog.words);
+        let mut mem_b = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+        let mut mipsy = MipsyCpu::new(0, prog.base, AddrSpace::identity());
+        let mut now = Cycle(0);
+        while !mipsy.halted() {
+            let (next, _) = mipsy.step(now, &mut mem_b, &mut phys_b);
+            now = next;
+        }
+        assert_eq!(mxs.arch().gpr(Reg::T0), mipsy.arch().gpr(Reg::T0));
+        assert_eq!(mxs.arch().gpr(Reg::T3), mipsy.arch().gpr(Reg::T3));
+        assert_eq!(phys_a.read_u32(0xd000), phys_b.read_u32(0xd000));
+    }
+
+    #[test]
+    fn hcall_synchronizes_architectural_state() {
+        use cmpsim_isa::HcallNo;
+        let mut a = Asm::new(0x1000);
+        a.li(Reg::T0, 42);
+        a.hcall(HcallNo::Phase(1));
+        a.li(Reg::T1, 43);
+        a.halt();
+        let (mut phys, mut mem, mut cpu) = build(&a);
+        let mut now = Cycle(0);
+        let mut saw_hcall = false;
+        for _ in 0..10_000 {
+            if cpu.halted() {
+                break;
+            }
+            let (next, ev) = cpu.step(now, &mut mem, &mut phys);
+            if let StepEvent::Hcall(no) = ev {
+                saw_hcall = true;
+                assert_eq!(no, HcallNo::Phase(1));
+                // At the hcall, T0 is committed but T1 is not yet.
+                assert_eq!(cpu.arch().gpr(Reg::T0), 42);
+                assert_eq!(cpu.arch().gpr(Reg::T1), 0);
+            }
+            now = next;
+        }
+        assert!(saw_hcall);
+        assert_eq!(cpu.arch().gpr(Reg::T1), 43);
+    }
+}

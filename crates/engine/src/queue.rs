@@ -1,0 +1,143 @@
+//! A deterministic time-ordered event queue.
+//!
+//! Events scheduled for the same cycle are delivered in the order they were
+//! scheduled (FIFO), which keeps multi-CPU simulations fully deterministic.
+
+use crate::Cycle;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within a
+        // cycle, the first-scheduled) event surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-priority queue of events keyed by [`Cycle`], FIFO within a cycle.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_engine::{Cycle, EventQueue};
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(5), "b");
+/// q.schedule(Cycle(3), "a");
+/// q.schedule(Cycle(5), "c");
+/// assert_eq!(q.pop_due(Cycle(4)), Some("a"));
+/// assert_eq!(q.pop_due(Cycle(4)), None);
+/// assert_eq!(q.pop_due(Cycle(5)), Some("b"));
+/// assert_eq!(q.pop_due(Cycle(5)), Some("c"));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at cycle `at`.
+    pub fn schedule(&mut self, at: Cycle, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Pops the next event due at or before `now`, if any.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            Some(self.heap.pop().expect("peeked entry exists").payload)
+        } else {
+            None
+        }
+    }
+
+    /// The cycle of the earliest pending event.
+    pub fn next_at(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_cycle() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(2), 2);
+        q.schedule(Cycle(7), 3);
+        assert_eq!(q.next_at(), Some(Cycle(2)));
+        assert_eq!(q.pop_due(Cycle(100)), Some(2));
+        assert_eq!(q.pop_due(Cycle(100)), Some(3));
+        assert_eq!(q.pop_due(Cycle(100)), Some(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_within_a_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(1), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop_due(Cycle(1)), Some(i));
+        }
+    }
+
+    #[test]
+    fn nothing_due_before_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), ());
+        assert_eq!(q.pop_due(Cycle(4)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(Cycle(5)), Some(()));
+    }
+}

@@ -1,0 +1,181 @@
+//! Disassembler: formatted program listings with resolved branch targets.
+//!
+//! The assembler produces binary [`Program`]s; this module turns them (or
+//! raw word slices fished out of simulated memory) back into readable
+//! listings, resolving branch/jump targets to addresses and, when a symbol
+//! table is available, to label names. Used by the debugging examples and
+//! handy when a generated workload misbehaves.
+
+use crate::asm::Program;
+use crate::encode::decode;
+use crate::instr::Instr;
+use crate::Addr;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisasmLine {
+    /// Byte address of the instruction.
+    pub addr: Addr,
+    /// The raw word.
+    pub word: u32,
+    /// Decoded form, if the word decodes.
+    pub instr: Option<Instr>,
+    /// Resolved control-flow target (byte address), for branches and
+    /// direct jumps.
+    pub target: Option<Addr>,
+}
+
+impl DisasmLine {
+    fn new(addr: Addr, word: u32) -> DisasmLine {
+        let instr = decode(word).ok();
+        let target = instr.as_ref().and_then(|i| control_target(addr, i));
+        DisasmLine {
+            addr,
+            word,
+            instr,
+            target,
+        }
+    }
+}
+
+/// The statically known target of a control instruction at `addr`, if any
+/// (indirect jumps have none).
+pub fn control_target(addr: Addr, instr: &Instr) -> Option<Addr> {
+    match *instr {
+        Instr::Branch { off, .. } => {
+            Some(addr.wrapping_add(4).wrapping_add((off as i32 as u32).wrapping_mul(4)))
+        }
+        Instr::J { target } | Instr::Jal { target } => Some(target * 4),
+        _ => None,
+    }
+}
+
+/// Disassembles `words` starting at byte address `base`.
+pub fn disassemble(base: Addr, words: &[u32]) -> Vec<DisasmLine> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| DisasmLine::new(base + (i as Addr) * 4, w))
+        .collect()
+}
+
+/// Renders a program listing with label annotations from its symbol table.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_isa::{Asm, Reg};
+/// use cmpsim_isa::disasm::listing;
+///
+/// # fn main() -> Result<(), cmpsim_isa::AsmError> {
+/// let mut a = Asm::new(0x1000);
+/// a.label("entry");
+/// a.li(Reg::T0, 3);
+/// a.label("spin");
+/// a.bnez(Reg::T0, "spin");
+/// a.halt();
+/// let text = listing(&a.assemble()?);
+/// assert!(text.contains("entry:"));
+/// assert!(text.contains("-> spin"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn listing(prog: &Program) -> String {
+    let by_addr: HashMap<Addr, &str> = prog
+        .symbols
+        .iter()
+        .map(|(name, &addr)| (addr, name.as_str()))
+        .collect();
+    let mut out = String::new();
+    for line in disassemble(prog.base, &prog.words) {
+        if let Some(label) = by_addr.get(&line.addr) {
+            let _ = writeln!(out, "{label}:");
+        }
+        let text = line
+            .instr
+            .map_or_else(|| format!(".word {:#010x}", line.word), |i| i.to_string());
+        let _ = write!(out, "  {:#08x}:  {:<30}", line.addr, text);
+        if let Some(t) = line.target {
+            match by_addr.get(&t) {
+                Some(label) => {
+                    let _ = write!(out, " -> {label}");
+                }
+                None => {
+                    let _ = write!(out, " -> {t:#x}");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Reg;
+
+    fn sample() -> Program {
+        let mut a = Asm::new(0x2000);
+        a.label("start");
+        a.li(Reg::T0, 2);
+        a.label("loop");
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bnez(Reg::T0, "loop");
+        a.j("end");
+        a.nop();
+        a.label("end");
+        a.halt();
+        a.assemble().expect("assembles")
+    }
+
+    #[test]
+    fn lines_carry_addresses_and_targets() {
+        let p = sample();
+        let lines = disassemble(p.base, &p.words);
+        assert_eq!(lines[0].addr, 0x2000);
+        assert!(lines.iter().all(|l| l.instr.is_some()));
+        // The bnez targets the loop label's address.
+        let loop_addr = p.addr_of("loop").unwrap();
+        let bnez = lines.iter().find(|l| l.target == Some(loop_addr));
+        assert!(bnez.is_some(), "backward branch target resolved");
+        // The j targets "end".
+        let end_addr = p.addr_of("end").unwrap();
+        assert!(lines.iter().any(|l| l.target == Some(end_addr)));
+    }
+
+    #[test]
+    fn listing_renders_labels_and_targets() {
+        let text = listing(&sample());
+        assert!(text.contains("start:"));
+        assert!(text.contains("loop:"));
+        assert!(text.contains("-> loop"));
+        assert!(text.contains("-> end"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn undecodable_words_render_as_data() {
+        let lines = disassemble(0, &[0xffff_ffff]);
+        assert!(lines[0].instr.is_none());
+        let p = Program {
+            base: 0,
+            words: vec![0xffff_ffff],
+            symbols: HashMap::new(),
+        };
+        assert!(listing(&p).contains(".word 0xffffffff"));
+    }
+
+    #[test]
+    fn indirect_jumps_have_no_static_target() {
+        use crate::instr::Instr;
+        assert_eq!(control_target(0x100, &Instr::Jr { rs: Reg::RA }), None);
+        assert_eq!(
+            control_target(0x100, &Instr::J { target: 0x40 }),
+            Some(0x100)
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! Binary instruction format.
+//!
+//! Fixed 32-bit instructions with the primary opcode in bits 31..26, MIPS
+//! style. Register fields: `rs` bits 25..21, `rt` bits 20..16, `rd` bits
+//! 15..11, R/F-type function code in bits 5..0, 16-bit immediates in bits
+//! 15..0, 26-bit jump targets (word addresses) in bits 25..0.
+
+use crate::instr::{AluOp, BranchCond, FpCmp, FpOp, HcallNo, Instr};
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Error returned by [`decode`] for words that are not valid instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OP_RTYPE: u32 = 0;
+const OP_FTYPE: u32 = 1;
+const OP_ALUI_BASE: u32 = 2; // 2..=12 follow AluOp order
+const OP_LUI: u32 = 13;
+const OP_LB: u32 = 14;
+const OP_LBU: u32 = 15;
+const OP_LW: u32 = 16;
+const OP_SB: u32 = 17;
+const OP_SW: u32 = 18;
+const OP_LL: u32 = 19;
+const OP_SC: u32 = 20;
+const OP_FLS: u32 = 21;
+const OP_FSS: u32 = 22;
+const OP_FLD: u32 = 23;
+const OP_FSD: u32 = 24;
+const OP_BRANCH_BASE: u32 = 25; // 25..=30 follow BranchCond order
+const OP_J: u32 = 31;
+const OP_JAL: u32 = 32;
+const OP_HCALL: u32 = 33;
+
+const FN_ALU_BASE: u32 = 0; // 0..=10 follow AluOp order
+const FN_MUL: u32 = 11;
+const FN_DIV: u32 = 12;
+const FN_REM: u32 = 13;
+const FN_JR: u32 = 14;
+const FN_JALR: u32 = 15;
+const FN_SYNC: u32 = 16;
+const FN_CPUID: u32 = 17;
+const FN_HALT: u32 = 18;
+const FN_NOP: u32 = 19;
+
+const FFN_FP_BASE: u32 = 0; // 0..=7 follow FpOp order
+const FFN_FCMP_BASE: u32 = 8; // 8..=10: Eq, Lt, Le
+const FFN_FMOV: u32 = 11;
+const FFN_CVT_IF: u32 = 12;
+const FFN_CVT_FI: u32 = 13;
+
+fn alu_op_code(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Nor => 5,
+        AluOp::Slt => 6,
+        AluOp::Sltu => 7,
+        AluOp::Sll => 8,
+        AluOp::Srl => 9,
+        AluOp::Sra => 10,
+    }
+}
+
+fn alu_op_from(code: u32) -> Option<AluOp> {
+    Some(match code {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Nor,
+        6 => AluOp::Slt,
+        7 => AluOp::Sltu,
+        8 => AluOp::Sll,
+        9 => AluOp::Srl,
+        10 => AluOp::Sra,
+        _ => return None,
+    })
+}
+
+fn fp_op_code(op: FpOp) -> u32 {
+    match op {
+        FpOp::AddS => 0,
+        FpOp::SubS => 1,
+        FpOp::MulS => 2,
+        FpOp::DivS => 3,
+        FpOp::AddD => 4,
+        FpOp::SubD => 5,
+        FpOp::MulD => 6,
+        FpOp::DivD => 7,
+    }
+}
+
+fn fp_op_from(code: u32) -> Option<FpOp> {
+    Some(match code {
+        0 => FpOp::AddS,
+        1 => FpOp::SubS,
+        2 => FpOp::MulS,
+        3 => FpOp::DivS,
+        4 => FpOp::AddD,
+        5 => FpOp::SubD,
+        6 => FpOp::MulD,
+        7 => FpOp::DivD,
+        _ => return None,
+    })
+}
+
+fn branch_cond_code(c: BranchCond) -> u32 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn branch_cond_from(code: u32) -> Option<BranchCond> {
+    Some(match code {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        _ => return None,
+    })
+}
+
+fn rtype(op: u32, rs: u32, rt: u32, rd: u32, funct: u32) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | (rd << 11) | funct
+}
+
+fn itype(op: u32, rs: u32, rt: u32, imm: u16) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | u32::from(imm)
+}
+
+/// Encodes a decoded instruction into its 32-bit binary form.
+///
+/// # Panics
+///
+/// Panics if a jump target does not fit in 26 bits.
+pub fn encode(instr: &Instr) -> u32 {
+    use Instr::*;
+    let r = |r: Reg| r.index() as u32;
+    let fr = |f: FReg| f.index() as u32;
+    match *instr {
+        Alu { op, rd, rs, rt } => rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_ALU_BASE + alu_op_code(op)),
+        Mul { rd, rs, rt } => rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_MUL),
+        Div { rd, rs, rt } => rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_DIV),
+        Rem { rd, rs, rt } => rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_REM),
+        Jr { rs } => rtype(OP_RTYPE, r(rs), 0, 0, FN_JR),
+        Jalr { rd, rs } => rtype(OP_RTYPE, r(rs), 0, r(rd), FN_JALR),
+        Sync => rtype(OP_RTYPE, 0, 0, 0, FN_SYNC),
+        Cpuid { rd } => rtype(OP_RTYPE, 0, 0, r(rd), FN_CPUID),
+        Halt => rtype(OP_RTYPE, 0, 0, 0, FN_HALT),
+        Nop => rtype(OP_RTYPE, 0, 0, 0, FN_NOP),
+        Fp { op, fd, fs, ft } => rtype(OP_FTYPE, fr(fs), fr(ft), fr(fd), FFN_FP_BASE + fp_op_code(op)),
+        Fcmp { cmp, rd, fs, ft } => {
+            let c = match cmp {
+                FpCmp::Eq => 0,
+                FpCmp::Lt => 1,
+                FpCmp::Le => 2,
+            };
+            rtype(OP_FTYPE, fr(fs), fr(ft), r(rd), FFN_FCMP_BASE + c)
+        }
+        Fmov { fd, fs } => rtype(OP_FTYPE, fr(fs), 0, fr(fd), FFN_FMOV),
+        CvtIf { fd, rs } => rtype(OP_FTYPE, r(rs), 0, fr(fd), FFN_CVT_IF),
+        CvtFi { rd, fs } => rtype(OP_FTYPE, fr(fs), 0, r(rd), FFN_CVT_FI),
+        AluI { op, rt, rs, imm } => itype(OP_ALUI_BASE + alu_op_code(op), r(rs), r(rt), imm as u16),
+        Lui { rt, imm } => itype(OP_LUI, 0, r(rt), imm),
+        Lb { rt, base, off } => itype(OP_LB, r(base), r(rt), off as u16),
+        Lbu { rt, base, off } => itype(OP_LBU, r(base), r(rt), off as u16),
+        Lw { rt, base, off } => itype(OP_LW, r(base), r(rt), off as u16),
+        Sb { rt, base, off } => itype(OP_SB, r(base), r(rt), off as u16),
+        Sw { rt, base, off } => itype(OP_SW, r(base), r(rt), off as u16),
+        Ll { rt, base, off } => itype(OP_LL, r(base), r(rt), off as u16),
+        Sc { rt, base, off } => itype(OP_SC, r(base), r(rt), off as u16),
+        Fls { ft, base, off } => itype(OP_FLS, r(base), fr(ft), off as u16),
+        Fss { ft, base, off } => itype(OP_FSS, r(base), fr(ft), off as u16),
+        Fld { ft, base, off } => itype(OP_FLD, r(base), fr(ft), off as u16),
+        Fsd { ft, base, off } => itype(OP_FSD, r(base), fr(ft), off as u16),
+        Branch { cond, rs, rt, off } => {
+            itype(OP_BRANCH_BASE + branch_cond_code(cond), r(rs), r(rt), off as u16)
+        }
+        J { target } => {
+            assert!(target < (1 << 26), "jump target {target:#x} out of range");
+            (OP_J << 26) | target
+        }
+        Jal { target } => {
+            assert!(target < (1 << 26), "jump target {target:#x} out of range");
+            (OP_JAL << 26) | target
+        }
+        Hcall { no } => itype(OP_HCALL, 0, 0, no.to_imm()),
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid encoding (undefined
+/// opcode or function code).
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let op = word >> 26;
+    let rs_f = (word >> 21) & 0x1f;
+    let rt_f = (word >> 16) & 0x1f;
+    let rd_f = (word >> 11) & 0x1f;
+    let funct = word & 0x3f;
+    let imm = (word & 0xffff) as u16;
+    let err = Err(DecodeError { word });
+
+    let rs = Reg::new(rs_f as u8);
+    let rt = Reg::new(rt_f as u8);
+    let rd = Reg::new(rd_f as u8);
+    let fs = FReg::new(rs_f as u8);
+    let ft = FReg::new(rt_f as u8);
+    let fd = FReg::new(rd_f as u8);
+
+    Ok(match op {
+        OP_RTYPE => match funct {
+            f if (FN_ALU_BASE..FN_ALU_BASE + 11).contains(&f) => Alu {
+                op: alu_op_from(f - FN_ALU_BASE).expect("range-checked"),
+                rd,
+                rs,
+                rt,
+            },
+            FN_MUL => Mul { rd, rs, rt },
+            FN_DIV => Div { rd, rs, rt },
+            FN_REM => Rem { rd, rs, rt },
+            FN_JR => Jr { rs },
+            FN_JALR => Jalr { rd, rs },
+            FN_SYNC => Sync,
+            FN_CPUID => Cpuid { rd },
+            FN_HALT => Halt,
+            FN_NOP => Nop,
+            _ => return err,
+        },
+        OP_FTYPE => match funct {
+            f if f < 8 => Fp {
+                op: fp_op_from(f).expect("range-checked"),
+                fd,
+                fs,
+                ft,
+            },
+            FFN_FCMP_BASE => Fcmp { cmp: FpCmp::Eq, rd, fs, ft },
+            f if f == FFN_FCMP_BASE + 1 => Fcmp { cmp: FpCmp::Lt, rd, fs, ft },
+            f if f == FFN_FCMP_BASE + 2 => Fcmp { cmp: FpCmp::Le, rd, fs, ft },
+            FFN_FMOV => Fmov { fd, fs },
+            FFN_CVT_IF => CvtIf { fd, rs },
+            FFN_CVT_FI => CvtFi { rd, fs },
+            _ => return err,
+        },
+        o if (OP_ALUI_BASE..OP_ALUI_BASE + 11).contains(&o) => AluI {
+            op: alu_op_from(o - OP_ALUI_BASE).expect("range-checked"),
+            rt,
+            rs,
+            imm: imm as i16,
+        },
+        OP_LUI => Lui { rt, imm },
+        OP_LB => Lb { rt, base: rs, off: imm as i16 },
+        OP_LBU => Lbu { rt, base: rs, off: imm as i16 },
+        OP_LW => Lw { rt, base: rs, off: imm as i16 },
+        OP_SB => Sb { rt, base: rs, off: imm as i16 },
+        OP_SW => Sw { rt, base: rs, off: imm as i16 },
+        OP_LL => Ll { rt, base: rs, off: imm as i16 },
+        OP_SC => Sc { rt, base: rs, off: imm as i16 },
+        OP_FLS => Fls { ft, base: rs, off: imm as i16 },
+        OP_FSS => Fss { ft, base: rs, off: imm as i16 },
+        OP_FLD => Fld { ft, base: rs, off: imm as i16 },
+        OP_FSD => Fsd { ft, base: rs, off: imm as i16 },
+        o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Branch {
+            cond: branch_cond_from(o - OP_BRANCH_BASE).expect("range-checked"),
+            rs,
+            rt,
+            off: imm as i16,
+        },
+        OP_J => J { target: word & 0x03ff_ffff },
+        OP_JAL => Jal { target: word & 0x03ff_ffff },
+        OP_HCALL => Hcall {
+            no: HcallNo::from_imm(imm).ok_or(DecodeError { word })?,
+        },
+        _ => return err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, BranchCond, FpCmp, FpOp, HcallNo, Instr};
+    use crate::reg::{FReg, Reg};
+
+    fn sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        vec![
+            Alu { op: AluOp::Add, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
+            Alu { op: AluOp::Sra, rd: Reg::S0, rs: Reg::S1, rt: Reg::S2 },
+            AluI { op: AluOp::Add, rt: Reg::T0, rs: Reg::SP, imm: -32 },
+            AluI { op: AluOp::Sltu, rt: Reg::V0, rs: Reg::A0, imm: 100 },
+            Lui { rt: Reg::GP, imm: 0xdead },
+            Mul { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
+            Div { rd: Reg::T3, rs: Reg::T4, rt: Reg::T5 },
+            Rem { rd: Reg::T6, rs: Reg::T7, rt: Reg::T8 },
+            Fp { op: FpOp::MulD, fd: FReg::F0, fs: FReg::F1, ft: FReg::F2 },
+            Fp { op: FpOp::DivS, fd: FReg::F3, fs: FReg::F4, ft: FReg::F5 },
+            Fcmp { cmp: FpCmp::Le, rd: Reg::T0, fs: FReg::F1, ft: FReg::F2 },
+            Fmov { fd: FReg::F7, fs: FReg::F8 },
+            CvtIf { fd: FReg::F1, rs: Reg::A0 },
+            CvtFi { rd: Reg::V0, fs: FReg::F1 },
+            Lb { rt: Reg::T0, base: Reg::A0, off: -1 },
+            Lbu { rt: Reg::T0, base: Reg::A0, off: 255 },
+            Lw { rt: Reg::T1, base: Reg::GP, off: 0x7ff0 },
+            Sb { rt: Reg::T2, base: Reg::A1, off: 3 },
+            Sw { rt: Reg::T3, base: Reg::SP, off: -4 },
+            Ll { rt: Reg::T4, base: Reg::A2, off: 0 },
+            Sc { rt: Reg::T5, base: Reg::A2, off: 0 },
+            Fls { ft: FReg::F0, base: Reg::A3, off: 8 },
+            Fss { ft: FReg::F1, base: Reg::A3, off: 12 },
+            Fld { ft: FReg::F2, base: Reg::S0, off: 16 },
+            Fsd { ft: FReg::F3, base: Reg::S0, off: 24 },
+            Branch { cond: BranchCond::Eq, rs: Reg::T0, rt: Reg::ZERO, off: -5 },
+            Branch { cond: BranchCond::Geu, rs: Reg::A0, rt: Reg::A1, off: 100 },
+            J { target: 0x123456 },
+            Jal { target: 0x1 },
+            Jr { rs: Reg::RA },
+            Jalr { rd: Reg::RA, rs: Reg::T9 },
+            Sync,
+            Cpuid { rd: Reg::V0 },
+            Hcall { no: HcallNo::ResetStats },
+            Hcall { no: HcallNo::Phase(42) },
+            Halt,
+            Nop,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_sample_instrs() {
+        for i in sample_instrs() {
+            let w = encode(&i);
+            let back = decode(w).unwrap_or_else(|e| panic!("{i}: {e}"));
+            assert_eq!(back, i, "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn distinct_instrs_distinct_words() {
+        let instrs = sample_instrs();
+        let words: Vec<u32> = instrs.iter().map(encode).collect();
+        for i in 0..words.len() {
+            for j in (i + 1)..words.len() {
+                assert_ne!(words[i], words[j], "{} vs {}", instrs[i], instrs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_words_rejected() {
+        // Undefined primary opcode.
+        assert!(decode(0x3f << 26).is_err());
+        // Undefined R-type funct.
+        assert!(decode(0x0000_003f).is_err());
+        // Undefined F-type funct.
+        assert!(decode((1 << 26) | 0x3f).is_err());
+        // Undefined hcall number.
+        assert!(decode((OP_HCALL << 26) | 0xffff).is_err());
+    }
+
+    #[test]
+    fn negative_immediates_sign_preserved() {
+        let i = Instr::AluI { op: AluOp::Add, rt: Reg::T0, rs: Reg::T0, imm: -1 };
+        match decode(encode(&i)).unwrap() {
+            Instr::AluI { imm, .. } => assert_eq!(imm, -1),
+            other => panic!("wrong decode: {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_jump_target_panics() {
+        let _ = encode(&Instr::J { target: 1 << 26 });
+    }
+}

@@ -1,0 +1,586 @@
+//! Decoded instruction form and instruction-class metadata.
+
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Integer ALU operations (1-cycle latency class, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Nor,
+    /// Set-if-less-than, signed.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+}
+
+/// Floating-point arithmetic operations. Single (`*S`) and double (`*D`)
+/// precision are separate latency classes in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    AddS,
+    SubS,
+    MulS,
+    DivS,
+    AddD,
+    SubD,
+    MulD,
+    DivD,
+}
+
+/// Floating-point comparisons; the boolean result lands in an integer
+/// register so it can feed a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCmp {
+    Eq,
+    Lt,
+    Le,
+}
+
+/// Branch conditions for the conditional-branch instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Harness calls — simulator services invoked by workloads, analogous to
+/// SimOS "magic" instructions. They execute in one cycle and have effects on
+/// the *harness*, never on architectural state other than `pc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HcallNo {
+    /// Reset all statistics: marks the start of the region of interest
+    /// (equivalent to the paper's post-boot checkpoints).
+    ResetStats,
+    /// Yield this CPU to the next runnable process (multiprogramming
+    /// workload; the machine performs the context switch).
+    Yield,
+    /// Record a phase marker with the immediate's upper bits as the tag.
+    Phase(u8),
+    /// Mark this CPU's current process as finished with its work-loop
+    /// (distinct from `Halt`, which stops the CPU itself).
+    Exit,
+}
+
+impl HcallNo {
+    /// Encodes the harness call as a 16-bit immediate.
+    pub fn to_imm(self) -> u16 {
+        match self {
+            HcallNo::ResetStats => 0,
+            HcallNo::Yield => 1,
+            HcallNo::Exit => 2,
+            HcallNo::Phase(tag) => 0x100 | u16::from(tag),
+        }
+    }
+
+    /// Decodes a 16-bit immediate back into a harness call, if valid.
+    pub fn from_imm(imm: u16) -> Option<HcallNo> {
+        match imm {
+            0 => Some(HcallNo::ResetStats),
+            1 => Some(HcallNo::Yield),
+            2 => Some(HcallNo::Exit),
+            x if (0x100..0x200).contains(&x) => Some(HcallNo::Phase((x & 0xff) as u8)),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded instruction.
+///
+/// Branch and jump offsets/targets are in *instructions* (words); the CPU
+/// models convert to byte addresses. There are no branch delay slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `rd = rs <op> rt` (shifts use the low 5 bits of `rt`).
+    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    /// `rt = rs <op> imm`. Arithmetic/comparison ops sign-extend `imm`;
+    /// logical ops zero-extend; shifts use the low 5 bits.
+    AluI { op: AluOp, rt: Reg, rs: Reg, imm: i16 },
+    /// `rt = imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+    /// `rd = rs * rt` (low 32 bits).
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs / rt` signed; division by zero yields 0 (total semantics,
+    /// required for harmless wrong-path execution under MXS).
+    Div { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs % rt` signed; modulo by zero yields 0.
+    Rem { rd: Reg, rs: Reg, rt: Reg },
+    /// `fd = fs <op> ft`.
+    Fp { op: FpOp, fd: FReg, fs: FReg, ft: FReg },
+    /// `rd = (fs <cmp> ft) ? 1 : 0`.
+    Fcmp { cmp: FpCmp, rd: Reg, fs: FReg, ft: FReg },
+    /// `fd = fs`.
+    Fmov { fd: FReg, fs: FReg },
+    /// `fd = (f64) (i32) rs`.
+    CvtIf { fd: FReg, rs: Reg },
+    /// `rd = (i32) fs` (truncating; saturates on overflow, 0 on NaN).
+    CvtFi { rd: Reg, fs: FReg },
+    /// `rt = sign_extend(mem8[rs + off])`.
+    Lb { rt: Reg, base: Reg, off: i16 },
+    /// `rt = zero_extend(mem8[rs + off])`.
+    Lbu { rt: Reg, base: Reg, off: i16 },
+    /// `rt = mem32[rs + off]`.
+    Lw { rt: Reg, base: Reg, off: i16 },
+    /// `mem8[rs + off] = rt & 0xff`.
+    Sb { rt: Reg, base: Reg, off: i16 },
+    /// `mem32[rs + off] = rt`.
+    Sw { rt: Reg, base: Reg, off: i16 },
+    /// Load-linked word.
+    Ll { rt: Reg, base: Reg, off: i16 },
+    /// Store-conditional word: stores `rt` if the link is intact and writes
+    /// 1/0 success into `rt`.
+    Sc { rt: Reg, base: Reg, off: i16 },
+    /// `ft = f32 mem[rs + off]` (widened to f64).
+    Fls { ft: FReg, base: Reg, off: i16 },
+    /// `mem[rs + off] = (f32) ft`.
+    Fss { ft: FReg, base: Reg, off: i16 },
+    /// `ft = f64 mem[rs + off]` (8 bytes).
+    Fld { ft: FReg, base: Reg, off: i16 },
+    /// `mem[rs + off] = ft` (8 bytes).
+    Fsd { ft: FReg, base: Reg, off: i16 },
+    /// Conditional branch; `off` is a signed word offset from the *next*
+    /// instruction.
+    Branch {
+        cond: BranchCond,
+        rs: Reg,
+        rt: Reg,
+        off: i16,
+    },
+    /// Unconditional jump to absolute word address `target`.
+    J { target: u32 },
+    /// Jump-and-link: `ra = pc + 4`, then jump.
+    Jal { target: u32 },
+    /// Jump to the address in `rs`.
+    Jr { rs: Reg },
+    /// `rd = pc + 4`, jump to the address in `rs`.
+    Jalr { rd: Reg, rs: Reg },
+    /// Memory fence: completes only when all earlier memory operations have.
+    Sync,
+    /// `rd =` this CPU's id.
+    Cpuid { rd: Reg },
+    /// Harness call (simulator service).
+    Hcall { no: HcallNo },
+    /// Stops this CPU.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Functional-unit classes; latencies per class come from Table 1 of the
+/// paper and live in the CPU crate's `FuLatencies`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    Branch,
+    Load,
+    Store,
+    FpAddSubSp,
+    FpMulSp,
+    FpDivSp,
+    FpAddSubDp,
+    FpMulDp,
+    FpDivDp,
+}
+
+/// Register operands of an instruction, as needed by the renamer and the
+/// dependence-based scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegOps {
+    pub int_uses: [Option<Reg>; 2],
+    pub int_def: Option<Reg>,
+    pub fp_uses: [Option<FReg>; 2],
+    pub fp_def: Option<FReg>,
+}
+
+impl Instr {
+    /// The functional-unit class this instruction executes on.
+    pub fn fu_class(&self) -> FuClass {
+        use Instr::*;
+        match self {
+            Alu { .. } | AluI { .. } | Lui { .. } | Cpuid { .. } | Nop | Hcall { .. } | Halt => {
+                FuClass::IntAlu
+            }
+            Mul { .. } => FuClass::IntMul,
+            Div { .. } | Rem { .. } => FuClass::IntDiv,
+            Fp { op, .. } => match op {
+                FpOp::AddS | FpOp::SubS => FuClass::FpAddSubSp,
+                FpOp::MulS => FuClass::FpMulSp,
+                FpOp::DivS => FuClass::FpDivSp,
+                FpOp::AddD | FpOp::SubD => FuClass::FpAddSubDp,
+                FpOp::MulD => FuClass::FpMulDp,
+                FpOp::DivD => FuClass::FpDivDp,
+            },
+            Fcmp { .. } | Fmov { .. } | CvtIf { .. } | CvtFi { .. } => FuClass::FpAddSubDp,
+            Lb { .. } | Lbu { .. } | Lw { .. } | Ll { .. } | Fls { .. } | Fld { .. } => {
+                FuClass::Load
+            }
+            Sb { .. } | Sw { .. } | Sc { .. } | Fss { .. } | Fsd { .. } => FuClass::Store,
+            Branch { .. } | J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } => FuClass::Branch,
+            Sync => FuClass::IntAlu,
+        }
+    }
+
+    /// Whether the instruction reads memory.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            Instr::Lb { .. }
+                | Instr::Lbu { .. }
+                | Instr::Lw { .. }
+                | Instr::Ll { .. }
+                | Instr::Fls { .. }
+                | Instr::Fld { .. }
+        )
+    }
+
+    /// Whether the instruction writes memory (SC counts: it may write).
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            Instr::Sb { .. }
+                | Instr::Sw { .. }
+                | Instr::Sc { .. }
+                | Instr::Fss { .. }
+                | Instr::Fsd { .. }
+        )
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. }
+                | Instr::J { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Jalr { .. }
+        )
+    }
+
+    /// Whether this is an unconditional direct jump (always taken, target
+    /// known at decode).
+    pub fn is_direct_jump(&self) -> bool {
+        matches!(self, Instr::J { .. } | Instr::Jal { .. })
+    }
+
+    /// Memory access size in bytes, if this is a memory operation.
+    pub fn mem_bytes(&self) -> Option<u32> {
+        use Instr::*;
+        match self {
+            Lb { .. } | Lbu { .. } | Sb { .. } => Some(1),
+            Lw { .. } | Sw { .. } | Ll { .. } | Sc { .. } | Fls { .. } | Fss { .. } => Some(4),
+            Fld { .. } | Fsd { .. } => Some(8),
+            _ => None,
+        }
+    }
+
+    /// Register reads and writes, for renaming and scoreboarding.
+    pub fn reg_ops(&self) -> RegOps {
+        use Instr::*;
+        let mut ops = RegOps::default();
+        match *self {
+            Alu { rd, rs, rt, .. } | Mul { rd, rs, rt } | Div { rd, rs, rt } | Rem { rd, rs, rt } => {
+                ops.int_uses = [Some(rs), Some(rt)];
+                ops.int_def = Some(rd);
+            }
+            AluI { rt, rs, .. } => {
+                ops.int_uses = [Some(rs), None];
+                ops.int_def = Some(rt);
+            }
+            Lui { rt, .. } => ops.int_def = Some(rt),
+            Fp { fd, fs, ft, .. } => {
+                ops.fp_uses = [Some(fs), Some(ft)];
+                ops.fp_def = Some(fd);
+            }
+            Fcmp { rd, fs, ft, .. } => {
+                ops.fp_uses = [Some(fs), Some(ft)];
+                ops.int_def = Some(rd);
+            }
+            Fmov { fd, fs } => {
+                ops.fp_uses = [Some(fs), None];
+                ops.fp_def = Some(fd);
+            }
+            CvtIf { fd, rs } => {
+                ops.int_uses = [Some(rs), None];
+                ops.fp_def = Some(fd);
+            }
+            CvtFi { rd, fs } => {
+                ops.fp_uses = [Some(fs), None];
+                ops.int_def = Some(rd);
+            }
+            Lb { rt, base, .. } | Lbu { rt, base, .. } | Lw { rt, base, .. } | Ll { rt, base, .. } => {
+                ops.int_uses = [Some(base), None];
+                ops.int_def = Some(rt);
+            }
+            Sb { rt, base, .. } | Sw { rt, base, .. } => {
+                ops.int_uses = [Some(base), Some(rt)];
+            }
+            Sc { rt, base, .. } => {
+                ops.int_uses = [Some(base), Some(rt)];
+                ops.int_def = Some(rt);
+            }
+            Fls { ft, base, .. } | Fld { ft, base, .. } => {
+                ops.int_uses = [Some(base), None];
+                ops.fp_def = Some(ft);
+            }
+            Fss { ft, base, .. } | Fsd { ft, base, .. } => {
+                ops.int_uses = [Some(base), None];
+                ops.fp_uses = [Some(ft), None];
+            }
+            Branch { rs, rt, .. } => ops.int_uses = [Some(rs), Some(rt)],
+            Jal { .. } => ops.int_def = Some(Reg::RA),
+            Jr { rs } => ops.int_uses = [Some(rs), None],
+            Jalr { rd, rs } => {
+                ops.int_uses = [Some(rs), None];
+                ops.int_def = Some(rd);
+            }
+            Cpuid { rd } => ops.int_def = Some(rd),
+            J { .. } | Sync | Hcall { .. } | Halt | Nop => {}
+        }
+        // Writes to the zero register are discarded everywhere; normalize so
+        // the renamer never allocates for them.
+        if ops.int_def == Some(Reg::ZERO) {
+            ops.int_def = None;
+        }
+        ops
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Nor => "nor",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+    }
+}
+
+fn fp_name(op: FpOp) -> &'static str {
+    match op {
+        FpOp::AddS => "add.s",
+        FpOp::SubS => "sub.s",
+        FpOp::MulS => "mul.s",
+        FpOp::DivS => "div.s",
+        FpOp::AddD => "add.d",
+        FpOp::SubD => "sub.d",
+        FpOp::MulD => "mul.d",
+        FpOp::DivD => "div.d",
+    }
+}
+
+fn branch_name(cond: BranchCond) -> &'static str {
+    match cond {
+        BranchCond::Eq => "beq",
+        BranchCond::Ne => "bne",
+        BranchCond::Lt => "blt",
+        BranchCond::Ge => "bge",
+        BranchCond::Ltu => "bltu",
+        BranchCond::Geu => "bgeu",
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Alu { op, rd, rs, rt } => write!(f, "{} {rd}, {rs}, {rt}", alu_name(op)),
+            AluI { op, rt, rs, imm } => write!(f, "{}i {rt}, {rs}, {imm}", alu_name(op)),
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Mul { rd, rs, rt } => write!(f, "mul {rd}, {rs}, {rt}"),
+            Div { rd, rs, rt } => write!(f, "div {rd}, {rs}, {rt}"),
+            Rem { rd, rs, rt } => write!(f, "rem {rd}, {rs}, {rt}"),
+            Fp { op, fd, fs, ft } => write!(f, "{} {fd}, {fs}, {ft}", fp_name(op)),
+            Fcmp { cmp, rd, fs, ft } => {
+                let c = match cmp {
+                    FpCmp::Eq => "eq",
+                    FpCmp::Lt => "lt",
+                    FpCmp::Le => "le",
+                };
+                write!(f, "fcmp.{c} {rd}, {fs}, {ft}")
+            }
+            Fmov { fd, fs } => write!(f, "fmov {fd}, {fs}"),
+            CvtIf { fd, rs } => write!(f, "cvt.if {fd}, {rs}"),
+            CvtFi { rd, fs } => write!(f, "cvt.fi {rd}, {fs}"),
+            Lb { rt, base, off } => write!(f, "lb {rt}, {off}({base})"),
+            Lbu { rt, base, off } => write!(f, "lbu {rt}, {off}({base})"),
+            Lw { rt, base, off } => write!(f, "lw {rt}, {off}({base})"),
+            Sb { rt, base, off } => write!(f, "sb {rt}, {off}({base})"),
+            Sw { rt, base, off } => write!(f, "sw {rt}, {off}({base})"),
+            Ll { rt, base, off } => write!(f, "ll {rt}, {off}({base})"),
+            Sc { rt, base, off } => write!(f, "sc {rt}, {off}({base})"),
+            Fls { ft, base, off } => write!(f, "fls {ft}, {off}({base})"),
+            Fss { ft, base, off } => write!(f, "fss {ft}, {off}({base})"),
+            Fld { ft, base, off } => write!(f, "fld {ft}, {off}({base})"),
+            Fsd { ft, base, off } => write!(f, "fsd {ft}, {off}({base})"),
+            Branch { cond, rs, rt, off } => {
+                write!(f, "{} {rs}, {rt}, {off}", branch_name(cond))
+            }
+            J { target } => write!(f, "j {:#x}", target * 4),
+            Jal { target } => write!(f, "jal {:#x}", target * 4),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Sync => write!(f, "sync"),
+            Cpuid { rd } => write!(f, "cpuid {rd}"),
+            Hcall { no } => write!(f, "hcall {:?}", no),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fu_classes_match_table1() {
+        assert_eq!(
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2
+            }
+            .fu_class(),
+            FuClass::IntAlu
+        );
+        assert_eq!(
+            Instr::Div {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2
+            }
+            .fu_class(),
+            FuClass::IntDiv
+        );
+        assert_eq!(
+            Instr::Fp {
+                op: FpOp::DivD,
+                fd: FReg::F0,
+                fs: FReg::F1,
+                ft: FReg::F2
+            }
+            .fu_class(),
+            FuClass::FpDivDp
+        );
+        assert_eq!(
+            Instr::Lw {
+                rt: Reg::T0,
+                base: Reg::SP,
+                off: 0
+            }
+            .fu_class(),
+            FuClass::Load
+        );
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let lw = Instr::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            off: 4,
+        };
+        let sw = Instr::Sw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            off: 4,
+        };
+        let beq = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs: Reg::T0,
+            rt: Reg::T1,
+            off: -1,
+        };
+        assert!(lw.is_load() && !lw.is_store() && !lw.is_control());
+        assert!(sw.is_store() && !sw.is_load());
+        assert!(beq.is_control() && !beq.is_direct_jump());
+        assert!(Instr::J { target: 0 }.is_direct_jump());
+        assert_eq!(lw.mem_bytes(), Some(4));
+        assert_eq!(
+            Instr::Fld {
+                ft: FReg::F0,
+                base: Reg::SP,
+                off: 0
+            }
+            .mem_bytes(),
+            Some(8)
+        );
+        assert_eq!(Instr::Nop.mem_bytes(), None);
+    }
+
+    #[test]
+    fn sc_both_uses_and_defs_rt() {
+        let sc = Instr::Sc {
+            rt: Reg::T3,
+            base: Reg::A0,
+            off: 0,
+        };
+        let ops = sc.reg_ops();
+        assert_eq!(ops.int_uses, [Some(Reg::A0), Some(Reg::T3)]);
+        assert_eq!(ops.int_def, Some(Reg::T3));
+    }
+
+    #[test]
+    fn zero_register_def_is_discarded() {
+        let add = Instr::AluI {
+            op: AluOp::Add,
+            rt: Reg::ZERO,
+            rs: Reg::T0,
+            imm: 1,
+        };
+        assert_eq!(add.reg_ops().int_def, None);
+    }
+
+    #[test]
+    fn jal_defines_ra() {
+        assert_eq!(Instr::Jal { target: 5 }.reg_ops().int_def, Some(Reg::RA));
+    }
+
+    #[test]
+    fn hcall_imm_roundtrip() {
+        for no in [
+            HcallNo::ResetStats,
+            HcallNo::Yield,
+            HcallNo::Exit,
+            HcallNo::Phase(0),
+            HcallNo::Phase(200),
+        ] {
+            assert_eq!(HcallNo::from_imm(no.to_imm()), Some(no));
+        }
+        assert_eq!(HcallNo::from_imm(0xffff), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let i = Instr::Lw {
+            rt: Reg::T0,
+            base: Reg::GP,
+            off: -8,
+        };
+        assert_eq!(i.to_string(), "lw $t0, -8($gp)");
+    }
+}

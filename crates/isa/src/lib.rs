@@ -1,0 +1,54 @@
+//! The `cmpsim` instruction set.
+//!
+//! The paper's simulation environment (SimOS + Mipsy/MXS) executes the MIPS-2
+//! instruction set. We reproduce the parts of that ISA the study exercises as
+//! a clean 32-bit RISC: 32 integer registers, 32 floating-point registers,
+//! fixed 4-byte instructions, load/store architecture, `LL`/`SC` for
+//! synchronization and a `SYNC` memory fence. Single- and double-precision
+//! arithmetic are distinct opcodes because they occupy different
+//! functional-unit latency classes (Table 1 of the paper).
+//!
+//! The crate provides:
+//!
+//! * [`Reg`]/[`FReg`] — register names,
+//! * [`Instr`] — the decoded instruction form executed by the CPU models,
+//! * [`encode()`](encode())/[`decode()`](decode()) — the binary format stored in simulated memory,
+//! * [`Asm`] — an assembler with labels used by the workload generators.
+//!
+//! # Examples
+//!
+//! Assemble and disassemble a counting loop:
+//!
+//! ```
+//! use cmpsim_isa::{Asm, Reg};
+//!
+//! # fn main() -> Result<(), cmpsim_isa::AsmError> {
+//! let mut a = Asm::new(0x1000);
+//! a.li(Reg::T0, 10);
+//! a.label("loop");
+//! a.addi(Reg::T0, Reg::T0, -1);
+//! a.bne(Reg::T0, Reg::ZERO, "loop");
+//! a.halt();
+//! let prog = a.assemble()?;
+//! assert_eq!(prog.base, 0x1000);
+//! assert!(prog.words.len() >= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod disasm;
+pub mod encode;
+pub mod instr;
+pub mod reg;
+
+pub use asm::{Asm, AsmError, Program};
+pub use encode::{decode, encode, DecodeError};
+pub use instr::{AluOp, BranchCond, FpCmp, FpOp, FuClass, HcallNo, Instr, RegOps};
+pub use reg::{FReg, Reg};
+
+/// Byte address type used throughout the simulator (32-bit physical space).
+pub type Addr = u32;
+
+/// Size of one instruction in bytes.
+pub const INSTR_BYTES: u32 = 4;

@@ -1,0 +1,165 @@
+//! Integer and floating-point register names.
+//!
+//! The integer file follows MIPS o32 conventions loosely: `ZERO` is hardwired
+//! to zero, `SP` is the stack pointer, `RA` the return address. Workload
+//! generators use the symbolic names; the encoder uses the 5-bit indices.
+
+use std::fmt;
+
+/// One of the 32 integer registers. `Reg::ZERO` always reads as 0 and
+/// ignores writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary / scratch.
+    pub const AT: Reg = Reg(1);
+    /// Function results / first temporaries.
+    pub const V0: Reg = Reg(2);
+    pub const V1: Reg = Reg(3);
+    /// Argument registers.
+    pub const A0: Reg = Reg(4);
+    pub const A1: Reg = Reg(5);
+    pub const A2: Reg = Reg(6);
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporaries.
+    pub const T0: Reg = Reg(8);
+    pub const T1: Reg = Reg(9);
+    pub const T2: Reg = Reg(10);
+    pub const T3: Reg = Reg(11);
+    pub const T4: Reg = Reg(12);
+    pub const T5: Reg = Reg(13);
+    pub const T6: Reg = Reg(14);
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved registers.
+    pub const S0: Reg = Reg(16);
+    pub const S1: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    /// More temporaries.
+    pub const T8: Reg = Reg(24);
+    pub const T9: Reg = Reg(25);
+    /// Reserved for the simulated kernel runtime.
+    pub const K0: Reg = Reg(26);
+    pub const K1: Reg = Reg(27);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn new(idx: u8) -> Reg {
+        assert!(idx < 32, "integer register index {idx} out of range");
+        Reg(idx)
+    }
+
+    /// The 5-bit register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        write!(f, "${}", NAMES[self.0 as usize])
+    }
+}
+
+/// One of the 32 floating-point registers. Each holds an `f64`;
+/// single-precision opcodes round their results to `f32` precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Creates an FP register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn new(idx: u8) -> FReg {
+        assert!(idx < 32, "fp register index {idx} out of range");
+        FReg(idx)
+    }
+
+    /// The 5-bit register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub const F0: FReg = FReg(0);
+    pub const F1: FReg = FReg(1);
+    pub const F2: FReg = FReg(2);
+    pub const F3: FReg = FReg(3);
+    pub const F4: FReg = FReg(4);
+    pub const F5: FReg = FReg(5);
+    pub const F6: FReg = FReg(6);
+    pub const F7: FReg = FReg(7);
+    pub const F8: FReg = FReg(8);
+    pub const F9: FReg = FReg(9);
+    pub const F10: FReg = FReg(10);
+    pub const F11: FReg = FReg(11);
+    pub const F12: FReg = FReg(12);
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 31);
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::T0.is_zero());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::T0.to_string(), "$t0");
+        assert_eq!(Reg::ZERO.to_string(), "$zero");
+        assert_eq!(FReg::F3.to_string(), "$f3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_index_bound() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_index_bound() {
+        let _ = FReg::new(32);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: the binary encoding is a lossless bijection on valid
+//! instructions, and the assembler resolves arbitrary label graphs.
+
+use cmpsim_isa::{decode, encode, AluOp, Asm, BranchCond, FpCmp, FpOp, FReg, HcallNo, Instr, Reg};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::And), Just(AluOp::Or),
+        Just(AluOp::Xor), Just(AluOp::Nor), Just(AluOp::Slt), Just(AluOp::Sltu),
+        Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra),
+    ]
+}
+fn any_fp_op() -> impl Strategy<Value = FpOp> {
+    prop_oneof![
+        Just(FpOp::AddS), Just(FpOp::SubS), Just(FpOp::MulS), Just(FpOp::DivS),
+        Just(FpOp::AddD), Just(FpOp::SubD), Just(FpOp::MulD), Just(FpOp::DivD),
+    ]
+}
+
+/// Every valid instruction the assembler can emit.
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_alu_op(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(op, rd, rs, rt)| Instr::Alu { op, rd, rs, rt }),
+        (any_alu_op(), any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(op, rt, rs, imm)| Instr::AluI { op, rt, rs, imm }),
+        (any_reg(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs, rt)| Instr::Mul { rd, rs, rt }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs, rt)| Instr::Div { rd, rs, rt }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs, rt)| Instr::Rem { rd, rs, rt }),
+        (any_fp_op(), any_freg(), any_freg(), any_freg())
+            .prop_map(|(op, fd, fs, ft)| Instr::Fp { op, fd, fs, ft }),
+        (prop_oneof![Just(FpCmp::Eq), Just(FpCmp::Lt), Just(FpCmp::Le)], any_reg(), any_freg(), any_freg())
+            .prop_map(|(cmp, rd, fs, ft)| Instr::Fcmp { cmp, rd, fs, ft }),
+        (any_freg(), any_freg()).prop_map(|(fd, fs)| Instr::Fmov { fd, fs }),
+        (any_freg(), any_reg()).prop_map(|(fd, rs)| Instr::CvtIf { fd, rs }),
+        (any_reg(), any_freg()).prop_map(|(rd, fs)| Instr::CvtFi { rd, fs }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Lb { rt, base, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Lbu { rt, base, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Lw { rt, base, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Sb { rt, base, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Sw { rt, base, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Ll { rt, base, off }),
+        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Sc { rt, base, off }),
+        (any_freg(), any_reg(), any::<i16>()).prop_map(|(ft, base, off)| Instr::Fls { ft, base, off }),
+        (any_freg(), any_reg(), any::<i16>()).prop_map(|(ft, base, off)| Instr::Fss { ft, base, off }),
+        (any_freg(), any_reg(), any::<i16>()).prop_map(|(ft, base, off)| Instr::Fld { ft, base, off }),
+        (any_freg(), any_reg(), any::<i16>()).prop_map(|(ft, base, off)| Instr::Fsd { ft, base, off }),
+        (prop_oneof![
+            Just(BranchCond::Eq), Just(BranchCond::Ne), Just(BranchCond::Lt),
+            Just(BranchCond::Ge), Just(BranchCond::Ltu), Just(BranchCond::Geu)
+        ], any_reg(), any_reg(), any::<i16>())
+            .prop_map(|(cond, rs, rt, off)| Instr::Branch { cond, rs, rt, off }),
+        (0u32..(1 << 26)).prop_map(|target| Instr::J { target }),
+        (0u32..(1 << 26)).prop_map(|target| Instr::Jal { target }),
+        any_reg().prop_map(|rs| Instr::Jr { rs }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
+        Just(Instr::Sync),
+        any_reg().prop_map(|rd| Instr::Cpuid { rd }),
+        prop_oneof![
+            Just(HcallNo::ResetStats), Just(HcallNo::Yield), Just(HcallNo::Exit),
+            (0u8..=255).prop_map(HcallNo::Phase)
+        ].prop_map(|no| Instr::Hcall { no }),
+        Just(Instr::Halt),
+        Just(Instr::Nop),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every valid instruction.
+    #[test]
+    fn encode_decode_roundtrip(i in any_instr()) {
+        let word = encode(&i);
+        let back = decode(word).expect("valid instruction decodes");
+        prop_assert_eq!(back, i);
+    }
+
+    /// decode tolerates non-canonical padding in ignored fields, but must
+    /// be idempotent through a re-encode: decode(encode(decode(w))) ==
+    /// decode(w).
+    #[test]
+    fn decode_encode_idempotent(word in any::<u32>()) {
+        if let Ok(i) = decode(word) {
+            let canonical = encode(&i);
+            prop_assert_eq!(decode(canonical).expect("canonical decodes"), i);
+            // And canonical forms are a fixpoint.
+            prop_assert_eq!(encode(&decode(canonical).unwrap()), canonical);
+        }
+    }
+
+    /// The assembler resolves arbitrary forward/backward branch graphs.
+    #[test]
+    fn assembler_resolves_random_label_graphs(
+        jumps in prop::collection::vec(0usize..20, 1..20)
+    ) {
+        let n = jumps.len();
+        let mut a = Asm::new(0x1000);
+        for (i, &target) in jumps.iter().enumerate() {
+            a.label(&format!("L{i}"));
+            a.nop();
+            a.beq(Reg::T0, Reg::T1, &format!("L{}", target % n));
+        }
+        a.halt();
+        let prog = a.assemble().expect("assembles");
+        prop_assert_eq!(prog.words.len(), 2 * n + 1);
+        // Every emitted word decodes.
+        for &w in &prog.words {
+            prop_assert!(decode(w).is_ok());
+        }
+    }
+
+    /// `li` materializes any 32-bit constant.
+    #[test]
+    fn li_materializes_any_constant(v in any::<i32>()) {
+        let mut a = Asm::new(0);
+        a.li(Reg::T0, i64::from(v));
+        a.halt();
+        let prog = a.assemble().expect("assembles");
+        // Emulate the 1-2 instruction expansion by hand.
+        let mut t0 = 0u32;
+        for &w in &prog.words {
+            match decode(w).expect("valid") {
+                Instr::AluI { op: AluOp::Add, imm, .. } => t0 = imm as i32 as u32,
+                Instr::AluI { op: AluOp::Or, imm, .. } => t0 |= (imm as u16) as u32,
+                Instr::Lui { imm, .. } => t0 = u32::from(imm) << 16,
+                Instr::Halt => break,
+                other => prop_assert!(false, "unexpected {other}"),
+            }
+        }
+        prop_assert_eq!(t0, v as u32);
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared memory-layout conventions for the parallel workloads.
+//!
+//! All parallel applications run in a single (identity) address space:
+//! code low, synchronization variables on their own cache lines, per-CPU
+//! stacks, then workload data. The multiprogramming workload instead uses
+//! per-process address spaces (see [`crate::multiprog`]).
+
+use cmpsim_isa::Addr;
+
+/// Canonical addresses used by the parallel workload generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout;
+
+impl Layout {
+    /// Base of the code segment.
+    pub const CODE: Addr = 0x0001_0000;
+    /// Base of the synchronization area (locks, barriers); each variable
+    /// gets its own 32-byte line.
+    pub const SYNC: Addr = 0x00F0_0000;
+    /// Base of per-CPU stacks.
+    pub const STACKS: Addr = 0x00E0_0000;
+    /// Bytes of stack per CPU.
+    pub const STACK_BYTES: Addr = 0x4000;
+    /// Base of workload data. Chosen so that `DATA % 2 MiB == 0x4_0000`:
+    /// hot data never aliases the code segment (L2-offset `0x1_0000`) in
+    /// the direct-mapped 2 MB L2 caches.
+    pub const DATA: Addr = 0x0104_0000;
+    /// Address where workloads store their final checksum for validation.
+    pub const CHECK: Addr = 0x00F8_0000;
+
+    /// Initial stack pointer for `cpu` (grows down; 32-byte aligned).
+    pub const fn stack_top(cpu: usize) -> Addr {
+        Self::STACKS + (cpu as Addr + 1) * Self::STACK_BYTES - 32
+    }
+
+    /// Address of the `n`-th line-padded synchronization word.
+    pub const fn sync_word(n: usize) -> Addr {
+        Self::SYNC + (n as Addr) * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_words_line_padded() {
+        assert_eq!(Layout::sync_word(0), Layout::SYNC);
+        assert_eq!(Layout::sync_word(3) - Layout::sync_word(2), 32);
+    }
+
+    #[test]
+    fn stacks_disjoint_and_aligned() {
+        for c in 0..4 {
+            assert_eq!(Layout::stack_top(c) % 32, 0);
+        }
+        assert!(Layout::stack_top(0) < Layout::stack_top(1));
+        assert!(Layout::stack_top(3) < Layout::SYNC);
+    }
+
+    #[test]
+    fn regions_disjoint() {
+        // Compile-time constants; spelled as a const block so the check
+        // cannot rot silently.
+        const _: () = assert!(
+            Layout::CODE < Layout::STACKS
+                && Layout::STACKS < Layout::SYNC
+                && Layout::SYNC < Layout::CHECK
+                && Layout::CHECK < Layout::DATA
+        );
+    }
+}

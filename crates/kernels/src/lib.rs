@@ -1,0 +1,68 @@
+//! Workloads for the ISCA'96 study: a synchronization runtime and the seven
+//! benchmark program generators.
+//!
+//! The paper evaluates its three architectures on hand-parallelized
+//! applications (Eqntott, MP3D, Ocean, Volpack), compiler-parallelized
+//! applications (Ear, FFT) and a multiprogramming + OS workload (parallel
+//! make of gcc compiles). The originals are SPEC92/SPLASH binaries running
+//! under IRIX; this crate generates synthetic kernels *in the simulator's
+//! own ISA* that reproduce each application's parallelization structure,
+//! working-set size, sharing pattern and grain size — the properties that
+//! drive the paper's results (see DESIGN.md §4 for the mapping).
+//!
+//! Every workload is a real program: it computes an actual result through
+//! the simulated memory system, synchronizes with LL/SC spin locks and
+//! sense-reversing barriers ([`Runtime`]), and self-validates its output
+//! against a Rust reference computation ([`BuiltWorkload::check`]).
+
+pub mod ear;
+pub mod eqntott;
+pub mod fft;
+pub mod layout;
+pub mod mp3d;
+pub mod multiprog;
+pub mod ocean;
+pub mod runtime;
+pub mod synth;
+#[cfg(test)]
+pub mod testharness;
+pub mod volpack;
+pub mod workload;
+
+pub use layout::Layout;
+pub use runtime::Runtime;
+pub use workload::{BuiltWorkload, ProcessInit, WorkloadParams};
+
+/// Builds a workload by name with the given parameter scale.
+///
+/// `scale` of 1.0 is the paper-equivalent configuration; tests use smaller
+/// scales for speed. Valid names: `eqntott`, `mp3d`, `ocean`, `volpack`,
+/// `ear`, `fft`, `multiprog`.
+///
+/// # Errors
+///
+/// Returns an error string for an unknown name or if assembly fails.
+pub fn build_by_name(name: &str, n_cpus: usize, scale: f64) -> Result<BuiltWorkload, String> {
+    let params = WorkloadParams { n_cpus, scale };
+    match name {
+        "eqntott" => eqntott::build(&params).map_err(|e| e.to_string()),
+        "mp3d" => mp3d::build(&params).map_err(|e| e.to_string()),
+        "ocean" => ocean::build(&params).map_err(|e| e.to_string()),
+        "volpack" => volpack::build(&params).map_err(|e| e.to_string()),
+        "ear" => ear::build(&params).map_err(|e| e.to_string()),
+        "fft" => fft::build(&params).map_err(|e| e.to_string()),
+        "multiprog" => multiprog::build(&params).map_err(|e| e.to_string()),
+        other => Err(format!("unknown workload `{other}`")),
+    }
+}
+
+/// The names of all seven workloads, in the paper's presentation order.
+pub const ALL_WORKLOADS: [&str; 7] = [
+    "eqntott",
+    "mp3d",
+    "ocean",
+    "volpack",
+    "ear",
+    "fft",
+    "multiprog",
+];

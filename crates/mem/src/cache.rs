@@ -1,0 +1,397 @@
+//! Set-associative cache tag/state array with LRU replacement and
+//! replacement-vs-invalidation miss classification.
+//!
+//! The paper's miss-rate tables split every cache's misses into a
+//! *replacement* component (cold + capacity + conflict; `L1R`, `L2R`) and an
+//! *invalidation* component caused by coherence actions (`L1I`, `L2I`).
+//! [`CacheArray`] implements the classification the way the original
+//! SimOS-era simulators did: when a line is invalidated by a coherence
+//! action, its address is remembered; the next miss to that address is an
+//! invalidation miss, any other miss is a replacement miss.
+//!
+//! The array is policy-free: the topology (its owner) decides what states
+//! mean (write-through caches only use [`LineState::Shared`] as "valid") and
+//! when to call [`CacheArray::set_state`], [`CacheArray::invalidate`], etc.
+
+use crate::config::CacheSpec;
+use crate::Addr;
+use std::collections::HashSet;
+
+/// MESI-style line states. Write-through caches use only `Invalid`/`Shared`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineState {
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+}
+
+impl LineState {
+    /// Whether a line in this state holds valid data.
+    pub fn is_valid(self) -> bool {
+        self != LineState::Invalid
+    }
+    /// Whether the line must be written back on eviction.
+    pub fn is_dirty(self) -> bool {
+        self == LineState::Modified
+    }
+}
+
+/// Why a miss happened, for the paper's R/I miss breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// Cold, capacity or conflict miss (`L1R`/`L2R`).
+    Replacement,
+    /// The line was previously invalidated by a coherence action
+    /// (`L1I`/`L2I`).
+    Invalidation,
+}
+
+/// A line evicted by [`CacheArray::fill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Victim {
+    /// Line-aligned address of the evicted line.
+    pub addr: Addr,
+    /// Whether the victim was modified (needs a write-back).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    line_addr: Addr,
+    state: LineState,
+    lru: u64,
+}
+
+const EMPTY: Line = Line {
+    line_addr: 0,
+    state: LineState::Invalid,
+    lru: 0,
+};
+
+/// Result of [`CacheArray::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Present; carries the line state.
+    Hit(LineState),
+    /// Absent; carries the miss classification.
+    Miss(MissKind),
+}
+
+/// A set-associative tag/state array.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_mem::{CacheArray, CacheSpec, LineState, AccessOutcome, MissKind};
+///
+/// let mut c = CacheArray::new("l1d", CacheSpec::new(1024, 2, 32));
+/// assert_eq!(c.lookup(0x40), AccessOutcome::Miss(MissKind::Replacement));
+/// c.fill(0x40, LineState::Exclusive);
+/// assert_eq!(c.lookup(0x40), AccessOutcome::Hit(LineState::Exclusive));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    name: &'static str,
+    spec: CacheSpec,
+    n_sets: usize,
+    lines: Vec<Line>,
+    tick: u64,
+    invalidated: HashSet<Addr>,
+}
+
+impl CacheArray {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is internally inconsistent (see
+    /// [`CacheSpec::new`]).
+    pub fn new(name: &'static str, spec: CacheSpec) -> CacheArray {
+        let n_sets = spec.n_sets();
+        CacheArray {
+            name,
+            spec,
+            n_sets,
+            lines: vec![EMPTY; n_sets * spec.assoc],
+            tick: 0,
+            invalidated: HashSet::new(),
+        }
+    }
+
+    /// Line-aligned address of `addr`.
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr & !(self.spec.line_bytes - 1)
+    }
+
+    fn set_range(&self, addr: Addr) -> std::ops::Range<usize> {
+        let set = ((addr / self.spec.line_bytes) as usize) % self.n_sets;
+        let start = set * self.spec.assoc;
+        start..start + self.spec.assoc
+    }
+
+    fn find(&self, addr: Addr) -> Option<usize> {
+        let la = self.line_addr(addr);
+        self.set_range(addr)
+            .find(|&i| self.lines[i].state.is_valid() && self.lines[i].line_addr == la)
+    }
+
+    /// Looks up `addr`, updating LRU on a hit. Misses are classified but no
+    /// fill happens; the caller decides whether/what to fill.
+    pub fn lookup(&mut self, addr: Addr) -> AccessOutcome {
+        self.tick += 1;
+        match self.find(addr) {
+            Some(i) => {
+                self.lines[i].lru = self.tick;
+                AccessOutcome::Hit(self.lines[i].state)
+            }
+            None => {
+                let la = self.line_addr(addr);
+                let kind = if self.invalidated.contains(&la) {
+                    MissKind::Invalidation
+                } else {
+                    MissKind::Replacement
+                };
+                AccessOutcome::Miss(kind)
+            }
+        }
+    }
+
+    /// State of the line containing `addr` without touching LRU (snoops).
+    pub fn probe(&self, addr: Addr) -> LineState {
+        self.find(addr)
+            .map_or(LineState::Invalid, |i| self.lines[i].state)
+    }
+
+    /// Inserts the line containing `addr` with `state`, evicting the LRU way
+    /// if the set is full. Returns the victim if a valid line was evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already present (fills must follow misses).
+    pub fn fill(&mut self, addr: Addr, state: LineState) -> Option<Victim> {
+        assert!(
+            self.find(addr).is_none(),
+            "{}: fill of resident line {addr:#x}",
+            self.name
+        );
+        let la = self.line_addr(addr);
+        self.invalidated.remove(&la);
+        self.tick += 1;
+        let range = self.set_range(addr);
+        // Prefer an invalid way; otherwise evict true-LRU.
+        let slot = range
+            .clone()
+            .find(|&i| !self.lines[i].state.is_valid())
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lines[i].lru)
+                    .expect("assoc >= 1")
+            });
+        let victim = if self.lines[slot].state.is_valid() {
+            Some(Victim {
+                addr: self.lines[slot].line_addr,
+                dirty: self.lines[slot].state.is_dirty(),
+            })
+        } else {
+            None
+        };
+        self.lines[slot] = Line {
+            line_addr: la,
+            state,
+            lru: self.tick,
+        };
+        victim
+    }
+
+    /// Sets the state of a resident line (e.g. `E -> M` on a write hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn set_state(&mut self, addr: Addr, state: LineState) {
+        let i = self
+            .find(addr)
+            .unwrap_or_else(|| panic!("{}: set_state on absent line {addr:#x}", self.name));
+        self.lines[i].state = state;
+    }
+
+    /// Invalidates the line due to a *coherence action* and remembers it so
+    /// the next miss on it is classified as an invalidation miss. Returns
+    /// the previous state (`Invalid` if it was not resident).
+    pub fn invalidate(&mut self, addr: Addr) -> LineState {
+        match self.find(addr) {
+            Some(i) => {
+                let old = self.lines[i].state;
+                self.lines[i].state = LineState::Invalid;
+                self.invalidated.insert(self.line_addr(addr));
+                old
+            }
+            None => LineState::Invalid,
+        }
+    }
+
+    /// Removes the line *without* marking it as coherence-invalidated (used
+    /// for inclusion-driven back-invalidations accounted elsewhere, or for
+    /// natural evictions driven by an outer level). Returns the old state.
+    pub fn evict(&mut self, addr: Addr) -> LineState {
+        match self.find(addr) {
+            Some(i) => {
+                let old = self.lines[i].state;
+                self.lines[i].state = LineState::Invalid;
+                old
+            }
+            None => LineState::Invalid,
+        }
+    }
+
+    /// Downgrades a resident Modified/Exclusive line to Shared (snoop read).
+    /// No-op if not resident.
+    pub fn downgrade(&mut self, addr: Addr) {
+        if let Some(i) = self.find(addr) {
+            if self.lines[i].state.is_valid() {
+                self.lines[i].state = LineState::Shared;
+            }
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.lines.iter().filter(|l| l.state.is_valid()).count()
+    }
+
+    /// Line addresses of every valid resident line (diagnostics and
+    /// invariant checks).
+    pub fn valid_lines(&self) -> Vec<Addr> {
+        self.lines
+            .iter()
+            .filter(|l| l.state.is_valid())
+            .map(|l| l.line_addr)
+            .collect()
+    }
+
+    /// Cache geometry.
+    pub fn spec(&self) -> CacheSpec {
+        self.spec
+    }
+
+    /// Label for diagnostics.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray {
+        // 2 sets x 2 ways x 32B lines = 128 B.
+        CacheArray::new("t", CacheSpec::new(128, 2, 32))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert_eq!(c.lookup(0x100), AccessOutcome::Miss(MissKind::Replacement));
+        assert_eq!(c.fill(0x100, LineState::Shared), None);
+        assert_eq!(c.lookup(0x11f), AccessOutcome::Hit(LineState::Shared));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small();
+        // Set 0 holds lines whose (addr/32) is even: 0x00, 0x40, 0x80...
+        c.fill(0x00, LineState::Shared);
+        c.fill(0x40, LineState::Shared);
+        // Touch 0x00 so 0x40 is LRU.
+        assert!(matches!(c.lookup(0x00), AccessOutcome::Hit(_)));
+        let v = c.fill(0x80, LineState::Shared).expect("conflict eviction");
+        assert_eq!(v.addr, 0x40);
+        assert!(!v.dirty);
+        assert_eq!(c.probe(0x00), LineState::Shared);
+        assert_eq!(c.probe(0x40), LineState::Invalid);
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = small();
+        c.fill(0x00, LineState::Modified);
+        c.fill(0x40, LineState::Shared);
+        let v = c.fill(0x80, LineState::Shared).expect("eviction");
+        assert_eq!(v.addr, 0x00);
+        assert!(v.dirty);
+    }
+
+    #[test]
+    fn invalidation_miss_classification() {
+        let mut c = small();
+        c.fill(0x00, LineState::Shared);
+        assert_eq!(c.invalidate(0x00), LineState::Shared);
+        assert_eq!(c.lookup(0x00), AccessOutcome::Miss(MissKind::Invalidation));
+        // After refill, a natural eviction makes the next miss a replacement.
+        c.fill(0x00, LineState::Shared);
+        c.fill(0x40, LineState::Shared);
+        c.fill(0x80, LineState::Shared); // evicts LRU (0x00)
+        assert_eq!(c.probe(0x00), LineState::Invalid);
+        assert_eq!(c.lookup(0x00), AccessOutcome::Miss(MissKind::Replacement));
+    }
+
+    #[test]
+    fn evict_does_not_mark_invalidation() {
+        let mut c = small();
+        c.fill(0x00, LineState::Shared);
+        assert_eq!(c.evict(0x00), LineState::Shared);
+        assert_eq!(c.lookup(0x00), AccessOutcome::Miss(MissKind::Replacement));
+    }
+
+    #[test]
+    fn probe_does_not_touch_lru() {
+        let mut c = small();
+        c.fill(0x00, LineState::Shared);
+        c.fill(0x40, LineState::Shared);
+        // Probing 0x00 must NOT make 0x40 the eviction victim.
+        assert_eq!(c.probe(0x00), LineState::Shared);
+        let v = c.fill(0x80, LineState::Shared).expect("eviction");
+        assert_eq!(v.addr, 0x00, "probe must not refresh LRU");
+    }
+
+    #[test]
+    fn invalidate_absent_line_is_noop() {
+        let mut c = small();
+        assert_eq!(c.invalidate(0x1000), LineState::Invalid);
+        // Not resident when invalidated => still a replacement (cold) miss.
+        // (The invalidated-set only tracks lines that were actually present.)
+        assert_eq!(c.lookup(0x1000), AccessOutcome::Miss(MissKind::Replacement));
+    }
+
+    #[test]
+    fn set_and_downgrade_state() {
+        let mut c = small();
+        c.fill(0x00, LineState::Exclusive);
+        c.set_state(0x00, LineState::Modified);
+        assert_eq!(c.probe(0x00), LineState::Modified);
+        c.downgrade(0x00);
+        assert_eq!(c.probe(0x00), LineState::Shared);
+        c.downgrade(0x40); // absent: no-op
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = small();
+        c.fill(0x00, LineState::Shared); // set 0
+        c.fill(0x20, LineState::Shared); // set 1
+        c.fill(0x40, LineState::Shared); // set 0
+        c.fill(0x60, LineState::Shared); // set 1
+        assert_eq!(c.resident(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "fill of resident")]
+    fn double_fill_panics() {
+        let mut c = small();
+        c.fill(0x00, LineState::Shared);
+        c.fill(0x00, LineState::Shared);
+    }
+}

@@ -1,0 +1,303 @@
+//! Configuration: cache geometries and the paper's latency/occupancy table.
+
+use crate::Addr;
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSpec {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (1 = direct-mapped).
+    pub assoc: usize,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl CacheSpec {
+    /// Creates and validates a cache geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two or the capacity is not an
+    /// integer number of sets.
+    pub fn new(size_bytes: u32, assoc: usize, line_bytes: u32) -> CacheSpec {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1, "associativity must be at least 1");
+        let spec = CacheSpec {
+            size_bytes,
+            assoc,
+            line_bytes,
+        };
+        assert!(spec.n_sets() >= 1, "cache smaller than assoc * line");
+        spec
+    }
+
+    /// Number of sets.
+    pub fn n_sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes) as usize / self.assoc
+    }
+
+    /// Number of lines.
+    pub fn n_lines(&self) -> usize {
+        (self.size_bytes / self.line_bytes) as usize
+    }
+
+    /// Line-aligned address.
+    pub fn line_addr(&self, addr: Addr) -> Addr {
+        addr & !(self.line_bytes - 1)
+    }
+}
+
+/// Contention-free latencies and occupancies, in CPU cycles — Table 2 of
+/// the paper (1 cycle = 5 ns at 200 MHz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySpec {
+    /// L1 hit latency (3 for the shared L1 including crossbar, 1 otherwise).
+    pub l1_lat: u64,
+    /// L1 bank occupancy (1 everywhere — banks are pipelined).
+    pub l1_occ: u64,
+    /// L2 hit latency (10, or 14 for the shared L2 behind the crossbar).
+    pub l2_lat: u64,
+    /// L2 bank occupancy per 32-byte line (2 with a 128-bit path, 4 with the
+    /// shared-L2's 64-bit path).
+    pub l2_occ: u64,
+    /// Main-memory latency (50).
+    pub mem_lat: u64,
+    /// Main-memory occupancy (6).
+    pub mem_occ: u64,
+    /// Cache-to-cache transfer latency on the snooping bus (">50"; we use
+    /// 60: bus arbitration + remote L2 tag check + data return).
+    pub c2c_lat: u64,
+    /// Bus occupancy of a cache-to-cache transfer.
+    pub c2c_occ: u64,
+    /// Latency of an invalidate/upgrade bus transaction (address-only; the
+    /// paper gives no number — we assume bus arbitration + snoop response).
+    pub upgrade_lat: u64,
+    /// Bus occupancy of an upgrade (address-only transaction).
+    pub upgrade_occ: u64,
+}
+
+impl LatencySpec {
+    /// Table 2, shared-L1 row.
+    pub fn shared_l1() -> LatencySpec {
+        LatencySpec {
+            l1_lat: 3,
+            l1_occ: 1,
+            l2_lat: 10,
+            l2_occ: 2,
+            mem_lat: 50,
+            mem_occ: 6,
+            c2c_lat: 60,
+            c2c_occ: 6,
+            upgrade_lat: 20,
+            upgrade_occ: 3,
+        }
+    }
+
+    /// Table 2, shared-L2 row.
+    pub fn shared_l2() -> LatencySpec {
+        LatencySpec {
+            l1_lat: 1,
+            l2_lat: 14,
+            l2_occ: 4,
+            ..LatencySpec::shared_l1()
+        }
+    }
+
+    /// Table 2, shared-memory row.
+    pub fn shared_mem() -> LatencySpec {
+        LatencySpec {
+            l1_lat: 1,
+            l2_lat: 10,
+            l2_occ: 2,
+            ..LatencySpec::shared_l1()
+        }
+    }
+}
+
+/// Full configuration of one memory system.
+///
+/// Use the `paper_*` constructors for the paper's three architectures and
+/// the `with_*` builders for the ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of CPUs (the paper studies 4).
+    pub n_cpus: usize,
+    /// Instruction L1 geometry. Per CPU for private configurations; total
+    /// for the shared-L1 architecture.
+    pub l1i: CacheSpec,
+    /// Data L1 geometry (same convention).
+    pub l1d: CacheSpec,
+    /// L2 geometry. Total for shared configurations; per CPU for the
+    /// shared-memory architecture.
+    pub l2: CacheSpec,
+    /// Latency/occupancy table.
+    pub lat: LatencySpec,
+    /// Number of L1 banks (shared-L1 architecture).
+    pub l1_banks: usize,
+    /// Number of L2 banks (shared-L2 architecture).
+    pub l2_banks: usize,
+    /// Idealize the shared L1 (1-cycle hit, no bank contention) — the
+    /// paper's Mipsy runs do this to avoid penalizing the shared-L1
+    /// architecture on a CPU model with no latency hiding.
+    pub ideal_shared_l1: bool,
+}
+
+impl SystemConfig {
+    /// Shared-primary-cache architecture (Figure 1): 4 CPUs share banked
+    /// 64 KB I and D caches through a crossbar; uniprocessor-like L2 and
+    /// memory below.
+    pub fn paper_shared_l1(n_cpus: usize) -> SystemConfig {
+        SystemConfig {
+            n_cpus,
+            // 4 x 16 KB, pooled into one shared 2-way cache.
+            l1i: CacheSpec::new(64 * 1024, 2, 32),
+            l1d: CacheSpec::new(64 * 1024, 2, 32),
+            l2: CacheSpec::new(2 * 1024 * 1024, 1, 32),
+            lat: LatencySpec::shared_l1(),
+            l1_banks: 4,
+            l2_banks: 1,
+            ideal_shared_l1: false,
+        }
+    }
+
+    /// Shared-secondary-cache architecture (Figure 2): private write-through
+    /// 16 KB L1s over a 4-banked shared 2 MB L2 behind a crossbar.
+    pub fn paper_shared_l2(n_cpus: usize) -> SystemConfig {
+        SystemConfig {
+            n_cpus,
+            l1i: CacheSpec::new(16 * 1024, 2, 32),
+            l1d: CacheSpec::new(16 * 1024, 2, 32),
+            l2: CacheSpec::new(2 * 1024 * 1024, 1, 32),
+            lat: LatencySpec::shared_l2(),
+            l1_banks: 1,
+            l2_banks: 4,
+            ideal_shared_l1: false,
+        }
+    }
+
+    /// Bus-based shared-memory architecture (Figure 3): private write-back
+    /// 16 KB L1s, private 512 KB L2 per CPU, snooping MESI bus to memory.
+    pub fn paper_shared_mem(n_cpus: usize) -> SystemConfig {
+        SystemConfig {
+            n_cpus,
+            l1i: CacheSpec::new(16 * 1024, 2, 32),
+            l1d: CacheSpec::new(16 * 1024, 2, 32),
+            // 2 MB total, divided among the CPUs.
+            l2: CacheSpec::new(512 * 1024, 1, 32),
+            lat: LatencySpec::shared_mem(),
+            l1_banks: 1,
+            l2_banks: 1,
+            ideal_shared_l1: false,
+        }
+    }
+
+    /// Overrides the L2 associativity (the paper's MP3D ablation uses 4).
+    #[must_use]
+    pub fn with_l2_assoc(mut self, assoc: usize) -> SystemConfig {
+        self.l2 = CacheSpec::new(self.l2.size_bytes, assoc, self.l2.line_bytes);
+        self
+    }
+
+    /// Enables/disables the idealized shared-L1 (Mipsy mode).
+    #[must_use]
+    pub fn with_ideal_shared_l1(mut self, ideal: bool) -> SystemConfig {
+        self.ideal_shared_l1 = ideal;
+        self
+    }
+
+    /// Overrides the shared-L1 hit latency (ablation: 1..5 cycles).
+    #[must_use]
+    pub fn with_l1_latency(mut self, lat: u64) -> SystemConfig {
+        self.lat.l1_lat = lat;
+        self
+    }
+
+    /// Overrides the number of L1 banks (ablation).
+    #[must_use]
+    pub fn with_l1_banks(mut self, banks: usize) -> SystemConfig {
+        self.l1_banks = banks;
+        self
+    }
+
+    /// Overrides the L2 occupancy, modelling a different datapath width
+    /// (2 cycles = 128-bit, 4 cycles = 64-bit for a 32-byte line).
+    #[must_use]
+    pub fn with_l2_occupancy(mut self, occ: u64) -> SystemConfig {
+        self.lat.l2_occ = occ;
+        self
+    }
+
+    /// Overrides both L1 geometries' capacity (cache-size ablations;
+    /// associativity and line size are preserved).
+    #[must_use]
+    pub fn with_l1_size(mut self, bytes: u32) -> SystemConfig {
+        self.l1i = CacheSpec::new(bytes, self.l1i.assoc, self.l1i.line_bytes);
+        self.l1d = CacheSpec::new(bytes, self.l1d.assoc, self.l1d.line_bytes);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_geometry() {
+        let s = CacheSpec::new(16 * 1024, 2, 32);
+        assert_eq!(s.n_lines(), 512);
+        assert_eq!(s.n_sets(), 256);
+        assert_eq!(s.line_addr(0x1234), 0x1220);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_rejected() {
+        let _ = CacheSpec::new(1000, 2, 32);
+    }
+
+    #[test]
+    fn paper_latencies_match_table2() {
+        let l1 = LatencySpec::shared_l1();
+        assert_eq!((l1.l1_lat, l1.l2_lat, l1.mem_lat), (3, 10, 50));
+        assert_eq!((l1.l1_occ, l1.l2_occ, l1.mem_occ), (1, 2, 6));
+        let l2 = LatencySpec::shared_l2();
+        assert_eq!((l2.l1_lat, l2.l2_lat, l2.l2_occ), (1, 14, 4));
+        let sm = LatencySpec::shared_mem();
+        assert_eq!((sm.l1_lat, sm.l2_lat, sm.l2_occ, sm.mem_lat), (1, 10, 2, 50));
+        assert!(sm.c2c_lat > 50, "Table 2: cache-to-cache > 50");
+        assert!(sm.c2c_occ >= 6, "Table 2: cache-to-cache occupancy > 6 is >=");
+    }
+
+    #[test]
+    fn paper_geometries() {
+        let a = SystemConfig::paper_shared_l1(4);
+        assert_eq!(a.l1d.size_bytes, 64 * 1024);
+        assert_eq!(a.l1_banks, 4);
+        let b = SystemConfig::paper_shared_l2(4);
+        assert_eq!(b.l1d.size_bytes, 16 * 1024);
+        assert_eq!(b.l2.size_bytes, 2 * 1024 * 1024);
+        assert_eq!(b.l2_banks, 4);
+        let c = SystemConfig::paper_shared_mem(4);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = SystemConfig::paper_shared_l1(4)
+            .with_l2_assoc(4)
+            .with_ideal_shared_l1(true)
+            .with_l1_latency(1)
+            .with_l1_banks(8)
+            .with_l2_occupancy(4)
+            .with_l1_size(128 * 1024);
+        assert_eq!(c.l2.assoc, 4);
+        assert!(c.ideal_shared_l1);
+        assert_eq!(c.lat.l1_lat, 1);
+        assert_eq!(c.l1_banks, 8);
+        assert_eq!(c.lat.l2_occ, 4);
+        assert_eq!(c.l1d.size_bytes, 128 * 1024);
+        assert_eq!(c.l1d.assoc, 2, "associativity preserved");
+    }
+}

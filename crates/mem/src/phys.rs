@@ -1,0 +1,374 @@
+//! Physical memory contents and address spaces.
+//!
+//! [`PhysMem`] stores the actual bytes the simulated programs compute on,
+//! independent of any timing model, plus the per-CPU LL/SC link registers
+//! that make the synchronization runtime work. All reads are *total*: an
+//! unmapped or unaligned address reads as zero bytes rather than faulting,
+//! so speculative wrong-path execution under the MXS model is harmless.
+//!
+//! [`AddrSpace`] provides the minimal address translation the
+//! multiprogramming workload needs: each process's private virtual range is
+//! relocated to a disjoint physical range, while the kernel range above
+//! [`KERNEL_BASE`] maps identically in every process (shared kernel code and
+//! data, as in IRIX).
+
+use crate::{Addr, CpuId};
+use std::cell::Cell;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_BYTES: usize = 1 << PAGE_SHIFT;
+
+/// Virtual addresses at or above this value are kernel addresses, mapped
+/// identically in every address space.
+pub const KERNEL_BASE: Addr = 0xC000_0000;
+
+/// Sparse physical memory with per-CPU LL/SC links.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_mem::PhysMem;
+/// let mut m = PhysMem::new(4);
+/// m.write_u32(0x100, 0xdeadbeef);
+/// assert_eq!(m.read_u32(0x100), 0xdeadbeef);
+/// assert_eq!(m.read_u32(0x9999_0000), 0, "unmapped reads as zero");
+///
+/// // LL/SC: a store by another CPU breaks the link.
+/// m.set_link(0, 0x200);
+/// m.write_u32_tracked(1, 0x200, 7);
+/// assert!(!m.check_and_clear_link(0, 0x200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysMem {
+    /// Page frames; `index` maps page numbers to slots here.
+    pages: Vec<Box<[u8; PAGE_BYTES]>>,
+    index: HashMap<u32, u32>,
+    /// One-entry translation cache: (page number, slot + 1); slot 0 means
+    /// invalid. Simulated memory access is the hottest loop in the whole
+    /// simulator and exhibits strong page locality.
+    last: Cell<(u32, u32)>,
+    /// Per-CPU link register: line address of an outstanding LL.
+    links: Vec<Option<Addr>>,
+    line_mask: Addr,
+}
+
+impl PhysMem {
+    /// Creates empty memory serving `n_cpus` link registers. The LL/SC link
+    /// granularity is the 32-byte cache line used throughout the paper.
+    pub fn new(n_cpus: usize) -> PhysMem {
+        PhysMem {
+            pages: Vec::new(),
+            index: HashMap::new(),
+            last: Cell::new((0, 0)),
+            links: vec![None; n_cpus],
+            line_mask: !31,
+        }
+    }
+
+    fn page_of(addr: Addr) -> (u32, usize) {
+        (addr >> PAGE_SHIFT, (addr as usize) & (PAGE_BYTES - 1))
+    }
+
+    /// Resolves a page number to a frame slot, if mapped (cached).
+    fn slot_of(&self, page: u32) -> Option<usize> {
+        let (lp, ls) = self.last.get();
+        if ls != 0 && lp == page {
+            return Some(ls as usize - 1);
+        }
+        let slot = *self.index.get(&page)?;
+        self.last.set((page, slot + 1));
+        Some(slot as usize)
+    }
+
+    /// Resolves or allocates the frame slot for `page`.
+    fn slot_or_alloc(&mut self, page: u32) -> usize {
+        if let Some(s) = self.slot_of(page) {
+            return s;
+        }
+        let slot = self.pages.len() as u32;
+        self.pages.push(Box::new([0u8; PAGE_BYTES]));
+        self.index.insert(page, slot);
+        self.last.set((page, slot + 1));
+        slot as usize
+    }
+
+    /// Reads one byte; unmapped memory reads as zero.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        let (page, off) = Self::page_of(addr);
+        self.slot_of(page).map_or(0, |s| self.pages[s][off])
+    }
+
+    /// Writes one byte, allocating the page on demand.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let (page, off) = Self::page_of(addr);
+        let slot = self.slot_or_alloc(page);
+        self.pages[slot][off] = value;
+    }
+
+    /// Reads a little-endian `u32`. Works for unaligned addresses (byte-wise).
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let (page, off) = Self::page_of(addr);
+        if off + 4 <= PAGE_BYTES {
+            match self.slot_of(page) {
+                Some(s) => {
+                    let p = &self.pages[s];
+                    u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes"))
+                }
+                None => 0,
+            }
+        } else {
+            let mut bytes = [0u8; 4];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
+            }
+            u32::from_le_bytes(bytes)
+        }
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        let (page, off) = Self::page_of(addr);
+        if off + 4 <= PAGE_BYTES {
+            let slot = self.slot_or_alloc(page);
+            self.pages[slot][off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        u64::from(self.read_u32(addr)) | (u64::from(self.read_u32(addr.wrapping_add(4))) << 32)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write_u32(addr, value as u32);
+        self.write_u32(addr.wrapping_add(4), (value >> 32) as u32);
+    }
+
+    /// Reads an `f64` stored by [`PhysMem::write_f64`].
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    pub fn write_f64(&mut self, addr: Addr, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Reads an `f32` (widening to `f64` is up to the caller).
+    pub fn read_f32(&self, addr: Addr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32`.
+    pub fn write_f32(&mut self, addr: Addr, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Copies a program image (assembled words) into memory at `base`.
+    pub fn load_words(&mut self, base: Addr, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.write_u32(base + (i as u32) * 4, w);
+        }
+    }
+
+    /// Establishes CPU `cpu`'s LL link on the line containing `addr`.
+    pub fn set_link(&mut self, cpu: CpuId, addr: Addr) {
+        self.links[cpu] = Some(addr & self.line_mask);
+    }
+
+    /// Atomically checks and consumes the link for an SC. Returns whether
+    /// the SC may proceed. The caller performs the store (tracked) on
+    /// success.
+    pub fn check_and_clear_link(&mut self, cpu: CpuId, addr: Addr) -> bool {
+        let ok = self.links[cpu] == Some(addr & self.line_mask);
+        self.links[cpu] = None;
+        ok
+    }
+
+    /// A store that also breaks every CPU's link to the stored line — the
+    /// path all simulated stores take.
+    pub fn write_u32_tracked(&mut self, _cpu: CpuId, addr: Addr, value: u32) {
+        self.snoop_store(addr);
+        self.write_u32(addr, value);
+    }
+
+    /// Invalidates all links to `addr`'s line (any store, any size).
+    pub fn snoop_store(&mut self, addr: Addr) {
+        let line = addr & self.line_mask;
+        for link in &mut self.links {
+            if *link == Some(line) {
+                *link = None;
+            }
+        }
+    }
+
+    /// Number of resident (allocated) pages; useful in tests.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Per-process address translation for the multiprogramming workload.
+///
+/// Virtual addresses below [`KERNEL_BASE`] are private to the process and
+/// relocated by `asid * priv_bytes`; kernel addresses map identically.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_mem::{AddrSpace, KERNEL_BASE};
+/// let a0 = AddrSpace::new(0, 0x0100_0000);
+/// let a1 = AddrSpace::new(1, 0x0100_0000);
+/// assert_eq!(a0.translate(0x1000), 0x1000);
+/// assert_eq!(a1.translate(0x1000), 0x0100_1000);
+/// assert_eq!(a1.translate(KERNEL_BASE + 8), KERNEL_BASE + 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddrSpace {
+    asid: u32,
+    priv_bytes: u32,
+}
+
+impl AddrSpace {
+    /// Creates the address space for process `asid`, giving each process
+    /// `priv_bytes` of private physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the private region of this `asid` would reach
+    /// [`KERNEL_BASE`].
+    pub fn new(asid: u32, priv_bytes: u32) -> AddrSpace {
+        let end = (u64::from(asid) + 1) * u64::from(priv_bytes);
+        assert!(
+            end <= u64::from(KERNEL_BASE),
+            "asid {asid} private region overlaps kernel space"
+        );
+        AddrSpace { asid, priv_bytes }
+    }
+
+    /// The identity address space (parallel applications, asid 0).
+    pub fn identity() -> AddrSpace {
+        AddrSpace {
+            asid: 0,
+            priv_bytes: 0,
+        }
+    }
+
+    /// Translates a virtual address to physical.
+    pub fn translate(&self, va: Addr) -> Addr {
+        if va >= KERNEL_BASE {
+            va
+        } else {
+            va.wrapping_add(self.asid.wrapping_mul(self.priv_bytes))
+        }
+    }
+
+    /// The process id this space belongs to.
+    pub fn asid(&self) -> u32 {
+        self.asid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_all_widths() {
+        let mut m = PhysMem::new(1);
+        m.write_u8(10, 0xab);
+        assert_eq!(m.read_u8(10), 0xab);
+        m.write_u32(100, 0x1234_5678);
+        assert_eq!(m.read_u32(100), 0x1234_5678);
+        m.write_u64(200, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(200), 0xdead_beef_cafe_f00d);
+        m.write_f64(300, -3.25);
+        assert_eq!(m.read_f64(300), -3.25);
+        m.write_f32(400, 1.5);
+        assert_eq!(m.read_f32(400), 1.5);
+    }
+
+    #[test]
+    fn unmapped_reads_zero_without_allocating() {
+        let m = PhysMem::new(1);
+        assert_eq!(m.read_u32(0xFFFF_0000), 0);
+        assert_eq!(m.read_u64(0x1234), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut m = PhysMem::new(1);
+        let addr = (1 << PAGE_SHIFT) - 2; // straddles page 0 and 1
+        m.write_u32(addr, 0xa1b2_c3d4);
+        assert_eq!(m.read_u32(addr), 0xa1b2_c3d4);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = PhysMem::new(1);
+        m.write_u32(0, 0x0403_0201);
+        assert_eq!(m.read_u8(0), 1);
+        assert_eq!(m.read_u8(3), 4);
+    }
+
+    #[test]
+    fn ll_sc_success_and_failure() {
+        let mut m = PhysMem::new(2);
+        m.set_link(0, 0x104);
+        // Same line (0x100..0x120): SC succeeds.
+        assert!(m.check_and_clear_link(0, 0x118));
+        // Link consumed: a second SC fails.
+        assert!(!m.check_and_clear_link(0, 0x118));
+    }
+
+    #[test]
+    fn store_by_other_cpu_breaks_link() {
+        let mut m = PhysMem::new(2);
+        m.set_link(0, 0x100);
+        m.write_u32_tracked(1, 0x11c, 5); // same 32-byte line
+        assert!(!m.check_and_clear_link(0, 0x100));
+
+        m.set_link(0, 0x100);
+        m.write_u32_tracked(1, 0x120, 5); // different line
+        assert!(m.check_and_clear_link(0, 0x100));
+    }
+
+    #[test]
+    fn own_store_breaks_own_link() {
+        let mut m = PhysMem::new(1);
+        m.set_link(0, 0x40);
+        m.write_u32_tracked(0, 0x44, 9);
+        assert!(!m.check_and_clear_link(0, 0x40));
+    }
+
+    #[test]
+    fn load_words_places_program() {
+        let mut m = PhysMem::new(1);
+        m.load_words(0x1000, &[1, 2, 3]);
+        assert_eq!(m.read_u32(0x1000), 1);
+        assert_eq!(m.read_u32(0x1008), 3);
+    }
+
+    #[test]
+    fn addr_space_translation() {
+        let a2 = AddrSpace::new(2, 0x10_0000);
+        assert_eq!(a2.translate(0x100), 0x20_0100);
+        assert_eq!(a2.translate(KERNEL_BASE), KERNEL_BASE);
+        assert_eq!(AddrSpace::identity().translate(0xabc), 0xabc);
+        assert_eq!(a2.asid(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps kernel")]
+    fn addr_space_kernel_overlap_rejected() {
+        let _ = AddrSpace::new(3, 0x4000_0000);
+    }
+}

@@ -1,0 +1,210 @@
+//! Memory-system statistics: the numbers behind the paper's miss-rate
+//! tables and execution-time breakdowns.
+
+use crate::cache::MissKind;
+use crate::ServiceLevel;
+use cmpsim_engine::stats::ratio;
+use cmpsim_engine::Histogram;
+
+/// Hit/miss counts for one cache level, with the paper's R/I split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// References presented to this level.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Replacement (cold/capacity/conflict) misses — `L1R`/`L2R`.
+    pub miss_repl: u64,
+    /// Invalidation (coherence) misses — `L1I`/`L2I`.
+    pub miss_inval: u64,
+}
+
+impl LevelStats {
+    /// Records a hit.
+    pub fn hit(&mut self) {
+        self.accesses += 1;
+        self.hits += 1;
+    }
+
+    /// Records a miss of the given kind.
+    pub fn miss(&mut self, kind: MissKind) {
+        self.accesses += 1;
+        match kind {
+            MissKind::Replacement => self.miss_repl += 1,
+            MissKind::Invalidation => self.miss_inval += 1,
+        }
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.miss_repl + self.miss_inval
+    }
+
+    /// Local miss rate (misses / references to this cache).
+    pub fn miss_rate(&self) -> f64 {
+        ratio(self.misses(), self.accesses)
+    }
+
+    /// Replacement component of the local miss rate.
+    pub fn repl_rate(&self) -> f64 {
+        ratio(self.miss_repl, self.accesses)
+    }
+
+    /// Invalidation component of the local miss rate.
+    pub fn inval_rate(&self) -> f64 {
+        ratio(self.miss_inval, self.accesses)
+    }
+
+    /// Zeroes the counts.
+    pub fn reset(&mut self) {
+        *self = LevelStats::default();
+    }
+}
+
+/// Latency histogram bucket bounds (cycles): separates L1 hits, L2 hits,
+/// memory accesses and heavily queued accesses.
+const LAT_BOUNDS: [u64; 7] = [2, 4, 8, 16, 32, 64, 128];
+
+/// Aggregate statistics for one memory system.
+#[derive(Debug, Clone)]
+pub struct MemStats {
+    /// L1 data cache (aggregated across CPUs for private configurations).
+    pub l1d: LevelStats,
+    /// L1 instruction cache.
+    pub l1i: LevelStats,
+    /// Unified L2.
+    pub l2: LevelStats,
+    /// Accesses serviced by main memory.
+    pub mem_accesses: u64,
+    /// Cache-to-cache transfers (shared-memory architecture).
+    pub c2c_transfers: u64,
+    /// Upgrade (invalidate-only) bus transactions.
+    pub upgrades: u64,
+    /// Dirty-line write-backs issued.
+    pub writebacks: u64,
+    /// Lines invalidated in other caches by coherence actions.
+    pub invalidations_sent: u64,
+    /// Cycles requests spent waiting on busy L1 banks (shared-L1 crossbar
+    /// contention, reported under MXS as pipeline stall).
+    pub l1_bank_wait: u64,
+    /// Cycles requests spent waiting on busy L2 banks / ports.
+    pub l2_bank_wait: u64,
+    /// Cycles requests spent waiting for the bus or memory ports.
+    pub mem_wait: u64,
+    /// End-to-end latency distribution of every access (issue to critical
+    /// word), including queueing.
+    pub latency: Histogram,
+}
+
+impl Default for MemStats {
+    fn default() -> Self {
+        MemStats {
+            l1d: LevelStats::default(),
+            l1i: LevelStats::default(),
+            l2: LevelStats::default(),
+            mem_accesses: 0,
+            c2c_transfers: 0,
+            upgrades: 0,
+            writebacks: 0,
+            invalidations_sent: 0,
+            l1_bank_wait: 0,
+            l2_bank_wait: 0,
+            mem_wait: 0,
+            latency: Histogram::new("access-latency", &LAT_BOUNDS),
+        }
+    }
+}
+
+impl MemStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> MemStats {
+        MemStats::default()
+    }
+
+    /// Records which level serviced an access.
+    pub fn serviced(&mut self, level: ServiceLevel) {
+        match level {
+            ServiceLevel::L1 => {}
+            ServiceLevel::L2 => {}
+            ServiceLevel::Memory => self.mem_accesses += 1,
+            ServiceLevel::CacheToCache => self.c2c_transfers += 1,
+        }
+    }
+
+    /// Zeroes every counter (region-of-interest reset).
+    pub fn reset(&mut self) {
+        *self = MemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_stats_rates() {
+        let mut s = LevelStats::default();
+        s.hit();
+        s.hit();
+        s.miss(MissKind::Replacement);
+        s.miss(MissKind::Invalidation);
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.misses(), 2);
+        assert_eq!(s.miss_rate(), 0.5);
+        assert_eq!(s.repl_rate(), 0.25);
+        assert_eq!(s.inval_rate(), 0.25);
+        s.reset();
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn mem_stats_service_accounting() {
+        let mut m = MemStats::new();
+        m.serviced(ServiceLevel::Memory);
+        m.serviced(ServiceLevel::CacheToCache);
+        m.serviced(ServiceLevel::L1);
+        assert_eq!(m.mem_accesses, 1);
+        assert_eq!(m.c2c_transfers, 1);
+        m.reset();
+        assert_eq!(m.mem_accesses, 0);
+        assert_eq!(m.c2c_transfers, 0);
+        assert_eq!(m.latency.total(), 0);
+    }
+}
+
+#[cfg(test)]
+mod latency_tests {
+    use crate::{MemRequest, MemorySystem, SharedL2System, SharedMemSystem, SystemConfig};
+    use cmpsim_engine::Cycle;
+
+    #[test]
+    fn latency_histogram_separates_hit_classes() {
+        let mut sys = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+        // Cold miss: ~50 cycles.
+        sys.access(Cycle(0), MemRequest::load(0, 0x1000));
+        // Warm hit: 1 cycle.
+        sys.access(Cycle(1000), MemRequest::load(0, 0x1000));
+        let h = &sys.stats().latency;
+        assert_eq!(h.total(), 2);
+        assert!(h.max() >= 50);
+        // One sample in the 1-cycle bucket, one in the >=32 range.
+        assert_eq!(h.counts()[0], 1, "the hit lands in the first bucket");
+    }
+
+    #[test]
+    fn latency_mean_tracks_workload_locality() {
+        let mut sys = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
+        // All-miss stream.
+        for i in 0..64u32 {
+            sys.access(Cycle(u64::from(i) * 100), MemRequest::load(0, 0x10_0000 + i * 64));
+        }
+        let cold_mean = sys.stats().latency.mean();
+        // Re-walk the same lines: hits.
+        for i in 0..64u32 {
+            sys.access(Cycle(100_000 + u64::from(i) * 100), MemRequest::load(0, 0x10_0000 + i * 64));
+        }
+        let mixed_mean = sys.stats().latency.mean();
+        assert!(mixed_mean < cold_mean, "hits must pull the mean down");
+    }
+}

@@ -1,0 +1,397 @@
+//! Clustered shared-cache architecture — the extension studied in the
+//! authors' companion paper (reference \[16\], Nayfeh, Olukotun & Singh,
+//! "The Impact of Shared-Cache Clustering in Small-Scale Shared-Memory
+//! Multiprocessors", HPCA 1996).
+//!
+//! A middle point between the paper's shared-L1 and shared-L2 designs: the
+//! four CPUs form two clusters of two, each cluster sharing a 32 KB
+//! write-through L1 through a small (2-cycle) crossbar; the clusters share
+//! the banked L2 of the shared-L2 architecture, whose per-line directory
+//! now tracks *clusters* instead of CPUs. Intra-cluster sharing is nearly
+//! free; inter-cluster sharing costs an L2 round trip.
+
+use crate::cache::{AccessOutcome, CacheArray, LineState};
+use crate::config::SystemConfig;
+use crate::stats::MemStats;
+use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
+use cmpsim_engine::{BankedResource, Cycle, Port};
+
+
+
+use std::collections::HashMap;
+
+/// CPUs per cluster (two clusters in the 4-CPU study).
+pub const CPUS_PER_CLUSTER: usize = 2;
+
+/// Extra hit latency of the intra-cluster crossbar: smaller than the
+/// 4-way shared-L1 crossbar's 2 extra cycles.
+const CLUSTER_L1_LAT: u64 = 2;
+
+/// The clustered shared-L1-over-shared-L2 memory system.
+#[derive(Debug)]
+pub struct ClusteredSystem {
+    cfg: SystemConfig,
+    n_clusters: usize,
+    l1i: Vec<CacheArray>,
+    l1d: Vec<CacheArray>,
+    l1_banks: Vec<BankedResource>,
+    l2: CacheArray,
+    l2_banks: BankedResource,
+    mem_port: Port,
+    /// Directory: line -> (d-presence bits, i-presence bits) per cluster.
+    presence: HashMap<Addr, (u8, u8)>,
+    stats: MemStats,
+}
+
+impl ClusteredSystem {
+    /// Builds the clustered system. `cfg` follows the shared-L2 paper
+    /// configuration; each cluster's L1 is half the shared-L1's capacity
+    /// (2 × 16 KB pooled) with two banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.n_cpus` is a multiple of [`CPUS_PER_CLUSTER`].
+    pub fn new(cfg: &SystemConfig) -> ClusteredSystem {
+        assert!(
+            cfg.n_cpus.is_multiple_of(CPUS_PER_CLUSTER),
+            "clusters must be full"
+        );
+        let n_clusters = cfg.n_cpus / CPUS_PER_CLUSTER;
+        let l1_spec = crate::CacheSpec::new(
+            cfg.l1d.size_bytes * CPUS_PER_CLUSTER as u32,
+            cfg.l1d.assoc,
+            cfg.l1d.line_bytes,
+        );
+        ClusteredSystem {
+            cfg: *cfg,
+            n_clusters,
+            l1i: (0..n_clusters)
+                .map(|_| CacheArray::new("cluster-l1i", l1_spec))
+                .collect(),
+            l1d: (0..n_clusters)
+                .map(|_| CacheArray::new("cluster-l1d", l1_spec))
+                .collect(),
+            l1_banks: (0..n_clusters)
+                .map(|_| {
+                    BankedResource::new(
+                        "cluster-l1-bank",
+                        CPUS_PER_CLUSTER,
+                        u64::from(l1_spec.line_bytes),
+                    )
+                })
+                .collect(),
+            l2: CacheArray::new("shared-l2", cfg.l2),
+            l2_banks: BankedResource::new("l2-bank", cfg.l2_banks, u64::from(cfg.l2.line_bytes)),
+            mem_port: Port::new("mem"),
+            presence: HashMap::new(),
+            stats: MemStats::new(),
+        }
+    }
+
+    fn cluster_of(cpu: usize) -> usize {
+        cpu / CPUS_PER_CLUSTER
+    }
+
+    fn line(&self, addr: Addr) -> Addr {
+        self.l2.line_addr(addr)
+    }
+
+    /// Invalidates the other clusters' copies after a write by `writer`'s
+    /// cluster.
+    fn invalidate_other_clusters(&mut self, writer_cluster: usize, addr: Addr) {
+        let line = self.line(addr);
+        if let Some((d_bits, i_bits)) = self.presence.get_mut(&line) {
+            let keep = !(1u8 << writer_cluster);
+            let d_victims = *d_bits & keep;
+            let i_victims = *i_bits & keep;
+            *d_bits &= !d_victims;
+            *i_bits &= !i_victims;
+            for cl in 0..self.n_clusters {
+                if d_victims & (1 << cl) != 0 {
+                    self.l1d[cl].invalidate(addr);
+                    self.stats.invalidations_sent += 1;
+                }
+                if i_victims & (1 << cl) != 0 {
+                    self.l1i[cl].invalidate(addr);
+                    self.stats.invalidations_sent += 1;
+                }
+            }
+        }
+    }
+
+    fn back_invalidate(&mut self, line: Addr) {
+        if let Some((d_bits, i_bits)) = self.presence.remove(&line) {
+            for cl in 0..self.n_clusters {
+                if d_bits & (1 << cl) != 0 {
+                    self.l1d[cl].evict(line);
+                }
+                if i_bits & (1 << cl) != 0 {
+                    self.l1i[cl].evict(line);
+                }
+            }
+        }
+    }
+
+    fn note_fill(&mut self, cluster: usize, addr: Addr, ifetch: bool, victim: Option<Addr>) {
+        let line = self.line(addr);
+        let entry = self.presence.entry(line).or_insert((0, 0));
+        if ifetch {
+            entry.1 |= 1 << cluster;
+        } else {
+            entry.0 |= 1 << cluster;
+        }
+        if let Some(v) = victim {
+            if let Some(e) = self.presence.get_mut(&v) {
+                if ifetch {
+                    e.1 &= !(1 << cluster);
+                } else {
+                    e.0 &= !(1 << cluster);
+                }
+            }
+        }
+    }
+
+    fn l2_fill_from_memory(&mut self, addr: Addr, at: Cycle, dirty: bool) -> Cycle {
+        let g = self.mem_port.reserve(at, self.cfg.lat.mem_occ);
+        self.stats.mem_wait += g - at;
+        self.stats.mem_accesses += 1;
+        let finish = g + self.cfg.lat.mem_lat;
+        let state = if dirty {
+            LineState::Modified
+        } else {
+            LineState::Exclusive
+        };
+        if let Some(v) = self.l2.fill(addr, state) {
+            self.back_invalidate(v.addr);
+            if v.dirty {
+                self.mem_port.reserve(g, self.cfg.lat.mem_occ);
+                self.stats.writebacks += 1;
+            }
+        }
+        finish
+    }
+
+    /// Read-only view of a cluster's L1 data cache (tests).
+    pub fn l1d(&self, cluster: usize) -> &CacheArray {
+        &self.l1d[cluster]
+    }
+}
+
+impl MemorySystem for ClusteredSystem {
+    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        let res = self.access_inner(now, req);
+        self.stats.latency.record(res.finish - now);
+        res
+    }
+
+    fn load_would_hit_l1(&self, cpu: usize, addr: Addr) -> bool {
+        self.l1d[Self::cluster_of(cpu)].probe(addr).is_valid()
+    }
+
+    fn line_bytes(&self) -> u32 {
+        self.cfg.l1d.line_bytes
+    }
+
+    fn n_cpus(&self) -> usize {
+        self.cfg.n_cpus
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut MemStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "clustered"
+    }
+
+    fn port_utilization(&self) -> Vec<crate::PortUtil> {
+        let mut v: Vec<crate::PortUtil> = self.l1_banks.iter().map(super::util_of_banks).collect();
+        v.push(super::util_of_banks(&self.l2_banks));
+        v.push(super::util_of_port(&self.mem_port));
+        v
+    }
+}
+
+impl ClusteredSystem {
+    fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        let cluster = Self::cluster_of(req.cpu);
+        let addr = req.addr;
+        let ifetch = req.kind == AccessKind::IFetch;
+
+        // Intra-cluster crossbar: bank arbitration + 2-cycle hits (unless
+        // idealized for Mipsy, like the shared L1).
+        let (grant, l1_lat) = if self.cfg.ideal_shared_l1 {
+            (now, 1)
+        } else {
+            let g = self.l1_banks[cluster].reserve(u64::from(addr), now, self.cfg.lat.l1_occ);
+            (g, CLUSTER_L1_LAT)
+        };
+        let l1_extra = (grant - now) + (l1_lat - 1);
+        self.stats.l1_bank_wait += grant - now;
+
+        match req.kind {
+            AccessKind::IFetch | AccessKind::Load => {
+                let outcome = if ifetch {
+                    self.l1i[cluster].lookup(addr)
+                } else {
+                    self.l1d[cluster].lookup(addr)
+                };
+                let lstats = if ifetch {
+                    &mut self.stats.l1i
+                } else {
+                    &mut self.stats.l1d
+                };
+                match outcome {
+                    AccessOutcome::Hit(_) => {
+                        lstats.hit();
+                        MemResult {
+                            finish: grant + l1_lat,
+                            serviced_by: ServiceLevel::L1,
+                            l1_miss: false,
+                            l1_extra,
+                        }
+                    }
+                    AccessOutcome::Miss(kind) => {
+                        lstats.miss(kind);
+                        let g2 = self
+                            .l2_banks
+                            .reserve(u64::from(addr), grant, self.cfg.lat.l2_occ);
+                        self.stats.l2_bank_wait += g2 - grant;
+                        let (finish, level) = match self.l2.lookup(addr) {
+                            AccessOutcome::Hit(_) => {
+                                self.stats.l2.hit();
+                                (g2 + self.cfg.lat.l2_lat, ServiceLevel::L2)
+                            }
+                            AccessOutcome::Miss(k2) => {
+                                self.stats.l2.miss(k2);
+                                (self.l2_fill_from_memory(addr, g2, false), ServiceLevel::Memory)
+                            }
+                        };
+                        let cache = if ifetch {
+                            &mut self.l1i[cluster]
+                        } else {
+                            &mut self.l1d[cluster]
+                        };
+                        let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
+                        self.note_fill(cluster, addr, ifetch, victim);
+                        MemResult {
+                            finish,
+                            serviced_by: level,
+                            l1_miss: true,
+                            l1_extra,
+                        }
+                    }
+                }
+            }
+            AccessKind::Store => {
+                // Write-through out of the cluster L1 (the cluster keeps its
+                // copy updated in place); the directory invalidates the
+                // other cluster.
+                let _ = self.l1d[cluster].lookup(addr);
+                self.invalidate_other_clusters(cluster, addr);
+                let store_occ = self.cfg.lat.l2_occ;
+                let g2 = self.l2_banks.reserve(u64::from(addr), grant, store_occ);
+                self.stats.l2_bank_wait += g2 - grant;
+                match self.l2.lookup(addr) {
+                    AccessOutcome::Hit(_) => {
+                        self.stats.l2.hit();
+                        self.l2.set_state(addr, LineState::Modified);
+                        MemResult {
+                            finish: g2 + 1,
+                            serviced_by: ServiceLevel::L2,
+                            l1_miss: false,
+                            l1_extra,
+                        }
+                    }
+                    AccessOutcome::Miss(k2) => {
+                        self.stats.l2.miss(k2);
+                        let finish = self.l2_fill_from_memory(addr, g2, true);
+                        MemResult {
+                            finish,
+                            serviced_by: ServiceLevel::Memory,
+                            l1_miss: false,
+                            l1_extra,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn sys() -> ClusteredSystem {
+        ClusteredSystem::new(&SystemConfig::paper_shared_l2(4))
+    }
+
+    #[test]
+    fn intra_cluster_sharing_is_an_l1_hit() {
+        let mut s = sys();
+        // CPU 0 writes; CPU 1 (same cluster) reads: straight from the
+        // cluster's shared L1 via the write-through-updated copy.
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        s.access(Cycle(100), MemRequest::store(0, 0x1000));
+        let r = s.access(Cycle(200), MemRequest::load(1, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::L1);
+        assert_eq!(r.finish, Cycle(202), "2-cycle cluster crossbar hit");
+    }
+
+    #[test]
+    fn inter_cluster_sharing_goes_through_the_l2() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x2000));
+        s.access(Cycle(100), MemRequest::load(2, 0x2000)); // other cluster
+        // CPU 0 writes: cluster 1's copy is invalidated.
+        s.access(Cycle(200), MemRequest::store(0, 0x2000));
+        assert_eq!(s.stats().invalidations_sent, 1);
+        let r = s.access(Cycle(300), MemRequest::load(3, 0x2000));
+        assert_eq!(r.serviced_by, ServiceLevel::L2);
+        assert_eq!(s.stats().l1d.miss_inval, 1);
+    }
+
+    #[test]
+    fn cluster_bank_conflicts_only_within_a_cluster() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        s.access(Cycle(100), MemRequest::load(2, 0x1000));
+        // Same bank, same cluster: the pair conflicts.
+        let a = s.access(Cycle(500), MemRequest::load(0, 0x1000));
+        let b = s.access(Cycle(500), MemRequest::load(1, 0x1000));
+        assert_eq!(b.finish - a.finish, 1, "intra-cluster bank wait");
+        // Different clusters never conflict at the L1.
+        let c = s.access(Cycle(900), MemRequest::load(0, 0x1000));
+        let d = s.access(Cycle(900), MemRequest::load(2, 0x1000));
+        assert_eq!(c.finish, d.finish);
+    }
+
+    #[test]
+    fn ideal_mode_gives_one_cycle_hits() {
+        let cfg = SystemConfig::paper_shared_l2(4).with_ideal_shared_l1(true);
+        let mut s = ClusteredSystem::new(&cfg);
+        s.access(Cycle(0), MemRequest::load(0, 0x3000));
+        let r = s.access(Cycle(100), MemRequest::load(1, 0x3000));
+        assert_eq!(r.finish, Cycle(101));
+    }
+
+    #[test]
+    fn cold_miss_reaches_memory() {
+        let mut s = sys();
+        let r = s.access(Cycle(0), MemRequest::load(0, 0x4000));
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(r.finish, Cycle(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "clusters must be full")]
+    fn odd_cpu_counts_rejected() {
+        let _ = ClusteredSystem::new(&SystemConfig::paper_shared_l2(3));
+    }
+}

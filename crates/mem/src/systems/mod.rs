@@ -1,0 +1,53 @@
+//! The three multiprocessor memory architectures of the paper.
+//!
+//! * [`SharedL1System`] — Figure 1: four CPUs share banked L1 caches through
+//!   a crossbar; uniprocessor-like L2 and main memory below. No inter-CPU
+//!   coherence hardware exists because sharing happens at L1.
+//! * [`SharedL2System`] — Figure 2: private write-through L1s over a banked
+//!   shared L2 behind a crossbar; a per-line directory at the L2 keeps the
+//!   L1s coherent by invalidating sharers on writes and replacements.
+//! * [`SharedMemSystem`] — Figure 3: private write-back L1 + private L2 per
+//!   CPU with full MESI snooping on a shared system bus; communication
+//!   happens through main memory or >50-cycle cache-to-cache transfers.
+//! * [`ClusteredSystem`] — extension (the authors' HPCA'96 follow-up,
+//!   reference \[16\]): two 2-CPU clusters each sharing an L1, over the
+//!   shared L2.
+
+mod clustered;
+mod shared_l1;
+mod shared_l2;
+mod shared_mem;
+
+use cmpsim_engine::{BankedResource, Port};
+
+/// Utilization snapshot of a single port.
+pub(crate) fn util_of_port(p: &Port) -> crate::PortUtil {
+    crate::PortUtil {
+        name: p.name(),
+        grants: p.grants(),
+        busy_cycles: p.busy_cycles(),
+        wait_cycles: p.wait_cycles(),
+    }
+}
+
+/// Utilization snapshot aggregated over a bank group.
+pub(crate) fn util_of_banks(b: &BankedResource) -> crate::PortUtil {
+    let mut u = crate::PortUtil {
+        name: b.bank(0).name(),
+        grants: 0,
+        busy_cycles: 0,
+        wait_cycles: 0,
+    };
+    for k in 0..b.n_banks() {
+        let p = b.bank(k);
+        u.grants += p.grants();
+        u.busy_cycles += p.busy_cycles();
+        u.wait_cycles += p.wait_cycles();
+    }
+    u
+}
+
+pub use clustered::{ClusteredSystem, CPUS_PER_CLUSTER};
+pub use shared_l1::SharedL1System;
+pub use shared_l2::SharedL2System;
+pub use shared_mem::SharedMemSystem;

@@ -1,0 +1,343 @@
+//! Shared-primary-cache architecture (Figure 1 of the paper).
+//!
+//! Four CPUs share 4-way banked write-back L1 instruction and data caches
+//! through a crossbar. The crossbar and bank arbitration raise the L1 hit
+//! latency to 3 cycles; bank conflicts between CPUs add contention on top.
+//! Below the L1 the system is uniprocessor-like: a single 2 MB L2 (10-cycle
+//! latency, 2-cycle occupancy on a 128-bit path) and main memory (50-cycle
+//! latency, 6-cycle occupancy). No coherence hardware is needed between the
+//! four CPUs — they literally share the cache, which also makes the machine
+//! sequentially consistent by construction.
+//!
+//! `SystemConfig::ideal_shared_l1` reproduces the paper's Mipsy-mode
+//! idealization (1-cycle hits, no bank contention) so the simple CPU model
+//! is not penalized for latencies it cannot hide.
+
+use crate::cache::{AccessOutcome, CacheArray, LineState};
+use crate::config::SystemConfig;
+use crate::stats::MemStats;
+use crate::{AccessKind, MemRequest, MemResult, MemorySystem, ServiceLevel};
+use cmpsim_engine::{BankedResource, Cycle, Port};
+
+
+
+
+/// The shared-L1 multiprocessor memory system.
+#[derive(Debug)]
+pub struct SharedL1System {
+    cfg: SystemConfig,
+    l1i: CacheArray,
+    l1d: CacheArray,
+    l1i_banks: BankedResource,
+    l1d_banks: BankedResource,
+    l2: CacheArray,
+    l2_port: Port,
+    mem_port: Port,
+    stats: MemStats,
+}
+
+impl SharedL1System {
+    /// Builds the system from a configuration (see
+    /// [`SystemConfig::paper_shared_l1`]).
+    pub fn new(cfg: &SystemConfig) -> SharedL1System {
+        SharedL1System {
+            cfg: *cfg,
+            l1i: CacheArray::new("shared-l1i", cfg.l1i),
+            l1d: CacheArray::new("shared-l1d", cfg.l1d),
+            l1i_banks: BankedResource::new("l1i-bank", cfg.l1_banks, u64::from(cfg.l1i.line_bytes)),
+            l1d_banks: BankedResource::new("l1d-bank", cfg.l1_banks, u64::from(cfg.l1d.line_bytes)),
+            l2: CacheArray::new("l2", cfg.l2),
+            l2_port: Port::new("l2"),
+            mem_port: Port::new("mem"),
+            stats: MemStats::new(),
+        }
+    }
+
+    /// Refills the L2 and L1 after a memory access and pays for any dirty
+    /// victims. Write-backs are off the critical path for the triggering
+    /// request; they reserve port occupancy at the transaction's *grant*
+    /// time (victim buffers drain right behind the fill), so they cannot
+    /// leave dead holes in the port timeline.
+    fn fill_from_memory(&mut self, is_ifetch: bool, addr: u32, write: bool, at: Cycle) {
+        if let Some(v) = self.l2.fill(addr, LineState::Exclusive) {
+            if v.dirty {
+                self.mem_port.reserve(at, self.cfg.lat.mem_occ);
+                self.stats.writebacks += 1;
+            }
+        }
+        self.fill_l1(is_ifetch, addr, write, at);
+    }
+
+    fn fill_l1(&mut self, is_ifetch: bool, addr: u32, write: bool, at: Cycle) {
+        let state = if write {
+            LineState::Modified
+        } else {
+            LineState::Exclusive
+        };
+        let cache = if is_ifetch { &mut self.l1i } else { &mut self.l1d };
+        if let Some(v) = cache.fill(addr, state) {
+            if v.dirty {
+                // Dirty L1 victim retires into the L2 (or memory if the L2
+                // no longer holds the line).
+                self.l2_port.reserve(at, self.cfg.lat.l2_occ);
+                self.stats.writebacks += 1;
+                if self.l2.probe(v.addr).is_valid() {
+                    self.l2.set_state(v.addr, LineState::Modified);
+                } else {
+                    self.mem_port.reserve(at, self.cfg.lat.mem_occ);
+                }
+            }
+        }
+    }
+
+    /// Read-only view of the shared L1 data cache (tests, probes).
+    pub fn l1d(&self) -> &CacheArray {
+        &self.l1d
+    }
+
+    /// Read-only view of the L2 (tests, probes).
+    pub fn l2(&self) -> &CacheArray {
+        &self.l2
+    }
+
+    /// Total cycles lost to L1 bank conflicts so far.
+    pub fn l1_bank_wait(&self) -> u64 {
+        self.l1i_banks.total_wait_cycles() + self.l1d_banks.total_wait_cycles()
+    }
+}
+
+impl SharedL1System {
+    /// The untimed-record core of [`MemorySystem::access`]; the trait
+    /// method wraps it to record the end-to-end latency histogram.
+    fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        let is_ifetch = req.kind == AccessKind::IFetch;
+        let write = req.kind == AccessKind::Store;
+        let addr = req.addr;
+
+        // L1 bank arbitration + crossbar traversal.
+        let (grant, l1_lat) = if self.cfg.ideal_shared_l1 {
+            (now, 1)
+        } else {
+            let banks = if is_ifetch {
+                &mut self.l1i_banks
+            } else {
+                &mut self.l1d_banks
+            };
+            let g = banks.reserve(u64::from(addr), now, self.cfg.lat.l1_occ);
+            (g, self.cfg.lat.l1_lat)
+        };
+        let l1_extra = (grant - now) + (l1_lat - 1);
+        self.stats.l1_bank_wait += grant - now;
+
+        let outcome = if is_ifetch {
+            self.l1i.lookup(addr)
+        } else {
+            self.l1d.lookup(addr)
+        };
+        let lstats = if is_ifetch {
+            &mut self.stats.l1i
+        } else {
+            &mut self.stats.l1d
+        };
+
+        match outcome {
+            AccessOutcome::Hit(_) => {
+                lstats.hit();
+                if write {
+                    self.l1d.set_state(addr, LineState::Modified);
+                }
+                MemResult {
+                    finish: grant + l1_lat,
+                    serviced_by: ServiceLevel::L1,
+                    l1_miss: false,
+                    l1_extra,
+                }
+            }
+            AccessOutcome::Miss(kind) => {
+                lstats.miss(kind);
+                // Tag check overlaps arbitration for the next level: the
+                // request reaches the L2 at its L1 grant time, so the
+                // contention-free totals match Table 2 exactly.
+                let g2 = self.l2_port.reserve(grant, self.cfg.lat.l2_occ);
+                self.stats.l2_bank_wait += g2 - grant;
+                match self.l2.lookup(addr) {
+                    AccessOutcome::Hit(_) => {
+                        self.stats.l2.hit();
+                        let finish = g2 + self.cfg.lat.l2_lat;
+                        self.fill_l1(is_ifetch, addr, write, g2);
+                        MemResult {
+                            finish,
+                            serviced_by: ServiceLevel::L2,
+                            l1_miss: true,
+                            l1_extra,
+                        }
+                    }
+                    AccessOutcome::Miss(l2kind) => {
+                        self.stats.l2.miss(l2kind);
+                        let g3 = self.mem_port.reserve(g2, self.cfg.lat.mem_occ);
+                        self.stats.mem_wait += g3 - g2;
+                        self.stats.mem_accesses += 1;
+                        let finish = g3 + self.cfg.lat.mem_lat;
+                        self.fill_from_memory(is_ifetch, addr, write, g3);
+                        MemResult {
+                            finish,
+                            serviced_by: ServiceLevel::Memory,
+                            l1_miss: true,
+                            l1_extra,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MemorySystem for SharedL1System {
+    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        let res = self.access_inner(now, req);
+        self.stats.latency.record(res.finish - now);
+        res
+    }
+
+    fn load_would_hit_l1(&self, _cpu: usize, addr: u32) -> bool {
+        self.l1d.probe(addr).is_valid()
+    }
+
+    fn line_bytes(&self) -> u32 {
+        self.cfg.l1d.line_bytes
+    }
+
+    fn n_cpus(&self) -> usize {
+        self.cfg.n_cpus
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut MemStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "shared-L1"
+    }
+
+    fn port_utilization(&self) -> Vec<crate::PortUtil> {
+        vec![
+            super::util_of_banks(&self.l1i_banks),
+            super::util_of_banks(&self.l1d_banks),
+            super::util_of_port(&self.l2_port),
+            super::util_of_port(&self.mem_port),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn sys() -> SharedL1System {
+        SharedL1System::new(&SystemConfig::paper_shared_l1(4))
+    }
+
+    #[test]
+    fn cold_miss_costs_memory_latency() {
+        let mut s = sys();
+        let r = s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(r.finish, Cycle(50));
+        assert!(r.l1_miss);
+    }
+
+    #[test]
+    fn hit_costs_three_cycles_including_crossbar() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        let r = s.access(Cycle(100), MemRequest::load(1, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::L1);
+        assert_eq!(r.finish, Cycle(103));
+        assert_eq!(r.l1_extra, 2);
+        assert!(!r.l1_miss);
+    }
+
+    #[test]
+    fn ideal_mode_hits_in_one_cycle() {
+        let cfg = SystemConfig::paper_shared_l1(4).with_ideal_shared_l1(true);
+        let mut s = SharedL1System::new(&cfg);
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        let r = s.access(Cycle(100), MemRequest::load(1, 0x1000));
+        assert_eq!(r.finish, Cycle(101));
+        assert_eq!(r.l1_extra, 0);
+    }
+
+    #[test]
+    fn l2_hit_costs_table2_latency() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x1000)); // fill L2+L1
+        // Evict from tiny shared of L1? L1 is 64KB; use a conflicting line:
+        // same L1 set needs addr + way_stride * assoc. 64KB 2-way 32B:
+        // 1024 sets, stride 32KB. Fill two more lines mapping to the set.
+        s.access(Cycle(200), MemRequest::load(0, 0x1000 + 32 * 1024));
+        s.access(Cycle(400), MemRequest::load(0, 0x1000 + 64 * 1024));
+        // 0x1000 evicted from L1 but still in L2.
+        let r = s.access(Cycle(600), MemRequest::load(0, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::L2);
+        assert_eq!(r.finish, Cycle(610));
+    }
+
+    #[test]
+    fn bank_conflict_delays_second_cpu() {
+        let mut s = sys();
+        // Warm two lines in the same bank (banked by line address: lines
+        // 0x1000 and 0x1000+4*32 share bank 0 of 4).
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        s.access(Cycle(100), MemRequest::load(1, 0x1080));
+        let a = s.access(Cycle(200), MemRequest::load(0, 0x1000));
+        let b = s.access(Cycle(200), MemRequest::load(1, 0x1080));
+        assert_eq!(a.finish, Cycle(203));
+        assert_eq!(b.finish, Cycle(204), "same bank: 1-cycle occupancy wait");
+        assert_eq!(b.l1_extra, 3);
+        // Different bank: no conflict.
+        s.access(Cycle(300), MemRequest::load(2, 0x10a0));
+        let c = s.access(Cycle(400), MemRequest::load(0, 0x1000));
+        let d = s.access(Cycle(400), MemRequest::load(2, 0x10a0));
+        assert_eq!(c.finish, Cycle(403));
+        assert_eq!(d.finish, Cycle(403));
+    }
+
+    #[test]
+    fn no_invalidation_misses_ever() {
+        // Sharing happens in the cache: a write by CPU 0 is immediately
+        // visible to CPU 1 with no coherence traffic.
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::store(0, 0x2000));
+        let r = s.access(Cycle(100), MemRequest::load(1, 0x2000));
+        assert_eq!(r.serviced_by, ServiceLevel::L1);
+        assert_eq!(s.stats().l1d.miss_inval, 0);
+        assert_eq!(s.stats().invalidations_sent, 0);
+    }
+
+    #[test]
+    fn store_marks_line_dirty_and_writeback_counted() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::store(0, 0x1000));
+        assert_eq!(s.l1d().probe(0x1000), LineState::Modified);
+        // Force eviction of the dirty line (fill the 2-way set twice more).
+        s.access(Cycle(100), MemRequest::load(0, 0x1000 + 32 * 1024));
+        s.access(Cycle(200), MemRequest::load(0, 0x1000 + 64 * 1024));
+        assert_eq!(s.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn ifetch_uses_instruction_cache() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::ifetch(0, 0x4000));
+        let r = s.access(Cycle(100), MemRequest::ifetch(3, 0x4000));
+        assert_eq!(r.serviced_by, ServiceLevel::L1);
+        assert_eq!(s.stats().l1i.accesses, 2);
+        assert_eq!(s.stats().l1i.misses(), 1);
+        assert_eq!(s.stats().l1d.accesses, 0);
+    }
+}

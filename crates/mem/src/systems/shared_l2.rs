@@ -1,0 +1,439 @@
+//! Shared-secondary-cache architecture (Figure 2 of the paper).
+//!
+//! Four CPUs with private 16 KB write-through L1 caches (1-cycle hits) share
+//! a 4-banked write-back 2 MB L2 through a crossbar. The crossbar and chip
+//! crossings raise the L2 latency from 10 to 14 cycles, and the narrower
+//! 64-bit datapath raises line-transfer occupancy from 2 to 4 cycles.
+//!
+//! Coherence follows the scheme the paper describes: the L1s are
+//! write-through (no-write-allocate) for shared data and every L2 line
+//! carries a directory of which L1s hold a copy. A write or an L2
+//! replacement invalidates (or would update) all other cached copies, so no
+//! snooping logic is needed in the processors.
+
+use crate::cache::{AccessOutcome, CacheArray, LineState};
+use crate::config::SystemConfig;
+use crate::stats::MemStats;
+use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
+use cmpsim_engine::{BankedResource, Cycle, Port};
+
+
+
+use std::collections::HashMap;
+
+/// The shared-L2 multiprocessor memory system.
+#[derive(Debug)]
+pub struct SharedL2System {
+    cfg: SystemConfig,
+    l1i: Vec<CacheArray>,
+    l1d: Vec<CacheArray>,
+    l2: CacheArray,
+    l2_banks: BankedResource,
+    mem_port: Port,
+    /// Directory: line address -> (d-cache presence bits, i-cache presence
+    /// bits), one bit per CPU.
+    presence: HashMap<Addr, (u8, u8)>,
+    stats: MemStats,
+}
+
+impl SharedL2System {
+    /// Builds the system from a configuration (see
+    /// [`SystemConfig::paper_shared_l2`]).
+    pub fn new(cfg: &SystemConfig) -> SharedL2System {
+        SharedL2System {
+            cfg: *cfg,
+            l1i: (0..cfg.n_cpus)
+                .map(|_| CacheArray::new("l1i", cfg.l1i))
+                .collect(),
+            l1d: (0..cfg.n_cpus)
+                .map(|_| CacheArray::new("l1d", cfg.l1d))
+                .collect(),
+            l2: CacheArray::new("shared-l2", cfg.l2),
+            l2_banks: BankedResource::new("l2-bank", cfg.l2_banks, u64::from(cfg.l2.line_bytes)),
+            mem_port: Port::new("mem"),
+            presence: HashMap::new(),
+            stats: MemStats::new(),
+        }
+    }
+
+    fn line(&self, addr: Addr) -> Addr {
+        self.l2.line_addr(addr)
+    }
+
+    /// Invalidates every other CPU's L1 copies of `addr`'s line after a
+    /// write by `writer` (directory-driven coherence).
+    fn invalidate_sharers(&mut self, writer: usize, addr: Addr) {
+        let line = self.line(addr);
+        if let Some((d_bits, i_bits)) = self.presence.get_mut(&line) {
+            let keep = !(1u8 << writer);
+            let d_victims = *d_bits & keep;
+            let i_victims = *i_bits & keep;
+            *d_bits &= !d_victims;
+            *i_bits &= !i_victims;
+            for cpu in 0..self.cfg.n_cpus {
+                if d_victims & (1 << cpu) != 0 {
+                    self.l1d[cpu].invalidate(addr);
+                    self.stats.invalidations_sent += 1;
+                }
+                if i_victims & (1 << cpu) != 0 {
+                    self.l1i[cpu].invalidate(addr);
+                    self.stats.invalidations_sent += 1;
+                }
+            }
+        }
+    }
+
+    /// Enforces inclusion when the L2 evicts `line`: every L1 copy must go.
+    /// These back-invalidations are capacity-driven, so the evicted lines
+    /// are *not* marked as coherence-invalidated.
+    fn back_invalidate(&mut self, line: Addr) {
+        if let Some((d_bits, i_bits)) = self.presence.remove(&line) {
+            for cpu in 0..self.cfg.n_cpus {
+                if d_bits & (1 << cpu) != 0 {
+                    self.l1d[cpu].evict(line);
+                }
+                if i_bits & (1 << cpu) != 0 {
+                    self.l1i[cpu].evict(line);
+                }
+            }
+        }
+    }
+
+    fn note_l1_fill(&mut self, cpu: usize, addr: Addr, ifetch: bool, victim: Option<Addr>) {
+        let line = self.line(addr);
+        let entry = self.presence.entry(line).or_insert((0, 0));
+        if ifetch {
+            entry.1 |= 1 << cpu;
+        } else {
+            entry.0 |= 1 << cpu;
+        }
+        if let Some(v) = victim {
+            if let Some(e) = self.presence.get_mut(&v) {
+                if ifetch {
+                    e.1 &= !(1 << cpu);
+                } else {
+                    e.0 &= !(1 << cpu);
+                }
+            }
+        }
+    }
+
+    /// Fetches a line into the L2 (memory access), handling the victim.
+    /// Returns the completion time.
+    fn l2_fill_from_memory(&mut self, addr: Addr, at: Cycle, dirty: bool) -> Cycle {
+        let g = self.mem_port.reserve(at, self.cfg.lat.mem_occ);
+        self.stats.mem_wait += g - at;
+        self.stats.mem_accesses += 1;
+        let finish = g + self.cfg.lat.mem_lat;
+        let state = if dirty {
+            LineState::Modified
+        } else {
+            LineState::Exclusive
+        };
+        if let Some(v) = self.l2.fill(addr, state) {
+            self.back_invalidate(v.addr);
+            if v.dirty {
+                // Victim buffer drains right behind the fill: reserve at the
+                // grant, not the finish, to keep the port timeline dense.
+                self.mem_port.reserve(g, self.cfg.lat.mem_occ);
+                self.stats.writebacks += 1;
+            }
+        }
+        finish
+    }
+
+    /// Read-only view of one CPU's L1 data cache (tests, probes).
+    pub fn l1d(&self, cpu: usize) -> &CacheArray {
+        &self.l1d[cpu]
+    }
+
+    /// Read-only view of the shared L2 (tests, probes).
+    pub fn l2(&self) -> &CacheArray {
+        &self.l2
+    }
+
+    /// Checks the directory invariant: every valid L1 line has its presence
+    /// bit set, and every presence bit points at a valid L1 line backed by
+    /// a valid L2 line (inclusion). Diagnostics / property tests.
+    pub fn directory_consistent(&self) -> bool {
+        for cpu in 0..self.cfg.n_cpus {
+            for (cache, side) in [(&self.l1d[cpu], 0usize), (&self.l1i[cpu], 1)] {
+                for line in cache.valid_lines() {
+                    let Some(&(d, i)) = self.presence.get(&line) else {
+                        return false;
+                    };
+                    let bits = if side == 0 { d } else { i };
+                    if bits & (1 << cpu) == 0 {
+                        return false;
+                    }
+                    if !self.l2.probe(line).is_valid() {
+                        return false; // inclusion violated
+                    }
+                }
+            }
+        }
+        for (&line, &(d_bits, i_bits)) in &self.presence {
+            for cpu in 0..self.cfg.n_cpus {
+                if d_bits & (1 << cpu) != 0 && !self.l1d[cpu].probe(line).is_valid() {
+                    return false;
+                }
+                if i_bits & (1 << cpu) != 0 && !self.l1i[cpu].probe(line).is_valid() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl SharedL2System {
+    /// The untimed-record core of [`MemorySystem::access`]; the trait
+    /// method wraps it to record the end-to-end latency histogram.
+    fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        let cpu = req.cpu;
+        let addr = req.addr;
+        match req.kind {
+            AccessKind::IFetch | AccessKind::Load => {
+                let ifetch = req.kind == AccessKind::IFetch;
+                let outcome = if ifetch {
+                    self.l1i[cpu].lookup(addr)
+                } else {
+                    self.l1d[cpu].lookup(addr)
+                };
+                let lstats = if ifetch {
+                    &mut self.stats.l1i
+                } else {
+                    &mut self.stats.l1d
+                };
+                match outcome {
+                    AccessOutcome::Hit(_) => {
+                        lstats.hit();
+                        MemResult {
+                            finish: now + self.cfg.lat.l1_lat,
+                            serviced_by: ServiceLevel::L1,
+                            l1_miss: false,
+                            l1_extra: 0,
+                        }
+                    }
+                    AccessOutcome::Miss(kind) => {
+                        lstats.miss(kind);
+                        let g2 = self
+                            .l2_banks
+                            .reserve(u64::from(addr), now, self.cfg.lat.l2_occ);
+                        self.stats.l2_bank_wait += g2 - now;
+                        let (finish, level) = match self.l2.lookup(addr) {
+                            AccessOutcome::Hit(_) => {
+                                self.stats.l2.hit();
+                                (g2 + self.cfg.lat.l2_lat, ServiceLevel::L2)
+                            }
+                            AccessOutcome::Miss(k2) => {
+                                self.stats.l2.miss(k2);
+                                (
+                                    self.l2_fill_from_memory(addr, g2, false),
+                                    ServiceLevel::Memory,
+                                )
+                            }
+                        };
+                        let cache = if ifetch {
+                            &mut self.l1i[cpu]
+                        } else {
+                            &mut self.l1d[cpu]
+                        };
+                        // Write-through L1: lines are never dirty.
+                        let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
+                        self.note_l1_fill(cpu, addr, ifetch, victim);
+                        MemResult {
+                            finish,
+                            serviced_by: level,
+                            l1_miss: true,
+                            l1_extra: 0,
+                        }
+                    }
+                }
+            }
+            AccessKind::Store => {
+                // Write-through, no-write-allocate: the word always travels
+                // to the L2 bank; a hit in the local L1 just updates it.
+                // Store hit/miss outcomes are not folded into the L1 miss
+                // rate (no-allocate stores are not demand fetches).
+                if matches!(self.l1d[cpu].lookup(addr), AccessOutcome::Hit(_)) {
+                    // Data updated in place; stays Shared (clean).
+                }
+                self.invalidate_sharers(cpu, addr);
+                // The bank is held for the full request/response handshake
+                // including the directory lookup-and-update, so a store
+                // occupies it as long as a line transfer on the same
+                // datapath — the port contention the paper blames for the
+                // shared-L2 architecture's losses on store-heavy workloads.
+                let store_occ = self.cfg.lat.l2_occ;
+                let g2 = self.l2_banks.reserve(u64::from(addr), now, store_occ);
+                self.stats.l2_bank_wait += g2 - now;
+                match self.l2.lookup(addr) {
+                    AccessOutcome::Hit(_) => {
+                        self.stats.l2.hit();
+                        self.l2.set_state(addr, LineState::Modified);
+                        MemResult {
+                            finish: g2 + 1,
+                            serviced_by: ServiceLevel::L2,
+                            l1_miss: false,
+                            l1_extra: 0,
+                        }
+                    }
+                    AccessOutcome::Miss(k2) => {
+                        // Write-allocate at the L2: fetch the line, merge
+                        // the word.
+                        self.stats.l2.miss(k2);
+                        let finish = self.l2_fill_from_memory(addr, g2, true);
+                        MemResult {
+                            finish,
+                            serviced_by: ServiceLevel::Memory,
+                            l1_miss: false,
+                            l1_extra: 0,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MemorySystem for SharedL2System {
+    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        let res = self.access_inner(now, req);
+        self.stats.latency.record(res.finish - now);
+        res
+    }
+
+    fn load_would_hit_l1(&self, cpu: usize, addr: Addr) -> bool {
+        self.l1d[cpu].probe(addr).is_valid()
+    }
+
+    fn line_bytes(&self) -> u32 {
+        self.cfg.l1d.line_bytes
+    }
+
+    fn n_cpus(&self) -> usize {
+        self.cfg.n_cpus
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut MemStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "shared-L2"
+    }
+
+    fn port_utilization(&self) -> Vec<crate::PortUtil> {
+        vec![super::util_of_banks(&self.l2_banks), super::util_of_port(&self.mem_port)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn sys() -> SharedL2System {
+        SharedL2System::new(&SystemConfig::paper_shared_l2(4))
+    }
+
+    #[test]
+    fn l1_hit_is_one_cycle() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        let r = s.access(Cycle(100), MemRequest::load(0, 0x1000));
+        assert_eq!(r.finish, Cycle(101));
+        assert_eq!(r.serviced_by, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn l2_hit_costs_fourteen_cycles() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x1000)); // cold: fills L2
+        let r = s.access(Cycle(100), MemRequest::load(1, 0x1000)); // other CPU: L1 miss, L2 hit
+        assert_eq!(r.serviced_by, ServiceLevel::L2);
+        assert_eq!(r.finish, Cycle(114));
+    }
+
+    #[test]
+    fn cold_miss_costs_memory_latency() {
+        let mut s = sys();
+        let r = s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(r.finish, Cycle(50));
+    }
+
+    #[test]
+    fn store_invalidates_other_sharers() {
+        let mut s = sys();
+        // Both CPUs read the line.
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        s.access(Cycle(100), MemRequest::load(1, 0x1000));
+        // CPU 0 writes through; CPU 1's copy is invalidated.
+        s.access(Cycle(200), MemRequest::store(0, 0x1000));
+        assert_eq!(s.stats().invalidations_sent, 1);
+        assert_eq!(s.l1d(1).probe(0x1000), LineState::Invalid);
+        assert_eq!(s.l1d(0).probe(0x1000), LineState::Shared, "writer keeps its copy");
+        // CPU 1's next read is an invalidation miss serviced by the L2.
+        let r = s.access(Cycle(300), MemRequest::load(1, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::L2);
+        assert_eq!(s.stats().l1d.miss_inval, 1);
+    }
+
+    #[test]
+    fn stores_contend_for_l2_banks() {
+        let mut s = sys();
+        // Warm the line so stores hit in the L2.
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        let a = s.access(Cycle(100), MemRequest::store(0, 0x1000));
+        let b = s.access(Cycle(100), MemRequest::store(1, 0x1004));
+        assert_eq!(a.finish, Cycle(101));
+        assert_eq!(b.finish, Cycle(105), "second store waits STORE_OCC cycles");
+        assert!(s.stats().l2_bank_wait >= 2);
+        // A store to a different bank does not wait.
+        s.access(Cycle(200), MemRequest::load(2, 0x2020));
+        let c = s.access(Cycle(300), MemRequest::store(0, 0x1008));
+        let d = s.access(Cycle(300), MemRequest::store(2, 0x2020));
+        assert_eq!(c.finish, Cycle(301));
+        assert_eq!(d.finish, Cycle(301));
+    }
+
+    #[test]
+    fn store_miss_allocates_in_l2_only() {
+        let mut s = sys();
+        let r = s.access(Cycle(0), MemRequest::store(0, 0x3000));
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(s.l2().probe(0x3000), LineState::Modified);
+        assert_eq!(s.l1d(0).probe(0x3000), LineState::Invalid, "no-write-allocate L1");
+    }
+
+    #[test]
+    fn l2_eviction_back_invalidates_l1_as_replacement() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        // Evict 0x1000 from the direct-mapped 2MB L2 with a conflicting line.
+        let conflict = 0x1000 + 2 * 1024 * 1024;
+        s.access(Cycle(100), MemRequest::load(1, conflict));
+        assert_eq!(s.l1d(0).probe(0x1000), LineState::Invalid, "inclusion enforced");
+        // The refetch is a *replacement* miss, not an invalidation miss.
+        s.access(Cycle(200), MemRequest::load(0, 0x1000));
+        assert_eq!(s.stats().l1d.miss_inval, 0);
+        assert_eq!(s.stats().l1d.miss_repl, 3);
+    }
+
+    #[test]
+    fn ifetch_copies_also_invalidated_on_write() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::ifetch(1, 0x5000));
+        s.access(Cycle(100), MemRequest::store(0, 0x5000));
+        assert_eq!(s.stats().invalidations_sent, 1);
+        let r = s.access(Cycle(200), MemRequest::ifetch(1, 0x5000));
+        assert_eq!(r.serviced_by, ServiceLevel::L2);
+        assert_eq!(s.stats().l1i.miss_inval, 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! Bus-based shared-memory architecture (Figure 3 of the paper).
+//!
+//! Each CPU has a private write-back 16 KB L1 (1-cycle hits) and a private
+//! 512 KB L2 running at full SRAM speed (10-cycle latency, 2-cycle
+//! occupancy). Communication goes through the shared system bus and main
+//! memory (50-cycle latency, 6-cycle occupancy). Both cache levels
+//! participate in full MESI snooping; a line dirty in another CPU's caches
+//! is sourced cache-to-cache at more than the memory latency (the paper
+//! argues typical times are comparable to memory access times because the
+//! slowest snooper gates the response).
+
+use crate::cache::{AccessOutcome, CacheArray, LineState};
+use crate::config::SystemConfig;
+use crate::stats::MemStats;
+use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
+use cmpsim_engine::{Cycle, Port};
+
+
+
+/// The snoop result for a requested line across all remote CPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SnoopResult {
+    /// No remote copy.
+    None,
+    /// Remote clean copies exist (Shared/Exclusive).
+    Shared,
+    /// A remote CPU holds the line Modified.
+    Dirty(usize),
+}
+
+/// The bus-based shared-memory multiprocessor memory system.
+#[derive(Debug)]
+pub struct SharedMemSystem {
+    cfg: SystemConfig,
+    l1i: Vec<CacheArray>,
+    l1d: Vec<CacheArray>,
+    l2: Vec<CacheArray>,
+    l2_ports: Vec<Port>,
+    bus: Port,
+    stats: MemStats,
+}
+
+impl SharedMemSystem {
+    /// Builds the system from a configuration (see
+    /// [`SystemConfig::paper_shared_mem`]).
+    pub fn new(cfg: &SystemConfig) -> SharedMemSystem {
+        SharedMemSystem {
+            cfg: *cfg,
+            l1i: (0..cfg.n_cpus)
+                .map(|_| CacheArray::new("l1i", cfg.l1i))
+                .collect(),
+            l1d: (0..cfg.n_cpus)
+                .map(|_| CacheArray::new("l1d", cfg.l1d))
+                .collect(),
+            l2: (0..cfg.n_cpus)
+                .map(|_| CacheArray::new("l2", cfg.l2))
+                .collect(),
+            l2_ports: (0..cfg.n_cpus).map(|_| Port::new("l2")).collect(),
+            bus: Port::new("bus"),
+            stats: MemStats::new(),
+        }
+    }
+
+    /// Snoops every remote CPU's caches for `addr`.
+    fn snoop(&self, me: usize, addr: Addr) -> SnoopResult {
+        let mut shared = false;
+        for cpu in 0..self.cfg.n_cpus {
+            if cpu == me {
+                continue;
+            }
+            let s1 = self.l1d[cpu].probe(addr);
+            let s2 = self.l2[cpu].probe(addr);
+            let si = self.l1i[cpu].probe(addr);
+            if s1 == LineState::Modified || s2 == LineState::Modified {
+                return SnoopResult::Dirty(cpu);
+            }
+            if s1.is_valid() || s2.is_valid() || si.is_valid() {
+                shared = true;
+            }
+        }
+        if shared {
+            SnoopResult::Shared
+        } else {
+            SnoopResult::None
+        }
+    }
+
+    /// Invalidates the line in every remote CPU (read-exclusive / upgrade).
+    fn invalidate_remote(&mut self, me: usize, addr: Addr) {
+        for cpu in 0..self.cfg.n_cpus {
+            if cpu == me {
+                continue;
+            }
+            for cache in [&mut self.l1d[cpu], &mut self.l1i[cpu], &mut self.l2[cpu]] {
+                if cache.probe(addr).is_valid() {
+                    cache.invalidate(addr);
+                    self.stats.invalidations_sent += 1;
+                }
+            }
+        }
+    }
+
+    /// Downgrades remote copies to Shared (remote read of a dirty line).
+    fn downgrade_remote(&mut self, me: usize, addr: Addr) {
+        for cpu in 0..self.cfg.n_cpus {
+            if cpu == me {
+                continue;
+            }
+            self.l1d[cpu].downgrade(addr);
+            self.l2[cpu].downgrade(addr);
+        }
+    }
+
+    /// Fills `cpu`'s private L2, enforcing inclusion on the victim and
+    /// paying for a dirty write-back.
+    fn l2_fill(&mut self, cpu: usize, addr: Addr, state: LineState, at: Cycle) {
+        if let Some(v) = self.l2[cpu].fill(addr, state) {
+            // Inclusion: the L1s may not keep a line the L2 dropped. A dirty
+            // L1 copy folds into the write-back.
+            let l1_state = self.l1d[cpu].evict(v.addr);
+            self.l1i[cpu].evict(v.addr);
+            if v.dirty || l1_state == LineState::Modified {
+                self.bus.reserve(at, self.cfg.lat.mem_occ);
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    /// Fills `cpu`'s L1 (D or I), folding a dirty victim into its L2.
+    fn l1_fill(&mut self, cpu: usize, addr: Addr, ifetch: bool, state: LineState, at: Cycle) {
+        let cache = if ifetch {
+            &mut self.l1i[cpu]
+        } else {
+            &mut self.l1d[cpu]
+        };
+        if let Some(v) = cache.fill(addr, state) {
+            if v.dirty {
+                self.l2_ports[cpu].reserve(at, self.cfg.lat.l2_occ);
+                self.stats.writebacks += 1;
+                if self.l2[cpu].probe(v.addr).is_valid() {
+                    self.l2[cpu].set_state(v.addr, LineState::Modified);
+                } else {
+                    // Extremely rare (inclusion normally holds); push to bus.
+                    self.bus.reserve(at, self.cfg.lat.mem_occ);
+                }
+            }
+        }
+    }
+
+    /// A bus transaction fetching `addr` for `cpu`. `exclusive` requests
+    /// ownership (read-exclusive). Returns (finish, level, fill state).
+    fn bus_fetch(
+        &mut self,
+        cpu: usize,
+        addr: Addr,
+        exclusive: bool,
+        at: Cycle,
+    ) -> (Cycle, ServiceLevel, LineState, Cycle) {
+        let snoop = self.snoop(cpu, addr);
+        let (occ, lat, level) = match snoop {
+            SnoopResult::Dirty(_) => (
+                self.cfg.lat.c2c_occ,
+                self.cfg.lat.c2c_lat,
+                ServiceLevel::CacheToCache,
+            ),
+            _ => (self.cfg.lat.mem_occ, self.cfg.lat.mem_lat, ServiceLevel::Memory),
+        };
+        let grant = self.bus.reserve(at, occ);
+        self.stats.mem_wait += grant - at;
+        let finish = grant + lat;
+        self.stats.serviced(level);
+        let state = if exclusive {
+            self.invalidate_remote(cpu, addr);
+            LineState::Modified
+        } else {
+            match snoop {
+                SnoopResult::None => LineState::Exclusive,
+                _ => {
+                    self.downgrade_remote(cpu, addr);
+                    LineState::Shared
+                }
+            }
+        };
+        (finish, level, state, grant)
+    }
+
+    /// Read-only view of one CPU's L1 data cache (tests, probes).
+    pub fn l1d(&self, cpu: usize) -> &CacheArray {
+        &self.l1d[cpu]
+    }
+
+    /// Read-only view of one CPU's private L2 (tests, probes).
+    pub fn l2(&self, cpu: usize) -> &CacheArray {
+        &self.l2[cpu]
+    }
+}
+
+impl SharedMemSystem {
+    /// The untimed-record core of [`MemorySystem::access`]; the trait
+    /// method wraps it to record the end-to-end latency histogram.
+    fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        let cpu = req.cpu;
+        let addr = req.addr;
+        let ifetch = req.kind == AccessKind::IFetch;
+        let write = req.kind == AccessKind::Store;
+
+        // L1 lookup.
+        let outcome = if ifetch {
+            self.l1i[cpu].lookup(addr)
+        } else {
+            self.l1d[cpu].lookup(addr)
+        };
+        match outcome {
+            AccessOutcome::Hit(state) => {
+                let lstats = if ifetch {
+                    &mut self.stats.l1i
+                } else {
+                    &mut self.stats.l1d
+                };
+                if !write {
+                    lstats.hit();
+                    return MemResult {
+                        finish: now + self.cfg.lat.l1_lat,
+                        serviced_by: ServiceLevel::L1,
+                        l1_miss: false,
+                        l1_extra: 0,
+                    };
+                }
+                match state {
+                    LineState::Modified => {
+                        lstats.hit();
+                        MemResult {
+                            finish: now + self.cfg.lat.l1_lat,
+                            serviced_by: ServiceLevel::L1,
+                            l1_miss: false,
+                            l1_extra: 0,
+                        }
+                    }
+                    LineState::Exclusive => {
+                        lstats.hit();
+                        self.l1d[cpu].set_state(addr, LineState::Modified);
+                        if self.l2[cpu].probe(addr).is_valid() {
+                            self.l2[cpu].set_state(addr, LineState::Modified);
+                        }
+                        MemResult {
+                            finish: now + self.cfg.lat.l1_lat,
+                            serviced_by: ServiceLevel::L1,
+                            l1_miss: false,
+                            l1_extra: 0,
+                        }
+                    }
+                    LineState::Shared => {
+                        // Upgrade: address-only bus transaction invalidating
+                        // remote copies. Counts as a hit (the data was
+                        // local), but the store completes only after the bus
+                        // acknowledges.
+                        lstats.hit();
+                        let grant = self.bus.reserve(now + 1, self.cfg.lat.upgrade_occ);
+                        self.stats.mem_wait += grant - (now + 1);
+                        self.stats.upgrades += 1;
+                        self.invalidate_remote(cpu, addr);
+                        self.l1d[cpu].set_state(addr, LineState::Modified);
+                        if self.l2[cpu].probe(addr).is_valid() {
+                            self.l2[cpu].set_state(addr, LineState::Modified);
+                        }
+                        MemResult {
+                            finish: grant + self.cfg.lat.upgrade_lat,
+                            serviced_by: ServiceLevel::Memory,
+                            l1_miss: false,
+                            l1_extra: 0,
+                        }
+                    }
+                    LineState::Invalid => unreachable!("hit cannot be invalid"),
+                }
+            }
+            AccessOutcome::Miss(kind) => {
+                let lstats = if ifetch {
+                    &mut self.stats.l1i
+                } else {
+                    &mut self.stats.l1d
+                };
+                lstats.miss(kind);
+                // Private L2 lookup.
+                let g2 = self.l2_ports[cpu].reserve(now, self.cfg.lat.l2_occ);
+                self.stats.l2_bank_wait += g2 - now;
+                match self.l2[cpu].lookup(addr) {
+                    AccessOutcome::Hit(l2_state) => {
+                        self.stats.l2.hit();
+                        let can_satisfy = !write || l2_state != LineState::Shared;
+                        if can_satisfy {
+                            let finish = g2 + self.cfg.lat.l2_lat;
+                            let wb_at = g2;
+                            let l1_state = if write {
+                                self.l2[cpu].set_state(addr, LineState::Modified);
+                                LineState::Modified
+                            } else {
+                                match l2_state {
+                                    LineState::Shared => LineState::Shared,
+                                    _ => LineState::Exclusive,
+                                }
+                            };
+                            self.l1_fill(cpu, addr, ifetch, l1_state, wb_at);
+                            MemResult {
+                                finish,
+                                serviced_by: ServiceLevel::L2,
+                                l1_miss: true,
+                                l1_extra: 0,
+                            }
+                        } else {
+                            // Write to a Shared L2 line: upgrade on the bus.
+                            let grant = self.bus.reserve(g2, self.cfg.lat.upgrade_occ);
+                            self.stats.mem_wait += grant - g2;
+                            self.stats.upgrades += 1;
+                            self.invalidate_remote(cpu, addr);
+                            self.l2[cpu].set_state(addr, LineState::Modified);
+                            let finish = grant + self.cfg.lat.upgrade_lat;
+                            self.l1_fill(cpu, addr, ifetch, LineState::Modified, grant);
+                            MemResult {
+                                finish,
+                                serviced_by: ServiceLevel::Memory,
+                                l1_miss: true,
+                                l1_extra: 0,
+                            }
+                        }
+                    }
+                    AccessOutcome::Miss(k2) => {
+                        self.stats.l2.miss(k2);
+                        let (finish, level, state, bus_grant) =
+                            self.bus_fetch(cpu, addr, write, g2);
+                        self.l2_fill(cpu, addr, state, bus_grant);
+                        self.l1_fill(cpu, addr, ifetch, state, bus_grant);
+                        MemResult {
+                            finish,
+                            serviced_by: level,
+                            l1_miss: true,
+                            l1_extra: 0,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MemorySystem for SharedMemSystem {
+    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        let res = self.access_inner(now, req);
+        self.stats.latency.record(res.finish - now);
+        res
+    }
+
+    fn load_would_hit_l1(&self, cpu: usize, addr: Addr) -> bool {
+        self.l1d[cpu].probe(addr).is_valid()
+    }
+
+    fn line_bytes(&self) -> u32 {
+        self.cfg.l1d.line_bytes
+    }
+
+    fn n_cpus(&self) -> usize {
+        self.cfg.n_cpus
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    fn stats_mut(&mut self) -> &mut MemStats {
+        &mut self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "shared-memory"
+    }
+
+    fn port_utilization(&self) -> Vec<crate::PortUtil> {
+        let mut v: Vec<crate::PortUtil> = self.l2_ports.iter().map(super::util_of_port).collect();
+        v.push(super::util_of_port(&self.bus));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+
+    fn sys() -> SharedMemSystem {
+        SharedMemSystem::new(&SystemConfig::paper_shared_mem(4))
+    }
+
+    #[test]
+    fn cold_miss_costs_memory_latency() {
+        let mut s = sys();
+        let r = s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(r.finish, Cycle(50));
+        // Sole owner: Exclusive.
+        assert_eq!(s.l1d(0).probe(0x1000), LineState::Exclusive);
+    }
+
+    #[test]
+    fn l1_and_l2_hits_cost_table2_latencies() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        let r1 = s.access(Cycle(100), MemRequest::load(0, 0x1000));
+        assert_eq!((r1.finish, r1.serviced_by), (Cycle(101), ServiceLevel::L1));
+        // Evict from the 2-way 16KB L1 (stride 8 KB), keep in the 512KB L2.
+        s.access(Cycle(200), MemRequest::load(0, 0x1000 + 8 * 1024));
+        s.access(Cycle(300), MemRequest::load(0, 0x1000 + 16 * 1024));
+        let r2 = s.access(Cycle(400), MemRequest::load(0, 0x1000));
+        assert_eq!((r2.finish, r2.serviced_by), (Cycle(410), ServiceLevel::L2));
+    }
+
+    #[test]
+    fn dirty_remote_line_sourced_cache_to_cache() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::store(0, 0x2000));
+        assert_eq!(s.l1d(0).probe(0x2000), LineState::Modified);
+        let r = s.access(Cycle(100), MemRequest::load(1, 0x2000));
+        assert_eq!(r.serviced_by, ServiceLevel::CacheToCache);
+        assert_eq!(r.finish, Cycle(160), "c2c latency is 60 > 50");
+        // Both now Shared.
+        assert_eq!(s.l1d(0).probe(0x2000), LineState::Shared);
+        assert_eq!(s.l1d(1).probe(0x2000), LineState::Shared);
+        assert_eq!(s.stats().c2c_transfers, 1);
+    }
+
+    #[test]
+    fn store_to_shared_line_upgrades_and_invalidates() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x3000));
+        s.access(Cycle(100), MemRequest::load(1, 0x3000)); // both Shared
+        let r = s.access(Cycle(200), MemRequest::store(0, 0x3000));
+        assert_eq!(s.stats().upgrades, 1);
+        assert!(r.finish >= Cycle(220), "upgrade pays bus latency");
+        assert_eq!(s.l1d(0).probe(0x3000), LineState::Modified);
+        assert_eq!(s.l1d(1).probe(0x3000), LineState::Invalid);
+        // CPU 1 re-reads: invalidation miss, sourced c2c (dirty at CPU 0).
+        let r2 = s.access(Cycle(400), MemRequest::load(1, 0x3000));
+        assert_eq!(r2.serviced_by, ServiceLevel::CacheToCache);
+        assert_eq!(s.stats().l1d.miss_inval, 1);
+        assert_eq!(s.stats().l2.miss_inval, 1);
+    }
+
+    #[test]
+    fn write_to_exclusive_is_silent() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x4000)); // Exclusive
+        let r = s.access(Cycle(100), MemRequest::store(0, 0x4000));
+        assert_eq!(r.finish, Cycle(101));
+        assert_eq!(s.stats().upgrades, 0);
+        assert_eq!(s.l1d(0).probe(0x4000), LineState::Modified);
+    }
+
+    #[test]
+    fn second_reader_gets_shared_not_exclusive() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x5000));
+        let r = s.access(Cycle(100), MemRequest::load(1, 0x5000));
+        // Clean remote copy: data still comes from memory on this bus.
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(s.l1d(0).probe(0x5000), LineState::Shared);
+        assert_eq!(s.l1d(1).probe(0x5000), LineState::Shared);
+    }
+
+    #[test]
+    fn bus_serializes_misses_from_different_cpus() {
+        let mut s = sys();
+        let a = s.access(Cycle(0), MemRequest::load(0, 0x6000));
+        let b = s.access(Cycle(0), MemRequest::load(1, 0x7000));
+        assert_eq!(a.finish, Cycle(50));
+        assert_eq!(b.finish, Cycle(56), "6-cycle bus occupancy");
+        assert!(s.stats().mem_wait >= 6);
+    }
+
+    #[test]
+    fn store_miss_fetches_exclusive_and_invalidates() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(1, 0x8000)); // CPU1 Exclusive
+        let r = s.access(Cycle(100), MemRequest::store(0, 0x8000));
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(s.l1d(0).probe(0x8000), LineState::Modified);
+        assert_eq!(s.l1d(1).probe(0x8000), LineState::Invalid);
+        // CPU1 rereads: invalidation miss.
+        s.access(Cycle(300), MemRequest::load(1, 0x8000));
+        assert_eq!(s.stats().l1d.miss_inval, 1);
+    }
+
+    #[test]
+    fn miss_kinds_tracked_per_level() {
+        let mut s = sys();
+        s.access(Cycle(0), MemRequest::load(0, 0x9000));
+        assert_eq!(s.stats().l1d.miss_repl, 1);
+        assert_eq!(s.stats().l2.miss_repl, 1);
+        assert_eq!(s.stats().l1d.miss_inval, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property tests for the memory substrate: the set-associative cache
+//! against a naive reference model, MESI single-writer invariants on the
+//! bus architecture, and physical-memory byte equivalence.
+
+use cmpsim_engine::Cycle;
+use cmpsim_mem::{
+    AccessOutcome, CacheArray, CacheSpec, LineState, MemRequest, MemorySystem, PhysMem,
+    SharedMemSystem, SystemConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A naive fully-explicit reference cache: per-set vectors ordered by
+/// recency. Must agree with `CacheArray` on every hit/miss.
+struct RefCache {
+    sets: Vec<Vec<u32>>, // line addresses, most recent last
+    assoc: usize,
+    line: u32,
+}
+
+impl RefCache {
+    fn new(spec: CacheSpec) -> RefCache {
+        RefCache {
+            sets: vec![Vec::new(); spec.n_sets()],
+            assoc: spec.assoc,
+            line: spec.line_bytes,
+        }
+    }
+    fn set_of(&self, addr: u32) -> usize {
+        ((addr / self.line) as usize) % self.sets.len()
+    }
+    fn lookup(&mut self, addr: u32) -> bool {
+        let la = addr & !(self.line - 1);
+        let set = self.set_of(addr);
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&x| x == la) {
+            let v = s.remove(pos);
+            s.push(v); // most-recent last
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, addr: u32) -> Option<u32> {
+        let la = addr & !(self.line - 1);
+        let set = self.set_of(addr);
+        let victim = if self.sets[set].len() >= self.assoc {
+            Some(self.sets[set].remove(0)) // least-recent first
+        } else {
+            None
+        };
+        self.sets[set].push(la);
+        victim
+    }
+}
+
+proptest! {
+    /// CacheArray and the reference model agree on every access outcome
+    /// and every eviction victim.
+    #[test]
+    fn cache_matches_reference_model(
+        addrs in prop::collection::vec(0u32..4096, 1..500)
+    ) {
+        // Tiny cache to force plenty of evictions: 4 sets x 2 ways x 32B.
+        let spec = CacheSpec::new(256, 2, 32);
+        let mut dut = CacheArray::new("dut", spec);
+        let mut rf = RefCache::new(spec);
+        for &addr in &addrs {
+            let hit_ref = rf.lookup(addr);
+            let outcome = dut.lookup(addr);
+            match outcome {
+                AccessOutcome::Hit(_) => prop_assert!(hit_ref, "dut hit, ref miss @{addr:#x}"),
+                AccessOutcome::Miss(_) => {
+                    prop_assert!(!hit_ref, "dut miss, ref hit @{addr:#x}");
+                    let v_ref = rf.fill(addr);
+                    let v_dut = dut.fill(addr, LineState::Shared).map(|v| v.addr);
+                    prop_assert_eq!(v_dut, v_ref, "victims differ @{:#x}", addr);
+                }
+            }
+        }
+    }
+
+    /// MESI invariant on the snooping-bus architecture: for every line, at
+    /// most one cache holds it Modified or Exclusive, and never alongside
+    /// other valid copies.
+    #[test]
+    fn mesi_single_writer_invariant(
+        ops in prop::collection::vec((0usize..4, 0u32..64, any::<bool>()), 1..300)
+    ) {
+        let mut sys = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+        let mut t = Cycle(0);
+        let mut touched: Vec<u32> = Vec::new();
+        for &(cpu, line_idx, is_store) in &ops {
+            let addr = line_idx * 32;
+            touched.push(addr);
+            let req = if is_store {
+                MemRequest::store(cpu, addr)
+            } else {
+                MemRequest::load(cpu, addr)
+            };
+            sys.access(t, req);
+            t += 100;
+
+            // Check the invariant over every line touched so far.
+            for &a in &touched {
+                let states: Vec<LineState> =
+                    (0..4).map(|c| sys.l1d(c).probe(a)).collect();
+                let owners = states
+                    .iter()
+                    .filter(|s| matches!(s, LineState::Modified | LineState::Exclusive))
+                    .count();
+                let sharers = states
+                    .iter()
+                    .filter(|s| matches!(s, LineState::Shared))
+                    .count();
+                prop_assert!(owners <= 1, "two owners of {a:#x}: {states:?}");
+                prop_assert!(
+                    owners == 0 || sharers == 0,
+                    "owner coexists with sharers at {a:#x}: {states:?}"
+                );
+            }
+        }
+    }
+
+    /// PhysMem behaves exactly like a sparse byte map under arbitrary
+    /// interleavings of all access widths.
+    #[test]
+    fn physmem_matches_byte_map(
+        ops in prop::collection::vec(
+            (0u32..10_000, 0u8..4, any::<u64>(), any::<bool>()),
+            1..300
+        )
+    ) {
+        let mut dut = PhysMem::new(1);
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        let rd = |m: &HashMap<u32, u8>, a: u32| *m.get(&a).unwrap_or(&0);
+        for &(addr, width, value, is_store) in &ops {
+            match (width, is_store) {
+                (0, true) => {
+                    dut.write_u8(addr, value as u8);
+                    model.insert(addr, value as u8);
+                }
+                (0, false) => prop_assert_eq!(dut.read_u8(addr), rd(&model, addr)),
+                (1, true) => {
+                    dut.write_u32(addr, value as u32);
+                    for (i, b) in (value as u32).to_le_bytes().iter().enumerate() {
+                        model.insert(addr.wrapping_add(i as u32), *b);
+                    }
+                }
+                (1, false) => {
+                    let want = u32::from_le_bytes(std::array::from_fn(|i| {
+                        rd(&model, addr.wrapping_add(i as u32))
+                    }));
+                    prop_assert_eq!(dut.read_u32(addr), want);
+                }
+                (2, true) => {
+                    dut.write_u64(addr, value);
+                    for (i, b) in value.to_le_bytes().iter().enumerate() {
+                        model.insert(addr.wrapping_add(i as u32), *b);
+                    }
+                }
+                (2, false) => {
+                    let want = u64::from_le_bytes(std::array::from_fn(|i| {
+                        rd(&model, addr.wrapping_add(i as u32))
+                    }));
+                    prop_assert_eq!(dut.read_u64(addr), want);
+                }
+                (_, true) => {
+                    dut.write_f64(addr, f64::from_bits(value));
+                    for (i, b) in value.to_le_bytes().iter().enumerate() {
+                        model.insert(addr.wrapping_add(i as u32), *b);
+                    }
+                }
+                (_, false) => {
+                    let want = u64::from_le_bytes(std::array::from_fn(|i| {
+                        rd(&model, addr.wrapping_add(i as u32))
+                    }));
+                    prop_assert_eq!(dut.read_f64(addr).to_bits(), want);
+                }
+            }
+        }
+    }
+
+    /// Completion times never precede issue plus the minimum hit latency,
+    /// and the same access replayed later (warm) is never slower.
+    #[test]
+    fn warm_accesses_never_slower(
+        lines in prop::collection::vec(0u32..256, 1..50)
+    ) {
+        let mut sys = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+        for &l in &lines {
+            let addr = l * 32;
+            let cold = sys.access(Cycle(10_000), MemRequest::load(0, addr));
+            prop_assert!(cold.finish.0 > 10_000);
+            let warm = sys.access(Cycle(20_000), MemRequest::load(0, addr));
+            prop_assert!(warm.finish.0 - 20_000 <= cold.finish.0 - 10_000);
+        }
+    }
+}
+
+proptest! {
+    /// The shared-L2 directory and the L1 contents never diverge under any
+    /// interleaving of loads, stores and fetches from four CPUs.
+    #[test]
+    fn shared_l2_directory_invariant(
+        ops in prop::collection::vec((0usize..4, 0u32..512, 0u8..3), 1..250)
+    ) {
+        use cmpsim_mem::SharedL2System;
+        let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
+        for (i, &(cpu, line, kind)) in ops.iter().enumerate() {
+            // A few lines alias in the direct-mapped 2 MB L2 (every 64K
+            // lines); sprinkle large strides so back-invalidation paths run.
+            let addr = (line % 64) * 32 + (line / 64) * 0x20_0000;
+            let req = match kind {
+                0 => MemRequest::load(cpu, addr),
+                1 => MemRequest::store(cpu, addr),
+                _ => MemRequest::ifetch(cpu, addr),
+            };
+            s.access(Cycle(i as u64 * 200), req);
+        }
+        prop_assert!(s.directory_consistent());
+    }
+}

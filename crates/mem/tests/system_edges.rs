@@ -1,0 +1,197 @@
+//! Edge-path tests across the three memory systems: directory corner
+//! cases, inclusion interactions, write-back chains, and stats consistency.
+
+use cmpsim_engine::Cycle;
+use cmpsim_mem::{
+    LineState, MemRequest, MemorySystem, ServiceLevel, SharedL1System, SharedL2System,
+    SharedMemSystem, SystemConfig,
+};
+
+// ---------------------------------------------------------------- shared-L2
+
+#[test]
+fn shared_l2_directory_tracks_i_and_d_sides_independently() {
+    let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
+    // CPU 0 fetches the line as code, CPU 1 reads it as data.
+    s.access(Cycle(0), MemRequest::ifetch(0, 0x7000));
+    s.access(Cycle(100), MemRequest::load(1, 0x7000));
+    // A store by CPU 2 invalidates both kinds of copies.
+    s.access(Cycle(200), MemRequest::store(2, 0x7000));
+    assert_eq!(s.stats().invalidations_sent, 2, "one I-copy + one D-copy");
+    // Both re-miss as invalidation misses.
+    s.access(Cycle(300), MemRequest::ifetch(0, 0x7000));
+    s.access(Cycle(400), MemRequest::load(1, 0x7000));
+    assert_eq!(s.stats().l1i.miss_inval, 1);
+    assert_eq!(s.stats().l1d.miss_inval, 1);
+}
+
+#[test]
+fn shared_l2_writer_keeps_own_copy_valid() {
+    let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
+    s.access(Cycle(0), MemRequest::load(0, 0x8000));
+    s.access(Cycle(100), MemRequest::store(0, 0x8000));
+    // The writer's own L1 copy is updated in place, not invalidated.
+    let r = s.access(Cycle(200), MemRequest::load(0, 0x8000));
+    assert_eq!(r.serviced_by, ServiceLevel::L1);
+    assert_eq!(s.stats().invalidations_sent, 0);
+}
+
+#[test]
+fn shared_l2_dirty_line_writes_back_on_eviction() {
+    let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
+    s.access(Cycle(0), MemRequest::store(0, 0x9000)); // L2 line dirty
+    // Evict it with the conflicting line 2 MB away (direct-mapped L2).
+    s.access(Cycle(1000), MemRequest::load(1, 0x9000 + 0x20_0000));
+    assert_eq!(s.stats().writebacks, 1, "dirty victim must write back");
+}
+
+#[test]
+fn shared_l2_load_after_remote_store_is_l2_serviced() {
+    // Communication through the shared L2: 14 cycles, never the bus.
+    let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
+    s.access(Cycle(0), MemRequest::store(0, 0xa000));
+    let r = s.access(Cycle(100), MemRequest::load(1, 0xa000));
+    assert_eq!(r.serviced_by, ServiceLevel::L2);
+    assert_eq!(r.finish - Cycle(100), 14);
+}
+
+// ---------------------------------------------------------------- shared-mem
+
+#[test]
+fn shared_mem_dirty_l1_victim_folds_into_l2() {
+    let mut s = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+    s.access(Cycle(0), MemRequest::store(0, 0xb000)); // M in L1+L2
+    // Two conflicting fills (16 KB 2-way: 8 KB way stride) evict it.
+    s.access(Cycle(100), MemRequest::load(0, 0xb000 + 0x2000));
+    s.access(Cycle(200), MemRequest::load(0, 0xb000 + 0x4000));
+    assert_eq!(s.stats().writebacks, 1, "dirty L1 victim retires into L2");
+    // Still Modified at the L2: a remote reader gets it cache-to-cache.
+    let r = s.access(Cycle(300), MemRequest::load(1, 0xb000));
+    assert_eq!(r.serviced_by, ServiceLevel::CacheToCache);
+}
+
+#[test]
+fn shared_mem_l2_eviction_back_invalidates_l1() {
+    let cfg = SystemConfig::paper_shared_mem(4);
+    let mut s = SharedMemSystem::new(&cfg);
+    s.access(Cycle(0), MemRequest::load(0, 0xc000));
+    assert_eq!(s.l1d(0).probe(0xc000), LineState::Exclusive);
+    // Evict from the 512 KB direct-mapped L2.
+    s.access(Cycle(100), MemRequest::load(0, 0xc000 + 0x8_0000));
+    assert_eq!(
+        s.l1d(0).probe(0xc000),
+        LineState::Invalid,
+        "inclusion: the L1 may not outlive the L2 line"
+    );
+    // And the refetch counts as replacement, not coherence.
+    s.access(Cycle(200), MemRequest::load(0, 0xc000));
+    assert_eq!(s.stats().l1d.miss_inval, 0);
+}
+
+#[test]
+fn shared_mem_upgrade_vs_readex_paths_differ() {
+    let mut s = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+    // Upgrade path: the writer already shares the line.
+    s.access(Cycle(0), MemRequest::load(0, 0xd000));
+    s.access(Cycle(100), MemRequest::load(1, 0xd000));
+    s.access(Cycle(200), MemRequest::store(0, 0xd000));
+    assert_eq!(s.stats().upgrades, 1);
+    // Read-exclusive path: the writer has no copy at all.
+    s.access(Cycle(300), MemRequest::store(2, 0xe000));
+    assert_eq!(s.stats().upgrades, 1, "cold store is a read-exclusive, not an upgrade");
+    assert_eq!(s.l1d(2).probe(0xe000), LineState::Modified);
+}
+
+#[test]
+fn shared_mem_ifetch_lines_shareable_with_data_readers() {
+    let mut s = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
+    s.access(Cycle(0), MemRequest::ifetch(0, 0xf000));
+    let r = s.access(Cycle(100), MemRequest::load(1, 0xf000));
+    // A clean remote I-copy forces Shared (no silent E upgrade hazard).
+    assert_eq!(r.serviced_by, ServiceLevel::Memory);
+    assert_eq!(s.l1d(1).probe(0xf000), LineState::Shared);
+}
+
+// ---------------------------------------------------------------- shared-L1
+
+#[test]
+fn shared_l1_ifetch_and_data_have_separate_banks() {
+    let mut s = SharedL1System::new(&SystemConfig::paper_shared_l1(4));
+    s.access(Cycle(0), MemRequest::ifetch(0, 0x1000));
+    s.access(Cycle(100), MemRequest::load(1, 0x1000));
+    // Same address, same cycle, different arrays: no bank conflict.
+    let a = s.access(Cycle(200), MemRequest::ifetch(0, 0x1000));
+    let b = s.access(Cycle(200), MemRequest::load(1, 0x1000));
+    assert_eq!(a.finish, b.finish, "I and D banks are independent");
+}
+
+#[test]
+fn shared_l1_l2_and_memory_counters_consistent() {
+    let mut s = SharedL1System::new(&SystemConfig::paper_shared_l1(4));
+    for i in 0..100u32 {
+        s.access(Cycle(u64::from(i) * 100), MemRequest::load(0, 0x10_0000 + i * 64));
+    }
+    let st = s.stats();
+    assert_eq!(st.l1d.accesses, 100);
+    assert_eq!(st.l1d.misses(), 100, "all cold");
+    assert_eq!(st.l2.accesses, st.l1d.misses(), "every L1 miss reaches the L2");
+    assert_eq!(st.mem_accesses, st.l2.misses(), "every L2 miss reaches memory");
+    assert_eq!(st.latency.total(), 100);
+}
+
+#[test]
+fn ideal_mode_still_counts_misses() {
+    // Idealization changes timing only — the miss-rate tables must be
+    // identical between ideal and real shared-L1 runs.
+    let real = {
+        let mut s = SharedL1System::new(&SystemConfig::paper_shared_l1(4));
+        for i in 0..50u32 {
+            s.access(Cycle(u64::from(i) * 100), MemRequest::load(0, i * 64));
+            s.access(Cycle(u64::from(i) * 100 + 50), MemRequest::load(1, i * 64));
+        }
+        (s.stats().l1d.accesses, s.stats().l1d.misses())
+    };
+    let ideal = {
+        let cfg = SystemConfig::paper_shared_l1(4).with_ideal_shared_l1(true);
+        let mut s = SharedL1System::new(&cfg);
+        for i in 0..50u32 {
+            s.access(Cycle(u64::from(i) * 100), MemRequest::load(0, i * 64));
+            s.access(Cycle(u64::from(i) * 100 + 50), MemRequest::load(1, i * 64));
+        }
+        (s.stats().l1d.accesses, s.stats().l1d.misses())
+    };
+    assert_eq!(real, ideal);
+}
+
+// -------------------------------------------------- directory invariants
+
+#[test]
+fn shared_l2_directory_stays_consistent_through_a_mixed_sequence() {
+    let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
+    let seq: [(usize, u32, bool); 12] = [
+        (0, 0x1000, false),
+        (1, 0x1000, false),
+        (2, 0x1000, true),
+        (3, 0x2000, false),
+        (0, 0x2000, true),
+        (1, 0x1000 + 0x20_0000, false), // evicts 0x1000 from the L2
+        (2, 0x3000, false),
+        (3, 0x3000, true),
+        (0, 0x1000, false),
+        (1, 0x4000, false),
+        (2, 0x4000, false),
+        (3, 0x4000, true),
+    ];
+    for (i, &(cpu, addr, store)) in seq.iter().enumerate() {
+        let req = if store {
+            MemRequest::store(cpu, addr)
+        } else {
+            MemRequest::load(cpu, addr)
+        };
+        s.access(Cycle(i as u64 * 500), req);
+        assert!(
+            s.directory_consistent(),
+            "directory inconsistent after op {i}: {cpu} {addr:#x} store={store}"
+        );
+    }
+}

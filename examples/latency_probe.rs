@@ -1,0 +1,38 @@
+//! Measure Table 2 from the three memory systems with latency probes.
+//!
+//! ```sh
+//! cargo run --release --example latency_probe
+//! ```
+//!
+//! Every number is *measured* by issuing accesses against the event-driven
+//! memory systems, not read out of a configuration struct.
+
+use cmpsim::core::{probe_latencies, ArchKind};
+
+fn main() {
+    println!("Measured contention-free latencies (CPU cycles; 1 cycle = 5 ns at 200 MHz)\n");
+    println!(
+        "{:<14} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        "system", "L1", "L2", "mem", "c2c", "L2 occ", "mem occ"
+    );
+    for arch in ArchKind::ALL {
+        let p = probe_latencies(arch, false);
+        println!(
+            "{:<14} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+            arch.name(),
+            p.l1_hit,
+            p.l2_hit,
+            p.memory,
+            p.cache_to_cache.map_or("-".into(), |v| v.to_string()),
+            p.l2_occupancy,
+            p.mem_occupancy
+        );
+    }
+    let ideal = probe_latencies(ArchKind::SharedL1, true);
+    println!(
+        "{:<14} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}   (Mipsy idealization)",
+        "shared-L1*", ideal.l1_hit, ideal.l2_hit, ideal.memory, "-", ideal.l2_occupancy,
+        ideal.mem_occupancy
+    );
+    println!("\nPaper's Table 2: shared-L1 3/10/50, shared-L2 1/14/50, shared-mem 1/10/50, c2c > 50.");
+}

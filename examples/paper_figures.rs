@@ -1,0 +1,58 @@
+//! Reproduce the paper's Mipsy figures (4-10) in one run.
+//!
+//! ```sh
+//! cargo run --release --example paper_figures [scale]
+//! ```
+//!
+//! `scale` defaults to 1.0 (the paper-equivalent workload sizes); smaller
+//! values run faster but overweight cold misses.
+
+use cmpsim::core::report::IpcBreakdown;
+use cmpsim::core::{ArchKind, Breakdown, CpuKind, MachineConfig, MissRates};
+use cmpsim::core::machine::run_workload;
+use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    println!("Workload scale {scale} (1.0 = paper-equivalent sizes)");
+
+    for (i, name) in ALL_WORKLOADS.iter().enumerate() {
+        println!("\n--- Figure {}: {name} (Mipsy) ---", i + 4);
+        let mut base = None;
+        for arch in ArchKind::ALL {
+            let w = build_by_name(name, 4, scale).expect("workload builds");
+            let cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+            let s = run_workload(&cfg, &w, 40_000_000_000).expect("validates");
+            let b = *base.get_or_insert(s.wall_cycles);
+            // The paper normalizes to the shared-memory architecture, which
+            // is printed last here; renormalize at the end of the row group
+            // by printing ratios against the first run instead.
+            println!(
+                "  {:<14} {:>10} cycles ({:>6.3}x first)  {}",
+                arch.name(),
+                s.wall_cycles,
+                s.wall_cycles as f64 / b as f64,
+                Breakdown::from_summary(&s)
+            );
+            println!("     {}", MissRates::from_mem(&s.mem));
+        }
+    }
+
+    println!("\n--- Figure 11: MXS IPC breakdowns ---");
+    for name in ["eqntott", "ear", "multiprog"] {
+        println!("  {name}:");
+        for arch in ArchKind::ALL {
+            let w = build_by_name(name, 4, scale).expect("workload builds");
+            let cfg = MachineConfig::new(arch, CpuKind::Mxs);
+            let s = run_workload(&cfg, &w, 40_000_000_000).expect("validates");
+            println!(
+                "    {:<14} {}",
+                arch.name(),
+                IpcBreakdown::from_summary(&s)
+            );
+        }
+    }
+}

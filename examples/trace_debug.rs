@@ -1,0 +1,57 @@
+//! Debugging workflow: disassemble a generated program and flight-record
+//! its execution.
+//!
+//! ```sh
+//! cargo run --release --example trace_debug
+//! ```
+//!
+//! Shows the two tools a workload author reaches for when a kernel
+//! misbehaves: the listing (with labels and branch targets) and the Mipsy
+//! flight recorder (the last N executed instructions with addresses).
+
+use cmpsim_cpu::{CpuModel, MipsyCpu};
+use cmpsim_engine::Cycle;
+use cmpsim_isa::disasm::listing;
+use cmpsim_isa::{Asm, Reg};
+use cmpsim_mem::{AddrSpace, PhysMem, SharedMemSystem, SystemConfig};
+
+fn main() {
+    // A small program with a data-dependent loop and a memory access.
+    let mut a = Asm::new(0x1000);
+    a.label("entry");
+    a.li(Reg::T0, 5);
+    a.la_abs(Reg::A0, 0x8000);
+    a.label("loop");
+    a.lw(Reg::T1, Reg::A0, 0);
+    a.add(Reg::T1, Reg::T1, Reg::T0);
+    a.sw(Reg::T1, Reg::A0, 0);
+    a.addi(Reg::T0, Reg::T0, -1);
+    a.bnez(Reg::T0, "loop");
+    a.label("done");
+    a.halt();
+    let prog = a.assemble().expect("assembles");
+
+    println!("=== listing ===\n{}", listing(&prog));
+
+    let mut phys = PhysMem::new(1);
+    phys.load_words(prog.base, &prog.words);
+    let mut mem = SharedMemSystem::new(&SystemConfig::paper_shared_mem(1));
+    let mut cpu = MipsyCpu::new(0, prog.base, AddrSpace::identity());
+    cpu.enable_trace(12);
+    let mut now = Cycle(0);
+    while !cpu.halted() {
+        let (next, _) = cpu.step(now, &mut mem, &mut phys);
+        now = next;
+    }
+
+    println!("=== flight recorder (last 12 instructions) ===");
+    for e in cpu.trace() {
+        let mem_note = e
+            .mem
+            .map(|(kind, pa)| format!("  [{kind:?} @{pa:#x}]"))
+            .unwrap_or_default();
+        println!("cycle {:>5}  {:#06x}: {}{}", e.cycle, e.pc, e.instr, mem_note);
+    }
+    println!("\nfinal word at 0x8000: {}", phys.read_u32(0x8000));
+    assert_eq!(phys.read_u32(0x8000), 5 + 4 + 3 + 2 + 1);
+}

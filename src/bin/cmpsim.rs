@@ -1,0 +1,296 @@
+//! `cmpsim` command-line driver: run any workload on any architecture
+//! under either CPU model and print the paper's metrics.
+//!
+//! ```sh
+//! cmpsim run --workload ocean --arch shared-l1 --cpu mipsy --scale 1.0
+//! cmpsim sweep --workload ear --cpu mxs
+//! cmpsim probe
+//! cmpsim list
+//! ```
+
+use cmpsim::core::machine::run_workload;
+use cmpsim::core::report::IpcBreakdown;
+use cmpsim::core::{
+    probe_latencies, ArchKind, Breakdown, CpuKind, MachineConfig, MissRates, RunSummary,
+};
+use cmpsim_kernels::synth::{build as build_synth, SynthParams};
+use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cmpsim — ISCA'96 multiprocessor-microprocessor design-space simulator
+
+USAGE:
+    cmpsim run   --workload <NAME> [--arch <ARCH>] [--cpu <MODEL>]
+                 [--scale <F>] [--cpus <N>] [--l2-assoc <N>]
+                 [--l1-latency <N>] [--l1-banks <N>] [--budget <CYCLES>]
+    cmpsim sweep --workload <NAME> [--cpu <MODEL>] [--scale <F>]
+    cmpsim synth [--rounds N] [--grain N] [--ws KB] [--stores PCT]
+                 [--shared PCT] [--shared-kb KB] [--cpu <MODEL>]
+                                 sweep a parameterized synthetic workload
+                                 across all three architectures
+    cmpsim probe                 measure Table 2 latencies
+    cmpsim list                  list workloads and architectures
+
+ARCH:   shared-l1 | shared-l2 | shared-mem | clustered   (default shared-mem)
+MODEL:  mipsy | mxs                          (default mipsy)
+NAME:   eqntott mp3d ocean volpack ear fft multiprog
+";
+
+#[derive(Debug)]
+struct Args {
+    workload: String,
+    arch: ArchKind,
+    cpu: CpuKind,
+    scale: f64,
+    cpus: usize,
+    l2_assoc: Option<usize>,
+    l1_latency: Option<u64>,
+    l1_banks: Option<usize>,
+    budget: u64,
+}
+
+fn parse_arch(s: &str) -> Result<ArchKind, String> {
+    match s {
+        "shared-l1" | "l1" => Ok(ArchKind::SharedL1),
+        "shared-l2" | "l2" => Ok(ArchKind::SharedL2),
+        "shared-mem" | "shared-memory" | "mem" => Ok(ArchKind::SharedMem),
+        "clustered" => Ok(ArchKind::Clustered),
+        other => Err(format!("unknown architecture `{other}`")),
+    }
+}
+
+fn parse_cpu(s: &str) -> Result<CpuKind, String> {
+    match s {
+        "mipsy" => Ok(CpuKind::Mipsy),
+        "mxs" => Ok(CpuKind::Mxs),
+        other => Err(format!("unknown CPU model `{other}`")),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        workload: String::new(),
+        arch: ArchKind::SharedMem,
+        cpu: CpuKind::Mipsy,
+        scale: 1.0,
+        cpus: 4,
+        l2_assoc: None,
+        l1_latency: None,
+        l1_banks: None,
+        budget: 40_000_000_000,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => args.workload = val()?,
+            "--arch" | "-a" => args.arch = parse_arch(&val()?)?,
+            "--cpu" | "-c" => args.cpu = parse_cpu(&val()?)?,
+            "--scale" | "-s" => {
+                args.scale = val()?.parse().map_err(|e| format!("bad scale: {e}"))?
+            }
+            "--cpus" | "-n" => args.cpus = val()?.parse().map_err(|e| format!("bad cpus: {e}"))?,
+            "--l2-assoc" => {
+                args.l2_assoc = Some(val()?.parse().map_err(|e| format!("bad assoc: {e}"))?)
+            }
+            "--l1-latency" => {
+                args.l1_latency = Some(val()?.parse().map_err(|e| format!("bad latency: {e}"))?)
+            }
+            "--l1-banks" => {
+                args.l1_banks = Some(val()?.parse().map_err(|e| format!("bad banks: {e}"))?)
+            }
+            "--budget" => args.budget = val()?.parse().map_err(|e| format!("bad budget: {e}"))?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.workload.is_empty() {
+        return Err("--workload is required".into());
+    }
+    if !matches!(args.cpus, 1 | 2 | 4) {
+        return Err(format!("--cpus must be 1, 2 or 4 (got {})", args.cpus));
+    }
+    Ok(args)
+}
+
+fn print_summary(cpu: CpuKind, s: &RunSummary) {
+    println!("architecture : {}", s.arch.name());
+    println!("wall cycles  : {}", s.wall_cycles);
+    println!("instructions : {}", s.total.instructions);
+    println!(
+        "loads/stores : {} / {} ({} failed SC)",
+        s.total.loads, s.total.stores, s.total.sc_failures
+    );
+    match cpu {
+        CpuKind::Mipsy => println!("breakdown    : {}", Breakdown::from_summary(s)),
+        _ => {
+            println!("ipc          : {}", IpcBreakdown::from_summary(s));
+            println!(
+                "pipeline     : avg window {:.1}/32, {} rob-full + {} no-preg dispatch stalls, {} mispredicts / {} branches",
+                s.total.avg_window_occupancy(),
+                s.total.dispatch_stall_rob,
+                s.total.dispatch_stall_preg,
+                s.total.mispredicts,
+                s.total.branches
+            );
+        }
+    }
+    println!("miss rates   : {}", MissRates::from_mem(&s.mem));
+    println!("access lat.  : {}", s.mem.latency);
+    for u in &s.port_util {
+        // busy_cycles aggregates over a group's banks, so it can exceed
+        // the wall clock; report raw cycle counts.
+        println!(
+            "port {:<12}: {:>9} grants, {:>9} busy cyc, {:>9} wait cyc",
+            u.name, u.grants, u.busy_cycles, u.wait_cycles
+        );
+    }
+}
+
+fn run_one(a: &Args, arch: ArchKind) -> Result<RunSummary, String> {
+    let w = build_by_name(&a.workload, a.cpus, a.scale)?;
+    let mut cfg = MachineConfig::new(arch, a.cpu);
+    cfg.n_cpus = a.cpus;
+    cfg.l2_assoc = a.l2_assoc;
+    cfg.l1_latency = a.l1_latency;
+    cfg.l1_banks = a.l1_banks;
+    run_workload(&cfg, &w, a.budget).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+    let result = match cmd.as_str() {
+        "list" => {
+            println!("workloads:     {}", ALL_WORKLOADS.join(" "));
+            println!("architectures: shared-l1 shared-l2 shared-mem clustered");
+            println!("cpu models:    mipsy mxs");
+            Ok(())
+        }
+        "probe" => {
+            println!(
+                "{:<14} {:>5} {:>5} {:>5} {:>5} {:>7} {:>8}",
+                "system", "L1", "L2", "mem", "c2c", "L2 occ", "mem occ"
+            );
+            for arch in ArchKind::ALL {
+                let p = probe_latencies(arch, false);
+                println!(
+                    "{:<14} {:>5} {:>5} {:>5} {:>5} {:>7} {:>8}",
+                    arch.name(),
+                    p.l1_hit,
+                    p.l2_hit,
+                    p.memory,
+                    p.cache_to_cache.map_or("-".into(), |v| v.to_string()),
+                    p.l2_occupancy,
+                    p.mem_occupancy
+                );
+            }
+            Ok(())
+        }
+        "run" => parse_args(rest).and_then(|a| {
+            let s = run_one(&a, a.arch)?;
+            print_summary(a.cpu, &s);
+            Ok(())
+        }),
+        "sweep" => parse_args(rest).and_then(|a| {
+            let mut base = None;
+            println!(
+                "{:<14} {:>12} {:>8}  breakdown",
+                "architecture", "cycles", "norm"
+            );
+            for arch in ArchKind::ALL {
+                let s = run_one(&a, arch)?;
+                let b = *base.get_or_insert(s.wall_cycles);
+                let detail = match a.cpu {
+                    CpuKind::Mipsy => Breakdown::from_summary(&s).to_string(),
+                    _ => IpcBreakdown::from_summary(&s).to_string(),
+                };
+                println!(
+                    "{:<14} {:>12} {:>8.3}  {}",
+                    arch.name(),
+                    s.wall_cycles,
+                    s.wall_cycles as f64 / b as f64,
+                    detail
+                );
+            }
+            Ok(())
+        }),
+        "synth" => (|| {
+            let mut p = SynthParams::default();
+            let mut cpu = CpuKind::Mipsy;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut val = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))
+                };
+                let parse =
+                    |v: String| v.parse::<usize>().map_err(|e| format!("bad number: {e}"));
+                match flag.as_str() {
+                    "--rounds" => p.rounds = parse(val()?)?,
+                    "--grain" => p.grain = parse(val()?)?,
+                    "--ws" => p.working_set_kb = parse(val()?)?,
+                    "--stores" => p.store_pct = parse(val()?)? as u8,
+                    "--shared" => p.shared_pct = parse(val()?)? as u8,
+                    "--shared-kb" => p.shared_kb = parse(val()?)?,
+                    "--cpu" => cpu = parse_cpu(&val()?)?,
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            // Validate up front so bad knobs produce CLI errors, not the
+            // library's panics.
+            if !(p.working_set_kb * 1024).is_power_of_two() {
+                return Err(format!("--ws {} is not a power of two", p.working_set_kb));
+            }
+            if !(p.shared_kb * 1024).is_power_of_two() {
+                return Err(format!("--shared-kb {} is not a power of two", p.shared_kb));
+            }
+            if p.store_pct > 100 || p.shared_pct > 100 {
+                return Err("--stores/--shared are percentages (0-100)".into());
+            }
+            println!("synth: {p:?}\n");
+            println!("{:<14} {:>12} {:>8}  breakdown", "architecture", "cycles", "norm");
+            let mut base = None;
+            for arch in ArchKind::ALL {
+                let w = build_synth(&p).map_err(|e| e.to_string())?;
+                let mut cfg = MachineConfig::new(arch, cpu);
+                cfg.n_cpus = p.n_cpus;
+                let s = run_workload(&cfg, &w, 40_000_000_000).map_err(|e| e.to_string())?;
+                let b = *base.get_or_insert(s.wall_cycles);
+                let detail = match cpu {
+                    CpuKind::Mipsy => Breakdown::from_summary(&s).to_string(),
+                    _ => IpcBreakdown::from_summary(&s).to_string(),
+                };
+                println!(
+                    "{:<14} {:>12} {:>8.3}  {}",
+                    arch.name(),
+                    s.wall_cycles,
+                    s.wall_cycles as f64 / b as f64,
+                    detail
+                );
+            }
+            Ok(())
+        })(),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Cross-model architectural equivalence: Mipsy and MXS must compute the
+//! same results. Timing differs wildly; architecture must not.
+
+use cmpsim::core::machine::run_workload;
+use cmpsim::core::{ArchKind, CpuKind, Machine, MachineConfig};
+use cmpsim_kernels::{build_by_name, Layout};
+
+/// Runs a workload under both CPU models on the same architecture and
+/// compares the final checksum word(s) in physical memory.
+fn check_equal(workload: &str, words: &[u32]) {
+    let mut results = Vec::new();
+    for cpu in [CpuKind::Mipsy, CpuKind::Mxs] {
+        let w = build_by_name(workload, 4, 0.06).expect("builds");
+        let cfg = MachineConfig::new(ArchKind::SharedMem, cpu);
+        let mut m = Machine::new(&cfg, &w);
+        m.run(2_000_000_000).expect("runs");
+        (w.check)(m.phys()).expect("validates");
+        results.push(
+            words
+                .iter()
+                .map(|&a| m.phys().read_u32(a))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(results[0], results[1], "{workload}: models disagree");
+}
+
+#[test]
+fn eqntott_checksum_identical_under_both_models() {
+    check_equal("eqntott", &[Layout::CHECK]);
+}
+
+#[test]
+fn ocean_checksum_identical_under_both_models() {
+    check_equal("ocean", &[Layout::CHECK, Layout::CHECK + 4]);
+}
+
+#[test]
+fn fft_checksum_identical_under_both_models() {
+    check_equal("fft", &[Layout::CHECK, Layout::CHECK + 4]);
+}
+
+#[test]
+fn mxs_is_slower_per_workload_than_its_own_ideal() {
+    // Sanity on the IPC accounting: achieved + losses ≈ issue width.
+    let w = build_by_name("ear", 4, 0.06).expect("builds");
+    let cfg = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mxs);
+    let s = run_workload(&cfg, &w, 2_000_000_000).expect("validates");
+    let b = cmpsim::core::report::IpcBreakdown::from_summary(&s);
+    assert!(
+        (b.accounted() - 2.0).abs() < 0.05,
+        "per-cycle accounting must sum to the graduate width, got {}",
+        b.accounted()
+    );
+}

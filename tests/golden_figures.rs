@@ -1,0 +1,56 @@
+//! Golden-results lock: the exact wall-cycle counts of every paper-scale
+//! Mipsy run, as published in EXPERIMENTS.md and README.md.
+//!
+//! The simulator is deterministic, so these must match bit-for-bit. If a
+//! change shifts any number, that is a *results change*: re-derive the
+//! figures, update EXPERIMENTS.md, and only then update this table. (This
+//! is how the repository guarantees its published numbers are the numbers
+//! the code produces.)
+
+use cmpsim::core::machine::run_workload;
+use cmpsim::core::{ArchKind, CpuKind, MachineConfig};
+use cmpsim_kernels::build_by_name;
+
+#[test]
+fn paper_scale_mipsy_cycle_counts_match_the_published_figures() {
+    let golden: [(&str, ArchKind, u64); 21] = [
+        ("eqntott", ArchKind::SharedL1, 435433),
+        ("eqntott", ArchKind::SharedL2, 499727),
+        ("eqntott", ArchKind::SharedMem, 736084),
+        ("mp3d", ArchKind::SharedL1, 857886),
+        ("mp3d", ArchKind::SharedL2, 806188),
+        ("mp3d", ArchKind::SharedMem, 840046),
+        ("ocean", ArchKind::SharedL1, 1071986),
+        ("ocean", ArchKind::SharedL2, 1169167),
+        ("ocean", ArchKind::SharedMem, 1227812),
+        ("volpack", ArchKind::SharedL1, 166100),
+        ("volpack", ArchKind::SharedL2, 177474),
+        ("volpack", ArchKind::SharedMem, 209829),
+        ("ear", ArchKind::SharedL1, 839423),
+        ("ear", ArchKind::SharedL2, 1141056),
+        ("ear", ArchKind::SharedMem, 2082194),
+        ("fft", ArchKind::SharedL1, 196837),
+        ("fft", ArchKind::SharedL2, 225520),
+        ("fft", ArchKind::SharedMem, 277962),
+        ("multiprog", ArchKind::SharedL1, 533251),
+        ("multiprog", ArchKind::SharedL2, 573474),
+        ("multiprog", ArchKind::SharedMem, 566048),
+    ];
+    let mut failures = Vec::new();
+    for (workload, arch, want) in golden {
+        let w = build_by_name(workload, 4, 1.0).expect("builds");
+        let cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+        let s = run_workload(&cfg, &w, 40_000_000_000).expect("validates");
+        if s.wall_cycles != want {
+            failures.push(format!(
+                "{workload} on {arch}: {} cycles (published {want})",
+                s.wall_cycles
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "published figures drifted:\n{}",
+        failures.join("\n")
+    );
+}
