@@ -1,46 +1,86 @@
-//! Criterion benchmark of the simulator's own speed: simulated
-//! instructions per host second for both CPU models. Not a paper figure —
-//! a regression guard for the simulator.
+//! Simulator-speed regression bench: simulated work per host second,
+//! measured with the in-repo timing harness (`cmpsim_bench::timing`) and
+//! emitted as JSON lines for `BENCH_*.json`. Not a paper figure — a
+//! regression guard for the simulator itself.
+//!
+//! One record per CPU model (simulated instructions per host second on a
+//! real workload) and one per memory system (accesses per host second on
+//! a synthetic scatter stream).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cmpsim_bench::timing::{self, JsonVal};
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
+use cmpsim_engine::Cycle;
 use cmpsim_kernels::build_by_name;
+use cmpsim_mem::{
+    MemRequest, MemorySystem, SharedL1System, SharedL2System, SharedMemSystem, SystemConfig,
+};
 
-fn mipsy_throughput(c: &mut Criterion) {
-    c.bench_function("mipsy_eqntott_small", |b| {
-        b.iter(|| {
-            let w = build_by_name("eqntott", 4, 0.05).expect("builds");
-            let cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mipsy);
-            run_workload(&cfg, &w, 100_000_000).expect("runs")
-        })
+const WARMUP: u32 = 1;
+const RUNS: u32 = 5;
+const MEM_ACCESSES: u32 = 1_000_000;
+
+/// Times one CPU model running eqntott small and reports simulated
+/// instructions per host second.
+fn cpu_model_throughput(label: &str, arch: ArchKind, cpu: CpuKind) {
+    let mut sim_instructions = 0u64;
+    let m = timing::measure(WARMUP, RUNS, || {
+        let w = build_by_name("eqntott", 4, 0.05).expect("builds");
+        let cfg = MachineConfig::new(arch, cpu);
+        let summary = run_workload(&cfg, &w, 100_000_000).expect("runs");
+        sim_instructions = summary.total.instructions;
+        summary
     });
+    timing::emit_record(
+        "sim_throughput",
+        &format!("cpu/{label}/eqntott"),
+        &m,
+        &[
+            ("sim_instructions", sim_instructions.into()),
+            (
+                "sim_instr_per_host_sec",
+                JsonVal::F64(m.per_sec(sim_instructions)),
+            ),
+        ],
+    );
 }
 
-fn mxs_throughput(c: &mut Criterion) {
-    c.bench_function("mxs_eqntott_small", |b| {
-        b.iter(|| {
-            let w = build_by_name("eqntott", 4, 0.05).expect("builds");
-            let cfg = MachineConfig::new(ArchKind::SharedL1, CpuKind::Mxs);
-            run_workload(&cfg, &w, 100_000_000).expect("runs")
-        })
+/// Times a synthetic 4-CPU scatter stream against one memory system and
+/// reports accesses per host second.
+fn memsys_throughput(label: &str, mut make: impl FnMut() -> Box<dyn MemorySystem>) {
+    let m = timing::measure(WARMUP, RUNS, || {
+        let mut sys = make();
+        for i in 0..MEM_ACCESSES {
+            let addr = (i.wrapping_mul(2_654_435_761)) & 0x3f_ffff;
+            sys.access(Cycle(u64::from(i)), MemRequest::load((i & 3) as usize, addr));
+        }
+        sys.stats().l1d.accesses
     });
+    timing::emit_record(
+        "sim_throughput",
+        &format!("mem/{label}"),
+        &m,
+        &[
+            ("accesses", u64::from(MEM_ACCESSES).into()),
+            (
+                "accesses_per_host_sec",
+                JsonVal::F64(m.per_sec(u64::from(MEM_ACCESSES))),
+            ),
+        ],
+    );
 }
 
-fn memsys_throughput(c: &mut Criterion) {
-    use cmpsim_engine::Cycle;
-    use cmpsim_mem::{MemRequest, MemorySystem, SharedMemSystem, SystemConfig};
-    c.bench_function("shared_mem_1m_accesses", |b| {
-        b.iter(|| {
-            let mut sys = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
-            for i in 0..1_000_000u32 {
-                let addr = (i.wrapping_mul(2654435761)) & 0x3f_ffff;
-                sys.access(Cycle(u64::from(i)), MemRequest::load((i & 3) as usize, addr));
-            }
-            sys.stats().l1d.accesses
-        })
+fn main() {
+    cpu_model_throughput("mipsy", ArchKind::SharedMem, CpuKind::Mipsy);
+    cpu_model_throughput("mxs", ArchKind::SharedL1, CpuKind::Mxs);
+
+    memsys_throughput("shared_mem", || {
+        Box::new(SharedMemSystem::new(&SystemConfig::paper_shared_mem(4)))
+    });
+    memsys_throughput("shared_l2", || {
+        Box::new(SharedL2System::new(&SystemConfig::paper_shared_l2(4)))
+    });
+    memsys_throughput("shared_l1", || {
+        Box::new(SharedL1System::new(&SystemConfig::paper_shared_l1(4)))
     });
 }
-
-criterion_group!(benches, mipsy_throughput, mxs_throughput, memsys_throughput);
-criterion_main!(benches);

@@ -7,6 +7,8 @@
 //! the rows the paper reports. `EXPERIMENTS.md` records paper-vs-measured
 //! values produced by these targets.
 
+pub mod timing;
+
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::report::IpcBreakdown;
 use cmpsim_core::{ArchKind, Breakdown, CpuKind, MachineConfig, MissRates, RunSummary};

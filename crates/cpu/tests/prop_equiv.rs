@@ -3,12 +3,13 @@
 //! out-of-order MXS model must produce *identical architectural state* —
 //! every integer register, every FP register, and all touched memory.
 //! Any renaming, forwarding, squash or fence bug shows up here.
+//! Runs on `cmpsim_engine::prop`.
 
 use cmpsim_cpu::{CpuModel, MipsyCpu, MxsCpu};
+use cmpsim_engine::prop::{self, Config, Source};
 use cmpsim_engine::Cycle;
 use cmpsim_isa::{AluOp, Asm, FReg, FpOp, Reg};
 use cmpsim_mem::{AddrSpace, PhysMem, SharedMemSystem, SystemConfig};
-use proptest::prelude::*;
 
 const CODE: u32 = 0x1_0000;
 const DATA: u32 = 0x10_0000;
@@ -33,46 +34,52 @@ enum GenOp {
     Sync,
 }
 
-fn any_gpr() -> impl Strategy<Value = u8> {
+fn any_gpr(src: &mut Source) -> u8 {
     // T0..T7 and S0..S3: never the loop counter (S5) or bases.
-    prop_oneof![(8u8..16), (16u8..20)]
+    let idx = src.u8(0..12);
+    if idx < 8 {
+        8 + idx
+    } else {
+        16 + (idx - 8)
+    }
 }
-fn any_fpr() -> impl Strategy<Value = u8> {
-    1u8..9
+fn any_fpr(src: &mut Source) -> u8 {
+    src.u8(1..9)
 }
-fn any_woff() -> impl Strategy<Value = u16> {
-    (0u16..DATA_WORDS as u16).prop_map(|w| w * 4)
+fn any_woff(src: &mut Source) -> u16 {
+    src.u64(0..u64::from(DATA_WORDS)) as u16 * 4
 }
-fn any_alu() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::And), Just(AluOp::Or),
-        Just(AluOp::Xor), Just(AluOp::Nor), Just(AluOp::Slt), Just(AluOp::Sltu),
-        Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra),
-    ]
+fn any_alu(src: &mut Source) -> AluOp {
+    src.choice(&[
+        AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Nor,
+        AluOp::Slt, AluOp::Sltu, AluOp::Sll, AluOp::Srl, AluOp::Sra,
+    ])
 }
-fn any_fp() -> impl Strategy<Value = FpOp> {
+fn any_fp(src: &mut Source) -> FpOp {
     // Divides excluded: 0/0 -> NaN propagates fine but makes failures
     // noisier to debug; Mul/Add/Sub still cover the FP pipelines.
-    prop_oneof![Just(FpOp::AddS), Just(FpOp::SubS), Just(FpOp::MulS),
-                Just(FpOp::AddD), Just(FpOp::SubD), Just(FpOp::MulD)]
+    src.choice(&[
+        FpOp::AddS, FpOp::SubS, FpOp::MulS,
+        FpOp::AddD, FpOp::SubD, FpOp::MulD,
+    ])
 }
 
-fn any_op() -> impl Strategy<Value = GenOp> {
-    prop_oneof![
-        (any_alu(), any_gpr(), any_gpr(), any_gpr()).prop_map(|(o, a, b, c)| GenOp::Alu(o, a, b, c)),
-        (any_alu(), any_gpr(), any_gpr(), any::<i16>()).prop_map(|(o, a, b, i)| GenOp::AluI(o, a, b, i)),
-        (any_gpr(), any_gpr(), any_gpr()).prop_map(|(a, b, c)| GenOp::Mul(a, b, c)),
-        (any_gpr(), any_gpr(), any_gpr()).prop_map(|(a, b, c)| GenOp::Div(a, b, c)),
-        (any_fp(), any_fpr(), any_fpr(), any_fpr()).prop_map(|(o, a, b, c)| GenOp::Fp(o, a, b, c)),
-        (any_fpr(), any_gpr()).prop_map(|(f, r)| GenOp::Cvt(f, r)),
-        (any_gpr(), any_woff()).prop_map(|(r, o)| GenOp::Load(r, o)),
-        (any_gpr(), any_woff()).prop_map(|(r, o)| GenOp::Store(r, o)),
-        (any_fpr(), any_woff()).prop_map(|(f, o)| GenOp::FLoad(f, o)),
-        (any_fpr(), any_woff()).prop_map(|(f, o)| GenOp::FStore(f, o)),
-        any_woff().prop_map(GenOp::LlSc),
-        (any_gpr(), 1u8..4).prop_map(|(r, n)| GenOp::Skip(r, n)),
-        Just(GenOp::Sync),
-    ]
+fn any_op(src: &mut Source) -> GenOp {
+    match src.index(13) {
+        0 => GenOp::Alu(any_alu(src), any_gpr(src), any_gpr(src), any_gpr(src)),
+        1 => GenOp::AluI(any_alu(src), any_gpr(src), any_gpr(src), src.i16_any()),
+        2 => GenOp::Mul(any_gpr(src), any_gpr(src), any_gpr(src)),
+        3 => GenOp::Div(any_gpr(src), any_gpr(src), any_gpr(src)),
+        4 => GenOp::Fp(any_fp(src), any_fpr(src), any_fpr(src), any_fpr(src)),
+        5 => GenOp::Cvt(any_fpr(src), any_gpr(src)),
+        6 => GenOp::Load(any_gpr(src), any_woff(src)),
+        7 => GenOp::Store(any_gpr(src), any_woff(src)),
+        8 => GenOp::FLoad(any_fpr(src), any_woff(src)),
+        9 => GenOp::FStore(any_fpr(src), any_woff(src)),
+        10 => GenOp::LlSc(any_woff(src)),
+        11 => GenOp::Skip(any_gpr(src), src.u8(1..4)),
+        _ => GenOp::Sync,
+    }
 }
 
 /// Emits the generated loop; every program terminates (bounded counter,
@@ -181,37 +188,60 @@ fn run<C: CpuModel>(mut cpu: C, prog: &cmpsim_isa::Program) -> (C, PhysMem) {
     panic!("generated program did not halt");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn mipsy_and_mxs_agree_on_architectural_state(
-        ops in prop::collection::vec(any_op(), 1..40),
-        iters in 1u8..12,
-    ) {
-        let prog = emit(&ops, iters).assemble().expect("assembles");
-        let (mipsy, mem_a) = run(MipsyCpu::new(0, CODE, AddrSpace::identity()), &prog);
-        let (mxs, mem_b) = run(MxsCpu::new(0, CODE, AddrSpace::identity()), &prog);
+/// Runs the program on both models and asserts identical architectural
+/// state: GPRs, FPRs (NaN == NaN) and all data memory.
+fn assert_models_agree(ops: &[GenOp], iters: u8) {
+    let prog = emit(ops, iters).assemble().expect("assembles");
+    let (mipsy, mem_a) = run(MipsyCpu::new(0, CODE, AddrSpace::identity()), &prog);
+    let (mxs, mem_b) = run(MxsCpu::new(0, CODE, AddrSpace::identity()), &prog);
 
-        for r in 0..32u8 {
-            prop_assert_eq!(
-                mipsy.arch().gpr(Reg::new(r)),
-                mxs.arch().gpr(Reg::new(r)),
-                "gpr {} differs", r
-            );
-        }
-        for f in 0..32u8 {
-            let (a, b) = (mipsy.arch().fpr(FReg::new(f)), mxs.arch().fpr(FReg::new(f)));
-            prop_assert!(
-                a == b || (a.is_nan() && b.is_nan()),
-                "fpr {} differs: {} vs {}", f, a, b
-            );
-        }
-        for i in 0..DATA_WORDS {
-            prop_assert_eq!(
-                mem_a.read_u32(DATA + i * 4),
-                mem_b.read_u32(DATA + i * 4),
-                "memory word {} differs", i
-            );
-        }
+    for r in 0..32u8 {
+        assert_eq!(
+            mipsy.arch().gpr(Reg::new(r)),
+            mxs.arch().gpr(Reg::new(r)),
+            "gpr {r} differs"
+        );
     }
+    for f in 0..32u8 {
+        let (a, b) = (mipsy.arch().fpr(FReg::new(f)), mxs.arch().fpr(FReg::new(f)));
+        assert!(
+            a == b || (a.is_nan() && b.is_nan()),
+            "fpr {f} differs: {a} vs {b}"
+        );
+    }
+    for i in 0..DATA_WORDS {
+        assert_eq!(
+            mem_a.read_u32(DATA + i * 4),
+            mem_b.read_u32(DATA + i * 4),
+            "memory word {i} differs"
+        );
+    }
+}
+
+#[test]
+fn mipsy_and_mxs_agree_on_architectural_state() {
+    let cfg = Config::from_env_or_cases(64);
+    prop::check_with(&cfg, "mipsy_and_mxs_agree_on_architectural_state", |src| {
+        let ops = src.vec(1..40, any_op);
+        let iters = src.u8(1..12);
+        assert_models_agree(&ops, iters);
+    });
+}
+
+/// Pinned regression: the DESIGN.md §7 LL/SC-at-graduation bug class.
+/// Setting the load-link reservation at (speculative) execute instead of
+/// graduation let the older same-CPU store below clear it when that store
+/// graduated, turning the SC into a spurious failure — Mipsy and MXS then
+/// disagreed on T8 and on the touched word. Found by the equivalence
+/// property; must stay covered verbatim.
+#[test]
+fn regression_llsc_reservation_set_at_graduation() {
+    assert_models_agree(
+        &[
+            GenOp::Mul(12, 8, 8),
+            GenOp::Store(8, 96),
+            GenOp::LlSc(96),
+        ],
+        1,
+    );
 }

@@ -11,6 +11,9 @@
 //!   execution-time breakdowns and miss-rate tables.
 //! * [`Rng64`] — a small deterministic PRNG so every simulation is exactly
 //!   reproducible from its seed.
+//! * [`prop`] — a deterministic property-testing framework built on
+//!   [`Rng64`], so the whole workspace tests itself without any external
+//!   dependency.
 //!
 //! # Examples
 //!
@@ -26,6 +29,7 @@
 //! assert_eq!(second, Cycle(16));
 //! ```
 
+pub mod prop;
 pub mod queue;
 pub mod resource;
 pub mod rng;

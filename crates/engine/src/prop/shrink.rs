@@ -1,0 +1,174 @@
+//! Greedy minimization of a failing choice buffer.
+//!
+//! The shrinker knows nothing about the values a property generated; it
+//! edits the raw `Vec<u64>` choice buffer recorded by a live
+//! [`Source`](super::Source) run and replays the property after every
+//! edit. Three kinds of edit, each strictly simplifying:
+//!
+//! 1. **Delete a span** — shortens the buffer (drops vector elements,
+//!    trailing operations, whole sub-structures).
+//! 2. **Zero a span** — turns values into each generator's simplest
+//!    output (first enum variant, range minimum, `false`, stop-flag).
+//! 3. **Halve / decrement one value** — binary-searches an individual
+//!    choice down toward 0 while the failure persists.
+//!
+//! Passes repeat greedily — any accepted edit restarts the cycle — until
+//! a full cycle makes no progress or the attempt budget is exhausted.
+//! The result is the shortest, pointwise-smallest buffer found that still
+//! fails the property.
+
+/// Outcome of one shrink run.
+pub struct Shrunk {
+    /// The minimized failing choice buffer.
+    pub choices: Vec<u64>,
+    /// Panic message produced by the minimized buffer.
+    pub message: String,
+    /// Property executions spent shrinking.
+    pub attempts: u32,
+}
+
+/// Minimizes `choices` (which must currently fail) against `test`.
+///
+/// `test` replays the property on a candidate buffer and returns
+/// `Some(panic message)` if the property still fails, `None` if it now
+/// passes. At most `budget` candidate executions are spent.
+pub fn minimize(
+    test: impl Fn(&[u64]) -> Option<String>,
+    choices: Vec<u64>,
+    message: String,
+    budget: u32,
+) -> Shrunk {
+    let mut best = choices;
+    let mut msg = message;
+    let mut attempts = 0u32;
+
+    // Runs one candidate; returns true (and adopts it) if it still fails.
+    let try_candidate = |cand: Vec<u64>,
+                             best: &mut Vec<u64>,
+                             msg: &mut String,
+                             attempts: &mut u32|
+     -> bool {
+        if *attempts >= budget {
+            return false;
+        }
+        *attempts += 1;
+        if let Some(m) = test(&cand) {
+            *best = cand;
+            *msg = m;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete spans, largest first.
+        let mut size = best.len().max(1).next_power_of_two();
+        while size >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                if attempts >= budget {
+                    break;
+                }
+                let end = (start + size).min(best.len());
+                let mut cand = best.clone();
+                cand.drain(start..end);
+                if try_candidate(cand, &mut best, &mut msg, &mut attempts) {
+                    improved = true;
+                    // Buffer shrank under us; retry the same start index.
+                } else {
+                    start += size;
+                }
+            }
+            size /= 2;
+        }
+
+        // Pass 2: zero spans, largest first.
+        let mut size = best.len().max(1).next_power_of_two();
+        while size >= 1 {
+            for start in 0..best.len() {
+                if attempts >= budget {
+                    break;
+                }
+                let end = (start + size).min(best.len());
+                if best[start..end].iter().all(|&c| c == 0) {
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand[start..end].iter_mut().for_each(|c| *c = 0);
+                if try_candidate(cand, &mut best, &mut msg, &mut attempts) {
+                    improved = true;
+                }
+            }
+            size /= 2;
+        }
+
+        // Pass 3: minimize individual values toward 0.
+        for i in 0..best.len() {
+            while best[i] > 0 && attempts < budget {
+                let v = best[i];
+                // Try the big step first, then creep.
+                let mut cand = best.clone();
+                cand[i] = v / 2;
+                if try_candidate(cand, &mut best, &mut msg, &mut attempts) {
+                    improved = true;
+                    continue;
+                }
+                let mut cand = best.clone();
+                cand[i] = v - 1;
+                if try_candidate(cand, &mut best, &mut msg, &mut attempts) {
+                    improved = true;
+                    continue;
+                }
+                break;
+            }
+        }
+
+        if !improved || attempts >= budget {
+            break;
+        }
+    }
+
+    Shrunk {
+        choices: best,
+        message: msg,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// "Fails" whenever any choice is >= 10; minimal failing buffer is a
+    /// single value 10.
+    fn has_big(cand: &[u64]) -> Option<String> {
+        cand.iter()
+            .any(|&c| c >= 10)
+            .then(|| "big value present".to_string())
+    }
+
+    #[test]
+    fn minimizes_to_single_boundary_value() {
+        let start = vec![3, 99, 0, 57, 12, 4];
+        let out = minimize(has_big, start, "seed msg".into(), 10_000);
+        assert_eq!(out.choices, vec![10]);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let start = vec![99; 64];
+        let out = minimize(has_big, start, "m".into(), 3);
+        assert!(out.attempts <= 3);
+        // Whatever remains must still fail.
+        assert!(has_big(&out.choices).is_some());
+    }
+
+    #[test]
+    fn already_minimal_is_stable() {
+        let out = minimize(has_big, vec![10], "m".into(), 1000);
+        assert_eq!(out.choices, vec![10]);
+    }
+}

@@ -1,0 +1,300 @@
+//! The choice stream a property draws its random inputs from.
+//!
+//! A [`Source`] has two modes. In *live* mode it draws fresh values from a
+//! seeded [`Rng64`] and records every draw into a flat `Vec<u64>` choice
+//! buffer. In *replay* mode it ignores the RNG and answers draws from a
+//! previously recorded (possibly shrunken) buffer, returning 0 once the
+//! buffer is exhausted.
+//!
+//! Recording at the level of raw choices — rather than typed values — is
+//! what makes shrinking generic: the shrinker never needs to know *what*
+//! was generated, it just edits the buffer (delete spans, zero spans,
+//! halve values) and replays the property. Every draw maps an arbitrary
+//! `u64` onto a valid value (`raw % span`), so any edited buffer is still
+//! a valid input, and because smaller raw choices map to "simpler" values
+//! (shorter vectors, values nearer a range's low end, earlier variants),
+//! minimizing the buffer minimizes the counterexample.
+
+use crate::Rng64;
+use std::ops::Range;
+
+enum Mode {
+    /// Drawing fresh values and recording them.
+    Live(Rng64),
+    /// Replaying a recorded buffer; exhausted positions read as 0.
+    Replay,
+}
+
+/// A recorded or replayed stream of random choices; the single argument
+/// every property receives.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_engine::prop::Source;
+/// let mut a = Source::live(7);
+/// let x = a.u64(0..100);
+/// assert!(x < 100);
+/// // Replaying the recorded choices reproduces the same value.
+/// let mut b = Source::replay(a.into_choices());
+/// assert_eq!(b.u64(0..100), x);
+/// ```
+pub struct Source {
+    mode: Mode,
+    choices: Vec<u64>,
+    pos: usize,
+}
+
+impl Source {
+    /// A live source seeded from `seed`; draws are recorded for replay.
+    pub fn live(seed: u64) -> Source {
+        Source {
+            mode: Mode::Live(Rng64::new(seed)),
+            choices: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// A replay source that answers draws from `choices`.
+    pub fn replay(choices: Vec<u64>) -> Source {
+        Source {
+            mode: Mode::Replay,
+            choices,
+            pos: 0,
+        }
+    }
+
+    /// The recorded choice buffer (live) or the replay buffer (replay).
+    pub fn into_choices(self) -> Vec<u64> {
+        self.choices
+    }
+
+    /// Raw draw in `[0, span)`. Live: uniform from the RNG, recorded.
+    /// Replay: next buffered value reduced `% span` (0 when exhausted).
+    fn draw(&mut self, span: u64) -> u64 {
+        assert!(span > 0, "draw span must be positive");
+        match &mut self.mode {
+            Mode::Live(rng) => {
+                let raw = rng.range(span);
+                self.choices.push(raw);
+                raw
+            }
+            Mode::Replay => {
+                let raw = self.choices.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                raw % span
+            }
+        }
+    }
+
+    /// Raw full-width 64-bit draw.
+    fn draw_full(&mut self) -> u64 {
+        match &mut self.mode {
+            Mode::Live(rng) => {
+                let raw = rng.next_u64();
+                self.choices.push(raw);
+                raw
+            }
+            Mode::Replay => {
+                let raw = self.choices.get(self.pos).copied().unwrap_or(0);
+                self.pos += 1;
+                raw
+            }
+        }
+    }
+
+    /// Records a value the generator decided itself (live mode only);
+    /// used for the vector continue-flags so they land in the buffer and
+    /// stay editable by the shrinker.
+    fn emit(&mut self, value: u64) {
+        debug_assert!(matches!(self.mode, Mode::Live(_)));
+        self.choices.push(value);
+    }
+
+    // ---- typed draws ----------------------------------------------------
+
+    /// Uniform `u64` in `range` (half-open); shrinks toward `range.start`.
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.draw(range.end - range.start)
+    }
+
+    /// Any `u64`; shrinks toward 0.
+    pub fn u64_any(&mut self) -> u64 {
+        self.draw_full()
+    }
+
+    /// Uniform `u32` in `range`; shrinks toward `range.start`.
+    pub fn u32(&mut self, range: Range<u32>) -> u32 {
+        self.u64(u64::from(range.start)..u64::from(range.end)) as u32
+    }
+
+    /// Any `u32`; shrinks toward 0.
+    pub fn u32_any(&mut self) -> u32 {
+        self.draw(1 << 32) as u32
+    }
+
+    /// Any `u16`; shrinks toward 0.
+    pub fn u16_any(&mut self) -> u16 {
+        self.draw(1 << 16) as u16
+    }
+
+    /// Uniform `u8` in `range`; shrinks toward `range.start`.
+    pub fn u8(&mut self, range: Range<u8>) -> u8 {
+        self.u64(u64::from(range.start)..u64::from(range.end)) as u8
+    }
+
+    /// Uniform `usize` in `range`; shrinks toward `range.start`.
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform `i64` in `range` (half-open); shrinks toward `range.start`.
+    pub fn i64(&mut self, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(self.draw(span) as i64)
+    }
+
+    /// Any `i16`, zigzag-coded so it shrinks toward 0 (0, -1, 1, -2, ...).
+    pub fn i16_any(&mut self) -> i16 {
+        let k = self.draw(1 << 16);
+        if k & 1 == 0 {
+            (k >> 1) as i16
+        } else {
+            -(((k >> 1) + 1) as i64) as i16
+        }
+    }
+
+    /// Any `i32`, zigzag-coded so it shrinks toward 0.
+    pub fn i32_any(&mut self) -> i32 {
+        let k = self.draw(1 << 32);
+        if k & 1 == 0 {
+            (k >> 1) as i32
+        } else {
+            -(((k >> 1) + 1) as i64) as i32
+        }
+    }
+
+    /// Uniform `f64` in `range` (53-bit resolution); shrinks toward
+    /// `range.start`.
+    pub fn f64(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        let unit = self.draw(1 << 53) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + unit * (range.end - range.start)
+    }
+
+    /// A boolean; shrinks toward `false`.
+    pub fn bool(&mut self) -> bool {
+        self.draw(2) == 1
+    }
+
+    /// Uniform index in `[0, n)`; shrinks toward 0. The variant-selection
+    /// primitive: put the simplest alternative first.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot choose among zero alternatives");
+        self.draw(n as u64) as usize
+    }
+
+    /// One of `items`, cloned; shrinks toward the first.
+    pub fn choice<T: Clone>(&mut self, items: &[T]) -> T {
+        items[self.index(items.len())].clone()
+    }
+
+    /// A vector with length in `len` (half-open, like proptest's
+    /// `vec(strategy, a..b)`) whose elements come from `element`.
+    ///
+    /// Internally each element beyond the minimum length is preceded by a
+    /// recorded continue-flag (nonzero = keep going), so the shrinker can
+    /// truncate the vector by zeroing a flag or delete one element by
+    /// removing its flag+draws span. The length itself is chosen uniformly
+    /// in live mode.
+    pub fn vec<T>(
+        &mut self,
+        len: Range<usize>,
+        mut element: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        assert!(len.start < len.end, "empty length range");
+        let (min, max) = (len.start, len.end - 1);
+        let target = match &mut self.mode {
+            // The target length is drawn directly from the RNG without
+            // being recorded: only the per-element flags below go into the
+            // buffer, so replay depends on them alone.
+            Mode::Live(rng) => min + rng.range((max - min + 1) as u64) as usize,
+            Mode::Replay => usize::MAX,
+        };
+        let mut v = Vec::new();
+        loop {
+            if v.len() >= max {
+                break;
+            }
+            if v.len() >= min {
+                let cont = match self.mode {
+                    Mode::Live(_) => {
+                        let c = u64::from(v.len() < target);
+                        self.emit(c);
+                        c
+                    }
+                    Mode::Replay => self.draw_full(),
+                };
+                if cont == 0 {
+                    break;
+                }
+            }
+            v.push(element(self));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_and_replay_agree() {
+        let mut live = Source::live(99);
+        let a = (
+            live.u64(5..50),
+            live.i16_any(),
+            live.bool(),
+            live.f64(0.0..2.0),
+            live.vec(1..10, |s| s.u32(0..7)),
+        );
+        let mut rep = Source::replay(live.into_choices());
+        let b = (
+            rep.u64(5..50),
+            rep.i16_any(),
+            rep.bool(),
+            rep.f64(0.0..2.0),
+            rep.vec(1..10, |s| s.u32(0..7)),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_replay_yields_minimal_values() {
+        let mut s = Source::replay(Vec::new());
+        assert_eq!(s.u64(3..30), 3);
+        assert_eq!(s.i16_any(), 0);
+        assert!(!s.bool());
+        assert_eq!(s.vec(2..9, |s| s.u8(0..10)), vec![0, 0]);
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut s = Source::live(1234);
+        for _ in 0..200 {
+            let v = s.vec(1..8, |s| s.u64(0..10));
+            assert!((1..8).contains(&v.len()), "len {} out of range", v.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_covers_extremes() {
+        // k = 65534 -> 32767, k = 65535 -> -32768.
+        let mut s = Source::replay(vec![65534, 65535]);
+        assert_eq!(s.i16_any(), i16::MAX);
+        assert_eq!(s.i16_any(), i16::MIN);
+    }
+}

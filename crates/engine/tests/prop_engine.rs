@@ -1,12 +1,13 @@
-//! Property tests for the simulation core.
+//! Property tests for the simulation core, running on the engine's own
+//! deterministic `prop` framework.
 
-use cmpsim_engine::{Cycle, EventQueue, Port, Rng64};
-use proptest::prelude::*;
+use cmpsim_engine::{prop, Cycle, EventQueue, Port, Rng64};
 
-proptest! {
-    /// Events pop in nondecreasing time order, FIFO within a cycle.
-    #[test]
-    fn event_queue_is_stable_priority(times in prop::collection::vec(0u64..100, 1..200)) {
+/// Events pop in nondecreasing time order, FIFO within a cycle.
+#[test]
+fn event_queue_is_stable_priority() {
+    prop::check("event_queue_is_stable_priority", |src| {
+        let times = src.vec(1..200, |s| s.u64(0..100));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(Cycle(t), (t, i));
@@ -15,54 +16,63 @@ proptest! {
         while let Some(e) = q.pop_due(Cycle(u64::MAX)) {
             popped.push(e);
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order");
+            assert!(w[0].0 <= w[1].0, "time order");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO within a cycle");
+                assert!(w[0].1 < w[1].1, "FIFO within a cycle");
             }
         }
-    }
+    });
+}
 
-    /// A port never grants before the request arrives, never overlaps
-    /// grants, and accumulates wait exactly as grant - arrival.
-    #[test]
-    fn port_grants_are_serialized(
-        reqs in prop::collection::vec((0u64..1000, 1u64..10), 1..100)
-    ) {
-        let mut sorted = reqs.clone();
+/// A port never grants before the request arrives, never overlaps grants,
+/// and accumulates wait exactly as grant - arrival.
+#[test]
+fn port_grants_are_serialized() {
+    prop::check("port_grants_are_serialized", |src| {
+        let reqs = src.vec(1..100, |s| (s.u64(0..1000), s.u64(1..10)));
+        let mut sorted = reqs;
         sorted.sort_by_key(|r| r.0);
         let mut p = Port::new("t");
         let mut last_end = 0u64;
         let mut total_wait = 0u64;
         for (at, occ) in sorted {
             let g = p.reserve(Cycle(at), occ);
-            prop_assert!(g.0 >= at, "grant at or after arrival");
-            prop_assert!(g.0 >= last_end, "no overlap");
+            assert!(g.0 >= at, "grant at or after arrival");
+            assert!(g.0 >= last_end, "no overlap");
             total_wait += g.0 - at;
             last_end = g.0 + occ;
         }
-        prop_assert_eq!(p.wait_cycles(), total_wait);
-        prop_assert_eq!(p.free_at().0, last_end);
-    }
+        assert_eq!(p.wait_cycles(), total_wait);
+        assert_eq!(p.free_at().0, last_end);
+    });
+}
 
-    /// The RNG's range() respects its bound for arbitrary seeds.
-    #[test]
-    fn rng_range_in_bounds(seed in any::<u64>(), n in 1u64..1_000_000) {
+/// The RNG's range() respects its bound for arbitrary seeds.
+#[test]
+fn rng_range_in_bounds() {
+    prop::check("rng_range_in_bounds", |src| {
+        let seed = src.u64_any();
+        let n = src.u64(1..1_000_000);
         let mut r = Rng64::new(seed);
         for _ in 0..50 {
-            prop_assert!(r.range(n) < n);
+            assert!(r.range(n) < n);
         }
-    }
+    });
+}
 
-    /// Shuffle produces a permutation.
-    #[test]
-    fn shuffle_permutes(seed in any::<u64>(), len in 0usize..64) {
+/// Shuffle produces a permutation.
+#[test]
+fn shuffle_permutes() {
+    prop::check("shuffle_permutes", |src| {
+        let seed = src.u64_any();
+        let len = src.usize(0..64);
         let mut r = Rng64::new(seed);
         let mut v: Vec<usize> = (0..len).collect();
         r.shuffle(&mut v);
         let mut s = v.clone();
         s.sort_unstable();
-        prop_assert_eq!(s, (0..len).collect::<Vec<_>>());
-    }
+        assert_eq!(s, (0..len).collect::<Vec<_>>());
+    });
 }

@@ -1,105 +1,147 @@
 //! Property tests: the binary encoding is a lossless bijection on valid
 //! instructions, and the assembler resolves arbitrary label graphs.
+//! Runs on `cmpsim_engine::prop`.
 
+use cmpsim_engine::prop::{self, Source};
 use cmpsim_isa::{decode, encode, AluOp, Asm, BranchCond, FpCmp, FpOp, FReg, HcallNo, Instr, Reg};
-use proptest::prelude::*;
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn any_reg(src: &mut Source) -> Reg {
+    Reg::new(src.u8(0..32))
 }
-fn any_freg() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(FReg::new)
+fn any_freg(src: &mut Source) -> FReg {
+    FReg::new(src.u8(0..32))
 }
-fn any_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::And), Just(AluOp::Or),
-        Just(AluOp::Xor), Just(AluOp::Nor), Just(AluOp::Slt), Just(AluOp::Sltu),
-        Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra),
-    ]
+fn any_alu_op(src: &mut Source) -> AluOp {
+    src.choice(&[
+        AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Nor,
+        AluOp::Slt, AluOp::Sltu, AluOp::Sll, AluOp::Srl, AluOp::Sra,
+    ])
 }
-fn any_fp_op() -> impl Strategy<Value = FpOp> {
-    prop_oneof![
-        Just(FpOp::AddS), Just(FpOp::SubS), Just(FpOp::MulS), Just(FpOp::DivS),
-        Just(FpOp::AddD), Just(FpOp::SubD), Just(FpOp::MulD), Just(FpOp::DivD),
-    ]
+fn any_fp_op(src: &mut Source) -> FpOp {
+    src.choice(&[
+        FpOp::AddS, FpOp::SubS, FpOp::MulS, FpOp::DivS,
+        FpOp::AddD, FpOp::SubD, FpOp::MulD, FpOp::DivD,
+    ])
 }
 
 /// Every valid instruction the assembler can emit.
-fn any_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (any_alu_op(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(op, rd, rs, rt)| Instr::Alu { op, rd, rs, rt }),
-        (any_alu_op(), any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(op, rt, rs, imm)| Instr::AluI { op, rt, rs, imm }),
-        (any_reg(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs, rt)| Instr::Mul { rd, rs, rt }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs, rt)| Instr::Div { rd, rs, rt }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs, rt)| Instr::Rem { rd, rs, rt }),
-        (any_fp_op(), any_freg(), any_freg(), any_freg())
-            .prop_map(|(op, fd, fs, ft)| Instr::Fp { op, fd, fs, ft }),
-        (prop_oneof![Just(FpCmp::Eq), Just(FpCmp::Lt), Just(FpCmp::Le)], any_reg(), any_freg(), any_freg())
-            .prop_map(|(cmp, rd, fs, ft)| Instr::Fcmp { cmp, rd, fs, ft }),
-        (any_freg(), any_freg()).prop_map(|(fd, fs)| Instr::Fmov { fd, fs }),
-        (any_freg(), any_reg()).prop_map(|(fd, rs)| Instr::CvtIf { fd, rs }),
-        (any_reg(), any_freg()).prop_map(|(rd, fs)| Instr::CvtFi { rd, fs }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Lb { rt, base, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Lbu { rt, base, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Lw { rt, base, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Sb { rt, base, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Sw { rt, base, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Ll { rt, base, off }),
-        (any_reg(), any_reg(), any::<i16>()).prop_map(|(rt, base, off)| Instr::Sc { rt, base, off }),
-        (any_freg(), any_reg(), any::<i16>()).prop_map(|(ft, base, off)| Instr::Fls { ft, base, off }),
-        (any_freg(), any_reg(), any::<i16>()).prop_map(|(ft, base, off)| Instr::Fss { ft, base, off }),
-        (any_freg(), any_reg(), any::<i16>()).prop_map(|(ft, base, off)| Instr::Fld { ft, base, off }),
-        (any_freg(), any_reg(), any::<i16>()).prop_map(|(ft, base, off)| Instr::Fsd { ft, base, off }),
-        (prop_oneof![
-            Just(BranchCond::Eq), Just(BranchCond::Ne), Just(BranchCond::Lt),
-            Just(BranchCond::Ge), Just(BranchCond::Ltu), Just(BranchCond::Geu)
-        ], any_reg(), any_reg(), any::<i16>())
-            .prop_map(|(cond, rs, rt, off)| Instr::Branch { cond, rs, rt, off }),
-        (0u32..(1 << 26)).prop_map(|target| Instr::J { target }),
-        (0u32..(1 << 26)).prop_map(|target| Instr::Jal { target }),
-        any_reg().prop_map(|rs| Instr::Jr { rs }),
-        (any_reg(), any_reg()).prop_map(|(rd, rs)| Instr::Jalr { rd, rs }),
-        Just(Instr::Sync),
-        any_reg().prop_map(|rd| Instr::Cpuid { rd }),
-        prop_oneof![
-            Just(HcallNo::ResetStats), Just(HcallNo::Yield), Just(HcallNo::Exit),
-            (0u8..=255).prop_map(HcallNo::Phase)
-        ].prop_map(|no| Instr::Hcall { no }),
-        Just(Instr::Halt),
-        Just(Instr::Nop),
-    ]
+fn any_instr(src: &mut Source) -> Instr {
+    match src.index(33) {
+        0 => Instr::Alu {
+            op: any_alu_op(src),
+            rd: any_reg(src),
+            rs: any_reg(src),
+            rt: any_reg(src),
+        },
+        1 => Instr::AluI {
+            op: any_alu_op(src),
+            rt: any_reg(src),
+            rs: any_reg(src),
+            imm: src.i16_any(),
+        },
+        2 => Instr::Lui { rt: any_reg(src), imm: src.u16_any() },
+        3 => Instr::Mul { rd: any_reg(src), rs: any_reg(src), rt: any_reg(src) },
+        4 => Instr::Div { rd: any_reg(src), rs: any_reg(src), rt: any_reg(src) },
+        5 => Instr::Rem { rd: any_reg(src), rs: any_reg(src), rt: any_reg(src) },
+        6 => Instr::Fp {
+            op: any_fp_op(src),
+            fd: any_freg(src),
+            fs: any_freg(src),
+            ft: any_freg(src),
+        },
+        7 => Instr::Fcmp {
+            cmp: src.choice(&[FpCmp::Eq, FpCmp::Lt, FpCmp::Le]),
+            rd: any_reg(src),
+            fs: any_freg(src),
+            ft: any_freg(src),
+        },
+        8 => Instr::Fmov { fd: any_freg(src), fs: any_freg(src) },
+        9 => Instr::CvtIf { fd: any_freg(src), rs: any_reg(src) },
+        10 => Instr::CvtFi { rd: any_reg(src), fs: any_freg(src) },
+        11 => Instr::Lb { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
+        12 => Instr::Lbu { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
+        13 => Instr::Lw { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
+        14 => Instr::Sb { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
+        15 => Instr::Sw { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
+        16 => Instr::Ll { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
+        17 => Instr::Sc { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
+        18 => Instr::Fls { ft: any_freg(src), base: any_reg(src), off: src.i16_any() },
+        19 => Instr::Fss { ft: any_freg(src), base: any_reg(src), off: src.i16_any() },
+        20 => Instr::Fld { ft: any_freg(src), base: any_reg(src), off: src.i16_any() },
+        21 => Instr::Fsd { ft: any_freg(src), base: any_reg(src), off: src.i16_any() },
+        22 => Instr::Branch {
+            cond: src.choice(&[
+                BranchCond::Eq, BranchCond::Ne, BranchCond::Lt,
+                BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu,
+            ]),
+            rs: any_reg(src),
+            rt: any_reg(src),
+            off: src.i16_any(),
+        },
+        23 => Instr::J { target: src.u32(0..1 << 26) },
+        24 => Instr::Jal { target: src.u32(0..1 << 26) },
+        25 => Instr::Jr { rs: any_reg(src) },
+        26 => Instr::Jalr { rd: any_reg(src), rs: any_reg(src) },
+        27 => Instr::Sync,
+        28 => Instr::Cpuid { rd: any_reg(src) },
+        29 => Instr::Hcall {
+            no: match src.index(4) {
+                0 => HcallNo::ResetStats,
+                1 => HcallNo::Yield,
+                2 => HcallNo::Exit,
+                _ => HcallNo::Phase(src.u64(0..256) as u8),
+            },
+        },
+        30 => Instr::Halt,
+        31 => Instr::Nop,
+        _ => Instr::Sync,
+    }
 }
 
-proptest! {
-    /// decode(encode(i)) == i for every valid instruction.
-    #[test]
-    fn encode_decode_roundtrip(i in any_instr()) {
+/// decode(encode(i)) == i for every valid instruction.
+#[test]
+fn encode_decode_roundtrip() {
+    prop::check("encode_decode_roundtrip", |src| {
+        let i = any_instr(src);
         let word = encode(&i);
         let back = decode(word).expect("valid instruction decodes");
-        prop_assert_eq!(back, i);
-    }
+        assert_eq!(back, i);
+    });
+}
 
-    /// decode tolerates non-canonical padding in ignored fields, but must
-    /// be idempotent through a re-encode: decode(encode(decode(w))) ==
-    /// decode(w).
-    #[test]
-    fn decode_encode_idempotent(word in any::<u32>()) {
+/// decode tolerates non-canonical padding in ignored fields, but must be
+/// idempotent through a re-encode: decode(encode(decode(w))) == decode(w).
+#[test]
+fn decode_encode_idempotent() {
+    prop::check("decode_encode_idempotent", |src| {
+        let word = src.u32_any();
         if let Ok(i) = decode(word) {
             let canonical = encode(&i);
-            prop_assert_eq!(decode(canonical).expect("canonical decodes"), i);
+            assert_eq!(decode(canonical).expect("canonical decodes"), i);
             // And canonical forms are a fixpoint.
-            prop_assert_eq!(encode(&decode(canonical).unwrap()), canonical);
+            assert_eq!(encode(&decode(canonical).unwrap()), canonical);
         }
-    }
+    });
+}
 
-    /// The assembler resolves arbitrary forward/backward branch graphs.
-    #[test]
-    fn assembler_resolves_random_label_graphs(
-        jumps in prop::collection::vec(0usize..20, 1..20)
-    ) {
+/// Pinned regression (found by the idempotency property in the seed
+/// repo's proptest era): word 874512384 decodes to an instruction whose
+/// re-encode once disagreed in a padding field.
+#[test]
+fn regression_decode_idempotent_word_874512384() {
+    let word: u32 = 874_512_384;
+    if let Ok(i) = decode(word) {
+        let canonical = encode(&i);
+        assert_eq!(decode(canonical).expect("canonical decodes"), i);
+        assert_eq!(encode(&decode(canonical).unwrap()), canonical);
+    }
+}
+
+/// The assembler resolves arbitrary forward/backward branch graphs.
+#[test]
+fn assembler_resolves_random_label_graphs() {
+    prop::check("assembler_resolves_random_label_graphs", |src| {
+        let jumps = src.vec(1..20, |s| s.usize(0..20));
         let n = jumps.len();
         let mut a = Asm::new(0x1000);
         for (i, &target) in jumps.iter().enumerate() {
@@ -109,16 +151,19 @@ proptest! {
         }
         a.halt();
         let prog = a.assemble().expect("assembles");
-        prop_assert_eq!(prog.words.len(), 2 * n + 1);
+        assert_eq!(prog.words.len(), 2 * n + 1);
         // Every emitted word decodes.
         for &w in &prog.words {
-            prop_assert!(decode(w).is_ok());
+            assert!(decode(w).is_ok());
         }
-    }
+    });
+}
 
-    /// `li` materializes any 32-bit constant.
-    #[test]
-    fn li_materializes_any_constant(v in any::<i32>()) {
+/// `li` materializes any 32-bit constant.
+#[test]
+fn li_materializes_any_constant() {
+    prop::check("li_materializes_any_constant", |src| {
+        let v = src.i32_any();
         let mut a = Asm::new(0);
         a.li(Reg::T0, i64::from(v));
         a.halt();
@@ -131,9 +176,9 @@ proptest! {
                 Instr::AluI { op: AluOp::Or, imm, .. } => t0 |= (imm as u16) as u32,
                 Instr::Lui { imm, .. } => t0 = u32::from(imm) << 16,
                 Instr::Halt => break,
-                other => prop_assert!(false, "unexpected {other}"),
+                other => panic!("unexpected {other}"),
             }
         }
-        prop_assert_eq!(t0, v as u32);
-    }
+        assert_eq!(t0, v as u32);
+    });
 }

@@ -1,13 +1,13 @@
 //! Property tests for the memory substrate: the set-associative cache
 //! against a naive reference model, MESI single-writer invariants on the
 //! bus architecture, and physical-memory byte equivalence.
+//! Runs on `cmpsim_engine::prop`.
 
-use cmpsim_engine::Cycle;
+use cmpsim_engine::{prop, Cycle};
 use cmpsim_mem::{
     AccessOutcome, CacheArray, CacheSpec, LineState, MemRequest, MemorySystem, PhysMem,
     SharedMemSystem, SystemConfig,
 };
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// A naive fully-explicit reference cache: per-set vectors ordered by
@@ -54,13 +54,12 @@ impl RefCache {
     }
 }
 
-proptest! {
-    /// CacheArray and the reference model agree on every access outcome
-    /// and every eviction victim.
-    #[test]
-    fn cache_matches_reference_model(
-        addrs in prop::collection::vec(0u32..4096, 1..500)
-    ) {
+/// CacheArray and the reference model agree on every access outcome and
+/// every eviction victim.
+#[test]
+fn cache_matches_reference_model() {
+    prop::check("cache_matches_reference_model", |src| {
+        let addrs = src.vec(1..500, |s| s.u32(0..4096));
         // Tiny cache to force plenty of evictions: 4 sets x 2 ways x 32B.
         let spec = CacheSpec::new(256, 2, 32);
         let mut dut = CacheArray::new("dut", spec);
@@ -69,24 +68,25 @@ proptest! {
             let hit_ref = rf.lookup(addr);
             let outcome = dut.lookup(addr);
             match outcome {
-                AccessOutcome::Hit(_) => prop_assert!(hit_ref, "dut hit, ref miss @{addr:#x}"),
+                AccessOutcome::Hit(_) => assert!(hit_ref, "dut hit, ref miss @{addr:#x}"),
                 AccessOutcome::Miss(_) => {
-                    prop_assert!(!hit_ref, "dut miss, ref hit @{addr:#x}");
+                    assert!(!hit_ref, "dut miss, ref hit @{addr:#x}");
                     let v_ref = rf.fill(addr);
                     let v_dut = dut.fill(addr, LineState::Shared).map(|v| v.addr);
-                    prop_assert_eq!(v_dut, v_ref, "victims differ @{:#x}", addr);
+                    assert_eq!(v_dut, v_ref, "victims differ @{addr:#x}");
                 }
             }
         }
-    }
+    });
+}
 
-    /// MESI invariant on the snooping-bus architecture: for every line, at
-    /// most one cache holds it Modified or Exclusive, and never alongside
-    /// other valid copies.
-    #[test]
-    fn mesi_single_writer_invariant(
-        ops in prop::collection::vec((0usize..4, 0u32..64, any::<bool>()), 1..300)
-    ) {
+/// MESI invariant on the snooping-bus architecture: for every line, at
+/// most one cache holds it Modified or Exclusive, and never alongside
+/// other valid copies.
+#[test]
+fn mesi_single_writer_invariant() {
+    prop::check("mesi_single_writer_invariant", |src| {
+        let ops = src.vec(1..300, |s| (s.usize(0..4), s.u32(0..64), s.bool()));
         let mut sys = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
         let mut t = Cycle(0);
         let mut touched: Vec<u32> = Vec::new();
@@ -103,8 +103,7 @@ proptest! {
 
             // Check the invariant over every line touched so far.
             for &a in &touched {
-                let states: Vec<LineState> =
-                    (0..4).map(|c| sys.l1d(c).probe(a)).collect();
+                let states: Vec<LineState> = (0..4).map(|c| sys.l1d(c).probe(a)).collect();
                 let owners = states
                     .iter()
                     .filter(|s| matches!(s, LineState::Modified | LineState::Exclusive))
@@ -113,24 +112,24 @@ proptest! {
                     .iter()
                     .filter(|s| matches!(s, LineState::Shared))
                     .count();
-                prop_assert!(owners <= 1, "two owners of {a:#x}: {states:?}");
-                prop_assert!(
+                assert!(owners <= 1, "two owners of {a:#x}: {states:?}");
+                assert!(
                     owners == 0 || sharers == 0,
                     "owner coexists with sharers at {a:#x}: {states:?}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// PhysMem behaves exactly like a sparse byte map under arbitrary
-    /// interleavings of all access widths.
-    #[test]
-    fn physmem_matches_byte_map(
-        ops in prop::collection::vec(
-            (0u32..10_000, 0u8..4, any::<u64>(), any::<bool>()),
-            1..300
-        )
-    ) {
+/// PhysMem behaves exactly like a sparse byte map under arbitrary
+/// interleavings of all access widths.
+#[test]
+fn physmem_matches_byte_map() {
+    prop::check("physmem_matches_byte_map", |src| {
+        let ops = src.vec(1..300, |s| {
+            (s.u32(0..10_000), s.u8(0..4), s.u64_any(), s.bool())
+        });
         let mut dut = PhysMem::new(1);
         let mut model: HashMap<u32, u8> = HashMap::new();
         let rd = |m: &HashMap<u32, u8>, a: u32| *m.get(&a).unwrap_or(&0);
@@ -140,7 +139,7 @@ proptest! {
                     dut.write_u8(addr, value as u8);
                     model.insert(addr, value as u8);
                 }
-                (0, false) => prop_assert_eq!(dut.read_u8(addr), rd(&model, addr)),
+                (0, false) => assert_eq!(dut.read_u8(addr), rd(&model, addr)),
                 (1, true) => {
                     dut.write_u32(addr, value as u32);
                     for (i, b) in (value as u32).to_le_bytes().iter().enumerate() {
@@ -151,7 +150,7 @@ proptest! {
                     let want = u32::from_le_bytes(std::array::from_fn(|i| {
                         rd(&model, addr.wrapping_add(i as u32))
                     }));
-                    prop_assert_eq!(dut.read_u32(addr), want);
+                    assert_eq!(dut.read_u32(addr), want);
                 }
                 (2, true) => {
                     dut.write_u64(addr, value);
@@ -163,7 +162,7 @@ proptest! {
                     let want = u64::from_le_bytes(std::array::from_fn(|i| {
                         rd(&model, addr.wrapping_add(i as u32))
                     }));
-                    prop_assert_eq!(dut.read_u64(addr), want);
+                    assert_eq!(dut.read_u64(addr), want);
                 }
                 (_, true) => {
                     dut.write_f64(addr, f64::from_bits(value));
@@ -175,37 +174,37 @@ proptest! {
                     let want = u64::from_le_bytes(std::array::from_fn(|i| {
                         rd(&model, addr.wrapping_add(i as u32))
                     }));
-                    prop_assert_eq!(dut.read_f64(addr).to_bits(), want);
+                    assert_eq!(dut.read_f64(addr).to_bits(), want);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Completion times never precede issue plus the minimum hit latency,
-    /// and the same access replayed later (warm) is never slower.
-    #[test]
-    fn warm_accesses_never_slower(
-        lines in prop::collection::vec(0u32..256, 1..50)
-    ) {
+/// Completion times never precede issue plus the minimum hit latency,
+/// and the same access replayed later (warm) is never slower.
+#[test]
+fn warm_accesses_never_slower() {
+    prop::check("warm_accesses_never_slower", |src| {
+        let lines = src.vec(1..50, |s| s.u32(0..256));
         let mut sys = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
         for &l in &lines {
             let addr = l * 32;
             let cold = sys.access(Cycle(10_000), MemRequest::load(0, addr));
-            prop_assert!(cold.finish.0 > 10_000);
+            assert!(cold.finish.0 > 10_000);
             let warm = sys.access(Cycle(20_000), MemRequest::load(0, addr));
-            prop_assert!(warm.finish.0 - 20_000 <= cold.finish.0 - 10_000);
+            assert!(warm.finish.0 - 20_000 <= cold.finish.0 - 10_000);
         }
-    }
+    });
 }
 
-proptest! {
-    /// The shared-L2 directory and the L1 contents never diverge under any
-    /// interleaving of loads, stores and fetches from four CPUs.
-    #[test]
-    fn shared_l2_directory_invariant(
-        ops in prop::collection::vec((0usize..4, 0u32..512, 0u8..3), 1..250)
-    ) {
+/// The shared-L2 directory and the L1 contents never diverge under any
+/// interleaving of loads, stores and fetches from four CPUs.
+#[test]
+fn shared_l2_directory_invariant() {
+    prop::check("shared_l2_directory_invariant", |src| {
         use cmpsim_mem::SharedL2System;
+        let ops = src.vec(1..250, |s| (s.usize(0..4), s.u32(0..512), s.u8(0..3)));
         let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
         for (i, &(cpu, line, kind)) in ops.iter().enumerate() {
             // A few lines alias in the direct-mapped 2 MB L2 (every 64K
@@ -218,6 +217,6 @@ proptest! {
             };
             s.access(Cycle(i as u64 * 200), req);
         }
-        prop_assert!(s.directory_consistent());
-    }
+        assert!(s.directory_consistent());
+    });
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification, guaranteed offline.
+#
+# 1. Hermeticity guard: `cargo metadata` must report only in-repo path
+#    dependencies. Any registry/git source means an external crate crept
+#    back into a manifest — fail before building anything.
+# 2. Tier-1 proper: release build + full workspace test suite, with
+#    cargo's network access disabled so a regression in (1) can never be
+#    papered over by a warm registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== hermeticity: all dependencies must be in-repo path deps =="
+metadata=$(cargo metadata --format-version 1 --offline)
+if printf '%s' "$metadata" | grep -qE '"source": *"(registry|git)\+'; then
+    echo "ERROR: non-path dependency detected in cargo metadata:" >&2
+    printf '%s' "$metadata" | grep -oE '"name": *"[^"]+","version": *"[^"]+","id": *"[^"]*(registry|git)\+[^"]*"' >&2 || true
+    exit 1
+fi
+echo "ok: cargo metadata lists path-only dependencies"
+
+echo "== tier-1: cargo build --release && cargo test -q (offline) =="
+cargo build --release
+cargo test -q
+echo "verify.sh: all checks passed"
