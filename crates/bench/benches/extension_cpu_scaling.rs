@@ -5,7 +5,7 @@
 //! (ear) scale best where sharing is cheap; streaming workloads (ocean)
 //! scale with bandwidth.
 
-use cmpsim_bench::{bench_header, shape_check, BUDGET};
+use cmpsim_bench::{bench_header, jobs, shape_check, BUDGET};
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
 use cmpsim_kernels::build_by_name;
@@ -15,22 +15,28 @@ fn main() {
     for workload in ["ear", "ocean", "fft"] {
         println!("\n{workload}: cycles (speedup vs 1 CPU)");
         println!("{:<14} {:>18} {:>18} {:>18}", "architecture", "1 cpu", "2 cpus", "4 cpus");
+        // All nine (arch, n) machines per workload are independent; fan
+        // them out and rebuild the rows in order afterwards.
+        let points: Vec<(ArchKind, usize)> = ArchKind::ALL
+            .into_iter()
+            .flat_map(|arch| [1usize, 2, 4].map(|n| (arch, n)))
+            .collect();
+        let cycles = jobs::map_jobs(jobs::n_jobs(), &points, |&(arch, n)| {
+            let w = build_by_name(workload, n, 0.5).expect("builds");
+            let mut cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+            cfg.n_cpus = n;
+            run_workload(&cfg, &w, BUDGET).expect("validates").wall_cycles
+        });
         let mut ear_speedups = Vec::new();
-        for arch in ArchKind::ALL {
+        for (k, arch) in ArchKind::ALL.into_iter().enumerate() {
             let mut row = format!("{:<14}", arch.name());
-            let mut base = 0u64;
+            let base = cycles[k * 3];
             let mut sp4 = 0.0;
-            for n in [1usize, 2, 4] {
-                let w = build_by_name(workload, n, 0.5).expect("builds");
-                let mut cfg = MachineConfig::new(arch, CpuKind::Mipsy);
-                cfg.n_cpus = n;
-                let s = run_workload(&cfg, &w, BUDGET).expect("validates");
-                if n == 1 {
-                    base = s.wall_cycles;
-                }
-                let speedup = base as f64 / s.wall_cycles as f64;
+            for (j, _n) in [1usize, 2, 4].into_iter().enumerate() {
+                let wall = cycles[k * 3 + j];
+                let speedup = base as f64 / wall as f64;
                 sp4 = speedup;
-                row += &format!(" {:>10} ({:>4.2}x)", s.wall_cycles, speedup);
+                row += &format!(" {:>10} ({:>4.2}x)", wall, speedup);
             }
             println!("{row}");
             if workload == "ear" {

@@ -6,7 +6,7 @@
 //! sharing grows; the bus machine holds its own when there is nothing to
 //! share; write-through makes the shared-L2 allergic to stores.
 
-use cmpsim_bench::{bench_header, shape_check, BUDGET};
+use cmpsim_bench::{bench_header, jobs, shape_check, BUDGET};
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
 use cmpsim_kernels::synth::{build, SynthParams};
@@ -38,13 +38,23 @@ fn main() {
     let shared_axis = [0u8, 20, 50, 80];
     let store_axis = [5u8, 25, 50];
     println!("{:>8} | {:^14} {:^14} {:^14}", "", "5% stores", "25% stores", "50% stores");
-    let mut grid = Vec::new();
+    // Fan the twelve grid cells out as well; results come back in cell
+    // order, so the printed table is identical to the serial one.
+    let cells: Vec<(u8, u8)> = shared_axis
+        .iter()
+        .flat_map(|&sh| store_axis.iter().map(move |&st| (sh, st)))
+        .collect();
+    let winners = jobs::map_jobs(jobs::n_jobs(), &cells, |&(sh, st)| best(sh, st).0);
+    let grid: Vec<(u8, u8, ArchKind)> = cells
+        .iter()
+        .zip(&winners)
+        .map(|(&(sh, st), &w)| (sh, st, w))
+        .collect();
     for &sh in &shared_axis {
         let mut row = format!("{:>6}% |", sh);
         for &st in &store_axis {
-            let (winner, _) = best(sh, st);
+            let winner = grid.iter().find(|g| g.0 == sh && g.1 == st).unwrap().2;
             row += &format!(" {:^14}", winner.name());
-            grid.push((sh, st, winner));
         }
         println!("{row}");
     }

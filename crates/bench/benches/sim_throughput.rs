@@ -3,11 +3,21 @@
 //! emitted as JSON lines for `BENCH_*.json`. Not a paper figure — a
 //! regression guard for the simulator itself.
 //!
-//! One record per CPU model (simulated instructions per host second on a
-//! real workload) and one per memory system (accesses per host second on
-//! a synthetic scatter stream).
+//! Records:
+//! * one per CPU model (simulated instructions per host second on a real
+//!   workload), with and without the decoded-instruction cache
+//!   (`CMPSIM_NO_DECODE_CACHE`), so the memoization win is tracked;
+//! * one per memory system (accesses per host second on a synthetic
+//!   scatter stream);
+//! * the full summary matrix run serially and with the job pool
+//!   (`CMPSIM_BENCH_JOBS`), so harness-level parallel speedup is tracked.
+//!
+//! Setting `CMPSIM_BENCH_QUICK` (to anything but `0`) drops warmup and
+//! repeat counts so `scripts/verify.sh` can append a cheap record.
 
+use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
 use cmpsim_bench::timing::{self, JsonVal};
+use cmpsim_bench::jobs;
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
 use cmpsim_engine::Cycle;
@@ -16,24 +26,42 @@ use cmpsim_mem::{
     MemRequest, MemorySystem, SharedL1System, SharedL2System, SharedMemSystem, SystemConfig,
 };
 
-const WARMUP: u32 = 1;
-const RUNS: u32 = 5;
-const MEM_ACCESSES: u32 = 1_000_000;
+/// Repeat counts: (warmup, runs, mem accesses, matrix scale).
+fn knobs() -> (u32, u32, u32, f64) {
+    let quick = std::env::var("CMPSIM_BENCH_QUICK")
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false);
+    if quick {
+        (0, 1, 200_000, 0.02)
+    } else {
+        (1, 5, 1_000_000, 0.05)
+    }
+}
 
 /// Times one CPU model running eqntott small and reports simulated
-/// instructions per host second.
-fn cpu_model_throughput(label: &str, arch: ArchKind, cpu: CpuKind) {
+/// instructions per host second. `decode_cache` toggles the decoded-
+/// instruction memo via its environment knob (the bench main is
+/// single-threaded, so mutating the environment between runs is safe).
+fn cpu_model_throughput(label: &str, arch: ArchKind, cpu: CpuKind, decode_cache: bool) {
+    let (warmup, runs, _, _) = knobs();
+    if decode_cache {
+        std::env::remove_var("CMPSIM_NO_DECODE_CACHE");
+    } else {
+        std::env::set_var("CMPSIM_NO_DECODE_CACHE", "1");
+    }
     let mut sim_instructions = 0u64;
-    let m = timing::measure(WARMUP, RUNS, || {
+    let m = timing::measure(warmup, runs, || {
         let w = build_by_name("eqntott", 4, 0.05).expect("builds");
         let cfg = MachineConfig::new(arch, cpu);
         let summary = run_workload(&cfg, &w, 100_000_000).expect("runs");
         sim_instructions = summary.total.instructions;
         summary
     });
+    std::env::remove_var("CMPSIM_NO_DECODE_CACHE");
+    let cache_tag = if decode_cache { "" } else { "/nocache" };
     timing::emit_record(
         "sim_throughput",
-        &format!("cpu/{label}/eqntott"),
+        &format!("cpu/{label}/eqntott{cache_tag}"),
         &m,
         &[
             ("sim_instructions", sim_instructions.into()),
@@ -48,9 +76,10 @@ fn cpu_model_throughput(label: &str, arch: ArchKind, cpu: CpuKind) {
 /// Times a synthetic 4-CPU scatter stream against one memory system and
 /// reports accesses per host second.
 fn memsys_throughput(label: &str, mut make: impl FnMut() -> Box<dyn MemorySystem>) {
-    let m = timing::measure(WARMUP, RUNS, || {
+    let (warmup, runs, accesses, _) = knobs();
+    let m = timing::measure(warmup, runs, || {
         let mut sys = make();
-        for i in 0..MEM_ACCESSES {
+        for i in 0..accesses {
             let addr = (i.wrapping_mul(2_654_435_761)) & 0x3f_ffff;
             sys.access(Cycle(u64::from(i)), MemRequest::load((i & 3) as usize, addr));
         }
@@ -61,18 +90,45 @@ fn memsys_throughput(label: &str, mut make: impl FnMut() -> Box<dyn MemorySystem
         &format!("mem/{label}"),
         &m,
         &[
-            ("accesses", u64::from(MEM_ACCESSES).into()),
+            ("accesses", u64::from(accesses).into()),
             (
                 "accesses_per_host_sec",
-                JsonVal::F64(m.per_sec(u64::from(MEM_ACCESSES))),
+                JsonVal::F64(m.per_sec(u64::from(accesses))),
             ),
         ],
     );
 }
 
+/// Times the full arch x workload x cpu summary matrix with a given job
+/// count — `jobs = 1` is the serial baseline, `jobs::n_jobs()` the pooled
+/// run — so `BENCH_*.json` tracks the harness-level speedup.
+fn matrix_throughput(jobs: usize) {
+    let (warmup, runs, _, scale) = knobs();
+    // One warmup at most: each run is 56 whole-machine simulations.
+    let warmup = warmup.min(1);
+    let mut cases = 0u64;
+    let m = timing::measure(warmup, runs, || {
+        let lines = matrix_json_lines(&default_matrix(scale), jobs);
+        cases = lines.len() as u64;
+        lines
+    });
+    timing::emit_record(
+        "sim_throughput",
+        &format!("matrix/jobs{jobs}"),
+        &m,
+        &[
+            ("jobs", (jobs as u64).into()),
+            ("cases", cases.into()),
+            ("cases_per_host_sec", JsonVal::F64(m.per_sec(cases))),
+        ],
+    );
+}
+
 fn main() {
-    cpu_model_throughput("mipsy", ArchKind::SharedMem, CpuKind::Mipsy);
-    cpu_model_throughput("mxs", ArchKind::SharedL1, CpuKind::Mxs);
+    for decode_cache in [true, false] {
+        cpu_model_throughput("mipsy", ArchKind::SharedMem, CpuKind::Mipsy, decode_cache);
+        cpu_model_throughput("mxs", ArchKind::SharedL1, CpuKind::Mxs, decode_cache);
+    }
 
     memsys_throughput("shared_mem", || {
         Box::new(SharedMemSystem::new(&SystemConfig::paper_shared_mem(4)))
@@ -83,4 +139,10 @@ fn main() {
     memsys_throughput("shared_l1", || {
         Box::new(SharedL1System::new(&SystemConfig::paper_shared_l1(4)))
     });
+
+    matrix_throughput(1);
+    let pooled = jobs::n_jobs();
+    if pooled > 1 {
+        matrix_throughput(pooled);
+    }
 }

@@ -1,0 +1,21 @@
+//! Emits the canonical JSON digest of every `(workload × architecture ×
+//! CPU model)` run at the default configuration — the regression pin for
+//! "simulator optimizations change host time only".
+//!
+//! Scale comes from `CMPSIM_MATRIX_SCALE` (default 0.05) and the worker
+//! count from `CMPSIM_BENCH_JOBS` (default: all host cores). Output is
+//! byte-identical for any jobs value.
+
+use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
+use cmpsim_bench::jobs;
+
+fn main() {
+    let scale = std::env::var("CMPSIM_MATRIX_SCALE")
+        .ok()
+        .and_then(|s| s.trim().parse::<f64>().ok())
+        .unwrap_or(0.05);
+    let cases = default_matrix(scale);
+    for line in matrix_json_lines(&cases, jobs::n_jobs()) {
+        println!("{line}");
+    }
+}

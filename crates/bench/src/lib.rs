@@ -7,6 +7,8 @@
 //! the rows the paper reports. `EXPERIMENTS.md` records paper-vs-measured
 //! values produced by these targets.
 
+pub mod jobs;
+pub mod matrix;
 pub mod timing;
 
 use cmpsim_core::machine::run_workload;
@@ -71,7 +73,10 @@ impl FigureData {
 
 /// Runs `workload` at `scale` on all three architectures under `cpu`.
 ///
-/// `tweak` lets ablation benches adjust each machine configuration.
+/// `tweak` lets ablation benches adjust each machine configuration. The
+/// three per-architecture runs are independent deterministic simulations,
+/// so they fan out across host cores (see [`jobs::n_jobs`]); results come
+/// back in `ArchKind::ALL` order regardless of the worker count.
 ///
 /// # Panics
 ///
@@ -81,25 +86,22 @@ pub fn run_figure_with(
     workload: &str,
     scale: f64,
     cpu: CpuKind,
-    tweak: impl Fn(&mut MachineConfig),
+    tweak: impl Fn(&mut MachineConfig) + Sync,
 ) -> FigureData {
-    let results = ArchKind::ALL
-        .iter()
-        .map(|&arch| {
-            let w = build_by_name(workload, 4, scale)
-                .unwrap_or_else(|e| panic!("building {workload}: {e}"));
-            let mut cfg = MachineConfig::new(arch, cpu);
-            tweak(&mut cfg);
-            let summary = run_workload(&cfg, &w, BUDGET)
-                .unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
-            ArchResult {
-                arch,
-                breakdown: Breakdown::from_summary(&summary),
-                miss_rates: MissRates::from_mem(&summary.mem),
-                summary,
-            }
-        })
-        .collect();
+    let results = jobs::map_jobs(jobs::n_jobs(), &ArchKind::ALL, |&arch| {
+        let w = build_by_name(workload, 4, scale)
+            .unwrap_or_else(|e| panic!("building {workload}: {e}"));
+        let mut cfg = MachineConfig::new(arch, cpu);
+        tweak(&mut cfg);
+        let summary = run_workload(&cfg, &w, BUDGET)
+            .unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
+        ArchResult {
+            arch,
+            breakdown: Breakdown::from_summary(&summary),
+            miss_rates: MissRates::from_mem(&summary.mem),
+            summary,
+        }
+    });
     FigureData {
         workload: workload.to_string(),
         results,

@@ -1,0 +1,164 @@
+//! The default-config experiment matrix and its canonical JSON digests.
+//!
+//! One case = one `(workload × architecture × CPU model)` run at the
+//! paper-default machine configuration. Each case renders to exactly one
+//! JSON line containing the headline numbers plus an FNV-1a fingerprint of
+//! the *entire* `RunSummary` (per-CPU counters, memory statistics including
+//! the latency histogram, phase markers). Two uses:
+//!
+//! * **Regression pinning** — simulator optimizations must change host time
+//!   only, so the digest of every case must be identical before and after.
+//! * **Parallel-harness determinism** — the same matrix run with
+//!   `CMPSIM_BENCH_JOBS=1` and `=8` must produce byte-identical lines
+//!   (`jobs` only changes which thread runs a case, never its result).
+
+use crate::jobs;
+use crate::timing::{json_line, JsonVal};
+use cmpsim_core::machine::run_workload;
+use cmpsim_core::{ArchKind, CpuKind, MachineConfig, RunSummary};
+use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
+
+/// Cycle budget for matrix runs (small scales finish far below this).
+pub const MATRIX_BUDGET: u64 = 10_000_000_000;
+
+/// One cell of the experiment matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixCase {
+    /// Workload name (see `cmpsim_kernels::ALL_WORKLOADS`).
+    pub workload: &'static str,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Memory-system architecture.
+    pub arch: ArchKind,
+    /// CPU timing model.
+    pub cpu: CpuKind,
+}
+
+/// Short label for a CPU model in JSON output.
+pub fn cpu_label(cpu: CpuKind) -> &'static str {
+    match cpu {
+        CpuKind::Mipsy => "mipsy",
+        CpuKind::Mxs => "mxs",
+        CpuKind::MxsCustom(_) => "mxs-custom",
+    }
+}
+
+/// Every workload × every architecture (including the clustered extension)
+/// × both CPU models, at `scale`.
+pub fn default_matrix(scale: f64) -> Vec<MatrixCase> {
+    let arches = [
+        ArchKind::SharedL1,
+        ArchKind::SharedL2,
+        ArchKind::SharedMem,
+        ArchKind::Clustered,
+    ];
+    let cpus = [CpuKind::Mipsy, CpuKind::Mxs];
+    let mut cases = Vec::new();
+    for &workload in &ALL_WORKLOADS {
+        for &arch in &arches {
+            for &cpu in &cpus {
+                cases.push(MatrixCase {
+                    workload,
+                    scale,
+                    arch,
+                    cpu,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// FNV-1a 64-bit hash — a stable, dependency-free fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Renders one case's result as its canonical JSON line.
+pub fn summary_json(case: &MatrixCase, s: &RunSummary) -> String {
+    // The fingerprint covers everything the acceptance criteria pin:
+    // per-CPU counters, merged counters, memory statistics (histogram
+    // included via its Debug form), port utilization and phase markers.
+    let digest = fnv1a(
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            s.per_cpu, s.total, s.mem, s.port_util, s.phases
+        )
+        .as_bytes(),
+    );
+    json_line(&[
+        ("workload", case.workload.into()),
+        ("arch", case.arch.name().into()),
+        ("cpu", cpu_label(case.cpu).into()),
+        ("scale", case.scale.into()),
+        ("wall_cycles", s.wall_cycles.into()),
+        ("instructions", s.total.instructions.into()),
+        ("summary_fnv1a", JsonVal::Str(format!("{digest:016x}"))),
+    ])
+}
+
+/// Runs one matrix case at the default machine configuration.
+///
+/// # Panics
+///
+/// Panics if the workload fails to build, times out or fails validation —
+/// the matrix pins known-good configurations.
+pub fn run_case(case: &MatrixCase) -> RunSummary {
+    let w = build_by_name(case.workload, 4, case.scale)
+        .unwrap_or_else(|e| panic!("building {}: {e}", case.workload));
+    let cfg = MachineConfig::new(case.arch, case.cpu);
+    run_workload(&cfg, &w, MATRIX_BUDGET)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", case.workload, case.arch))
+}
+
+/// Runs the whole matrix on `jobs` worker threads and returns one JSON line
+/// per case, in matrix order — byte-identical for any `jobs` value.
+pub fn matrix_json_lines(cases: &[MatrixCase], jobs: usize) -> Vec<String> {
+    jobs::map_jobs(jobs, cases, |case| summary_json(case, &run_case(case)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite: the same experiment matrix run serially and with eight
+    /// workers must produce byte-identical JSON lines.
+    #[test]
+    fn parallel_runner_is_deterministic() {
+        let cases: Vec<MatrixCase> = default_matrix(0.02)
+            .into_iter()
+            .filter(|c| {
+                c.cpu == CpuKind::Mipsy
+                    && matches!(c.workload, "eqntott" | "multiprog")
+                    && c.arch != ArchKind::Clustered
+            })
+            .collect();
+        assert_eq!(cases.len(), 6);
+        let serial = matrix_json_lines(&cases, 1);
+        let parallel = matrix_json_lines(&cases, 8);
+        assert_eq!(serial, parallel, "jobs count must never change results");
+        assert!(serial.iter().all(|l| l.contains("\"summary_fnv1a\":")));
+    }
+
+    #[test]
+    fn default_matrix_covers_everything() {
+        let m = default_matrix(0.05);
+        // 7 workloads × 4 architectures × 2 CPU models.
+        assert_eq!(m.len(), 7 * 4 * 2);
+        assert!(m.iter().any(|c| c.arch == ArchKind::Clustered));
+        assert!(m.iter().any(|c| c.cpu == CpuKind::Mxs));
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

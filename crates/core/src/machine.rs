@@ -307,16 +307,32 @@ impl Machine {
         saved
     }
 
+    /// Index of the not-done CPU with the earliest ready cycle; ties go to
+    /// the lowest index (the scheduling order the whole simulation pins).
+    /// A plain scan — no iterator refiltering per step — over the handful
+    /// of CPUs.
+    #[inline]
+    fn earliest_ready(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for c in 0..self.cpus.len() {
+            if self.done[c] {
+                continue;
+            }
+            match best {
+                Some(b) if self.ready[c] >= self.ready[b] => {}
+                _ => best = Some(c),
+            }
+        }
+        best
+    }
+
     /// Runs until every CPU finishes or `max_cycles` elapses.
     ///
     /// # Errors
     ///
     /// Returns [`RunError::Timeout`] if the budget expires.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, RunError> {
-        while let Some(c) = (0..self.cpus.len())
-            .filter(|&c| !self.done[c])
-            .min_by_key(|&c| self.ready[c])
-        {
+        while let Some(c) = self.earliest_ready() {
             let now = self.ready[c];
             if now.0 > max_cycles {
                 return Err(RunError::Timeout { budget: max_cycles });
@@ -358,7 +374,7 @@ impl Machine {
         }
     }
 
-    fn summary(&self) -> RunSummary {
+    fn summary(&mut self) -> RunSummary {
         let per_cpu: Vec<CpuCounters> = self.cpus.iter().map(|c| c.counters().clone()).collect();
         let mut total = CpuCounters::new();
         for c in &per_cpu {
@@ -378,7 +394,10 @@ impl Machine {
             total,
             mem: self.mem.stats().clone(),
             port_util: self.mem.port_utilization(),
-            phases: self.phases.clone(),
+            // Hand the recorded markers over instead of cloning them — the
+            // machine is finished; a second summary() would start a fresh
+            // (empty) list.
+            phases: std::mem::take(&mut self.phases),
         }
     }
 

@@ -227,13 +227,19 @@ impl CpuModel for MipsyCpu {
 
     fn set_space(&mut self, space: AddrSpace) {
         self.space = space;
+        // A new address space maps different code behind the same PCs.
+        self.decode.clear();
     }
 
     fn space(&self) -> AddrSpace {
         self.space
     }
 
-    fn flush(&mut self) {}
+    fn flush(&mut self) {
+        // Context switch: drop memoized decodes so a process image
+        // overwritten in place can never serve stale instructions.
+        self.decode.clear();
+    }
 
     fn halted(&self) -> bool {
         self.halted

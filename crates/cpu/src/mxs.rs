@@ -954,6 +954,8 @@ impl CpuModel for MxsCpu {
 
     fn set_space(&mut self, space: AddrSpace) {
         self.space = space;
+        // A new address space maps different code behind the same PCs.
+        self.decode.clear();
     }
 
     fn space(&self) -> AddrSpace {
@@ -962,6 +964,10 @@ impl CpuModel for MxsCpu {
 
     fn flush(&mut self) {
         self.reset_pipeline();
+        // Context switch: drop memoized decodes so a process image
+        // overwritten in place can never serve stale instructions. (Not in
+        // `reset_pipeline`, which also runs on every hcall graduation.)
+        self.decode.clear();
     }
 
     fn halted(&self) -> bool {

@@ -56,19 +56,6 @@ pub struct Victim {
     pub dirty: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    line_addr: Addr,
-    state: LineState,
-    lru: u64,
-}
-
-const EMPTY: Line = Line {
-    line_addr: 0,
-    state: LineState::Invalid,
-    lru: 0,
-};
-
 /// Result of [`CacheArray::lookup`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessOutcome {
@@ -90,12 +77,26 @@ pub enum AccessOutcome {
 /// c.fill(0x40, LineState::Exclusive);
 /// assert_eq!(c.lookup(0x40), AccessOutcome::Hit(LineState::Exclusive));
 /// ```
+/// Tag, state and LRU storage is flattened into three contiguous arrays
+/// (structure-of-arrays) indexed `set * assoc + way`: the hit fast path
+/// touches one short `tags` span that shares a cache line with its
+/// neighbors instead of striding over wider per-line structs, and the set
+/// index is a shift-and-mask (power-of-two set counts — the common case —
+/// pay no division).
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     name: &'static str,
     spec: CacheSpec,
     n_sets: usize,
-    lines: Vec<Line>,
+    /// `log2(line_bytes)`.
+    line_shift: u32,
+    /// `n_sets - 1` when the set count is a power of two, else `usize::MAX`
+    /// as the "use modulo" sentinel (odd associativities).
+    set_mask: usize,
+    /// Line-aligned address per way (valid only where `states` is valid).
+    tags: Vec<Addr>,
+    states: Vec<LineState>,
+    lru: Vec<u64>,
     tick: u64,
     invalidated: HashSet<Addr>,
 }
@@ -109,41 +110,59 @@ impl CacheArray {
     /// [`CacheSpec::new`]).
     pub fn new(name: &'static str, spec: CacheSpec) -> CacheArray {
         let n_sets = spec.n_sets();
+        let n_lines = n_sets * spec.assoc;
         CacheArray {
             name,
             spec,
             n_sets,
-            lines: vec![EMPTY; n_sets * spec.assoc],
+            line_shift: spec.line_bytes.trailing_zeros(),
+            set_mask: if n_sets.is_power_of_two() {
+                n_sets - 1
+            } else {
+                usize::MAX
+            },
+            tags: vec![0; n_lines],
+            states: vec![LineState::Invalid; n_lines],
+            lru: vec![0; n_lines],
             tick: 0,
             invalidated: HashSet::new(),
         }
     }
 
     /// Line-aligned address of `addr`.
+    #[inline]
     pub fn line_addr(&self, addr: Addr) -> Addr {
         addr & !(self.spec.line_bytes - 1)
     }
 
+    #[inline]
     fn set_range(&self, addr: Addr) -> std::ops::Range<usize> {
-        let set = ((addr / self.spec.line_bytes) as usize) % self.n_sets;
+        let idx = (addr >> self.line_shift) as usize;
+        let set = if self.set_mask != usize::MAX {
+            idx & self.set_mask
+        } else {
+            idx % self.n_sets
+        };
         let start = set * self.spec.assoc;
         start..start + self.spec.assoc
     }
 
+    #[inline]
     fn find(&self, addr: Addr) -> Option<usize> {
         let la = self.line_addr(addr);
         self.set_range(addr)
-            .find(|&i| self.lines[i].state.is_valid() && self.lines[i].line_addr == la)
+            .find(|&i| self.states[i].is_valid() && self.tags[i] == la)
     }
 
     /// Looks up `addr`, updating LRU on a hit. Misses are classified but no
     /// fill happens; the caller decides whether/what to fill.
+    #[inline]
     pub fn lookup(&mut self, addr: Addr) -> AccessOutcome {
         self.tick += 1;
         match self.find(addr) {
             Some(i) => {
-                self.lines[i].lru = self.tick;
-                AccessOutcome::Hit(self.lines[i].state)
+                self.lru[i] = self.tick;
+                AccessOutcome::Hit(self.states[i])
             }
             None => {
                 let la = self.line_addr(addr);
@@ -158,9 +177,10 @@ impl CacheArray {
     }
 
     /// State of the line containing `addr` without touching LRU (snoops).
+    #[inline]
     pub fn probe(&self, addr: Addr) -> LineState {
         self.find(addr)
-            .map_or(LineState::Invalid, |i| self.lines[i].state)
+            .map_or(LineState::Invalid, |i| self.states[i])
     }
 
     /// Inserts the line containing `addr` with `state`, evicting the LRU way
@@ -179,28 +199,22 @@ impl CacheArray {
         self.invalidated.remove(&la);
         self.tick += 1;
         let range = self.set_range(addr);
-        // Prefer an invalid way; otherwise evict true-LRU.
+        // Prefer an invalid way; otherwise evict true-LRU (first minimum).
         let slot = range
             .clone()
-            .find(|&i| !self.lines[i].state.is_valid())
-            .unwrap_or_else(|| {
-                range
-                    .min_by_key(|&i| self.lines[i].lru)
-                    .expect("assoc >= 1")
-            });
-        let victim = if self.lines[slot].state.is_valid() {
+            .find(|&i| !self.states[i].is_valid())
+            .unwrap_or_else(|| range.min_by_key(|&i| self.lru[i]).expect("assoc >= 1"));
+        let victim = if self.states[slot].is_valid() {
             Some(Victim {
-                addr: self.lines[slot].line_addr,
-                dirty: self.lines[slot].state.is_dirty(),
+                addr: self.tags[slot],
+                dirty: self.states[slot].is_dirty(),
             })
         } else {
             None
         };
-        self.lines[slot] = Line {
-            line_addr: la,
-            state,
-            lru: self.tick,
-        };
+        self.tags[slot] = la;
+        self.states[slot] = state;
+        self.lru[slot] = self.tick;
         victim
     }
 
@@ -213,7 +227,7 @@ impl CacheArray {
         let i = self
             .find(addr)
             .unwrap_or_else(|| panic!("{}: set_state on absent line {addr:#x}", self.name));
-        self.lines[i].state = state;
+        self.states[i] = state;
     }
 
     /// Invalidates the line due to a *coherence action* and remembers it so
@@ -222,8 +236,8 @@ impl CacheArray {
     pub fn invalidate(&mut self, addr: Addr) -> LineState {
         match self.find(addr) {
             Some(i) => {
-                let old = self.lines[i].state;
-                self.lines[i].state = LineState::Invalid;
+                let old = self.states[i];
+                self.states[i] = LineState::Invalid;
                 self.invalidated.insert(self.line_addr(addr));
                 old
             }
@@ -237,8 +251,8 @@ impl CacheArray {
     pub fn evict(&mut self, addr: Addr) -> LineState {
         match self.find(addr) {
             Some(i) => {
-                let old = self.lines[i].state;
-                self.lines[i].state = LineState::Invalid;
+                let old = self.states[i];
+                self.states[i] = LineState::Invalid;
                 old
             }
             None => LineState::Invalid,
@@ -249,24 +263,25 @@ impl CacheArray {
     /// No-op if not resident.
     pub fn downgrade(&mut self, addr: Addr) {
         if let Some(i) = self.find(addr) {
-            if self.lines[i].state.is_valid() {
-                self.lines[i].state = LineState::Shared;
+            if self.states[i].is_valid() {
+                self.states[i] = LineState::Shared;
             }
         }
     }
 
     /// Number of valid lines currently resident.
     pub fn resident(&self) -> usize {
-        self.lines.iter().filter(|l| l.state.is_valid()).count()
+        self.states.iter().filter(|s| s.is_valid()).count()
     }
 
     /// Line addresses of every valid resident line (diagnostics and
     /// invariant checks).
     pub fn valid_lines(&self) -> Vec<Addr> {
-        self.lines
+        self.states
             .iter()
-            .filter(|l| l.state.is_valid())
-            .map(|l| l.line_addr)
+            .zip(&self.tags)
+            .filter(|(s, _)| s.is_valid())
+            .map(|(_, &t)| t)
             .collect()
     }
 

@@ -21,8 +21,14 @@ impl CacheSpec {
     /// Panics if sizes are not powers of two or the capacity is not an
     /// integer number of sets.
     pub fn new(size_bytes: u32, assoc: usize, line_bytes: u32) -> CacheSpec {
-        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1, "associativity must be at least 1");
         let spec = CacheSpec {
             size_bytes,
@@ -265,9 +271,15 @@ mod tests {
         let l2 = LatencySpec::shared_l2();
         assert_eq!((l2.l1_lat, l2.l2_lat, l2.l2_occ), (1, 14, 4));
         let sm = LatencySpec::shared_mem();
-        assert_eq!((sm.l1_lat, sm.l2_lat, sm.l2_occ, sm.mem_lat), (1, 10, 2, 50));
+        assert_eq!(
+            (sm.l1_lat, sm.l2_lat, sm.l2_occ, sm.mem_lat),
+            (1, 10, 2, 50)
+        );
         assert!(sm.c2c_lat > 50, "Table 2: cache-to-cache > 50");
-        assert!(sm.c2c_occ >= 6, "Table 2: cache-to-cache occupancy > 6 is >=");
+        assert!(
+            sm.c2c_occ >= 6,
+            "Table 2: cache-to-cache occupancy > 6 is >="
+        );
     }
 
     #[test]

@@ -197,12 +197,18 @@ mod latency_tests {
         let mut sys = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
         // All-miss stream.
         for i in 0..64u32 {
-            sys.access(Cycle(u64::from(i) * 100), MemRequest::load(0, 0x10_0000 + i * 64));
+            sys.access(
+                Cycle(u64::from(i) * 100),
+                MemRequest::load(0, 0x10_0000 + i * 64),
+            );
         }
         let cold_mean = sys.stats().latency.mean();
         // Re-walk the same lines: hits.
         for i in 0..64u32 {
-            sys.access(Cycle(100_000 + u64::from(i) * 100), MemRequest::load(0, 0x10_0000 + i * 64));
+            sys.access(
+                Cycle(100_000 + u64::from(i) * 100),
+                MemRequest::load(0, 0x10_0000 + i * 64),
+            );
         }
         let mixed_mean = sys.stats().latency.mean();
         assert!(mixed_mean < cold_mean, "hits must pull the mean down");

@@ -16,8 +16,6 @@ use crate::stats::MemStats;
 use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
 use cmpsim_engine::{BankedResource, Cycle, Port};
 
-
-
 use std::collections::HashMap;
 
 /// CPUs per cluster (two clusters in the 4-CPU study).
@@ -268,7 +266,10 @@ impl ClusteredSystem {
                             }
                             AccessOutcome::Miss(k2) => {
                                 self.stats.l2.miss(k2);
-                                (self.l2_fill_from_memory(addr, g2, false), ServiceLevel::Memory)
+                                (
+                                    self.l2_fill_from_memory(addr, g2, false),
+                                    ServiceLevel::Memory,
+                                )
                             }
                         };
                         let cache = if ifetch {
@@ -349,7 +350,7 @@ mod tests {
         let mut s = sys();
         s.access(Cycle(0), MemRequest::load(0, 0x2000));
         s.access(Cycle(100), MemRequest::load(2, 0x2000)); // other cluster
-        // CPU 0 writes: cluster 1's copy is invalidated.
+                                                           // CPU 0 writes: cluster 1's copy is invalidated.
         s.access(Cycle(200), MemRequest::store(0, 0x2000));
         assert_eq!(s.stats().invalidations_sent, 1);
         let r = s.access(Cycle(300), MemRequest::load(3, 0x2000));

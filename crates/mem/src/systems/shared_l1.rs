@@ -13,14 +13,11 @@
 //! idealization (1-cycle hits, no bank contention) so the simple CPU model
 //! is not penalized for latencies it cannot hide.
 
-use crate::cache::{AccessOutcome, CacheArray, LineState};
+use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::SystemConfig;
 use crate::stats::MemStats;
 use crate::{AccessKind, MemRequest, MemResult, MemorySystem, ServiceLevel};
 use cmpsim_engine::{BankedResource, Cycle, Port};
-
-
-
 
 /// The shared-L1 multiprocessor memory system.
 #[derive(Debug)]
@@ -74,7 +71,11 @@ impl SharedL1System {
         } else {
             LineState::Exclusive
         };
-        let cache = if is_ifetch { &mut self.l1i } else { &mut self.l1d };
+        let cache = if is_ifetch {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         if let Some(v) = cache.fill(addr, state) {
             if v.dirty {
                 // Dirty L1 victim retires into the L2 (or memory if the L2
@@ -108,7 +109,11 @@ impl SharedL1System {
 
 impl SharedL1System {
     /// The untimed-record core of [`MemorySystem::access`]; the trait
-    /// method wraps it to record the end-to-end latency histogram.
+    /// method wraps it to record the end-to-end latency histogram. The hit
+    /// path (bank grant, one tag lookup, one counter) stays inline; the
+    /// miss machinery lives in [`SharedL1System::service_miss`] so this
+    /// body is small enough to inline into the CPU models' access loops.
+    #[inline]
     fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let is_ifetch = req.kind == AccessKind::IFetch;
         let write = req.kind == AccessKind::Store;
@@ -134,15 +139,13 @@ impl SharedL1System {
         } else {
             self.l1d.lookup(addr)
         };
-        let lstats = if is_ifetch {
-            &mut self.stats.l1i
-        } else {
-            &mut self.stats.l1d
-        };
-
         match outcome {
             AccessOutcome::Hit(_) => {
-                lstats.hit();
+                if is_ifetch {
+                    self.stats.l1i.hit();
+                } else {
+                    self.stats.l1d.hit();
+                }
                 if write {
                     self.l1d.set_state(addr, LineState::Modified);
                 }
@@ -154,38 +157,57 @@ impl SharedL1System {
                 }
             }
             AccessOutcome::Miss(kind) => {
-                lstats.miss(kind);
-                // Tag check overlaps arbitration for the next level: the
-                // request reaches the L2 at its L1 grant time, so the
-                // contention-free totals match Table 2 exactly.
-                let g2 = self.l2_port.reserve(grant, self.cfg.lat.l2_occ);
-                self.stats.l2_bank_wait += g2 - grant;
-                match self.l2.lookup(addr) {
-                    AccessOutcome::Hit(_) => {
-                        self.stats.l2.hit();
-                        let finish = g2 + self.cfg.lat.l2_lat;
-                        self.fill_l1(is_ifetch, addr, write, g2);
-                        MemResult {
-                            finish,
-                            serviced_by: ServiceLevel::L2,
-                            l1_miss: true,
-                            l1_extra,
-                        }
-                    }
-                    AccessOutcome::Miss(l2kind) => {
-                        self.stats.l2.miss(l2kind);
-                        let g3 = self.mem_port.reserve(g2, self.cfg.lat.mem_occ);
-                        self.stats.mem_wait += g3 - g2;
-                        self.stats.mem_accesses += 1;
-                        let finish = g3 + self.cfg.lat.mem_lat;
-                        self.fill_from_memory(is_ifetch, addr, write, g3);
-                        MemResult {
-                            finish,
-                            serviced_by: ServiceLevel::Memory,
-                            l1_miss: true,
-                            l1_extra,
-                        }
-                    }
+                self.service_miss(is_ifetch, write, addr, kind, grant, l1_extra)
+            }
+        }
+    }
+
+    /// Everything below the shared L1: classify the miss, walk the L2 and
+    /// memory ports. Out of line on purpose — see `access_inner`.
+    fn service_miss(
+        &mut self,
+        is_ifetch: bool,
+        write: bool,
+        addr: u32,
+        kind: MissKind,
+        grant: Cycle,
+        l1_extra: u64,
+    ) -> MemResult {
+        let lstats = if is_ifetch {
+            &mut self.stats.l1i
+        } else {
+            &mut self.stats.l1d
+        };
+        lstats.miss(kind);
+        // Tag check overlaps arbitration for the next level: the
+        // request reaches the L2 at its L1 grant time, so the
+        // contention-free totals match Table 2 exactly.
+        let g2 = self.l2_port.reserve(grant, self.cfg.lat.l2_occ);
+        self.stats.l2_bank_wait += g2 - grant;
+        match self.l2.lookup(addr) {
+            AccessOutcome::Hit(_) => {
+                self.stats.l2.hit();
+                let finish = g2 + self.cfg.lat.l2_lat;
+                self.fill_l1(is_ifetch, addr, write, g2);
+                MemResult {
+                    finish,
+                    serviced_by: ServiceLevel::L2,
+                    l1_miss: true,
+                    l1_extra,
+                }
+            }
+            AccessOutcome::Miss(l2kind) => {
+                self.stats.l2.miss(l2kind);
+                let g3 = self.mem_port.reserve(g2, self.cfg.lat.mem_occ);
+                self.stats.mem_wait += g3 - g2;
+                self.stats.mem_accesses += 1;
+                let finish = g3 + self.cfg.lat.mem_lat;
+                self.fill_from_memory(is_ifetch, addr, write, g3);
+                MemResult {
+                    finish,
+                    serviced_by: ServiceLevel::Memory,
+                    l1_miss: true,
+                    l1_extra,
                 }
             }
         }
@@ -193,12 +215,14 @@ impl SharedL1System {
 }
 
 impl MemorySystem for SharedL1System {
+    #[inline]
     fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let res = self.access_inner(now, req);
         self.stats.latency.record(res.finish - now);
         res
     }
 
+    #[inline]
     fn load_would_hit_l1(&self, _cpu: usize, addr: u32) -> bool {
         self.l1d.probe(addr).is_valid()
     }
@@ -276,9 +300,9 @@ mod tests {
     fn l2_hit_costs_table2_latency() {
         let mut s = sys();
         s.access(Cycle(0), MemRequest::load(0, 0x1000)); // fill L2+L1
-        // Evict from tiny shared of L1? L1 is 64KB; use a conflicting line:
-        // same L1 set needs addr + way_stride * assoc. 64KB 2-way 32B:
-        // 1024 sets, stride 32KB. Fill two more lines mapping to the set.
+                                                         // Evict from tiny shared of L1? L1 is 64KB; use a conflicting line:
+                                                         // same L1 set needs addr + way_stride * assoc. 64KB 2-way 32B:
+                                                         // 1024 sets, stride 32KB. Fill two more lines mapping to the set.
         s.access(Cycle(200), MemRequest::load(0, 0x1000 + 32 * 1024));
         s.access(Cycle(400), MemRequest::load(0, 0x1000 + 64 * 1024));
         // 0x1000 evicted from L1 but still in L2.

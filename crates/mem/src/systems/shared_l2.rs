@@ -11,13 +11,11 @@
 //! replacement invalidates (or would update) all other cached copies, so no
 //! snooping logic is needed in the processors.
 
-use crate::cache::{AccessOutcome, CacheArray, LineState};
+use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::SystemConfig;
 use crate::stats::MemStats;
 use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
 use cmpsim_engine::{BankedResource, Cycle, Port};
-
-
 
 use std::collections::HashMap;
 
@@ -188,7 +186,11 @@ impl SharedL2System {
 
 impl SharedL2System {
     /// The untimed-record core of [`MemorySystem::access`]; the trait
-    /// method wraps it to record the end-to-end latency histogram.
+    /// method wraps it to record the end-to-end latency histogram. The
+    /// private-L1 read hit — one tag lookup, one counter, no shared
+    /// resources — returns straight away; misses and stores take the
+    /// out-of-line paths so this body inlines into the CPU access loops.
+    #[inline]
     fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let cpu = req.cpu;
         let addr = req.addr;
@@ -200,14 +202,13 @@ impl SharedL2System {
                 } else {
                     self.l1d[cpu].lookup(addr)
                 };
-                let lstats = if ifetch {
-                    &mut self.stats.l1i
-                } else {
-                    &mut self.stats.l1d
-                };
                 match outcome {
                     AccessOutcome::Hit(_) => {
-                        lstats.hit();
+                        if ifetch {
+                            self.stats.l1i.hit();
+                        } else {
+                            self.stats.l1d.hit();
+                        }
                         MemResult {
                             finish: now + self.cfg.lat.l1_lat,
                             serviced_by: ServiceLevel::L1,
@@ -216,81 +217,100 @@ impl SharedL2System {
                         }
                     }
                     AccessOutcome::Miss(kind) => {
-                        lstats.miss(kind);
-                        let g2 = self
-                            .l2_banks
-                            .reserve(u64::from(addr), now, self.cfg.lat.l2_occ);
-                        self.stats.l2_bank_wait += g2 - now;
-                        let (finish, level) = match self.l2.lookup(addr) {
-                            AccessOutcome::Hit(_) => {
-                                self.stats.l2.hit();
-                                (g2 + self.cfg.lat.l2_lat, ServiceLevel::L2)
-                            }
-                            AccessOutcome::Miss(k2) => {
-                                self.stats.l2.miss(k2);
-                                (
-                                    self.l2_fill_from_memory(addr, g2, false),
-                                    ServiceLevel::Memory,
-                                )
-                            }
-                        };
-                        let cache = if ifetch {
-                            &mut self.l1i[cpu]
-                        } else {
-                            &mut self.l1d[cpu]
-                        };
-                        // Write-through L1: lines are never dirty.
-                        let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
-                        self.note_l1_fill(cpu, addr, ifetch, victim);
-                        MemResult {
-                            finish,
-                            serviced_by: level,
-                            l1_miss: true,
-                            l1_extra: 0,
-                        }
+                        self.service_read_miss(now, cpu, addr, ifetch, kind)
                     }
                 }
             }
-            AccessKind::Store => {
-                // Write-through, no-write-allocate: the word always travels
-                // to the L2 bank; a hit in the local L1 just updates it.
-                // Store hit/miss outcomes are not folded into the L1 miss
-                // rate (no-allocate stores are not demand fetches).
-                if matches!(self.l1d[cpu].lookup(addr), AccessOutcome::Hit(_)) {
-                    // Data updated in place; stays Shared (clean).
+            AccessKind::Store => self.service_store(now, cpu, addr),
+        }
+    }
+
+    /// A load or ifetch that missed the private L1: cross to the shared L2
+    /// banks (and memory beyond), then refill the L1 and the directory.
+    fn service_read_miss(
+        &mut self,
+        now: Cycle,
+        cpu: usize,
+        addr: Addr,
+        ifetch: bool,
+        kind: MissKind,
+    ) -> MemResult {
+        let lstats = if ifetch {
+            &mut self.stats.l1i
+        } else {
+            &mut self.stats.l1d
+        };
+        lstats.miss(kind);
+        let g2 = self
+            .l2_banks
+            .reserve(u64::from(addr), now, self.cfg.lat.l2_occ);
+        self.stats.l2_bank_wait += g2 - now;
+        let (finish, level) = match self.l2.lookup(addr) {
+            AccessOutcome::Hit(_) => {
+                self.stats.l2.hit();
+                (g2 + self.cfg.lat.l2_lat, ServiceLevel::L2)
+            }
+            AccessOutcome::Miss(k2) => {
+                self.stats.l2.miss(k2);
+                (
+                    self.l2_fill_from_memory(addr, g2, false),
+                    ServiceLevel::Memory,
+                )
+            }
+        };
+        let cache = if ifetch {
+            &mut self.l1i[cpu]
+        } else {
+            &mut self.l1d[cpu]
+        };
+        // Write-through L1: lines are never dirty.
+        let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
+        self.note_l1_fill(cpu, addr, ifetch, victim);
+        MemResult {
+            finish,
+            serviced_by: level,
+            l1_miss: true,
+            l1_extra: 0,
+        }
+    }
+
+    /// Write-through, no-write-allocate: the word always travels to the L2
+    /// bank; a hit in the local L1 just updates it. Store hit/miss outcomes
+    /// are not folded into the L1 miss rate (no-allocate stores are not
+    /// demand fetches).
+    fn service_store(&mut self, now: Cycle, cpu: usize, addr: Addr) -> MemResult {
+        if matches!(self.l1d[cpu].lookup(addr), AccessOutcome::Hit(_)) {
+            // Data updated in place; stays Shared (clean).
+        }
+        self.invalidate_sharers(cpu, addr);
+        // The bank is held for the full request/response handshake
+        // including the directory lookup-and-update, so a store
+        // occupies it as long as a line transfer on the same
+        // datapath — the port contention the paper blames for the
+        // shared-L2 architecture's losses on store-heavy workloads.
+        let store_occ = self.cfg.lat.l2_occ;
+        let g2 = self.l2_banks.reserve(u64::from(addr), now, store_occ);
+        self.stats.l2_bank_wait += g2 - now;
+        match self.l2.lookup(addr) {
+            AccessOutcome::Hit(_) => {
+                self.stats.l2.hit();
+                self.l2.set_state(addr, LineState::Modified);
+                MemResult {
+                    finish: g2 + 1,
+                    serviced_by: ServiceLevel::L2,
+                    l1_miss: false,
+                    l1_extra: 0,
                 }
-                self.invalidate_sharers(cpu, addr);
-                // The bank is held for the full request/response handshake
-                // including the directory lookup-and-update, so a store
-                // occupies it as long as a line transfer on the same
-                // datapath — the port contention the paper blames for the
-                // shared-L2 architecture's losses on store-heavy workloads.
-                let store_occ = self.cfg.lat.l2_occ;
-                let g2 = self.l2_banks.reserve(u64::from(addr), now, store_occ);
-                self.stats.l2_bank_wait += g2 - now;
-                match self.l2.lookup(addr) {
-                    AccessOutcome::Hit(_) => {
-                        self.stats.l2.hit();
-                        self.l2.set_state(addr, LineState::Modified);
-                        MemResult {
-                            finish: g2 + 1,
-                            serviced_by: ServiceLevel::L2,
-                            l1_miss: false,
-                            l1_extra: 0,
-                        }
-                    }
-                    AccessOutcome::Miss(k2) => {
-                        // Write-allocate at the L2: fetch the line, merge
-                        // the word.
-                        self.stats.l2.miss(k2);
-                        let finish = self.l2_fill_from_memory(addr, g2, true);
-                        MemResult {
-                            finish,
-                            serviced_by: ServiceLevel::Memory,
-                            l1_miss: false,
-                            l1_extra: 0,
-                        }
-                    }
+            }
+            AccessOutcome::Miss(k2) => {
+                // Write-allocate at the L2: fetch the line, merge the word.
+                self.stats.l2.miss(k2);
+                let finish = self.l2_fill_from_memory(addr, g2, true);
+                MemResult {
+                    finish,
+                    serviced_by: ServiceLevel::Memory,
+                    l1_miss: false,
+                    l1_extra: 0,
                 }
             }
         }
@@ -298,12 +318,14 @@ impl SharedL2System {
 }
 
 impl MemorySystem for SharedL2System {
+    #[inline]
     fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let res = self.access_inner(now, req);
         self.stats.latency.record(res.finish - now);
         res
     }
 
+    #[inline]
     fn load_would_hit_l1(&self, cpu: usize, addr: Addr) -> bool {
         self.l1d[cpu].probe(addr).is_valid()
     }
@@ -329,7 +351,10 @@ impl MemorySystem for SharedL2System {
     }
 
     fn port_utilization(&self) -> Vec<crate::PortUtil> {
-        vec![super::util_of_banks(&self.l2_banks), super::util_of_port(&self.mem_port)]
+        vec![
+            super::util_of_banks(&self.l2_banks),
+            super::util_of_port(&self.mem_port),
+        ]
     }
 }
 
@@ -378,7 +403,11 @@ mod tests {
         s.access(Cycle(200), MemRequest::store(0, 0x1000));
         assert_eq!(s.stats().invalidations_sent, 1);
         assert_eq!(s.l1d(1).probe(0x1000), LineState::Invalid);
-        assert_eq!(s.l1d(0).probe(0x1000), LineState::Shared, "writer keeps its copy");
+        assert_eq!(
+            s.l1d(0).probe(0x1000),
+            LineState::Shared,
+            "writer keeps its copy"
+        );
         // CPU 1's next read is an invalidation miss serviced by the L2.
         let r = s.access(Cycle(300), MemRequest::load(1, 0x1000));
         assert_eq!(r.serviced_by, ServiceLevel::L2);
@@ -409,7 +438,11 @@ mod tests {
         let r = s.access(Cycle(0), MemRequest::store(0, 0x3000));
         assert_eq!(r.serviced_by, ServiceLevel::Memory);
         assert_eq!(s.l2().probe(0x3000), LineState::Modified);
-        assert_eq!(s.l1d(0).probe(0x3000), LineState::Invalid, "no-write-allocate L1");
+        assert_eq!(
+            s.l1d(0).probe(0x3000),
+            LineState::Invalid,
+            "no-write-allocate L1"
+        );
     }
 
     #[test]
@@ -419,7 +452,11 @@ mod tests {
         // Evict 0x1000 from the direct-mapped 2MB L2 with a conflicting line.
         let conflict = 0x1000 + 2 * 1024 * 1024;
         s.access(Cycle(100), MemRequest::load(1, conflict));
-        assert_eq!(s.l1d(0).probe(0x1000), LineState::Invalid, "inclusion enforced");
+        assert_eq!(
+            s.l1d(0).probe(0x1000),
+            LineState::Invalid,
+            "inclusion enforced"
+        );
         // The refetch is a *replacement* miss, not an invalidation miss.
         s.access(Cycle(200), MemRequest::load(0, 0x1000));
         assert_eq!(s.stats().l1d.miss_inval, 0);

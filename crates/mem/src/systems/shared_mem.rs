@@ -9,13 +9,11 @@
 //! argues typical times are comparable to memory access times because the
 //! slowest snooper gates the response).
 
-use crate::cache::{AccessOutcome, CacheArray, LineState};
+use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::SystemConfig;
 use crate::stats::MemStats;
 use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
 use cmpsim_engine::{Cycle, Port};
-
-
 
 /// The snoop result for a requested line across all remote CPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,7 +161,11 @@ impl SharedMemSystem {
                 self.cfg.lat.c2c_lat,
                 ServiceLevel::CacheToCache,
             ),
-            _ => (self.cfg.lat.mem_occ, self.cfg.lat.mem_lat, ServiceLevel::Memory),
+            _ => (
+                self.cfg.lat.mem_occ,
+                self.cfg.lat.mem_lat,
+                ServiceLevel::Memory,
+            ),
         };
         let grant = self.bus.reserve(at, occ);
         self.stats.mem_wait += grant - at;
@@ -197,7 +199,12 @@ impl SharedMemSystem {
 
 impl SharedMemSystem {
     /// The untimed-record core of [`MemorySystem::access`]; the trait
-    /// method wraps it to record the end-to-end latency histogram.
+    /// method wraps it to record the end-to-end latency histogram. A clean
+    /// hit in the private L1 — the overwhelmingly common case — touches
+    /// nothing shared and returns straight away; stores that need state
+    /// work and all misses take the out-of-line paths so this body inlines
+    /// into the CPU access loops.
+    #[inline]
     fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let cpu = req.cpu;
         let addr = req.addr;
@@ -212,13 +219,12 @@ impl SharedMemSystem {
         };
         match outcome {
             AccessOutcome::Hit(state) => {
-                let lstats = if ifetch {
-                    &mut self.stats.l1i
-                } else {
-                    &mut self.stats.l1d
-                };
-                if !write {
-                    lstats.hit();
+                if !write || state == LineState::Modified {
+                    if ifetch {
+                        self.stats.l1i.hit();
+                    } else {
+                        self.stats.l1d.hit();
+                    }
                     return MemResult {
                         finish: now + self.cfg.lat.l1_lat,
                         serviced_by: ServiceLevel::L1,
@@ -226,116 +232,130 @@ impl SharedMemSystem {
                         l1_extra: 0,
                     };
                 }
-                match state {
-                    LineState::Modified => {
-                        lstats.hit();
-                        MemResult {
-                            finish: now + self.cfg.lat.l1_lat,
-                            serviced_by: ServiceLevel::L1,
-                            l1_miss: false,
-                            l1_extra: 0,
-                        }
-                    }
-                    LineState::Exclusive => {
-                        lstats.hit();
-                        self.l1d[cpu].set_state(addr, LineState::Modified);
-                        if self.l2[cpu].probe(addr).is_valid() {
-                            self.l2[cpu].set_state(addr, LineState::Modified);
-                        }
-                        MemResult {
-                            finish: now + self.cfg.lat.l1_lat,
-                            serviced_by: ServiceLevel::L1,
-                            l1_miss: false,
-                            l1_extra: 0,
-                        }
-                    }
-                    LineState::Shared => {
-                        // Upgrade: address-only bus transaction invalidating
-                        // remote copies. Counts as a hit (the data was
-                        // local), but the store completes only after the bus
-                        // acknowledges.
-                        lstats.hit();
-                        let grant = self.bus.reserve(now + 1, self.cfg.lat.upgrade_occ);
-                        self.stats.mem_wait += grant - (now + 1);
-                        self.stats.upgrades += 1;
-                        self.invalidate_remote(cpu, addr);
-                        self.l1d[cpu].set_state(addr, LineState::Modified);
-                        if self.l2[cpu].probe(addr).is_valid() {
-                            self.l2[cpu].set_state(addr, LineState::Modified);
-                        }
-                        MemResult {
-                            finish: grant + self.cfg.lat.upgrade_lat,
-                            serviced_by: ServiceLevel::Memory,
-                            l1_miss: false,
-                            l1_extra: 0,
-                        }
-                    }
-                    LineState::Invalid => unreachable!("hit cannot be invalid"),
+                self.service_store_hit(now, cpu, addr, state)
+            }
+            AccessOutcome::Miss(kind) => self.service_miss(now, cpu, addr, ifetch, write, kind),
+        }
+    }
+
+    /// A store that hit a non-Modified L1 line: silent upgrade from
+    /// Exclusive, or an address-only bus upgrade from Shared.
+    fn service_store_hit(
+        &mut self,
+        now: Cycle,
+        cpu: usize,
+        addr: Addr,
+        state: LineState,
+    ) -> MemResult {
+        match state {
+            LineState::Exclusive => {
+                self.stats.l1d.hit();
+                self.l1d[cpu].set_state(addr, LineState::Modified);
+                if self.l2[cpu].probe(addr).is_valid() {
+                    self.l2[cpu].set_state(addr, LineState::Modified);
+                }
+                MemResult {
+                    finish: now + self.cfg.lat.l1_lat,
+                    serviced_by: ServiceLevel::L1,
+                    l1_miss: false,
+                    l1_extra: 0,
                 }
             }
-            AccessOutcome::Miss(kind) => {
-                let lstats = if ifetch {
-                    &mut self.stats.l1i
+            LineState::Shared => {
+                // Upgrade: address-only bus transaction invalidating
+                // remote copies. Counts as a hit (the data was
+                // local), but the store completes only after the bus
+                // acknowledges.
+                self.stats.l1d.hit();
+                let grant = self.bus.reserve(now + 1, self.cfg.lat.upgrade_occ);
+                self.stats.mem_wait += grant - (now + 1);
+                self.stats.upgrades += 1;
+                self.invalidate_remote(cpu, addr);
+                self.l1d[cpu].set_state(addr, LineState::Modified);
+                if self.l2[cpu].probe(addr).is_valid() {
+                    self.l2[cpu].set_state(addr, LineState::Modified);
+                }
+                MemResult {
+                    finish: grant + self.cfg.lat.upgrade_lat,
+                    serviced_by: ServiceLevel::Memory,
+                    l1_miss: false,
+                    l1_extra: 0,
+                }
+            }
+            _ => unreachable!("Modified handled inline; hit cannot be invalid"),
+        }
+    }
+
+    /// An access that missed the private L1: walk the private L2, then the
+    /// snooping bus and memory (or a remote cache) beyond it.
+    fn service_miss(
+        &mut self,
+        now: Cycle,
+        cpu: usize,
+        addr: Addr,
+        ifetch: bool,
+        write: bool,
+        kind: MissKind,
+    ) -> MemResult {
+        let lstats = if ifetch {
+            &mut self.stats.l1i
+        } else {
+            &mut self.stats.l1d
+        };
+        lstats.miss(kind);
+        // Private L2 lookup.
+        let g2 = self.l2_ports[cpu].reserve(now, self.cfg.lat.l2_occ);
+        self.stats.l2_bank_wait += g2 - now;
+        match self.l2[cpu].lookup(addr) {
+            AccessOutcome::Hit(l2_state) => {
+                self.stats.l2.hit();
+                let can_satisfy = !write || l2_state != LineState::Shared;
+                if can_satisfy {
+                    let finish = g2 + self.cfg.lat.l2_lat;
+                    let wb_at = g2;
+                    let l1_state = if write {
+                        self.l2[cpu].set_state(addr, LineState::Modified);
+                        LineState::Modified
+                    } else {
+                        match l2_state {
+                            LineState::Shared => LineState::Shared,
+                            _ => LineState::Exclusive,
+                        }
+                    };
+                    self.l1_fill(cpu, addr, ifetch, l1_state, wb_at);
+                    MemResult {
+                        finish,
+                        serviced_by: ServiceLevel::L2,
+                        l1_miss: true,
+                        l1_extra: 0,
+                    }
                 } else {
-                    &mut self.stats.l1d
-                };
-                lstats.miss(kind);
-                // Private L2 lookup.
-                let g2 = self.l2_ports[cpu].reserve(now, self.cfg.lat.l2_occ);
-                self.stats.l2_bank_wait += g2 - now;
-                match self.l2[cpu].lookup(addr) {
-                    AccessOutcome::Hit(l2_state) => {
-                        self.stats.l2.hit();
-                        let can_satisfy = !write || l2_state != LineState::Shared;
-                        if can_satisfy {
-                            let finish = g2 + self.cfg.lat.l2_lat;
-                            let wb_at = g2;
-                            let l1_state = if write {
-                                self.l2[cpu].set_state(addr, LineState::Modified);
-                                LineState::Modified
-                            } else {
-                                match l2_state {
-                                    LineState::Shared => LineState::Shared,
-                                    _ => LineState::Exclusive,
-                                }
-                            };
-                            self.l1_fill(cpu, addr, ifetch, l1_state, wb_at);
-                            MemResult {
-                                finish,
-                                serviced_by: ServiceLevel::L2,
-                                l1_miss: true,
-                                l1_extra: 0,
-                            }
-                        } else {
-                            // Write to a Shared L2 line: upgrade on the bus.
-                            let grant = self.bus.reserve(g2, self.cfg.lat.upgrade_occ);
-                            self.stats.mem_wait += grant - g2;
-                            self.stats.upgrades += 1;
-                            self.invalidate_remote(cpu, addr);
-                            self.l2[cpu].set_state(addr, LineState::Modified);
-                            let finish = grant + self.cfg.lat.upgrade_lat;
-                            self.l1_fill(cpu, addr, ifetch, LineState::Modified, grant);
-                            MemResult {
-                                finish,
-                                serviced_by: ServiceLevel::Memory,
-                                l1_miss: true,
-                                l1_extra: 0,
-                            }
-                        }
+                    // Write to a Shared L2 line: upgrade on the bus.
+                    let grant = self.bus.reserve(g2, self.cfg.lat.upgrade_occ);
+                    self.stats.mem_wait += grant - g2;
+                    self.stats.upgrades += 1;
+                    self.invalidate_remote(cpu, addr);
+                    self.l2[cpu].set_state(addr, LineState::Modified);
+                    let finish = grant + self.cfg.lat.upgrade_lat;
+                    self.l1_fill(cpu, addr, ifetch, LineState::Modified, grant);
+                    MemResult {
+                        finish,
+                        serviced_by: ServiceLevel::Memory,
+                        l1_miss: true,
+                        l1_extra: 0,
                     }
-                    AccessOutcome::Miss(k2) => {
-                        self.stats.l2.miss(k2);
-                        let (finish, level, state, bus_grant) =
-                            self.bus_fetch(cpu, addr, write, g2);
-                        self.l2_fill(cpu, addr, state, bus_grant);
-                        self.l1_fill(cpu, addr, ifetch, state, bus_grant);
-                        MemResult {
-                            finish,
-                            serviced_by: level,
-                            l1_miss: true,
-                            l1_extra: 0,
-                        }
-                    }
+                }
+            }
+            AccessOutcome::Miss(k2) => {
+                self.stats.l2.miss(k2);
+                let (finish, level, state, bus_grant) = self.bus_fetch(cpu, addr, write, g2);
+                self.l2_fill(cpu, addr, state, bus_grant);
+                self.l1_fill(cpu, addr, ifetch, state, bus_grant);
+                MemResult {
+                    finish,
+                    serviced_by: level,
+                    l1_miss: true,
+                    l1_extra: 0,
                 }
             }
         }
@@ -343,12 +363,14 @@ impl SharedMemSystem {
 }
 
 impl MemorySystem for SharedMemSystem {
+    #[inline]
     fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let res = self.access_inner(now, req);
         self.stats.latency.record(res.finish - now);
         res
     }
 
+    #[inline]
     fn load_would_hit_l1(&self, cpu: usize, addr: Addr) -> bool {
         self.l1d[cpu].probe(addr).is_valid()
     }

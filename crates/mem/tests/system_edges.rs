@@ -40,7 +40,7 @@ fn shared_l2_writer_keeps_own_copy_valid() {
 fn shared_l2_dirty_line_writes_back_on_eviction() {
     let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4));
     s.access(Cycle(0), MemRequest::store(0, 0x9000)); // L2 line dirty
-    // Evict it with the conflicting line 2 MB away (direct-mapped L2).
+                                                      // Evict it with the conflicting line 2 MB away (direct-mapped L2).
     s.access(Cycle(1000), MemRequest::load(1, 0x9000 + 0x20_0000));
     assert_eq!(s.stats().writebacks, 1, "dirty victim must write back");
 }
@@ -61,7 +61,7 @@ fn shared_l2_load_after_remote_store_is_l2_serviced() {
 fn shared_mem_dirty_l1_victim_folds_into_l2() {
     let mut s = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
     s.access(Cycle(0), MemRequest::store(0, 0xb000)); // M in L1+L2
-    // Two conflicting fills (16 KB 2-way: 8 KB way stride) evict it.
+                                                      // Two conflicting fills (16 KB 2-way: 8 KB way stride) evict it.
     s.access(Cycle(100), MemRequest::load(0, 0xb000 + 0x2000));
     s.access(Cycle(200), MemRequest::load(0, 0xb000 + 0x4000));
     assert_eq!(s.stats().writebacks, 1, "dirty L1 victim retires into L2");
@@ -98,7 +98,11 @@ fn shared_mem_upgrade_vs_readex_paths_differ() {
     assert_eq!(s.stats().upgrades, 1);
     // Read-exclusive path: the writer has no copy at all.
     s.access(Cycle(300), MemRequest::store(2, 0xe000));
-    assert_eq!(s.stats().upgrades, 1, "cold store is a read-exclusive, not an upgrade");
+    assert_eq!(
+        s.stats().upgrades,
+        1,
+        "cold store is a read-exclusive, not an upgrade"
+    );
     assert_eq!(s.l1d(2).probe(0xe000), LineState::Modified);
 }
 
@@ -129,13 +133,24 @@ fn shared_l1_ifetch_and_data_have_separate_banks() {
 fn shared_l1_l2_and_memory_counters_consistent() {
     let mut s = SharedL1System::new(&SystemConfig::paper_shared_l1(4));
     for i in 0..100u32 {
-        s.access(Cycle(u64::from(i) * 100), MemRequest::load(0, 0x10_0000 + i * 64));
+        s.access(
+            Cycle(u64::from(i) * 100),
+            MemRequest::load(0, 0x10_0000 + i * 64),
+        );
     }
     let st = s.stats();
     assert_eq!(st.l1d.accesses, 100);
     assert_eq!(st.l1d.misses(), 100, "all cold");
-    assert_eq!(st.l2.accesses, st.l1d.misses(), "every L1 miss reaches the L2");
-    assert_eq!(st.mem_accesses, st.l2.misses(), "every L2 miss reaches memory");
+    assert_eq!(
+        st.l2.accesses,
+        st.l1d.misses(),
+        "every L1 miss reaches the L2"
+    );
+    assert_eq!(
+        st.mem_accesses,
+        st.l2.misses(),
+        "every L2 miss reaches memory"
+    );
     assert_eq!(st.latency.total(), 100);
 }
 

@@ -7,6 +7,10 @@
 # 2. Tier-1 proper: release build + full workspace test suite, with
 #    cargo's network access disabled so a regression in (1) can never be
 #    papered over by a warm registry cache.
+# 3. Quick simulator-speed check: the sim_throughput bench in quick mode
+#    (CMPSIM_BENCH_QUICK=1, single run per case) appended to
+#    BENCH_pr2.json, so every verification leaves a dated throughput
+#    record next to the pre/post-PR entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,4 +28,13 @@ echo "ok: cargo metadata lists path-only dependencies"
 echo "== tier-1: cargo build --release && cargo test -q (offline) =="
 cargo build --release
 cargo test -q
+
+echo "== quick simulator-speed record -> BENCH_pr2.json =="
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench sim_throughput 2>/dev/null \
+    | grep '^{' \
+    | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
+    >> BENCH_pr2.json
+echo "ok: appended quick sim_throughput records"
+
 echo "verify.sh: all checks passed"
