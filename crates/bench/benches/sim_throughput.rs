@@ -7,6 +7,8 @@
 //! * one per CPU model (simulated instructions per host second on a real
 //!   workload), with and without the decoded-instruction cache
 //!   (`CMPSIM_NO_DECODE_CACHE`), so the memoization win is tracked;
+//! * one per CPU model with the coherence sentinel pinned on and off, so
+//!   the invariant checker's overhead is tracked next to the baselines;
 //! * one per memory system (accesses per host second on a synthetic
 //!   scatter stream);
 //! * the full summary matrix run serially and with the job pool
@@ -23,7 +25,8 @@ use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
 use cmpsim_engine::Cycle;
 use cmpsim_kernels::build_by_name;
 use cmpsim_mem::{
-    MemRequest, MemorySystem, SharedL1System, SharedL2System, SharedMemSystem, SystemConfig,
+    MemRequest, MemorySystem, SentinelSpec, SharedL1System, SharedL2System, SharedMemSystem,
+    SystemConfig,
 };
 
 /// Repeat counts: (warmup, runs, mem accesses, matrix scale).
@@ -62,6 +65,41 @@ fn cpu_model_throughput(label: &str, arch: ArchKind, cpu: CpuKind, decode_cache:
     timing::emit_record(
         "sim_throughput",
         &format!("cpu/{label}/eqntott{cache_tag}"),
+        &m,
+        &[
+            ("sim_instructions", sim_instructions.into()),
+            (
+                "sim_instr_per_host_sec",
+                JsonVal::F64(m.per_sec(sim_instructions)),
+            ),
+        ],
+    );
+}
+
+/// Times one CPU model with the coherence sentinel pinned on or off, so
+/// `BENCH_*.json` records the invariant checker's overhead next to the
+/// plain throughput baselines. Pinned through `MachineConfig::sentinel`
+/// rather than the environment so both modes run identically configured.
+fn sentinel_throughput(label: &str, arch: ArchKind, cpu: CpuKind, sentinel: bool) {
+    let (warmup, runs, _, _) = knobs();
+    let mut sim_instructions = 0u64;
+    let m = timing::measure(warmup, runs, || {
+        let w = build_by_name("eqntott", 4, 0.05).expect("builds");
+        let mut cfg = MachineConfig::new(arch, cpu);
+        cfg.sentinel = Some(if sentinel {
+            SentinelSpec::on()
+        } else {
+            SentinelSpec::off()
+        });
+        let summary = run_workload(&cfg, &w, 100_000_000).expect("runs");
+        assert!(summary.violations.is_empty(), "clean runs stay clean");
+        sim_instructions = summary.total.instructions;
+        summary
+    });
+    let tag = if sentinel { "sentinel-on" } else { "sentinel-off" };
+    timing::emit_record(
+        "sim_throughput",
+        &format!("cpu/{label}/eqntott/{tag}"),
         &m,
         &[
             ("sim_instructions", sim_instructions.into()),
@@ -128,6 +166,11 @@ fn main() {
     for decode_cache in [true, false] {
         cpu_model_throughput("mipsy", ArchKind::SharedMem, CpuKind::Mipsy, decode_cache);
         cpu_model_throughput("mxs", ArchKind::SharedL1, CpuKind::Mxs, decode_cache);
+    }
+
+    for sentinel in [false, true] {
+        sentinel_throughput("mipsy", ArchKind::SharedMem, CpuKind::Mipsy, sentinel);
+        sentinel_throughput("mxs", ArchKind::SharedL1, CpuKind::Mxs, sentinel);
     }
 
     memsys_throughput("shared_mem", || {

@@ -102,18 +102,42 @@ pub fn summary_json(case: &MatrixCase, s: &RunSummary) -> String {
     ])
 }
 
-/// Runs one matrix case at the default machine configuration.
+/// Runs one matrix case at the default machine configuration. The
+/// coherence sentinel follows the environment (`CMPSIM_SENTINEL`), so a
+/// sentinel verification pass is just the normal matrix run with the knob
+/// set.
 ///
 /// # Panics
 ///
-/// Panics if the workload fails to build, times out or fails validation —
-/// the matrix pins known-good configurations.
+/// Panics if the workload fails to build, times out, fails validation, or
+/// (sentinel on) reports any invariant violation — the matrix pins
+/// known-good configurations.
 pub fn run_case(case: &MatrixCase) -> RunSummary {
+    run_case_with_sentinel(case, None)
+}
+
+/// Like [`run_case`] but pinning the sentinel spec instead of resolving it
+/// from the environment (digest-equivalence tests need both modes in one
+/// process without racing on env vars).
+pub fn run_case_with_sentinel(
+    case: &MatrixCase,
+    sentinel: Option<cmpsim_mem::SentinelSpec>,
+) -> RunSummary {
     let w = build_by_name(case.workload, 4, case.scale)
         .unwrap_or_else(|e| panic!("building {}: {e}", case.workload));
-    let cfg = MachineConfig::new(case.arch, case.cpu);
-    run_workload(&cfg, &w, MATRIX_BUDGET)
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", case.workload, case.arch))
+    let mut cfg = MachineConfig::new(case.arch, case.cpu);
+    cfg.sentinel = sentinel;
+    let s = run_workload(&cfg, &w, MATRIX_BUDGET)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", case.workload, case.arch));
+    assert!(
+        s.violations.is_empty(),
+        "{} on {}: {} sentinel violations in a pinned-good configuration; first: {}",
+        case.workload,
+        case.arch,
+        s.violations.len(),
+        s.violations[0]
+    );
+    s
 }
 
 /// Runs the whole matrix on `jobs` worker threads and returns one JSON line
@@ -143,6 +167,24 @@ mod tests {
         let parallel = matrix_json_lines(&cases, 8);
         assert_eq!(serial, parallel, "jobs count must never change results");
         assert!(serial.iter().all(|l| l.contains("\"summary_fnv1a\":")));
+    }
+
+    /// Satellite: the invariant checker must be zero-cost on results —
+    /// the canonical digest of a case is bit-identical with the sentinel
+    /// on and off (the checker only probes, never mutates).
+    #[test]
+    fn sentinel_on_digests_are_bit_identical() {
+        use cmpsim_mem::SentinelSpec;
+        let cases: Vec<MatrixCase> = default_matrix(0.02)
+            .into_iter()
+            .filter(|c| c.cpu == CpuKind::Mipsy && c.workload == "eqntott")
+            .collect();
+        assert_eq!(cases.len(), 4, "one per architecture");
+        for case in &cases {
+            let off = summary_json(case, &run_case_with_sentinel(case, Some(SentinelSpec::off())));
+            let on = summary_json(case, &run_case_with_sentinel(case, Some(SentinelSpec::on())));
+            assert_eq!(off, on, "{} on {}: sentinel changed results", case.workload, case.arch);
+        }
     }
 
     #[test]

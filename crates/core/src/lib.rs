@@ -33,6 +33,9 @@ pub mod probe;
 pub mod report;
 
 pub use cmpsim_cpu::MxsConfig;
-pub use machine::{ArchKind, CpuKind, Machine, MachineConfig, RunError, RunSummary};
+pub use machine::{
+    run_workload, ArchKind, CpuDiag, CpuKind, Machine, MachineConfig, RunError, RunSummary,
+    Watchdog, WatchdogReport, ENV_STALL_CYCLES,
+};
 pub use probe::{probe_latencies, ProbeResult};
 pub use report::{Breakdown, MissRates};

@@ -5,8 +5,8 @@ use cmpsim_engine::Cycle;
 use cmpsim_isa::HcallNo;
 use cmpsim_kernels::BuiltWorkload;
 use cmpsim_mem::{
-    AddrSpace, ClusteredSystem, MemStats, MemorySystem, PhysMem, SharedL1System, SharedL2System,
-    SharedMemSystem, SystemConfig,
+    AddrSpace, ClusteredSystem, ConfigError, MemStats, MemorySystem, PhysMem, SentinelSpec,
+    SentinelViolation, SharedL1System, SharedL2System, SharedMemSystem, SystemConfig,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -110,7 +110,18 @@ pub struct MachineConfig {
     pub l1_size: Option<u32>,
     /// Override the Mipsy/MXS idealization default.
     pub ideal_shared_l1: Option<bool>,
+    /// Coherence-sentinel specification. `None` resolves from the
+    /// environment (`CMPSIM_SENTINEL`, `CMPSIM_FAULT_RATE`,
+    /// `CMPSIM_FAULT_SEED`); `Some` pins it regardless of the environment.
+    pub sentinel: Option<SentinelSpec>,
+    /// Forward-progress watchdog: flag a CPU that graduates nothing for
+    /// this many cycles. `None` resolves from `CMPSIM_STALL_CYCLES`
+    /// (unset means the watchdog is off).
+    pub stall_cycles: Option<u64>,
 }
+
+/// Environment knob naming the forward-progress watchdog limit in cycles.
+pub const ENV_STALL_CYCLES: &str = "CMPSIM_STALL_CYCLES";
 
 impl MachineConfig {
     /// A 4-CPU paper-default machine.
@@ -125,7 +136,25 @@ impl MachineConfig {
             l2_occupancy: None,
             l1_size: None,
             ideal_shared_l1: None,
+            sentinel: None,
+            stall_cycles: None,
         }
+    }
+
+    /// The sentinel spec this machine will run with: the explicit override
+    /// if set, otherwise whatever the environment asks for.
+    pub fn resolved_sentinel(&self) -> SentinelSpec {
+        self.sentinel.unwrap_or_else(SentinelSpec::from_env)
+    }
+
+    /// The watchdog stall limit: the explicit override if set, otherwise
+    /// `CMPSIM_STALL_CYCLES` from the environment.
+    pub fn resolved_stall_cycles(&self) -> Option<u64> {
+        self.stall_cycles.or_else(|| {
+            std::env::var(ENV_STALL_CYCLES)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
     }
 
     /// Resolved memory-system configuration.
@@ -151,14 +180,152 @@ impl MachineConfig {
                 && matches!(self.arch, ArchKind::SharedL1 | ArchKind::Clustered)
         });
         sc.with_ideal_shared_l1(ideal)
+            .with_sentinel(self.resolved_sentinel())
+    }
+}
+
+/// Per-CPU diagnostic snapshot taken when a run fails to make progress —
+/// the payload of the enriched [`RunError::Timeout`] and
+/// [`RunError::Stalled`] reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuDiag {
+    /// CPU index.
+    pub cpu: usize,
+    /// Whether the CPU had already halted.
+    pub done: bool,
+    /// Architectural program counter at the failure point.
+    pub pc: u32,
+    /// Cycle at which the CPU would next step.
+    pub ready_cycle: u64,
+    /// Instructions graduated so far.
+    pub instructions: u64,
+    /// Outstanding LL reservation (line address), if any.
+    pub ll_reservation: Option<u32>,
+    /// Cycles since this CPU last graduated an instruction (0 when the
+    /// watchdog is off).
+    pub stalled_for: u64,
+}
+
+impl fmt::Display for CpuDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.done {
+            return write!(f, "cpu {} done ({} instructions)", self.cpu, self.instructions);
+        }
+        write!(
+            f,
+            "cpu {} at pc {:#x}, ready at cycle {}, {} instructions graduated",
+            self.cpu, self.pc, self.ready_cycle, self.instructions
+        )?;
+        if let Some(ll) = self.ll_reservation {
+            write!(f, ", LL reservation on line {ll:#x}")?;
+        }
+        if self.stalled_for > 0 {
+            write!(f, ", no progress for {} cycles", self.stalled_for)?;
+        }
+        Ok(())
+    }
+}
+
+/// What the machine looked like when the run loop gave up: one
+/// [`CpuDiag`] per CPU plus the sentinel's violation count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WatchdogReport {
+    /// Per-CPU snapshots, index-ordered.
+    pub cpus: Vec<CpuDiag>,
+    /// Sentinel violations recorded before the failure (0 with the
+    /// sentinel off).
+    pub violations: usize,
+}
+
+impl WatchdogReport {
+    /// The CPUs that had not halted when the run gave up.
+    pub fn stuck_cpus(&self) -> impl Iterator<Item = &CpuDiag> {
+        self.cpus.iter().filter(|d| !d.done)
+    }
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stuck: Vec<&CpuDiag> = self.stuck_cpus().collect();
+        if stuck.is_empty() {
+            write!(f, "no CPU was stuck")?;
+        } else {
+            write!(f, "stuck: ")?;
+            for (i, d) in stuck.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "; ")?;
+                }
+                write!(f, "{d}")?;
+            }
+        }
+        if self.violations > 0 {
+            write!(f, " ({} sentinel violations recorded)", self.violations)?;
+        }
+        Ok(())
+    }
+}
+
+/// Forward-progress watchdog: per-CPU graduation counts, with the cycle at
+/// which each last advanced. Factored out of [`Machine::run`] so the
+/// stall-detection arithmetic is unit-testable without building a machine.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    limit: u64,
+    last_instructions: Vec<u64>,
+    last_progress: Vec<u64>,
+}
+
+impl Watchdog {
+    /// A watchdog flagging any CPU that graduates nothing for more than
+    /// `limit` cycles.
+    pub fn new(limit: u64, n_cpus: usize) -> Watchdog {
+        Watchdog {
+            limit,
+            last_instructions: vec![0; n_cpus],
+            last_progress: vec![0; n_cpus],
+        }
+    }
+
+    /// The configured stall limit in cycles.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Records `cpu`'s graduation count at `cycle`. Returns
+    /// `Some(stalled_for)` when the CPU has gone more than the limit
+    /// without graduating anything.
+    pub fn observe(&mut self, cpu: usize, cycle: u64, instructions: u64) -> Option<u64> {
+        if instructions != self.last_instructions[cpu] {
+            self.last_instructions[cpu] = instructions;
+            self.last_progress[cpu] = cycle;
+            return None;
+        }
+        let stalled = cycle.saturating_sub(self.last_progress[cpu]);
+        (stalled > self.limit).then_some(stalled)
+    }
+
+    /// Cycles since `cpu` last made progress, as of `cycle`.
+    pub fn stalled_for(&self, cpu: usize, cycle: u64) -> u64 {
+        cycle.saturating_sub(self.last_progress[cpu])
     }
 }
 
 /// Why a run stopped without completing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
-    /// The cycle budget expired before every CPU finished.
-    Timeout { budget: u64 },
+    /// The cycle budget expired before every CPU finished. The report
+    /// names the CPUs that never halted, their PCs, graduation counts and
+    /// LL reservations.
+    Timeout {
+        budget: u64,
+        report: Box<WatchdogReport>,
+    },
+    /// The forward-progress watchdog caught a CPU graduating nothing for
+    /// more than `limit` cycles (see [`MachineConfig::stall_cycles`]).
+    Stalled {
+        limit: u64,
+        report: Box<WatchdogReport>,
+    },
     /// The workload self-check failed after completion.
     CheckFailed(String),
 }
@@ -166,8 +333,14 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::Timeout { budget } => {
-                write!(f, "run exceeded the {budget}-cycle budget")
+            RunError::Timeout { budget, report } => {
+                write!(f, "run exceeded the {budget}-cycle budget; {report}")
+            }
+            RunError::Stalled { limit, report } => {
+                write!(
+                    f,
+                    "forward-progress watchdog fired after {limit} stalled cycles; {report}"
+                )
             }
             RunError::CheckFailed(msg) => write!(f, "workload validation failed: {msg}"),
         }
@@ -194,6 +367,9 @@ pub struct RunSummary {
     pub port_util: Vec<cmpsim_mem::PortUtil>,
     /// Recorded phase markers: (cycle, cpu, tag).
     pub phases: Vec<(u64, usize, u8)>,
+    /// Sentinel violations detected during the run (always empty with the
+    /// sentinel off; a correct simulator leaves it empty with it on too).
+    pub violations: Vec<SentinelViolation>,
 }
 
 impl RunSummary {
@@ -225,6 +401,10 @@ pub struct Machine {
     roi_start: Cycle,
     phases: Vec<(u64, usize, u8)>,
     workload_name: &'static str,
+    /// Cached `spec.enabled` so the run loop pays one branch when off.
+    sentinel_on: bool,
+    /// Resolved watchdog limit (None = watchdog off).
+    stall_limit: Option<u64>,
 }
 
 impl fmt::Debug for Machine {
@@ -242,17 +422,33 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the workload was built for a different CPU count.
+    /// Panics if the workload was built for a different CPU count or the
+    /// configuration is invalid. Use [`Machine::try_new`] for a fallible
+    /// variant.
     pub fn new(cfg: &MachineConfig, workload: &BuiltWorkload) -> Machine {
-        assert_eq!(
-            workload.entries.len(),
-            cfg.n_cpus,
-            "workload built for a different CPU count"
-        );
+        Machine::try_new(cfg, workload).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects a workload built for a different CPU
+    /// count and invalid system configurations.
+    pub fn try_new(cfg: &MachineConfig, workload: &BuiltWorkload) -> Result<Machine, ConfigError> {
+        if workload.entries.len() != cfg.n_cpus {
+            return Err(ConfigError::WorkloadCpuMismatch {
+                workload: workload.entries.len(),
+                machine: cfg.n_cpus,
+            });
+        }
         let sc = cfg.system_config();
+        sc.validate()?;
+        if let CpuKind::MxsCustom(mc) = cfg.cpu {
+            mc.validate()?;
+        }
         let mem = cfg.arch.build(&sc);
         let mut phys = PhysMem::new(cfg.n_cpus);
         workload.install(&mut phys);
+        // Arm the oracle only after the image is installed so the initial
+        // contents are snapshotted.
+        phys.enable_sentinel(&sc.sentinel);
         let cpus: Vec<Box<dyn CpuModel>> = workload
             .entries
             .iter()
@@ -279,7 +475,7 @@ impl Machine {
                     .collect()
             })
             .collect();
-        Machine {
+        Ok(Machine {
             cfg: *cfg,
             cpus,
             mem,
@@ -290,7 +486,9 @@ impl Machine {
             roi_start: Cycle::ZERO,
             phases: Vec::new(),
             workload_name: workload.name,
-        }
+            sentinel_on: sc.sentinel.enabled,
+            stall_limit: cfg.resolved_stall_cycles(),
+        })
     }
 
     /// Switches CPU `c` to `next`, saving the current context. Returns the
@@ -332,13 +530,37 @@ impl Machine {
     ///
     /// Returns [`RunError::Timeout`] if the budget expires.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, RunError> {
+        let mut watchdog = self.stall_limit.map(|l| Watchdog::new(l, self.cpus.len()));
         while let Some(c) = self.earliest_ready() {
             let now = self.ready[c];
             if now.0 > max_cycles {
-                return Err(RunError::Timeout { budget: max_cycles });
+                let report = self.diagnose(now.0, watchdog.as_ref());
+                return Err(RunError::Timeout {
+                    budget: max_cycles,
+                    report: Box::new(report),
+                });
+            }
+            if self.sentinel_on {
+                self.phys.sentinel_context(c, now.0);
             }
             let (next, ev) = self.cpus[c].step(now, self.mem.as_mut(), &mut self.phys);
+            if self.sentinel_on {
+                self.phys.sentinel_heal();
+            }
             self.ready[c] = next;
+            if let Some(w) = &mut watchdog {
+                if !self.done[c]
+                    && w.observe(c, next.0, self.cpus[c].counters().instructions)
+                        .is_some()
+                {
+                    let limit = w.limit();
+                    let report = self.diagnose(next.0, watchdog.as_ref());
+                    return Err(RunError::Stalled {
+                        limit,
+                        report: Box::new(report),
+                    });
+                }
+            }
             match ev {
                 StepEvent::None => {}
                 StepEvent::Halted => self.done[c] = true,
@@ -346,6 +568,25 @@ impl Machine {
             }
         }
         Ok(self.summary())
+    }
+
+    /// Snapshots every CPU for a failure report.
+    fn diagnose(&self, now: u64, watchdog: Option<&Watchdog>) -> WatchdogReport {
+        let cpus = (0..self.cpus.len())
+            .map(|c| CpuDiag {
+                cpu: c,
+                done: self.done[c],
+                pc: self.cpus[c].arch().pc,
+                ready_cycle: self.ready[c].0,
+                instructions: self.cpus[c].counters().instructions,
+                ll_reservation: self.phys.link(c),
+                stalled_for: watchdog.map_or(0, |w| w.stalled_for(c, now)),
+            })
+            .collect();
+        WatchdogReport {
+            cpus,
+            violations: self.mem.violations().len() + self.phys.violations().len(),
+        }
     }
 
     fn handle_hcall(&mut self, c: usize, now: Cycle, no: HcallNo) {
@@ -398,6 +639,11 @@ impl Machine {
             // machine is finished; a second summary() would start a fresh
             // (empty) list.
             phases: std::mem::take(&mut self.phases),
+            violations: {
+                let mut v = self.mem.violations().to_vec();
+                v.extend(self.phys.violations());
+                v
+            },
         }
     }
 
@@ -492,8 +738,58 @@ mod tests {
         let cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mipsy);
         let mut m = Machine::new(&cfg, &w);
         let err = m.run(1_000).expect_err("far too small a budget");
-        assert!(matches!(err, RunError::Timeout { budget: 1_000 }));
-        assert!(err.to_string().contains("budget"));
+        assert!(matches!(err, RunError::Timeout { budget: 1_000, .. }));
+        let msg = err.to_string();
+        assert!(msg.contains("budget"));
+        // The enriched report names the stuck CPUs and their PCs.
+        assert!(msg.contains("stuck"), "{msg}");
+        assert!(msg.contains("pc 0x"), "{msg}");
+        if let RunError::Timeout { report, .. } = err {
+            assert_eq!(report.cpus.len(), 4);
+            assert!(report.stuck_cpus().count() > 0);
+        }
+    }
+
+    #[test]
+    fn watchdog_flags_a_cpu_that_stops_graduating() {
+        let mut w = Watchdog::new(100, 2);
+        assert_eq!(w.observe(0, 10, 5), None, "progress resets the clock");
+        assert_eq!(w.observe(0, 50, 5), None, "within the limit");
+        assert_eq!(w.observe(1, 400, 0), Some(400), "cpu 1 never graduated");
+        assert_eq!(w.observe(0, 111, 6), None, "new instructions count as progress");
+        assert_eq!(w.stalled_for(0, 200), 89);
+    }
+
+    #[test]
+    fn try_new_rejects_workload_cpu_mismatch() {
+        let w = build_by_name("eqntott", 4, 0.03).expect("builds");
+        let mut cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mipsy);
+        cfg.n_cpus = 2;
+        let err = Machine::try_new(&cfg, &w).expect_err("4-CPU workload on a 2-CPU machine");
+        assert!(matches!(
+            err,
+            cmpsim_mem::ConfigError::WorkloadCpuMismatch {
+                workload: 4,
+                machine: 2
+            }
+        ));
+        assert!(err.to_string().contains("different CPU count"));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_mxs_configs() {
+        let w = build_by_name("eqntott", 4, 0.03).expect("builds");
+        let starved = MxsConfig {
+            phys_regs: 40,
+            ..MxsConfig::default()
+        };
+        let cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::MxsCustom(starved));
+        let err = Machine::try_new(&cfg, &w).expect_err("starved register file");
+        assert!(matches!(
+            err,
+            cmpsim_mem::ConfigError::TooFewPhysRegs { phys_regs: 40, .. }
+        ));
+        assert!(err.to_string().contains("32 + rob_entries"));
     }
 
     #[test]

@@ -179,6 +179,7 @@ mod tests {
             mem: MemStats::new(),
             port_util: vec![],
             phases: vec![],
+            violations: vec![],
         }
     }
 

@@ -58,6 +58,37 @@ pub struct MxsConfig {
     pub fu: FuLatencies,
 }
 
+impl MxsConfig {
+    /// Validates the configuration, returning a typed error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TooFewPhysRegs`] when renaming could
+    /// deadlock (`phys_regs < 32 + rob_entries`: every architectural
+    /// register plus every in-flight instruction needs a physical
+    /// register), and [`ConfigError::FetchWidthOutOfRange`] when the fetch
+    /// width is zero or exceeds the fetch-buffer capacity.
+    ///
+    /// [`ConfigError::TooFewPhysRegs`]: cmpsim_mem::ConfigError::TooFewPhysRegs
+    /// [`ConfigError::FetchWidthOutOfRange`]: cmpsim_mem::ConfigError::FetchWidthOutOfRange
+    pub fn validate(&self) -> Result<(), cmpsim_mem::ConfigError> {
+        if self.phys_regs < 32 + self.rob_entries {
+            return Err(cmpsim_mem::ConfigError::TooFewPhysRegs {
+                phys_regs: self.phys_regs,
+                needed: 32 + self.rob_entries,
+            });
+        }
+        if self.fetch_width == 0 || self.fetch_width > FBUF_CAP {
+            return Err(cmpsim_mem::ConfigError::FetchWidthOutOfRange {
+                fetch_width: self.fetch_width,
+                max: FBUF_CAP,
+            });
+        }
+        Ok(())
+    }
+}
+
 impl Default for MxsConfig {
     fn default() -> Self {
         MxsConfig {
@@ -177,16 +208,22 @@ impl MxsCpu {
     ///
     /// # Panics
     ///
-    /// Panics if `phys_regs < 32 + rob_entries` (renaming could deadlock).
+    /// Panics if `phys_regs < 32 + rob_entries` (renaming could deadlock)
+    /// or the fetch width is out of range. Use [`MxsCpu::try_with_config`]
+    /// to reject bad configurations without unwinding.
     pub fn with_config(cpu: CpuId, pc: u32, space: AddrSpace, cfg: MxsConfig) -> MxsCpu {
-        assert!(
-            cfg.phys_regs >= 32 + cfg.rob_entries,
-            "need at least 32 + rob_entries physical registers"
-        );
-        assert!(
-            cfg.fetch_width > 0 && cfg.fetch_width <= FBUF_CAP,
-            "fetch width must be 1..={FBUF_CAP} (the fetch buffer capacity)"
-        );
+        MxsCpu::try_with_config(cpu, pc, space, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: validates `cfg` (see [`MxsConfig::validate`])
+    /// before building the core.
+    pub fn try_with_config(
+        cpu: CpuId,
+        pc: u32,
+        space: AddrSpace,
+        cfg: MxsConfig,
+    ) -> Result<MxsCpu, cmpsim_mem::ConfigError> {
+        cfg.validate()?;
         let mut m = MxsCpu {
             cpu,
             cfg,
@@ -216,7 +253,7 @@ impl MxsCpu {
             counters: CpuCounters::new(),
         };
         m.reset_pipeline();
-        m
+        Ok(m)
     }
 
     /// Rebuilds all speculative state from the committed `arch` state.
@@ -996,6 +1033,53 @@ mod tests {
         let mem = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4));
         let cpu = MxsCpu::new(0, prog.base, AddrSpace::identity());
         (phys, mem, cpu)
+    }
+
+    #[test]
+    fn config_validation_rejects_each_bad_shape_with_a_typed_error() {
+        use cmpsim_mem::ConfigError;
+        assert!(MxsConfig::default().validate().is_ok());
+
+        let starved = MxsConfig {
+            phys_regs: 40,
+            ..MxsConfig::default()
+        };
+        assert_eq!(
+            starved.validate(),
+            Err(ConfigError::TooFewPhysRegs {
+                phys_regs: 40,
+                needed: 32 + MxsConfig::default().rob_entries,
+            })
+        );
+
+        for fetch_width in [0, FBUF_CAP + 1] {
+            let wide = MxsConfig {
+                fetch_width,
+                ..MxsConfig::default()
+            };
+            assert_eq!(
+                wide.validate(),
+                Err(ConfigError::FetchWidthOutOfRange {
+                    fetch_width,
+                    max: FBUF_CAP,
+                })
+            );
+        }
+
+        let err = MxsCpu::try_with_config(0, 0, AddrSpace::identity(), starved)
+            .expect_err("starved register file must be rejected");
+        assert!(err.to_string().contains("32 + rob_entries"));
+        assert!(MxsCpu::try_with_config(0, 0, AddrSpace::identity(), MxsConfig::default()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "32 + rob_entries")]
+    fn with_config_still_panics_on_bad_configs() {
+        let starved = MxsConfig {
+            phys_regs: 40,
+            ..MxsConfig::default()
+        };
+        let _ = MxsCpu::with_config(0, 0, AddrSpace::identity(), starved);
     }
 
     fn run_to_halt(phys: &mut PhysMem, mem: &mut SharedMemSystem, cpu: &mut MxsCpu) -> Cycle {

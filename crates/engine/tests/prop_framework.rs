@@ -78,7 +78,7 @@ fn same_seed_generates_same_cases() {
 fn reported_seed_reproduces_as_case_zero() {
     let prop_fn = |src: &mut Source| {
         let x = src.u64(0..1_000_000);
-        assert!(x % 97 != 0, "x = {x} is divisible");
+        assert!(!x.is_multiple_of(97), "x = {x} is divisible");
     };
     let failure = prop::check_result(&quick(5000), "mod_prime", prop_fn)
         .expect_err("property must fail eventually");

@@ -238,7 +238,8 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
     Ok(match op {
         OP_RTYPE => match funct {
             f if (FN_ALU_BASE..FN_ALU_BASE + 11).contains(&f) => Alu {
-                op: alu_op_from(f - FN_ALU_BASE).expect("range-checked"),
+                op: alu_op_from(f - FN_ALU_BASE)
+                    .expect("funct matched FN_ALU_BASE..+11, which alu_op_from covers"),
                 rd,
                 rs,
                 rt,
@@ -256,7 +257,7 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
         },
         OP_FTYPE => match funct {
             f if f < 8 => Fp {
-                op: fp_op_from(f).expect("range-checked"),
+                op: fp_op_from(f).expect("funct matched 0..8, which fp_op_from covers"),
                 fd,
                 fs,
                 ft,
@@ -270,7 +271,8 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             _ => return err,
         },
         o if (OP_ALUI_BASE..OP_ALUI_BASE + 11).contains(&o) => AluI {
-            op: alu_op_from(o - OP_ALUI_BASE).expect("range-checked"),
+            op: alu_op_from(o - OP_ALUI_BASE)
+                .expect("opcode matched OP_ALUI_BASE..+11, which alu_op_from covers"),
             rt,
             rs,
             imm: imm as i16,
@@ -288,7 +290,8 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
         OP_FLD => Fld { ft, base: rs, off: imm as i16 },
         OP_FSD => Fsd { ft, base: rs, off: imm as i16 },
         o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Branch {
-            cond: branch_cond_from(o - OP_BRANCH_BASE).expect("range-checked"),
+            cond: branch_cond_from(o - OP_BRANCH_BASE)
+                .expect("opcode matched OP_BRANCH_BASE..+6, which branch_cond_from covers"),
             rs,
             rt,
             off: imm as i16,

@@ -203,7 +203,11 @@ impl CacheArray {
         let slot = range
             .clone()
             .find(|&i| !self.states[i].is_valid())
-            .unwrap_or_else(|| range.min_by_key(|&i| self.lru[i]).expect("assoc >= 1"));
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lru[i])
+                    .expect("set_range is non-empty: CacheSpec::try_new rejects assoc == 0")
+            });
         let victim = if self.states[slot].is_valid() {
             Some(Victim {
                 addr: self.tags[slot],
@@ -272,6 +276,16 @@ impl CacheArray {
     /// Number of valid lines currently resident.
     pub fn resident(&self) -> usize {
         self.states.iter().filter(|s| s.is_valid()).count()
+    }
+
+    /// Number of ways in `addr`'s set currently holding `addr`'s line —
+    /// anything above 1 is a duplicate-residency bug. Used by the
+    /// coherence sentinel; does not touch LRU.
+    pub fn ways_holding(&self, addr: Addr) -> usize {
+        let la = self.line_addr(addr);
+        self.set_range(addr)
+            .filter(|&i| self.states[i].is_valid() && self.tags[i] == la)
+            .count()
     }
 
     /// Line addresses of every valid resident line (diagnostics and
@@ -400,6 +414,16 @@ mod tests {
         c.fill(0x40, LineState::Shared); // set 0
         c.fill(0x60, LineState::Shared); // set 1
         assert_eq!(c.resident(), 4);
+    }
+
+    #[test]
+    fn ways_holding_counts_duplicates() {
+        let mut c = small();
+        assert_eq!(c.ways_holding(0x00), 0);
+        c.fill(0x00, LineState::Shared);
+        assert_eq!(c.ways_holding(0x1f), 1, "same line, any byte");
+        c.fill(0x40, LineState::Shared);
+        assert_eq!(c.ways_holding(0x00), 1, "other ways do not count");
     }
 
     #[test]

@@ -1,6 +1,131 @@
 //! Configuration: cache geometries and the paper's latency/occupancy table.
 
+use crate::sentinel::SentinelSpec;
 use crate::Addr;
+use std::fmt;
+
+/// A rejected configuration, with enough context to correct it.
+///
+/// The `new`-style constructors across the workspace keep their historical
+/// panicking behavior for infallible call sites, but every panic now routes
+/// through a `try_`/`validate` variant returning this type, so embedding
+/// code (benches, sweeps, config files) can reject bad configurations
+/// without unwinding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A size that the geometry math requires to be a power of two.
+    NotPowerOfTwo {
+        /// Which parameter ("cache size", "line size").
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Associativity of zero.
+    ZeroAssociativity,
+    /// Capacity below one full set (`assoc * line_bytes`).
+    CacheTooSmall {
+        /// Requested capacity in bytes.
+        size_bytes: u32,
+        /// Requested associativity.
+        assoc: usize,
+        /// Requested line size in bytes.
+        line_bytes: u32,
+    },
+    /// CPU count exceeds what the directory presence bitmaps can track.
+    TooManyCpus {
+        /// Requested CPU count.
+        n_cpus: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// Zero CPUs.
+    NoCpus,
+    /// The clustered architecture requires full clusters.
+    PartialCluster {
+        /// Requested CPU count.
+        n_cpus: usize,
+        /// CPUs per cluster.
+        cpus_per_cluster: usize,
+    },
+    /// MXS renaming would deadlock without `32 + rob_entries` registers.
+    TooFewPhysRegs {
+        /// Requested physical register count.
+        phys_regs: usize,
+        /// Minimum required (`32 + rob_entries`).
+        needed: usize,
+    },
+    /// MXS fetch width outside the fetch buffer's capacity.
+    FetchWidthOutOfRange {
+        /// Requested fetch width.
+        fetch_width: usize,
+        /// Fetch-buffer capacity (inclusive upper bound).
+        max: usize,
+    },
+    /// A process's private region would reach the shared kernel mapping.
+    KernelOverlap {
+        /// Offending address-space id.
+        asid: u32,
+    },
+    /// A workload was installed into a machine with a different CPU count.
+    WorkloadCpuMismatch {
+        /// CPUs the workload was built for.
+        workload: usize,
+        /// CPUs the machine has.
+        machine: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two (got {value})")
+            }
+            ConfigError::ZeroAssociativity => {
+                write!(f, "associativity must be at least 1")
+            }
+            ConfigError::CacheTooSmall {
+                size_bytes,
+                assoc,
+                line_bytes,
+            } => write!(
+                f,
+                "cache smaller than assoc * line ({size_bytes} B < {assoc} x {line_bytes} B)"
+            ),
+            ConfigError::TooManyCpus { n_cpus, max } => write!(
+                f,
+                "{n_cpus} CPUs exceed the directory's {max}-bit presence bitmaps"
+            ),
+            ConfigError::NoCpus => write!(f, "a machine needs at least one CPU"),
+            ConfigError::PartialCluster {
+                n_cpus,
+                cpus_per_cluster,
+            } => write!(
+                f,
+                "clusters must be full: {n_cpus} CPUs with {cpus_per_cluster} per cluster"
+            ),
+            ConfigError::TooFewPhysRegs { phys_regs, needed } => write!(
+                f,
+                "need at least 32 + rob_entries physical registers \
+                 (got {phys_regs}, need {needed})"
+            ),
+            ConfigError::FetchWidthOutOfRange { fetch_width, max } => write!(
+                f,
+                "fetch width must be 1..={max} (the fetch buffer capacity), got {fetch_width}"
+            ),
+            ConfigError::KernelOverlap { asid } => {
+                write!(f, "asid {asid} private region overlaps kernel space")
+            }
+            ConfigError::WorkloadCpuMismatch { workload, machine } => write!(
+                f,
+                "workload built for a different CPU count \
+                 ({workload} workload vs {machine} machine)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Geometry of one cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,24 +144,48 @@ impl CacheSpec {
     /// # Panics
     ///
     /// Panics if sizes are not powers of two or the capacity is not an
-    /// integer number of sets.
+    /// integer number of sets. Use [`CacheSpec::try_new`] to reject bad
+    /// geometries without unwinding.
     pub fn new(size_bytes: u32, assoc: usize, line_bytes: u32) -> CacheSpec {
-        assert!(
-            size_bytes.is_power_of_two(),
-            "cache size must be a power of two"
-        );
-        assert!(
-            line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(assoc >= 1, "associativity must be at least 1");
+        CacheSpec::try_new(size_bytes, assoc, line_bytes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Validates a cache geometry, returning a typed error instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if either size is not a power of two, the
+    /// associativity is zero, or the capacity is below one full set.
+    pub fn try_new(size_bytes: u32, assoc: usize, line_bytes: u32) -> Result<CacheSpec, ConfigError> {
+        if !size_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                value: u64::from(size_bytes),
+            });
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                value: u64::from(line_bytes),
+            });
+        }
+        if assoc == 0 {
+            return Err(ConfigError::ZeroAssociativity);
+        }
         let spec = CacheSpec {
             size_bytes,
             assoc,
             line_bytes,
         };
-        assert!(spec.n_sets() >= 1, "cache smaller than assoc * line");
-        spec
+        if spec.n_sets() < 1 {
+            return Err(ConfigError::CacheTooSmall {
+                size_bytes,
+                assoc,
+                line_bytes,
+            });
+        }
+        Ok(spec)
     }
 
     /// Number of sets.
@@ -148,6 +297,10 @@ pub struct SystemConfig {
     /// paper's Mipsy runs do this to avoid penalizing the shared-L1
     /// architecture on a CPU model with no latency hiding.
     pub ideal_shared_l1: bool,
+    /// Coherence-sentinel configuration (invariant checker + fault
+    /// injector). Off by default; see [`SentinelSpec::from_env`] for the
+    /// `CMPSIM_SENTINEL` / `CMPSIM_FAULT_*` knobs.
+    pub sentinel: SentinelSpec,
 }
 
 impl SystemConfig {
@@ -165,6 +318,7 @@ impl SystemConfig {
             l1_banks: 4,
             l2_banks: 1,
             ideal_shared_l1: false,
+            sentinel: SentinelSpec::off(),
         }
     }
 
@@ -180,6 +334,7 @@ impl SystemConfig {
             l1_banks: 1,
             l2_banks: 4,
             ideal_shared_l1: false,
+            sentinel: SentinelSpec::off(),
         }
     }
 
@@ -196,6 +351,7 @@ impl SystemConfig {
             l1_banks: 1,
             l2_banks: 1,
             ideal_shared_l1: false,
+            sentinel: SentinelSpec::off(),
         }
     }
 
@@ -243,6 +399,34 @@ impl SystemConfig {
         self.l1d = CacheSpec::new(bytes, self.l1d.assoc, self.l1d.line_bytes);
         self
     }
+
+    /// Overrides the sentinel configuration (invariant checker / fault
+    /// injector).
+    #[must_use]
+    pub fn with_sentinel(mut self, sentinel: SentinelSpec) -> SystemConfig {
+        self.sentinel = sentinel;
+        self
+    }
+
+    /// Validates cross-field constraints the `CacheSpec`s cannot see.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the CPU count is zero or exceeds the
+    /// 8-bit directory presence bitmaps used by the shared-L2 and clustered
+    /// systems.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_cpus == 0 {
+            return Err(ConfigError::NoCpus);
+        }
+        if self.n_cpus > 8 {
+            return Err(ConfigError::TooManyCpus {
+                n_cpus: self.n_cpus,
+                max: 8,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +445,76 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_size_rejected() {
         let _ = CacheSpec::new(1000, 2, 32);
+    }
+
+    #[test]
+    fn try_new_rejects_each_bad_geometry_with_a_typed_error() {
+        assert_eq!(
+            CacheSpec::try_new(1000, 2, 32),
+            Err(ConfigError::NotPowerOfTwo {
+                what: "cache size",
+                value: 1000
+            })
+        );
+        assert_eq!(
+            CacheSpec::try_new(1024, 2, 24),
+            Err(ConfigError::NotPowerOfTwo {
+                what: "line size",
+                value: 24
+            })
+        );
+        assert_eq!(
+            CacheSpec::try_new(1024, 0, 32),
+            Err(ConfigError::ZeroAssociativity)
+        );
+        assert_eq!(
+            CacheSpec::try_new(64, 4, 32),
+            Err(ConfigError::CacheTooSmall {
+                size_bytes: 64,
+                assoc: 4,
+                line_bytes: 32
+            })
+        );
+        assert!(CacheSpec::try_new(1024, 2, 32).is_ok());
+    }
+
+    #[test]
+    fn system_config_validates_cpu_count() {
+        assert!(SystemConfig::paper_shared_l2(4).validate().is_ok());
+        assert!(SystemConfig::paper_shared_l2(8).validate().is_ok());
+        assert_eq!(
+            SystemConfig::paper_shared_l2(9).validate(),
+            Err(ConfigError::TooManyCpus { n_cpus: 9, max: 8 })
+        );
+        assert_eq!(
+            SystemConfig::paper_shared_l2(0).validate(),
+            Err(ConfigError::NoCpus)
+        );
+    }
+
+    #[test]
+    fn config_errors_render_actionable_messages() {
+        let e = ConfigError::TooFewPhysRegs {
+            phys_regs: 40,
+            needed: 64,
+        };
+        assert!(e.to_string().contains("32 + rob_entries"));
+        let e = ConfigError::PartialCluster {
+            n_cpus: 3,
+            cpus_per_cluster: 2,
+        };
+        assert!(e.to_string().contains("clusters must be full"));
+        let e = ConfigError::KernelOverlap { asid: 3 };
+        assert!(e.to_string().contains("overlaps kernel"));
+    }
+
+    #[test]
+    fn with_sentinel_overrides() {
+        use crate::sentinel::SentinelSpec;
+        let c = SystemConfig::paper_shared_mem(4);
+        assert!(!c.sentinel.enabled, "sentinel is off by default");
+        let c = c.with_sentinel(SentinelSpec::on());
+        assert!(c.sentinel.enabled);
     }
 
     #[test]

@@ -35,13 +35,18 @@
 pub mod cache;
 pub mod config;
 pub mod phys;
+pub mod sentinel;
 pub mod stats;
 pub mod systems;
 pub mod wbuf;
 
 pub use cache::{AccessOutcome, CacheArray, LineState, MissKind, Victim};
-pub use config::{CacheSpec, LatencySpec, SystemConfig};
+pub use config::{CacheSpec, ConfigError, LatencySpec, SystemConfig};
 pub use phys::{AddrSpace, PhysMem, KERNEL_BASE};
+pub use sentinel::{
+    FaultClassSet, FaultInjector, FaultKind, Sentinel, SentinelSpec, SentinelViolation,
+    ViolationKind,
+};
 pub use stats::{LevelStats, MemStats};
 pub use systems::{ClusteredSystem, SharedL1System, SharedL2System, SharedMemSystem};
 pub use wbuf::WriteBuffer;
@@ -178,4 +183,17 @@ pub trait MemorySystem {
 
     /// Utilization of every contended resource, for bandwidth analyses.
     fn port_utilization(&self) -> Vec<PortUtil>;
+
+    /// Invariant violations detected by the coherence sentinel so far.
+    /// Empty unless the system was built with
+    /// [`SentinelSpec::enabled`](sentinel::SentinelSpec).
+    fn violations(&self) -> &[sentinel::SentinelViolation] {
+        &[]
+    }
+
+    /// Faults the sentinel's injector introduced so far (tests correlate
+    /// these against [`MemorySystem::violations`]).
+    fn injected_faults(&self) -> &[(sentinel::FaultKind, Addr)] {
+        &[]
+    }
 }

@@ -12,6 +12,7 @@
 
 use crate::cache::{AccessOutcome, CacheArray, LineState};
 use crate::config::SystemConfig;
+use crate::sentinel::{FaultKind, Sentinel, SentinelViolation, ViolationKind};
 use crate::stats::MemStats;
 use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
 use cmpsim_engine::{BankedResource, Cycle, Port};
@@ -39,6 +40,7 @@ pub struct ClusteredSystem {
     /// Directory: line -> (d-presence bits, i-presence bits) per cluster.
     presence: HashMap<Addr, (u8, u8)>,
     stats: MemStats,
+    sentinel: Sentinel,
 }
 
 impl ClusteredSystem {
@@ -49,18 +51,27 @@ impl ClusteredSystem {
     /// # Panics
     ///
     /// Panics unless `cfg.n_cpus` is a multiple of [`CPUS_PER_CLUSTER`].
+    /// Use [`ClusteredSystem::try_new`] for a fallible variant.
     pub fn new(cfg: &SystemConfig) -> ClusteredSystem {
-        assert!(
-            cfg.n_cpus.is_multiple_of(CPUS_PER_CLUSTER),
-            "clusters must be full"
-        );
+        ClusteredSystem::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects CPU counts that leave a partial
+    /// cluster.
+    pub fn try_new(cfg: &SystemConfig) -> Result<ClusteredSystem, crate::ConfigError> {
+        if !cfg.n_cpus.is_multiple_of(CPUS_PER_CLUSTER) {
+            return Err(crate::ConfigError::PartialCluster {
+                n_cpus: cfg.n_cpus,
+                cpus_per_cluster: CPUS_PER_CLUSTER,
+            });
+        }
         let n_clusters = cfg.n_cpus / CPUS_PER_CLUSTER;
         let l1_spec = crate::CacheSpec::new(
             cfg.l1d.size_bytes * CPUS_PER_CLUSTER as u32,
             cfg.l1d.assoc,
             cfg.l1d.line_bytes,
         );
-        ClusteredSystem {
+        Ok(ClusteredSystem {
             cfg: *cfg,
             n_clusters,
             l1i: (0..n_clusters)
@@ -83,7 +94,8 @@ impl ClusteredSystem {
             mem_port: Port::new("mem"),
             presence: HashMap::new(),
             stats: MemStats::new(),
-        }
+            sentinel: Sentinel::from_spec(&cfg.sentinel),
+        })
     }
 
     fn cluster_of(cpu: usize) -> usize {
@@ -98,21 +110,36 @@ impl ClusteredSystem {
     /// cluster.
     fn invalidate_other_clusters(&mut self, writer_cluster: usize, addr: Addr) {
         let line = self.line(addr);
-        if let Some((d_bits, i_bits)) = self.presence.get_mut(&line) {
-            let keep = !(1u8 << writer_cluster);
-            let d_victims = *d_bits & keep;
-            let i_victims = *i_bits & keep;
-            *d_bits &= !d_victims;
-            *i_bits &= !i_victims;
-            for cl in 0..self.n_clusters {
-                if d_victims & (1 << cl) != 0 {
+        let Some(&(d_bits, i_bits)) = self.presence.get(&line) else {
+            return;
+        };
+        let keep = !(1u8 << writer_cluster);
+        let d_victims = d_bits & keep;
+        let i_victims = i_bits & keep;
+        // Fault injection (sentinel): drop the invalidation to one victim
+        // cluster while still clearing its directory bit.
+        let mut drop_one = (d_victims | i_victims) != 0
+            && self.sentinel.inject(FaultKind::DroppedInvalidation, line);
+        if let Some((d, i)) = self.presence.get_mut(&line) {
+            *d &= !d_victims;
+            *i &= !i_victims;
+        }
+        for cl in 0..self.n_clusters {
+            if d_victims & (1 << cl) != 0 {
+                if drop_one {
+                    drop_one = false;
+                } else {
                     self.l1d[cl].invalidate(addr);
-                    self.stats.invalidations_sent += 1;
                 }
-                if i_victims & (1 << cl) != 0 {
+                self.stats.invalidations_sent += 1;
+            }
+            if i_victims & (1 << cl) != 0 {
+                if drop_one {
+                    drop_one = false;
+                } else {
                     self.l1i[cl].invalidate(addr);
-                    self.stats.invalidations_sent += 1;
                 }
+                self.stats.invalidations_sent += 1;
             }
         }
     }
@@ -132,11 +159,18 @@ impl ClusteredSystem {
 
     fn note_fill(&mut self, cluster: usize, addr: Addr, ifetch: bool, victim: Option<Addr>) {
         let line = self.line(addr);
+        // Fault injection (sentinel): record a spurious sharer cluster.
+        let spurious =
+            self.n_clusters > 1 && self.sentinel.inject(FaultKind::SpuriousState, line);
         let entry = self.presence.entry(line).or_insert((0, 0));
         if ifetch {
             entry.1 |= 1 << cluster;
         } else {
             entry.0 |= 1 << cluster;
+        }
+        if spurious {
+            let ghost = (cluster + 1) % self.n_clusters;
+            entry.0 |= 1 << ghost;
         }
         if let Some(v) = victim {
             if let Some(e) = self.presence.get_mut(&v) {
@@ -173,12 +207,64 @@ impl ClusteredSystem {
     pub fn l1d(&self, cluster: usize) -> &CacheArray {
         &self.l1d[cluster]
     }
+
+    /// Sentinel invariant check, scoped to the line the access touched:
+    /// the cluster directory must agree with actual cluster-L1 residency,
+    /// inclusion must hold, and the write-through cluster L1s must never
+    /// hold dirty data.
+    fn sentinel_check_line(&mut self, now: Cycle, cpu: usize, addr: Addr) {
+        let line = self.line(addr);
+        let (d_bits, i_bits) = self.presence.get(&line).copied().unwrap_or((0, 0));
+        let l2_valid = self.l2.probe(line).is_valid();
+        let mut found: Vec<(ViolationKind, String)> = Vec::new();
+        for cl in 0..self.n_clusters {
+            for (cache, bits, side) in [
+                (&self.l1d[cl], d_bits, "l1d"),
+                (&self.l1i[cl], i_bits, "l1i"),
+            ] {
+                let state = cache.probe(line);
+                let bit = bits & (1 << cl) != 0;
+                if state.is_valid() && !bit {
+                    found.push((
+                        ViolationKind::CopyWithoutPresence,
+                        format!("cluster {cl} {side} holds the line but its directory bit is clear"),
+                    ));
+                }
+                if bit && !state.is_valid() {
+                    found.push((
+                        ViolationKind::PresenceWithoutCopy,
+                        format!(
+                            "directory marks cluster {cl} {side} as a sharer but it holds no copy"
+                        ),
+                    ));
+                }
+                if state.is_valid() && !l2_valid {
+                    found.push((
+                        ViolationKind::InclusionViolation,
+                        format!("cluster {cl} {side} holds the line but the shared L2 does not"),
+                    ));
+                }
+                if state == LineState::Modified {
+                    found.push((
+                        ViolationKind::WriteThroughDirty,
+                        format!("write-through cluster {cl} {side} holds the line dirty"),
+                    ));
+                }
+            }
+        }
+        for (kind, detail) in found {
+            self.sentinel.report(now.0, cpu, line, kind, detail);
+        }
+    }
 }
 
 impl MemorySystem for ClusteredSystem {
     fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let res = self.access_inner(now, req);
         self.stats.latency.record(res.finish - now);
+        if self.sentinel.on() {
+            self.sentinel_check_line(now, req.cpu, req.addr);
+        }
         res
     }
 
@@ -211,6 +297,14 @@ impl MemorySystem for ClusteredSystem {
         v.push(super::util_of_banks(&self.l2_banks));
         v.push(super::util_of_port(&self.mem_port));
         v
+    }
+
+    fn violations(&self) -> &[SentinelViolation] {
+        self.sentinel.violations()
+    }
+
+    fn injected_faults(&self) -> &[(FaultKind, Addr)] {
+        self.sentinel.injected_faults()
     }
 }
 
@@ -394,5 +488,75 @@ mod tests {
     #[should_panic(expected = "clusters must be full")]
     fn odd_cpu_counts_rejected() {
         let _ = ClusteredSystem::new(&SystemConfig::paper_shared_l2(3));
+    }
+
+    #[test]
+    fn try_new_rejects_partial_clusters_with_typed_error() {
+        let err = ClusteredSystem::try_new(&SystemConfig::paper_shared_l2(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ConfigError::PartialCluster {
+                n_cpus: 3,
+                cpus_per_cluster: 2
+            }
+        ));
+        assert!(ClusteredSystem::try_new(&SystemConfig::paper_shared_l2(4)).is_ok());
+    }
+
+    #[test]
+    fn sentinel_clean_traffic_has_no_violations() {
+        use crate::sentinel::SentinelSpec;
+        let mut s = ClusteredSystem::new(
+            &SystemConfig::paper_shared_l2(4).with_sentinel(SentinelSpec::on()),
+        );
+        for t in 0..200u64 {
+            let cpu = (t % 4) as usize;
+            let addr = 0x1000 + ((t * 52) % 4096) as Addr;
+            if t % 3 == 0 {
+                s.access(Cycle(t * 10), MemRequest::store(cpu, addr));
+            } else {
+                s.access(Cycle(t * 10), MemRequest::load(cpu, addr));
+            }
+        }
+        assert!(s.violations().is_empty(), "{:?}", s.violations());
+    }
+
+    #[test]
+    fn sentinel_detects_dropped_invalidations() {
+        use crate::sentinel::{FaultClassSet, FaultKind, SentinelSpec, ViolationKind};
+        let spec = SentinelSpec::with_faults(
+            17,
+            1_000_000,
+            FaultClassSet::only(FaultKind::DroppedInvalidation),
+        );
+        let mut s = ClusteredSystem::new(&SystemConfig::paper_shared_l2(4).with_sentinel(spec));
+        s.access(Cycle(0), MemRequest::load(0, 0x1000)); // cluster 0
+        s.access(Cycle(100), MemRequest::load(2, 0x1000)); // cluster 1
+        s.access(Cycle(200), MemRequest::store(0, 0x1000));
+        assert!(!s.injected_faults().is_empty());
+        assert!(
+            s.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::CopyWithoutPresence),
+            "{:?}",
+            s.violations()
+        );
+    }
+
+    #[test]
+    fn sentinel_detects_spurious_directory_state() {
+        use crate::sentinel::{FaultClassSet, FaultKind, SentinelSpec, ViolationKind};
+        let spec =
+            SentinelSpec::with_faults(19, 1_000_000, FaultClassSet::only(FaultKind::SpuriousState));
+        let mut s = ClusteredSystem::new(&SystemConfig::paper_shared_l2(4).with_sentinel(spec));
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        assert!(!s.injected_faults().is_empty());
+        assert!(
+            s.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::PresenceWithoutCopy),
+            "{:?}",
+            s.violations()
+        );
     }
 }

@@ -15,8 +15,9 @@
 
 use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::SystemConfig;
+use crate::sentinel::{FaultKind, Sentinel, SentinelViolation, ViolationKind};
 use crate::stats::MemStats;
-use crate::{AccessKind, MemRequest, MemResult, MemorySystem, ServiceLevel};
+use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
 use cmpsim_engine::{BankedResource, Cycle, Port};
 
 /// The shared-L1 multiprocessor memory system.
@@ -31,6 +32,7 @@ pub struct SharedL1System {
     l2_port: Port,
     mem_port: Port,
     stats: MemStats,
+    sentinel: Sentinel,
 }
 
 impl SharedL1System {
@@ -47,6 +49,31 @@ impl SharedL1System {
             l2_port: Port::new("l2"),
             mem_port: Port::new("mem"),
             stats: MemStats::new(),
+            sentinel: Sentinel::from_spec(&cfg.sentinel),
+        }
+    }
+
+    /// Sentinel invariant check, scoped to the line the access touched.
+    /// With no coherence hardware the interesting invariant is physical:
+    /// a line must never be resident in more than one way of a set.
+    fn sentinel_check_line(&mut self, now: Cycle, cpu: usize, addr: Addr) {
+        let line = self.l2.line_addr(addr);
+        let mut found: Vec<(ViolationKind, String)> = Vec::new();
+        for (cache, what) in [
+            (&self.l1d, "shared l1d"),
+            (&self.l1i, "shared l1i"),
+            (&self.l2, "l2"),
+        ] {
+            let ways = cache.ways_holding(line);
+            if ways > 1 {
+                found.push((
+                    ViolationKind::DuplicateResidency,
+                    format!("{what} holds the line in {ways} ways of one set"),
+                ));
+            }
+        }
+        for (kind, detail) in found {
+            self.sentinel.report(now.0, cpu, line, kind, detail);
         }
     }
 
@@ -219,6 +246,9 @@ impl MemorySystem for SharedL1System {
     fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let res = self.access_inner(now, req);
         self.stats.latency.record(res.finish - now);
+        if self.sentinel.on() {
+            self.sentinel_check_line(now, req.cpu, req.addr);
+        }
         res
     }
 
@@ -254,6 +284,14 @@ impl MemorySystem for SharedL1System {
             super::util_of_port(&self.l2_port),
             super::util_of_port(&self.mem_port),
         ]
+    }
+
+    fn violations(&self) -> &[SentinelViolation] {
+        self.sentinel.violations()
+    }
+
+    fn injected_faults(&self) -> &[(FaultKind, Addr)] {
+        self.sentinel.injected_faults()
     }
 }
 
@@ -352,6 +390,24 @@ mod tests {
         s.access(Cycle(100), MemRequest::load(0, 0x1000 + 32 * 1024));
         s.access(Cycle(200), MemRequest::load(0, 0x1000 + 64 * 1024));
         assert_eq!(s.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn sentinel_clean_traffic_has_no_violations() {
+        use crate::sentinel::SentinelSpec;
+        let mut s = SharedL1System::new(
+            &SystemConfig::paper_shared_l1(4).with_sentinel(SentinelSpec::on()),
+        );
+        for t in 0..200u64 {
+            let cpu = (t % 4) as usize;
+            let addr = 0x1000 + ((t * 44) % 8192) as Addr;
+            if t % 4 == 0 {
+                s.access(Cycle(t * 10), MemRequest::store(cpu, addr));
+            } else {
+                s.access(Cycle(t * 10), MemRequest::load(cpu, addr));
+            }
+        }
+        assert!(s.violations().is_empty(), "{:?}", s.violations());
     }
 
     #[test]

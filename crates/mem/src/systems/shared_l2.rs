@@ -13,6 +13,7 @@
 
 use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::SystemConfig;
+use crate::sentinel::{FaultKind, Sentinel, SentinelViolation, ViolationKind};
 use crate::stats::MemStats;
 use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
 use cmpsim_engine::{BankedResource, Cycle, Port};
@@ -32,6 +33,7 @@ pub struct SharedL2System {
     /// bits), one bit per CPU.
     presence: HashMap<Addr, (u8, u8)>,
     stats: MemStats,
+    sentinel: Sentinel,
 }
 
 impl SharedL2System {
@@ -51,6 +53,7 @@ impl SharedL2System {
             mem_port: Port::new("mem"),
             presence: HashMap::new(),
             stats: MemStats::new(),
+            sentinel: Sentinel::from_spec(&cfg.sentinel),
         }
     }
 
@@ -62,21 +65,37 @@ impl SharedL2System {
     /// write by `writer` (directory-driven coherence).
     fn invalidate_sharers(&mut self, writer: usize, addr: Addr) {
         let line = self.line(addr);
-        if let Some((d_bits, i_bits)) = self.presence.get_mut(&line) {
-            let keep = !(1u8 << writer);
-            let d_victims = *d_bits & keep;
-            let i_victims = *i_bits & keep;
-            *d_bits &= !d_victims;
-            *i_bits &= !i_victims;
-            for cpu in 0..self.cfg.n_cpus {
-                if d_victims & (1 << cpu) != 0 {
+        let Some(&(d_bits, i_bits)) = self.presence.get(&line) else {
+            return;
+        };
+        let keep = !(1u8 << writer);
+        let d_victims = d_bits & keep;
+        let i_victims = i_bits & keep;
+        // Fault injection (sentinel): drop the invalidation message to one
+        // victim L1 while still clearing its directory bit — the stale copy
+        // then shows up as a copy-without-presence violation.
+        let mut drop_one = (d_victims | i_victims) != 0
+            && self.sentinel.inject(FaultKind::DroppedInvalidation, line);
+        if let Some((d, i)) = self.presence.get_mut(&line) {
+            *d &= !d_victims;
+            *i &= !i_victims;
+        }
+        for cpu in 0..self.cfg.n_cpus {
+            if d_victims & (1 << cpu) != 0 {
+                if drop_one {
+                    drop_one = false;
+                } else {
                     self.l1d[cpu].invalidate(addr);
-                    self.stats.invalidations_sent += 1;
                 }
-                if i_victims & (1 << cpu) != 0 {
+                self.stats.invalidations_sent += 1;
+            }
+            if i_victims & (1 << cpu) != 0 {
+                if drop_one {
+                    drop_one = false;
+                } else {
                     self.l1i[cpu].invalidate(addr);
-                    self.stats.invalidations_sent += 1;
                 }
+                self.stats.invalidations_sent += 1;
             }
         }
     }
@@ -99,11 +118,18 @@ impl SharedL2System {
 
     fn note_l1_fill(&mut self, cpu: usize, addr: Addr, ifetch: bool, victim: Option<Addr>) {
         let line = self.line(addr);
+        // Fault injection (sentinel): record a spurious sharer in the
+        // directory — a presence bit with no backing L1 copy.
+        let spurious = self.cfg.n_cpus > 1 && self.sentinel.inject(FaultKind::SpuriousState, line);
         let entry = self.presence.entry(line).or_insert((0, 0));
         if ifetch {
             entry.1 |= 1 << cpu;
         } else {
             entry.0 |= 1 << cpu;
+        }
+        if spurious {
+            let ghost = (cpu + 1) % self.cfg.n_cpus;
+            entry.0 |= 1 << ghost;
         }
         if let Some(v) = victim {
             if let Some(e) = self.presence.get_mut(&v) {
@@ -317,11 +343,63 @@ impl SharedL2System {
     }
 }
 
+impl SharedL2System {
+    /// Sentinel invariant check, scoped to the line the access touched:
+    /// directory presence bits must agree with actual L1 residency, every
+    /// L1 copy must be backed by a valid L2 line (inclusion), and the
+    /// write-through L1s must never hold dirty data.
+    fn sentinel_check_line(&mut self, now: Cycle, cpu: usize, addr: Addr) {
+        let line = self.line(addr);
+        let (d_bits, i_bits) = self.presence.get(&line).copied().unwrap_or((0, 0));
+        let l2_valid = self.l2.probe(line).is_valid();
+        let mut found: Vec<(ViolationKind, String)> = Vec::new();
+        for c in 0..self.cfg.n_cpus {
+            for (cache, bits, side) in [
+                (&self.l1d[c], d_bits, "l1d"),
+                (&self.l1i[c], i_bits, "l1i"),
+            ] {
+                let state = cache.probe(line);
+                let bit = bits & (1 << c) != 0;
+                if state.is_valid() && !bit {
+                    found.push((
+                        ViolationKind::CopyWithoutPresence,
+                        format!("cpu {c} {side} holds the line but its directory bit is clear"),
+                    ));
+                }
+                if bit && !state.is_valid() {
+                    found.push((
+                        ViolationKind::PresenceWithoutCopy,
+                        format!("directory marks cpu {c} {side} as a sharer but it holds no copy"),
+                    ));
+                }
+                if state.is_valid() && !l2_valid {
+                    found.push((
+                        ViolationKind::InclusionViolation,
+                        format!("cpu {c} {side} holds the line but the shared L2 does not"),
+                    ));
+                }
+                if state == LineState::Modified {
+                    found.push((
+                        ViolationKind::WriteThroughDirty,
+                        format!("write-through cpu {c} {side} holds the line dirty"),
+                    ));
+                }
+            }
+        }
+        for (kind, detail) in found {
+            self.sentinel.report(now.0, cpu, line, kind, detail);
+        }
+    }
+}
+
 impl MemorySystem for SharedL2System {
     #[inline]
     fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let res = self.access_inner(now, req);
         self.stats.latency.record(res.finish - now);
+        if self.sentinel.on() {
+            self.sentinel_check_line(now, req.cpu, req.addr);
+        }
         res
     }
 
@@ -355,6 +433,14 @@ impl MemorySystem for SharedL2System {
             super::util_of_banks(&self.l2_banks),
             super::util_of_port(&self.mem_port),
         ]
+    }
+
+    fn violations(&self) -> &[SentinelViolation] {
+        self.sentinel.violations()
+    }
+
+    fn injected_faults(&self) -> &[(FaultKind, Addr)] {
+        self.sentinel.injected_faults()
     }
 }
 
@@ -461,6 +547,62 @@ mod tests {
         s.access(Cycle(200), MemRequest::load(0, 0x1000));
         assert_eq!(s.stats().l1d.miss_inval, 0);
         assert_eq!(s.stats().l1d.miss_repl, 3);
+    }
+
+    #[test]
+    fn sentinel_clean_traffic_has_no_violations() {
+        use crate::sentinel::SentinelSpec;
+        let mut s = SharedL2System::new(
+            &SystemConfig::paper_shared_l2(4).with_sentinel(SentinelSpec::on()),
+        );
+        for t in 0..200u64 {
+            let cpu = (t % 4) as usize;
+            let addr = 0x1000 + ((t * 52) % 4096) as Addr;
+            if t % 3 == 0 {
+                s.access(Cycle(t * 10), MemRequest::store(cpu, addr));
+            } else {
+                s.access(Cycle(t * 10), MemRequest::load(cpu, addr));
+            }
+        }
+        assert!(s.violations().is_empty(), "{:?}", s.violations());
+    }
+
+    #[test]
+    fn sentinel_detects_dropped_invalidations() {
+        use crate::sentinel::{FaultClassSet, FaultKind, SentinelSpec, ViolationKind};
+        let spec =
+            SentinelSpec::with_faults(7, 1_000_000, FaultClassSet::only(FaultKind::DroppedInvalidation));
+        let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4).with_sentinel(spec));
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        s.access(Cycle(10), MemRequest::load(1, 0x1000));
+        // CPU 0's write should invalidate CPU 1's copy; the injector drops
+        // the message, leaving a stale copy the directory no longer tracks.
+        s.access(Cycle(20), MemRequest::store(0, 0x1000));
+        assert!(!s.injected_faults().is_empty());
+        assert!(s
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::CopyWithoutPresence),
+            "{:?}",
+            s.violations()
+        );
+    }
+
+    #[test]
+    fn sentinel_detects_spurious_directory_state() {
+        use crate::sentinel::{FaultClassSet, FaultKind, SentinelSpec, ViolationKind};
+        let spec =
+            SentinelSpec::with_faults(9, 1_000_000, FaultClassSet::only(FaultKind::SpuriousState));
+        let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4).with_sentinel(spec));
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        assert!(!s.injected_faults().is_empty());
+        assert!(s
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::PresenceWithoutCopy),
+            "{:?}",
+            s.violations()
+        );
     }
 
     #[test]

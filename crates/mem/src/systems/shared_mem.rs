@@ -11,6 +11,7 @@
 
 use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::SystemConfig;
+use crate::sentinel::{FaultKind, Sentinel, SentinelViolation, ViolationKind};
 use crate::stats::MemStats;
 use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
 use cmpsim_engine::{Cycle, Port};
@@ -36,6 +37,7 @@ pub struct SharedMemSystem {
     l2_ports: Vec<Port>,
     bus: Port,
     stats: MemStats,
+    sentinel: Sentinel,
 }
 
 impl SharedMemSystem {
@@ -56,6 +58,7 @@ impl SharedMemSystem {
             l2_ports: (0..cfg.n_cpus).map(|_| Port::new("l2")).collect(),
             bus: Port::new("bus"),
             stats: MemStats::new(),
+            sentinel: Sentinel::from_spec(&cfg.sentinel),
         }
     }
 
@@ -85,16 +88,81 @@ impl SharedMemSystem {
 
     /// Invalidates the line in every remote CPU (read-exclusive / upgrade).
     fn invalidate_remote(&mut self, me: usize, addr: Addr) {
+        // Fault injection (sentinel): drop the invalidation to one remote
+        // cache — the surviving stale copy coexists with the new owner.
+        let any_victim = (0..self.cfg.n_cpus).any(|cpu| {
+            cpu != me
+                && (self.l1d[cpu].probe(addr).is_valid()
+                    || self.l1i[cpu].probe(addr).is_valid()
+                    || self.l2[cpu].probe(addr).is_valid())
+        });
+        let mut drop_one =
+            any_victim && self.sentinel.inject(FaultKind::DroppedInvalidation, addr);
         for cpu in 0..self.cfg.n_cpus {
             if cpu == me {
                 continue;
             }
             for cache in [&mut self.l1d[cpu], &mut self.l1i[cpu], &mut self.l2[cpu]] {
                 if cache.probe(addr).is_valid() {
-                    cache.invalidate(addr);
+                    if drop_one {
+                        drop_one = false;
+                    } else {
+                        cache.invalidate(addr);
+                    }
                     self.stats.invalidations_sent += 1;
                 }
             }
+        }
+    }
+
+    /// Sentinel invariant check, scoped to the line the access touched:
+    /// MESI legality across the private hierarchies. Ownership (M/E) is
+    /// judged from the D-side caches only — [`Self::downgrade_remote`]
+    /// deliberately leaves I-caches alone, so a clean Exclusive I-line
+    /// coexisting with remote Shared copies is legal here.
+    fn sentinel_check_line(&mut self, now: Cycle, cpu: usize, addr: Addr) {
+        let line = self.l2[0].line_addr(addr);
+        let rank = |s: LineState| match s {
+            LineState::Modified => 3,
+            LineState::Exclusive => 2,
+            LineState::Shared => 1,
+            LineState::Invalid => 0,
+        };
+        let mut found: Vec<(ViolationKind, String)> = Vec::new();
+        let mut owners: Vec<usize> = Vec::new();
+        let mut holders: Vec<usize> = Vec::new();
+        for c in 0..self.cfg.n_cpus {
+            let r = rank(self.l1d[c].probe(line)).max(rank(self.l2[c].probe(line)));
+            if r >= 2 {
+                owners.push(c);
+            }
+            if r >= 1 || self.l1i[c].probe(line).is_valid() {
+                holders.push(c);
+            }
+            if self.l1i[c].probe(line) == LineState::Modified {
+                found.push((
+                    ViolationKind::WriteThroughDirty,
+                    format!("cpu {c} instruction cache holds the line dirty"),
+                ));
+            }
+        }
+        if owners.len() > 1 {
+            found.push((
+                ViolationKind::MultipleOwners,
+                format!("cpus {owners:?} each hold the line in an ownership (M/E) state"),
+            ));
+        }
+        if let [o] = owners[..] {
+            let sharers: Vec<usize> = holders.iter().copied().filter(|&c| c != o).collect();
+            if !sharers.is_empty() {
+                found.push((
+                    ViolationKind::SharedAlongsideOwner,
+                    format!("cpu {o} owns the line while cpus {sharers:?} still hold copies"),
+                ));
+            }
+        }
+        for (kind, detail) in found {
+            self.sentinel.report(now.0, cpu, line, kind, detail);
         }
     }
 
@@ -102,6 +170,15 @@ impl SharedMemSystem {
     fn downgrade_remote(&mut self, me: usize, addr: Addr) {
         for cpu in 0..self.cfg.n_cpus {
             if cpu == me {
+                continue;
+            }
+            // Fault injection (sentinel): spuriously promote the remote
+            // copy to Exclusive instead of downgrading it to Shared.
+            if self.l1d[cpu].probe(addr).is_valid()
+                && self.sentinel.inject(FaultKind::SpuriousState, addr)
+            {
+                self.l1d[cpu].set_state(addr, LineState::Exclusive);
+                self.l2[cpu].downgrade(addr);
                 continue;
             }
             self.l1d[cpu].downgrade(addr);
@@ -367,6 +444,9 @@ impl MemorySystem for SharedMemSystem {
     fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
         let res = self.access_inner(now, req);
         self.stats.latency.record(res.finish - now);
+        if self.sentinel.on() {
+            self.sentinel_check_line(now, req.cpu, req.addr);
+        }
         res
     }
 
@@ -399,6 +479,14 @@ impl MemorySystem for SharedMemSystem {
         let mut v: Vec<crate::PortUtil> = self.l2_ports.iter().map(super::util_of_port).collect();
         v.push(super::util_of_port(&self.bus));
         v
+    }
+
+    fn violations(&self) -> &[SentinelViolation] {
+        self.sentinel.violations()
+    }
+
+    fn injected_faults(&self) -> &[(FaultKind, Addr)] {
+        self.sentinel.injected_faults()
     }
 }
 
@@ -507,6 +595,78 @@ mod tests {
         // CPU1 rereads: invalidation miss.
         s.access(Cycle(300), MemRequest::load(1, 0x8000));
         assert_eq!(s.stats().l1d.miss_inval, 1);
+    }
+
+    #[test]
+    fn sentinel_clean_traffic_has_no_violations() {
+        use crate::sentinel::SentinelSpec;
+        let mut s = SharedMemSystem::new(
+            &SystemConfig::paper_shared_mem(4).with_sentinel(SentinelSpec::on()),
+        );
+        for t in 0..300u64 {
+            let cpu = (t % 4) as usize;
+            let addr = 0x1000 + ((t * 36) % 4096) as Addr;
+            match t % 5 {
+                0 | 3 => {
+                    s.access(Cycle(t * 10), MemRequest::store(cpu, addr));
+                }
+                4 => {
+                    s.access(Cycle(t * 10), MemRequest::ifetch(cpu, addr));
+                }
+                _ => {
+                    s.access(Cycle(t * 10), MemRequest::load(cpu, addr));
+                }
+            }
+        }
+        assert!(s.violations().is_empty(), "{:?}", s.violations());
+    }
+
+    #[test]
+    fn sentinel_detects_dropped_invalidations() {
+        use crate::sentinel::{FaultClassSet, FaultKind, SentinelSpec, ViolationKind};
+        let spec = SentinelSpec::with_faults(
+            11,
+            1_000_000,
+            FaultClassSet::only(FaultKind::DroppedInvalidation),
+        );
+        let mut s = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4).with_sentinel(spec));
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        s.access(Cycle(100), MemRequest::load(1, 0x1000)); // both Shared
+        // CPU 0's upgrade should invalidate CPU 1; the message is dropped.
+        s.access(Cycle(200), MemRequest::store(0, 0x1000));
+        assert!(!s.injected_faults().is_empty());
+        assert!(
+            s.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::SharedAlongsideOwner
+                    || v.kind == ViolationKind::MultipleOwners),
+            "{:?}",
+            s.violations()
+        );
+    }
+
+    #[test]
+    fn sentinel_detects_spurious_states() {
+        use crate::sentinel::{FaultClassSet, FaultKind, SentinelSpec, ViolationKind};
+        let spec = SentinelSpec::with_faults(
+            13,
+            1_000_000,
+            FaultClassSet::only(FaultKind::SpuriousState),
+        );
+        let mut s = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4).with_sentinel(spec));
+        s.access(Cycle(0), MemRequest::store(0, 0x2000)); // CPU 0 Modified
+        // CPU 1's read should downgrade CPU 0 to Shared; the injector
+        // promotes the copy to Exclusive instead.
+        s.access(Cycle(100), MemRequest::load(1, 0x2000));
+        assert!(!s.injected_faults().is_empty());
+        assert!(
+            s.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::SharedAlongsideOwner
+                    || v.kind == ViolationKind::MultipleOwners),
+            "{:?}",
+            s.violations()
+        );
     }
 
     #[test]

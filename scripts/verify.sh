@@ -7,10 +7,17 @@
 # 2. Tier-1 proper: release build + full workspace test suite, with
 #    cargo's network access disabled so a regression in (1) can never be
 #    papered over by a warm registry cache.
-# 3. Quick simulator-speed check: the sim_throughput bench in quick mode
+# 3. Lint gate: `cargo clippy --workspace -- -D warnings` keeps the tree
+#    warning-free.
+# 4. Sentinel pass: the quick digest matrix runs with CMPSIM_SENTINEL=1
+#    and must produce byte-identical lines to the sentinel-off run (the
+#    invariant checker may never change results); any violation panics the
+#    matrix runner, so "identical output" also means "zero violations".
+# 5. Quick simulator-speed check: the sim_throughput bench in quick mode
 #    (CMPSIM_BENCH_QUICK=1, single run per case) appended to
-#    BENCH_pr2.json, so every verification leaves a dated throughput
-#    record next to the pre/post-PR entries.
+#    BENCH_pr3.json, so every verification leaves a dated throughput
+#    record (now including sentinel-on/off overhead) next to the
+#    pre/post-PR entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,12 +36,26 @@ echo "== tier-1: cargo build --release && cargo test -q (offline) =="
 cargo build --release
 cargo test -q
 
-echo "== quick simulator-speed record -> BENCH_pr2.json =="
+echo "== lint gate: cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+echo "ok: clippy is clean"
+
+echo "== sentinel pass: quick digest matrix, checker on vs off =="
+matrix_off=$(CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
+matrix_on=$(CMPSIM_SENTINEL=1 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
+if [ "$matrix_off" != "$matrix_on" ]; then
+    echo "ERROR: sentinel-on digest matrix differs from sentinel-off:" >&2
+    diff <(printf '%s\n' "$matrix_off") <(printf '%s\n' "$matrix_on") >&2 || true
+    exit 1
+fi
+echo "ok: sentinel-on matrix is bit-identical (zero violations)"
+
+echo "== quick simulator-speed record -> BENCH_pr3.json =="
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench sim_throughput 2>/dev/null \
     | grep '^{' \
     | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
-    >> BENCH_pr2.json
+    >> BENCH_pr3.json
 echo "ok: appended quick sim_throughput records"
 
 echo "verify.sh: all checks passed"

@@ -149,6 +149,13 @@ fn print_summary(cpu: CpuKind, s: &RunSummary) {
             u.name, u.grants, u.busy_cycles, u.wait_cycles
         );
     }
+    if !s.violations.is_empty() {
+        println!(
+            "sentinel     : {} violations detected; first: {}",
+            s.violations.len(),
+            s.violations[0]
+        );
+    }
 }
 
 fn run_one(a: &Args, arch: ArchKind) -> Result<RunSummary, String> {

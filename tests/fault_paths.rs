@@ -3,10 +3,14 @@
 use cmpsim::core::machine::run_workload;
 use cmpsim::core::{ArchKind, CpuKind, Machine, MachineConfig, RunError};
 use cmpsim_cpu::{CpuModel, MipsyCpu};
+use cmpsim_engine::prop::{self, Config};
 use cmpsim_engine::Cycle;
 use cmpsim_isa::{Asm, Reg};
-use cmpsim_kernels::{BuiltWorkload, Layout, ProcessInit};
-use cmpsim_mem::{AddrSpace, MemorySystem, PhysMem, SharedMemSystem, SystemConfig};
+use cmpsim_kernels::{build_by_name, BuiltWorkload, Layout, ProcessInit, ALL_WORKLOADS};
+use cmpsim_mem::{
+    AddrSpace, FaultClassSet, FaultKind, MemorySystem, PhysMem, SentinelSpec, SharedMemSystem,
+    SystemConfig, ViolationKind,
+};
 
 fn tiny_workload(asm: &Asm) -> BuiltWorkload {
     let prog = asm.assemble().expect("assembles");
@@ -73,8 +77,165 @@ fn infinite_loop_hits_the_cycle_budget() {
     cfg.n_cpus = 1;
     let mut m = Machine::new(&cfg, &w);
     match m.run(10_000) {
-        Err(RunError::Timeout { budget }) => assert_eq!(budget, 10_000),
+        Err(RunError::Timeout { budget, report }) => {
+            assert_eq!(budget, 10_000);
+            // The enriched watchdog report names the stuck CPU and its PC.
+            let stuck: Vec<_> = report.stuck_cpus().collect();
+            assert_eq!(stuck.len(), 1, "{report}");
+            assert_eq!(stuck[0].cpu, 0);
+            assert!(report.to_string().contains("pc 0x"), "{report}");
+        }
         other => panic!("expected a timeout, got {other:?}"),
+    }
+}
+
+/// Runs eqntott under a single armed fault class and returns the summary.
+/// Injected faults only perturb coherence metadata (and the oracle heals
+/// data corruption), so the run itself still completes and validates.
+fn run_with_faults(arch: ArchKind, seed: u64, class: FaultKind) -> cmpsim::core::RunSummary {
+    let w = build_by_name("eqntott", 4, 0.02).expect("builds");
+    let mut cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+    cfg.sentinel = Some(SentinelSpec::with_faults(
+        seed,
+        1_000_000,
+        FaultClassSet::only(class),
+    ));
+    run_workload(&cfg, &w, 1_000_000_000).expect("faulted runs still complete")
+}
+
+/// Every sentinel violation must carry usable diagnostics.
+fn assert_diagnosable(s: &cmpsim::core::RunSummary) {
+    let v = s.violations.first().expect("at least one violation");
+    assert!(!v.detail.is_empty(), "violation without detail: {v:?}");
+    let text = v.to_string();
+    assert!(text.contains("cycle"), "{text}");
+    assert!(text.contains("cpu"), "{text}");
+    assert!(text.contains("0x"), "{text}");
+}
+
+#[test]
+fn sentinel_detects_dropped_invalidations_end_to_end() {
+    // Snooping MESI: a dropped invalidation leaves a stale copy coexisting
+    // with the new owner.
+    let s = run_with_faults(ArchKind::SharedMem, 21, FaultKind::DroppedInvalidation);
+    assert!(
+        s.violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::SharedAlongsideOwner | ViolationKind::MultipleOwners
+        )),
+        "no ownership violation among {} reports",
+        s.violations.len()
+    );
+    assert_diagnosable(&s);
+
+    // Directory invalidation: the dropped message leaves an L1 copy the
+    // directory no longer tracks.
+    let s = run_with_faults(ArchKind::SharedL2, 22, FaultKind::DroppedInvalidation);
+    assert!(
+        s.violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::CopyWithoutPresence),
+        "no copy-without-presence among {} reports",
+        s.violations.len()
+    );
+}
+
+#[test]
+fn sentinel_detects_spurious_states_end_to_end() {
+    // Directory: a planted ghost presence bit has no backing L1 copy.
+    let s = run_with_faults(ArchKind::SharedL2, 23, FaultKind::SpuriousState);
+    assert!(
+        s.violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::PresenceWithoutCopy),
+        "no presence-without-copy among {} reports",
+        s.violations.len()
+    );
+    assert_diagnosable(&s);
+
+    // Clustered directory: same invariant at cluster granularity.
+    let s = run_with_faults(ArchKind::Clustered, 24, FaultKind::SpuriousState);
+    assert!(
+        s.violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::PresenceWithoutCopy),
+        "no presence-without-copy among {} reports",
+        s.violations.len()
+    );
+}
+
+#[test]
+fn sentinel_detects_stale_writebacks_end_to_end() {
+    // Every store's data is corrupted on its way to memory; the oracle
+    // catches the divergence on the next load, reports it and serves the
+    // true value, so the workload still validates.
+    let s = run_with_faults(ArchKind::SharedL1, 25, FaultKind::StaleWriteback);
+    assert!(
+        s.violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::OracleMismatch),
+        "no oracle mismatch among {} reports",
+        s.violations.len()
+    );
+    assert_diagnosable(&s);
+    let v = s
+        .violations
+        .iter()
+        .find(|v| v.kind == ViolationKind::OracleMismatch)
+        .expect("checked above");
+    assert!(v.detail.contains("oracle"), "{}", v.detail);
+}
+
+#[test]
+fn sentinel_on_random_fragments_reports_zero_violations() {
+    // Property: with the checker on and no faults armed, random workload
+    // fragments run clean on all four architectures — the protocol
+    // implementations actually preserve their invariants.
+    let arches = [
+        ArchKind::SharedL1,
+        ArchKind::SharedL2,
+        ArchKind::SharedMem,
+        ArchKind::Clustered,
+    ];
+    let cfg = Config::from_env_or_cases(8);
+    prop::check_with(&cfg, "sentinel_on_random_fragments", |src| {
+        let arch = src.choice(&arches);
+        let workload = src.choice(&ALL_WORKLOADS);
+        let scale = src.f64(0.02..0.08);
+        let w = build_by_name(workload, 4, scale)
+            .unwrap_or_else(|e| panic!("{workload} @{scale}: {e}"));
+        let mut mc = MachineConfig::new(arch, CpuKind::Mipsy);
+        mc.sentinel = Some(SentinelSpec::on());
+        let s = run_workload(&mc, &w, 10_000_000_000)
+            .unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
+        assert!(
+            s.violations.is_empty(),
+            "{workload} @{scale} on {arch}: {:?}",
+            s.violations
+        );
+    });
+}
+
+#[test]
+fn watchdog_reports_stalled_cpus_with_diagnostics() {
+    // An MXS core spends its first cycles fetching and renaming before
+    // anything graduates, so a tiny stall limit deterministically trips the
+    // forward-progress watchdog — exercising the full Stalled report path.
+    let w = build_by_name("eqntott", 4, 0.02).expect("builds");
+    let mut cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mxs);
+    cfg.stall_cycles = Some(2);
+    let mut m = Machine::new(&cfg, &w);
+    match m.run(1_000_000_000) {
+        Err(RunError::Stalled { limit, report }) => {
+            assert_eq!(limit, 2);
+            let stuck: Vec<_> = report.stuck_cpus().collect();
+            assert!(!stuck.is_empty(), "{report}");
+            assert!(stuck[0].stalled_for > 2, "{report}");
+            let text = RunError::Stalled { limit, report }.to_string();
+            assert!(text.contains("watchdog"), "{text}");
+            assert!(text.contains("pc 0x"), "{text}");
+        }
+        other => panic!("expected the watchdog to fire, got {other:?}"),
     }
 }
 
