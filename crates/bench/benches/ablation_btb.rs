@@ -10,7 +10,10 @@ use cmpsim_core::{ArchKind, CpuKind, MachineConfig, MxsConfig};
 use cmpsim_kernels::build_by_name;
 
 fn main() {
-    bench_header("Ablation", "BTB entries 16..4096, multiprog, MXS, shared-memory");
+    bench_header(
+        "Ablation",
+        "BTB entries 16..4096, multiprog, MXS, shared-memory",
+    );
     println!(
         "{:<8} {:>12} {:>12} {:>14}",
         "entries", "cycles", "mispredicts", "branches"
@@ -31,10 +34,7 @@ fn main() {
         rows.push((s.wall_cycles, s.total.mispredicts));
     }
     println!("\nShape checks:");
-    shape_check(
-        "mispredicts fall as the BTB grows",
-        rows[0].1 > rows[3].1,
-    );
+    shape_check("mispredicts fall as the BTB grows", rows[0].1 > rows[3].1);
     shape_check(
         "a 16-entry BTB mispredicts >20% more than the paper's 1024",
         rows[0].1 as f64 > 1.2 * rows[3].1 as f64,

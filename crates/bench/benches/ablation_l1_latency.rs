@@ -11,7 +11,10 @@ use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
 use cmpsim_kernels::build_by_name;
 
 fn main() {
-    bench_header("Ablation", "shared-L1 hit latency 1..5 cycles, Eqntott, MXS");
+    bench_header(
+        "Ablation",
+        "shared-L1 hit latency 1..5 cycles, Eqntott, MXS",
+    );
     // Shared-memory MXS baseline.
     let w = build_by_name("eqntott", 4, 1.0).expect("builds");
     let base_cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mxs);

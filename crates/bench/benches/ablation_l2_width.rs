@@ -11,15 +11,24 @@ use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
 use cmpsim_kernels::build_by_name;
 
 fn main() {
-    bench_header("Ablation", "shared-L2 datapath 64-bit (occ 4) vs 128-bit (occ 2), Ocean");
-    println!("{:<22} {:>12} {:>14}", "datapath", "cycles", "L2 bank waits");
+    bench_header(
+        "Ablation",
+        "shared-L2 datapath 64-bit (occ 4) vs 128-bit (occ 2), Ocean",
+    );
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "datapath", "cycles", "L2 bank waits"
+    );
     let mut res = Vec::new();
     for (name, occ) in [("64-bit (paper)", 4u64), ("128-bit", 2)] {
         let w = build_by_name("ocean", 4, 1.0).expect("builds");
         let mut cfg = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mipsy);
         cfg.l2_occupancy = Some(occ);
         let s = run_workload(&cfg, &w, BUDGET).expect("runs");
-        println!("{:<22} {:>12} {:>14}", name, s.wall_cycles, s.mem.l2_bank_wait);
+        println!(
+            "{:<22} {:>12} {:>14}",
+            name, s.wall_cycles, s.mem.l2_bank_wait
+        );
         res.push(s);
     }
     println!("\nShape checks:");

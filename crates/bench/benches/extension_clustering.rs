@@ -32,9 +32,18 @@ fn main() {
             let s = run_workload(&cfg, &w, BUDGET).expect("validates");
             cycles.push((arch, s.wall_cycles));
         }
-        let base = cycles.iter().find(|(a, _)| *a == ArchKind::SharedMem).unwrap().1;
+        let base = cycles
+            .iter()
+            .find(|(a, _)| *a == ArchKind::SharedMem)
+            .unwrap()
+            .1;
         for (arch, c) in &cycles {
-            println!("  {:<14} {:>12} cycles  (norm {:.3})", arch.name(), c, *c as f64 / base as f64);
+            println!(
+                "  {:<14} {:>12} cycles  (norm {:.3})",
+                arch.name(),
+                c,
+                *c as f64 / base as f64
+            );
         }
         let get = |a: ArchKind| cycles.iter().find(|(x, _)| *x == a).unwrap().1;
         if workload == "ear" {

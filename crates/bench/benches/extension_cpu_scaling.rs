@@ -11,10 +11,16 @@ use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
 use cmpsim_kernels::build_by_name;
 
 fn main() {
-    bench_header("Extension", "speedup vs CPU count (Mipsy), per architecture");
+    bench_header(
+        "Extension",
+        "speedup vs CPU count (Mipsy), per architecture",
+    );
     for workload in ["ear", "ocean", "fft"] {
         println!("\n{workload}: cycles (speedup vs 1 CPU)");
-        println!("{:<14} {:>18} {:>18} {:>18}", "architecture", "1 cpu", "2 cpus", "4 cpus");
+        println!(
+            "{:<14} {:>18} {:>18} {:>18}",
+            "architecture", "1 cpu", "2 cpus", "4 cpus"
+        );
         // All nine (arch, n) machines per workload are independent; fan
         // them out and rebuild the rows in order afterwards.
         let points: Vec<(ArchKind, usize)> = ArchKind::ALL
@@ -25,7 +31,9 @@ fn main() {
             let w = build_by_name(workload, n, 0.5).expect("builds");
             let mut cfg = MachineConfig::new(arch, CpuKind::Mipsy);
             cfg.n_cpus = n;
-            run_workload(&cfg, &w, BUDGET).expect("validates").wall_cycles
+            run_workload(&cfg, &w, BUDGET)
+                .expect("validates")
+                .wall_cycles
         });
         let mut ear_speedups = Vec::new();
         for (k, arch) in ArchKind::ALL.into_iter().enumerate() {

@@ -24,7 +24,9 @@ fn best(shared_pct: u8, store_pct: u8) -> (ArchKind, [u64; 3]) {
         };
         let w = build(&p).expect("builds");
         let cfg = MachineConfig::new(arch, CpuKind::Mipsy);
-        cycles[k] = run_workload(&cfg, &w, BUDGET).expect("validates").wall_cycles;
+        cycles[k] = run_workload(&cfg, &w, BUDGET)
+            .expect("validates")
+            .wall_cycles;
     }
     let k = (0..3).min_by_key(|&k| cycles[k]).expect("three results");
     (ArchKind::ALL[k], cycles)
@@ -37,7 +39,10 @@ fn main() {
     );
     let shared_axis = [0u8, 20, 50, 80];
     let store_axis = [5u8, 25, 50];
-    println!("{:>8} | {:^14} {:^14} {:^14}", "", "5% stores", "25% stores", "50% stores");
+    println!(
+        "{:>8} | {:^14} {:^14} {:^14}",
+        "", "5% stores", "25% stores", "50% stores"
+    );
     // Fan the twelve grid cells out as well; results come back in cell
     // order, so the printed table is identical to the serial one.
     let cells: Vec<(u8, u8)> = shared_axis

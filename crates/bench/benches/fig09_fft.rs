@@ -21,8 +21,7 @@ fn main() {
     );
     shape_check(
         "both shared-cache architectures at least match shared-memory",
-        data.normalized(ArchKind::SharedL1) <= 1.0
-            && data.normalized(ArchKind::SharedL2) <= 1.0,
+        data.normalized(ArchKind::SharedL1) <= 1.0 && data.normalized(ArchKind::SharedL2) <= 1.0,
     );
     shape_check(
         "no architecture wins by the class-1 margins (moderate sharing)",

@@ -17,9 +17,9 @@
 //! Setting `CMPSIM_BENCH_QUICK` (to anything but `0`) drops warmup and
 //! repeat counts so `scripts/verify.sh` can append a cheap record.
 
+use cmpsim_bench::jobs;
 use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
 use cmpsim_bench::timing::{self, JsonVal};
-use cmpsim_bench::jobs;
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
 use cmpsim_engine::Cycle;
@@ -96,7 +96,11 @@ fn sentinel_throughput(label: &str, arch: ArchKind, cpu: CpuKind, sentinel: bool
         sim_instructions = summary.total.instructions;
         summary
     });
-    let tag = if sentinel { "sentinel-on" } else { "sentinel-off" };
+    let tag = if sentinel {
+        "sentinel-on"
+    } else {
+        "sentinel-off"
+    };
     timing::emit_record(
         "sim_throughput",
         &format!("cpu/{label}/eqntott/{tag}"),
@@ -119,7 +123,10 @@ fn memsys_throughput(label: &str, mut make: impl FnMut() -> Box<dyn MemorySystem
         let mut sys = make();
         for i in 0..accesses {
             let addr = (i.wrapping_mul(2_654_435_761)) & 0x3f_ffff;
-            sys.access(Cycle(u64::from(i)), MemRequest::load((i & 3) as usize, addr));
+            sys.access(
+                Cycle(u64::from(i)),
+                MemRequest::load((i & 3) as usize, addr),
+            );
         }
         sys.stats().l1d.accesses
     });

@@ -6,8 +6,8 @@
 //! count from `CMPSIM_BENCH_JOBS` (default: all host cores). Output is
 //! byte-identical for any jobs value.
 
-use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
 use cmpsim_bench::jobs;
+use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
 
 fn main() {
     let scale = std::env::var("CMPSIM_MATRIX_SCALE")

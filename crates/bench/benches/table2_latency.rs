@@ -28,15 +28,17 @@ fn main() {
             p.l1_hit,
             p.l2_hit,
             p.memory,
-            p.cache_to_cache
-                .map_or("-".to_string(), |v| v.to_string()),
+            p.cache_to_cache.map_or("-".to_string(), |v| v.to_string()),
             p.l2_occupancy,
             p.mem_occupancy,
         );
         all &= shape_check(
             &format!("{arch}: L1={l1} L2={l2} mem=50 L2occ={occ} memocc=6"),
-            p.l1_hit == l1 && p.l2_hit == l2 && p.memory == 50
-                && p.l2_occupancy == occ && p.mem_occupancy == 6,
+            p.l1_hit == l1
+                && p.l2_hit == l2
+                && p.memory == 50
+                && p.l2_occupancy == occ
+                && p.mem_occupancy == 6,
         );
         if arch == ArchKind::SharedMem {
             all &= shape_check(

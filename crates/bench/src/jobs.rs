@@ -19,7 +19,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// parallelism.
 pub fn n_jobs() -> usize {
     match std::env::var("CMPSIM_BENCH_JOBS") {
-        Ok(s) => s.trim().parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or(1),
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(1),
         Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
     }
 }

@@ -93,8 +93,8 @@ pub fn run_figure_with(
             .unwrap_or_else(|e| panic!("building {workload}: {e}"));
         let mut cfg = MachineConfig::new(arch, cpu);
         tweak(&mut cfg);
-        let summary = run_workload(&cfg, &w, BUDGET)
-            .unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
+        let summary =
+            run_workload(&cfg, &w, BUDGET).unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
         ArchResult {
             arch,
             breakdown: Breakdown::from_summary(&summary),
@@ -182,4 +182,3 @@ mod tests {
         assert!(data.speedup_pct(ArchKind::SharedL1) > 0.0);
     }
 }
-

@@ -181,9 +181,19 @@ mod tests {
             .collect();
         assert_eq!(cases.len(), 4, "one per architecture");
         for case in &cases {
-            let off = summary_json(case, &run_case_with_sentinel(case, Some(SentinelSpec::off())));
-            let on = summary_json(case, &run_case_with_sentinel(case, Some(SentinelSpec::on())));
-            assert_eq!(off, on, "{} on {}: sentinel changed results", case.workload, case.arch);
+            let off = summary_json(
+                case,
+                &run_case_with_sentinel(case, Some(SentinelSpec::off())),
+            );
+            let on = summary_json(
+                case,
+                &run_case_with_sentinel(case, Some(SentinelSpec::on())),
+            );
+            assert_eq!(
+                off, on,
+                "{} on {}: sentinel changed results",
+                case.workload, case.arch
+            );
         }
     }
 

@@ -176,8 +176,7 @@ impl MachineConfig {
             sc = sc.with_l1_size(b);
         }
         let ideal = self.ideal_shared_l1.unwrap_or_else(|| {
-            self.cpu.is_mipsy()
-                && matches!(self.arch, ArchKind::SharedL1 | ArchKind::Clustered)
+            self.cpu.is_mipsy() && matches!(self.arch, ArchKind::SharedL1 | ArchKind::Clustered)
         });
         sc.with_ideal_shared_l1(ideal)
             .with_sentinel(self.resolved_sentinel())
@@ -209,7 +208,11 @@ pub struct CpuDiag {
 impl fmt::Display for CpuDiag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.done {
-            return write!(f, "cpu {} done ({} instructions)", self.cpu, self.instructions);
+            return write!(
+                f,
+                "cpu {} done ({} instructions)",
+                self.cpu, self.instructions
+            );
         }
         write!(
             f,
@@ -684,8 +687,7 @@ mod tests {
         let w = build_by_name("eqntott", 4, 0.03).expect("builds");
         for arch in ArchKind::ALL {
             let cfg = MachineConfig::new(arch, CpuKind::Mipsy);
-            let s = run_workload(&cfg, &w, 100_000_000)
-                .unwrap_or_else(|e| panic!("{arch}: {e}"));
+            let s = run_workload(&cfg, &w, 100_000_000).unwrap_or_else(|e| panic!("{arch}: {e}"));
             assert!(s.wall_cycles > 0);
             assert!(s.total.instructions > 100);
         }
@@ -717,7 +719,10 @@ mod tests {
         let cfg = MachineConfig::new(ArchKind::SharedL1, CpuKind::Mxs);
         assert!(!cfg.system_config().ideal_shared_l1);
         let cfg = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mipsy);
-        assert!(!cfg.system_config().ideal_shared_l1, "only the shared L1 is idealized");
+        assert!(
+            !cfg.system_config().ideal_shared_l1,
+            "only the shared L1 is idealized"
+        );
     }
 
     #[test]
@@ -756,7 +761,11 @@ mod tests {
         assert_eq!(w.observe(0, 10, 5), None, "progress resets the clock");
         assert_eq!(w.observe(0, 50, 5), None, "within the limit");
         assert_eq!(w.observe(1, 400, 0), Some(400), "cpu 1 never graduated");
-        assert_eq!(w.observe(0, 111, 6), None, "new instructions count as progress");
+        assert_eq!(
+            w.observe(0, 111, 6),
+            None,
+            "new instructions count as progress"
+        );
         assert_eq!(w.stalled_for(0, 200), 89);
     }
 
@@ -840,7 +849,10 @@ mod phase_tests {
         assert_eq!(s.phases.len(), 2);
         assert_eq!(s.phases[0].2, 1);
         assert_eq!(s.phases[1].2, 2);
-        assert!(s.phases[1].0 > s.phases[0].0 + 100, "work separates the phases");
+        assert!(
+            s.phases[1].0 > s.phases[0].0 + 100,
+            "work separates the phases"
+        );
         assert_eq!(s.phases[0].1, 0, "cpu id recorded");
     }
 }

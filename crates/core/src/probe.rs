@@ -83,8 +83,8 @@ pub fn probe_latencies(arch: ArchKind, ideal_shared_l1: bool) -> ProbeResult {
     let (p1, p2) = (0xa0_0000, 0xa0_0000 + stride_same_bank);
     s.access(t, MemRequest::load(0, p1)); // warm L2
     s.access(t + 1_000, MemRequest::load(0, p2)); // warm L2
-    // Evict both from CPU 0's L1 again (the occupancy must be measured at
-    // the L2, so both probes come from the same CPU and miss its L1).
+                                                  // Evict both from CPU 0's L1 again (the occupancy must be measured at
+                                                  // the L2, so both probes come from the same CPU and miss its L1).
     let mut tt = t + 2_000;
     for w in 1..=l1_spec.assoc as u32 {
         s.access(tt, MemRequest::load(0, p1 + w * l1_stride));

@@ -80,7 +80,11 @@ impl Btb {
             }
             slot => {
                 if taken {
-                    *slot = Some(BtbEntry { tag: pc, target, ctr: 2 });
+                    *slot = Some(BtbEntry {
+                        tag: pc,
+                        target,
+                        ctr: 2,
+                    });
                 }
             }
         }

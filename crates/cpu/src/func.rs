@@ -382,7 +382,11 @@ mod tests {
         assert_eq!(eval_alu(AluOp::Nor, 0, 0), u32::MAX);
         assert_eq!(eval_alu(AluOp::Slt, (-1i32) as u32, 0), 1);
         assert_eq!(eval_alu(AluOp::Sltu, u32::MAX, 0), 0);
-        assert_eq!(eval_alu(AluOp::Sll, 1, 33), 2, "shift amount masked to 5 bits");
+        assert_eq!(
+            eval_alu(AluOp::Sll, 1, 33),
+            2,
+            "shift amount masked to 5 bits"
+        );
         assert_eq!(eval_alu(AluOp::Sra, (-8i32) as u32, 1), (-4i32) as u32);
         assert_eq!(eval_alu(AluOp::Srl, (-8i32) as u32, 1), 0x7ffffffc);
     }
@@ -403,14 +407,38 @@ mod tests {
         let mut m = PhysMem::new(1);
         s.set_gpr(Reg::T1, 7);
         s.set_gpr(Reg::T2, 0);
-        run(&mut s, &mut m, Instr::Div { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Div {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+        );
         assert_eq!(s.gpr(Reg::T0), 0);
-        run(&mut s, &mut m, Instr::Rem { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Rem {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+        );
         assert_eq!(s.gpr(Reg::T0), 0);
         // i32::MIN / -1 must not trap.
         s.set_gpr(Reg::T1, i32::MIN as u32);
         s.set_gpr(Reg::T2, (-1i32) as u32);
-        run(&mut s, &mut m, Instr::Div { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Div {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+        );
         assert_eq!(s.gpr(Reg::T0), i32::MIN as u32);
     }
 
@@ -418,7 +446,11 @@ mod tests {
     fn single_precision_rounds_through_f32() {
         let a = 1.0e-8;
         let one = 1.0;
-        assert_eq!(eval_fp(FpOp::AddS, one, a), 1.0, "f32 cannot represent 1+1e-8");
+        assert_eq!(
+            eval_fp(FpOp::AddS, one, a),
+            1.0,
+            "f32 cannot represent 1+1e-8"
+        );
         assert_ne!(eval_fp(FpOp::AddD, one, a), 1.0);
     }
 
@@ -437,14 +469,46 @@ mod tests {
         let mut m = PhysMem::new(1);
         s.set_gpr(Reg::A0, 0x1000);
         s.set_gpr(Reg::T0, 0xdead_beef);
-        let info = run(&mut s, &mut m, Instr::Sw { rt: Reg::T0, base: Reg::A0, off: 4 });
+        let info = run(
+            &mut s,
+            &mut m,
+            Instr::Sw {
+                rt: Reg::T0,
+                base: Reg::A0,
+                off: 4,
+            },
+        );
         assert_eq!(info.mem_access, Some((AccessKind::Store, 0x1004)));
-        run(&mut s, &mut m, Instr::Lw { rt: Reg::T1, base: Reg::A0, off: 4 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Lw {
+                rt: Reg::T1,
+                base: Reg::A0,
+                off: 4,
+            },
+        );
         assert_eq!(s.gpr(Reg::T1), 0xdead_beef);
         // Signed / unsigned byte loads.
-        run(&mut s, &mut m, Instr::Lb { rt: Reg::T2, base: Reg::A0, off: 7 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Lb {
+                rt: Reg::T2,
+                base: Reg::A0,
+                off: 7,
+            },
+        );
         assert_eq!(s.gpr(Reg::T2) as i32, -34, "0xde sign-extends");
-        run(&mut s, &mut m, Instr::Lbu { rt: Reg::T3, base: Reg::A0, off: 7 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Lbu {
+                rt: Reg::T3,
+                base: Reg::A0,
+                off: 7,
+            },
+        );
         assert_eq!(s.gpr(Reg::T3), 0xde);
     }
 
@@ -454,11 +518,43 @@ mod tests {
         let mut m = PhysMem::new(1);
         s.set_gpr(Reg::A0, 0x2000);
         s.set_fpr(FReg::F1, 2.75);
-        run(&mut s, &mut m, Instr::Fsd { ft: FReg::F1, base: Reg::A0, off: 0 });
-        run(&mut s, &mut m, Instr::Fld { ft: FReg::F2, base: Reg::A0, off: 0 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Fsd {
+                ft: FReg::F1,
+                base: Reg::A0,
+                off: 0,
+            },
+        );
+        run(
+            &mut s,
+            &mut m,
+            Instr::Fld {
+                ft: FReg::F2,
+                base: Reg::A0,
+                off: 0,
+            },
+        );
         assert_eq!(s.fpr(FReg::F2), 2.75);
-        run(&mut s, &mut m, Instr::Fss { ft: FReg::F1, base: Reg::A0, off: 8 });
-        run(&mut s, &mut m, Instr::Fls { ft: FReg::F3, base: Reg::A0, off: 8 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Fss {
+                ft: FReg::F1,
+                base: Reg::A0,
+                off: 8,
+            },
+        );
+        run(
+            &mut s,
+            &mut m,
+            Instr::Fls {
+                ft: FReg::F3,
+                base: Reg::A0,
+                off: 8,
+            },
+        );
         assert_eq!(s.fpr(FReg::F3), 2.75);
     }
 
@@ -468,17 +564,49 @@ mod tests {
         let mut s = ArchState::new(0);
         s.set_gpr(Reg::A0, 0x3000);
         s.set_gpr(Reg::T0, 42);
-        run(&mut s, &mut m, Instr::Ll { rt: Reg::T1, base: Reg::A0, off: 0 });
-        let info = run(&mut s, &mut m, Instr::Sc { rt: Reg::T0, base: Reg::A0, off: 0 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Ll {
+                rt: Reg::T1,
+                base: Reg::A0,
+                off: 0,
+            },
+        );
+        let info = run(
+            &mut s,
+            &mut m,
+            Instr::Sc {
+                rt: Reg::T0,
+                base: Reg::A0,
+                off: 0,
+            },
+        );
         assert!(!info.sc_failed);
         assert_eq!(s.gpr(Reg::T0), 1, "SC success writes 1");
         assert_eq!(m.read_u32(0x3000), 42);
 
         // Second CPU steals the line between LL and SC.
-        run(&mut s, &mut m, Instr::Ll { rt: Reg::T1, base: Reg::A0, off: 0 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Ll {
+                rt: Reg::T1,
+                base: Reg::A0,
+                off: 0,
+            },
+        );
         m.write_u32_tracked(1, 0x3000, 7);
         s.set_gpr(Reg::T0, 99);
-        let info = run(&mut s, &mut m, Instr::Sc { rt: Reg::T0, base: Reg::A0, off: 0 });
+        let info = run(
+            &mut s,
+            &mut m,
+            Instr::Sc {
+                rt: Reg::T0,
+                base: Reg::A0,
+                off: 0,
+            },
+        );
         assert!(info.sc_failed);
         assert_eq!(info.mem_access, None, "failed SC performs no store");
         assert_eq!(s.gpr(Reg::T0), 0);
@@ -491,11 +619,29 @@ mod tests {
         let mut m = PhysMem::new(1);
         s.set_gpr(Reg::T0, 1);
         // Not taken: pc advances by 4.
-        let i = run(&mut s, &mut m, Instr::Branch { cond: BranchCond::Eq, rs: Reg::T0, rt: Reg::ZERO, off: 5 });
+        let i = run(
+            &mut s,
+            &mut m,
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                off: 5,
+            },
+        );
         assert!(!i.taken_branch);
         assert_eq!(s.pc, 104);
         // Taken backward branch: target = pc + 4 + off*4.
-        let i = run(&mut s, &mut m, Instr::Branch { cond: BranchCond::Ne, rs: Reg::T0, rt: Reg::ZERO, off: -2 });
+        let i = run(
+            &mut s,
+            &mut m,
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                off: -2,
+            },
+        );
         assert!(i.taken_branch);
         assert_eq!(s.pc, 104 + 4 - 8);
 
@@ -505,7 +651,14 @@ mod tests {
         run(&mut s, &mut m, Instr::Jr { rs: Reg::RA });
         assert_eq!(s.pc, 104);
         s.set_gpr(Reg::T5, 0x2000);
-        run(&mut s, &mut m, Instr::Jalr { rd: Reg::T6, rs: Reg::T5 });
+        run(
+            &mut s,
+            &mut m,
+            Instr::Jalr {
+                rd: Reg::T6,
+                rs: Reg::T5,
+            },
+        );
         assert_eq!(s.pc, 0x2000);
         assert_eq!(s.gpr(Reg::T6), 108);
     }
@@ -534,7 +687,15 @@ mod tests {
             space: AddrSpace::new(1, 0x1_0000),
             cpu: 0,
         };
-        let info = step(&mut s, &Instr::Sw { rt: Reg::T0, base: Reg::A0, off: 0 }, &mut e);
+        let info = step(
+            &mut s,
+            &Instr::Sw {
+                rt: Reg::T0,
+                base: Reg::A0,
+                off: 0,
+            },
+            &mut e,
+        );
         assert_eq!(info.mem_access, Some((AccessKind::Store, 0x1_0100)));
         assert_eq!(m.read_u32(0x1_0100), 5);
         assert_eq!(m.read_u32(0x100), 0);

@@ -170,7 +170,11 @@ mod tests {
         assert_eq!(t.of(FuClass::IntDiv), 12);
         assert_eq!(t.of(FuClass::Branch), 2);
         assert_eq!(t.of(FuClass::Store), 1);
-        assert_eq!(t.of(FuClass::Load), 1, "load latency comes from the memory system");
+        assert_eq!(
+            t.of(FuClass::Load),
+            1,
+            "load latency comes from the memory system"
+        );
         assert_eq!(t.of(FuClass::FpAddSubSp), 2);
         assert_eq!(t.of(FuClass::FpDivSp), 12);
         assert_eq!(t.of(FuClass::FpDivDp), 18);

@@ -24,8 +24,7 @@ use crate::btb::Btb;
 use crate::counters::CpuCounters;
 use crate::decode::DecodeCache;
 use crate::func::{
-    eval_alu, eval_alui, eval_branch, eval_cvt_fi, eval_cvt_if, eval_fcmp, eval_fp,
-    effective_addr,
+    effective_addr, eval_alu, eval_alui, eval_branch, eval_cvt_fi, eval_cvt_if, eval_fcmp, eval_fp,
 };
 use crate::{CpuModel, FuLatencies, StepEvent};
 use cmpsim_engine::Cycle;
@@ -285,8 +284,10 @@ impl MxsCpu {
                 .set_gpr(Reg::new(r), self.int_preg[self.retire_int[r as usize]]);
         }
         for r in 0..32u8 {
-            self.arch
-                .set_fpr(cmpsim_isa::FReg::new(r), self.fp_preg[self.retire_fp[r as usize]]);
+            self.arch.set_fpr(
+                cmpsim_isa::FReg::new(r),
+                self.fp_preg[self.retire_fp[r as usize]],
+            );
         }
     }
 
@@ -490,10 +491,7 @@ impl MxsCpu {
         let mut class_counts = [0usize; 12];
         // Index of the oldest un-graduated SYNC; younger memory operations
         // must not issue past it (full-fence semantics).
-        let fence_idx = self
-            .rob
-            .iter()
-            .position(|e| matches!(e.instr, Instr::Sync));
+        let fence_idx = self.rob.iter().position(|e| matches!(e.instr, Instr::Sync));
 
         let mut i = 0;
         while i < self.rob.len() && issued < self.cfg.issue_width {
@@ -603,8 +601,12 @@ impl MxsCpu {
                 let v = eval_cvt_fi(self.fval(fp_srcs[0]));
                 self.write_int(int_def, v, done);
             }
-            Lb { off, .. } | Lbu { off, .. } | Lw { off, .. } | Ll { off, .. }
-            | Fls { off, .. } | Fld { off, .. } => {
+            Lb { off, .. }
+            | Lbu { off, .. }
+            | Lw { off, .. }
+            | Ll { off, .. }
+            | Fls { off, .. }
+            | Fld { off, .. } => {
                 let va = effective_addr(self.ival(int_srcs[0]), off);
                 let pa = self.space.translate(va);
                 let bytes = instr.mem_bytes().expect("load has a size");
@@ -618,8 +620,7 @@ impl MxsCpu {
                     }
                     StoreScan::Clear => {
                         let line = pa & !(mem.line_bytes() - 1);
-                        if let Some(&(_, fin)) =
-                            self.outstanding.iter().find(|&&(l, _)| l == line)
+                        if let Some(&(_, fin)) = self.outstanding.iter().find(|&&(l, _)| l == line)
                         {
                             // Merge with the outstanding miss to this line.
                             done = fin.max(now + 1);
@@ -642,7 +643,10 @@ impl MxsCpu {
                     }
                 }
             }
-            Sb { off, .. } | Sw { off, .. } | Sc { off, .. } | Fss { off, .. }
+            Sb { off, .. }
+            | Sw { off, .. }
+            | Sc { off, .. }
+            | Fss { off, .. }
             | Fsd { off, .. } => {
                 let va = effective_addr(self.ival(int_srcs[0]), off);
                 let pa = self.space.translate(va);
@@ -1188,7 +1192,11 @@ mod tests {
         a.halt();
         let (mut phys, mut mem, mut cpu) = build(&a);
         run_to_halt(&mut phys, &mut mem, &mut cpu);
-        assert_eq!(phys.read_u32(0x9000), 0, "speculative store must not commit");
+        assert_eq!(
+            phys.read_u32(0x9000),
+            0,
+            "speculative store must not commit"
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ fn mshr_limit_caps_miss_overlap() {
         let mut phys = PhysMem::new(1);
         phys.load_words(prog.base, &prog.words);
         let mut mem = SharedMemSystem::new(&SystemConfig::paper_shared_mem(1));
-        let cfg = MxsConfig { mshrs, ..MxsConfig::default() };
+        let cfg = MxsConfig {
+            mshrs,
+            ..MxsConfig::default()
+        };
         let mut cpu = MxsCpu::with_config(0, prog.base, AddrSpace::identity(), cfg);
         let mut now = Cycle(0);
         while !cpu.halted() {
@@ -73,7 +76,10 @@ fn mshr_limit_caps_miss_overlap() {
     let eight = run_with(8);
     let one = run_with(1);
     assert!(eight < four, "more MSHRs, more overlap ({eight} vs {four})");
-    assert!(four < one, "4 MSHRs beat a blocking cache ({four} vs {one})");
+    assert!(
+        four < one,
+        "4 MSHRs beat a blocking cache ({four} vs {one})"
+    );
 }
 
 #[test]

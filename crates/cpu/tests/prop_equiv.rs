@@ -51,16 +51,29 @@ fn any_woff(src: &mut Source) -> u16 {
 }
 fn any_alu(src: &mut Source) -> AluOp {
     src.choice(&[
-        AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Nor,
-        AluOp::Slt, AluOp::Sltu, AluOp::Sll, AluOp::Srl, AluOp::Sra,
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Nor,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
     ])
 }
 fn any_fp(src: &mut Source) -> FpOp {
     // Divides excluded: 0/0 -> NaN propagates fine but makes failures
     // noisier to debug; Mul/Add/Sub still cover the FP pipelines.
     src.choice(&[
-        FpOp::AddS, FpOp::SubS, FpOp::MulS,
-        FpOp::AddD, FpOp::SubD, FpOp::MulD,
+        FpOp::AddS,
+        FpOp::SubS,
+        FpOp::MulS,
+        FpOp::AddD,
+        FpOp::SubD,
+        FpOp::MulD,
     ])
 }
 
@@ -237,11 +250,7 @@ fn mipsy_and_mxs_agree_on_architectural_state() {
 #[test]
 fn regression_llsc_reservation_set_at_graduation() {
     assert_models_agree(
-        &[
-            GenOp::Mul(12, 8, 8),
-            GenOp::Store(8, 96),
-            GenOp::LlSc(96),
-        ],
+        &[GenOp::Mul(12, 8, 8), GenOp::Store(8, 96), GenOp::LlSc(96)],
         1,
     );
 }

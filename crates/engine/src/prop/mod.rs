@@ -209,11 +209,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Runs `prop` for `cfg.cases` cases and returns the shrunk failure, if
 /// any, instead of panicking. The building block for [`check`]; test code
 /// that wants to inspect counterexamples calls this directly.
-pub fn check_result(
-    cfg: &Config,
-    name: &str,
-    prop: impl Fn(&mut Source),
-) -> Result<(), Failure> {
+pub fn check_result(cfg: &Config, name: &str, prop: impl Fn(&mut Source)) -> Result<(), Failure> {
     for i in 0..cfg.cases {
         let seed = case_seed(cfg.seed, i);
         let mut src = Source::live(seed);

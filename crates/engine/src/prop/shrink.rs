@@ -43,23 +43,20 @@ pub fn minimize(
     let mut attempts = 0u32;
 
     // Runs one candidate; returns true (and adopts it) if it still fails.
-    let try_candidate = |cand: Vec<u64>,
-                             best: &mut Vec<u64>,
-                             msg: &mut String,
-                             attempts: &mut u32|
-     -> bool {
-        if *attempts >= budget {
-            return false;
-        }
-        *attempts += 1;
-        if let Some(m) = test(&cand) {
-            *best = cand;
-            *msg = m;
-            true
-        } else {
-            false
-        }
-    };
+    let try_candidate =
+        |cand: Vec<u64>, best: &mut Vec<u64>, msg: &mut String, attempts: &mut u32| -> bool {
+            if *attempts >= budget {
+                return false;
+            }
+            *attempts += 1;
+            if let Some(m) = test(&cand) {
+                *best = cand;
+                *msg = m;
+                true
+            } else {
+                false
+            }
+        };
 
     loop {
         let mut improved = false;

@@ -88,8 +88,8 @@ fn reported_seed_reproduces_as_case_zero() {
         seed: failure.seed,
         ..Config::default()
     };
-    let again = prop::check_result(&repro, "mod_prime", prop_fn)
-        .expect_err("reported seed must reproduce");
+    let again =
+        prop::check_result(&repro, "mod_prime", prop_fn).expect_err("reported seed must reproduce");
     assert_eq!(again.case, 0);
 }
 
@@ -139,9 +139,8 @@ fn env_overrides_respected_from_process_env() {
 /// still yielding to an explicit `CMPSIM_PROP_CASES`.
 #[test]
 fn suite_specific_case_default() {
-    let cfg = Config::from_env_or_cases(48).with_lookup(|key| {
-        (key == "CMPSIM_PROP_CASES").then(|| "96".to_string())
-    });
+    let cfg = Config::from_env_or_cases(48)
+        .with_lookup(|key| (key == "CMPSIM_PROP_CASES").then(|| "96".to_string()));
     assert_eq!(cfg.cases, 96);
 }
 

@@ -79,11 +79,20 @@ enum Slot {
         label: String,
     },
     /// `j`/`jal` to a label.
-    JumpTo { link: bool, label: String },
+    JumpTo {
+        link: bool,
+        label: String,
+    },
     /// First word of a two-word `la` expansion (`lui` + `ori`).
-    LaHi { rt: Reg, label: String },
+    LaHi {
+        rt: Reg,
+        label: String,
+    },
     /// Second word of `la`.
-    LaLo { rt: Reg, label: String },
+    LaLo {
+        rt: Reg,
+        label: String,
+    },
     /// Raw data word.
     Raw(u32),
 }
@@ -345,11 +354,15 @@ impl Asm {
     }
     /// Jump to an absolute byte address.
     pub fn j_abs(&mut self, addr: Addr) -> &mut Asm {
-        self.instr(Instr::J { target: addr / INSTR_BYTES })
+        self.instr(Instr::J {
+            target: addr / INSTR_BYTES,
+        })
     }
     /// Call an absolute byte address.
     pub fn jal_abs(&mut self, addr: Addr) -> &mut Asm {
-        self.instr(Instr::Jal { target: addr / INSTR_BYTES })
+        self.instr(Instr::Jal {
+            target: addr / INSTR_BYTES,
+        })
     }
     pub fn jr(&mut self, rs: Reg) -> &mut Asm {
         self.instr(Instr::Jr { rs })
@@ -442,7 +455,12 @@ impl Asm {
             let word = match slot {
                 Slot::Done(i) => encode(i),
                 Slot::Raw(w) => *w,
-                Slot::BranchTo { cond, rs, rt, label } => {
+                Slot::BranchTo {
+                    cond,
+                    rs,
+                    rt,
+                    label,
+                } => {
                     let target = lookup(label)?;
                     let distance = i64::from(target) - (idx as i64 + 1);
                     let off = i16::try_from(distance).map_err(|_| AsmError::BranchOutOfRange {
@@ -459,9 +477,13 @@ impl Asm {
                 Slot::JumpTo { link, label } => {
                     let target_word = (self.base / INSTR_BYTES) + lookup(label)?;
                     if *link {
-                        encode(&Instr::Jal { target: target_word })
+                        encode(&Instr::Jal {
+                            target: target_word,
+                        })
                     } else {
-                        encode(&Instr::J { target: target_word })
+                        encode(&Instr::J {
+                            target: target_word,
+                        })
                     }
                 }
                 Slot::LaHi { rt, label } => {
@@ -551,7 +573,9 @@ mod tests {
             other => panic!("{other}"),
         }
         match decode(p.words[1]).unwrap() {
-            Instr::AluI { op: AluOp::Or, imm, .. } => {
+            Instr::AluI {
+                op: AluOp::Or, imm, ..
+            } => {
                 assert_eq!((imm as u16) as u32, data_addr & 0xffff)
             }
             other => panic!("{other}"),
@@ -586,7 +610,10 @@ mod tests {
         a.label("x");
         a.nop();
         a.label("x");
-        assert_eq!(a.assemble().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.assemble().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]

@@ -44,9 +44,10 @@ impl DisasmLine {
 /// (indirect jumps have none).
 pub fn control_target(addr: Addr, instr: &Instr) -> Option<Addr> {
     match *instr {
-        Instr::Branch { off, .. } => {
-            Some(addr.wrapping_add(4).wrapping_add((off as i32 as u32).wrapping_mul(4)))
-        }
+        Instr::Branch { off, .. } => Some(
+            addr.wrapping_add(4)
+                .wrapping_add((off as i32 as u32).wrapping_mul(4)),
+        ),
         Instr::J { target } | Instr::Jal { target } => Some(target * 4),
         _ => None,
     }

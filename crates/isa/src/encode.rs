@@ -162,7 +162,9 @@ pub fn encode(instr: &Instr) -> u32 {
     let r = |r: Reg| r.index() as u32;
     let fr = |f: FReg| f.index() as u32;
     match *instr {
-        Alu { op, rd, rs, rt } => rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_ALU_BASE + alu_op_code(op)),
+        Alu { op, rd, rs, rt } => {
+            rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_ALU_BASE + alu_op_code(op))
+        }
         Mul { rd, rs, rt } => rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_MUL),
         Div { rd, rs, rt } => rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_DIV),
         Rem { rd, rs, rt } => rtype(OP_RTYPE, r(rs), r(rt), r(rd), FN_REM),
@@ -172,7 +174,13 @@ pub fn encode(instr: &Instr) -> u32 {
         Cpuid { rd } => rtype(OP_RTYPE, 0, 0, r(rd), FN_CPUID),
         Halt => rtype(OP_RTYPE, 0, 0, 0, FN_HALT),
         Nop => rtype(OP_RTYPE, 0, 0, 0, FN_NOP),
-        Fp { op, fd, fs, ft } => rtype(OP_FTYPE, fr(fs), fr(ft), fr(fd), FFN_FP_BASE + fp_op_code(op)),
+        Fp { op, fd, fs, ft } => rtype(
+            OP_FTYPE,
+            fr(fs),
+            fr(ft),
+            fr(fd),
+            FFN_FP_BASE + fp_op_code(op),
+        ),
         Fcmp { cmp, rd, fs, ft } => {
             let c = match cmp {
                 FpCmp::Eq => 0,
@@ -197,9 +205,12 @@ pub fn encode(instr: &Instr) -> u32 {
         Fss { ft, base, off } => itype(OP_FSS, r(base), fr(ft), off as u16),
         Fld { ft, base, off } => itype(OP_FLD, r(base), fr(ft), off as u16),
         Fsd { ft, base, off } => itype(OP_FSD, r(base), fr(ft), off as u16),
-        Branch { cond, rs, rt, off } => {
-            itype(OP_BRANCH_BASE + branch_cond_code(cond), r(rs), r(rt), off as u16)
-        }
+        Branch { cond, rs, rt, off } => itype(
+            OP_BRANCH_BASE + branch_cond_code(cond),
+            r(rs),
+            r(rt),
+            off as u16,
+        ),
         J { target } => {
             assert!(target < (1 << 26), "jump target {target:#x} out of range");
             (OP_J << 26) | target
@@ -262,9 +273,24 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
                 fs,
                 ft,
             },
-            FFN_FCMP_BASE => Fcmp { cmp: FpCmp::Eq, rd, fs, ft },
-            f if f == FFN_FCMP_BASE + 1 => Fcmp { cmp: FpCmp::Lt, rd, fs, ft },
-            f if f == FFN_FCMP_BASE + 2 => Fcmp { cmp: FpCmp::Le, rd, fs, ft },
+            FFN_FCMP_BASE => Fcmp {
+                cmp: FpCmp::Eq,
+                rd,
+                fs,
+                ft,
+            },
+            f if f == FFN_FCMP_BASE + 1 => Fcmp {
+                cmp: FpCmp::Lt,
+                rd,
+                fs,
+                ft,
+            },
+            f if f == FFN_FCMP_BASE + 2 => Fcmp {
+                cmp: FpCmp::Le,
+                rd,
+                fs,
+                ft,
+            },
             FFN_FMOV => Fmov { fd, fs },
             FFN_CVT_IF => CvtIf { fd, rs },
             FFN_CVT_FI => CvtFi { rd, fs },
@@ -278,17 +304,61 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             imm: imm as i16,
         },
         OP_LUI => Lui { rt, imm },
-        OP_LB => Lb { rt, base: rs, off: imm as i16 },
-        OP_LBU => Lbu { rt, base: rs, off: imm as i16 },
-        OP_LW => Lw { rt, base: rs, off: imm as i16 },
-        OP_SB => Sb { rt, base: rs, off: imm as i16 },
-        OP_SW => Sw { rt, base: rs, off: imm as i16 },
-        OP_LL => Ll { rt, base: rs, off: imm as i16 },
-        OP_SC => Sc { rt, base: rs, off: imm as i16 },
-        OP_FLS => Fls { ft, base: rs, off: imm as i16 },
-        OP_FSS => Fss { ft, base: rs, off: imm as i16 },
-        OP_FLD => Fld { ft, base: rs, off: imm as i16 },
-        OP_FSD => Fsd { ft, base: rs, off: imm as i16 },
+        OP_LB => Lb {
+            rt,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_LBU => Lbu {
+            rt,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_LW => Lw {
+            rt,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_SB => Sb {
+            rt,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_SW => Sw {
+            rt,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_LL => Ll {
+            rt,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_SC => Sc {
+            rt,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_FLS => Fls {
+            ft,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_FSS => Fss {
+            ft,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_FLD => Fld {
+            ft,
+            base: rs,
+            off: imm as i16,
+        },
+        OP_FSD => Fsd {
+            ft,
+            base: rs,
+            off: imm as i16,
+        },
         o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Branch {
             cond: branch_cond_from(o - OP_BRANCH_BASE)
                 .expect("opcode matched OP_BRANCH_BASE..+6, which branch_cond_from covers"),
@@ -296,8 +366,12 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             rt,
             off: imm as i16,
         },
-        OP_J => J { target: word & 0x03ff_ffff },
-        OP_JAL => Jal { target: word & 0x03ff_ffff },
+        OP_J => J {
+            target: word & 0x03ff_ffff,
+        },
+        OP_JAL => Jal {
+            target: word & 0x03ff_ffff,
+        },
         OP_HCALL => Hcall {
             no: HcallNo::from_imm(imm).ok_or(DecodeError { word })?,
         },
@@ -314,41 +388,161 @@ mod tests {
     fn sample_instrs() -> Vec<Instr> {
         use Instr::*;
         vec![
-            Alu { op: AluOp::Add, rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
-            Alu { op: AluOp::Sra, rd: Reg::S0, rs: Reg::S1, rt: Reg::S2 },
-            AluI { op: AluOp::Add, rt: Reg::T0, rs: Reg::SP, imm: -32 },
-            AluI { op: AluOp::Sltu, rt: Reg::V0, rs: Reg::A0, imm: 100 },
-            Lui { rt: Reg::GP, imm: 0xdead },
-            Mul { rd: Reg::T0, rs: Reg::T1, rt: Reg::T2 },
-            Div { rd: Reg::T3, rs: Reg::T4, rt: Reg::T5 },
-            Rem { rd: Reg::T6, rs: Reg::T7, rt: Reg::T8 },
-            Fp { op: FpOp::MulD, fd: FReg::F0, fs: FReg::F1, ft: FReg::F2 },
-            Fp { op: FpOp::DivS, fd: FReg::F3, fs: FReg::F4, ft: FReg::F5 },
-            Fcmp { cmp: FpCmp::Le, rd: Reg::T0, fs: FReg::F1, ft: FReg::F2 },
-            Fmov { fd: FReg::F7, fs: FReg::F8 },
-            CvtIf { fd: FReg::F1, rs: Reg::A0 },
-            CvtFi { rd: Reg::V0, fs: FReg::F1 },
-            Lb { rt: Reg::T0, base: Reg::A0, off: -1 },
-            Lbu { rt: Reg::T0, base: Reg::A0, off: 255 },
-            Lw { rt: Reg::T1, base: Reg::GP, off: 0x7ff0 },
-            Sb { rt: Reg::T2, base: Reg::A1, off: 3 },
-            Sw { rt: Reg::T3, base: Reg::SP, off: -4 },
-            Ll { rt: Reg::T4, base: Reg::A2, off: 0 },
-            Sc { rt: Reg::T5, base: Reg::A2, off: 0 },
-            Fls { ft: FReg::F0, base: Reg::A3, off: 8 },
-            Fss { ft: FReg::F1, base: Reg::A3, off: 12 },
-            Fld { ft: FReg::F2, base: Reg::S0, off: 16 },
-            Fsd { ft: FReg::F3, base: Reg::S0, off: 24 },
-            Branch { cond: BranchCond::Eq, rs: Reg::T0, rt: Reg::ZERO, off: -5 },
-            Branch { cond: BranchCond::Geu, rs: Reg::A0, rt: Reg::A1, off: 100 },
+            Alu {
+                op: AluOp::Add,
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+            Alu {
+                op: AluOp::Sra,
+                rd: Reg::S0,
+                rs: Reg::S1,
+                rt: Reg::S2,
+            },
+            AluI {
+                op: AluOp::Add,
+                rt: Reg::T0,
+                rs: Reg::SP,
+                imm: -32,
+            },
+            AluI {
+                op: AluOp::Sltu,
+                rt: Reg::V0,
+                rs: Reg::A0,
+                imm: 100,
+            },
+            Lui {
+                rt: Reg::GP,
+                imm: 0xdead,
+            },
+            Mul {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+            Div {
+                rd: Reg::T3,
+                rs: Reg::T4,
+                rt: Reg::T5,
+            },
+            Rem {
+                rd: Reg::T6,
+                rs: Reg::T7,
+                rt: Reg::T8,
+            },
+            Fp {
+                op: FpOp::MulD,
+                fd: FReg::F0,
+                fs: FReg::F1,
+                ft: FReg::F2,
+            },
+            Fp {
+                op: FpOp::DivS,
+                fd: FReg::F3,
+                fs: FReg::F4,
+                ft: FReg::F5,
+            },
+            Fcmp {
+                cmp: FpCmp::Le,
+                rd: Reg::T0,
+                fs: FReg::F1,
+                ft: FReg::F2,
+            },
+            Fmov {
+                fd: FReg::F7,
+                fs: FReg::F8,
+            },
+            CvtIf {
+                fd: FReg::F1,
+                rs: Reg::A0,
+            },
+            CvtFi {
+                rd: Reg::V0,
+                fs: FReg::F1,
+            },
+            Lb {
+                rt: Reg::T0,
+                base: Reg::A0,
+                off: -1,
+            },
+            Lbu {
+                rt: Reg::T0,
+                base: Reg::A0,
+                off: 255,
+            },
+            Lw {
+                rt: Reg::T1,
+                base: Reg::GP,
+                off: 0x7ff0,
+            },
+            Sb {
+                rt: Reg::T2,
+                base: Reg::A1,
+                off: 3,
+            },
+            Sw {
+                rt: Reg::T3,
+                base: Reg::SP,
+                off: -4,
+            },
+            Ll {
+                rt: Reg::T4,
+                base: Reg::A2,
+                off: 0,
+            },
+            Sc {
+                rt: Reg::T5,
+                base: Reg::A2,
+                off: 0,
+            },
+            Fls {
+                ft: FReg::F0,
+                base: Reg::A3,
+                off: 8,
+            },
+            Fss {
+                ft: FReg::F1,
+                base: Reg::A3,
+                off: 12,
+            },
+            Fld {
+                ft: FReg::F2,
+                base: Reg::S0,
+                off: 16,
+            },
+            Fsd {
+                ft: FReg::F3,
+                base: Reg::S0,
+                off: 24,
+            },
+            Branch {
+                cond: BranchCond::Eq,
+                rs: Reg::T0,
+                rt: Reg::ZERO,
+                off: -5,
+            },
+            Branch {
+                cond: BranchCond::Geu,
+                rs: Reg::A0,
+                rt: Reg::A1,
+                off: 100,
+            },
             J { target: 0x123456 },
             Jal { target: 0x1 },
             Jr { rs: Reg::RA },
-            Jalr { rd: Reg::RA, rs: Reg::T9 },
+            Jalr {
+                rd: Reg::RA,
+                rs: Reg::T9,
+            },
             Sync,
             Cpuid { rd: Reg::V0 },
-            Hcall { no: HcallNo::ResetStats },
-            Hcall { no: HcallNo::Phase(42) },
+            Hcall {
+                no: HcallNo::ResetStats,
+            },
+            Hcall {
+                no: HcallNo::Phase(42),
+            },
             Halt,
             Nop,
         ]
@@ -388,7 +582,12 @@ mod tests {
 
     #[test]
     fn negative_immediates_sign_preserved() {
-        let i = Instr::AluI { op: AluOp::Add, rt: Reg::T0, rs: Reg::T0, imm: -1 };
+        let i = Instr::AluI {
+            op: AluOp::Add,
+            rt: Reg::T0,
+            rs: Reg::T0,
+            imm: -1,
+        };
         match decode(encode(&i)).unwrap() {
             Instr::AluI { imm, .. } => assert_eq!(imm, -1),
             other => panic!("wrong decode: {other}"),

@@ -106,10 +106,20 @@ impl HcallNo {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Instr {
     /// `rd = rs <op> rt` (shifts use the low 5 bits of `rt`).
-    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
     /// `rt = rs <op> imm`. Arithmetic/comparison ops sign-extend `imm`;
     /// logical ops zero-extend; shifts use the low 5 bits.
-    AluI { op: AluOp, rt: Reg, rs: Reg, imm: i16 },
+    AluI {
+        op: AluOp,
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
     /// `rt = imm << 16`.
     Lui { rt: Reg, imm: u16 },
     /// `rd = rs * rt` (low 32 bits).
@@ -120,9 +130,19 @@ pub enum Instr {
     /// `rd = rs % rt` signed; modulo by zero yields 0.
     Rem { rd: Reg, rs: Reg, rt: Reg },
     /// `fd = fs <op> ft`.
-    Fp { op: FpOp, fd: FReg, fs: FReg, ft: FReg },
+    Fp {
+        op: FpOp,
+        fd: FReg,
+        fs: FReg,
+        ft: FReg,
+    },
     /// `rd = (fs <cmp> ft) ? 1 : 0`.
-    Fcmp { cmp: FpCmp, rd: Reg, fs: FReg, ft: FReg },
+    Fcmp {
+        cmp: FpCmp,
+        rd: Reg,
+        fs: FReg,
+        ft: FReg,
+    },
     /// `fd = fs`.
     Fmov { fd: FReg, fs: FReg },
     /// `fd = (f64) (i32) rs`.
@@ -295,7 +315,10 @@ impl Instr {
         use Instr::*;
         let mut ops = RegOps::default();
         match *self {
-            Alu { rd, rs, rt, .. } | Mul { rd, rs, rt } | Div { rd, rs, rt } | Rem { rd, rs, rt } => {
+            Alu { rd, rs, rt, .. }
+            | Mul { rd, rs, rt }
+            | Div { rd, rs, rt }
+            | Rem { rd, rs, rt } => {
                 ops.int_uses = [Some(rs), Some(rt)];
                 ops.int_def = Some(rd);
             }
@@ -324,7 +347,10 @@ impl Instr {
                 ops.fp_uses = [Some(fs), None];
                 ops.int_def = Some(rd);
             }
-            Lb { rt, base, .. } | Lbu { rt, base, .. } | Lw { rt, base, .. } | Ll { rt, base, .. } => {
+            Lb { rt, base, .. }
+            | Lbu { rt, base, .. }
+            | Lw { rt, base, .. }
+            | Ll { rt, base, .. } => {
                 ops.int_uses = [Some(base), None];
                 ops.int_def = Some(rt);
             }

@@ -3,7 +3,7 @@
 //! Runs on `cmpsim_engine::prop`.
 
 use cmpsim_engine::prop::{self, Source};
-use cmpsim_isa::{decode, encode, AluOp, Asm, BranchCond, FpCmp, FpOp, FReg, HcallNo, Instr, Reg};
+use cmpsim_isa::{decode, encode, AluOp, Asm, BranchCond, FReg, FpCmp, FpOp, HcallNo, Instr, Reg};
 
 fn any_reg(src: &mut Source) -> Reg {
     Reg::new(src.u8(0..32))
@@ -13,14 +13,29 @@ fn any_freg(src: &mut Source) -> FReg {
 }
 fn any_alu_op(src: &mut Source) -> AluOp {
     src.choice(&[
-        AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Nor,
-        AluOp::Slt, AluOp::Sltu, AluOp::Sll, AluOp::Srl, AluOp::Sra,
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Nor,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
     ])
 }
 fn any_fp_op(src: &mut Source) -> FpOp {
     src.choice(&[
-        FpOp::AddS, FpOp::SubS, FpOp::MulS, FpOp::DivS,
-        FpOp::AddD, FpOp::SubD, FpOp::MulD, FpOp::DivD,
+        FpOp::AddS,
+        FpOp::SubS,
+        FpOp::MulS,
+        FpOp::DivS,
+        FpOp::AddD,
+        FpOp::SubD,
+        FpOp::MulD,
+        FpOp::DivD,
     ])
 }
 
@@ -39,10 +54,25 @@ fn any_instr(src: &mut Source) -> Instr {
             rs: any_reg(src),
             imm: src.i16_any(),
         },
-        2 => Instr::Lui { rt: any_reg(src), imm: src.u16_any() },
-        3 => Instr::Mul { rd: any_reg(src), rs: any_reg(src), rt: any_reg(src) },
-        4 => Instr::Div { rd: any_reg(src), rs: any_reg(src), rt: any_reg(src) },
-        5 => Instr::Rem { rd: any_reg(src), rs: any_reg(src), rt: any_reg(src) },
+        2 => Instr::Lui {
+            rt: any_reg(src),
+            imm: src.u16_any(),
+        },
+        3 => Instr::Mul {
+            rd: any_reg(src),
+            rs: any_reg(src),
+            rt: any_reg(src),
+        },
+        4 => Instr::Div {
+            rd: any_reg(src),
+            rs: any_reg(src),
+            rt: any_reg(src),
+        },
+        5 => Instr::Rem {
+            rd: any_reg(src),
+            rs: any_reg(src),
+            rt: any_reg(src),
+        },
         6 => Instr::Fp {
             op: any_fp_op(src),
             fd: any_freg(src),
@@ -55,33 +85,97 @@ fn any_instr(src: &mut Source) -> Instr {
             fs: any_freg(src),
             ft: any_freg(src),
         },
-        8 => Instr::Fmov { fd: any_freg(src), fs: any_freg(src) },
-        9 => Instr::CvtIf { fd: any_freg(src), rs: any_reg(src) },
-        10 => Instr::CvtFi { rd: any_reg(src), fs: any_freg(src) },
-        11 => Instr::Lb { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
-        12 => Instr::Lbu { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
-        13 => Instr::Lw { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
-        14 => Instr::Sb { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
-        15 => Instr::Sw { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
-        16 => Instr::Ll { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
-        17 => Instr::Sc { rt: any_reg(src), base: any_reg(src), off: src.i16_any() },
-        18 => Instr::Fls { ft: any_freg(src), base: any_reg(src), off: src.i16_any() },
-        19 => Instr::Fss { ft: any_freg(src), base: any_reg(src), off: src.i16_any() },
-        20 => Instr::Fld { ft: any_freg(src), base: any_reg(src), off: src.i16_any() },
-        21 => Instr::Fsd { ft: any_freg(src), base: any_reg(src), off: src.i16_any() },
+        8 => Instr::Fmov {
+            fd: any_freg(src),
+            fs: any_freg(src),
+        },
+        9 => Instr::CvtIf {
+            fd: any_freg(src),
+            rs: any_reg(src),
+        },
+        10 => Instr::CvtFi {
+            rd: any_reg(src),
+            fs: any_freg(src),
+        },
+        11 => Instr::Lb {
+            rt: any_reg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        12 => Instr::Lbu {
+            rt: any_reg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        13 => Instr::Lw {
+            rt: any_reg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        14 => Instr::Sb {
+            rt: any_reg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        15 => Instr::Sw {
+            rt: any_reg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        16 => Instr::Ll {
+            rt: any_reg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        17 => Instr::Sc {
+            rt: any_reg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        18 => Instr::Fls {
+            ft: any_freg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        19 => Instr::Fss {
+            ft: any_freg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        20 => Instr::Fld {
+            ft: any_freg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
+        21 => Instr::Fsd {
+            ft: any_freg(src),
+            base: any_reg(src),
+            off: src.i16_any(),
+        },
         22 => Instr::Branch {
             cond: src.choice(&[
-                BranchCond::Eq, BranchCond::Ne, BranchCond::Lt,
-                BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu,
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
             ]),
             rs: any_reg(src),
             rt: any_reg(src),
             off: src.i16_any(),
         },
-        23 => Instr::J { target: src.u32(0..1 << 26) },
-        24 => Instr::Jal { target: src.u32(0..1 << 26) },
+        23 => Instr::J {
+            target: src.u32(0..1 << 26),
+        },
+        24 => Instr::Jal {
+            target: src.u32(0..1 << 26),
+        },
         25 => Instr::Jr { rs: any_reg(src) },
-        26 => Instr::Jalr { rd: any_reg(src), rs: any_reg(src) },
+        26 => Instr::Jalr {
+            rd: any_reg(src),
+            rs: any_reg(src),
+        },
         27 => Instr::Sync,
         28 => Instr::Cpuid { rd: any_reg(src) },
         29 => Instr::Hcall {
@@ -172,8 +266,14 @@ fn li_materializes_any_constant() {
         let mut t0 = 0u32;
         for &w in &prog.words {
             match decode(w).expect("valid") {
-                Instr::AluI { op: AluOp::Add, imm, .. } => t0 = imm as i32 as u32,
-                Instr::AluI { op: AluOp::Or, imm, .. } => t0 |= (imm as u16) as u32,
+                Instr::AluI {
+                    op: AluOp::Add,
+                    imm,
+                    ..
+                } => t0 = imm as i32 as u32,
+                Instr::AluI {
+                    op: AluOp::Or, imm, ..
+                } => t0 |= (imm as u16) as u32,
                 Instr::Lui { imm, .. } => t0 = u32::from(imm) << 16,
                 Instr::Halt => break,
                 other => panic!("unexpected {other}"),

@@ -88,7 +88,7 @@ pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
     a.add(Reg::T2, Reg::S0, Reg::T0); // src row
     a.mul(Reg::T0, Reg::S4, Reg::T1);
     a.add(Reg::T3, Reg::S0, Reg::T0); // dst row
-    // Rotated partition: my first element = ((cpu + k) & (n_cpus-1)) * CHUNK.
+                                      // Rotated partition: my first element = ((cpu + k) & (n_cpus-1)) * CHUNK.
     a.add(Reg::T0, Reg::S7, Reg::S4);
     a.andi(Reg::T0, Reg::T0, (n_cpus - 1) as i16);
     a.slli(Reg::T0, Reg::T0, (CHUNK.trailing_zeros() + 2) as i16);
@@ -156,10 +156,7 @@ pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
             phys.write_f32(COEFF_B, B);
             for k in 0..stages {
                 for i in 0..n {
-                    phys.write_f32(
-                        STAGE_BASE + ((k * n + i) * 4) as u32,
-                        initial(k * n + i),
-                    );
+                    phys.write_f32(STAGE_BASE + ((k * n + i) * 4) as u32, initial(k * n + i));
                 }
             }
         }),

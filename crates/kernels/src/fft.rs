@@ -113,7 +113,7 @@ pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
         a.fld(FReg::F2, Reg::T2, 8); // im_i
         a.fld(FReg::F3, Reg::T3, 0); // re_j
         a.fld(FReg::F4, Reg::T3, 8); // im_j
-        // t = w * src[j]  (F5 = t_re, F7 = t_im)
+                                     // t = w * src[j]  (F5 = t_re, F7 = t_im)
         a.fmul_d(FReg::F5, FReg::F10, FReg::F3);
         a.fmul_d(FReg::F6, FReg::F11, FReg::F4);
         a.fsub_d(FReg::F5, FReg::F5, FReg::F6);

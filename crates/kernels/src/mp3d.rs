@@ -97,7 +97,7 @@ pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
     a.add(Reg::T0, Reg::S0, Reg::T0);
     a.lw(Reg::T1, Reg::T0, 0); // x
     a.lw(Reg::T2, Reg::T0, 12); // vx
-    // x += vx; vx += (x >> 7) & 0xff
+                                // x += vx; vx += (x >> 7) & 0xff
     a.add(Reg::T1, Reg::T1, Reg::T2);
     a.srli(Reg::T3, Reg::T1, 7);
     a.andi(Reg::T3, Reg::T3, 0xff);

@@ -33,9 +33,7 @@ fn initial(i: usize, j: usize) -> f64 {
 /// Rust reference: runs the same Jacobi sweeps and returns the checksum.
 fn reference(n: usize, iters: usize) -> f64 {
     let dim = n + 2;
-    let mut a: Vec<f64> = (0..dim * dim)
-        .map(|k| initial(k / dim, k % dim))
-        .collect();
+    let mut a: Vec<f64> = (0..dim * dim).map(|k| initial(k / dim, k % dim)).collect();
     let mut b = a.clone(); // borders copied; interior overwritten per sweep
     for _ in 0..iters {
         for i in 1..=n {
@@ -80,8 +78,14 @@ pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
     // cache's set stride (8 KB private, 32 KB shared L1), or the src, dst
     // and restriction streams all fight for the same two ways.
     let grid_b: u32 = GRID_A + 0x2_9040;
-    assert!((dim * dim * 8) <= 0x2_9040, "grid must fit below the B buffer");
-    assert!(GRID_RES - grid_b >= (dim * dim * 8) as u32, "buffers overlap");
+    assert!(
+        (dim * dim * 8) <= 0x2_9040,
+        "grid must fit below the B buffer"
+    );
+    assert!(
+        GRID_RES - grid_b >= (dim * dim * 8) as u32,
+        "buffers overlap"
+    );
     for (x, y) in [(GRID_A, grid_b), (grid_b, GRID_RES), (GRID_A, GRID_RES)] {
         assert!((y - x) % 0x8000 != 0, "buffers are set-aligned");
     }

@@ -172,14 +172,7 @@ impl Runtime {
     /// Global sum reduction: atomically folds `value` into the accumulator
     /// at `0(acc)`, then barriers; afterwards every CPU can read the final
     /// total from `0(acc)`. Clobbers `$t8`/`$t9`.
-    pub fn reduce_add(
-        &mut self,
-        a: &mut Asm,
-        acc: Reg,
-        value: Reg,
-        bar: Reg,
-        n_cpus: usize,
-    ) {
+    pub fn reduce_add(&mut self, a: &mut Asm, acc: Reg, value: Reg, bar: Reg, n_cpus: usize) {
         assert!(
             value != Reg::T8 && value != Reg::T9 && value != acc,
             "reduce value register conflicts with scratch"

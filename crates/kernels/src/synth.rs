@@ -214,9 +214,7 @@ pub fn build(p: &SynthParams) -> Result<BuiltWorkload, AsmError> {
                 for (i, &want) in arr.iter().enumerate() {
                     let got = phys.read_u32(base + i as u32 * 4);
                     if got != want {
-                        return Err(format!(
-                            "synth cpu {cpu} word {i}: {got:#x} != {want:#x}"
-                        ));
+                        return Err(format!("synth cpu {cpu} word {i}: {got:#x} != {want:#x}"));
                     }
                 }
                 let done = phys.read_u32(Layout::CHECK + cpu as u32 * 32);

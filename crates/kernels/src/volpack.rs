@@ -186,7 +186,9 @@ pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
             if got == expected {
                 Ok(())
             } else {
-                Err(format!("volpack checksum {got:#x} != expected {expected:#x}"))
+                Err(format!(
+                    "volpack checksum {got:#x} != expected {expected:#x}"
+                ))
             }
         }),
     })

@@ -58,16 +58,20 @@ fn regression_ocean_large_scale_single_cpu() {
 #[test]
 fn builds_are_deterministic_functions_of_parameters() {
     let cfg = Config::from_env_or_cases(48);
-    prop::check_with(&cfg, "builds_are_deterministic_functions_of_parameters", |src| {
-        let scale = src.f64(0.02..1.0);
-        let widx = src.usize(0..7);
-        let name = ALL_WORKLOADS[widx];
-        let a = build_by_name(name, 4, scale).expect("builds");
-        let b = build_by_name(name, 4, scale).expect("builds");
-        assert_eq!(a.code_words(), b.code_words());
-        for ((ba, wa), (bb, wb)) in a.image.iter().zip(&b.image) {
-            assert_eq!(ba, bb);
-            assert_eq!(wa, wb);
-        }
-    });
+    prop::check_with(
+        &cfg,
+        "builds_are_deterministic_functions_of_parameters",
+        |src| {
+            let scale = src.f64(0.02..1.0);
+            let widx = src.usize(0..7);
+            let name = ALL_WORKLOADS[widx];
+            let a = build_by_name(name, 4, scale).expect("builds");
+            let b = build_by_name(name, 4, scale).expect("builds");
+            assert_eq!(a.code_words(), b.code_words());
+            for ((ba, wa), (bb, wb)) in a.image.iter().zip(&b.image) {
+                assert_eq!(ba, bb);
+                assert_eq!(wa, wb);
+            }
+        },
+    );
 }

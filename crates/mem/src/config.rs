@@ -157,7 +157,11 @@ impl CacheSpec {
     ///
     /// Returns a [`ConfigError`] if either size is not a power of two, the
     /// associativity is zero, or the capacity is below one full set.
-    pub fn try_new(size_bytes: u32, assoc: usize, line_bytes: u32) -> Result<CacheSpec, ConfigError> {
+    pub fn try_new(
+        size_bytes: u32,
+        assoc: usize,
+        line_bytes: u32,
+    ) -> Result<CacheSpec, ConfigError> {
         if !size_bytes.is_power_of_two() {
             return Err(ConfigError::NotPowerOfTwo {
                 what: "cache size",

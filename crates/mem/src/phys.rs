@@ -78,16 +78,22 @@ struct OracleMem {
 }
 
 impl OracleMem {
-    fn report_mismatch(&self, addr: Addr, got: u64, want: u64, slot: usize, off: usize, len: usize) {
+    fn report_mismatch(
+        &self,
+        addr: Addr,
+        got: u64,
+        want: u64,
+        slot: usize,
+        off: usize,
+        len: usize,
+    ) {
         let (cpu, cycle) = self.ctx.get();
         self.violations.borrow_mut().push(SentinelViolation {
             cycle,
             cpu,
             addr,
             kind: ViolationKind::OracleMismatch,
-            detail: format!(
-                "load returned {got:#x} but the flat-memory oracle holds {want:#x}"
-            ),
+            detail: format!("load returned {got:#x} but the flat-memory oracle holds {want:#x}"),
         });
         self.pending_heal.borrow_mut().push((slot, off, len));
     }

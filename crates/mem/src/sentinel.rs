@@ -94,11 +94,7 @@ impl FaultClassSet {
 
     /// Every fault class.
     pub fn all() -> FaultClassSet {
-        FaultClassSet(
-            FaultKind::ALL
-                .iter()
-                .fold(0, |acc, k| acc | k.bit()),
-        )
+        FaultClassSet(FaultKind::ALL.iter().fold(0, |acc, k| acc | k.bit()))
     }
 
     /// A single-class set (per-class detection tests).
@@ -408,10 +404,8 @@ mod tests {
         let s = SentinelSpec::from_lookup(lookup(&[(ENV_SENTINEL, "0")]));
         assert!(!s.enabled);
 
-        let s = SentinelSpec::from_lookup(lookup(&[
-            (ENV_FAULT_RATE, "0.25"),
-            (ENV_FAULT_SEED, "42"),
-        ]));
+        let s =
+            SentinelSpec::from_lookup(lookup(&[(ENV_FAULT_RATE, "0.25"), (ENV_FAULT_SEED, "42")]));
         assert!(s.enabled, "a positive fault rate implies the sentinel");
         assert_eq!(s.fault_rate_ppm, 250_000);
         assert_eq!(s.fault_seed, 42);
@@ -428,8 +422,9 @@ mod tests {
             assert!(all.contains(k));
             assert!(FaultClassSet::only(k).contains(k));
         }
-        assert!(!FaultClassSet::only(FaultKind::SpuriousState)
-            .contains(FaultKind::DroppedInvalidation));
+        assert!(
+            !FaultClassSet::only(FaultKind::SpuriousState).contains(FaultKind::DroppedInvalidation)
+        );
         assert!(!FaultClassSet::NONE.contains(FaultKind::StaleWriteback));
     }
 
@@ -450,11 +445,8 @@ mod tests {
 
     #[test]
     fn injector_respects_class_filter() {
-        let spec = SentinelSpec::with_faults(
-            1,
-            1_000_000,
-            FaultClassSet::only(FaultKind::SpuriousState),
-        );
+        let spec =
+            SentinelSpec::with_faults(1, 1_000_000, FaultClassSet::only(FaultKind::SpuriousState));
         let mut inj = FaultInjector::from_spec(&spec).expect("armed");
         assert!(!inj.roll(FaultKind::DroppedInvalidation, 0));
         assert!(inj.roll(FaultKind::SpuriousState, 0), "rate 100%");

@@ -160,8 +160,7 @@ impl ClusteredSystem {
     fn note_fill(&mut self, cluster: usize, addr: Addr, ifetch: bool, victim: Option<Addr>) {
         let line = self.line(addr);
         // Fault injection (sentinel): record a spurious sharer cluster.
-        let spurious =
-            self.n_clusters > 1 && self.sentinel.inject(FaultKind::SpuriousState, line);
+        let spurious = self.n_clusters > 1 && self.sentinel.inject(FaultKind::SpuriousState, line);
         let entry = self.presence.entry(line).or_insert((0, 0));
         if ifetch {
             entry.1 |= 1 << cluster;
@@ -227,7 +226,9 @@ impl ClusteredSystem {
                 if state.is_valid() && !bit {
                     found.push((
                         ViolationKind::CopyWithoutPresence,
-                        format!("cluster {cl} {side} holds the line but its directory bit is clear"),
+                        format!(
+                            "cluster {cl} {side} holds the line but its directory bit is clear"
+                        ),
                     ));
                 }
                 if bit && !state.is_valid() {

@@ -354,10 +354,9 @@ impl SharedL2System {
         let l2_valid = self.l2.probe(line).is_valid();
         let mut found: Vec<(ViolationKind, String)> = Vec::new();
         for c in 0..self.cfg.n_cpus {
-            for (cache, bits, side) in [
-                (&self.l1d[c], d_bits, "l1d"),
-                (&self.l1i[c], i_bits, "l1i"),
-            ] {
+            for (cache, bits, side) in
+                [(&self.l1d[c], d_bits, "l1d"), (&self.l1i[c], i_bits, "l1i")]
+            {
                 let state = cache.probe(line);
                 let bit = bits & (1 << c) != 0;
                 if state.is_valid() && !bit {
@@ -570,8 +569,11 @@ mod tests {
     #[test]
     fn sentinel_detects_dropped_invalidations() {
         use crate::sentinel::{FaultClassSet, FaultKind, SentinelSpec, ViolationKind};
-        let spec =
-            SentinelSpec::with_faults(7, 1_000_000, FaultClassSet::only(FaultKind::DroppedInvalidation));
+        let spec = SentinelSpec::with_faults(
+            7,
+            1_000_000,
+            FaultClassSet::only(FaultKind::DroppedInvalidation),
+        );
         let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4).with_sentinel(spec));
         s.access(Cycle(0), MemRequest::load(0, 0x1000));
         s.access(Cycle(10), MemRequest::load(1, 0x1000));
@@ -579,10 +581,10 @@ mod tests {
         // the message, leaving a stale copy the directory no longer tracks.
         s.access(Cycle(20), MemRequest::store(0, 0x1000));
         assert!(!s.injected_faults().is_empty());
-        assert!(s
-            .violations()
-            .iter()
-            .any(|v| v.kind == ViolationKind::CopyWithoutPresence),
+        assert!(
+            s.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::CopyWithoutPresence),
             "{:?}",
             s.violations()
         );
@@ -596,10 +598,10 @@ mod tests {
         let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(4).with_sentinel(spec));
         s.access(Cycle(0), MemRequest::load(0, 0x1000));
         assert!(!s.injected_faults().is_empty());
-        assert!(s
-            .violations()
-            .iter()
-            .any(|v| v.kind == ViolationKind::PresenceWithoutCopy),
+        assert!(
+            s.violations()
+                .iter()
+                .any(|v| v.kind == ViolationKind::PresenceWithoutCopy),
             "{:?}",
             s.violations()
         );

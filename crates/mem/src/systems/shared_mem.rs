@@ -96,8 +96,7 @@ impl SharedMemSystem {
                     || self.l1i[cpu].probe(addr).is_valid()
                     || self.l2[cpu].probe(addr).is_valid())
         });
-        let mut drop_one =
-            any_victim && self.sentinel.inject(FaultKind::DroppedInvalidation, addr);
+        let mut drop_one = any_victim && self.sentinel.inject(FaultKind::DroppedInvalidation, addr);
         for cpu in 0..self.cfg.n_cpus {
             if cpu == me {
                 continue;
@@ -632,7 +631,7 @@ mod tests {
         let mut s = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4).with_sentinel(spec));
         s.access(Cycle(0), MemRequest::load(0, 0x1000));
         s.access(Cycle(100), MemRequest::load(1, 0x1000)); // both Shared
-        // CPU 0's upgrade should invalidate CPU 1; the message is dropped.
+                                                           // CPU 0's upgrade should invalidate CPU 1; the message is dropped.
         s.access(Cycle(200), MemRequest::store(0, 0x1000));
         assert!(!s.injected_faults().is_empty());
         assert!(
@@ -648,15 +647,12 @@ mod tests {
     #[test]
     fn sentinel_detects_spurious_states() {
         use crate::sentinel::{FaultClassSet, FaultKind, SentinelSpec, ViolationKind};
-        let spec = SentinelSpec::with_faults(
-            13,
-            1_000_000,
-            FaultClassSet::only(FaultKind::SpuriousState),
-        );
+        let spec =
+            SentinelSpec::with_faults(13, 1_000_000, FaultClassSet::only(FaultKind::SpuriousState));
         let mut s = SharedMemSystem::new(&SystemConfig::paper_shared_mem(4).with_sentinel(spec));
         s.access(Cycle(0), MemRequest::store(0, 0x2000)); // CPU 0 Modified
-        // CPU 1's read should downgrade CPU 0 to Shared; the injector
-        // promotes the copy to Exclusive instead.
+                                                          // CPU 1's read should downgrade CPU 0 to Shared; the injector
+                                                          // promotes the copy to Exclusive instead.
         s.access(Cycle(100), MemRequest::load(1, 0x2000));
         assert!(!s.injected_faults().is_empty());
         assert!(

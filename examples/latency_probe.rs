@@ -31,8 +31,15 @@ fn main() {
     let ideal = probe_latencies(ArchKind::SharedL1, true);
     println!(
         "{:<14} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}   (Mipsy idealization)",
-        "shared-L1*", ideal.l1_hit, ideal.l2_hit, ideal.memory, "-", ideal.l2_occupancy,
+        "shared-L1*",
+        ideal.l1_hit,
+        ideal.l2_hit,
+        ideal.memory,
+        "-",
+        ideal.l2_occupancy,
         ideal.mem_occupancy
     );
-    println!("\nPaper's Table 2: shared-L1 3/10/50, shared-L2 1/14/50, shared-mem 1/10/50, c2c > 50.");
+    println!(
+        "\nPaper's Table 2: shared-L1 3/10/50, shared-L2 1/14/50, shared-mem 1/10/50, c2c > 50."
+    );
 }

@@ -7,9 +7,9 @@
 //! `scale` defaults to 1.0 (the paper-equivalent workload sizes); smaller
 //! values run faster but overweight cold misses.
 
+use cmpsim::core::machine::run_workload;
 use cmpsim::core::report::IpcBreakdown;
 use cmpsim::core::{ArchKind, Breakdown, CpuKind, MachineConfig, MissRates};
-use cmpsim::core::machine::run_workload;
 use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
 
 fn main() {
@@ -48,11 +48,7 @@ fn main() {
             let w = build_by_name(name, 4, scale).expect("workload builds");
             let cfg = MachineConfig::new(arch, CpuKind::Mxs);
             let s = run_workload(&cfg, &w, 40_000_000_000).expect("validates");
-            println!(
-                "    {:<14} {}",
-                arch.name(),
-                IpcBreakdown::from_summary(&s)
-            );
+            println!("    {:<14} {}", arch.name(), IpcBreakdown::from_summary(&s));
         }
     }
 }

@@ -50,7 +50,10 @@ fn main() {
             .mem
             .map(|(kind, pa)| format!("  [{kind:?} @{pa:#x}]"))
             .unwrap_or_default();
-        println!("cycle {:>5}  {:#06x}: {}{}", e.cycle, e.pc, e.instr, mem_note);
+        println!(
+            "cycle {:>5}  {:#06x}: {}{}",
+            e.cycle, e.pc, e.instr, mem_note
+        );
     }
     println!("\nfinal word at 0x8000: {}", phys.read_u32(0x8000));
     assert_eq!(phys.read_u32(0x8000), 5 + 4 + 3 + 2 + 1);

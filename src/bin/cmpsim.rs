@@ -240,8 +240,7 @@ fn main() -> ExitCode {
                         .cloned()
                         .ok_or_else(|| format!("flag {flag} needs a value"))
                 };
-                let parse =
-                    |v: String| v.parse::<usize>().map_err(|e| format!("bad number: {e}"));
+                let parse = |v: String| v.parse::<usize>().map_err(|e| format!("bad number: {e}"));
                 match flag.as_str() {
                     "--rounds" => p.rounds = parse(val()?)?,
                     "--grain" => p.grain = parse(val()?)?,
@@ -265,7 +264,10 @@ fn main() -> ExitCode {
                 return Err("--stores/--shared are percentages (0-100)".into());
             }
             println!("synth: {p:?}\n");
-            println!("{:<14} {:>12} {:>8}  breakdown", "architecture", "cycles", "norm");
+            println!(
+                "{:<14} {:>12} {:>8}  breakdown",
+                "architecture", "cycles", "norm"
+            );
             let mut base = None;
             for arch in ArchKind::ALL {
                 let w = build_synth(&p).map_err(|e| e.to_string())?;

@@ -15,8 +15,7 @@ const BUDGET: u64 = 2_000_000_000;
 fn run(workload: &str, arch: ArchKind, cpu: CpuKind, scale: f64) {
     let w = build_by_name(workload, 4, scale).expect("workload builds");
     let cfg = MachineConfig::new(arch, cpu);
-    let s = run_workload(&cfg, &w, BUDGET)
-        .unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
+    let s = run_workload(&cfg, &w, BUDGET).unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
     assert!(s.wall_cycles > 0);
     assert!(s.total.instructions > 0);
 }

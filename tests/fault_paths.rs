@@ -64,7 +64,11 @@ fn misaligned_and_unmapped_accesses_are_total() {
     let mut m = Machine::new(&cfg, &w);
     m.run(1_000_000).expect("runs");
     assert_eq!(m.phys().read_u32(Layout::CHECK), 0x1234_5678);
-    assert_eq!(m.phys().read_u32(Layout::CHECK + 4), 0, "unmapped reads zero");
+    assert_eq!(
+        m.phys().read_u32(Layout::CHECK + 4),
+        0,
+        "unmapped reads zero"
+    );
 }
 
 #[test]

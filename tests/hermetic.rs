@@ -37,8 +37,8 @@ fn is_dep_section(header: &str) -> bool {
 /// dependency section that are neither `path = ...` nor
 /// `workspace = true` deps.
 fn scan_manifest(path: &Path) -> Vec<String> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
     let mut violations = Vec::new();
     let mut in_dep_section = false;
     for (lineno, raw) in text.lines().enumerate() {
