@@ -115,6 +115,41 @@ fn sentinel_throughput(label: &str, arch: ArchKind, cpu: CpuKind, sentinel: bool
     );
 }
 
+/// Times eqntott on a non-default machine geometry (8 CPUs, alternate
+/// cluster shapes) so `BENCH_*.json` tracks the generic-geometry paths the
+/// hierarchy core enables, in quick and full mode alike.
+fn geometry_throughput(
+    label: &str,
+    arch: ArchKind,
+    n_cpus: usize,
+    cpus_per_cluster: Option<usize>,
+) {
+    let (warmup, runs, _, scale) = knobs();
+    let mut sim_instructions = 0u64;
+    let m = timing::measure(warmup, runs, || {
+        let w = build_by_name("eqntott", n_cpus, scale).expect("builds");
+        let mut cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+        cfg.n_cpus = n_cpus;
+        cfg.cpus_per_cluster = cpus_per_cluster;
+        let summary = run_workload(&cfg, &w, 100_000_000).expect("runs");
+        sim_instructions = summary.total.instructions;
+        summary
+    });
+    timing::emit_record(
+        "sim_throughput",
+        &format!("geometry/{label}/eqntott"),
+        &m,
+        &[
+            ("n_cpus", (n_cpus as u64).into()),
+            ("sim_instructions", sim_instructions.into()),
+            (
+                "sim_instr_per_host_sec",
+                JsonVal::F64(m.per_sec(sim_instructions)),
+            ),
+        ],
+    );
+}
+
 /// Times a synthetic 4-CPU scatter stream against one memory system and
 /// reports accesses per host second.
 fn memsys_throughput(label: &str, mut make: impl FnMut() -> Box<dyn MemorySystem>) {
@@ -189,6 +224,10 @@ fn main() {
     memsys_throughput("shared_l1", || {
         Box::new(SharedL1System::new(&SystemConfig::paper_shared_l1(4)))
     });
+
+    geometry_throughput("shared_l2_8cpu", ArchKind::SharedL2, 8, None);
+    geometry_throughput("clustered_4x2", ArchKind::Clustered, 8, Some(2));
+    geometry_throughput("clustered_2x4", ArchKind::Clustered, 8, Some(4));
 
     matrix_throughput(1);
     let pooled = jobs::n_jobs();

@@ -1,20 +1,24 @@
 //! Emits the canonical JSON digest of every `(workload × architecture ×
-//! CPU model)` run at the default configuration — the regression pin for
-//! "simulator optimizations change host time only".
+//! CPU model)` run at the default configuration, followed by the
+//! non-default geometry rows (8 CPUs, alternate cluster shapes) — the
+//! regression pin for "simulator optimizations change host time only".
+//!
+//! The default 56 rows come first and are byte-identical to their
+//! historical form, so golden-digest checks can pin that prefix.
 //!
 //! Scale comes from `CMPSIM_MATRIX_SCALE` (default 0.05) and the worker
 //! count from `CMPSIM_BENCH_JOBS` (default: all host cores). Output is
 //! byte-identical for any jobs value.
 
 use cmpsim_bench::jobs;
-use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
+use cmpsim_bench::matrix::{extended_matrix, matrix_json_lines};
 
 fn main() {
     let scale = std::env::var("CMPSIM_MATRIX_SCALE")
         .ok()
         .and_then(|s| s.trim().parse::<f64>().ok())
         .unwrap_or(0.05);
-    let cases = default_matrix(scale);
+    let cases = extended_matrix(scale);
     for line in matrix_json_lines(&cases, jobs::n_jobs()) {
         println!("{line}");
     }

@@ -32,6 +32,11 @@ pub struct MatrixCase {
     pub arch: ArchKind,
     /// CPU timing model.
     pub cpu: CpuKind,
+    /// CPU count (the paper default is 4).
+    pub n_cpus: usize,
+    /// Cluster geometry override (clustered architecture); `None` keeps
+    /// the default of 2 CPUs per cluster.
+    pub cpus_per_cluster: Option<usize>,
 }
 
 /// Short label for a CPU model in JSON output.
@@ -62,10 +67,39 @@ pub fn default_matrix(scale: f64) -> Vec<MatrixCase> {
                     scale,
                     arch,
                     cpu,
+                    n_cpus: 4,
+                    cpus_per_cluster: None,
                 });
             }
         }
     }
+    cases
+}
+
+/// The default matrix plus non-default geometry rows: 8-CPU machines and
+/// alternate cluster shapes (4×2 is the default 4-CPU clustered row; the
+/// extras cover 8×(2), 8×(4) and 4×(4)), all running through
+/// `SystemConfig` alone. Default rows come FIRST so the leading lines of
+/// the output stay byte-identical to the default matrix (golden-digest
+/// checks take a prefix).
+pub fn extended_matrix(scale: f64) -> Vec<MatrixCase> {
+    let mut cases = default_matrix(scale);
+    let geo = |arch, cpu, n_cpus, cpus_per_cluster| MatrixCase {
+        workload: "eqntott",
+        scale,
+        arch,
+        cpu,
+        n_cpus,
+        cpus_per_cluster,
+    };
+    cases.push(geo(ArchKind::SharedL2, CpuKind::Mipsy, 8, None));
+    cases.push(geo(ArchKind::SharedL2, CpuKind::Mxs, 8, None));
+    cases.push(geo(ArchKind::SharedMem, CpuKind::Mipsy, 8, None));
+    cases.push(geo(ArchKind::SharedL1, CpuKind::Mipsy, 8, None));
+    cases.push(geo(ArchKind::Clustered, CpuKind::Mipsy, 8, Some(2)));
+    cases.push(geo(ArchKind::Clustered, CpuKind::Mxs, 8, Some(2)));
+    cases.push(geo(ArchKind::Clustered, CpuKind::Mipsy, 8, Some(4)));
+    cases.push(geo(ArchKind::Clustered, CpuKind::Mipsy, 4, Some(4)));
     cases
 }
 
@@ -91,15 +125,26 @@ pub fn summary_json(case: &MatrixCase, s: &RunSummary) -> String {
         )
         .as_bytes(),
     );
-    json_line(&[
+    let mut fields: Vec<(&str, JsonVal)> = vec![
         ("workload", case.workload.into()),
         ("arch", case.arch.name().into()),
         ("cpu", cpu_label(case.cpu).into()),
         ("scale", case.scale.into()),
+    ];
+    // Geometry keys appear only on non-default rows so the default
+    // matrix's lines stay byte-identical to their historical form.
+    if case.n_cpus != 4 {
+        fields.push(("n_cpus", (case.n_cpus as u64).into()));
+    }
+    if let Some(k) = case.cpus_per_cluster {
+        fields.push(("cpus_per_cluster", (k as u64).into()));
+    }
+    fields.extend([
         ("wall_cycles", s.wall_cycles.into()),
         ("instructions", s.total.instructions.into()),
         ("summary_fnv1a", JsonVal::Str(format!("{digest:016x}"))),
-    ])
+    ]);
+    json_line(&fields)
 }
 
 /// Runs one matrix case at the default machine configuration. The
@@ -123,9 +168,11 @@ pub fn run_case_with_sentinel(
     case: &MatrixCase,
     sentinel: Option<cmpsim_mem::SentinelSpec>,
 ) -> RunSummary {
-    let w = build_by_name(case.workload, 4, case.scale)
+    let w = build_by_name(case.workload, case.n_cpus, case.scale)
         .unwrap_or_else(|e| panic!("building {}: {e}", case.workload));
     let mut cfg = MachineConfig::new(case.arch, case.cpu);
+    cfg.n_cpus = case.n_cpus;
+    cfg.cpus_per_cluster = case.cpus_per_cluster;
     cfg.sentinel = sentinel;
     let s = run_workload(&cfg, &w, MATRIX_BUDGET)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", case.workload, case.arch));
@@ -204,6 +251,41 @@ mod tests {
         assert_eq!(m.len(), 7 * 4 * 2);
         assert!(m.iter().any(|c| c.arch == ArchKind::Clustered));
         assert!(m.iter().any(|c| c.cpu == CpuKind::Mxs));
+    }
+
+    /// Satellite: the extended matrix keeps the default rows first and
+    /// byte-identical (golden prefix), and its geometry rows carry the
+    /// extra JSON keys.
+    #[test]
+    fn extended_matrix_is_default_prefix_plus_geometry_rows() {
+        let def = default_matrix(0.02);
+        let ext = extended_matrix(0.02);
+        assert!(ext.len() > def.len());
+        for (d, e) in def.iter().zip(&ext) {
+            assert_eq!(
+                (d.workload, d.arch, format!("{:?}", d.cpu)),
+                (e.workload, e.arch, format!("{:?}", e.cpu)),
+            );
+            assert_eq!((e.n_cpus, e.cpus_per_cluster), (4, None));
+        }
+        let extras = &ext[def.len()..];
+        assert!(extras
+            .iter()
+            .all(|c| c.n_cpus != 4 || c.cpus_per_cluster.is_some()));
+        assert!(extras
+            .iter()
+            .any(|c| c.arch == ArchKind::Clustered && c.cpus_per_cluster == Some(4)));
+        // One geometry row end-to-end: its JSON carries the extra keys.
+        let case = extras
+            .iter()
+            .find(|c| c.n_cpus == 8 && c.cpus_per_cluster == Some(4))
+            .unwrap();
+        let line = summary_json(case, &run_case(case));
+        assert!(line.contains("\"n_cpus\":8"), "{line}");
+        assert!(line.contains("\"cpus_per_cluster\":4"), "{line}");
+        // And a default row never does.
+        let line = summary_json(&def[0], &run_case(&def[0]));
+        assert!(!line.contains("n_cpus"), "{line}");
     }
 
     #[test]

@@ -54,13 +54,26 @@ impl ArchKind {
     }
 
     /// Builds the memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on configurations the architecture rejects (e.g. a cluster
+    /// geometry that does not divide the CPU count). Use
+    /// [`ArchKind::try_build`] for a fallible variant.
     pub fn build(self, cfg: &SystemConfig) -> Box<dyn MemorySystem> {
-        match self {
+        self.try_build(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible builder: surfaces architecture-specific configuration
+    /// errors (partial clusters, unrepresentable pooled L1 geometries) as
+    /// typed errors instead of panics.
+    pub fn try_build(self, cfg: &SystemConfig) -> Result<Box<dyn MemorySystem>, ConfigError> {
+        Ok(match self {
             ArchKind::SharedL1 => Box::new(SharedL1System::new(cfg)),
             ArchKind::SharedL2 => Box::new(SharedL2System::new(cfg)),
             ArchKind::SharedMem => Box::new(SharedMemSystem::new(cfg)),
-            ArchKind::Clustered => Box::new(ClusteredSystem::new(cfg)),
-        }
+            ArchKind::Clustered => Box::new(ClusteredSystem::try_new(cfg)?),
+        })
     }
 }
 
@@ -110,6 +123,9 @@ pub struct MachineConfig {
     pub l1_size: Option<u32>,
     /// Override the Mipsy/MXS idealization default.
     pub ideal_shared_l1: Option<bool>,
+    /// Override the cluster geometry (clustered architecture): CPUs per
+    /// cluster-shared L1. `None` keeps the paper default of 2.
+    pub cpus_per_cluster: Option<usize>,
     /// Coherence-sentinel specification. `None` resolves from the
     /// environment (`CMPSIM_SENTINEL`, `CMPSIM_FAULT_RATE`,
     /// `CMPSIM_FAULT_SEED`); `Some` pins it regardless of the environment.
@@ -136,6 +152,7 @@ impl MachineConfig {
             l2_occupancy: None,
             l1_size: None,
             ideal_shared_l1: None,
+            cpus_per_cluster: None,
             sentinel: None,
             stall_cycles: None,
         }
@@ -174,6 +191,9 @@ impl MachineConfig {
         }
         if let Some(b) = self.l1_size {
             sc = sc.with_l1_size(b);
+        }
+        if let Some(k) = self.cpus_per_cluster {
+            sc = sc.with_cpus_per_cluster(k);
         }
         let ideal = self.ideal_shared_l1.unwrap_or_else(|| {
             self.cpu.is_mipsy() && matches!(self.arch, ArchKind::SharedL1 | ArchKind::Clustered)
@@ -446,7 +466,7 @@ impl Machine {
         if let CpuKind::MxsCustom(mc) = cfg.cpu {
             mc.validate()?;
         }
-        let mem = cfg.arch.build(&sc);
+        let mem = cfg.arch.try_build(&sc)?;
         let mut phys = PhysMem::new(cfg.n_cpus);
         workload.install(&mut phys);
         // Arm the oracle only after the image is installed so the initial

@@ -1,4 +1,5 @@
-//! A small deterministic property-testing framework built on [`Rng64`].
+//! A small deterministic property-testing framework built on
+//! [`Rng64`](crate::Rng64).
 //!
 //! The simulator's verification stack must build and run fully offline,
 //! so instead of an external property-testing crate the workspace carries

@@ -106,12 +106,14 @@ impl Port {
 /// ```
 #[derive(Debug, Clone)]
 pub struct BankedResource {
+    label: &'static str,
     banks: Vec<Port>,
     line_bytes: u64,
 }
 
 impl BankedResource {
     /// Creates `n_banks` idle banks interleaved at `line_bytes` granularity.
+    /// `name` labels both the group and every individual bank.
     ///
     /// # Panics
     ///
@@ -123,9 +125,15 @@ impl BankedResource {
             "line size must be a power of two"
         );
         BankedResource {
+            label: name,
             banks: (0..n_banks).map(|_| Port::new(name)).collect(),
             line_bytes,
         }
+    }
+
+    /// Group label (statistics aggregated over the banks report this name).
+    pub fn name(&self) -> &'static str {
+        self.label
     }
 
     /// Index of the bank that services `addr`.

@@ -55,7 +55,7 @@ fn reference_total(vlen: usize, iters: u32) -> u32 {
 pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
     let n = params.n_cpus;
     assert!(
-        matches!(n, 1 | 2 | 4),
+        matches!(n, 1 | 2 | 4 | 8 | 16),
         "eqntott needs a power-of-two CPU count dividing the vector"
     );
     // Vector length in words, power of two: paper-scale 256 words (1 KB

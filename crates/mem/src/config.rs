@@ -297,6 +297,11 @@ pub struct SystemConfig {
     pub l1_banks: usize,
     /// Number of L2 banks (shared-L2 architecture).
     pub l2_banks: usize,
+    /// CPUs sharing each cluster L1 (clustered architecture; the paper's
+    /// companion study uses 2). `n_cpus` must be a multiple of this —
+    /// `clusters = n_cpus / cpus_per_cluster`. Other architectures ignore
+    /// it.
+    pub cpus_per_cluster: usize,
     /// Idealize the shared L1 (1-cycle hit, no bank contention) — the
     /// paper's Mipsy runs do this to avoid penalizing the shared-L1
     /// architecture on a CPU model with no latency hiding.
@@ -321,6 +326,7 @@ impl SystemConfig {
             lat: LatencySpec::shared_l1(),
             l1_banks: 4,
             l2_banks: 1,
+            cpus_per_cluster: 2,
             ideal_shared_l1: false,
             sentinel: SentinelSpec::off(),
         }
@@ -337,6 +343,7 @@ impl SystemConfig {
             lat: LatencySpec::shared_l2(),
             l1_banks: 1,
             l2_banks: 4,
+            cpus_per_cluster: 2,
             ideal_shared_l1: false,
             sentinel: SentinelSpec::off(),
         }
@@ -354,6 +361,7 @@ impl SystemConfig {
             lat: LatencySpec::shared_mem(),
             l1_banks: 1,
             l2_banks: 1,
+            cpus_per_cluster: 2,
             ideal_shared_l1: false,
             sentinel: SentinelSpec::off(),
         }
@@ -412,21 +420,29 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the cluster geometry: `n_cpus / cpus_per_cluster` clusters
+    /// each sharing one L1 (clustered architecture only).
+    #[must_use]
+    pub fn with_cpus_per_cluster(mut self, cpus_per_cluster: usize) -> SystemConfig {
+        self.cpus_per_cluster = cpus_per_cluster;
+        self
+    }
+
     /// Validates cross-field constraints the `CacheSpec`s cannot see.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if the CPU count is zero or exceeds the
-    /// 8-bit directory presence bitmaps used by the shared-L2 and clustered
-    /// systems.
+    /// 32-bit directory presence bitmaps used by the shared-L2 and
+    /// clustered systems.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_cpus == 0 {
             return Err(ConfigError::NoCpus);
         }
-        if self.n_cpus > 8 {
+        if self.n_cpus > 32 {
             return Err(ConfigError::TooManyCpus {
                 n_cpus: self.n_cpus,
-                max: 8,
+                max: 32,
             });
         }
         Ok(())
@@ -486,9 +502,13 @@ mod tests {
     fn system_config_validates_cpu_count() {
         assert!(SystemConfig::paper_shared_l2(4).validate().is_ok());
         assert!(SystemConfig::paper_shared_l2(8).validate().is_ok());
+        assert!(SystemConfig::paper_shared_l2(32).validate().is_ok());
         assert_eq!(
-            SystemConfig::paper_shared_l2(9).validate(),
-            Err(ConfigError::TooManyCpus { n_cpus: 9, max: 8 })
+            SystemConfig::paper_shared_l2(33).validate(),
+            Err(ConfigError::TooManyCpus {
+                n_cpus: 33,
+                max: 32
+            })
         );
         assert_eq!(
             SystemConfig::paper_shared_l2(0).validate(),
@@ -561,7 +581,8 @@ mod tests {
             .with_l1_latency(1)
             .with_l1_banks(8)
             .with_l2_occupancy(4)
-            .with_l1_size(128 * 1024);
+            .with_l1_size(128 * 1024)
+            .with_cpus_per_cluster(4);
         assert_eq!(c.l2.assoc, 4);
         assert!(c.ideal_shared_l1);
         assert_eq!(c.lat.l1_lat, 1);
@@ -569,5 +590,6 @@ mod tests {
         assert_eq!(c.lat.l2_occ, 4);
         assert_eq!(c.l1d.size_bytes, 128 * 1024);
         assert_eq!(c.l1d.assoc, 2, "associativity preserved");
+        assert_eq!(c.cpus_per_cluster, 4);
     }
 }

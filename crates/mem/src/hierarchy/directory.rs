@@ -1,0 +1,504 @@
+//! The directory/invalidation engine and the directory topology family.
+//!
+//! [`Directory`] keeps per-line presence bitmaps over the *nodes* of a
+//! topology — per-CPU L1s in the shared-L2 architecture, per-cluster L1s in
+//! the clustered extension. [`DirectoryTopo`] is the complete
+//! write-through-L1-over-shared-L2 access walk both architectures share;
+//! the [`NodeScheme`] marker picks the reported name and the noun used in
+//! sentinel violation details.
+
+use super::backside::SharedL2Back;
+use super::frontend::NodeMap;
+use super::{util_of_banks, util_of_port, HierarchyCore, Topology};
+use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
+use crate::config::{CacheSpec, SystemConfig};
+use crate::sentinel::{FaultKind, Sentinel, ViolationKind};
+use crate::stats::MemStats;
+use crate::{AccessKind, Addr, CpuId, MemRequest, MemResult, PortUtil, ServiceLevel};
+use cmpsim_engine::{BankedResource, Cycle};
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+/// Per-line presence bitmaps over the nodes of a directory topology, with
+/// the invalidation plumbing and fault-injection hooks that maintain them.
+#[derive(Debug)]
+pub struct Directory {
+    /// line -> (d-side presence bits, i-side presence bits), one bit per
+    /// node (up to 32 nodes).
+    presence: HashMap<Addr, (u32, u32)>,
+    n_nodes: usize,
+}
+
+impl Directory {
+    /// An empty directory over `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Directory {
+        Directory {
+            presence: HashMap::new(),
+            n_nodes,
+        }
+    }
+
+    /// Records `node`'s new L1 copy of `line` and clears its bit on the
+    /// victim line the fill displaced. Fault injection (sentinel): may
+    /// record a spurious sharer — a presence bit with no backing L1 copy.
+    pub fn note_fill(
+        &mut self,
+        sentinel: &mut Sentinel,
+        node: usize,
+        line: Addr,
+        ifetch: bool,
+        victim: Option<Addr>,
+    ) {
+        let spurious = self.n_nodes > 1 && sentinel.inject(FaultKind::SpuriousState, line);
+        let entry = self.presence.entry(line).or_insert((0, 0));
+        if ifetch {
+            entry.1 |= 1 << node;
+        } else {
+            entry.0 |= 1 << node;
+        }
+        if spurious {
+            let ghost = (node + 1) % self.n_nodes;
+            entry.0 |= 1 << ghost;
+        }
+        if let Some(v) = victim {
+            if let Some(e) = self.presence.get_mut(&v) {
+                if ifetch {
+                    e.1 &= !(1 << node);
+                } else {
+                    e.0 &= !(1 << node);
+                }
+            }
+        }
+    }
+
+    /// Invalidates every other node's L1 copies of `line` after a write by
+    /// `writer` (directory-driven coherence). Fault injection (sentinel):
+    /// may drop the invalidation message to one victim while still clearing
+    /// its directory bit — the stale copy then shows up as a
+    /// copy-without-presence violation.
+    #[allow(clippy::too_many_arguments)] // disjoint &mut core fields, by design
+    pub fn invalidate_sharers(
+        &mut self,
+        sentinel: &mut Sentinel,
+        stats: &mut MemStats,
+        l1d: &mut [CacheArray],
+        l1i: &mut [CacheArray],
+        writer: usize,
+        line: Addr,
+        addr: Addr,
+    ) {
+        let Some(&(d_bits, i_bits)) = self.presence.get(&line) else {
+            return;
+        };
+        let keep = !(1u32 << writer);
+        let d_victims = d_bits & keep;
+        let i_victims = i_bits & keep;
+        let mut drop_one =
+            (d_victims | i_victims) != 0 && sentinel.inject(FaultKind::DroppedInvalidation, line);
+        if let Some((d, i)) = self.presence.get_mut(&line) {
+            *d &= !d_victims;
+            *i &= !i_victims;
+        }
+        for node in 0..self.n_nodes {
+            if d_victims & (1 << node) != 0 {
+                if drop_one {
+                    drop_one = false;
+                } else {
+                    l1d[node].invalidate(addr);
+                }
+                stats.invalidations_sent += 1;
+            }
+            if i_victims & (1 << node) != 0 {
+                if drop_one {
+                    drop_one = false;
+                } else {
+                    l1i[node].invalidate(addr);
+                }
+                stats.invalidations_sent += 1;
+            }
+        }
+    }
+
+    /// Enforces inclusion when the L2 evicts `line`: every L1 copy must go.
+    /// These back-invalidations are capacity-driven, so the evicted lines
+    /// are *not* marked as coherence-invalidated.
+    pub fn back_invalidate(&mut self, l1d: &mut [CacheArray], l1i: &mut [CacheArray], line: Addr) {
+        if let Some((d_bits, i_bits)) = self.presence.remove(&line) {
+            for node in 0..self.n_nodes {
+                if d_bits & (1 << node) != 0 {
+                    l1d[node].evict(line);
+                }
+                if i_bits & (1 << node) != 0 {
+                    l1i[node].evict(line);
+                }
+            }
+        }
+    }
+
+    /// Checks the directory invariant: every valid L1 line has its presence
+    /// bit set, and every presence bit points at a valid L1 line backed by
+    /// a valid L2 line (inclusion). Diagnostics / property tests.
+    pub fn consistent(&self, l1d: &[CacheArray], l1i: &[CacheArray], l2: &CacheArray) -> bool {
+        for node in 0..self.n_nodes {
+            for (cache, side) in [(&l1d[node], 0usize), (&l1i[node], 1)] {
+                for line in cache.valid_lines() {
+                    let Some(&(d, i)) = self.presence.get(&line) else {
+                        return false;
+                    };
+                    let bits = if side == 0 { d } else { i };
+                    if bits & (1 << node) == 0 {
+                        return false;
+                    }
+                    if !l2.probe(line).is_valid() {
+                        return false; // inclusion violated
+                    }
+                }
+            }
+        }
+        for (&line, &(d_bits, i_bits)) in &self.presence {
+            for node in 0..self.n_nodes {
+                if d_bits & (1 << node) != 0 && !l1d[node].probe(line).is_valid() {
+                    return false;
+                }
+                if i_bits & (1 << node) != 0 && !l1i[node].probe(line).is_valid() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sentinel invariant check scoped to one line: presence bits must
+    /// agree with actual L1 residency, every L1 copy must be backed by a
+    /// valid L2 line (inclusion), and the write-through L1s must never hold
+    /// dirty data. `noun` names the node kind ("cpu", "cluster") in
+    /// violation details.
+    #[allow(clippy::too_many_arguments)]
+    pub fn check_line(
+        &self,
+        sentinel: &mut Sentinel,
+        l1d: &[CacheArray],
+        l1i: &[CacheArray],
+        l2: &CacheArray,
+        noun: &str,
+        now: Cycle,
+        cpu: CpuId,
+        line: Addr,
+    ) {
+        let (d_bits, i_bits) = self.presence.get(&line).copied().unwrap_or((0, 0));
+        let l2_valid = l2.probe(line).is_valid();
+        let mut found: Vec<(ViolationKind, String)> = Vec::new();
+        for n in 0..self.n_nodes {
+            for (cache, bits, side) in [(&l1d[n], d_bits, "l1d"), (&l1i[n], i_bits, "l1i")] {
+                let state = cache.probe(line);
+                let bit = bits & (1 << n) != 0;
+                if state.is_valid() && !bit {
+                    found.push((
+                        ViolationKind::CopyWithoutPresence,
+                        format!("{noun} {n} {side} holds the line but its directory bit is clear"),
+                    ));
+                }
+                if bit && !state.is_valid() {
+                    found.push((
+                        ViolationKind::PresenceWithoutCopy,
+                        format!(
+                            "directory marks {noun} {n} {side} as a sharer but it holds no copy"
+                        ),
+                    ));
+                }
+                if state.is_valid() && !l2_valid {
+                    found.push((
+                        ViolationKind::InclusionViolation,
+                        format!("{noun} {n} {side} holds the line but the shared L2 does not"),
+                    ));
+                }
+                if state == LineState::Modified {
+                    found.push((
+                        ViolationKind::WriteThroughDirty,
+                        format!("write-through {noun} {n} {side} holds the line dirty"),
+                    ));
+                }
+            }
+        }
+        for (kind, detail) in found {
+            sentinel.report(now.0, cpu, line, kind, detail);
+        }
+    }
+}
+
+/// Node granularity of a [`DirectoryTopo`]: picks the architecture name
+/// and the noun used in sentinel violation details.
+pub trait NodeScheme: std::fmt::Debug + 'static {
+    /// Architecture name ([`crate::MemorySystem::name`]).
+    const NAME: &'static str;
+    /// What one node is called in diagnostics.
+    const NOUN: &'static str;
+}
+
+/// Shared-L2 scheme: every CPU is its own node with a private L1.
+#[derive(Debug)]
+pub enum PerCpu {}
+
+impl NodeScheme for PerCpu {
+    const NAME: &'static str = "shared-L2";
+    const NOUN: &'static str = "cpu";
+}
+
+/// Clustered scheme: CPUs pool into cluster nodes sharing an L1.
+#[derive(Debug)]
+pub enum PerCluster {}
+
+impl NodeScheme for PerCluster {
+    const NAME: &'static str = "clustered";
+    const NOUN: &'static str = "cluster";
+}
+
+/// Geometry of a directory topology's L1 front end.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectoryLayout {
+    /// CPUs sharing each node's L1 (1 = private L1s).
+    pub cpus_per_node: usize,
+    /// Per-node instruction-cache geometry.
+    pub l1i_spec: CacheSpec,
+    /// Per-node data-cache geometry.
+    pub l1d_spec: CacheSpec,
+    /// Instruction-cache label.
+    pub l1i_name: &'static str,
+    /// Data-cache label.
+    pub l1d_name: &'static str,
+    /// Intra-node crossbar, for nodes shared by several CPUs:
+    /// (bank-group label, banks per node, crossbar hit latency). `None`
+    /// means direct private L1s hitting in `lat.l1_lat`.
+    pub node_xbar: Option<(&'static str, usize, u64)>,
+}
+
+/// Write-through L1s over a banked shared L2 with a per-line directory —
+/// the topology family covering the shared-L2 architecture (one CPU per
+/// node) and the clustered extension (several CPUs per node).
+#[derive(Debug)]
+pub struct DirectoryTopo<S: NodeScheme> {
+    nodes: NodeMap,
+    l1i: Vec<CacheArray>,
+    l1d: Vec<CacheArray>,
+    /// Per-node intra-node crossbar banks (empty for private L1s).
+    l1_banks: Vec<BankedResource>,
+    /// Hit latency through the front end when a crossbar is present.
+    xbar_lat: u64,
+    dir: Directory,
+    back: SharedL2Back,
+    _scheme: PhantomData<S>,
+}
+
+impl<S: NodeScheme> DirectoryTopo<S> {
+    /// Builds the topology from a configuration and a front-end layout.
+    pub fn build(cfg: &SystemConfig, layout: &DirectoryLayout) -> DirectoryTopo<S> {
+        let nodes = NodeMap::new(cfg.n_cpus, layout.cpus_per_node);
+        let n = nodes.n_nodes();
+        DirectoryTopo {
+            nodes,
+            l1i: (0..n)
+                .map(|_| CacheArray::new(layout.l1i_name, layout.l1i_spec))
+                .collect(),
+            l1d: (0..n)
+                .map(|_| CacheArray::new(layout.l1d_name, layout.l1d_spec))
+                .collect(),
+            l1_banks: match layout.node_xbar {
+                Some((label, banks, _)) => (0..n)
+                    .map(|_| {
+                        BankedResource::new(label, banks, u64::from(layout.l1d_spec.line_bytes))
+                    })
+                    .collect(),
+                None => Vec::new(),
+            },
+            xbar_lat: layout.node_xbar.map_or(cfg.lat.l1_lat, |(_, _, lat)| lat),
+            dir: Directory::new(n),
+            back: SharedL2Back::new(cfg),
+            _scheme: PhantomData,
+        }
+    }
+
+    /// CPU→node mapping.
+    pub fn nodes(&self) -> &NodeMap {
+        &self.nodes
+    }
+
+    /// Read-only view of one node's L1 data cache (tests, probes).
+    pub fn l1d_at(&self, node: usize) -> &CacheArray {
+        &self.l1d[node]
+    }
+
+    /// Read-only view of the shared L2 (tests, probes).
+    pub fn l2(&self) -> &CacheArray {
+        &self.back.l2
+    }
+
+    /// Full-state directory consistency check (see
+    /// [`Directory::consistent`]).
+    pub fn directory_consistent(&self) -> bool {
+        self.dir.consistent(&self.l1d, &self.l1i, &self.back.l2)
+    }
+
+    /// A load or ifetch that missed the node's L1: cross to the shared L2
+    /// banks (and memory beyond), then refill the L1 and the directory.
+    #[allow(clippy::too_many_arguments)] // disjoint &mut core fields, by design
+    fn read_miss(
+        &mut self,
+        core: &mut HierarchyCore,
+        at: Cycle,
+        node: usize,
+        addr: Addr,
+        ifetch: bool,
+        kind: MissKind,
+        l1_extra: u64,
+    ) -> MemResult {
+        if ifetch {
+            core.stats.l1i.miss(kind);
+        } else {
+            core.stats.l1d.miss(kind);
+        }
+        let (finish, level) = self.back.read(
+            &mut core.stats,
+            &mut self.dir,
+            &mut self.l1d,
+            &mut self.l1i,
+            &core.cfg.lat,
+            addr,
+            at,
+        );
+        let cache = if ifetch {
+            &mut self.l1i[node]
+        } else {
+            &mut self.l1d[node]
+        };
+        // Write-through L1: lines are never dirty.
+        let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
+        let line = self.back.line(addr);
+        self.dir
+            .note_fill(&mut core.sentinel, node, line, ifetch, victim);
+        MemResult {
+            finish,
+            serviced_by: level,
+            l1_miss: true,
+            l1_extra,
+        }
+    }
+
+    /// Write-through, no-write-allocate: the word always travels to the L2
+    /// bank; a hit in the node's L1 just updates it in place. Store
+    /// hit/miss outcomes are not folded into the L1 miss rate
+    /// (no-allocate stores are not demand fetches).
+    fn store(
+        &mut self,
+        core: &mut HierarchyCore,
+        grant: Cycle,
+        node: usize,
+        addr: Addr,
+        l1_extra: u64,
+    ) -> MemResult {
+        let _ = self.l1d[node].lookup(addr);
+        let line = self.back.line(addr);
+        self.dir.invalidate_sharers(
+            &mut core.sentinel,
+            &mut core.stats,
+            &mut self.l1d,
+            &mut self.l1i,
+            node,
+            line,
+            addr,
+        );
+        let (finish, level) = self.back.store(
+            &mut core.stats,
+            &mut self.dir,
+            &mut self.l1d,
+            &mut self.l1i,
+            &core.cfg.lat,
+            addr,
+            grant,
+        );
+        MemResult {
+            finish,
+            serviced_by: level,
+            l1_miss: false,
+            l1_extra,
+        }
+    }
+}
+
+impl<S: NodeScheme> Topology for DirectoryTopo<S> {
+    const NAME: &'static str = S::NAME;
+
+    #[inline]
+    fn access(&mut self, core: &mut HierarchyCore, now: Cycle, req: MemRequest) -> MemResult {
+        let node = self.nodes.node_of(req.cpu);
+        let addr = req.addr;
+        let ifetch = req.kind == AccessKind::IFetch;
+
+        // Front-end arbitration: the intra-node crossbar when the node is
+        // shared by several CPUs (unless idealized, like the shared L1),
+        // or a direct private-L1 access.
+        let (grant, l1_lat) = if core.cfg.ideal_shared_l1 {
+            (now, 1)
+        } else if self.l1_banks.is_empty() {
+            (now, core.cfg.lat.l1_lat)
+        } else {
+            let g = self.l1_banks[node].reserve(u64::from(addr), now, core.cfg.lat.l1_occ);
+            (g, self.xbar_lat)
+        };
+        let l1_extra = (grant - now) + (l1_lat - 1);
+        core.stats.l1_bank_wait += grant - now;
+
+        match req.kind {
+            AccessKind::IFetch | AccessKind::Load => {
+                let outcome = if ifetch {
+                    self.l1i[node].lookup(addr)
+                } else {
+                    self.l1d[node].lookup(addr)
+                };
+                match outcome {
+                    AccessOutcome::Hit(_) => {
+                        if ifetch {
+                            core.stats.l1i.hit();
+                        } else {
+                            core.stats.l1d.hit();
+                        }
+                        MemResult {
+                            finish: grant + l1_lat,
+                            serviced_by: ServiceLevel::L1,
+                            l1_miss: false,
+                            l1_extra,
+                        }
+                    }
+                    AccessOutcome::Miss(kind) => {
+                        self.read_miss(core, grant, node, addr, ifetch, kind, l1_extra)
+                    }
+                }
+            }
+            AccessKind::Store => self.store(core, grant, node, addr, l1_extra),
+        }
+    }
+
+    fn check_line(&self, core: &mut HierarchyCore, now: Cycle, cpu: CpuId, addr: Addr) {
+        let line = self.back.line(addr);
+        self.dir.check_line(
+            &mut core.sentinel,
+            &self.l1d,
+            &self.l1i,
+            &self.back.l2,
+            S::NOUN,
+            now,
+            cpu,
+            line,
+        );
+    }
+
+    fn load_would_hit_l1(&self, cpu: CpuId, addr: Addr) -> bool {
+        self.l1d[self.nodes.node_of(cpu)].probe(addr).is_valid()
+    }
+
+    fn push_port_util(&self, out: &mut Vec<PortUtil>) {
+        out.extend(self.l1_banks.iter().map(util_of_banks));
+        out.push(util_of_banks(&self.back.banks));
+        out.push(util_of_port(&self.back.mem));
+    }
+}

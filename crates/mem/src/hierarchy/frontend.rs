@@ -1,0 +1,76 @@
+//! Per-node L1 front-end helpers.
+//!
+//! A *node* is whatever owns one L1 in a topology: a single CPU
+//! (shared-L2, shared-memory), a cluster of CPUs (clustered), or the whole
+//! machine (shared-L1). [`NodeMap`] maps CPUs onto nodes; the fill helpers
+//! implement the victim handling every write-back L1 shares.
+
+use crate::cache::{CacheArray, LineState};
+use crate::stats::MemStats;
+use crate::{Addr, CpuId};
+use cmpsim_engine::{Cycle, Port};
+
+/// Maps CPUs onto the L1 nodes of a topology.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeMap {
+    n_nodes: usize,
+    cpus_per_node: usize,
+}
+
+impl NodeMap {
+    /// `n_cpus` CPUs grouped `cpus_per_node` at a time. The caller
+    /// validates divisibility (see `ClusteredSystem::try_new`).
+    pub fn new(n_cpus: usize, cpus_per_node: usize) -> NodeMap {
+        debug_assert!(cpus_per_node > 0 && n_cpus.is_multiple_of(cpus_per_node));
+        NodeMap {
+            n_nodes: n_cpus / cpus_per_node,
+            cpus_per_node,
+        }
+    }
+
+    /// The node servicing `cpu`'s accesses.
+    #[inline]
+    pub fn node_of(&self, cpu: CpuId) -> usize {
+        cpu / self.cpus_per_node
+    }
+
+    /// Number of nodes (L1s) in the topology.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// CPUs sharing each node's L1.
+    pub fn cpus_per_node(&self) -> usize {
+        self.cpus_per_node
+    }
+}
+
+/// Fills a write-back L1 with `addr` in `state` and retires the victim:
+/// a dirty victim writes back into the local L2 (reserving `l2_port` at
+/// `at` — victim buffers drain right behind the fill, off the critical
+/// path), or past it onto `beyond` when the L2 no longer holds the line.
+#[allow(clippy::too_many_arguments)] // disjoint &mut core fields, by design
+pub fn fill_writeback_l1(
+    cache: &mut CacheArray,
+    addr: Addr,
+    state: LineState,
+    at: Cycle,
+    l2: &mut CacheArray,
+    l2_port: &mut Port,
+    l2_occ: u64,
+    beyond: &mut Port,
+    beyond_occ: u64,
+    stats: &mut MemStats,
+) {
+    if let Some(v) = cache.fill(addr, state) {
+        if v.dirty {
+            l2_port.reserve(at, l2_occ);
+            stats.writebacks += 1;
+            if l2.probe(v.addr).is_valid() {
+                l2.set_state(v.addr, LineState::Modified);
+            } else {
+                beyond.reserve(at, beyond_occ);
+            }
+        }
+    }
+}

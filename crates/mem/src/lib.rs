@@ -8,8 +8,14 @@
 //!   operate purely on addresses.
 //! * [`CacheArray`] — a set-associative tag/state array with LRU replacement
 //!   and replacement-vs-invalidation miss classification.
-//! * The three topologies behind the [`MemorySystem`] trait:
-//!   [`SharedL1System`], [`SharedL2System`] and [`SharedMemSystem`].
+//! * The [`hierarchy`] core — the shared coherent-hierarchy building
+//!   blocks (L1 frontend, directory/invalidation engine, MESI snooping,
+//!   sentinel hooks, `MemorySystem` boilerplate) every architecture is
+//!   assembled from.
+//! * The four topologies behind the [`MemorySystem`] trait:
+//!   [`SharedL1System`], [`SharedL2System`], [`SharedMemSystem`] and
+//!   [`ClusteredSystem`] — each a thin geometry description over the
+//!   hierarchy core, generic over `n_cpus` and cluster geometry.
 //! * [`WriteBuffer`] — the per-CPU store buffer both CPU models drain
 //!   stores through.
 //!
@@ -34,6 +40,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod hierarchy;
 pub mod phys;
 pub mod sentinel;
 pub mod stats;

@@ -4,418 +4,95 @@
 //! Multiprocessors", HPCA 1996).
 //!
 //! A middle point between the paper's shared-L1 and shared-L2 designs: the
-//! four CPUs form two clusters of two, each cluster sharing a 32 KB
-//! write-through L1 through a small (2-cycle) crossbar; the clusters share
-//! the banked L2 of the shared-L2 architecture, whose per-line directory
-//! now tracks *clusters* instead of CPUs. Intra-cluster sharing is nearly
-//! free; inter-cluster sharing costs an L2 round trip.
+//! CPUs form `n_cpus / cpus_per_cluster` clusters, each cluster sharing a
+//! pooled write-through L1 through a small (2-cycle) crossbar; the clusters
+//! share the banked L2 of the shared-L2 architecture, whose per-line
+//! directory now tracks *clusters* instead of CPUs. Intra-cluster sharing
+//! is nearly free; inter-cluster sharing costs an L2 round trip.
+//!
+//! The entire access walk lives in
+//! [`DirectoryTopo`](crate::hierarchy::DirectoryTopo); this file only
+//! describes the geometry — several CPUs per node, a pooled L1 and a small
+//! crossbar in front of each node. The cluster geometry comes straight from
+//! [`SystemConfig::cpus_per_cluster`], so 4×2, 2×4, or 8×2 systems need no
+//! new code.
 
-use crate::cache::{AccessOutcome, CacheArray, LineState};
+use crate::cache::CacheArray;
 use crate::config::SystemConfig;
-use crate::sentinel::{FaultKind, Sentinel, SentinelViolation, ViolationKind};
-use crate::stats::MemStats;
-use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
-use cmpsim_engine::{BankedResource, Cycle, Port};
-
-use std::collections::HashMap;
-
-/// CPUs per cluster (two clusters in the 4-CPU study).
-pub const CPUS_PER_CLUSTER: usize = 2;
+use crate::hierarchy::{DirectoryLayout, DirectoryTopo, HierarchySystem, PerCluster};
 
 /// Extra hit latency of the intra-cluster crossbar: smaller than the
 /// 4-way shared-L1 crossbar's 2 extra cycles.
 const CLUSTER_L1_LAT: u64 = 2;
 
 /// The clustered shared-L1-over-shared-L2 memory system.
-#[derive(Debug)]
-pub struct ClusteredSystem {
-    cfg: SystemConfig,
-    n_clusters: usize,
-    l1i: Vec<CacheArray>,
-    l1d: Vec<CacheArray>,
-    l1_banks: Vec<BankedResource>,
-    l2: CacheArray,
-    l2_banks: BankedResource,
-    mem_port: Port,
-    /// Directory: line -> (d-presence bits, i-presence bits) per cluster.
-    presence: HashMap<Addr, (u8, u8)>,
-    stats: MemStats,
-    sentinel: Sentinel,
-}
+pub type ClusteredSystem = HierarchySystem<DirectoryTopo<PerCluster>>;
 
 impl ClusteredSystem {
     /// Builds the clustered system. `cfg` follows the shared-L2 paper
-    /// configuration; each cluster's L1 is half the shared-L1's capacity
-    /// (2 × 16 KB pooled) with two banks.
+    /// configuration; each cluster's L1 pools the per-CPU capacity
+    /// (`cpus_per_cluster` × 16 KB) with one bank per member CPU.
     ///
     /// # Panics
     ///
-    /// Panics unless `cfg.n_cpus` is a multiple of [`CPUS_PER_CLUSTER`].
-    /// Use [`ClusteredSystem::try_new`] for a fallible variant.
+    /// Panics unless `cfg.n_cpus` is a multiple of a non-zero
+    /// `cfg.cpus_per_cluster`. Use [`ClusteredSystem::try_new`] for a
+    /// fallible variant.
     pub fn new(cfg: &SystemConfig) -> ClusteredSystem {
         ClusteredSystem::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible constructor: rejects CPU counts that leave a partial
-    /// cluster.
+    /// cluster (or a zero-CPU cluster) and pooled L1 geometries the cache
+    /// model cannot represent.
     pub fn try_new(cfg: &SystemConfig) -> Result<ClusteredSystem, crate::ConfigError> {
-        if !cfg.n_cpus.is_multiple_of(CPUS_PER_CLUSTER) {
+        let k = cfg.cpus_per_cluster;
+        if k == 0 || !cfg.n_cpus.is_multiple_of(k) {
             return Err(crate::ConfigError::PartialCluster {
                 n_cpus: cfg.n_cpus,
-                cpus_per_cluster: CPUS_PER_CLUSTER,
+                cpus_per_cluster: k,
             });
         }
-        let n_clusters = cfg.n_cpus / CPUS_PER_CLUSTER;
-        let l1_spec = crate::CacheSpec::new(
-            cfg.l1d.size_bytes * CPUS_PER_CLUSTER as u32,
+        let l1_spec = crate::CacheSpec::try_new(
+            cfg.l1d.size_bytes * k as u32,
             cfg.l1d.assoc,
             cfg.l1d.line_bytes,
-        );
-        Ok(ClusteredSystem {
-            cfg: *cfg,
-            n_clusters,
-            l1i: (0..n_clusters)
-                .map(|_| CacheArray::new("cluster-l1i", l1_spec))
-                .collect(),
-            l1d: (0..n_clusters)
-                .map(|_| CacheArray::new("cluster-l1d", l1_spec))
-                .collect(),
-            l1_banks: (0..n_clusters)
-                .map(|_| {
-                    BankedResource::new(
-                        "cluster-l1-bank",
-                        CPUS_PER_CLUSTER,
-                        u64::from(l1_spec.line_bytes),
-                    )
-                })
-                .collect(),
-            l2: CacheArray::new("shared-l2", cfg.l2),
-            l2_banks: BankedResource::new("l2-bank", cfg.l2_banks, u64::from(cfg.l2.line_bytes)),
-            mem_port: Port::new("mem"),
-            presence: HashMap::new(),
-            stats: MemStats::new(),
-            sentinel: Sentinel::from_spec(&cfg.sentinel),
-        })
+        )?;
+        Ok(HierarchySystem::from_parts(
+            cfg,
+            DirectoryTopo::build(
+                cfg,
+                &DirectoryLayout {
+                    cpus_per_node: k,
+                    l1i_spec: l1_spec,
+                    l1d_spec: l1_spec,
+                    l1i_name: "cluster-l1i",
+                    l1d_name: "cluster-l1d",
+                    node_xbar: Some(("cluster-l1-bank", k, CLUSTER_L1_LAT)),
+                },
+            ),
+        ))
     }
 
-    fn cluster_of(cpu: usize) -> usize {
-        cpu / CPUS_PER_CLUSTER
-    }
-
-    fn line(&self, addr: Addr) -> Addr {
-        self.l2.line_addr(addr)
-    }
-
-    /// Invalidates the other clusters' copies after a write by `writer`'s
-    /// cluster.
-    fn invalidate_other_clusters(&mut self, writer_cluster: usize, addr: Addr) {
-        let line = self.line(addr);
-        let Some(&(d_bits, i_bits)) = self.presence.get(&line) else {
-            return;
-        };
-        let keep = !(1u8 << writer_cluster);
-        let d_victims = d_bits & keep;
-        let i_victims = i_bits & keep;
-        // Fault injection (sentinel): drop the invalidation to one victim
-        // cluster while still clearing its directory bit.
-        let mut drop_one = (d_victims | i_victims) != 0
-            && self.sentinel.inject(FaultKind::DroppedInvalidation, line);
-        if let Some((d, i)) = self.presence.get_mut(&line) {
-            *d &= !d_victims;
-            *i &= !i_victims;
-        }
-        for cl in 0..self.n_clusters {
-            if d_victims & (1 << cl) != 0 {
-                if drop_one {
-                    drop_one = false;
-                } else {
-                    self.l1d[cl].invalidate(addr);
-                }
-                self.stats.invalidations_sent += 1;
-            }
-            if i_victims & (1 << cl) != 0 {
-                if drop_one {
-                    drop_one = false;
-                } else {
-                    self.l1i[cl].invalidate(addr);
-                }
-                self.stats.invalidations_sent += 1;
-            }
-        }
-    }
-
-    fn back_invalidate(&mut self, line: Addr) {
-        if let Some((d_bits, i_bits)) = self.presence.remove(&line) {
-            for cl in 0..self.n_clusters {
-                if d_bits & (1 << cl) != 0 {
-                    self.l1d[cl].evict(line);
-                }
-                if i_bits & (1 << cl) != 0 {
-                    self.l1i[cl].evict(line);
-                }
-            }
-        }
-    }
-
-    fn note_fill(&mut self, cluster: usize, addr: Addr, ifetch: bool, victim: Option<Addr>) {
-        let line = self.line(addr);
-        // Fault injection (sentinel): record a spurious sharer cluster.
-        let spurious = self.n_clusters > 1 && self.sentinel.inject(FaultKind::SpuriousState, line);
-        let entry = self.presence.entry(line).or_insert((0, 0));
-        if ifetch {
-            entry.1 |= 1 << cluster;
-        } else {
-            entry.0 |= 1 << cluster;
-        }
-        if spurious {
-            let ghost = (cluster + 1) % self.n_clusters;
-            entry.0 |= 1 << ghost;
-        }
-        if let Some(v) = victim {
-            if let Some(e) = self.presence.get_mut(&v) {
-                if ifetch {
-                    e.1 &= !(1 << cluster);
-                } else {
-                    e.0 &= !(1 << cluster);
-                }
-            }
-        }
-    }
-
-    fn l2_fill_from_memory(&mut self, addr: Addr, at: Cycle, dirty: bool) -> Cycle {
-        let g = self.mem_port.reserve(at, self.cfg.lat.mem_occ);
-        self.stats.mem_wait += g - at;
-        self.stats.mem_accesses += 1;
-        let finish = g + self.cfg.lat.mem_lat;
-        let state = if dirty {
-            LineState::Modified
-        } else {
-            LineState::Exclusive
-        };
-        if let Some(v) = self.l2.fill(addr, state) {
-            self.back_invalidate(v.addr);
-            if v.dirty {
-                self.mem_port.reserve(g, self.cfg.lat.mem_occ);
-                self.stats.writebacks += 1;
-            }
-        }
-        finish
+    /// Number of clusters (`n_cpus / cpus_per_cluster`).
+    pub fn n_clusters(&self) -> usize {
+        self.topo().nodes().n_nodes()
     }
 
     /// Read-only view of a cluster's L1 data cache (tests).
     pub fn l1d(&self, cluster: usize) -> &CacheArray {
-        &self.l1d[cluster]
+        self.topo().l1d_at(cluster)
     }
 
-    /// Sentinel invariant check, scoped to the line the access touched:
-    /// the cluster directory must agree with actual cluster-L1 residency,
-    /// inclusion must hold, and the write-through cluster L1s must never
-    /// hold dirty data.
-    fn sentinel_check_line(&mut self, now: Cycle, cpu: usize, addr: Addr) {
-        let line = self.line(addr);
-        let (d_bits, i_bits) = self.presence.get(&line).copied().unwrap_or((0, 0));
-        let l2_valid = self.l2.probe(line).is_valid();
-        let mut found: Vec<(ViolationKind, String)> = Vec::new();
-        for cl in 0..self.n_clusters {
-            for (cache, bits, side) in [
-                (&self.l1d[cl], d_bits, "l1d"),
-                (&self.l1i[cl], i_bits, "l1i"),
-            ] {
-                let state = cache.probe(line);
-                let bit = bits & (1 << cl) != 0;
-                if state.is_valid() && !bit {
-                    found.push((
-                        ViolationKind::CopyWithoutPresence,
-                        format!(
-                            "cluster {cl} {side} holds the line but its directory bit is clear"
-                        ),
-                    ));
-                }
-                if bit && !state.is_valid() {
-                    found.push((
-                        ViolationKind::PresenceWithoutCopy,
-                        format!(
-                            "directory marks cluster {cl} {side} as a sharer but it holds no copy"
-                        ),
-                    ));
-                }
-                if state.is_valid() && !l2_valid {
-                    found.push((
-                        ViolationKind::InclusionViolation,
-                        format!("cluster {cl} {side} holds the line but the shared L2 does not"),
-                    ));
-                }
-                if state == LineState::Modified {
-                    found.push((
-                        ViolationKind::WriteThroughDirty,
-                        format!("write-through cluster {cl} {side} holds the line dirty"),
-                    ));
-                }
-            }
-        }
-        for (kind, detail) in found {
-            self.sentinel.report(now.0, cpu, line, kind, detail);
-        }
-    }
-}
-
-impl MemorySystem for ClusteredSystem {
-    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
-        let res = self.access_inner(now, req);
-        self.stats.latency.record(res.finish - now);
-        if self.sentinel.on() {
-            self.sentinel_check_line(now, req.cpu, req.addr);
-        }
-        res
+    /// Read-only view of the shared L2 (tests, probes).
+    pub fn l2(&self) -> &CacheArray {
+        self.topo().l2()
     }
 
-    fn load_would_hit_l1(&self, cpu: usize, addr: Addr) -> bool {
-        self.l1d[Self::cluster_of(cpu)].probe(addr).is_valid()
-    }
-
-    fn line_bytes(&self) -> u32 {
-        self.cfg.l1d.line_bytes
-    }
-
-    fn n_cpus(&self) -> usize {
-        self.cfg.n_cpus
-    }
-
-    fn stats(&self) -> &MemStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut MemStats {
-        &mut self.stats
-    }
-
-    fn name(&self) -> &'static str {
-        "clustered"
-    }
-
-    fn port_utilization(&self) -> Vec<crate::PortUtil> {
-        let mut v: Vec<crate::PortUtil> = self.l1_banks.iter().map(super::util_of_banks).collect();
-        v.push(super::util_of_banks(&self.l2_banks));
-        v.push(super::util_of_port(&self.mem_port));
-        v
-    }
-
-    fn violations(&self) -> &[SentinelViolation] {
-        self.sentinel.violations()
-    }
-
-    fn injected_faults(&self) -> &[(FaultKind, Addr)] {
-        self.sentinel.injected_faults()
-    }
-}
-
-impl ClusteredSystem {
-    fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
-        let cluster = Self::cluster_of(req.cpu);
-        let addr = req.addr;
-        let ifetch = req.kind == AccessKind::IFetch;
-
-        // Intra-cluster crossbar: bank arbitration + 2-cycle hits (unless
-        // idealized for Mipsy, like the shared L1).
-        let (grant, l1_lat) = if self.cfg.ideal_shared_l1 {
-            (now, 1)
-        } else {
-            let g = self.l1_banks[cluster].reserve(u64::from(addr), now, self.cfg.lat.l1_occ);
-            (g, CLUSTER_L1_LAT)
-        };
-        let l1_extra = (grant - now) + (l1_lat - 1);
-        self.stats.l1_bank_wait += grant - now;
-
-        match req.kind {
-            AccessKind::IFetch | AccessKind::Load => {
-                let outcome = if ifetch {
-                    self.l1i[cluster].lookup(addr)
-                } else {
-                    self.l1d[cluster].lookup(addr)
-                };
-                let lstats = if ifetch {
-                    &mut self.stats.l1i
-                } else {
-                    &mut self.stats.l1d
-                };
-                match outcome {
-                    AccessOutcome::Hit(_) => {
-                        lstats.hit();
-                        MemResult {
-                            finish: grant + l1_lat,
-                            serviced_by: ServiceLevel::L1,
-                            l1_miss: false,
-                            l1_extra,
-                        }
-                    }
-                    AccessOutcome::Miss(kind) => {
-                        lstats.miss(kind);
-                        let g2 = self
-                            .l2_banks
-                            .reserve(u64::from(addr), grant, self.cfg.lat.l2_occ);
-                        self.stats.l2_bank_wait += g2 - grant;
-                        let (finish, level) = match self.l2.lookup(addr) {
-                            AccessOutcome::Hit(_) => {
-                                self.stats.l2.hit();
-                                (g2 + self.cfg.lat.l2_lat, ServiceLevel::L2)
-                            }
-                            AccessOutcome::Miss(k2) => {
-                                self.stats.l2.miss(k2);
-                                (
-                                    self.l2_fill_from_memory(addr, g2, false),
-                                    ServiceLevel::Memory,
-                                )
-                            }
-                        };
-                        let cache = if ifetch {
-                            &mut self.l1i[cluster]
-                        } else {
-                            &mut self.l1d[cluster]
-                        };
-                        let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
-                        self.note_fill(cluster, addr, ifetch, victim);
-                        MemResult {
-                            finish,
-                            serviced_by: level,
-                            l1_miss: true,
-                            l1_extra,
-                        }
-                    }
-                }
-            }
-            AccessKind::Store => {
-                // Write-through out of the cluster L1 (the cluster keeps its
-                // copy updated in place); the directory invalidates the
-                // other cluster.
-                let _ = self.l1d[cluster].lookup(addr);
-                self.invalidate_other_clusters(cluster, addr);
-                let store_occ = self.cfg.lat.l2_occ;
-                let g2 = self.l2_banks.reserve(u64::from(addr), grant, store_occ);
-                self.stats.l2_bank_wait += g2 - grant;
-                match self.l2.lookup(addr) {
-                    AccessOutcome::Hit(_) => {
-                        self.stats.l2.hit();
-                        self.l2.set_state(addr, LineState::Modified);
-                        MemResult {
-                            finish: g2 + 1,
-                            serviced_by: ServiceLevel::L2,
-                            l1_miss: false,
-                            l1_extra,
-                        }
-                    }
-                    AccessOutcome::Miss(k2) => {
-                        self.stats.l2.miss(k2);
-                        let finish = self.l2_fill_from_memory(addr, g2, true);
-                        MemResult {
-                            finish,
-                            serviced_by: ServiceLevel::Memory,
-                            l1_miss: false,
-                            l1_extra,
-                        }
-                    }
-                }
-            }
-        }
+    /// Checks the cluster-directory invariant (see
+    /// [`DirectoryTopo::directory_consistent`]).
+    pub fn directory_consistent(&self) -> bool {
+        self.topo().directory_consistent()
     }
 }
 
@@ -423,6 +100,8 @@ impl ClusteredSystem {
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
+    use crate::{MemRequest, MemorySystem, ServiceLevel};
+    use cmpsim_engine::Cycle;
 
     fn sys() -> ClusteredSystem {
         ClusteredSystem::new(&SystemConfig::paper_shared_l2(4))
@@ -505,8 +184,57 @@ mod tests {
     }
 
     #[test]
+    fn zero_cpus_per_cluster_rejected() {
+        let cfg = SystemConfig::paper_shared_l2(4).with_cpus_per_cluster(0);
+        let err = ClusteredSystem::try_new(&cfg).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ConfigError::PartialCluster {
+                n_cpus: 4,
+                cpus_per_cluster: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn two_by_four_geometry_runs_via_config_alone() {
+        // 8 CPUs in two clusters of four: intra-cluster sharing stays an
+        // L1 hit across all four members; the fourth CPU of the other
+        // cluster misses to the L2.
+        let cfg = SystemConfig::paper_shared_l2(8).with_cpus_per_cluster(4);
+        let mut s = ClusteredSystem::new(&cfg);
+        assert_eq!(s.n_cpus(), 8);
+        assert_eq!(s.n_clusters(), 2);
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        let r = s.access(Cycle(100), MemRequest::load(3, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::L1, "same cluster of four");
+        let r = s.access(Cycle(200), MemRequest::load(4, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::L2, "other cluster");
+        // A write by cluster 0 invalidates cluster 1's single copy.
+        s.access(Cycle(300), MemRequest::store(0, 0x1000));
+        assert_eq!(s.stats().invalidations_sent, 1);
+        assert!(s.directory_consistent());
+    }
+
+    #[test]
+    fn single_cluster_degenerates_to_one_pooled_l1() {
+        // 4 CPUs in one cluster of four: no inter-cluster traffic exists,
+        // so a write never sends invalidations.
+        let cfg = SystemConfig::paper_shared_l2(4).with_cpus_per_cluster(4);
+        let mut s = ClusteredSystem::new(&cfg);
+        assert_eq!(s.n_clusters(), 1);
+        s.access(Cycle(0), MemRequest::load(0, 0x1000));
+        s.access(Cycle(100), MemRequest::load(3, 0x1000));
+        s.access(Cycle(200), MemRequest::store(2, 0x1000));
+        assert_eq!(s.stats().invalidations_sent, 0);
+        let r = s.access(Cycle(300), MemRequest::load(1, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::L1);
+    }
+
+    #[test]
     fn sentinel_clean_traffic_has_no_violations() {
         use crate::sentinel::SentinelSpec;
+        use crate::Addr;
         let mut s = ClusteredSystem::new(
             &SystemConfig::paper_shared_l2(4).with_sentinel(SentinelSpec::on()),
         );

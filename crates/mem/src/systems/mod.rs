@@ -1,4 +1,5 @@
-//! The three multiprocessor memory architectures of the paper.
+//! The four multiprocessor memory architectures as thin topology
+//! descriptions over the shared [`hierarchy`](crate::hierarchy) core.
 //!
 //! * [`SharedL1System`] — Figure 1: four CPUs share banked L1 caches through
 //!   a crossbar; uniprocessor-like L2 and main memory below. No inter-CPU
@@ -10,44 +11,20 @@
 //!   CPU with full MESI snooping on a shared system bus; communication
 //!   happens through main memory or >50-cycle cache-to-cache transfers.
 //! * [`ClusteredSystem`] — extension (the authors' HPCA'96 follow-up,
-//!   reference \[16\]): two 2-CPU clusters each sharing an L1, over the
-//!   shared L2.
+//!   reference \[16\]): `n_cpus / cpus_per_cluster` clusters each sharing
+//!   an L1, over the shared L2.
+//!
+//! Each file here only names its topology type and builds its geometry;
+//! the access walks, the directory/invalidation engine, the MESI snooping
+//! steps, and the `MemorySystem` boilerplate all live in
+//! [`crate::hierarchy`].
 
 mod clustered;
 mod shared_l1;
 mod shared_l2;
 mod shared_mem;
 
-use cmpsim_engine::{BankedResource, Port};
-
-/// Utilization snapshot of a single port.
-pub(crate) fn util_of_port(p: &Port) -> crate::PortUtil {
-    crate::PortUtil {
-        name: p.name(),
-        grants: p.grants(),
-        busy_cycles: p.busy_cycles(),
-        wait_cycles: p.wait_cycles(),
-    }
-}
-
-/// Utilization snapshot aggregated over a bank group.
-pub(crate) fn util_of_banks(b: &BankedResource) -> crate::PortUtil {
-    let mut u = crate::PortUtil {
-        name: b.bank(0).name(),
-        grants: 0,
-        busy_cycles: 0,
-        wait_cycles: 0,
-    };
-    for k in 0..b.n_banks() {
-        let p = b.bank(k);
-        u.grants += p.grants();
-        u.busy_cycles += p.busy_cycles();
-        u.wait_cycles += p.wait_cycles();
-    }
-    u
-}
-
-pub use clustered::{ClusteredSystem, CPUS_PER_CLUSTER};
-pub use shared_l1::SharedL1System;
+pub use clustered::ClusteredSystem;
+pub use shared_l1::{SharedL1System, SharedL1Topo};
 pub use shared_l2::SharedL2System;
-pub use shared_mem::SharedMemSystem;
+pub use shared_mem::{SharedMemSystem, SharedMemTopo};

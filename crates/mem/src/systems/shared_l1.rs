@@ -12,87 +12,104 @@
 //! `SystemConfig::ideal_shared_l1` reproduces the paper's Mipsy-mode
 //! idealization (1-cycle hits, no bank contention) so the simple CPU model
 //! is not penalized for latencies it cannot hide.
+//!
+//! The topology is a [`Topology`] over the shared
+//! [`HierarchyCore`](crate::hierarchy::HierarchyCore): one pooled L1 pair
+//! with banked crossbar arbitration in front of a uniprocessor-style
+//! [`UniBack`].
 
 use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::SystemConfig;
-use crate::sentinel::{FaultKind, Sentinel, SentinelViolation, ViolationKind};
-use crate::stats::MemStats;
-use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
-use cmpsim_engine::{BankedResource, Cycle, Port};
+use crate::hierarchy::{frontend, HierarchyCore, HierarchySystem, Topology, UniBack};
+use crate::sentinel::ViolationKind;
+use crate::{AccessKind, Addr, CpuId, MemRequest, MemResult, PortUtil, ServiceLevel};
+use cmpsim_engine::{BankedResource, Cycle};
 
-/// The shared-L1 multiprocessor memory system.
+/// The shared-L1 topology: pooled write-back L1s behind a banked crossbar,
+/// a single L2 and memory below.
 #[derive(Debug)]
-pub struct SharedL1System {
-    cfg: SystemConfig,
+pub struct SharedL1Topo {
     l1i: CacheArray,
     l1d: CacheArray,
     l1i_banks: BankedResource,
     l1d_banks: BankedResource,
-    l2: CacheArray,
-    l2_port: Port,
-    mem_port: Port,
-    stats: MemStats,
-    sentinel: Sentinel,
+    back: UniBack,
 }
+
+/// The shared-L1 multiprocessor memory system.
+pub type SharedL1System = HierarchySystem<SharedL1Topo>;
 
 impl SharedL1System {
     /// Builds the system from a configuration (see
     /// [`SystemConfig::paper_shared_l1`]).
     pub fn new(cfg: &SystemConfig) -> SharedL1System {
-        SharedL1System {
-            cfg: *cfg,
-            l1i: CacheArray::new("shared-l1i", cfg.l1i),
-            l1d: CacheArray::new("shared-l1d", cfg.l1d),
-            l1i_banks: BankedResource::new("l1i-bank", cfg.l1_banks, u64::from(cfg.l1i.line_bytes)),
-            l1d_banks: BankedResource::new("l1d-bank", cfg.l1_banks, u64::from(cfg.l1d.line_bytes)),
-            l2: CacheArray::new("l2", cfg.l2),
-            l2_port: Port::new("l2"),
-            mem_port: Port::new("mem"),
-            stats: MemStats::new(),
-            sentinel: Sentinel::from_spec(&cfg.sentinel),
-        }
+        HierarchySystem::from_parts(
+            cfg,
+            SharedL1Topo {
+                l1i: CacheArray::new("shared-l1i", cfg.l1i),
+                l1d: CacheArray::new("shared-l1d", cfg.l1d),
+                l1i_banks: BankedResource::new(
+                    "l1i-bank",
+                    cfg.l1_banks,
+                    u64::from(cfg.l1i.line_bytes),
+                ),
+                l1d_banks: BankedResource::new(
+                    "l1d-bank",
+                    cfg.l1_banks,
+                    u64::from(cfg.l1d.line_bytes),
+                ),
+                back: UniBack::new(cfg),
+            },
+        )
     }
 
-    /// Sentinel invariant check, scoped to the line the access touched.
-    /// With no coherence hardware the interesting invariant is physical:
-    /// a line must never be resident in more than one way of a set.
-    fn sentinel_check_line(&mut self, now: Cycle, cpu: usize, addr: Addr) {
-        let line = self.l2.line_addr(addr);
-        let mut found: Vec<(ViolationKind, String)> = Vec::new();
-        for (cache, what) in [
-            (&self.l1d, "shared l1d"),
-            (&self.l1i, "shared l1i"),
-            (&self.l2, "l2"),
-        ] {
-            let ways = cache.ways_holding(line);
-            if ways > 1 {
-                found.push((
-                    ViolationKind::DuplicateResidency,
-                    format!("{what} holds the line in {ways} ways of one set"),
-                ));
-            }
-        }
-        for (kind, detail) in found {
-            self.sentinel.report(now.0, cpu, line, kind, detail);
-        }
+    /// Read-only view of the shared L1 data cache (tests, probes).
+    pub fn l1d(&self) -> &CacheArray {
+        &self.topo().l1d
     }
 
+    /// Read-only view of the L2 (tests, probes).
+    pub fn l2(&self) -> &CacheArray {
+        &self.topo().back.l2
+    }
+
+    /// Total cycles lost to L1 bank conflicts so far.
+    pub fn l1_bank_wait(&self) -> u64 {
+        self.topo().l1i_banks.total_wait_cycles() + self.topo().l1d_banks.total_wait_cycles()
+    }
+}
+
+impl SharedL1Topo {
     /// Refills the L2 and L1 after a memory access and pays for any dirty
     /// victims. Write-backs are off the critical path for the triggering
     /// request; they reserve port occupancy at the transaction's *grant*
     /// time (victim buffers drain right behind the fill), so they cannot
     /// leave dead holes in the port timeline.
-    fn fill_from_memory(&mut self, is_ifetch: bool, addr: u32, write: bool, at: Cycle) {
-        if let Some(v) = self.l2.fill(addr, LineState::Exclusive) {
+    fn fill_from_memory(
+        &mut self,
+        core: &mut HierarchyCore,
+        is_ifetch: bool,
+        addr: u32,
+        write: bool,
+        at: Cycle,
+    ) {
+        if let Some(v) = self.back.l2.fill(addr, LineState::Exclusive) {
             if v.dirty {
-                self.mem_port.reserve(at, self.cfg.lat.mem_occ);
-                self.stats.writebacks += 1;
+                self.back.mem_port.reserve(at, core.cfg.lat.mem_occ);
+                core.stats.writebacks += 1;
             }
         }
-        self.fill_l1(is_ifetch, addr, write, at);
+        self.fill_l1(core, is_ifetch, addr, write, at);
     }
 
-    fn fill_l1(&mut self, is_ifetch: bool, addr: u32, write: bool, at: Cycle) {
+    fn fill_l1(
+        &mut self,
+        core: &mut HierarchyCore,
+        is_ifetch: bool,
+        addr: u32,
+        write: bool,
+        at: Cycle,
+    ) {
         let state = if write {
             LineState::Modified
         } else {
@@ -103,51 +120,88 @@ impl SharedL1System {
         } else {
             &mut self.l1d
         };
-        if let Some(v) = cache.fill(addr, state) {
-            if v.dirty {
-                // Dirty L1 victim retires into the L2 (or memory if the L2
-                // no longer holds the line).
-                self.l2_port.reserve(at, self.cfg.lat.l2_occ);
-                self.stats.writebacks += 1;
-                if self.l2.probe(v.addr).is_valid() {
-                    self.l2.set_state(v.addr, LineState::Modified);
-                } else {
-                    self.mem_port.reserve(at, self.cfg.lat.mem_occ);
+        frontend::fill_writeback_l1(
+            cache,
+            addr,
+            state,
+            at,
+            &mut self.back.l2,
+            &mut self.back.l2_port,
+            core.cfg.lat.l2_occ,
+            &mut self.back.mem_port,
+            core.cfg.lat.mem_occ,
+            &mut core.stats,
+        );
+    }
+
+    /// Everything below the shared L1: classify the miss, walk the L2 and
+    /// memory ports. Out of line on purpose — see [`Topology::access`].
+    #[allow(clippy::too_many_arguments)] // disjoint &mut core fields, by design
+    fn service_miss(
+        &mut self,
+        core: &mut HierarchyCore,
+        is_ifetch: bool,
+        write: bool,
+        addr: u32,
+        kind: MissKind,
+        grant: Cycle,
+        l1_extra: u64,
+    ) -> MemResult {
+        let lstats = if is_ifetch {
+            &mut core.stats.l1i
+        } else {
+            &mut core.stats.l1d
+        };
+        lstats.miss(kind);
+        // Tag check overlaps arbitration for the next level: the
+        // request reaches the L2 at its L1 grant time, so the
+        // contention-free totals match Table 2 exactly.
+        let g2 = self.back.l2_port.reserve(grant, core.cfg.lat.l2_occ);
+        core.stats.l2_bank_wait += g2 - grant;
+        match self.back.l2.lookup(addr) {
+            AccessOutcome::Hit(_) => {
+                core.stats.l2.hit();
+                let finish = g2 + core.cfg.lat.l2_lat;
+                self.fill_l1(core, is_ifetch, addr, write, g2);
+                MemResult {
+                    finish,
+                    serviced_by: ServiceLevel::L2,
+                    l1_miss: true,
+                    l1_extra,
+                }
+            }
+            AccessOutcome::Miss(l2kind) => {
+                core.stats.l2.miss(l2kind);
+                let g3 = self.back.mem_port.reserve(g2, core.cfg.lat.mem_occ);
+                core.stats.mem_wait += g3 - g2;
+                core.stats.mem_accesses += 1;
+                let finish = g3 + core.cfg.lat.mem_lat;
+                self.fill_from_memory(core, is_ifetch, addr, write, g3);
+                MemResult {
+                    finish,
+                    serviced_by: ServiceLevel::Memory,
+                    l1_miss: true,
+                    l1_extra,
                 }
             }
         }
     }
-
-    /// Read-only view of the shared L1 data cache (tests, probes).
-    pub fn l1d(&self) -> &CacheArray {
-        &self.l1d
-    }
-
-    /// Read-only view of the L2 (tests, probes).
-    pub fn l2(&self) -> &CacheArray {
-        &self.l2
-    }
-
-    /// Total cycles lost to L1 bank conflicts so far.
-    pub fn l1_bank_wait(&self) -> u64 {
-        self.l1i_banks.total_wait_cycles() + self.l1d_banks.total_wait_cycles()
-    }
 }
 
-impl SharedL1System {
-    /// The untimed-record core of [`MemorySystem::access`]; the trait
-    /// method wraps it to record the end-to-end latency histogram. The hit
-    /// path (bank grant, one tag lookup, one counter) stays inline; the
-    /// miss machinery lives in [`SharedL1System::service_miss`] so this
+impl Topology for SharedL1Topo {
+    const NAME: &'static str = "shared-L1";
+
+    /// The hit path (bank grant, one tag lookup, one counter) stays inline;
+    /// the miss machinery lives in `SharedL1Topo::service_miss` so this
     /// body is small enough to inline into the CPU models' access loops.
     #[inline]
-    fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+    fn access(&mut self, core: &mut HierarchyCore, now: Cycle, req: MemRequest) -> MemResult {
         let is_ifetch = req.kind == AccessKind::IFetch;
         let write = req.kind == AccessKind::Store;
         let addr = req.addr;
 
         // L1 bank arbitration + crossbar traversal.
-        let (grant, l1_lat) = if self.cfg.ideal_shared_l1 {
+        let (grant, l1_lat) = if core.cfg.ideal_shared_l1 {
             (now, 1)
         } else {
             let banks = if is_ifetch {
@@ -155,11 +209,11 @@ impl SharedL1System {
             } else {
                 &mut self.l1d_banks
             };
-            let g = banks.reserve(u64::from(addr), now, self.cfg.lat.l1_occ);
-            (g, self.cfg.lat.l1_lat)
+            let g = banks.reserve(u64::from(addr), now, core.cfg.lat.l1_occ);
+            (g, core.cfg.lat.l1_lat)
         };
         let l1_extra = (grant - now) + (l1_lat - 1);
-        self.stats.l1_bank_wait += grant - now;
+        core.stats.l1_bank_wait += grant - now;
 
         let outcome = if is_ifetch {
             self.l1i.lookup(addr)
@@ -169,9 +223,9 @@ impl SharedL1System {
         match outcome {
             AccessOutcome::Hit(_) => {
                 if is_ifetch {
-                    self.stats.l1i.hit();
+                    core.stats.l1i.hit();
                 } else {
-                    self.stats.l1d.hit();
+                    core.stats.l1d.hit();
                 }
                 if write {
                     self.l1d.set_state(addr, LineState::Modified);
@@ -184,114 +238,44 @@ impl SharedL1System {
                 }
             }
             AccessOutcome::Miss(kind) => {
-                self.service_miss(is_ifetch, write, addr, kind, grant, l1_extra)
+                self.service_miss(core, is_ifetch, write, addr, kind, grant, l1_extra)
             }
         }
     }
 
-    /// Everything below the shared L1: classify the miss, walk the L2 and
-    /// memory ports. Out of line on purpose — see `access_inner`.
-    fn service_miss(
-        &mut self,
-        is_ifetch: bool,
-        write: bool,
-        addr: u32,
-        kind: MissKind,
-        grant: Cycle,
-        l1_extra: u64,
-    ) -> MemResult {
-        let lstats = if is_ifetch {
-            &mut self.stats.l1i
-        } else {
-            &mut self.stats.l1d
-        };
-        lstats.miss(kind);
-        // Tag check overlaps arbitration for the next level: the
-        // request reaches the L2 at its L1 grant time, so the
-        // contention-free totals match Table 2 exactly.
-        let g2 = self.l2_port.reserve(grant, self.cfg.lat.l2_occ);
-        self.stats.l2_bank_wait += g2 - grant;
-        match self.l2.lookup(addr) {
-            AccessOutcome::Hit(_) => {
-                self.stats.l2.hit();
-                let finish = g2 + self.cfg.lat.l2_lat;
-                self.fill_l1(is_ifetch, addr, write, g2);
-                MemResult {
-                    finish,
-                    serviced_by: ServiceLevel::L2,
-                    l1_miss: true,
-                    l1_extra,
-                }
-            }
-            AccessOutcome::Miss(l2kind) => {
-                self.stats.l2.miss(l2kind);
-                let g3 = self.mem_port.reserve(g2, self.cfg.lat.mem_occ);
-                self.stats.mem_wait += g3 - g2;
-                self.stats.mem_accesses += 1;
-                let finish = g3 + self.cfg.lat.mem_lat;
-                self.fill_from_memory(is_ifetch, addr, write, g3);
-                MemResult {
-                    finish,
-                    serviced_by: ServiceLevel::Memory,
-                    l1_miss: true,
-                    l1_extra,
-                }
+    /// With no coherence hardware the interesting invariant is physical:
+    /// a line must never be resident in more than one way of a set.
+    fn check_line(&self, core: &mut HierarchyCore, now: Cycle, cpu: CpuId, addr: Addr) {
+        let line = self.back.l2.line_addr(addr);
+        let mut found: Vec<(ViolationKind, String)> = Vec::new();
+        for (cache, what) in [
+            (&self.l1d, "shared l1d"),
+            (&self.l1i, "shared l1i"),
+            (&self.back.l2, "l2"),
+        ] {
+            let ways = cache.ways_holding(line);
+            if ways > 1 {
+                found.push((
+                    ViolationKind::DuplicateResidency,
+                    format!("{what} holds the line in {ways} ways of one set"),
+                ));
             }
         }
-    }
-}
-
-impl MemorySystem for SharedL1System {
-    #[inline]
-    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
-        let res = self.access_inner(now, req);
-        self.stats.latency.record(res.finish - now);
-        if self.sentinel.on() {
-            self.sentinel_check_line(now, req.cpu, req.addr);
+        for (kind, detail) in found {
+            core.sentinel.report(now.0, cpu, line, kind, detail);
         }
-        res
     }
 
     #[inline]
-    fn load_would_hit_l1(&self, _cpu: usize, addr: u32) -> bool {
+    fn load_would_hit_l1(&self, _cpu: CpuId, addr: Addr) -> bool {
         self.l1d.probe(addr).is_valid()
     }
 
-    fn line_bytes(&self) -> u32 {
-        self.cfg.l1d.line_bytes
-    }
-
-    fn n_cpus(&self) -> usize {
-        self.cfg.n_cpus
-    }
-
-    fn stats(&self) -> &MemStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut MemStats {
-        &mut self.stats
-    }
-
-    fn name(&self) -> &'static str {
-        "shared-L1"
-    }
-
-    fn port_utilization(&self) -> Vec<crate::PortUtil> {
-        vec![
-            super::util_of_banks(&self.l1i_banks),
-            super::util_of_banks(&self.l1d_banks),
-            super::util_of_port(&self.l2_port),
-            super::util_of_port(&self.mem_port),
-        ]
-    }
-
-    fn violations(&self) -> &[SentinelViolation] {
-        self.sentinel.violations()
-    }
-
-    fn injected_faults(&self) -> &[(FaultKind, Addr)] {
-        self.sentinel.injected_faults()
+    fn push_port_util(&self, out: &mut Vec<PortUtil>) {
+        out.push(crate::hierarchy::util_of_banks(&self.l1i_banks));
+        out.push(crate::hierarchy::util_of_banks(&self.l1d_banks));
+        out.push(crate::hierarchy::util_of_port(&self.back.l2_port));
+        out.push(crate::hierarchy::util_of_port(&self.back.mem_port));
     }
 }
 
@@ -299,6 +283,7 @@ impl MemorySystem for SharedL1System {
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
+    use crate::MemorySystem;
 
     fn sys() -> SharedL1System {
         SharedL1System::new(&SystemConfig::paper_shared_l1(4))

@@ -10,443 +10,63 @@
 //! carries a directory of which L1s hold a copy. A write or an L2
 //! replacement invalidates (or would update) all other cached copies, so no
 //! snooping logic is needed in the processors.
+//!
+//! The entire access walk lives in
+//! [`DirectoryTopo`](crate::hierarchy::DirectoryTopo); this file only
+//! describes the geometry — one CPU per node, private L1s at the front.
 
-use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
+use crate::cache::CacheArray;
 use crate::config::SystemConfig;
-use crate::sentinel::{FaultKind, Sentinel, SentinelViolation, ViolationKind};
-use crate::stats::MemStats;
-use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
-use cmpsim_engine::{BankedResource, Cycle, Port};
-
-use std::collections::HashMap;
+use crate::hierarchy::{DirectoryLayout, DirectoryTopo, HierarchySystem, PerCpu};
 
 /// The shared-L2 multiprocessor memory system.
-#[derive(Debug)]
-pub struct SharedL2System {
-    cfg: SystemConfig,
-    l1i: Vec<CacheArray>,
-    l1d: Vec<CacheArray>,
-    l2: CacheArray,
-    l2_banks: BankedResource,
-    mem_port: Port,
-    /// Directory: line address -> (d-cache presence bits, i-cache presence
-    /// bits), one bit per CPU.
-    presence: HashMap<Addr, (u8, u8)>,
-    stats: MemStats,
-    sentinel: Sentinel,
-}
+pub type SharedL2System = HierarchySystem<DirectoryTopo<PerCpu>>;
 
 impl SharedL2System {
     /// Builds the system from a configuration (see
     /// [`SystemConfig::paper_shared_l2`]).
     pub fn new(cfg: &SystemConfig) -> SharedL2System {
-        SharedL2System {
-            cfg: *cfg,
-            l1i: (0..cfg.n_cpus)
-                .map(|_| CacheArray::new("l1i", cfg.l1i))
-                .collect(),
-            l1d: (0..cfg.n_cpus)
-                .map(|_| CacheArray::new("l1d", cfg.l1d))
-                .collect(),
-            l2: CacheArray::new("shared-l2", cfg.l2),
-            l2_banks: BankedResource::new("l2-bank", cfg.l2_banks, u64::from(cfg.l2.line_bytes)),
-            mem_port: Port::new("mem"),
-            presence: HashMap::new(),
-            stats: MemStats::new(),
-            sentinel: Sentinel::from_spec(&cfg.sentinel),
-        }
-    }
-
-    fn line(&self, addr: Addr) -> Addr {
-        self.l2.line_addr(addr)
-    }
-
-    /// Invalidates every other CPU's L1 copies of `addr`'s line after a
-    /// write by `writer` (directory-driven coherence).
-    fn invalidate_sharers(&mut self, writer: usize, addr: Addr) {
-        let line = self.line(addr);
-        let Some(&(d_bits, i_bits)) = self.presence.get(&line) else {
-            return;
-        };
-        let keep = !(1u8 << writer);
-        let d_victims = d_bits & keep;
-        let i_victims = i_bits & keep;
-        // Fault injection (sentinel): drop the invalidation message to one
-        // victim L1 while still clearing its directory bit — the stale copy
-        // then shows up as a copy-without-presence violation.
-        let mut drop_one = (d_victims | i_victims) != 0
-            && self.sentinel.inject(FaultKind::DroppedInvalidation, line);
-        if let Some((d, i)) = self.presence.get_mut(&line) {
-            *d &= !d_victims;
-            *i &= !i_victims;
-        }
-        for cpu in 0..self.cfg.n_cpus {
-            if d_victims & (1 << cpu) != 0 {
-                if drop_one {
-                    drop_one = false;
-                } else {
-                    self.l1d[cpu].invalidate(addr);
-                }
-                self.stats.invalidations_sent += 1;
-            }
-            if i_victims & (1 << cpu) != 0 {
-                if drop_one {
-                    drop_one = false;
-                } else {
-                    self.l1i[cpu].invalidate(addr);
-                }
-                self.stats.invalidations_sent += 1;
-            }
-        }
-    }
-
-    /// Enforces inclusion when the L2 evicts `line`: every L1 copy must go.
-    /// These back-invalidations are capacity-driven, so the evicted lines
-    /// are *not* marked as coherence-invalidated.
-    fn back_invalidate(&mut self, line: Addr) {
-        if let Some((d_bits, i_bits)) = self.presence.remove(&line) {
-            for cpu in 0..self.cfg.n_cpus {
-                if d_bits & (1 << cpu) != 0 {
-                    self.l1d[cpu].evict(line);
-                }
-                if i_bits & (1 << cpu) != 0 {
-                    self.l1i[cpu].evict(line);
-                }
-            }
-        }
-    }
-
-    fn note_l1_fill(&mut self, cpu: usize, addr: Addr, ifetch: bool, victim: Option<Addr>) {
-        let line = self.line(addr);
-        // Fault injection (sentinel): record a spurious sharer in the
-        // directory — a presence bit with no backing L1 copy.
-        let spurious = self.cfg.n_cpus > 1 && self.sentinel.inject(FaultKind::SpuriousState, line);
-        let entry = self.presence.entry(line).or_insert((0, 0));
-        if ifetch {
-            entry.1 |= 1 << cpu;
-        } else {
-            entry.0 |= 1 << cpu;
-        }
-        if spurious {
-            let ghost = (cpu + 1) % self.cfg.n_cpus;
-            entry.0 |= 1 << ghost;
-        }
-        if let Some(v) = victim {
-            if let Some(e) = self.presence.get_mut(&v) {
-                if ifetch {
-                    e.1 &= !(1 << cpu);
-                } else {
-                    e.0 &= !(1 << cpu);
-                }
-            }
-        }
-    }
-
-    /// Fetches a line into the L2 (memory access), handling the victim.
-    /// Returns the completion time.
-    fn l2_fill_from_memory(&mut self, addr: Addr, at: Cycle, dirty: bool) -> Cycle {
-        let g = self.mem_port.reserve(at, self.cfg.lat.mem_occ);
-        self.stats.mem_wait += g - at;
-        self.stats.mem_accesses += 1;
-        let finish = g + self.cfg.lat.mem_lat;
-        let state = if dirty {
-            LineState::Modified
-        } else {
-            LineState::Exclusive
-        };
-        if let Some(v) = self.l2.fill(addr, state) {
-            self.back_invalidate(v.addr);
-            if v.dirty {
-                // Victim buffer drains right behind the fill: reserve at the
-                // grant, not the finish, to keep the port timeline dense.
-                self.mem_port.reserve(g, self.cfg.lat.mem_occ);
-                self.stats.writebacks += 1;
-            }
-        }
-        finish
+        HierarchySystem::from_parts(
+            cfg,
+            DirectoryTopo::build(
+                cfg,
+                &DirectoryLayout {
+                    cpus_per_node: 1,
+                    l1i_spec: cfg.l1i,
+                    l1d_spec: cfg.l1d,
+                    l1i_name: "l1i",
+                    l1d_name: "l1d",
+                    node_xbar: None,
+                },
+            ),
+        )
     }
 
     /// Read-only view of one CPU's L1 data cache (tests, probes).
     pub fn l1d(&self, cpu: usize) -> &CacheArray {
-        &self.l1d[cpu]
+        self.topo().l1d_at(cpu)
     }
 
     /// Read-only view of the shared L2 (tests, probes).
     pub fn l2(&self) -> &CacheArray {
-        &self.l2
+        self.topo().l2()
     }
 
     /// Checks the directory invariant: every valid L1 line has its presence
     /// bit set, and every presence bit points at a valid L1 line backed by
     /// a valid L2 line (inclusion). Diagnostics / property tests.
     pub fn directory_consistent(&self) -> bool {
-        for cpu in 0..self.cfg.n_cpus {
-            for (cache, side) in [(&self.l1d[cpu], 0usize), (&self.l1i[cpu], 1)] {
-                for line in cache.valid_lines() {
-                    let Some(&(d, i)) = self.presence.get(&line) else {
-                        return false;
-                    };
-                    let bits = if side == 0 { d } else { i };
-                    if bits & (1 << cpu) == 0 {
-                        return false;
-                    }
-                    if !self.l2.probe(line).is_valid() {
-                        return false; // inclusion violated
-                    }
-                }
-            }
-        }
-        for (&line, &(d_bits, i_bits)) in &self.presence {
-            for cpu in 0..self.cfg.n_cpus {
-                if d_bits & (1 << cpu) != 0 && !self.l1d[cpu].probe(line).is_valid() {
-                    return false;
-                }
-                if i_bits & (1 << cpu) != 0 && !self.l1i[cpu].probe(line).is_valid() {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-}
-
-impl SharedL2System {
-    /// The untimed-record core of [`MemorySystem::access`]; the trait
-    /// method wraps it to record the end-to-end latency histogram. The
-    /// private-L1 read hit — one tag lookup, one counter, no shared
-    /// resources — returns straight away; misses and stores take the
-    /// out-of-line paths so this body inlines into the CPU access loops.
-    #[inline]
-    fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
-        let cpu = req.cpu;
-        let addr = req.addr;
-        match req.kind {
-            AccessKind::IFetch | AccessKind::Load => {
-                let ifetch = req.kind == AccessKind::IFetch;
-                let outcome = if ifetch {
-                    self.l1i[cpu].lookup(addr)
-                } else {
-                    self.l1d[cpu].lookup(addr)
-                };
-                match outcome {
-                    AccessOutcome::Hit(_) => {
-                        if ifetch {
-                            self.stats.l1i.hit();
-                        } else {
-                            self.stats.l1d.hit();
-                        }
-                        MemResult {
-                            finish: now + self.cfg.lat.l1_lat,
-                            serviced_by: ServiceLevel::L1,
-                            l1_miss: false,
-                            l1_extra: 0,
-                        }
-                    }
-                    AccessOutcome::Miss(kind) => {
-                        self.service_read_miss(now, cpu, addr, ifetch, kind)
-                    }
-                }
-            }
-            AccessKind::Store => self.service_store(now, cpu, addr),
-        }
-    }
-
-    /// A load or ifetch that missed the private L1: cross to the shared L2
-    /// banks (and memory beyond), then refill the L1 and the directory.
-    fn service_read_miss(
-        &mut self,
-        now: Cycle,
-        cpu: usize,
-        addr: Addr,
-        ifetch: bool,
-        kind: MissKind,
-    ) -> MemResult {
-        let lstats = if ifetch {
-            &mut self.stats.l1i
-        } else {
-            &mut self.stats.l1d
-        };
-        lstats.miss(kind);
-        let g2 = self
-            .l2_banks
-            .reserve(u64::from(addr), now, self.cfg.lat.l2_occ);
-        self.stats.l2_bank_wait += g2 - now;
-        let (finish, level) = match self.l2.lookup(addr) {
-            AccessOutcome::Hit(_) => {
-                self.stats.l2.hit();
-                (g2 + self.cfg.lat.l2_lat, ServiceLevel::L2)
-            }
-            AccessOutcome::Miss(k2) => {
-                self.stats.l2.miss(k2);
-                (
-                    self.l2_fill_from_memory(addr, g2, false),
-                    ServiceLevel::Memory,
-                )
-            }
-        };
-        let cache = if ifetch {
-            &mut self.l1i[cpu]
-        } else {
-            &mut self.l1d[cpu]
-        };
-        // Write-through L1: lines are never dirty.
-        let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
-        self.note_l1_fill(cpu, addr, ifetch, victim);
-        MemResult {
-            finish,
-            serviced_by: level,
-            l1_miss: true,
-            l1_extra: 0,
-        }
-    }
-
-    /// Write-through, no-write-allocate: the word always travels to the L2
-    /// bank; a hit in the local L1 just updates it. Store hit/miss outcomes
-    /// are not folded into the L1 miss rate (no-allocate stores are not
-    /// demand fetches).
-    fn service_store(&mut self, now: Cycle, cpu: usize, addr: Addr) -> MemResult {
-        if matches!(self.l1d[cpu].lookup(addr), AccessOutcome::Hit(_)) {
-            // Data updated in place; stays Shared (clean).
-        }
-        self.invalidate_sharers(cpu, addr);
-        // The bank is held for the full request/response handshake
-        // including the directory lookup-and-update, so a store
-        // occupies it as long as a line transfer on the same
-        // datapath — the port contention the paper blames for the
-        // shared-L2 architecture's losses on store-heavy workloads.
-        let store_occ = self.cfg.lat.l2_occ;
-        let g2 = self.l2_banks.reserve(u64::from(addr), now, store_occ);
-        self.stats.l2_bank_wait += g2 - now;
-        match self.l2.lookup(addr) {
-            AccessOutcome::Hit(_) => {
-                self.stats.l2.hit();
-                self.l2.set_state(addr, LineState::Modified);
-                MemResult {
-                    finish: g2 + 1,
-                    serviced_by: ServiceLevel::L2,
-                    l1_miss: false,
-                    l1_extra: 0,
-                }
-            }
-            AccessOutcome::Miss(k2) => {
-                // Write-allocate at the L2: fetch the line, merge the word.
-                self.stats.l2.miss(k2);
-                let finish = self.l2_fill_from_memory(addr, g2, true);
-                MemResult {
-                    finish,
-                    serviced_by: ServiceLevel::Memory,
-                    l1_miss: false,
-                    l1_extra: 0,
-                }
-            }
-        }
-    }
-}
-
-impl SharedL2System {
-    /// Sentinel invariant check, scoped to the line the access touched:
-    /// directory presence bits must agree with actual L1 residency, every
-    /// L1 copy must be backed by a valid L2 line (inclusion), and the
-    /// write-through L1s must never hold dirty data.
-    fn sentinel_check_line(&mut self, now: Cycle, cpu: usize, addr: Addr) {
-        let line = self.line(addr);
-        let (d_bits, i_bits) = self.presence.get(&line).copied().unwrap_or((0, 0));
-        let l2_valid = self.l2.probe(line).is_valid();
-        let mut found: Vec<(ViolationKind, String)> = Vec::new();
-        for c in 0..self.cfg.n_cpus {
-            for (cache, bits, side) in
-                [(&self.l1d[c], d_bits, "l1d"), (&self.l1i[c], i_bits, "l1i")]
-            {
-                let state = cache.probe(line);
-                let bit = bits & (1 << c) != 0;
-                if state.is_valid() && !bit {
-                    found.push((
-                        ViolationKind::CopyWithoutPresence,
-                        format!("cpu {c} {side} holds the line but its directory bit is clear"),
-                    ));
-                }
-                if bit && !state.is_valid() {
-                    found.push((
-                        ViolationKind::PresenceWithoutCopy,
-                        format!("directory marks cpu {c} {side} as a sharer but it holds no copy"),
-                    ));
-                }
-                if state.is_valid() && !l2_valid {
-                    found.push((
-                        ViolationKind::InclusionViolation,
-                        format!("cpu {c} {side} holds the line but the shared L2 does not"),
-                    ));
-                }
-                if state == LineState::Modified {
-                    found.push((
-                        ViolationKind::WriteThroughDirty,
-                        format!("write-through cpu {c} {side} holds the line dirty"),
-                    ));
-                }
-            }
-        }
-        for (kind, detail) in found {
-            self.sentinel.report(now.0, cpu, line, kind, detail);
-        }
-    }
-}
-
-impl MemorySystem for SharedL2System {
-    #[inline]
-    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
-        let res = self.access_inner(now, req);
-        self.stats.latency.record(res.finish - now);
-        if self.sentinel.on() {
-            self.sentinel_check_line(now, req.cpu, req.addr);
-        }
-        res
-    }
-
-    #[inline]
-    fn load_would_hit_l1(&self, cpu: usize, addr: Addr) -> bool {
-        self.l1d[cpu].probe(addr).is_valid()
-    }
-
-    fn line_bytes(&self) -> u32 {
-        self.cfg.l1d.line_bytes
-    }
-
-    fn n_cpus(&self) -> usize {
-        self.cfg.n_cpus
-    }
-
-    fn stats(&self) -> &MemStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut MemStats {
-        &mut self.stats
-    }
-
-    fn name(&self) -> &'static str {
-        "shared-L2"
-    }
-
-    fn port_utilization(&self) -> Vec<crate::PortUtil> {
-        vec![
-            super::util_of_banks(&self.l2_banks),
-            super::util_of_port(&self.mem_port),
-        ]
-    }
-
-    fn violations(&self) -> &[SentinelViolation] {
-        self.sentinel.violations()
-    }
-
-    fn injected_faults(&self) -> &[(FaultKind, Addr)] {
-        self.sentinel.injected_faults()
+        self.topo().directory_consistent()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::LineState;
     use crate::config::SystemConfig;
+    use crate::{MemRequest, MemorySystem, ServiceLevel};
+    use cmpsim_engine::Cycle;
 
     fn sys() -> SharedL2System {
         SharedL2System::new(&SystemConfig::paper_shared_l2(4))
@@ -551,6 +171,7 @@ mod tests {
     #[test]
     fn sentinel_clean_traffic_has_no_violations() {
         use crate::sentinel::SentinelSpec;
+        use crate::Addr;
         let mut s = SharedL2System::new(
             &SystemConfig::paper_shared_l2(4).with_sentinel(SentinelSpec::on()),
         );
@@ -616,5 +237,21 @@ mod tests {
         let r = s.access(Cycle(200), MemRequest::ifetch(1, 0x5000));
         assert_eq!(r.serviced_by, ServiceLevel::L2);
         assert_eq!(s.stats().l1i.miss_inval, 1);
+    }
+
+    #[test]
+    fn eight_cpu_geometry_runs_via_config_alone() {
+        let mut s = SharedL2System::new(&SystemConfig::paper_shared_l2(8));
+        assert_eq!(s.n_cpus(), 8);
+        s.access(Cycle(0), MemRequest::load(7, 0x1000));
+        let r = s.access(Cycle(100), MemRequest::load(7, 0x1000));
+        assert_eq!(r.serviced_by, ServiceLevel::L1);
+        // A write by CPU 0 invalidates all seven other sharers.
+        for cpu in 1..8 {
+            s.access(Cycle(200 + cpu as u64 * 20), MemRequest::load(cpu, 0x1000));
+        }
+        s.access(Cycle(1000), MemRequest::store(0, 0x1000));
+        assert_eq!(s.stats().invalidations_sent, 7);
+        assert!(s.directory_consistent());
     }
 }

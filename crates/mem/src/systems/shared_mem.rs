@@ -8,253 +8,169 @@
 //! is sourced cache-to-cache at more than the memory latency (the paper
 //! argues typical times are comparable to memory access times because the
 //! slowest snooper gates the response).
+//!
+//! The topology is a [`Topology`] over the shared
+//! [`HierarchyCore`](crate::hierarchy::HierarchyCore): fully private
+//! two-level hierarchies whose coherence steps come from the reusable
+//! [`snoop`](crate::hierarchy::snoop) engine.
 
 use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::SystemConfig;
-use crate::sentinel::{FaultKind, Sentinel, SentinelViolation, ViolationKind};
-use crate::stats::MemStats;
-use crate::{AccessKind, Addr, MemRequest, MemResult, MemorySystem, ServiceLevel};
+use crate::hierarchy::{frontend, snoop, HierarchyCore, HierarchySystem, Topology};
+use crate::{AccessKind, Addr, CpuId, MemRequest, MemResult, PortUtil, ServiceLevel};
 use cmpsim_engine::{Cycle, Port};
 
-/// The snoop result for a requested line across all remote CPUs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SnoopResult {
-    /// No remote copy.
-    None,
-    /// Remote clean copies exist (Shared/Exclusive).
-    Shared,
-    /// A remote CPU holds the line Modified.
-    Dirty(usize),
-}
+use snoop::SnoopResult;
 
-/// The bus-based shared-memory multiprocessor memory system.
+/// The bus-based topology: per-CPU private L1/L2 hierarchies snooping a
+/// single shared bus.
 #[derive(Debug)]
-pub struct SharedMemSystem {
-    cfg: SystemConfig,
+pub struct SharedMemTopo {
     l1i: Vec<CacheArray>,
     l1d: Vec<CacheArray>,
     l2: Vec<CacheArray>,
     l2_ports: Vec<Port>,
     bus: Port,
-    stats: MemStats,
-    sentinel: Sentinel,
 }
+
+/// The bus-based shared-memory multiprocessor memory system.
+pub type SharedMemSystem = HierarchySystem<SharedMemTopo>;
 
 impl SharedMemSystem {
     /// Builds the system from a configuration (see
     /// [`SystemConfig::paper_shared_mem`]).
     pub fn new(cfg: &SystemConfig) -> SharedMemSystem {
-        SharedMemSystem {
-            cfg: *cfg,
-            l1i: (0..cfg.n_cpus)
-                .map(|_| CacheArray::new("l1i", cfg.l1i))
-                .collect(),
-            l1d: (0..cfg.n_cpus)
-                .map(|_| CacheArray::new("l1d", cfg.l1d))
-                .collect(),
-            l2: (0..cfg.n_cpus)
-                .map(|_| CacheArray::new("l2", cfg.l2))
-                .collect(),
-            l2_ports: (0..cfg.n_cpus).map(|_| Port::new("l2")).collect(),
-            bus: Port::new("bus"),
-            stats: MemStats::new(),
-            sentinel: Sentinel::from_spec(&cfg.sentinel),
-        }
+        HierarchySystem::from_parts(
+            cfg,
+            SharedMemTopo {
+                l1i: (0..cfg.n_cpus)
+                    .map(|_| CacheArray::new("l1i", cfg.l1i))
+                    .collect(),
+                l1d: (0..cfg.n_cpus)
+                    .map(|_| CacheArray::new("l1d", cfg.l1d))
+                    .collect(),
+                l2: (0..cfg.n_cpus)
+                    .map(|_| CacheArray::new("l2", cfg.l2))
+                    .collect(),
+                l2_ports: (0..cfg.n_cpus).map(|_| Port::new("l2")).collect(),
+                bus: Port::new("bus"),
+            },
+        )
     }
 
-    /// Snoops every remote CPU's caches for `addr`.
-    fn snoop(&self, me: usize, addr: Addr) -> SnoopResult {
-        let mut shared = false;
-        for cpu in 0..self.cfg.n_cpus {
-            if cpu == me {
-                continue;
-            }
-            let s1 = self.l1d[cpu].probe(addr);
-            let s2 = self.l2[cpu].probe(addr);
-            let si = self.l1i[cpu].probe(addr);
-            if s1 == LineState::Modified || s2 == LineState::Modified {
-                return SnoopResult::Dirty(cpu);
-            }
-            if s1.is_valid() || s2.is_valid() || si.is_valid() {
-                shared = true;
-            }
-        }
-        if shared {
-            SnoopResult::Shared
-        } else {
-            SnoopResult::None
-        }
+    /// Read-only view of one CPU's L1 data cache (tests, probes).
+    pub fn l1d(&self, cpu: usize) -> &CacheArray {
+        &self.topo().l1d[cpu]
     }
 
-    /// Invalidates the line in every remote CPU (read-exclusive / upgrade).
-    fn invalidate_remote(&mut self, me: usize, addr: Addr) {
-        // Fault injection (sentinel): drop the invalidation to one remote
-        // cache — the surviving stale copy coexists with the new owner.
-        let any_victim = (0..self.cfg.n_cpus).any(|cpu| {
-            cpu != me
-                && (self.l1d[cpu].probe(addr).is_valid()
-                    || self.l1i[cpu].probe(addr).is_valid()
-                    || self.l2[cpu].probe(addr).is_valid())
-        });
-        let mut drop_one = any_victim && self.sentinel.inject(FaultKind::DroppedInvalidation, addr);
-        for cpu in 0..self.cfg.n_cpus {
-            if cpu == me {
-                continue;
-            }
-            for cache in [&mut self.l1d[cpu], &mut self.l1i[cpu], &mut self.l2[cpu]] {
-                if cache.probe(addr).is_valid() {
-                    if drop_one {
-                        drop_one = false;
-                    } else {
-                        cache.invalidate(addr);
-                    }
-                    self.stats.invalidations_sent += 1;
-                }
-            }
-        }
+    /// Read-only view of one CPU's private L2 (tests, probes).
+    pub fn l2(&self, cpu: usize) -> &CacheArray {
+        &self.topo().l2[cpu]
     }
+}
 
-    /// Sentinel invariant check, scoped to the line the access touched:
-    /// MESI legality across the private hierarchies. Ownership (M/E) is
-    /// judged from the D-side caches only — [`Self::downgrade_remote`]
-    /// deliberately leaves I-caches alone, so a clean Exclusive I-line
-    /// coexisting with remote Shared copies is legal here.
-    fn sentinel_check_line(&mut self, now: Cycle, cpu: usize, addr: Addr) {
-        let line = self.l2[0].line_addr(addr);
-        let rank = |s: LineState| match s {
-            LineState::Modified => 3,
-            LineState::Exclusive => 2,
-            LineState::Shared => 1,
-            LineState::Invalid => 0,
-        };
-        let mut found: Vec<(ViolationKind, String)> = Vec::new();
-        let mut owners: Vec<usize> = Vec::new();
-        let mut holders: Vec<usize> = Vec::new();
-        for c in 0..self.cfg.n_cpus {
-            let r = rank(self.l1d[c].probe(line)).max(rank(self.l2[c].probe(line)));
-            if r >= 2 {
-                owners.push(c);
-            }
-            if r >= 1 || self.l1i[c].probe(line).is_valid() {
-                holders.push(c);
-            }
-            if self.l1i[c].probe(line) == LineState::Modified {
-                found.push((
-                    ViolationKind::WriteThroughDirty,
-                    format!("cpu {c} instruction cache holds the line dirty"),
-                ));
-            }
-        }
-        if owners.len() > 1 {
-            found.push((
-                ViolationKind::MultipleOwners,
-                format!("cpus {owners:?} each hold the line in an ownership (M/E) state"),
-            ));
-        }
-        if let [o] = owners[..] {
-            let sharers: Vec<usize> = holders.iter().copied().filter(|&c| c != o).collect();
-            if !sharers.is_empty() {
-                found.push((
-                    ViolationKind::SharedAlongsideOwner,
-                    format!("cpu {o} owns the line while cpus {sharers:?} still hold copies"),
-                ));
-            }
-        }
-        for (kind, detail) in found {
-            self.sentinel.report(now.0, cpu, line, kind, detail);
-        }
-    }
-
-    /// Downgrades remote copies to Shared (remote read of a dirty line).
-    fn downgrade_remote(&mut self, me: usize, addr: Addr) {
-        for cpu in 0..self.cfg.n_cpus {
-            if cpu == me {
-                continue;
-            }
-            // Fault injection (sentinel): spuriously promote the remote
-            // copy to Exclusive instead of downgrading it to Shared.
-            if self.l1d[cpu].probe(addr).is_valid()
-                && self.sentinel.inject(FaultKind::SpuriousState, addr)
-            {
-                self.l1d[cpu].set_state(addr, LineState::Exclusive);
-                self.l2[cpu].downgrade(addr);
-                continue;
-            }
-            self.l1d[cpu].downgrade(addr);
-            self.l2[cpu].downgrade(addr);
-        }
-    }
-
+impl SharedMemTopo {
     /// Fills `cpu`'s private L2, enforcing inclusion on the victim and
     /// paying for a dirty write-back.
-    fn l2_fill(&mut self, cpu: usize, addr: Addr, state: LineState, at: Cycle) {
+    fn l2_fill(
+        &mut self,
+        core: &mut HierarchyCore,
+        cpu: usize,
+        addr: Addr,
+        state: LineState,
+        at: Cycle,
+    ) {
         if let Some(v) = self.l2[cpu].fill(addr, state) {
             // Inclusion: the L1s may not keep a line the L2 dropped. A dirty
             // L1 copy folds into the write-back.
             let l1_state = self.l1d[cpu].evict(v.addr);
             self.l1i[cpu].evict(v.addr);
             if v.dirty || l1_state == LineState::Modified {
-                self.bus.reserve(at, self.cfg.lat.mem_occ);
-                self.stats.writebacks += 1;
+                self.bus.reserve(at, core.cfg.lat.mem_occ);
+                core.stats.writebacks += 1;
             }
         }
     }
 
     /// Fills `cpu`'s L1 (D or I), folding a dirty victim into its L2.
-    fn l1_fill(&mut self, cpu: usize, addr: Addr, ifetch: bool, state: LineState, at: Cycle) {
+    fn l1_fill(
+        &mut self,
+        core: &mut HierarchyCore,
+        cpu: usize,
+        addr: Addr,
+        ifetch: bool,
+        state: LineState,
+        at: Cycle,
+    ) {
         let cache = if ifetch {
             &mut self.l1i[cpu]
         } else {
             &mut self.l1d[cpu]
         };
-        if let Some(v) = cache.fill(addr, state) {
-            if v.dirty {
-                self.l2_ports[cpu].reserve(at, self.cfg.lat.l2_occ);
-                self.stats.writebacks += 1;
-                if self.l2[cpu].probe(v.addr).is_valid() {
-                    self.l2[cpu].set_state(v.addr, LineState::Modified);
-                } else {
-                    // Extremely rare (inclusion normally holds); push to bus.
-                    self.bus.reserve(at, self.cfg.lat.mem_occ);
-                }
-            }
-        }
+        frontend::fill_writeback_l1(
+            cache,
+            addr,
+            state,
+            at,
+            &mut self.l2[cpu],
+            &mut self.l2_ports[cpu],
+            core.cfg.lat.l2_occ,
+            &mut self.bus,
+            core.cfg.lat.mem_occ,
+            &mut core.stats,
+        );
     }
 
     /// A bus transaction fetching `addr` for `cpu`. `exclusive` requests
-    /// ownership (read-exclusive). Returns (finish, level, fill state).
+    /// ownership (read-exclusive). Returns (finish, level, fill state,
+    /// bus grant).
     fn bus_fetch(
         &mut self,
+        core: &mut HierarchyCore,
         cpu: usize,
         addr: Addr,
         exclusive: bool,
         at: Cycle,
     ) -> (Cycle, ServiceLevel, LineState, Cycle) {
-        let snoop = self.snoop(cpu, addr);
-        let (occ, lat, level) = match snoop {
+        let result = snoop::snoop(&self.l1d, &self.l1i, &self.l2, cpu, addr);
+        let (occ, lat, level) = match result {
             SnoopResult::Dirty(_) => (
-                self.cfg.lat.c2c_occ,
-                self.cfg.lat.c2c_lat,
+                core.cfg.lat.c2c_occ,
+                core.cfg.lat.c2c_lat,
                 ServiceLevel::CacheToCache,
             ),
             _ => (
-                self.cfg.lat.mem_occ,
-                self.cfg.lat.mem_lat,
+                core.cfg.lat.mem_occ,
+                core.cfg.lat.mem_lat,
                 ServiceLevel::Memory,
             ),
         };
         let grant = self.bus.reserve(at, occ);
-        self.stats.mem_wait += grant - at;
+        core.stats.mem_wait += grant - at;
         let finish = grant + lat;
-        self.stats.serviced(level);
+        core.stats.serviced(level);
         let state = if exclusive {
-            self.invalidate_remote(cpu, addr);
+            snoop::invalidate_remote(
+                &mut core.sentinel,
+                &mut core.stats,
+                &mut self.l1d,
+                &mut self.l1i,
+                &mut self.l2,
+                cpu,
+                addr,
+            );
             LineState::Modified
         } else {
-            match snoop {
+            match result {
                 SnoopResult::None => LineState::Exclusive,
                 _ => {
-                    self.downgrade_remote(cpu, addr);
+                    snoop::downgrade_remote(
+                        &mut core.sentinel,
+                        &mut self.l1d,
+                        &mut self.l2,
+                        cpu,
+                        addr,
+                    );
                     LineState::Shared
                 }
             }
@@ -262,26 +178,158 @@ impl SharedMemSystem {
         (finish, level, state, grant)
     }
 
-    /// Read-only view of one CPU's L1 data cache (tests, probes).
-    pub fn l1d(&self, cpu: usize) -> &CacheArray {
-        &self.l1d[cpu]
+    /// A store that hit a non-Modified L1 line: silent upgrade from
+    /// Exclusive, or an address-only bus upgrade from Shared.
+    fn service_store_hit(
+        &mut self,
+        core: &mut HierarchyCore,
+        now: Cycle,
+        cpu: usize,
+        addr: Addr,
+        state: LineState,
+    ) -> MemResult {
+        match state {
+            LineState::Exclusive => {
+                core.stats.l1d.hit();
+                self.l1d[cpu].set_state(addr, LineState::Modified);
+                if self.l2[cpu].probe(addr).is_valid() {
+                    self.l2[cpu].set_state(addr, LineState::Modified);
+                }
+                MemResult {
+                    finish: now + core.cfg.lat.l1_lat,
+                    serviced_by: ServiceLevel::L1,
+                    l1_miss: false,
+                    l1_extra: 0,
+                }
+            }
+            LineState::Shared => {
+                // Upgrade: address-only bus transaction invalidating
+                // remote copies. Counts as a hit (the data was
+                // local), but the store completes only after the bus
+                // acknowledges.
+                core.stats.l1d.hit();
+                let grant = self.bus.reserve(now + 1, core.cfg.lat.upgrade_occ);
+                core.stats.mem_wait += grant - (now + 1);
+                core.stats.upgrades += 1;
+                snoop::invalidate_remote(
+                    &mut core.sentinel,
+                    &mut core.stats,
+                    &mut self.l1d,
+                    &mut self.l1i,
+                    &mut self.l2,
+                    cpu,
+                    addr,
+                );
+                self.l1d[cpu].set_state(addr, LineState::Modified);
+                if self.l2[cpu].probe(addr).is_valid() {
+                    self.l2[cpu].set_state(addr, LineState::Modified);
+                }
+                MemResult {
+                    finish: grant + core.cfg.lat.upgrade_lat,
+                    serviced_by: ServiceLevel::Memory,
+                    l1_miss: false,
+                    l1_extra: 0,
+                }
+            }
+            _ => unreachable!("Modified handled inline; hit cannot be invalid"),
+        }
     }
 
-    /// Read-only view of one CPU's private L2 (tests, probes).
-    pub fn l2(&self, cpu: usize) -> &CacheArray {
-        &self.l2[cpu]
+    /// An access that missed the private L1: walk the private L2, then the
+    /// snooping bus and memory (or a remote cache) beyond it.
+    #[allow(clippy::too_many_arguments)] // disjoint &mut core fields, by design
+    fn service_miss(
+        &mut self,
+        core: &mut HierarchyCore,
+        now: Cycle,
+        cpu: usize,
+        addr: Addr,
+        ifetch: bool,
+        write: bool,
+        kind: MissKind,
+    ) -> MemResult {
+        let lstats = if ifetch {
+            &mut core.stats.l1i
+        } else {
+            &mut core.stats.l1d
+        };
+        lstats.miss(kind);
+        // Private L2 lookup.
+        let g2 = self.l2_ports[cpu].reserve(now, core.cfg.lat.l2_occ);
+        core.stats.l2_bank_wait += g2 - now;
+        match self.l2[cpu].lookup(addr) {
+            AccessOutcome::Hit(l2_state) => {
+                core.stats.l2.hit();
+                let can_satisfy = !write || l2_state != LineState::Shared;
+                if can_satisfy {
+                    let finish = g2 + core.cfg.lat.l2_lat;
+                    let wb_at = g2;
+                    let l1_state = if write {
+                        self.l2[cpu].set_state(addr, LineState::Modified);
+                        LineState::Modified
+                    } else {
+                        match l2_state {
+                            LineState::Shared => LineState::Shared,
+                            _ => LineState::Exclusive,
+                        }
+                    };
+                    self.l1_fill(core, cpu, addr, ifetch, l1_state, wb_at);
+                    MemResult {
+                        finish,
+                        serviced_by: ServiceLevel::L2,
+                        l1_miss: true,
+                        l1_extra: 0,
+                    }
+                } else {
+                    // Write to a Shared L2 line: upgrade on the bus.
+                    let grant = self.bus.reserve(g2, core.cfg.lat.upgrade_occ);
+                    core.stats.mem_wait += grant - g2;
+                    core.stats.upgrades += 1;
+                    snoop::invalidate_remote(
+                        &mut core.sentinel,
+                        &mut core.stats,
+                        &mut self.l1d,
+                        &mut self.l1i,
+                        &mut self.l2,
+                        cpu,
+                        addr,
+                    );
+                    self.l2[cpu].set_state(addr, LineState::Modified);
+                    let finish = grant + core.cfg.lat.upgrade_lat;
+                    self.l1_fill(core, cpu, addr, ifetch, LineState::Modified, grant);
+                    MemResult {
+                        finish,
+                        serviced_by: ServiceLevel::Memory,
+                        l1_miss: true,
+                        l1_extra: 0,
+                    }
+                }
+            }
+            AccessOutcome::Miss(k2) => {
+                core.stats.l2.miss(k2);
+                let (finish, level, state, bus_grant) = self.bus_fetch(core, cpu, addr, write, g2);
+                self.l2_fill(core, cpu, addr, state, bus_grant);
+                self.l1_fill(core, cpu, addr, ifetch, state, bus_grant);
+                MemResult {
+                    finish,
+                    serviced_by: level,
+                    l1_miss: true,
+                    l1_extra: 0,
+                }
+            }
+        }
     }
 }
 
-impl SharedMemSystem {
-    /// The untimed-record core of [`MemorySystem::access`]; the trait
-    /// method wraps it to record the end-to-end latency histogram. A clean
-    /// hit in the private L1 — the overwhelmingly common case — touches
-    /// nothing shared and returns straight away; stores that need state
-    /// work and all misses take the out-of-line paths so this body inlines
-    /// into the CPU access loops.
+impl Topology for SharedMemTopo {
+    const NAME: &'static str = "shared-memory";
+
+    /// A clean hit in the private L1 — the overwhelmingly common case —
+    /// touches nothing shared and returns straight away; stores that need
+    /// state work and all misses take the out-of-line paths so this body
+    /// inlines into the CPU access loops.
     #[inline]
-    fn access_inner(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+    fn access(&mut self, core: &mut HierarchyCore, now: Cycle, req: MemRequest) -> MemResult {
         let cpu = req.cpu;
         let addr = req.addr;
         let ifetch = req.kind == AccessKind::IFetch;
@@ -297,195 +345,46 @@ impl SharedMemSystem {
             AccessOutcome::Hit(state) => {
                 if !write || state == LineState::Modified {
                     if ifetch {
-                        self.stats.l1i.hit();
+                        core.stats.l1i.hit();
                     } else {
-                        self.stats.l1d.hit();
+                        core.stats.l1d.hit();
                     }
                     return MemResult {
-                        finish: now + self.cfg.lat.l1_lat,
+                        finish: now + core.cfg.lat.l1_lat,
                         serviced_by: ServiceLevel::L1,
                         l1_miss: false,
                         l1_extra: 0,
                     };
                 }
-                self.service_store_hit(now, cpu, addr, state)
+                self.service_store_hit(core, now, cpu, addr, state)
             }
-            AccessOutcome::Miss(kind) => self.service_miss(now, cpu, addr, ifetch, write, kind),
-        }
-    }
-
-    /// A store that hit a non-Modified L1 line: silent upgrade from
-    /// Exclusive, or an address-only bus upgrade from Shared.
-    fn service_store_hit(
-        &mut self,
-        now: Cycle,
-        cpu: usize,
-        addr: Addr,
-        state: LineState,
-    ) -> MemResult {
-        match state {
-            LineState::Exclusive => {
-                self.stats.l1d.hit();
-                self.l1d[cpu].set_state(addr, LineState::Modified);
-                if self.l2[cpu].probe(addr).is_valid() {
-                    self.l2[cpu].set_state(addr, LineState::Modified);
-                }
-                MemResult {
-                    finish: now + self.cfg.lat.l1_lat,
-                    serviced_by: ServiceLevel::L1,
-                    l1_miss: false,
-                    l1_extra: 0,
-                }
-            }
-            LineState::Shared => {
-                // Upgrade: address-only bus transaction invalidating
-                // remote copies. Counts as a hit (the data was
-                // local), but the store completes only after the bus
-                // acknowledges.
-                self.stats.l1d.hit();
-                let grant = self.bus.reserve(now + 1, self.cfg.lat.upgrade_occ);
-                self.stats.mem_wait += grant - (now + 1);
-                self.stats.upgrades += 1;
-                self.invalidate_remote(cpu, addr);
-                self.l1d[cpu].set_state(addr, LineState::Modified);
-                if self.l2[cpu].probe(addr).is_valid() {
-                    self.l2[cpu].set_state(addr, LineState::Modified);
-                }
-                MemResult {
-                    finish: grant + self.cfg.lat.upgrade_lat,
-                    serviced_by: ServiceLevel::Memory,
-                    l1_miss: false,
-                    l1_extra: 0,
-                }
-            }
-            _ => unreachable!("Modified handled inline; hit cannot be invalid"),
-        }
-    }
-
-    /// An access that missed the private L1: walk the private L2, then the
-    /// snooping bus and memory (or a remote cache) beyond it.
-    fn service_miss(
-        &mut self,
-        now: Cycle,
-        cpu: usize,
-        addr: Addr,
-        ifetch: bool,
-        write: bool,
-        kind: MissKind,
-    ) -> MemResult {
-        let lstats = if ifetch {
-            &mut self.stats.l1i
-        } else {
-            &mut self.stats.l1d
-        };
-        lstats.miss(kind);
-        // Private L2 lookup.
-        let g2 = self.l2_ports[cpu].reserve(now, self.cfg.lat.l2_occ);
-        self.stats.l2_bank_wait += g2 - now;
-        match self.l2[cpu].lookup(addr) {
-            AccessOutcome::Hit(l2_state) => {
-                self.stats.l2.hit();
-                let can_satisfy = !write || l2_state != LineState::Shared;
-                if can_satisfy {
-                    let finish = g2 + self.cfg.lat.l2_lat;
-                    let wb_at = g2;
-                    let l1_state = if write {
-                        self.l2[cpu].set_state(addr, LineState::Modified);
-                        LineState::Modified
-                    } else {
-                        match l2_state {
-                            LineState::Shared => LineState::Shared,
-                            _ => LineState::Exclusive,
-                        }
-                    };
-                    self.l1_fill(cpu, addr, ifetch, l1_state, wb_at);
-                    MemResult {
-                        finish,
-                        serviced_by: ServiceLevel::L2,
-                        l1_miss: true,
-                        l1_extra: 0,
-                    }
-                } else {
-                    // Write to a Shared L2 line: upgrade on the bus.
-                    let grant = self.bus.reserve(g2, self.cfg.lat.upgrade_occ);
-                    self.stats.mem_wait += grant - g2;
-                    self.stats.upgrades += 1;
-                    self.invalidate_remote(cpu, addr);
-                    self.l2[cpu].set_state(addr, LineState::Modified);
-                    let finish = grant + self.cfg.lat.upgrade_lat;
-                    self.l1_fill(cpu, addr, ifetch, LineState::Modified, grant);
-                    MemResult {
-                        finish,
-                        serviced_by: ServiceLevel::Memory,
-                        l1_miss: true,
-                        l1_extra: 0,
-                    }
-                }
-            }
-            AccessOutcome::Miss(k2) => {
-                self.stats.l2.miss(k2);
-                let (finish, level, state, bus_grant) = self.bus_fetch(cpu, addr, write, g2);
-                self.l2_fill(cpu, addr, state, bus_grant);
-                self.l1_fill(cpu, addr, ifetch, state, bus_grant);
-                MemResult {
-                    finish,
-                    serviced_by: level,
-                    l1_miss: true,
-                    l1_extra: 0,
-                }
+            AccessOutcome::Miss(kind) => {
+                self.service_miss(core, now, cpu, addr, ifetch, write, kind)
             }
         }
     }
-}
 
-impl MemorySystem for SharedMemSystem {
-    #[inline]
-    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
-        let res = self.access_inner(now, req);
-        self.stats.latency.record(res.finish - now);
-        if self.sentinel.on() {
-            self.sentinel_check_line(now, req.cpu, req.addr);
-        }
-        res
+    fn check_line(&self, core: &mut HierarchyCore, now: Cycle, cpu: CpuId, addr: Addr) {
+        let line = self.l2[0].line_addr(addr);
+        snoop::check_mesi_line(
+            &mut core.sentinel,
+            &self.l1d,
+            &self.l1i,
+            &self.l2,
+            now,
+            cpu,
+            line,
+        );
     }
 
     #[inline]
-    fn load_would_hit_l1(&self, cpu: usize, addr: Addr) -> bool {
+    fn load_would_hit_l1(&self, cpu: CpuId, addr: Addr) -> bool {
         self.l1d[cpu].probe(addr).is_valid()
     }
 
-    fn line_bytes(&self) -> u32 {
-        self.cfg.l1d.line_bytes
-    }
-
-    fn n_cpus(&self) -> usize {
-        self.cfg.n_cpus
-    }
-
-    fn stats(&self) -> &MemStats {
-        &self.stats
-    }
-
-    fn stats_mut(&mut self) -> &mut MemStats {
-        &mut self.stats
-    }
-
-    fn name(&self) -> &'static str {
-        "shared-memory"
-    }
-
-    fn port_utilization(&self) -> Vec<crate::PortUtil> {
-        let mut v: Vec<crate::PortUtil> = self.l2_ports.iter().map(super::util_of_port).collect();
-        v.push(super::util_of_port(&self.bus));
-        v
-    }
-
-    fn violations(&self) -> &[SentinelViolation] {
-        self.sentinel.violations()
-    }
-
-    fn injected_faults(&self) -> &[(FaultKind, Addr)] {
-        self.sentinel.injected_faults()
+    fn push_port_util(&self, out: &mut Vec<PortUtil>) {
+        out.extend(self.l2_ports.iter().map(crate::hierarchy::util_of_port));
+        out.push(crate::hierarchy::util_of_port(&self.bus));
     }
 }
 
@@ -493,6 +392,7 @@ impl MemorySystem for SharedMemSystem {
 mod tests {
     use super::*;
     use crate::config::SystemConfig;
+    use crate::MemorySystem;
 
     fn sys() -> SharedMemSystem {
         SharedMemSystem::new(&SystemConfig::paper_shared_mem(4))

@@ -7,16 +7,23 @@
 # 2. Tier-1 proper: release build + full workspace test suite, with
 #    cargo's network access disabled so a regression in (1) can never be
 #    papered over by a warm registry cache.
-# 3. Lint gate: `cargo clippy --workspace -- -D warnings` keeps the tree
+# 3. Format gate: `cargo fmt --check` keeps the tree rustfmt-clean.
+# 4. Lint gate: `cargo clippy --workspace -- -D warnings` keeps the tree
 #    warning-free.
-# 4. Sentinel pass: the quick digest matrix runs with CMPSIM_SENTINEL=1
+# 5. Doc gate: `cargo doc` with warnings denied keeps rustdoc (broken
+#    intra-doc links, missing docs per crate policy) clean.
+# 6. Golden digest: the first 56 lines of the quick summary matrix — the
+#    default 4-CPU configuration rows — must be byte-identical to the
+#    checked-in golden file. Refactors may add geometry rows after the
+#    prefix but may never change a default row's digest.
+# 7. Sentinel pass: the quick digest matrix runs with CMPSIM_SENTINEL=1
 #    and must produce byte-identical lines to the sentinel-off run (the
 #    invariant checker may never change results); any violation panics the
 #    matrix runner, so "identical output" also means "zero violations".
-# 5. Quick simulator-speed check: the sim_throughput bench in quick mode
+# 8. Quick simulator-speed check: the sim_throughput bench in quick mode
 #    (CMPSIM_BENCH_QUICK=1, single run per case) appended to
-#    BENCH_pr3.json, so every verification leaves a dated throughput
-#    record (now including sentinel-on/off overhead) next to the
+#    BENCH_pr4.json, so every verification leaves a dated throughput
+#    record (sentinel overhead and geometry rows included) next to the
 #    pre/post-PR entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -36,11 +43,19 @@ echo "== tier-1: cargo build --release && cargo test -q (offline) =="
 cargo build --release
 cargo test -q
 
+echo "== format gate: cargo fmt --check =="
+cargo fmt --check
+echo "ok: rustfmt is clean"
+
 echo "== lint gate: cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 echo "ok: clippy is clean"
 
-echo "== sentinel pass: quick digest matrix, checker on vs off =="
+echo "== doc gate: cargo doc --no-deps with warnings denied =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+echo "ok: rustdoc is clean"
+
+echo "== sentinel pass + golden digest: quick matrix, checker on vs off =="
 matrix_off=$(CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
 matrix_on=$(CMPSIM_SENTINEL=1 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
 if [ "$matrix_off" != "$matrix_on" ]; then
@@ -50,12 +65,20 @@ if [ "$matrix_off" != "$matrix_on" ]; then
 fi
 echo "ok: sentinel-on matrix is bit-identical (zero violations)"
 
-echo "== quick simulator-speed record -> BENCH_pr3.json =="
+golden=crates/bench/golden/matrix_scale0.02.txt
+if ! printf '%s\n' "$matrix_off" | head -n "$(wc -l < "$golden")" | diff -q - "$golden" >/dev/null; then
+    echo "ERROR: default-row digest prefix differs from $golden:" >&2
+    printf '%s\n' "$matrix_off" | head -n "$(wc -l < "$golden")" | diff - "$golden" >&2 || true
+    exit 1
+fi
+echo "ok: default-row digests match the golden file"
+
+echo "== quick simulator-speed record -> BENCH_pr4.json =="
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench sim_throughput 2>/dev/null \
     | grep '^{' \
     | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
-    >> BENCH_pr3.json
+    >> BENCH_pr4.json
 echo "ok: appended quick sim_throughput records"
 
 echo "verify.sh: all checks passed"
