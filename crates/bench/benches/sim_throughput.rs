@@ -11,6 +11,9 @@
 //!   the invariant checker's overhead is tracked next to the baselines;
 //! * one per memory system (accesses per host second on a synthetic
 //!   scatter stream);
+//! * the trace subsystem: capture throughput and compression (bytes per
+//!   reference), then the L2 datapath-width sweep driven execution-style
+//!   versus trace-replay-style, with the replay-vs-execution speedup;
 //! * the full summary matrix run serially and with the job pool
 //!   (`CMPSIM_BENCH_JOBS`), so harness-level parallel speedup is tracked.
 //!
@@ -21,7 +24,7 @@ use cmpsim_bench::jobs;
 use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
 use cmpsim_bench::timing::{self, JsonVal};
 use cmpsim_core::machine::run_workload;
-use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
+use cmpsim_core::{capture_run, ArchKind, CpuKind, MachineConfig};
 use cmpsim_engine::Cycle;
 use cmpsim_kernels::build_by_name;
 use cmpsim_mem::{
@@ -179,6 +182,142 @@ fn memsys_throughput(label: &str, mut make: impl FnMut() -> Box<dyn MemorySystem
     );
 }
 
+/// The trace-subsystem records: captures eqntott/Mipsy once (timing the
+/// capture and recording the codec's compression in bytes per reference)
+/// and times one decode of the captured stream, then runs the paper's L2
+/// datapath-width ablation — the power-of-two family from the 128-bit
+/// study width down to an 8-bit path, i.e. bank occupancies 4 (the
+/// 64-bit paper default), 8, 16, and 32 cycles per line at the default
+/// shared-L2 geometry — twice: execution-driven (a full machine per
+/// configuration, exactly like the ablation benches) and trace-driven (a
+/// fresh concretely-typed memory system per configuration fed the
+/// decoded stream). Reports references per host second for both and the
+/// replay-vs-execution speedup. Both modes are normalized by the
+/// captured stream's reference count; execution-driven counts drift a
+/// little across configurations (slower configurations spin longer on
+/// locks), but the work per configuration is the same stream to first
+/// order.
+///
+/// Each side's record times the simulation only, with its input prepared
+/// outside the clock: the execution sweep gets the workload pre-built
+/// (`build_by_name` is not timed, matching the ablation benches) and the
+/// replay sweep gets the trace pre-decoded — decode cost has its own
+/// record, next to capture. Both sweeps are timed point by point and the
+/// per-point statistics summed, so the two records carry whole-sweep
+/// totals. The recorded `replay_vs_exec_ratio` compares the summed
+/// per-point minima rather than medians: short per-point timings let
+/// the minima dodge the noise bursts of a time-shared host that any
+/// whole-sweep timing would integrate, and both paths get identical
+/// treatment point for point.
+///
+/// Uses its own repeat/scale knobs: quick mode still needs a trace big
+/// enough that per-configuration build costs don't swamp the
+/// per-reference signal, and the sweep loops are cheap enough to afford
+/// a best-of-7 even there.
+fn replay_sweep_throughput() {
+    let quick = std::env::var("CMPSIM_BENCH_QUICK")
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false);
+    let (warmup, runs, scale) = if quick { (1, 7, 0.1) } else { (1, 9, 0.3) };
+    let base = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mipsy);
+    let sweep: Vec<MachineConfig> = [4u64, 8, 16, 32]
+        .iter()
+        .map(|&occ| {
+            let mut cfg = base;
+            cfg.l2_occupancy = Some(occ);
+            cfg
+        })
+        .collect();
+    let w = build_by_name("eqntott", 4, scale).expect("builds");
+
+    let mut bytes = Vec::new();
+    let mut refs = 0u64;
+    let m_cap = timing::measure(warmup, runs, || {
+        let (s, b) = capture_run(&base, &w, 100_000_000).expect("captures");
+        refs = cmpsim_trace::count_accesses(&b).expect("counts");
+        bytes = b;
+        s
+    });
+    timing::emit_record(
+        "sim_throughput",
+        "replay/capture/eqntott",
+        &m_cap,
+        &[
+            ("refs", refs.into()),
+            ("trace_bytes", (bytes.len() as u64).into()),
+            (
+                "bytes_per_ref",
+                JsonVal::F64(bytes.len() as f64 / refs.max(1) as f64),
+            ),
+            ("refs_per_host_sec", JsonVal::F64(m_cap.per_sec(refs))),
+        ],
+    );
+
+    let m_dec = timing::measure(warmup, runs, || {
+        cmpsim_trace::decode(&bytes).expect("decodes").len()
+    });
+    timing::emit_record(
+        "sim_throughput",
+        "replay/decode/eqntott",
+        &m_dec,
+        &[
+            ("refs", refs.into()),
+            ("refs_per_host_sec", JsonVal::F64(m_dec.per_sec(refs))),
+        ],
+    );
+
+    let sweep_refs = refs * sweep.len() as u64;
+    // Each sweep point is measured on its own, execution-driven then
+    // trace-driven, and the per-point statistics are summed into the
+    // sweep totals. Short per-point timings let the minima dodge host
+    // noise bursts that a single whole-sweep timing would integrate, and
+    // both sides get identical treatment point for point.
+    let mut m_exec = timing::Measured::zero(warmup, runs);
+    let mut m_replay = timing::Measured::zero(warmup, runs);
+    let records = cmpsim_trace::decode(&bytes).expect("decodes");
+    for cfg in &sweep {
+        let e = timing::measure(warmup, runs, || {
+            run_workload(cfg, &w, 100_000_000)
+                .expect("runs")
+                .wall_cycles
+        });
+        m_exec.add(&e);
+        let r = timing::measure(warmup, runs, || {
+            let mut sys = SharedL2System::new(&cfg.system_config());
+            cmpsim_trace::replay_records(&records, &mut sys).accesses
+        });
+        m_replay.add(&r);
+    }
+    timing::emit_record(
+        "sim_throughput",
+        "replay/sweep_exec/eqntott",
+        &m_exec,
+        &[
+            ("configs", (sweep.len() as u64).into()),
+            ("refs", sweep_refs.into()),
+            (
+                "refs_per_host_sec",
+                JsonVal::F64(m_exec.per_sec(sweep_refs)),
+            ),
+        ],
+    );
+    let ratio = m_exec.min_ns as f64 / (m_replay.min_ns as f64).max(f64::MIN_POSITIVE);
+    timing::emit_record(
+        "sim_throughput",
+        "replay/sweep_replay/eqntott",
+        &m_replay,
+        &[
+            ("configs", (sweep.len() as u64).into()),
+            ("refs", sweep_refs.into()),
+            (
+                "refs_per_host_sec",
+                JsonVal::F64(m_replay.per_sec(sweep_refs)),
+            ),
+            ("replay_vs_exec_ratio", JsonVal::F64(ratio)),
+        ],
+    );
+}
+
 /// Times the full arch x workload x cpu summary matrix with a given job
 /// count — `jobs = 1` is the serial baseline, `jobs::n_jobs()` the pooled
 /// run — so `BENCH_*.json` tracks the harness-level speedup.
@@ -205,6 +344,11 @@ fn matrix_throughput(jobs: usize) {
 }
 
 fn main() {
+    // The trace sweep goes first: its replay timings stream a decoded
+    // record array through the host cache, and measuring before the
+    // other phases grow and fragment the heap keeps those timings clean.
+    replay_sweep_throughput();
+
     for decode_cache in [true, false] {
         cpu_model_throughput("mipsy", ArchKind::SharedMem, CpuKind::Mipsy, decode_cache);
         cpu_model_throughput("mxs", ArchKind::SharedL1, CpuKind::Mxs, decode_cache);

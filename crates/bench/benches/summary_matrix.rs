@@ -9,17 +9,32 @@
 //! Scale comes from `CMPSIM_MATRIX_SCALE` (default 0.05) and the worker
 //! count from `CMPSIM_BENCH_JOBS` (default: all host cores). Output is
 //! byte-identical for any jobs value.
+//!
+//! `CMPSIM_MATRIX_REPLAY=1` runs every case with reference-trace capture
+//! on and replays each capture into a freshly built identical memory
+//! system, asserting bit-identical `MemStats` per case. The emitted lines
+//! are the same either way — which is itself the other half of the gate:
+//! a diff of replay-mode output against plain output proves the capture
+//! hook perturbs nothing.
 
 use cmpsim_bench::jobs;
-use cmpsim_bench::matrix::{extended_matrix, matrix_json_lines};
+use cmpsim_bench::matrix::{extended_matrix, matrix_json_lines, matrix_json_lines_replay_checked};
 
 fn main() {
     let scale = std::env::var("CMPSIM_MATRIX_SCALE")
         .ok()
         .and_then(|s| s.trim().parse::<f64>().ok())
         .unwrap_or(0.05);
+    let replay = std::env::var("CMPSIM_MATRIX_REPLAY")
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false);
     let cases = extended_matrix(scale);
-    for line in matrix_json_lines(&cases, jobs::n_jobs()) {
+    let lines = if replay {
+        matrix_json_lines_replay_checked(&cases, jobs::n_jobs())
+    } else {
+        matrix_json_lines(&cases, jobs::n_jobs())
+    };
+    for line in lines {
         println!("{line}");
     }
 }

@@ -15,7 +15,7 @@
 use crate::jobs;
 use crate::timing::{json_line, JsonVal};
 use cmpsim_core::machine::run_workload;
-use cmpsim_core::{ArchKind, CpuKind, MachineConfig, RunSummary};
+use cmpsim_core::{capture_run, ArchKind, CpuKind, MachineConfig, RunSummary};
 use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
 
 /// Cycle budget for matrix runs (small scales finish far below this).
@@ -193,6 +193,61 @@ pub fn matrix_json_lines(cases: &[MatrixCase], jobs: usize) -> Vec<String> {
     jobs::map_jobs(jobs, cases, |case| summary_json(case, &run_case(case)))
 }
 
+/// Runs one matrix case with reference-trace capture on, then replays the
+/// capture into a second, freshly built identical memory system and
+/// asserts the replayed `MemStats` and port utilization are bit-identical
+/// to the captured run's. Returns the captured run's summary, so a matrix
+/// of these renders the same JSON lines as [`run_case`] — which is the
+/// other half of the contract: capture must not perturb the run.
+///
+/// # Panics
+///
+/// As [`run_case`]; additionally panics if the trace fails to decode or
+/// the replayed statistics differ.
+pub fn run_case_replay_checked(case: &MatrixCase) -> RunSummary {
+    let w = build_by_name(case.workload, case.n_cpus, case.scale)
+        .unwrap_or_else(|e| panic!("building {}: {e}", case.workload));
+    let mut cfg = MachineConfig::new(case.arch, case.cpu);
+    cfg.n_cpus = case.n_cpus;
+    cfg.cpus_per_cluster = case.cpus_per_cluster;
+    let (s, bytes) = capture_run(&cfg, &w, MATRIX_BUDGET)
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", case.workload, case.arch));
+    let mut fresh = cfg
+        .arch
+        .try_build(&cfg.system_config())
+        .unwrap_or_else(|e| panic!("{e}"));
+    cmpsim_trace::replay_bytes(&bytes, fresh.as_mut())
+        .unwrap_or_else(|e| panic!("{} on {}: replay failed: {e}", case.workload, case.arch));
+    assert_eq!(
+        format!("{:?}", fresh.stats()),
+        format!("{:?}", s.mem),
+        "{} on {} ({}): replayed MemStats differ from the captured run's",
+        case.workload,
+        case.arch,
+        cpu_label(case.cpu),
+    );
+    assert_eq!(
+        format!("{:?}", fresh.port_utilization()),
+        format!("{:?}", s.port_util),
+        "{} on {} ({}): replayed port utilization differs",
+        case.workload,
+        case.arch,
+        cpu_label(case.cpu),
+    );
+    s
+}
+
+/// [`matrix_json_lines`] with every case run through
+/// [`run_case_replay_checked`]: same lines, plus the per-case
+/// capture/replay equivalence assertions. Byte-identical output to the
+/// plain matrix proves both that the capture hook does not perturb
+/// results and that replay reproduces them.
+pub fn matrix_json_lines_replay_checked(cases: &[MatrixCase], jobs: usize) -> Vec<String> {
+    jobs::map_jobs(jobs, cases, |case| {
+        summary_json(case, &run_case_replay_checked(case))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +297,22 @@ mod tests {
                 case.workload, case.arch
             );
         }
+    }
+
+    /// Golden-equivalence, fast subset (the full 56-case gate runs in
+    /// `verify.sh`): the replay-checked matrix must render byte-identical
+    /// JSON lines to the plain matrix — capture perturbs nothing, replay
+    /// reproduces everything. Both CPU models are covered.
+    #[test]
+    fn replay_checked_matrix_matches_plain_matrix() {
+        let cases: Vec<MatrixCase> = default_matrix(0.02)
+            .into_iter()
+            .filter(|c| c.workload == "eqntott" || (c.workload == "fft" && c.cpu == CpuKind::Mipsy))
+            .collect();
+        assert_eq!(cases.len(), 4 * 2 + 4);
+        let plain = matrix_json_lines(&cases, 4);
+        let checked = matrix_json_lines_replay_checked(&cases, 4);
+        assert_eq!(plain, checked);
     }
 
     #[test]

@@ -40,6 +40,47 @@ impl Measured {
             units as f64 / self.median_secs()
         }
     }
+
+    /// An all-zero measurement to accumulate per-point sweep statistics
+    /// into with [`Measured::add`].
+    pub fn zero(warmup: u32, runs: u32) -> Measured {
+        Measured {
+            median_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            runs,
+            warmup,
+        }
+    }
+
+    /// Accumulates another measurement component-wise (sum of medians,
+    /// of minima, of maxima). For sweeps timed point by point: the
+    /// summed minima estimate the undisturbed whole-sweep cost on a
+    /// noisy host far better than the minimum over whole-sweep runs,
+    /// which must catch a noise-free window spanning every point at
+    /// once.
+    pub fn add(&mut self, other: &Measured) {
+        self.median_ns += other.median_ns;
+        self.min_ns += other.min_ns;
+        self.max_ns += other.max_ns;
+    }
+
+    /// Builds the statistics from raw per-run wall times in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times_ns` is empty.
+    pub fn from_times_ns(warmup: u32, mut times_ns: Vec<u64>) -> Measured {
+        assert!(!times_ns.is_empty(), "need at least one timed run");
+        times_ns.sort_unstable();
+        Measured {
+            median_ns: times_ns[times_ns.len() / 2],
+            min_ns: times_ns[0],
+            max_ns: times_ns[times_ns.len() - 1],
+            runs: times_ns.len() as u32,
+            warmup,
+        }
+    }
 }
 
 /// Runs `f` `warmup` times untimed, then `runs` times timed, and reports
@@ -54,21 +95,14 @@ pub fn measure<T>(warmup: u32, runs: u32, mut f: impl FnMut() -> T) -> Measured 
     for _ in 0..warmup {
         std::hint::black_box(f());
     }
-    let mut times_ns: Vec<u64> = (0..runs)
+    let times_ns: Vec<u64> = (0..runs)
         .map(|_| {
             let start = Instant::now();
             std::hint::black_box(f());
             start.elapsed().as_nanos() as u64
         })
         .collect();
-    times_ns.sort_unstable();
-    Measured {
-        median_ns: times_ns[times_ns.len() / 2],
-        min_ns: times_ns[0],
-        max_ns: times_ns[times_ns.len() - 1],
-        runs,
-        warmup,
-    }
+    Measured::from_times_ns(warmup, times_ns)
 }
 
 /// One value in a JSON line.

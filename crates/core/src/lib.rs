@@ -35,7 +35,7 @@ pub mod report;
 pub use cmpsim_cpu::MxsConfig;
 pub use machine::{
     run_workload, ArchKind, CpuDiag, CpuKind, Machine, MachineConfig, RunError, RunSummary,
-    Watchdog, WatchdogReport, ENV_STALL_CYCLES,
+    Watchdog, WatchdogReport, ENV_STALL_CYCLES, ENV_TRACE_IN, ENV_TRACE_OUT,
 };
-pub use probe::{probe_latencies, ProbeResult};
-pub use report::{Breakdown, MissRates};
+pub use probe::{capture_run, probe_latencies, ProbeResult};
+pub use report::{Breakdown, IpcBreakdown, MissRates, TraceProfile};

@@ -8,8 +8,11 @@ use cmpsim_mem::{
     AddrSpace, ClusteredSystem, ConfigError, MemStats, MemorySystem, PhysMem, SentinelSpec,
     SentinelViolation, SharedL1System, SharedL2System, SharedMemSystem, SystemConfig,
 };
+use cmpsim_trace::{sink_to, SinkHandle, TracingSystem};
 use std::collections::VecDeque;
 use std::fmt;
+use std::io::Write;
+use std::rc::Rc;
 
 /// Which of the paper's three architectures to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -139,6 +142,16 @@ pub struct MachineConfig {
 /// Environment knob naming the forward-progress watchdog limit in cycles.
 pub const ENV_STALL_CYCLES: &str = "CMPSIM_STALL_CYCLES";
 
+/// Environment knob naming a file path to capture the reference trace to.
+/// Unset (the default) means no capture and exactly zero overhead: the
+/// machine runs the raw memory system with no wrapper installed.
+pub const ENV_TRACE_OUT: &str = "CMPSIM_TRACE_OUT";
+
+/// Environment knob naming a trace file for replay-driven runs (read by
+/// the `cmpsim replay` subcommand and the analysis example, not by
+/// [`Machine`] itself).
+pub const ENV_TRACE_IN: &str = "CMPSIM_TRACE_IN";
+
 impl MachineConfig {
     /// A 4-CPU paper-default machine.
     pub fn new(arch: ArchKind, cpu: CpuKind) -> MachineConfig {
@@ -172,6 +185,17 @@ impl MachineConfig {
                 .ok()
                 .and_then(|v| v.trim().parse().ok())
         })
+    }
+
+    /// The trace-capture destination from the environment, if any.
+    /// `MachineConfig` is `Copy`, so the path lives in `CMPSIM_TRACE_OUT`
+    /// rather than in the config; programmatic capture goes through
+    /// [`Machine::try_new_capturing`] instead.
+    pub fn resolved_trace_out(&self) -> Option<String> {
+        std::env::var(ENV_TRACE_OUT)
+            .ok()
+            .map(|v| v.trim().to_string())
+            .filter(|v| !v.is_empty())
     }
 
     /// Resolved memory-system configuration.
@@ -428,6 +452,10 @@ pub struct Machine {
     sentinel_on: bool,
     /// Resolved watchdog limit (None = watchdog off).
     stall_limit: Option<u64>,
+    /// Reference-trace sink when capture is on; the other end is held by
+    /// the [`TracingSystem`] wrapped around `mem`. `None` means `mem` is
+    /// the raw system — capture off costs exactly zero.
+    trace: Option<SinkHandle>,
 }
 
 impl fmt::Debug for Machine {
@@ -453,8 +481,57 @@ impl Machine {
     }
 
     /// Fallible constructor: rejects a workload built for a different CPU
-    /// count and invalid system configurations.
+    /// count and invalid system configurations. Honors `CMPSIM_TRACE_OUT`:
+    /// when set, the machine captures its reference trace to that path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `CMPSIM_TRACE_OUT` names a path that cannot be created —
+    /// an environment-knob misuse with no typed-error path.
     pub fn try_new(cfg: &MachineConfig, workload: &BuiltWorkload) -> Result<Machine, ConfigError> {
+        let writer: Option<Box<dyn Write>> = cfg.resolved_trace_out().map(|path| {
+            let f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("{ENV_TRACE_OUT}={path}: {e}"));
+            Box::new(std::io::BufWriter::new(f)) as Box<dyn Write>
+        });
+        Machine::try_new_inner(cfg, workload, writer)
+    }
+
+    /// Builds a machine that captures its reference trace into `out`
+    /// (ignoring `CMPSIM_TRACE_OUT`), panicking on invalid configurations.
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::new`].
+    pub fn new_capturing(
+        cfg: &MachineConfig,
+        workload: &BuiltWorkload,
+        out: Box<dyn Write>,
+    ) -> Machine {
+        Machine::try_new_capturing(cfg, workload, out).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Machine::new_capturing`]: the programmatic capture entry
+    /// point — every memory access the CPUs issue is appended to `out` in
+    /// the `cmpsim-trace` binary format, and the trace is finished when
+    /// the run completes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::try_new`].
+    pub fn try_new_capturing(
+        cfg: &MachineConfig,
+        workload: &BuiltWorkload,
+        out: Box<dyn Write>,
+    ) -> Result<Machine, ConfigError> {
+        Machine::try_new_inner(cfg, workload, Some(out))
+    }
+
+    fn try_new_inner(
+        cfg: &MachineConfig,
+        workload: &BuiltWorkload,
+        trace_out: Option<Box<dyn Write>>,
+    ) -> Result<Machine, ConfigError> {
         if workload.entries.len() != cfg.n_cpus {
             return Err(ConfigError::WorkloadCpuMismatch {
                 workload: workload.entries.len(),
@@ -467,6 +544,20 @@ impl Machine {
             mc.validate()?;
         }
         let mem = cfg.arch.try_build(&sc)?;
+        // Install the capture decorator only when asked: the wrapper
+        // forwards everything unchanged (a traced run is bit-identical to
+        // an untraced one), and its absence means zero overhead.
+        let (mem, trace): (Box<dyn MemorySystem>, Option<SinkHandle>) = match trace_out {
+            Some(out) => {
+                let sink = sink_to(out, cfg.n_cpus, mem.line_bytes())
+                    .unwrap_or_else(|e| panic!("trace capture failed: {e}"));
+                (
+                    Box::new(TracingSystem::new(mem, Rc::clone(&sink))),
+                    Some(sink),
+                )
+            }
+            None => (mem, None),
+        };
         let mut phys = PhysMem::new(cfg.n_cpus);
         workload.install(&mut phys);
         // Arm the oracle only after the image is installed so the initial
@@ -511,6 +602,7 @@ impl Machine {
             workload_name: workload.name,
             sentinel_on: sc.sentinel.enabled,
             stall_limit: cfg.resolved_stall_cycles(),
+            trace,
         })
     }
 
@@ -619,6 +711,12 @@ impl Machine {
                     cpu.counters_mut().reset();
                 }
                 self.mem.stats_mut().reset();
+                // The reset is invisible at the access boundary, so the
+                // trace carries an explicit marker — replay re-applies it
+                // to reproduce region-of-interest statistics exactly.
+                if let Some(t) = &self.trace {
+                    t.borrow_mut().record_reset(now.0);
+                }
                 self.roi_start = now;
             }
             HcallNo::Phase(tag) => self.phases.push((now.0, c, tag)),
@@ -639,6 +737,13 @@ impl Machine {
     }
 
     fn summary(&mut self) -> RunSummary {
+        // Seal the capture (chunk flush + footer) before reporting; the
+        // sink also finishes best-effort on drop for error paths.
+        if let Some(t) = &self.trace {
+            t.borrow_mut()
+                .finish()
+                .unwrap_or_else(|e| panic!("trace capture failed: {e}"));
+        }
         let per_cpu: Vec<CpuCounters> = self.cpus.iter().map(|c| c.counters().clone()).collect();
         let mut total = CpuCounters::new();
         for c in &per_cpu {
@@ -678,6 +783,14 @@ impl Machine {
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Capture progress when tracing is on: `(records, encoded bytes)`.
+    pub fn trace_progress(&self) -> Option<(u64, u64)> {
+        self.trace.as_ref().map(|t| {
+            let t = t.borrow();
+            (t.records(), t.bytes_written())
+        })
     }
 }
 
@@ -819,6 +932,38 @@ mod tests {
             cmpsim_mem::ConfigError::TooFewPhysRegs { phys_regs: 40, .. }
         ));
         assert!(err.to_string().contains("32 + rob_entries"));
+    }
+
+    /// The trace contract end to end: a traced run is bit-identical to an
+    /// untraced one (the wrapper cannot perturb the experiment), and
+    /// replaying the capture into a fresh system built from configuration
+    /// alone reproduces the memory statistics bit for bit.
+    #[test]
+    fn captured_trace_replays_to_identical_mem_stats() {
+        let cfg = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mipsy);
+        let w = build_by_name("eqntott", 4, 0.03).expect("builds");
+        let (summary, bytes) = crate::probe::capture_run(&cfg, &w, 100_000_000).expect("captures");
+
+        let w2 = build_by_name("eqntott", 4, 0.03).expect("builds");
+        let plain = run_workload(&cfg, &w2, 100_000_000).expect("runs");
+        assert_eq!(
+            format!("{:?}", summary.mem),
+            format!("{:?}", plain.mem),
+            "capture must not perturb the run it observes"
+        );
+
+        let mut sys = cfg.arch.build(&cfg.system_config());
+        let rs = cmpsim_trace::replay_bytes(&bytes, sys.as_mut()).expect("replays");
+        assert!(rs.accesses > 1_000);
+        assert_eq!(
+            format!("{:?}", sys.stats()),
+            format!("{:?}", plain.mem),
+            "replay must reproduce MemStats bit-identically"
+        );
+        assert_eq!(
+            format!("{:?}", sys.port_utilization()),
+            format!("{:?}", plain.port_util),
+        );
     }
 
     #[test]

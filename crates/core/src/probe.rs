@@ -5,9 +5,11 @@
 //! contention-free latencies and occupancies — the `table2_latency` bench
 //! prints paper-vs-measured rows from this.
 
-use crate::machine::ArchKind;
+use crate::machine::{ArchKind, Machine, MachineConfig, RunError, RunSummary};
 use cmpsim_engine::Cycle;
+use cmpsim_kernels::BuiltWorkload;
 use cmpsim_mem::{MemRequest, MemorySystem};
+use cmpsim_trace::SharedBuf;
 
 /// Measured latencies (in cycles) for one architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +113,26 @@ pub fn probe_latencies(arch: ArchKind, ideal_shared_l1: bool) -> ProbeResult {
         l2_occupancy,
         mem_occupancy,
     }
+}
+
+/// Runs `workload` to completion with reference-trace capture on,
+/// returning the run summary together with the encoded trace bytes — the
+/// in-process analogue of setting `CMPSIM_TRACE_OUT`, used by the replay
+/// benches, the equivalence gate and the examples.
+///
+/// # Errors
+///
+/// As [`crate::machine::run_workload`].
+pub fn capture_run(
+    cfg: &MachineConfig,
+    workload: &BuiltWorkload,
+    max_cycles: u64,
+) -> Result<(RunSummary, Vec<u8>), RunError> {
+    let buf = SharedBuf::new();
+    let mut m = Machine::new_capturing(cfg, workload, Box::new(buf.clone()));
+    let summary = m.run(max_cycles)?;
+    (workload.check)(m.phys()).map_err(RunError::CheckFailed)?;
+    Ok((summary, buf.take()))
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use crate::machine::RunSummary;
 use cmpsim_engine::stats::ratio;
 use cmpsim_mem::MemStats;
+use cmpsim_trace::TraceAnalysis;
 use std::fmt;
 
 /// Execution-time breakdown (Figures 4–10): every accounted CPU cycle falls
@@ -164,6 +165,61 @@ impl fmt::Display for IpcBreakdown {
     }
 }
 
+/// Reference-stream characterization derived from a captured trace — the
+/// sharing-study companion to the timing tables, normalized the way such
+/// tables are usually quoted (fractions of the footprint, events per
+/// thousand references).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceProfile {
+    /// Data footprint in kilobytes.
+    pub data_footprint_kb: f64,
+    /// Instruction footprint in kilobytes.
+    pub instr_footprint_kb: f64,
+    /// Fraction of data lines touched by more than one CPU.
+    pub shared_fraction: f64,
+    /// Fraction of data lines both written and shared (the lines that
+    /// generate coherence traffic).
+    pub write_shared_fraction: f64,
+    /// Mean CPUs per data line.
+    pub mean_sharing: f64,
+    /// Producer→consumer transfers per thousand references.
+    pub comm_per_kilo_ref: f64,
+    /// Mean reuse distance (distinct lines between re-touches).
+    pub mean_reuse: f64,
+}
+
+impl TraceProfile {
+    /// Condenses a trace analysis into the report row.
+    pub fn from_analysis(a: &TraceAnalysis) -> TraceProfile {
+        let lines = a.data_lines.max(1);
+        TraceProfile {
+            data_footprint_kb: a.data_footprint_bytes() as f64 / 1024.0,
+            instr_footprint_kb: a.instr_footprint_bytes() as f64 / 1024.0,
+            shared_fraction: a.shared_lines() as f64 / lines as f64,
+            write_shared_fraction: a.write_shared_lines as f64 / lines as f64,
+            mean_sharing: a.mean_sharing_degree(),
+            comm_per_kilo_ref: 1000.0 * a.comm_total() as f64 / a.refs().max(1) as f64,
+            mean_reuse: a.reuse.mean(),
+        }
+    }
+}
+
+impl fmt::Display for TraceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data {:7.1} KB | instr {:6.1} KB | shared {:5.1}% (ws {:5.1}%) | deg {:.2} | comm {:6.2}/kref | reuse {:7.1}",
+            self.data_footprint_kb,
+            self.instr_footprint_kb,
+            self.shared_fraction * 100.0,
+            self.write_shared_fraction * 100.0,
+            self.mean_sharing,
+            self.comm_per_kilo_ref,
+            self.mean_reuse,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +266,29 @@ mod tests {
         assert!((b.actual - 1.2).abs() < 1e-12);
         assert!((b.accounted() - 2.0).abs() < 1e-12);
         assert!(b.to_string().contains("IPC"));
+    }
+
+    #[test]
+    fn trace_profile_normalizes_the_analysis() {
+        use cmpsim_trace::{analyze, TraceKind, TraceRecord};
+        let rec = |cpu: u8, kind, addr| TraceRecord {
+            cycle: 0,
+            cpu,
+            kind,
+            addr,
+        };
+        let recs = vec![
+            rec(0, TraceKind::IFetch, 0x1000),
+            rec(0, TraceKind::Store, 0x100), // written + shared with cpu 1
+            rec(1, TraceKind::Load, 0x100),
+            rec(1, TraceKind::Load, 0x200), // private
+        ];
+        let p = TraceProfile::from_analysis(&analyze(&recs, 4, 32));
+        assert!((p.shared_fraction - 0.5).abs() < 1e-12);
+        assert!((p.write_shared_fraction - 0.5).abs() < 1e-12);
+        assert!((p.comm_per_kilo_ref - 250.0).abs() < 1e-9, "1 of 4 refs");
+        assert!((p.mean_sharing - 1.5).abs() < 1e-12);
+        assert!(p.to_string().contains("deg 1.50"));
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use btb::Btb;
 pub use counters::{CpuCounters, StallCategory};
 pub use decode::DecodeCache;
 pub use func::{ExecEnv, Outcome, StepInfo};
-pub use mipsy::{MipsyCpu, TraceEntry};
+pub use mipsy::MipsyCpu;
 pub use mxs::{MxsConfig, MxsCpu};
 
 use cmpsim_engine::Cycle;

@@ -14,24 +14,9 @@ use crate::decode::DecodeCache;
 use crate::func::{self, ExecEnv, Outcome};
 use crate::{CpuModel, StepEvent};
 use cmpsim_engine::Cycle;
-use cmpsim_isa::Instr;
 use cmpsim_mem::{
     AccessKind, AddrSpace, CpuId, MemRequest, MemorySystem, PhysMem, ServiceLevel, WriteBuffer,
 };
-use std::collections::VecDeque;
-
-/// One entry of the Mipsy flight recorder (see [`MipsyCpu::enable_trace`]).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TraceEntry {
-    /// Cycle at which the instruction started executing.
-    pub cycle: u64,
-    /// Virtual pc.
-    pub pc: u32,
-    /// The decoded instruction.
-    pub instr: Instr,
-    /// Its data-memory access (kind, physical address), if any.
-    pub mem: Option<(AccessKind, u32)>,
-}
 
 /// Write-buffer depth (entries). Deep enough that well-spaced stores never
 /// stall, shallow enough that bursts expose L2 port contention (a 1996-era
@@ -79,8 +64,6 @@ pub struct MipsyCpu {
     decode: DecodeCache,
     counters: CpuCounters,
     halted: bool,
-    trace: Option<VecDeque<TraceEntry>>,
-    trace_cap: usize,
 }
 
 impl MipsyCpu {
@@ -94,24 +77,7 @@ impl MipsyCpu {
             decode: DecodeCache::new(),
             counters: CpuCounters::new(),
             halted: false,
-            trace: None,
-            trace_cap: 0,
         }
-    }
-
-    /// Turns on the flight recorder: the last `capacity` executed
-    /// instructions are kept in a ring buffer, available via
-    /// [`MipsyCpu::trace`]. Costs a few percent of simulation speed.
-    pub fn enable_trace(&mut self, capacity: usize) {
-        assert!(capacity > 0, "trace capacity must be positive");
-        self.trace = Some(VecDeque::with_capacity(capacity));
-        self.trace_cap = capacity;
-    }
-
-    /// The recorded tail of the instruction stream (empty when tracing is
-    /// off).
-    pub fn trace(&self) -> impl Iterator<Item = &TraceEntry> {
-        self.trace.iter().flatten()
     }
 
     fn data_stall_category(level: ServiceLevel) -> StallCategory {
@@ -150,19 +116,7 @@ impl CpuModel for MipsyCpu {
             space: self.space,
             cpu: self.cpu,
         };
-        let exec_pc = self.state.pc;
         let info = func::step(&mut self.state, &instr, &mut env);
-        if let Some(buf) = &mut self.trace {
-            if buf.len() == self.trace_cap {
-                buf.pop_front();
-            }
-            buf.push_back(TraceEntry {
-                cycle: t.0,
-                pc: exec_pc,
-                instr,
-                mem: info.mem_access,
-            });
-        }
         self.counters.instructions += 1;
         self.counters.busy_cycles += 1;
         if instr.is_control() && !instr.is_direct_jump() {
@@ -366,58 +320,5 @@ mod tests {
         let (mut phys, mut mem, mut cpu) = build(&a);
         run_to_halt(&mut phys, &mut mem, &mut cpu);
         assert_eq!(cpu.counters().busy_cycles, cpu.counters().instructions);
-    }
-}
-
-#[cfg(test)]
-mod trace_tests {
-    use super::*;
-    use cmpsim_isa::Asm;
-    use cmpsim_isa::Reg;
-    use cmpsim_mem::{SharedMemSystem, SystemConfig};
-
-    #[test]
-    fn flight_recorder_keeps_the_tail() {
-        let mut a = Asm::new(0x1000);
-        a.li(Reg::T0, 20);
-        a.label("loop");
-        a.addi(Reg::T0, Reg::T0, -1);
-        a.bnez(Reg::T0, "loop");
-        a.la_abs(Reg::A0, 0x8000);
-        a.lw(Reg::T1, Reg::A0, 0);
-        a.halt();
-        let prog = a.assemble().expect("assembles");
-        let mut phys = PhysMem::new(1);
-        phys.load_words(prog.base, &prog.words);
-        let mut mem = SharedMemSystem::new(&SystemConfig::paper_shared_mem(1));
-        let mut cpu = MipsyCpu::new(0, prog.base, AddrSpace::identity());
-        cpu.enable_trace(8);
-        let mut now = Cycle(0);
-        while !cpu.halted() {
-            let (next, _) = cpu.step(now, &mut mem, &mut phys);
-            now = next;
-        }
-        let entries: Vec<_> = cpu.trace().collect();
-        assert_eq!(entries.len(), 8, "ring buffer holds exactly the capacity");
-        // The final entry is the halt; the load with its address precedes it.
-        assert_eq!(entries.last().unwrap().instr, Instr::Halt);
-        assert!(entries
-            .iter()
-            .any(|e| matches!(e.mem, Some((AccessKind::Load, 0x8000)))));
-        // Cycles are monotonically non-decreasing.
-        assert!(entries.windows(2).all(|w| w[0].cycle <= w[1].cycle));
-    }
-
-    #[test]
-    fn tracing_off_records_nothing() {
-        let mut a = Asm::new(0x1000);
-        a.halt();
-        let prog = a.assemble().expect("assembles");
-        let mut phys = PhysMem::new(1);
-        phys.load_words(prog.base, &prog.words);
-        let mut mem = SharedMemSystem::new(&SystemConfig::paper_shared_mem(1));
-        let mut cpu = MipsyCpu::new(0, prog.base, AddrSpace::identity());
-        let (_, _) = cpu.step(Cycle(0), &mut mem, &mut phys);
-        assert_eq!(cpu.trace().count(), 0);
     }
 }

@@ -7,6 +7,8 @@
 //! * [`Port`] and [`BankedResource`] — occupancy-based contention models for
 //!   cache ports, buses and DRAM banks.
 //! * [`EventQueue`] — a deterministic time-ordered event queue.
+//! * [`hash`] — deterministic fixed-function hashing ([`FastMap`],
+//!   [`FastSet`]) for the simulators' internal line-address maps.
 //! * [`stats`] — counters and histograms used for the paper's
 //!   execution-time breakdowns and miss-rate tables.
 //! * [`Rng64`] — a small deterministic PRNG so every simulation is exactly
@@ -29,12 +31,14 @@
 //! assert_eq!(second, Cycle(16));
 //! ```
 
+pub mod hash;
 pub mod prop;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 
+pub use hash::{BuildFastHasher, FastHasher, FastMap, FastSet};
 pub use queue::EventQueue;
 pub use resource::{BankedResource, Port};
 pub use rng::Rng64;

@@ -49,6 +49,7 @@ impl Port {
     /// Reserves the port for a transaction arriving at `at` that occupies the
     /// port for `occupancy` cycles. Returns the cycle at which the
     /// transaction is actually granted the port (`>= at`).
+    #[inline]
     pub fn reserve(&mut self, at: Cycle, occupancy: u64) -> Cycle {
         let grant = at.max(self.free_at);
         self.free_at = grant + occupancy;
@@ -108,7 +109,12 @@ impl Port {
 pub struct BankedResource {
     label: &'static str,
     banks: Vec<Port>,
-    line_bytes: u64,
+    /// `log2(line_bytes)` — lines are a power of two, so interleaving is a
+    /// shift, not a division.
+    line_shift: u32,
+    /// `n_banks - 1` when the bank count is a power of two (the common
+    /// case), else `u64::MAX` as the "use modulo" sentinel.
+    bank_mask: u64,
 }
 
 impl BankedResource {
@@ -127,7 +133,12 @@ impl BankedResource {
         BankedResource {
             label: name,
             banks: (0..n_banks).map(|_| Port::new(name)).collect(),
-            line_bytes,
+            line_shift: line_bytes.trailing_zeros(),
+            bank_mask: if n_banks.is_power_of_two() {
+                n_banks as u64 - 1
+            } else {
+                u64::MAX
+            },
         }
     }
 
@@ -136,12 +147,21 @@ impl BankedResource {
         self.label
     }
 
-    /// Index of the bank that services `addr`.
+    /// Index of the bank that services `addr`. Sits on every store and
+    /// every L1-miss path, so the common power-of-two geometry pays a
+    /// shift and a mask rather than a divide.
+    #[inline]
     pub fn bank_of(&self, addr: u64) -> usize {
-        ((addr / self.line_bytes) % self.banks.len() as u64) as usize
+        let line = addr >> self.line_shift;
+        if self.bank_mask != u64::MAX {
+            (line & self.bank_mask) as usize
+        } else {
+            (line % self.banks.len() as u64) as usize
+        }
     }
 
     /// Reserves the bank servicing `addr`; see [`Port::reserve`].
+    #[inline]
     pub fn reserve(&mut self, addr: u64, at: Cycle, occupancy: u64) -> Cycle {
         let bank = self.bank_of(addr);
         self.banks[bank].reserve(at, occupancy)

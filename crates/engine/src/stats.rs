@@ -128,13 +128,22 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Runs once per memory access: the dominant
+    /// first bucket (L1 hits) is one compare, everything else a
+    /// branchless count of bounds `<= sample` (equal to the index of the
+    /// first greater bound, since bounds ascend) rather than an
+    /// early-exit scan whose cost varies with the latency mix.
+    #[inline]
     pub fn record(&mut self, sample: u64) {
-        let idx = self
-            .bounds
-            .iter()
-            .position(|&b| sample < b)
-            .unwrap_or(self.bounds.len());
+        let idx = if sample < self.bounds[0] {
+            0
+        } else {
+            let mut idx = 1usize;
+            for &b in &self.bounds[1..] {
+                idx += usize::from(sample >= b);
+            }
+            idx
+        };
         self.counts[idx] += 1;
         self.total += 1;
         self.sum += sample;

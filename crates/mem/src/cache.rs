@@ -15,7 +15,7 @@
 
 use crate::config::CacheSpec;
 use crate::Addr;
-use std::collections::HashSet;
+use cmpsim_engine::FastSet;
 
 /// MESI-style line states. Write-through caches use only `Invalid`/`Shared`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,10 +77,14 @@ pub enum AccessOutcome {
 /// c.fill(0x40, LineState::Exclusive);
 /// assert_eq!(c.lookup(0x40), AccessOutcome::Hit(LineState::Exclusive));
 /// ```
-/// Tag, state and LRU storage is flattened into three contiguous arrays
-/// (structure-of-arrays) indexed `set * assoc + way`: the hit fast path
-/// touches one short `tags` span that shares a cache line with its
-/// neighbors instead of striding over wider per-line structs, and the set
+/// Storage is one packed metadata word per way, indexed
+/// `set * assoc + way`: the line-aligned tag OR'd with the 2-bit line
+/// state in the low bits (lines are at least 4 bytes, so those bits are
+/// free). A probe therefore touches a single contiguous array — one host
+/// cache line per set — instead of striding over parallel tag/state/LRU
+/// arrays, which matters when the simulated L2's metadata is megabytes
+/// wide and probed at random. The LRU array exists only for associative
+/// arrays (direct-mapped sets have no replacement choice), and the set
 /// index is a shift-and-mask (power-of-two set counts — the common case —
 /// pay no division).
 #[derive(Debug, Clone)]
@@ -93,12 +97,38 @@ pub struct CacheArray {
     /// `n_sets - 1` when the set count is a power of two, else `usize::MAX`
     /// as the "use modulo" sentinel (odd associativities).
     set_mask: usize,
-    /// Line-aligned address per way (valid only where `states` is valid).
-    tags: Vec<Addr>,
-    states: Vec<LineState>,
+    /// Per-way `line_addr | state_code`; `state_code == 0` ⇔ invalid.
+    meta: Vec<Addr>,
+    /// Last-touch tick per way; empty when `assoc == 1`.
     lru: Vec<u64>,
     tick: u64,
-    invalidated: HashSet<Addr>,
+    invalidated: FastSet<Addr>,
+}
+
+/// Low metadata bits holding the [`LineState`] code.
+const STATE_BITS: Addr = 0b11;
+
+/// Packs a [`LineState`] into the low metadata bits (`Invalid` is 0, so a
+/// zeroed array is an empty cache).
+#[inline]
+fn state_code(state: LineState) -> Addr {
+    match state {
+        LineState::Invalid => 0,
+        LineState::Shared => 1,
+        LineState::Exclusive => 2,
+        LineState::Modified => 3,
+    }
+}
+
+/// Decodes the low metadata bits back into a [`LineState`].
+#[inline]
+fn code_state(meta: Addr) -> LineState {
+    match meta & STATE_BITS {
+        0 => LineState::Invalid,
+        1 => LineState::Shared,
+        2 => LineState::Exclusive,
+        _ => LineState::Modified,
+    }
 }
 
 impl CacheArray {
@@ -111,6 +141,10 @@ impl CacheArray {
     pub fn new(name: &'static str, spec: CacheSpec) -> CacheArray {
         let n_sets = spec.n_sets();
         let n_lines = n_sets * spec.assoc;
+        debug_assert!(
+            spec.line_bytes >= 4,
+            "packed meta needs 2 free low address bits"
+        );
         CacheArray {
             name,
             spec,
@@ -121,11 +155,10 @@ impl CacheArray {
             } else {
                 usize::MAX
             },
-            tags: vec![0; n_lines],
-            states: vec![LineState::Invalid; n_lines],
-            lru: vec![0; n_lines],
+            meta: vec![0; n_lines],
+            lru: vec![0; if spec.assoc > 1 { n_lines } else { 0 }],
             tick: 0,
-            invalidated: HashSet::new(),
+            invalidated: FastSet::default(),
         }
     }
 
@@ -151,7 +184,16 @@ impl CacheArray {
     fn find(&self, addr: Addr) -> Option<usize> {
         let la = self.line_addr(addr);
         self.set_range(addr)
-            .find(|&i| self.states[i].is_valid() && self.tags[i] == la)
+            .find(|&i| self.meta[i] & !STATE_BITS == la && self.meta[i] & STATE_BITS != 0)
+    }
+
+    /// Records `i` as most recently used (no-op for direct-mapped arrays,
+    /// which keep no recency state).
+    #[inline]
+    fn touch_way(&mut self, i: usize) {
+        if self.spec.assoc > 1 {
+            self.lru[i] = self.tick;
+        }
     }
 
     /// Looks up `addr`, updating LRU on a hit. Misses are classified but no
@@ -161,8 +203,47 @@ impl CacheArray {
         self.tick += 1;
         match self.find(addr) {
             Some(i) => {
-                self.lru[i] = self.tick;
-                AccessOutcome::Hit(self.states[i])
+                self.touch_way(i);
+                AccessOutcome::Hit(code_state(self.meta[i]))
+            }
+            None => {
+                let la = self.line_addr(addr);
+                let kind = if self.invalidated.contains(&la) {
+                    MissKind::Invalidation
+                } else {
+                    MissKind::Replacement
+                };
+                AccessOutcome::Miss(kind)
+            }
+        }
+    }
+
+    /// Touches `addr` for LRU purposes without classifying a miss: the
+    /// store path's L1 recency update, where the hit/miss outcome is
+    /// unused and the invalidated-set probe would be wasted work. State
+    /// evolution (tick, LRU) is identical to [`CacheArray::lookup`].
+    #[inline]
+    pub fn touch(&mut self, addr: Addr) {
+        self.tick += 1;
+        if let Some(i) = self.find(addr) {
+            self.touch_way(i);
+        }
+    }
+
+    /// Looks up `addr` and, on a hit, also sets the line's state — a
+    /// store's lookup-and-modify in one set walk instead of two. The
+    /// returned outcome carries the state *before* the update, exactly as
+    /// a [`CacheArray::lookup`] followed by [`CacheArray::set_state`]
+    /// would observe it.
+    #[inline]
+    pub fn lookup_set(&mut self, addr: Addr, state: LineState) -> AccessOutcome {
+        self.tick += 1;
+        match self.find(addr) {
+            Some(i) => {
+                self.touch_way(i);
+                let old = code_state(self.meta[i]);
+                self.meta[i] = (self.meta[i] & !STATE_BITS) | state_code(state);
+                AccessOutcome::Hit(old)
             }
             None => {
                 let la = self.line_addr(addr);
@@ -180,7 +261,29 @@ impl CacheArray {
     #[inline]
     pub fn probe(&self, addr: Addr) -> LineState {
         self.find(addr)
-            .map_or(LineState::Invalid, |i| self.states[i])
+            .map_or(LineState::Invalid, |i| code_state(self.meta[i]))
+    }
+
+    /// Way slot holding `addr`'s line, if resident; does not touch LRU.
+    /// Slots index side tables kept parallel to the array (the shared-L2
+    /// directory keeps its presence bitmaps per L2 way, as the hardware
+    /// would).
+    #[inline]
+    pub fn slot_of(&self, addr: Addr) -> Option<usize> {
+        self.find(addr)
+    }
+
+    /// Line address resident in way `slot`, if any (inverse of
+    /// [`CacheArray::slot_of`], for diagnostics walking a side table).
+    pub fn line_at_slot(&self, slot: usize) -> Option<Addr> {
+        let m = self.meta[slot];
+        (m & STATE_BITS != 0).then_some(m & !STATE_BITS)
+    }
+
+    /// Total way slots (`n_sets * assoc`), the length of any parallel
+    /// side table.
+    pub fn n_slots(&self) -> usize {
+        self.meta.len()
     }
 
     /// Inserts the line containing `addr` with `state`, evicting the LRU way
@@ -200,25 +303,30 @@ impl CacheArray {
         self.tick += 1;
         let range = self.set_range(addr);
         // Prefer an invalid way; otherwise evict true-LRU (first minimum).
-        let slot = range
-            .clone()
-            .find(|&i| !self.states[i].is_valid())
-            .unwrap_or_else(|| {
-                range
-                    .min_by_key(|&i| self.lru[i])
-                    .expect("set_range is non-empty: CacheSpec::try_new rejects assoc == 0")
-            });
-        let victim = if self.states[slot].is_valid() {
+        // Direct-mapped sets have exactly one candidate either way.
+        let slot = if self.spec.assoc == 1 {
+            range.start
+        } else {
+            range
+                .clone()
+                .find(|&i| self.meta[i] & STATE_BITS == 0)
+                .unwrap_or_else(|| {
+                    range
+                        .min_by_key(|&i| self.lru[i])
+                        .expect("set_range is non-empty: CacheSpec::try_new rejects assoc == 0")
+                })
+        };
+        let m = self.meta[slot];
+        let victim = if m & STATE_BITS != 0 {
             Some(Victim {
-                addr: self.tags[slot],
-                dirty: self.states[slot].is_dirty(),
+                addr: m & !STATE_BITS,
+                dirty: code_state(m).is_dirty(),
             })
         } else {
             None
         };
-        self.tags[slot] = la;
-        self.states[slot] = state;
-        self.lru[slot] = self.tick;
+        self.meta[slot] = la | state_code(state);
+        self.touch_way(slot);
         victim
     }
 
@@ -231,7 +339,7 @@ impl CacheArray {
         let i = self
             .find(addr)
             .unwrap_or_else(|| panic!("{}: set_state on absent line {addr:#x}", self.name));
-        self.states[i] = state;
+        self.meta[i] = (self.meta[i] & !STATE_BITS) | state_code(state);
     }
 
     /// Invalidates the line due to a *coherence action* and remembers it so
@@ -240,8 +348,8 @@ impl CacheArray {
     pub fn invalidate(&mut self, addr: Addr) -> LineState {
         match self.find(addr) {
             Some(i) => {
-                let old = self.states[i];
-                self.states[i] = LineState::Invalid;
+                let old = code_state(self.meta[i]);
+                self.meta[i] &= !STATE_BITS;
                 self.invalidated.insert(self.line_addr(addr));
                 old
             }
@@ -255,8 +363,8 @@ impl CacheArray {
     pub fn evict(&mut self, addr: Addr) -> LineState {
         match self.find(addr) {
             Some(i) => {
-                let old = self.states[i];
-                self.states[i] = LineState::Invalid;
+                let old = code_state(self.meta[i]);
+                self.meta[i] &= !STATE_BITS;
                 old
             }
             None => LineState::Invalid,
@@ -267,15 +375,13 @@ impl CacheArray {
     /// No-op if not resident.
     pub fn downgrade(&mut self, addr: Addr) {
         if let Some(i) = self.find(addr) {
-            if self.states[i].is_valid() {
-                self.states[i] = LineState::Shared;
-            }
+            self.meta[i] = (self.meta[i] & !STATE_BITS) | state_code(LineState::Shared);
         }
     }
 
     /// Number of valid lines currently resident.
     pub fn resident(&self) -> usize {
-        self.states.iter().filter(|s| s.is_valid()).count()
+        self.meta.iter().filter(|&&m| m & STATE_BITS != 0).count()
     }
 
     /// Number of ways in `addr`'s set currently holding `addr`'s line —
@@ -284,18 +390,17 @@ impl CacheArray {
     pub fn ways_holding(&self, addr: Addr) -> usize {
         let la = self.line_addr(addr);
         self.set_range(addr)
-            .filter(|&i| self.states[i].is_valid() && self.tags[i] == la)
+            .filter(|&i| self.meta[i] & !STATE_BITS == la && self.meta[i] & STATE_BITS != 0)
             .count()
     }
 
     /// Line addresses of every valid resident line (diagnostics and
     /// invariant checks).
     pub fn valid_lines(&self) -> Vec<Addr> {
-        self.states
+        self.meta
             .iter()
-            .zip(&self.tags)
-            .filter(|(s, _)| s.is_valid())
-            .map(|(_, &t)| t)
+            .filter(|&&m| m & STATE_BITS != 0)
+            .map(|&m| m & !STATE_BITS)
             .collect()
     }
 

@@ -90,10 +90,9 @@ impl SharedL2Back {
         let store_occ = lat.l2_occ;
         let g2 = self.banks.reserve(u64::from(addr), at, store_occ);
         stats.l2_bank_wait += g2 - at;
-        match self.l2.lookup(addr) {
+        match self.l2.lookup_set(addr, LineState::Modified) {
             AccessOutcome::Hit(_) => {
                 stats.l2.hit();
-                self.l2.set_state(addr, LineState::Modified);
                 (g2 + 1, ServiceLevel::L2)
             }
             AccessOutcome::Miss(k2) => {
@@ -133,7 +132,8 @@ impl SharedL2Back {
             LineState::Exclusive
         };
         if let Some(v) = self.l2.fill(addr, state) {
-            dir.back_invalidate(l1d, l1i, v.addr);
+            let slot = self.l2.slot_of(addr).expect("line was just filled");
+            dir.back_invalidate_slot(l1d, l1i, slot, v.addr);
             if v.dirty {
                 self.mem.reserve(g, lat.mem_occ);
                 stats.writebacks += 1;

@@ -17,24 +17,32 @@ use crate::stats::MemStats;
 use crate::{AccessKind, Addr, CpuId, MemRequest, MemResult, PortUtil, ServiceLevel};
 use cmpsim_engine::{BankedResource, Cycle};
 
-use std::collections::HashMap;
 use std::marker::PhantomData;
 
 /// Per-line presence bitmaps over the nodes of a directory topology, with
 /// the invalidation plumbing and fault-injection hooks that maintain them.
+///
+/// Presence lives in a table parallel to the shared L2's way slots — the
+/// hardware arrangement, where directory state sits next to the L2 tags.
+/// Inclusion means an L1 copy implies an L2-resident line, so a slot per
+/// L2 way covers every line the directory can ever need, and the store
+/// path's presence lookup rides the L2 set walk it was about to do anyway
+/// instead of hashing into a side map.
 #[derive(Debug)]
 pub struct Directory {
-    /// line -> (d-side presence bits, i-side presence bits), one bit per
-    /// node (up to 32 nodes).
-    presence: HashMap<Addr, (u32, u32)>,
+    /// Per-L2-way (d-side presence bits, i-side presence bits), one bit
+    /// per node (up to 32 nodes). `(0, 0)` for ways holding no tracked
+    /// line; invariant: bits are zero whenever the way is invalid.
+    slots: Vec<(u32, u32)>,
     n_nodes: usize,
 }
 
 impl Directory {
-    /// An empty directory over `n_nodes` nodes.
-    pub fn new(n_nodes: usize) -> Directory {
+    /// An empty directory over `n_nodes` nodes, tracking an L2 with
+    /// `n_slots` way slots.
+    pub fn new(n_nodes: usize, n_slots: usize) -> Directory {
         Directory {
-            presence: HashMap::new(),
+            slots: vec![(0, 0); n_slots],
             n_nodes,
         }
     }
@@ -45,24 +53,28 @@ impl Directory {
     pub fn note_fill(
         &mut self,
         sentinel: &mut Sentinel,
+        l2: &CacheArray,
         node: usize,
         line: Addr,
         ifetch: bool,
         victim: Option<Addr>,
     ) {
         let spurious = self.n_nodes > 1 && sentinel.inject(FaultKind::SpuriousState, line);
-        let entry = self.presence.entry(line).or_insert((0, 0));
-        if ifetch {
-            entry.1 |= 1 << node;
-        } else {
-            entry.0 |= 1 << node;
-        }
-        if spurious {
-            let ghost = (node + 1) % self.n_nodes;
-            entry.0 |= 1 << ghost;
+        if let Some(slot) = l2.slot_of(line) {
+            let entry = &mut self.slots[slot];
+            if ifetch {
+                entry.1 |= 1 << node;
+            } else {
+                entry.0 |= 1 << node;
+            }
+            if spurious {
+                let ghost = (node + 1) % self.n_nodes;
+                entry.0 |= 1 << ghost;
+            }
         }
         if let Some(v) = victim {
-            if let Some(e) = self.presence.get_mut(&v) {
+            if let Some(slot) = l2.slot_of(v) {
+                let e = &mut self.slots[slot];
                 if ifetch {
                     e.1 &= !(1 << node);
                 } else {
@@ -84,22 +96,27 @@ impl Directory {
         stats: &mut MemStats,
         l1d: &mut [CacheArray],
         l1i: &mut [CacheArray],
+        l2: &CacheArray,
         writer: usize,
         line: Addr,
         addr: Addr,
     ) {
-        let Some(&(d_bits, i_bits)) = self.presence.get(&line) else {
+        let Some(slot) = l2.slot_of(line) else {
+            // Not L2-resident: inclusion says no L1 holds it either.
             return;
         };
+        let (d, i) = &mut self.slots[slot];
         let keep = !(1u32 << writer);
-        let d_victims = d_bits & keep;
-        let i_victims = i_bits & keep;
-        let mut drop_one =
-            (d_victims | i_victims) != 0 && sentinel.inject(FaultKind::DroppedInvalidation, line);
-        if let Some((d, i)) = self.presence.get_mut(&line) {
-            *d &= !d_victims;
-            *i &= !i_victims;
+        let d_victims = *d & keep;
+        let i_victims = *i & keep;
+        if d_victims | i_victims == 0 {
+            // Common case: only the writer holds the line — one map probe,
+            // no victim walk. (Every store funnels through here.)
+            return;
         }
+        *d &= !d_victims;
+        *i &= !i_victims;
+        let mut drop_one = sentinel.inject(FaultKind::DroppedInvalidation, line);
         for node in 0..self.n_nodes {
             if d_victims & (1 << node) != 0 {
                 if drop_one {
@@ -120,18 +137,29 @@ impl Directory {
         }
     }
 
-    /// Enforces inclusion when the L2 evicts `line`: every L1 copy must go.
-    /// These back-invalidations are capacity-driven, so the evicted lines
-    /// are *not* marked as coherence-invalidated.
-    pub fn back_invalidate(&mut self, l1d: &mut [CacheArray], l1i: &mut [CacheArray], line: Addr) {
-        if let Some((d_bits, i_bits)) = self.presence.remove(&line) {
-            for node in 0..self.n_nodes {
-                if d_bits & (1 << node) != 0 {
-                    l1d[node].evict(line);
-                }
-                if i_bits & (1 << node) != 0 {
-                    l1i[node].evict(line);
-                }
+    /// Enforces inclusion when the L2 evicts the line that sat in `slot`
+    /// (now already overwritten by the incoming fill): every L1 copy of
+    /// the victim `line` must go, and the slot's bits now belong to the
+    /// new line, so they are taken and zeroed. These back-invalidations
+    /// are capacity-driven, so the evicted lines are *not* marked as
+    /// coherence-invalidated.
+    pub fn back_invalidate_slot(
+        &mut self,
+        l1d: &mut [CacheArray],
+        l1i: &mut [CacheArray],
+        slot: usize,
+        line: Addr,
+    ) {
+        let (d_bits, i_bits) = std::mem::take(&mut self.slots[slot]);
+        if d_bits | i_bits == 0 {
+            return;
+        }
+        for node in 0..self.n_nodes {
+            if d_bits & (1 << node) != 0 {
+                l1d[node].evict(line);
+            }
+            if i_bits & (1 << node) != 0 {
+                l1i[node].evict(line);
             }
         }
     }
@@ -143,20 +171,24 @@ impl Directory {
         for node in 0..self.n_nodes {
             for (cache, side) in [(&l1d[node], 0usize), (&l1i[node], 1)] {
                 for line in cache.valid_lines() {
-                    let Some(&(d, i)) = self.presence.get(&line) else {
-                        return false;
+                    let Some(slot) = l2.slot_of(line) else {
+                        return false; // inclusion violated
                     };
+                    let (d, i) = self.slots[slot];
                     let bits = if side == 0 { d } else { i };
                     if bits & (1 << node) == 0 {
                         return false;
                     }
-                    if !l2.probe(line).is_valid() {
-                        return false; // inclusion violated
-                    }
                 }
             }
         }
-        for (&line, &(d_bits, i_bits)) in &self.presence {
+        for (slot, &(d_bits, i_bits)) in self.slots.iter().enumerate() {
+            if d_bits | i_bits == 0 {
+                continue;
+            }
+            let Some(line) = l2.line_at_slot(slot) else {
+                return false; // presence bits on an invalid L2 way
+            };
             for node in 0..self.n_nodes {
                 if d_bits & (1 << node) != 0 && !l1d[node].probe(line).is_valid() {
                     return false;
@@ -186,8 +218,9 @@ impl Directory {
         cpu: CpuId,
         line: Addr,
     ) {
-        let (d_bits, i_bits) = self.presence.get(&line).copied().unwrap_or((0, 0));
-        let l2_valid = l2.probe(line).is_valid();
+        let slot = l2.slot_of(line);
+        let (d_bits, i_bits) = slot.map_or((0, 0), |s| self.slots[s]);
+        let l2_valid = slot.is_some();
         let mut found: Vec<(ViolationKind, String)> = Vec::new();
         for n in 0..self.n_nodes {
             for (cache, bits, side) in [(&l1d[n], d_bits, "l1d"), (&l1i[n], i_bits, "l1i")] {
@@ -295,6 +328,7 @@ impl<S: NodeScheme> DirectoryTopo<S> {
     pub fn build(cfg: &SystemConfig, layout: &DirectoryLayout) -> DirectoryTopo<S> {
         let nodes = NodeMap::new(cfg.n_cpus, layout.cpus_per_node);
         let n = nodes.n_nodes();
+        let back = SharedL2Back::new(cfg);
         DirectoryTopo {
             nodes,
             l1i: (0..n)
@@ -312,8 +346,8 @@ impl<S: NodeScheme> DirectoryTopo<S> {
                 None => Vec::new(),
             },
             xbar_lat: layout.node_xbar.map_or(cfg.lat.l1_lat, |(_, _, lat)| lat),
-            dir: Directory::new(n),
-            back: SharedL2Back::new(cfg),
+            dir: Directory::new(n, back.l2.n_slots()),
+            back,
             _scheme: PhantomData,
         }
     }
@@ -374,8 +408,14 @@ impl<S: NodeScheme> DirectoryTopo<S> {
         // Write-through L1: lines are never dirty.
         let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
         let line = self.back.line(addr);
-        self.dir
-            .note_fill(&mut core.sentinel, node, line, ifetch, victim);
+        self.dir.note_fill(
+            &mut core.sentinel,
+            &self.back.l2,
+            node,
+            line,
+            ifetch,
+            victim,
+        );
         MemResult {
             finish,
             serviced_by: level,
@@ -396,13 +436,14 @@ impl<S: NodeScheme> DirectoryTopo<S> {
         addr: Addr,
         l1_extra: u64,
     ) -> MemResult {
-        let _ = self.l1d[node].lookup(addr);
+        self.l1d[node].touch(addr);
         let line = self.back.line(addr);
         self.dir.invalidate_sharers(
             &mut core.sentinel,
             &mut core.stats,
             &mut self.l1d,
             &mut self.l1i,
+            &self.back.l2,
             node,
             line,
             addr,

@@ -28,10 +28,16 @@ impl NodeMap {
         }
     }
 
-    /// The node servicing `cpu`'s accesses.
+    /// The node servicing `cpu`'s accesses. Private-L1 topologies
+    /// (`cpus_per_node == 1`, the common case) skip the division — this
+    /// sits on every access's fast path.
     #[inline]
     pub fn node_of(&self, cpu: CpuId) -> usize {
-        cpu / self.cpus_per_node
+        if self.cpus_per_node == 1 {
+            cpu
+        } else {
+            cpu / self.cpus_per_node
+        }
     }
 
     /// Number of nodes (L1s) in the topology.

@@ -1,0 +1,273 @@
+//! Reference-trace capture at the CPU → memory-system boundary.
+//!
+//! [`TracingSystem`] wraps any [`MemorySystem`] and appends one
+//! [`TraceRecord`] per issued request to a shared [`TraceSink`] before
+//! forwarding the request unchanged. Because every CPU-model memory
+//! operation — instruction fetches, loads (including `LL`), stores
+//! (including successful `SC` and write-buffer drains) — funnels through
+//! `MemorySystem::access`, wrapping that one call captures the complete
+//! reference stream in exact issue order without touching either CPU
+//! model. With no wrapper installed the simulator runs the raw system, so
+//! disabled capture costs exactly zero.
+
+use crate::codec::{TraceKind, TraceRecord, TraceWriter};
+use cmpsim_engine::Cycle;
+use cmpsim_mem::{sentinel, Addr, CpuId, MemRequest, MemResult, MemStats, MemorySystem, PortUtil};
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::rc::Rc;
+
+/// A chunk-buffered trace writer shared between the machine (which emits
+/// region-of-interest markers and finishes the file) and the
+/// [`TracingSystem`] wrapper (which emits access records).
+#[derive(Debug)]
+pub struct TraceSink {
+    writer: TraceWriter<Box<dyn Write>>,
+}
+
+impl TraceSink {
+    /// Starts a sink writing the trace header for an `n_cpus`-CPU machine
+    /// with `line_bytes`-byte cache lines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates header-write failures.
+    pub fn new(out: Box<dyn Write>, n_cpus: usize, line_bytes: u32) -> io::Result<TraceSink> {
+        Ok(TraceSink {
+            writer: TraceWriter::new(out, n_cpus, line_bytes)?,
+        })
+    }
+
+    /// Records one memory access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying writer fails — capture runs deep inside
+    /// the simulation loop, where an I/O `Result` has no path back to the
+    /// caller, and a silently incomplete reference trace would be worse
+    /// than a loud stop.
+    pub fn record_access(&mut self, now: Cycle, req: &MemRequest) {
+        self.push(TraceRecord {
+            cycle: now.0,
+            cpu: req.cpu as u8,
+            kind: req.kind.into(),
+            addr: req.addr,
+        });
+    }
+
+    /// Records a region-of-interest statistics reset at `cycle`.
+    pub fn record_reset(&mut self, cycle: u64) {
+        self.push(TraceRecord {
+            cycle,
+            cpu: 0,
+            kind: TraceKind::StatsReset,
+            addr: 0,
+        });
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        self.writer
+            .push(rec)
+            .unwrap_or_else(|e| panic!("trace capture failed: {e}"));
+    }
+
+    /// Flushes pending records and writes the footer. Idempotent; also
+    /// runs (best-effort) on drop.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.writer.finish()
+    }
+
+    /// Records captured so far.
+    pub fn records(&self) -> u64 {
+        self.writer.records()
+    }
+
+    /// Encoded bytes emitted so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+}
+
+/// Shared handle to a [`TraceSink`]: the machine keeps one end, the
+/// [`TracingSystem`] the other. Capture is single-threaded (one machine,
+/// one sink), so plain `Rc<RefCell<_>>` suffices.
+pub type SinkHandle = Rc<RefCell<TraceSink>>;
+
+/// A [`MemorySystem`] decorator that records every issued request.
+///
+/// Forwards every trait method to the wrapped system unchanged, so a
+/// traced run is bit-identical to an untraced one — the capture hook can
+/// never perturb the experiment it observes.
+pub struct TracingSystem {
+    inner: Box<dyn MemorySystem>,
+    sink: SinkHandle,
+}
+
+impl std::fmt::Debug for TracingSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TracingSystem")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TracingSystem {
+    /// Wraps `inner`, recording into `sink`.
+    pub fn new(inner: Box<dyn MemorySystem>, sink: SinkHandle) -> TracingSystem {
+        TracingSystem { inner, sink }
+    }
+}
+
+impl MemorySystem for TracingSystem {
+    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        self.sink.borrow_mut().record_access(now, &req);
+        self.inner.access(now, req)
+    }
+
+    fn load_would_hit_l1(&self, cpu: CpuId, addr: Addr) -> bool {
+        self.inner.load_would_hit_l1(cpu, addr)
+    }
+
+    fn line_bytes(&self) -> u32 {
+        self.inner.line_bytes()
+    }
+
+    fn n_cpus(&self) -> usize {
+        self.inner.n_cpus()
+    }
+
+    fn stats(&self) -> &MemStats {
+        self.inner.stats()
+    }
+
+    fn stats_mut(&mut self) -> &mut MemStats {
+        self.inner.stats_mut()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn port_utilization(&self) -> Vec<PortUtil> {
+        self.inner.port_utilization()
+    }
+
+    fn violations(&self) -> &[sentinel::SentinelViolation] {
+        self.inner.violations()
+    }
+
+    fn injected_faults(&self) -> &[(sentinel::FaultKind, Addr)] {
+        self.inner.injected_faults()
+    }
+}
+
+/// A clonable in-memory byte buffer implementing [`Write`] — the capture
+/// target for in-process capture-then-replay flows (tests, benches, the
+/// examples), where the trace never needs to touch the filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf {
+    buf: Rc<RefCell<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// Takes the accumulated bytes, leaving the buffer empty.
+    pub fn take(&self) -> Vec<u8> {
+        std::mem::take(&mut self.buf.borrow_mut())
+    }
+
+    /// Bytes accumulated so far.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.borrow_mut().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Builds a sink/handle pair writing into `out`.
+///
+/// # Errors
+///
+/// Propagates header-write failures.
+pub fn sink_to(out: Box<dyn Write>, n_cpus: usize, line_bytes: u32) -> io::Result<SinkHandle> {
+    Ok(Rc::new(RefCell::new(TraceSink::new(
+        out, n_cpus, line_bytes,
+    )?)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::decode;
+    use cmpsim_mem::{SharedMemSystem, SystemConfig};
+
+    #[test]
+    fn wrapper_is_transparent_and_records_in_issue_order() {
+        let cfg = SystemConfig::paper_shared_mem(4);
+        let buf = SharedBuf::new();
+        let sink = sink_to(Box::new(buf.clone()), 4, 32).expect("header writes");
+        let mut traced = TracingSystem::new(Box::new(SharedMemSystem::new(&cfg)), Rc::clone(&sink));
+        let mut plain = SharedMemSystem::new(&cfg);
+
+        let reqs = [
+            MemRequest::ifetch(0, 0x1000),
+            MemRequest::load(1, 0x2000),
+            MemRequest::store(1, 0x2004),
+            MemRequest::load(2, 0x2000),
+        ];
+        for (i, req) in reqs.iter().enumerate() {
+            let at = Cycle(i as u64 * 100);
+            assert_eq!(traced.access(at, *req), plain.access(at, *req));
+        }
+        assert_eq!(traced.line_bytes(), plain.line_bytes());
+        assert_eq!(traced.n_cpus(), 4);
+        assert_eq!(traced.name(), plain.name());
+        assert_eq!(
+            format!("{:?}", traced.stats()),
+            format!("{:?}", plain.stats())
+        );
+
+        sink.borrow_mut().finish().expect("finishes");
+        let records = decode(&buf.take()).expect("decodes");
+        assert_eq!(records.len(), 4);
+        for (rec, req) in records.iter().zip(&reqs) {
+            assert_eq!(rec.cpu as usize, req.cpu);
+            assert_eq!(rec.addr, req.addr);
+            assert_eq!(rec.kind.access_kind(), Some(req.kind));
+        }
+        assert_eq!(records[3].cycle, 300);
+    }
+
+    #[test]
+    fn sink_finish_is_idempotent_and_counts_bytes() {
+        let buf = SharedBuf::new();
+        let mut sink = TraceSink::new(Box::new(buf.clone()), 2, 32).expect("header");
+        sink.record_access(Cycle(5), &MemRequest::load(1, 0x40));
+        sink.record_reset(6);
+        sink.finish().expect("first finish");
+        sink.finish().expect("second finish is a no-op");
+        assert_eq!(sink.records(), 2);
+        assert_eq!(sink.bytes_written() as usize, buf.len());
+        let records = decode(&buf.take()).expect("decodes");
+        assert_eq!(records[1].kind, TraceKind::StatsReset);
+        assert_eq!(records[1].cycle, 6);
+    }
+}

@@ -1,0 +1,862 @@
+//! The compact chunked binary trace format (see `DESIGN.md` §11).
+//!
+//! A trace file is a fixed 8-byte header followed by a sequence of
+//! self-checking chunks and a footer:
+//!
+//! ```text
+//! header:  "CMPT" | version: u8 | n_cpus: u8 | line_bytes: u16 LE
+//! chunk:   payload_len: u32 LE | n_records: u32 LE | fnv1a64(payload): u64 LE | payload
+//! footer:  0xFFFF_FFFF: u32 LE | total_records: u64 LE
+//! ```
+//!
+//! Each payload record is a tag byte (access kind in the low 2 bits, CPU id
+//! in the high 6) followed by two LEB128 varints: the zigzag-encoded cycle
+//! delta and address delta against the previous record in the *file* (the
+//! delta state deliberately carries across chunk boundaries — chunks are a
+//! checksum/framing unit, not a seek unit). Cycle deltas are signed because
+//! the run loop's per-CPU interleave can step time backwards between
+//! consecutive records even though each CPU's own stream is monotone.
+//!
+//! The footer doubles as the truncation sentinel: a reader that reaches end
+//! of file without having consumed a footer reports
+//! [`TraceError::Truncated`], and a footer whose record count disagrees
+//! with the records actually decoded reports [`TraceError::CountMismatch`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// File magic: the first four bytes of every cmpsim trace.
+pub const MAGIC: [u8; 4] = *b"CMPT";
+
+/// Current format version (the fifth byte of the file).
+pub const VERSION: u8 = 1;
+
+/// Records per chunk the writer targets (the last chunk may be shorter).
+pub const CHUNK_RECORDS: usize = 4096;
+
+/// Footer sentinel occupying the `payload_len` slot of a chunk header.
+pub const FOOTER_SENTINEL: u32 = 0xFFFF_FFFF;
+
+/// Highest CPU id the 6-bit tag field can carry.
+pub const MAX_CPU: u8 = 63;
+
+/// What one trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Instruction fetch presented to the memory system.
+    IFetch,
+    /// Data read (includes `LL`).
+    Load,
+    /// Data write (includes a successful `SC` and write-buffer drains —
+    /// the capture point sees stores when they are issued to the memory
+    /// system, which is where the write buffer hands them over).
+    Store,
+    /// Region-of-interest marker: the run reset its statistics here.
+    /// Replay must perform the same reset to reproduce post-ROI numbers.
+    StatsReset,
+}
+
+impl TraceKind {
+    fn to_bits(self) -> u8 {
+        match self {
+            TraceKind::IFetch => 0,
+            TraceKind::Load => 1,
+            TraceKind::Store => 2,
+            TraceKind::StatsReset => 3,
+        }
+    }
+
+    fn from_bits(bits: u8) -> TraceKind {
+        match bits & 0x3 {
+            0 => TraceKind::IFetch,
+            1 => TraceKind::Load,
+            2 => TraceKind::Store,
+            _ => TraceKind::StatsReset,
+        }
+    }
+
+    /// The memory-system access kind, `None` for the stats-reset marker.
+    pub fn access_kind(self) -> Option<cmpsim_mem::AccessKind> {
+        match self {
+            TraceKind::IFetch => Some(cmpsim_mem::AccessKind::IFetch),
+            TraceKind::Load => Some(cmpsim_mem::AccessKind::Load),
+            TraceKind::Store => Some(cmpsim_mem::AccessKind::Store),
+            TraceKind::StatsReset => None,
+        }
+    }
+}
+
+impl From<cmpsim_mem::AccessKind> for TraceKind {
+    fn from(kind: cmpsim_mem::AccessKind) -> TraceKind {
+        match kind {
+            cmpsim_mem::AccessKind::IFetch => TraceKind::IFetch,
+            cmpsim_mem::AccessKind::Load => TraceKind::Load,
+            cmpsim_mem::AccessKind::Store => TraceKind::Store,
+        }
+    }
+}
+
+/// One captured event: `(cycle, cpu, kind, addr)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Cycle at which the request was issued to the memory system.
+    pub cycle: u64,
+    /// Issuing CPU (0 for [`TraceKind::StatsReset`]).
+    pub cpu: u8,
+    /// Access kind or marker.
+    pub kind: TraceKind,
+    /// Physical byte address (0 for [`TraceKind::StatsReset`]).
+    pub addr: u32,
+}
+
+/// Trace-file metadata from the 8-byte header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version.
+    pub version: u8,
+    /// CPU count of the capturing machine.
+    pub n_cpus: u8,
+    /// Cache line size of the capturing memory system (bytes).
+    pub line_bytes: u16,
+}
+
+/// Everything that can go wrong reading or writing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// A chunk's payload hashes to something other than its header claims.
+    ChecksumMismatch {
+        /// Zero-based chunk index.
+        chunk: u64,
+        /// Checksum stored in the chunk header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        found: u64,
+    },
+    /// The file ended before a complete footer was read.
+    Truncated,
+    /// A chunk payload did not decode to exactly its declared records.
+    ChunkOverrun {
+        /// Zero-based chunk index.
+        chunk: u64,
+    },
+    /// The footer's total disagrees with the records decoded.
+    CountMismatch {
+        /// Total the footer claims.
+        expected: u64,
+        /// Records actually decoded.
+        found: u64,
+    },
+    /// Bytes follow the footer.
+    TrailingData,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "not a cmpsim trace (magic {m:02x?})"),
+            TraceError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (this build reads {VERSION})"
+                )
+            }
+            TraceError::ChecksumMismatch {
+                chunk,
+                expected,
+                found,
+            } => write!(
+                f,
+                "chunk {chunk} corrupt: checksum {found:#018x}, header says {expected:#018x}"
+            ),
+            TraceError::Truncated => write!(f, "trace truncated: footer missing"),
+            TraceError::ChunkOverrun { chunk } => {
+                write!(f, "chunk {chunk} payload does not match its record count")
+            }
+            TraceError::CountMismatch { expected, found } => write!(
+                f,
+                "footer claims {expected} records but {found} were decoded"
+            ),
+            TraceError::TrailingData => write!(f, "bytes follow the trace footer"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}
+
+/// Word-folded FNV-1a 64-bit: the chunk checksum. Folds eight payload
+/// bytes per multiply instead of one — every step stays injective in both
+/// operands (xor, and multiplication by the odd FNV prime), so any
+/// single-bit corruption is still guaranteed to change the sum, at an
+/// eighth of the serial multiply chain the byte-wise variant pays.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut chunks = bytes.chunks_exact(8);
+    for w in &mut chunks {
+        h ^= u64::from_le_bytes(w.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+#[inline]
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    // Single-byte fast path: most deltas in a real trace are small.
+    let &b0 = buf.get(*pos)?;
+    if b0 & 0x80 == 0 {
+        *pos += 1;
+        return Some(u64::from(b0));
+    }
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos)?;
+        *pos += 1;
+        // A 64-bit value needs at most ten LEB128 bytes.
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Delta state threaded between consecutive records (carries across
+/// chunks; see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+struct DeltaState {
+    prev_cycle: u64,
+    prev_addr: u32,
+}
+
+impl DeltaState {
+    fn encode(&mut self, rec: &TraceRecord, out: &mut Vec<u8>) {
+        debug_assert!(rec.cpu <= MAX_CPU, "cpu {} exceeds the tag field", rec.cpu);
+        out.push(rec.kind.to_bits() | (rec.cpu << 2));
+        put_varint(out, zigzag(rec.cycle.wrapping_sub(self.prev_cycle) as i64));
+        put_varint(out, zigzag(i64::from(rec.addr) - i64::from(self.prev_addr)));
+        self.prev_cycle = rec.cycle;
+        self.prev_addr = rec.addr;
+    }
+
+    fn decode(&mut self, buf: &[u8], pos: &mut usize) -> Option<TraceRecord> {
+        // Fast path: in a real trace almost every record is a 1-byte tag
+        // plus two 1–2 byte varints, so when 8 buffered bytes remain the
+        // whole record fits one little-endian register window — one load
+        // and some shifts instead of a serial chain of bounds-checked
+        // byte reads. Longer varints (and the chunk tail) take the
+        // general path below, which re-reads from the untouched `pos`.
+        if let Some(win) = buf.get(*pos..*pos + 8) {
+            let w = u64::from_le_bytes(win.try_into().expect("8-byte window"));
+            let tag = w as u8;
+            let b = (w >> 8) as u8;
+            let (dc_raw, len_c) = if b & 0x80 == 0 {
+                (u64::from(b), 1usize)
+            } else {
+                let b2 = (w >> 16) as u8;
+                if b2 & 0x80 != 0 {
+                    return self.decode_general(buf, pos);
+                }
+                (u64::from(b & 0x7f) | u64::from(b2) << 7, 2)
+            };
+            let rest = w >> (8 * (1 + len_c));
+            let b = rest as u8;
+            let (da_raw, len_a) = if b & 0x80 == 0 {
+                (u64::from(b), 1usize)
+            } else {
+                let b2 = (rest >> 8) as u8;
+                if b2 & 0x80 != 0 {
+                    return self.decode_general(buf, pos);
+                }
+                (u64::from(b & 0x7f) | u64::from(b2) << 7, 2)
+            };
+            *pos += 1 + len_c + len_a;
+            return Some(self.reconstruct(tag, dc_raw, da_raw));
+        }
+        self.decode_general(buf, pos)
+    }
+
+    /// The general decode path: handles varints of any length and the
+    /// end of the chunk, where fewer than 8 bytes remain.
+    fn decode_general(&mut self, buf: &[u8], pos: &mut usize) -> Option<TraceRecord> {
+        let &tag = buf.get(*pos)?;
+        *pos += 1;
+        let dc_raw = get_varint(buf, pos)?;
+        let da_raw = get_varint(buf, pos)?;
+        Some(self.reconstruct(tag, dc_raw, da_raw))
+    }
+
+    /// Applies the decoded (tag, cycle-delta, address-delta) triple to
+    /// the running state and materializes the record.
+    #[inline]
+    fn reconstruct(&mut self, tag: u8, dc_raw: u64, da_raw: u64) -> TraceRecord {
+        let dc = unzigzag(dc_raw);
+        let da = unzigzag(da_raw);
+        let cycle = self.prev_cycle.wrapping_add(dc as u64);
+        let addr = (i64::from(self.prev_addr) + da) as u32;
+        self.prev_cycle = cycle;
+        self.prev_addr = addr;
+        TraceRecord {
+            cycle,
+            cpu: tag >> 2,
+            kind: TraceKind::from_bits(tag),
+            addr,
+        }
+    }
+}
+
+/// Streaming chunked writer.
+///
+/// Buffers records, flushes a checksummed chunk every [`CHUNK_RECORDS`],
+/// and writes the footer on [`TraceWriter::finish`]. Dropping an
+/// unfinished writer finishes it best-effort (errors are swallowed —
+/// call `finish` explicitly when they matter).
+pub struct TraceWriter<W: Write> {
+    out: Option<W>,
+    pending: Vec<TraceRecord>,
+    state: DeltaState,
+    records: u64,
+    bytes: u64,
+}
+
+impl<W: Write> fmt::Debug for TraceWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("records", &self.records)
+            .field("bytes", &self.bytes)
+            .field("finished", &self.out.is_none())
+            .finish()
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace: writes the header immediately.
+    pub fn new(mut out: W, n_cpus: usize, line_bytes: u32) -> io::Result<TraceWriter<W>> {
+        assert!(
+            n_cpus <= usize::from(MAX_CPU) + 1,
+            "trace tag field carries at most {} CPUs",
+            usize::from(MAX_CPU) + 1
+        );
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&MAGIC);
+        header[4] = VERSION;
+        header[5] = n_cpus as u8;
+        header[6..8].copy_from_slice(&(line_bytes as u16).to_le_bytes());
+        out.write_all(&header)?;
+        Ok(TraceWriter {
+            out: Some(out),
+            pending: Vec::with_capacity(CHUNK_RECORDS),
+            state: DeltaState::default(),
+            records: 0,
+            bytes: 8,
+        })
+    }
+
+    /// Appends one record, flushing a chunk when the buffer fills.
+    pub fn push(&mut self, rec: TraceRecord) -> io::Result<()> {
+        self.pending.push(rec);
+        self.records += 1;
+        if self.pending.len() >= CHUNK_RECORDS {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(self.pending.len() * 4);
+        for rec in &self.pending {
+            self.state.encode(rec, &mut payload);
+        }
+        let out = self.out.as_mut().expect("writer already finished");
+        out.write_all(&(payload.len() as u32).to_le_bytes())?;
+        out.write_all(&(self.pending.len() as u32).to_le_bytes())?;
+        out.write_all(&fnv1a(&payload).to_le_bytes())?;
+        out.write_all(&payload)?;
+        self.bytes += 16 + payload.len() as u64;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Flushes the final partial chunk and the footer. Idempotent.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if self.out.is_none() {
+            return Ok(());
+        }
+        self.flush_chunk()?;
+        let mut out = self.out.take().expect("checked above");
+        out.write_all(&FOOTER_SENTINEL.to_le_bytes())?;
+        out.write_all(&self.records.to_le_bytes())?;
+        out.flush()?;
+        self.bytes += 12;
+        Ok(())
+    }
+
+    /// Records written so far (including still-buffered ones).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes emitted so far, counting the header and (once finished) the
+    /// footer — the numerator of the bytes-per-reference compression ratio.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl<W: Write> Drop for TraceWriter<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Streaming chunked reader: an iterator of records that verifies every
+/// chunk checksum and the footer count on the way through.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+    header: TraceHeader,
+    chunk: Vec<TraceRecord>,
+    next: usize,
+    state: DeltaState,
+    chunks_read: u64,
+    decoded: u64,
+    finished: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace: reads and validates the header.
+    pub fn new(mut src: R) -> Result<TraceReader<R>, TraceError> {
+        let mut header = [0u8; 8];
+        src.read_exact(&mut header)?;
+        if header[..4] != MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&header[..4]);
+            return Err(TraceError::BadMagic(m));
+        }
+        if header[4] != VERSION {
+            return Err(TraceError::BadVersion(header[4]));
+        }
+        Ok(TraceReader {
+            src,
+            header: TraceHeader {
+                version: header[4],
+                n_cpus: header[5],
+                line_bytes: u16::from_le_bytes([header[6], header[7]]),
+            },
+            chunk: Vec::new(),
+            next: 0,
+            state: DeltaState::default(),
+            chunks_read: 0,
+            decoded: 0,
+            finished: false,
+        })
+    }
+
+    /// The file's header metadata.
+    pub fn header(&self) -> TraceHeader {
+        self.header
+    }
+
+    /// Loads and verifies the next chunk. `Ok(false)` means the footer was
+    /// reached (and validated).
+    fn load_chunk(&mut self) -> Result<bool, TraceError> {
+        let mut word = [0u8; 4];
+        self.src.read_exact(&mut word)?;
+        let payload_len = u32::from_le_bytes(word);
+        if payload_len == FOOTER_SENTINEL {
+            let mut total = [0u8; 8];
+            self.src.read_exact(&mut total)?;
+            let expected = u64::from_le_bytes(total);
+            if expected != self.decoded {
+                return Err(TraceError::CountMismatch {
+                    expected,
+                    found: self.decoded,
+                });
+            }
+            let mut probe = [0u8; 1];
+            match self.src.read(&mut probe) {
+                Ok(0) => {}
+                Ok(_) => return Err(TraceError::TrailingData),
+                Err(e) => return Err(e.into()),
+            }
+            self.finished = true;
+            return Ok(false);
+        }
+        self.src.read_exact(&mut word)?;
+        let n_records = u32::from_le_bytes(word);
+        let mut sum = [0u8; 8];
+        self.src.read_exact(&mut sum)?;
+        let expected = u64::from_le_bytes(sum);
+        let mut payload = vec![0u8; payload_len as usize];
+        self.src.read_exact(&mut payload)?;
+        let found = fnv1a(&payload);
+        if found != expected {
+            return Err(TraceError::ChecksumMismatch {
+                chunk: self.chunks_read,
+                expected,
+                found,
+            });
+        }
+        self.chunk.clear();
+        let mut pos = 0usize;
+        for _ in 0..n_records {
+            match self.state.decode(&payload, &mut pos) {
+                Some(rec) => self.chunk.push(rec),
+                None => {
+                    return Err(TraceError::ChunkOverrun {
+                        chunk: self.chunks_read,
+                    })
+                }
+            }
+        }
+        if pos != payload.len() {
+            return Err(TraceError::ChunkOverrun {
+                chunk: self.chunks_read,
+            });
+        }
+        self.chunks_read += 1;
+        self.decoded += u64::from(n_records);
+        self.next = 0;
+        Ok(true)
+    }
+
+    /// Drains the remaining records into a vector, validating everything.
+    pub fn collect_all(self) -> Result<Vec<TraceRecord>, TraceError> {
+        let mut out = Vec::new();
+        for rec in self {
+            out.push(rec?);
+        }
+        Ok(out)
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.next < self.chunk.len() {
+                let rec = self.chunk[self.next];
+                self.next += 1;
+                return Some(Ok(rec));
+            }
+            if self.finished {
+                return None;
+            }
+            match self.load_chunk() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => {
+                    // Poison the reader: one error ends the stream.
+                    self.finished = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// Reads `N` little-endian bytes at `*pos`, advancing it. `None` at EOF.
+#[inline]
+fn take<const N: usize>(bytes: &[u8], pos: &mut usize) -> Option<[u8; N]> {
+    let s = bytes.get(*pos..*pos + N)?;
+    *pos += N;
+    Some(s.try_into().expect("slice of length N"))
+}
+
+/// Decodes an in-memory trace, validating every chunk and the footer.
+///
+/// This walks the byte slice directly — no `io::Read` indirection, no
+/// intermediate per-chunk record buffer — and is the hot path replay
+/// sweeps lean on; it enforces exactly the same checks as the streaming
+/// [`TraceReader`].
+pub fn decode(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceError> {
+    decode_with_header(bytes).map(|(_, records)| records)
+}
+
+/// [`decode`], also returning the validated file header.
+pub fn decode_with_header(bytes: &[u8]) -> Result<(TraceHeader, Vec<TraceRecord>), TraceError> {
+    let mut pos = 0usize;
+    let header: [u8; 8] = take(bytes, &mut pos).ok_or(TraceError::Truncated)?;
+    if header[..4] != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&header[..4]);
+        return Err(TraceError::BadMagic(m));
+    }
+    if header[4] != VERSION {
+        return Err(TraceError::BadVersion(header[4]));
+    }
+    let meta = TraceHeader {
+        version: header[4],
+        n_cpus: header[5],
+        line_bytes: u16::from_le_bytes([header[6], header[7]]),
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 4);
+    let mut state = DeltaState::default();
+    let mut chunks = 0u64;
+    loop {
+        let payload_len = u32::from_le_bytes(take(bytes, &mut pos).ok_or(TraceError::Truncated)?);
+        if payload_len == FOOTER_SENTINEL {
+            let expected = u64::from_le_bytes(take(bytes, &mut pos).ok_or(TraceError::Truncated)?);
+            if expected != out.len() as u64 {
+                return Err(TraceError::CountMismatch {
+                    expected,
+                    found: out.len() as u64,
+                });
+            }
+            if pos != bytes.len() {
+                return Err(TraceError::TrailingData);
+            }
+            return Ok((meta, out));
+        }
+        let n_records = u32::from_le_bytes(take(bytes, &mut pos).ok_or(TraceError::Truncated)?);
+        let expected = u64::from_le_bytes(take(bytes, &mut pos).ok_or(TraceError::Truncated)?);
+        let payload = bytes
+            .get(pos..pos + payload_len as usize)
+            .ok_or(TraceError::Truncated)?;
+        pos += payload_len as usize;
+        let found = fnv1a(payload);
+        if found != expected {
+            return Err(TraceError::ChecksumMismatch {
+                chunk: chunks,
+                expected,
+                found,
+            });
+        }
+        let mut p = 0usize;
+        for _ in 0..n_records {
+            match state.decode(payload, &mut p) {
+                Some(rec) => out.push(rec),
+                None => return Err(TraceError::ChunkOverrun { chunk: chunks }),
+            }
+        }
+        if p != payload.len() {
+            return Err(TraceError::ChunkOverrun { chunk: chunks });
+        }
+        chunks += 1;
+    }
+}
+
+/// Encodes records into a complete in-memory trace (header through
+/// footer).
+pub fn encode(
+    records: &[TraceRecord],
+    n_cpus: usize,
+    line_bytes: u32,
+) -> Result<Vec<u8>, TraceError> {
+    let mut out = Vec::new();
+    let mut w = TraceWriter::new(&mut out, n_cpus, line_bytes)?;
+    for &rec in records {
+        w.push(rec)?;
+    }
+    w.finish()?;
+    drop(w);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord {
+                cycle: 0,
+                cpu: 0,
+                kind: TraceKind::IFetch,
+                addr: 0x1000,
+            },
+            TraceRecord {
+                cycle: 3,
+                cpu: 1,
+                kind: TraceKind::Load,
+                addr: 0x8000_0000,
+            },
+            TraceRecord {
+                cycle: 2, // backwards in time: the interleave allows it
+                cpu: 0,
+                kind: TraceKind::Store,
+                addr: 0x0fff,
+            },
+            TraceRecord {
+                cycle: 50,
+                cpu: 0,
+                kind: TraceKind::StatsReset,
+                addr: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_a_small_stream() {
+        let bytes = encode(&sample(), 4, 32).expect("encodes");
+        let reader = TraceReader::new(&bytes[..]).expect("opens");
+        assert_eq!(
+            reader.header(),
+            TraceHeader {
+                version: VERSION,
+                n_cpus: 4,
+                line_bytes: 32
+            }
+        );
+        assert_eq!(reader.collect_all().expect("decodes"), sample());
+    }
+
+    #[test]
+    fn round_trips_across_chunk_boundaries() {
+        let records: Vec<TraceRecord> = (0..(CHUNK_RECORDS as u64 * 2 + 17))
+            .map(|i| TraceRecord {
+                cycle: i * 3,
+                cpu: (i % 4) as u8,
+                kind: if i % 5 == 0 {
+                    TraceKind::Store
+                } else {
+                    TraceKind::Load
+                },
+                addr: (i as u32).wrapping_mul(2_654_435_761),
+            })
+            .collect();
+        let bytes = encode(&records, 4, 32).expect("encodes");
+        assert_eq!(decode(&bytes).expect("decodes"), records);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode(&sample(), 4, 32).expect("encodes");
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("every strict prefix fails");
+            assert!(
+                matches!(
+                    err,
+                    TraceError::Truncated | TraceError::CountMismatch { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected_by_checksum() {
+        let bytes = encode(&sample(), 4, 32).expect("encodes");
+        // Flip one payload byte (file header 8 + chunk header 16 = 24).
+        let mut bad = bytes.clone();
+        bad[25] ^= 0x40;
+        let err = decode(&bad).expect_err("corrupt payload");
+        assert!(
+            matches!(err, TraceError::ChecksumMismatch { chunk: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&sample(), 4, 32).expect("encodes");
+        bytes.push(0);
+        assert!(matches!(
+            decode(&bytes).expect_err("trailing byte"),
+            TraceError::TrailingData
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let bytes = encode(&sample(), 4, 32).expect("encodes");
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode(&bad).expect_err("bad magic"),
+            TraceError::BadMagic(_)
+        ));
+        let mut bad = bytes;
+        bad[4] = 99;
+        assert!(matches!(
+            decode(&bad).expect_err("bad version"),
+            TraceError::BadVersion(99)
+        ));
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 123_456_789, -987_654_321] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_encodings() {
+        let buf = [0xff; 11];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None, "11-byte varint overruns");
+    }
+
+    #[test]
+    fn compression_beats_fixed_width() {
+        // A locality-heavy stream (sequential fetches) must encode well
+        // below the 13-byte fixed-width record.
+        let records: Vec<TraceRecord> = (0..10_000u64)
+            .map(|i| TraceRecord {
+                cycle: i,
+                cpu: 0,
+                kind: TraceKind::IFetch,
+                addr: 0x1000 + (i as u32) * 4,
+            })
+            .collect();
+        let bytes = encode(&records, 1, 32).expect("encodes");
+        let per_ref = bytes.len() as f64 / records.len() as f64;
+        assert!(per_ref < 4.0, "{per_ref} bytes/ref");
+    }
+}

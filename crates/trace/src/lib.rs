@@ -1,0 +1,35 @@
+//! cmpsim-trace: the reference-trace subsystem.
+//!
+//! Four pieces, mirroring how trace-driven studies are actually run:
+//!
+//! - **Capture** ([`capture`]): [`TracingSystem`] decorates any
+//!   [`MemorySystem`](cmpsim_mem::MemorySystem) at the CPU → memory
+//!   boundary and streams every issued request into a [`TraceSink`].
+//!   Nothing installed ⇒ exactly zero overhead.
+//! - **Codec** ([`codec`]): a chunked binary format — delta-encoded
+//!   cycles/addresses as zigzag LEB128 varints, FNV-1a checksummed
+//!   chunks, a footer that doubles as a truncation detector. Dependency
+//!   free, streaming in both directions.
+//! - **Replay** ([`replay`]): re-issue a captured stream into a memory
+//!   system built from configuration alone, skipping the CPU models.
+//!   Replay into the captured configuration reproduces bit-identical
+//!   statistics; replay into a different one is the classic fixed-stream
+//!   approximation for fast hierarchy sweeps.
+//! - **Analysis** ([`analyze()`]): footprint, per-line sharing degree,
+//!   producer→consumer communication matrix and reuse-distance profile
+//!   computed from the trace alone.
+
+pub mod analyze;
+pub mod capture;
+pub mod codec;
+pub mod replay;
+
+pub use analyze::{analyze, analyze_bytes, comm_matrix, TraceAnalysis};
+pub use capture::{sink_to, SharedBuf, SinkHandle, TraceSink, TracingSystem};
+pub use codec::{
+    decode, decode_with_header, encode, TraceError, TraceHeader, TraceKind, TraceReader,
+    TraceRecord, TraceWriter,
+};
+pub use replay::{
+    count_accesses, kind_totals, replay_bytes, replay_reader, replay_records, ReplayStats,
+};

@@ -1,0 +1,218 @@
+//! Trace-driven replay: re-issue a captured reference stream into any
+//! memory system, skipping the CPU models entirely.
+//!
+//! A memory system's state and statistics are a pure function of its
+//! `access` call sequence (plus region-of-interest resets), so replaying
+//! the captured stream into a freshly built identical system reproduces
+//! bit-identical [`MemStats`](cmpsim_mem::MemStats) — the golden
+//! equivalence the digest matrix enforces. Replaying into a *different*
+//! configuration is the classic fixed-stream approximation: the addresses
+//! and issue cycles stay those the captured machine produced, which is
+//! exactly what makes memory-hierarchy sweeps run at raw memory-system
+//! throughput (no Mipsy/MXS execution cost per configuration).
+
+use crate::codec::{TraceError, TraceKind, TraceReader, TraceRecord};
+use cmpsim_engine::Cycle;
+use cmpsim_mem::{AccessKind, MemRequest, MemorySystem};
+use std::io::Read;
+
+/// What a replay pushed through the target system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Access records re-issued.
+    pub accesses: u64,
+    /// Region-of-interest statistic resets applied.
+    pub resets: u64,
+}
+
+/// Re-issues one record into `sys`. Returns whether it was an access (as
+/// opposed to a marker).
+#[inline]
+fn apply<S: MemorySystem + ?Sized>(rec: &TraceRecord, sys: &mut S) -> bool {
+    match rec.kind.access_kind() {
+        Some(kind) => {
+            let req = MemRequest {
+                cpu: rec.cpu as usize,
+                kind,
+                addr: rec.addr,
+            };
+            sys.access(Cycle(rec.cycle), req);
+            true
+        }
+        None => {
+            sys.stats_mut().reset();
+            false
+        }
+    }
+}
+
+/// Replays an already-decoded record stream into `sys`.
+///
+/// Generic over the system so a concrete type (`&mut SharedL2System`)
+/// replays with static dispatch — the sweep-bench fast path — while
+/// `&mut dyn MemorySystem` still works for systems built behind a `Box`.
+pub fn replay_records<'a, I, S>(records: I, sys: &mut S) -> ReplayStats
+where
+    I: IntoIterator<Item = &'a TraceRecord>,
+    S: MemorySystem + ?Sized,
+{
+    let mut stats = ReplayStats::default();
+    for rec in records {
+        if apply(rec, sys) {
+            stats.accesses += 1;
+        } else {
+            stats.resets += 1;
+        }
+    }
+    stats
+}
+
+/// Streams a trace out of `reader` straight into `sys` — chunks decode as
+/// they are consumed, so arbitrarily long traces replay in constant
+/// memory.
+///
+/// # Errors
+///
+/// Stops at the first decode error (corrupt chunk, truncation); accesses
+/// replayed before the error have already been applied to `sys`.
+pub fn replay_reader<R: Read, S: MemorySystem + ?Sized>(
+    reader: TraceReader<R>,
+    sys: &mut S,
+) -> Result<ReplayStats, TraceError> {
+    let mut stats = ReplayStats::default();
+    for rec in reader {
+        if apply(&rec?, sys) {
+            stats.accesses += 1;
+        } else {
+            stats.resets += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Replays a complete in-memory trace (as produced by capture) into
+/// `sys`, validating every chunk first via the direct-slice decoder.
+///
+/// # Errors
+///
+/// Fails on decode errors (corrupt chunk, truncation) *before* touching
+/// `sys` — unlike [`replay_reader`], which streams and may have applied a
+/// prefix when it reports an error.
+pub fn replay_bytes<S: MemorySystem + ?Sized>(
+    bytes: &[u8],
+    sys: &mut S,
+) -> Result<ReplayStats, TraceError> {
+    Ok(replay_records(&crate::codec::decode(bytes)?, sys))
+}
+
+/// Counts the replayable accesses in an encoded trace without touching
+/// any memory system (sweep benches size their work with this).
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn count_accesses(bytes: &[u8]) -> Result<u64, TraceError> {
+    let mut n = 0;
+    for rec in TraceReader::new(bytes)? {
+        if rec?.kind != TraceKind::StatsReset {
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+/// Splits an access-kind total out of a trace for reporting: returns
+/// `(ifetches, loads, stores)`.
+///
+/// # Errors
+///
+/// Propagates decode errors.
+pub fn kind_totals(bytes: &[u8]) -> Result<(u64, u64, u64), TraceError> {
+    let (mut i, mut l, mut s) = (0, 0, 0);
+    for rec in TraceReader::new(bytes)? {
+        match rec?.kind.access_kind() {
+            Some(AccessKind::IFetch) => i += 1,
+            Some(AccessKind::Load) => l += 1,
+            Some(AccessKind::Store) => s += 1,
+            None => {}
+        }
+    }
+    Ok((i, l, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{sink_to, SharedBuf, TracingSystem};
+    use cmpsim_mem::{SharedL2System, SystemConfig};
+    use std::rc::Rc;
+
+    /// Drive a synthetic stream through a traced system, then replay the
+    /// capture into a fresh identical system: statistics must match
+    /// bit-for-bit (their Debug forms cover every counter and the
+    /// histogram).
+    #[test]
+    fn replay_reproduces_identical_stats() {
+        let cfg = SystemConfig::paper_shared_l2(4);
+        let buf = SharedBuf::new();
+        let sink = sink_to(Box::new(buf.clone()), 4, 32).expect("header");
+        let mut traced = TracingSystem::new(Box::new(SharedL2System::new(&cfg)), Rc::clone(&sink));
+        for i in 0..5_000u64 {
+            let addr = ((i * 97) as u32).wrapping_mul(2_654_435_761) & 0xf_ffff;
+            let req = match i % 3 {
+                0 => MemRequest::ifetch((i % 4) as usize, addr & !0x3),
+                1 => MemRequest::load((i % 4) as usize, addr),
+                _ => MemRequest::store((i % 4) as usize, addr),
+            };
+            traced.access(Cycle(i * 7), req);
+        }
+        // Mid-stream ROI reset, as the hcall path would do it.
+        sink.borrow_mut().record_reset(40_000);
+        traced.stats_mut().reset();
+        for i in 0..1_000u64 {
+            traced.access(
+                Cycle(50_000 + i),
+                MemRequest::load((i % 4) as usize, (i as u32) * 64),
+            );
+        }
+        sink.borrow_mut().finish().expect("finishes");
+        let bytes = buf.take();
+
+        let mut fresh = SharedL2System::new(&cfg);
+        let stats = replay_bytes(&bytes, &mut fresh).expect("replays");
+        assert_eq!(stats.accesses, 6_000);
+        assert_eq!(stats.resets, 1);
+        assert_eq!(
+            format!("{:?}", fresh.stats()),
+            format!("{:?}", traced.stats()),
+            "replayed statistics must be bit-identical"
+        );
+        assert_eq!(
+            format!("{:?}", fresh.port_utilization()),
+            format!("{:?}", traced.port_utilization()),
+        );
+        assert_eq!(count_accesses(&bytes).expect("counts"), 6_000);
+        let (i, l, s) = kind_totals(&bytes).expect("totals");
+        assert_eq!(i + l + s, 6_000);
+    }
+
+    /// Cross-configuration replay is the fixed-stream approximation: it
+    /// must run (addresses are config-independent) and produce the same
+    /// reference count, not the same stats.
+    #[test]
+    fn cross_config_replay_accepts_the_stream() {
+        let records: Vec<TraceRecord> = (0..200u64)
+            .map(|i| TraceRecord {
+                cycle: i * 11,
+                cpu: (i % 4) as u8,
+                kind: TraceKind::Load,
+                addr: (i as u32) * 32,
+            })
+            .collect();
+        let bytes = crate::codec::encode(&records, 4, 32).expect("encodes");
+        let mut sys = SharedL2System::new(&SystemConfig::paper_shared_l2(4).with_l2_assoc(4));
+        let stats = replay_bytes(&bytes, &mut sys).expect("replays");
+        assert_eq!(stats.accesses, 200);
+        assert_eq!(sys.stats().l1d.accesses, 200);
+    }
+}

@@ -1,19 +1,24 @@
-//! Debugging workflow: disassemble a generated program and flight-record
-//! its execution.
+//! Debugging workflow: disassemble a generated program, capture its
+//! reference trace, and replay it.
 //!
 //! ```sh
 //! cargo run --release --example trace_debug
 //! ```
 //!
 //! Shows the two tools a workload author reaches for when a kernel
-//! misbehaves: the listing (with labels and branch targets) and the Mipsy
-//! flight recorder (the last N executed instructions with addresses).
+//! misbehaves: the listing (with labels and branch targets) and the
+//! captured reference stream — every memory access the CPU issued, in
+//! issue order, straight out of the `cmpsim-trace` capture hook. The same
+//! capture then replays into a fresh memory system and reproduces the
+//! original statistics bit for bit.
 
 use cmpsim_cpu::{CpuModel, MipsyCpu};
 use cmpsim_engine::Cycle;
 use cmpsim_isa::disasm::listing;
 use cmpsim_isa::{Asm, Reg};
-use cmpsim_mem::{AddrSpace, PhysMem, SharedMemSystem, SystemConfig};
+use cmpsim_mem::{AddrSpace, MemorySystem, PhysMem, SharedMemSystem, SystemConfig};
+use cmpsim_trace::{decode, replay_bytes, sink_to, SharedBuf, TracingSystem};
+use std::rc::Rc;
 
 fn main() {
     // A small program with a data-dependent loop and a memory access.
@@ -33,28 +38,47 @@ fn main() {
 
     println!("=== listing ===\n{}", listing(&prog));
 
+    // Run the program with the capture decorator wrapped around the
+    // memory system: every ifetch/load/store lands in `buf`.
+    let cfg = SystemConfig::paper_shared_mem(1);
     let mut phys = PhysMem::new(1);
     phys.load_words(prog.base, &prog.words);
-    let mut mem = SharedMemSystem::new(&SystemConfig::paper_shared_mem(1));
+    let buf = SharedBuf::new();
+    let sink = sink_to(Box::new(buf.clone()), 1, cfg.l1d.line_bytes).expect("sink");
+    let mut mem = TracingSystem::new(Box::new(SharedMemSystem::new(&cfg)), Rc::clone(&sink));
     let mut cpu = MipsyCpu::new(0, prog.base, AddrSpace::identity());
-    cpu.enable_trace(12);
     let mut now = Cycle(0);
     while !cpu.halted() {
         let (next, _) = cpu.step(now, &mut mem, &mut phys);
         now = next;
     }
+    sink.borrow_mut().finish().expect("finishes");
+    let bytes = buf.take();
 
-    println!("=== flight recorder (last 12 instructions) ===");
-    for e in cpu.trace() {
-        let mem_note = e
-            .mem
-            .map(|(kind, pa)| format!("  [{kind:?} @{pa:#x}]"))
-            .unwrap_or_default();
+    let records = decode(&bytes).expect("decodes");
+    println!(
+        "=== captured reference stream (last 12 of {} records, {} bytes) ===",
+        records.len(),
+        bytes.len()
+    );
+    for r in records.iter().rev().take(12).rev() {
         println!(
-            "cycle {:>5}  {:#06x}: {}{}",
-            e.cycle, e.pc, e.instr, mem_note
+            "cycle {:>5}  cpu {}  {:?} @{:#06x}",
+            r.cycle, r.cpu, r.kind, r.addr
         );
     }
+
+    // Replay the capture into a fresh, identically configured system: the
+    // memory statistics come out bit-identical to the traced run's.
+    let mut fresh = SharedMemSystem::new(&cfg);
+    let rs = replay_bytes(&bytes, &mut fresh).expect("replays");
+    let identical = format!("{:?}", fresh.stats()) == format!("{:?}", mem.stats());
+    println!(
+        "\n=== replay ===\n{} accesses re-issued; stats bit-identical: {identical}",
+        rs.accesses
+    );
+    assert!(identical, "replay must reproduce the captured run's stats");
+
     println!("\nfinal word at 0x8000: {}", phys.read_u32(0x8000));
     assert_eq!(phys.read_u32(0x8000), 5 + 4 + 3 + 2 + 1);
 }

@@ -20,11 +20,17 @@
 #    and must produce byte-identical lines to the sentinel-off run (the
 #    invariant checker may never change results); any violation panics the
 #    matrix runner, so "identical output" also means "zero violations".
-# 8. Quick simulator-speed check: the sim_throughput bench in quick mode
+# 8. Replay equivalence: the quick digest matrix runs again with
+#    CMPSIM_MATRIX_REPLAY=1 — every case captured to a reference trace
+#    and replayed through a fresh memory system — and must produce
+#    byte-identical lines to the execution-driven run. This is the
+#    capture/replay fidelity contract: a trace carries everything the
+#    memory system ever sees.
+# 9. Quick simulator-speed check: the sim_throughput bench in quick mode
 #    (CMPSIM_BENCH_QUICK=1, single run per case) appended to
-#    BENCH_pr4.json, so every verification leaves a dated throughput
-#    record (sentinel overhead and geometry rows included) next to the
-#    pre/post-PR entries.
+#    BENCH_pr5.json, so every verification leaves a dated throughput
+#    record (sentinel overhead, geometry rows, and the trace-replay sweep
+#    included) next to the pre/post-PR entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,12 +79,21 @@ if ! printf '%s\n' "$matrix_off" | head -n "$(wc -l < "$golden")" | diff -q - "$
 fi
 echo "ok: default-row digests match the golden file"
 
-echo "== quick simulator-speed record -> BENCH_pr4.json =="
+echo "== replay equivalence: quick matrix, trace replay vs execution =="
+matrix_replay=$(CMPSIM_MATRIX_REPLAY=1 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
+if [ "$matrix_off" != "$matrix_replay" ]; then
+    echo "ERROR: trace-replay digest matrix differs from execution-driven:" >&2
+    diff <(printf '%s\n' "$matrix_off") <(printf '%s\n' "$matrix_replay") >&2 || true
+    exit 1
+fi
+echo "ok: trace-replay matrix is bit-identical to execution-driven"
+
+echo "== quick simulator-speed record -> BENCH_pr5.json =="
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench sim_throughput 2>/dev/null \
     | grep '^{' \
     | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
-    >> BENCH_pr4.json
+    >> BENCH_pr5.json
 echo "ok: appended quick sim_throughput records"
 
 echo "verify.sh: all checks passed"

@@ -12,7 +12,9 @@ use cmpsim::core::machine::run_workload;
 use cmpsim::core::report::IpcBreakdown;
 use cmpsim::core::{
     probe_latencies, ArchKind, Breakdown, CpuKind, MachineConfig, MissRates, RunSummary,
+    TraceProfile, ENV_TRACE_IN,
 };
+use cmpsim::trace::{analyze_bytes, replay_bytes};
 use cmpsim_kernels::synth::{build as build_synth, SynthParams};
 use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
 use std::process::ExitCode;
@@ -29,12 +31,19 @@ USAGE:
                  [--shared PCT] [--shared-kb KB] [--cpu <MODEL>]
                                  sweep a parameterized synthetic workload
                                  across all three architectures
+    cmpsim replay [--file <TRACE>] [--arch <ARCH>] [--cpus <N>]
+                 [--l2-assoc <N>] [--l1-latency <N>] [--l1-banks <N>]
+                                 replay a captured reference trace into a
+                                 freshly built memory system (no CPU model)
     cmpsim probe                 measure Table 2 latencies
     cmpsim list                  list workloads and architectures
 
 ARCH:   shared-l1 | shared-l2 | shared-mem | clustered   (default shared-mem)
 MODEL:  mipsy | mxs                          (default mipsy)
 NAME:   eqntott mp3d ocean volpack ear fft multiprog
+
+Set CMPSIM_TRACE_OUT=<path> on any `run` to capture its reference trace;
+`replay` reads --file or CMPSIM_TRACE_IN.
 ";
 
 #[derive(Debug)]
@@ -230,6 +239,67 @@ fn main() -> ExitCode {
             }
             Ok(())
         }),
+        "replay" => (|| {
+            let mut file = std::env::var(ENV_TRACE_IN).ok();
+            let mut arch = ArchKind::SharedMem;
+            let mut cpus = 4usize;
+            let mut l2_assoc = None;
+            let mut l1_latency = None;
+            let mut l1_banks = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut val = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("flag {flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--file" | "-f" => file = Some(val()?),
+                    "--arch" | "-a" => arch = parse_arch(&val()?)?,
+                    "--cpus" | "-n" => {
+                        cpus = val()?.parse().map_err(|e| format!("bad cpus: {e}"))?
+                    }
+                    "--l2-assoc" => {
+                        l2_assoc = Some(val()?.parse().map_err(|e| format!("bad assoc: {e}"))?)
+                    }
+                    "--l1-latency" => {
+                        l1_latency = Some(val()?.parse().map_err(|e| format!("bad latency: {e}"))?)
+                    }
+                    "--l1-banks" => {
+                        l1_banks = Some(val()?.parse().map_err(|e| format!("bad banks: {e}"))?)
+                    }
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            let path = file.ok_or(format!("--file or {ENV_TRACE_IN} is required"))?;
+            let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+            cfg.n_cpus = cpus;
+            cfg.l2_assoc = l2_assoc;
+            cfg.l1_latency = l1_latency;
+            cfg.l1_banks = l1_banks;
+            let mut sys = arch
+                .try_build(&cfg.system_config())
+                .map_err(|e| e.to_string())?;
+            let rs = replay_bytes(&bytes, sys.as_mut()).map_err(|e| e.to_string())?;
+            println!("trace        : {path}");
+            println!("system       : {} ({cpus} CPUs)", sys.name());
+            println!(
+                "replayed     : {} accesses, {} ROI resets",
+                rs.accesses, rs.resets
+            );
+            println!("miss rates   : {}", MissRates::from_mem(sys.stats()));
+            println!("access lat.  : {}", sys.stats().latency);
+            for u in sys.port_utilization() {
+                println!(
+                    "port {:<12}: {:>9} grants, {:>9} busy cyc, {:>9} wait cyc",
+                    u.name, u.grants, u.busy_cycles, u.wait_cycles
+                );
+            }
+            let a = analyze_bytes(&bytes).map_err(|e| e.to_string())?;
+            println!("stream       : {}", TraceProfile::from_analysis(&a));
+            Ok(())
+        })(),
         "synth" => (|| {
             let mut p = SynthParams::default();
             let mut cpu = CpuKind::Mipsy;

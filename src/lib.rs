@@ -15,6 +15,9 @@
 //!   models.
 //! * [`kernels`] — the synchronization runtime and the
 //!   workload generators.
+//! * [`trace`] — reference-trace capture at the CPU/memory
+//!   boundary, the compact binary codec, trace-driven replay and the
+//!   sharing/reuse analysis passes.
 //! * [`core`] — machine assembly, the experiment runner and
 //!   the paper's metrics.
 //!
@@ -42,3 +45,4 @@ pub use cmpsim_engine as engine;
 pub use cmpsim_isa as isa;
 pub use cmpsim_kernels as kernels;
 pub use cmpsim_mem as mem;
+pub use cmpsim_trace as trace;
