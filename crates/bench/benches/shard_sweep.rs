@@ -1,0 +1,92 @@
+//! Sharded-run-loop throughput sweep: one simulation timed at 1, 2 and 4
+//! shards (`MachineConfig::shards`) for each CPU model on 4- and 8-CPU
+//! geometries, emitted as JSON lines for `BENCH_*.json`. Not a paper
+//! figure — the regression guard for the intra-run parallelism the
+//! sharded machine loop provides (DESIGN.md §12).
+//!
+//! Each record carries the simulated-instruction throughput and the
+//! speedup over the 1-shard (serial-loop) baseline of the same
+//! configuration, compared minimum-to-minimum so host noise bursts do not
+//! masquerade as scaling changes. Digest identity across shard counts is
+//! the test suite's and `verify.sh`'s job; this bench only tracks the
+//! host-time win.
+//!
+//! Every record also carries `host_cpus` (`std::thread::available_
+//! parallelism`): sharding trades host cores for wall-clock time, so on a
+//! host with fewer cores than shards the sweep measures the overhead
+//! bound of the sharded loop (speedup below 1), not its scaling. Compare
+//! records at equal `host_cpus`.
+//!
+//! MXS rows are expected to report a speedup of ~1.0: the model declines
+//! stage-ahead execution (`CpuModel::stageable`), so a sharded
+//! configuration falls back to the serial loop. The rows exist precisely
+//! to keep that fallback visible in the record stream.
+//!
+//! Setting `CMPSIM_BENCH_QUICK` (to anything but `0`) drops warmup and
+//! repeat counts so `scripts/verify.sh` can append a cheap record.
+
+use cmpsim_bench::timing::{self, JsonVal};
+use cmpsim_core::machine::run_workload;
+use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
+use cmpsim_kernels::build_by_name;
+
+/// Repeat counts: (warmup, runs, workload scale).
+fn knobs() -> (u32, u32, f64) {
+    let quick = std::env::var("CMPSIM_BENCH_QUICK")
+        .map(|v| !v.trim().is_empty() && v.trim() != "0")
+        .unwrap_or(false);
+    if quick {
+        (0, 1, 0.05)
+    } else {
+        (1, 5, 0.1)
+    }
+}
+
+/// Times eqntott on one `(CPU model, CPU count)` configuration at 1, 2 and
+/// 4 shards and emits one record per shard count. The shared-memory
+/// architecture maximizes the cross-CPU lookahead bound, so it is where
+/// slice budgets — and therefore the sharding win — are largest.
+fn sweep(label: &str, cpu: CpuKind, n_cpus: usize) {
+    let (warmup, runs, scale) = knobs();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let mut base_min_ns = 0u64;
+    for shards in [1usize, 2, 4] {
+        let mut sim_instructions = 0u64;
+        let m = timing::measure(warmup, runs, || {
+            let w = build_by_name("eqntott", n_cpus, scale).expect("builds");
+            let mut cfg = MachineConfig::new(ArchKind::SharedMem, cpu);
+            cfg.n_cpus = n_cpus;
+            cfg.shards = Some(shards);
+            let summary = run_workload(&cfg, &w, 100_000_000).expect("runs");
+            sim_instructions = summary.total.instructions;
+            summary
+        });
+        if shards == 1 {
+            base_min_ns = m.min_ns;
+        }
+        let speedup = base_min_ns as f64 / (m.min_ns as f64).max(f64::MIN_POSITIVE);
+        timing::emit_record(
+            "shard_sweep",
+            &format!("{label}/eqntott/shards{shards}"),
+            &m,
+            &[
+                ("n_cpus", (n_cpus as u64).into()),
+                ("shards", (shards as u64).into()),
+                ("host_cpus", host_cpus.into()),
+                ("sim_instructions", sim_instructions.into()),
+                (
+                    "sim_instr_per_host_sec",
+                    JsonVal::F64(m.per_sec(sim_instructions)),
+                ),
+                ("speedup_vs_serial", JsonVal::F64(speedup)),
+            ],
+        );
+    }
+}
+
+fn main() {
+    sweep("mipsy/4cpu", CpuKind::Mipsy, 4);
+    sweep("mipsy/8cpu", CpuKind::Mipsy, 8);
+    sweep("mxs/4cpu", CpuKind::Mxs, 4);
+    sweep("mxs/8cpu", CpuKind::Mxs, 8);
+}

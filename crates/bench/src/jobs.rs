@@ -1,18 +1,13 @@
-//! In-repo scoped-thread job pool for the bench harness.
+//! Bench-harness job fan-out: the `CMPSIM_BENCH_JOBS` knob over the
+//! engine's scoped-thread pool.
 //!
 //! Every simulated run is single-threaded and deterministic, so independent
 //! `(arch × workload × cpu-model)` runs can fan out across host cores
-//! without touching the simulator itself. The pool is built on
-//! `std::thread::scope` — zero external dependencies — and hands work out
-//! through an atomic cursor, but results are always returned **in index
-//! order**, so callers produce byte-identical output whatever the thread
-//! count or scheduling.
-//!
-//! The worker count comes from `CMPSIM_BENCH_JOBS` when set (a positive
-//! integer; `1` forces fully serial in-thread execution), otherwise from
-//! `std::thread::available_parallelism()`.
+//! without touching the simulator itself. The pool machinery itself lives
+//! in [`cmpsim_engine::pool`] (the sharded machine runner shares it); this
+//! module only owns the bench-side worker-count policy.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+pub use cmpsim_engine::pool::{map_jobs, run_indexed};
 
 /// Worker-thread count for bench fan-out: `CMPSIM_BENCH_JOBS` if set (an
 /// unparsable or zero value falls back to 1), else the host's available
@@ -26,108 +21,5 @@ pub fn n_jobs() -> usize {
             .filter(|&n| n >= 1)
             .unwrap_or(1),
         Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
-}
-
-/// Runs `f(0..n)` on up to `jobs` scoped threads and returns the results in
-/// index order. With `jobs <= 1` (or a single item) everything runs inline
-/// on the calling thread — same results, no thread machinery.
-///
-/// # Panics
-///
-/// Propagates a panic from any worker closure.
-pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = jobs.max(1).min(n);
-    if workers == 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let fref = &f;
-    let nextref = &next;
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(move || {
-                    let mut got = Vec::new();
-                    loop {
-                        let i = nextref.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        got.push((i, fref(i)));
-                    }
-                    got
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, v) in h.join().expect("bench worker panicked") {
-                slots[i] = Some(v);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|o| o.expect("the cursor visits every index exactly once"))
-        .collect()
-}
-
-/// Maps `f` over `items` on up to `jobs` threads, results in item order.
-pub fn map_jobs<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(&I) -> T + Sync,
-{
-    run_indexed(jobs, items.len(), |i| f(&items[i]))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn results_come_back_in_index_order() {
-        // Stagger completion so late indices finish first under real
-        // threading; index order must hold regardless.
-        let out = run_indexed(4, 16, |i| {
-            std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 50) as u64));
-            i * 10
-        });
-        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn serial_and_parallel_agree() {
-        let work = |i: usize| (i as u64).wrapping_mul(2_654_435_761) % 1013;
-        let serial = run_indexed(1, 64, work);
-        let parallel = run_indexed(8, 64, work);
-        assert_eq!(serial, parallel);
-    }
-
-    #[test]
-    fn empty_and_single_inputs() {
-        assert_eq!(run_indexed(8, 0, |i| i), Vec::<usize>::new());
-        assert_eq!(run_indexed(8, 1, |i| i + 7), vec![7]);
-    }
-
-    #[test]
-    fn map_jobs_preserves_item_order() {
-        let items = ["a", "bb", "ccc"];
-        assert_eq!(map_jobs(3, &items, |s| s.len()), vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn zero_jobs_is_clamped_to_serial() {
-        assert_eq!(run_indexed(0, 3, |i| i), vec![0, 1, 2]);
     }
 }

@@ -1,7 +1,9 @@
 //! Machine assembly and the simulation run loop.
 
-use cmpsim_cpu::{ArchState, CpuCounters, CpuModel, MipsyCpu, MxsConfig, MxsCpu, StepEvent};
-use cmpsim_engine::Cycle;
+use cmpsim_cpu::{
+    ArchState, CpuCounters, CpuModel, MipsyCpu, MxsConfig, MxsCpu, StagedStep, StepEvent,
+};
+use cmpsim_engine::{barrier_rounds, Cycle, ReadyHeap};
 use cmpsim_isa::HcallNo;
 use cmpsim_kernels::BuiltWorkload;
 use cmpsim_mem::{
@@ -13,6 +15,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
 use std::rc::Rc;
+use std::sync::{Mutex, RwLock};
 
 /// Which of the paper's three architectures to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,10 +140,26 @@ pub struct MachineConfig {
     /// this many cycles. `None` resolves from `CMPSIM_STALL_CYCLES`
     /// (unset means the watchdog is off).
     pub stall_cycles: Option<u64>,
+    /// Shard count for intra-run parallelism (DESIGN.md §12). `None`
+    /// resolves from `CMPSIM_SHARDS` (unset means 1: the serial loop).
+    /// Results are bit-identical at any shard count; shards only trade
+    /// host threads for wall-clock time.
+    pub shards: Option<usize>,
 }
 
 /// Environment knob naming the forward-progress watchdog limit in cycles.
 pub const ENV_STALL_CYCLES: &str = "CMPSIM_STALL_CYCLES";
+
+/// Environment knob naming the shard count for intra-run parallelism
+/// (see [`MachineConfig::shards`]).
+pub const ENV_SHARDS: &str = "CMPSIM_SHARDS";
+
+/// Environment knob (set to anything) making a sharded run print its
+/// stage/commit tallies to stderr when it finishes: rounds run, steps
+/// committed from staged records, steps run serially on the spine, and
+/// staged tails discarded by read-set validation. Diagnostics only —
+/// results are unaffected.
+pub const ENV_SHARD_STATS: &str = "CMPSIM_SHARD_STATS";
 
 /// Environment knob naming a file path to capture the reference trace to.
 /// Unset (the default) means no capture and exactly zero overhead: the
@@ -168,7 +187,22 @@ impl MachineConfig {
             cpus_per_cluster: None,
             sentinel: None,
             stall_cycles: None,
+            shards: None,
         }
+    }
+
+    /// The shard count this machine will run with: the explicit override
+    /// if set, otherwise `CMPSIM_SHARDS` from the environment; 1 (serial)
+    /// when neither says otherwise.
+    pub fn resolved_shards(&self) -> usize {
+        self.shards
+            .or_else(|| {
+                std::env::var(ENV_SHARDS)
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok())
+            })
+            .unwrap_or(1)
+            .max(1)
     }
 
     /// The sentinel spec this machine will run with: the explicit override
@@ -606,48 +640,45 @@ impl Machine {
         })
     }
 
-    /// Switches CPU `c` to `next`, saving the current context. Returns the
-    /// saved context.
-    fn switch_to(&mut self, c: usize, next: ProcessCtx) -> ProcessCtx {
-        let cpu = &mut self.cpus[c];
-        let saved = ProcessCtx {
-            arch: cpu.arch().clone(),
-            space: cpu.space(),
-        };
-        *cpu.arch_mut() = next.arch;
-        cpu.set_space(next.space);
-        cpu.flush();
-        saved
-    }
-
-    /// Index of the not-done CPU with the earliest ready cycle; ties go to
-    /// the lowest index (the scheduling order the whole simulation pins).
-    /// A plain scan — no iterator refiltering per step — over the handful
-    /// of CPUs.
-    #[inline]
-    fn earliest_ready(&self) -> Option<usize> {
-        let mut best: Option<usize> = None;
+    /// A [`ReadyHeap`] seeded with every not-done CPU at its ready cycle.
+    fn ready_heap(&self) -> ReadyHeap {
+        let mut heap = ReadyHeap::new(self.cpus.len());
         for c in 0..self.cpus.len() {
-            if self.done[c] {
-                continue;
-            }
-            match best {
-                Some(b) if self.ready[c] >= self.ready[b] => {}
-                _ => best = Some(c),
+            if !self.done[c] {
+                heap.set(c, self.ready[c]);
             }
         }
-        best
+        heap
     }
 
     /// Runs until every CPU finishes or `max_cycles` elapses.
+    ///
+    /// With a resolved shard count above 1 (see [`MachineConfig::shards`])
+    /// and a machine the sharded loop supports — more than one CPU, every
+    /// model stageable, sentinel off — the run executes on the sharded
+    /// loop (DESIGN.md §12); results are bit-identical either way.
     ///
     /// # Errors
     ///
     /// Returns [`RunError::Timeout`] if the budget expires.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, RunError> {
+        let shards = self.cfg.resolved_shards();
+        if shards > 1
+            && !self.sentinel_on
+            && self.cpus.len() > 1
+            && self.cpus.iter().all(|c| c.stageable())
+        {
+            self.run_sharded(max_cycles, shards)
+        } else {
+            self.run_serial(max_cycles)
+        }
+    }
+
+    /// The serial run loop: steps the earliest-ready CPU until all halt.
+    fn run_serial(&mut self, max_cycles: u64) -> Result<RunSummary, RunError> {
         let mut watchdog = self.stall_limit.map(|l| Watchdog::new(l, self.cpus.len()));
-        while let Some(c) = self.earliest_ready() {
-            let now = self.ready[c];
+        let mut heap = self.ready_heap();
+        while let Some((now, c)) = heap.peek() {
             if now.0 > max_cycles {
                 let report = self.diagnose(now.0, watchdog.as_ref());
                 return Err(RunError::Timeout {
@@ -663,6 +694,15 @@ impl Machine {
                 self.phys.sentinel_heal();
             }
             self.ready[c] = next;
+            // Handle the event before consulting the watchdog: a step that
+            // halts (or exits the last process) must never be reported as
+            // stalled, even when it graduated nothing — MXS can spend its
+            // final cycles draining without graduation.
+            match ev {
+                StepEvent::None => {}
+                StepEvent::Halted => self.done[c] = true,
+                StepEvent::Hcall(no) => self.handle_hcall(c, now, no),
+            }
             if let Some(w) = &mut watchdog {
                 if !self.done[c]
                     && w.observe(c, next.0, self.cpus[c].counters().instructions)
@@ -676,13 +716,227 @@ impl Machine {
                     });
                 }
             }
-            match ev {
-                StepEvent::None => {}
-                StepEvent::Halted => self.done[c] = true,
-                StepEvent::Hcall(no) => self.handle_hcall(c, now, no),
+            if self.done[c] {
+                heap.remove(c);
+            } else {
+                heap.set(c, next);
             }
         }
         Ok(self.summary())
+    }
+
+    /// The sharded run loop (DESIGN.md §12): rounds alternate a parallel
+    /// *stage* phase — each of `shards` participants executes its CPUs
+    /// ahead of time against a frozen memory snapshot — with a serial
+    /// *commit* phase on this thread that replays the staged records in
+    /// canonical `(cycle, cpu)` order, validating each step's read words
+    /// against the round's store journal and falling back to plain serial
+    /// stepping whenever cross-CPU communication invalidated a record.
+    /// Every memory-system access, physical-memory write and counter
+    /// update happens on the commit spine in exactly the serial order, so
+    /// the results are bit-identical to [`Machine::run_serial`].
+    fn run_sharded(&mut self, max_cycles: u64, shards: usize) -> Result<RunSummary, RunError> {
+        struct StageCell {
+            cpu: Box<dyn CpuModel>,
+            staged: Vec<StagedStep>,
+            cursor: usize,
+            active: bool,
+        }
+        enum Stop {
+            Timeout(u64),
+            Stalled { limit: u64, now: u64 },
+        }
+
+        // How far ahead a shard may run: scaled from the memory system's
+        // minimum cross-CPU interaction latency. Correctness never depends
+        // on this value (validation catches every conflict); it only trades
+        // per-round overhead against the cost of discarded work.
+        let budget = (self.mem.cross_cpu_lookahead() * 16).clamp(64, 256) as usize;
+
+        let mut heap = self.ready_heap();
+        let mut phys = std::mem::replace(&mut self.phys, PhysMem::new(0));
+        phys.arm_slice_journal();
+        let phys_lock = RwLock::new(phys);
+        let cells: Vec<Mutex<StageCell>> = std::mem::take(&mut self.cpus)
+            .into_iter()
+            .enumerate()
+            .map(|(c, cpu)| {
+                Mutex::new(StageCell {
+                    cpu,
+                    staged: Vec::new(),
+                    cursor: 0,
+                    active: !self.done[c],
+                })
+            })
+            .collect();
+        let mut watchdog = self.stall_limit.map(|l| Watchdog::new(l, cells.len()));
+        let mut stop: Option<Stop> = None;
+
+        // Diagnostic tallies, reported on stderr under CMPSIM_SHARD_STATS:
+        // how many steps committed from staged records versus running
+        // serially on the spine, and how often validation discarded a tail.
+        let (mut n_rounds, mut n_staged, mut n_serial, mut n_invalidated) =
+            (0u64, 0u64, 0u64, 0u64);
+        let (r_rounds, r_staged, r_serial, r_inval) = (
+            &mut n_rounds,
+            &mut n_staged,
+            &mut n_serial,
+            &mut n_invalidated,
+        );
+
+        let this = &mut *self;
+        let watchdog_ref = &mut watchdog;
+        let stop_ref = &mut stop;
+        barrier_rounds(
+            shards,
+            |w| {
+                // Stage phase: memory is frozen (read lock); each
+                // participant speculatively executes its CPUs into
+                // per-cell buffers. CPU-to-shard assignment is striped but
+                // any assignment yields identical results — staging is
+                // per-CPU work against the same snapshot.
+                let phys = phys_lock.read().unwrap();
+                for i in (w..cells.len()).step_by(shards) {
+                    let mut cell = cells[i].lock().unwrap();
+                    let cell = &mut *cell;
+                    if !cell.active {
+                        continue;
+                    }
+                    debug_assert!(cell.staged.is_empty());
+                    cell.cpu.stage(&phys, budget, &mut cell.staged);
+                }
+            },
+            || {
+                // Commit phase: exclusive access (the stage team is parked
+                // at the barrier). Replays the canonical serial schedule,
+                // consuming staged records where valid.
+                let mut guards: Vec<_> = cells.iter().map(|c| c.lock().unwrap()).collect();
+                let mut phys = phys_lock.write().unwrap();
+                phys.slice_journal_mut()
+                    .expect("journal armed for the sharded run")
+                    .begin_slice();
+                loop {
+                    let Some((now, c)) = heap.peek() else {
+                        return false; // every CPU finished
+                    };
+                    if now.0 > max_cycles {
+                        *stop_ref = Some(Stop::Timeout(now.0));
+                        return false;
+                    }
+                    phys.slice_journal_mut().expect("journal armed").set_cpu(c);
+                    let cell = &mut *guards[c];
+                    let (next, ev) = if cell.cursor < cell.staged.len() {
+                        let s = cell.staged[cell.cursor];
+                        let journal = phys.slice_journal().expect("journal armed");
+                        let valid = s
+                            .read_words()
+                            .iter()
+                            .all(|w| !journal.written_by_other(*w, c));
+                        if valid {
+                            *r_staged += 1;
+                            cell.cursor += 1;
+                            cell.cpu
+                                .commit_staged(now, &s, this.mem.as_mut(), &mut phys)
+                        } else {
+                            *r_inval += 1;
+                            // Another CPU wrote something this step read:
+                            // the whole staged tail is stale. Drop it and
+                            // run the real step serially.
+                            cell.staged.clear();
+                            cell.cursor = 0;
+                            cell.cpu.step(now, this.mem.as_mut(), &mut phys)
+                        }
+                    } else {
+                        // Nothing staged (drained, or the next instruction
+                        // needs the spine: SC, HCALL, HALT).
+                        *r_serial += 1;
+                        cell.cpu.step(now, this.mem.as_mut(), &mut phys)
+                    };
+                    this.ready[c] = next;
+                    match ev {
+                        StepEvent::None => {}
+                        StepEvent::Halted => {
+                            this.done[c] = true;
+                        }
+                        StepEvent::Hcall(no) => {
+                            let mut refs: Vec<&mut Box<dyn CpuModel>> =
+                                guards.iter_mut().map(|g| &mut g.cpu).collect();
+                            handle_hcall_parts(
+                                c,
+                                now,
+                                no,
+                                &mut refs,
+                                this.mem.as_mut(),
+                                &mut this.queues,
+                                &mut this.phases,
+                                this.trace.as_ref(),
+                                &mut this.roi_start,
+                                &mut this.done,
+                            );
+                        }
+                    }
+                    if this.done[c] {
+                        let cell = &mut *guards[c];
+                        cell.staged.clear();
+                        cell.cursor = 0;
+                    }
+                    if let Some(w) = watchdog_ref {
+                        if !this.done[c]
+                            && w.observe(c, next.0, guards[c].cpu.counters().instructions)
+                                .is_some()
+                        {
+                            *stop_ref = Some(Stop::Stalled {
+                                limit: w.limit(),
+                                now: next.0,
+                            });
+                            return false;
+                        }
+                    }
+                    if this.done[c] {
+                        heap.remove(c);
+                    } else {
+                        heap.set(c, next);
+                    }
+                    if guards.iter().all(|g| g.cursor >= g.staged.len()) {
+                        break; // round fully drained
+                    }
+                }
+                *r_rounds += 1;
+                for (i, g) in guards.iter_mut().enumerate() {
+                    g.staged.clear();
+                    g.cursor = 0;
+                    g.active = !this.done[i];
+                }
+                !heap.is_empty()
+            },
+        );
+
+        if std::env::var(ENV_SHARD_STATS).is_ok() {
+            eprintln!(
+                "shard stats: rounds={n_rounds} staged={n_staged} serial={n_serial} invalidated={n_invalidated}"
+            );
+        }
+
+        // Reassemble the machine before reporting, so error reports and the
+        // summary read the same fields as the serial path.
+        let mut phys = phys_lock.into_inner().unwrap();
+        phys.disarm_slice_journal();
+        self.phys = phys;
+        self.cpus = cells
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().cpu)
+            .collect();
+        match stop {
+            Some(Stop::Timeout(now)) => Err(RunError::Timeout {
+                budget: max_cycles,
+                report: Box::new(self.diagnose(now, watchdog.as_ref())),
+            }),
+            Some(Stop::Stalled { limit, now }) => Err(RunError::Stalled {
+                limit,
+                report: Box::new(self.diagnose(now, watchdog.as_ref())),
+            }),
+            None => Ok(self.summary()),
+        }
     }
 
     /// Snapshots every CPU for a failure report.
@@ -705,35 +959,19 @@ impl Machine {
     }
 
     fn handle_hcall(&mut self, c: usize, now: Cycle, no: HcallNo) {
-        match no {
-            HcallNo::ResetStats => {
-                for cpu in &mut self.cpus {
-                    cpu.counters_mut().reset();
-                }
-                self.mem.stats_mut().reset();
-                // The reset is invisible at the access boundary, so the
-                // trace carries an explicit marker — replay re-applies it
-                // to reproduce region-of-interest statistics exactly.
-                if let Some(t) = &self.trace {
-                    t.borrow_mut().record_reset(now.0);
-                }
-                self.roi_start = now;
-            }
-            HcallNo::Phase(tag) => self.phases.push((now.0, c, tag)),
-            HcallNo::Yield => {
-                if let Some(next) = self.queues[c].pop_front() {
-                    let saved = self.switch_to(c, next);
-                    self.queues[c].push_back(saved);
-                }
-            }
-            HcallNo::Exit => {
-                if let Some(next) = self.queues[c].pop_front() {
-                    let _ = self.switch_to(c, next);
-                } else {
-                    self.done[c] = true;
-                }
-            }
-        }
+        let mut refs: Vec<&mut Box<dyn CpuModel>> = self.cpus.iter_mut().collect();
+        handle_hcall_parts(
+            c,
+            now,
+            no,
+            &mut refs,
+            self.mem.as_mut(),
+            &mut self.queues,
+            &mut self.phases,
+            self.trace.as_ref(),
+            &mut self.roi_start,
+            &mut self.done,
+        );
     }
 
     fn summary(&mut self) -> RunSummary {
@@ -791,6 +1029,65 @@ impl Machine {
             let t = t.borrow();
             (t.records(), t.bytes_written())
         })
+    }
+}
+
+/// Switches `cpu` to the context `next`, returning the saved context.
+fn switch_ctx(cpu: &mut dyn CpuModel, next: ProcessCtx) -> ProcessCtx {
+    let saved = ProcessCtx {
+        arch: cpu.arch().clone(),
+        space: cpu.space(),
+    };
+    *cpu.arch_mut() = next.arch;
+    cpu.set_space(next.space);
+    cpu.flush();
+    saved
+}
+
+/// Services a harness call. Free-standing (rather than a [`Machine`]
+/// method) so the sharded commit phase, whose CPUs live behind per-cell
+/// locks, can call it with the same semantics as the serial loop.
+#[allow(clippy::too_many_arguments)]
+fn handle_hcall_parts(
+    c: usize,
+    now: Cycle,
+    no: HcallNo,
+    cpus: &mut [&mut Box<dyn CpuModel>],
+    mem: &mut dyn MemorySystem,
+    queues: &mut [VecDeque<ProcessCtx>],
+    phases: &mut Vec<(u64, usize, u8)>,
+    trace: Option<&SinkHandle>,
+    roi_start: &mut Cycle,
+    done: &mut [bool],
+) {
+    match no {
+        HcallNo::ResetStats => {
+            for cpu in cpus.iter_mut() {
+                cpu.counters_mut().reset();
+            }
+            mem.stats_mut().reset();
+            // The reset is invisible at the access boundary, so the
+            // trace carries an explicit marker — replay re-applies it
+            // to reproduce region-of-interest statistics exactly.
+            if let Some(t) = trace {
+                t.borrow_mut().record_reset(now.0);
+            }
+            *roi_start = now;
+        }
+        HcallNo::Phase(tag) => phases.push((now.0, c, tag)),
+        HcallNo::Yield => {
+            if let Some(next) = queues[c].pop_front() {
+                let saved = switch_ctx(cpus[c].as_mut(), next);
+                queues[c].push_back(saved);
+            }
+        }
+        HcallNo::Exit => {
+            if let Some(next) = queues[c].pop_front() {
+                let _ = switch_ctx(cpus[c].as_mut(), next);
+            } else {
+                done[c] = true;
+            }
+        }
     }
 }
 
@@ -964,6 +1261,147 @@ mod tests {
             format!("{:?}", sys.port_utilization()),
             format!("{:?}", plain.port_util),
         );
+    }
+
+    /// A CPU model whose one and only step consumes a long stretch of
+    /// simulated time and halts without graduating anything — the shape
+    /// that used to trip the watchdog: observing *before* handling
+    /// [`StepEvent::Halted`] reported the halting CPU as stalled.
+    struct StubCpu {
+        arch: ArchState,
+        space: AddrSpace,
+        counters: CpuCounters,
+        halted: bool,
+    }
+
+    impl CpuModel for StubCpu {
+        fn step(
+            &mut self,
+            now: Cycle,
+            _mem: &mut dyn MemorySystem,
+            _phys: &mut PhysMem,
+        ) -> (Cycle, StepEvent) {
+            self.halted = true;
+            (now + 10_000, StepEvent::Halted)
+        }
+        fn arch(&self) -> &ArchState {
+            &self.arch
+        }
+        fn arch_mut(&mut self) -> &mut ArchState {
+            &mut self.arch
+        }
+        fn set_space(&mut self, space: AddrSpace) {
+            self.space = space;
+        }
+        fn space(&self) -> AddrSpace {
+            self.space
+        }
+        fn flush(&mut self) {}
+        fn halted(&self) -> bool {
+            self.halted
+        }
+        fn counters(&self) -> &CpuCounters {
+            &self.counters
+        }
+        fn counters_mut(&mut self) -> &mut CpuCounters {
+            &mut self.counters
+        }
+    }
+
+    #[test]
+    fn watchdog_does_not_flag_a_halting_step() {
+        let cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mipsy);
+        let sc = cfg.system_config();
+        let mut m = Machine {
+            cfg,
+            cpus: vec![Box::new(StubCpu {
+                arch: ArchState::new(0x1000),
+                space: AddrSpace::identity(),
+                counters: CpuCounters::new(),
+                halted: false,
+            })],
+            mem: Box::new(SharedMemSystem::new(&sc)),
+            phys: PhysMem::new(1),
+            ready: vec![Cycle::ZERO],
+            done: vec![false],
+            queues: vec![VecDeque::new()],
+            roi_start: Cycle::ZERO,
+            phases: Vec::new(),
+            workload_name: "stub",
+            sentinel_on: false,
+            // Far below the stub's 10_000-cycle final step: the old
+            // observe-before-event order reported this run as Stalled.
+            stall_limit: Some(100),
+            trace: None,
+        };
+        let s = m
+            .run(1_000_000)
+            .expect("a halting step must never be reported as stalled");
+        assert_eq!(s.total.instructions, 0);
+    }
+
+    /// The tentpole contract: a sharded run is bit-identical to the serial
+    /// one — same cycles, same counters, same memory statistics — for any
+    /// shard count.
+    #[test]
+    fn sharded_run_is_bit_identical_to_serial() {
+        for name in ["eqntott", "mp3d"] {
+            let mut serial_cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mipsy);
+            serial_cfg.shards = Some(1);
+            let w = build_by_name(name, 4, 0.03).expect("builds");
+            let a = run_workload(&serial_cfg, &w, 200_000_000).expect("serial runs");
+            for shards in [2usize, 4, 7] {
+                let mut cfg = serial_cfg;
+                cfg.shards = Some(shards);
+                let w = build_by_name(name, 4, 0.03).expect("builds");
+                let b = run_workload(&cfg, &w, 200_000_000).expect("sharded runs");
+                assert_eq!(a.wall_cycles, b.wall_cycles, "{name} @ {shards} shards");
+                assert_eq!(a.total, b.total, "{name} @ {shards} shards");
+                assert_eq!(a.per_cpu, b.per_cpu, "{name} @ {shards} shards");
+                assert_eq!(
+                    format!("{:?}", a.mem),
+                    format!("{:?}", b.mem),
+                    "{name} @ {shards} shards"
+                );
+                assert_eq!(
+                    format!("{:?}", a.port_util),
+                    format!("{:?}", b.port_util),
+                    "{name} @ {shards} shards"
+                );
+            }
+        }
+    }
+
+    /// Context switches (multiprogramming hcalls) ride the commit spine;
+    /// the scheduler's interleaving must survive sharding bit for bit.
+    #[test]
+    fn sharded_multiprog_matches_serial() {
+        let mut cfg = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mipsy);
+        cfg.shards = Some(1);
+        let w = build_by_name("multiprog", 4, 0.1).expect("builds");
+        let a = run_workload(&cfg, &w, 400_000_000).expect("serial runs");
+        cfg.shards = Some(4);
+        let w = build_by_name("multiprog", 4, 0.1).expect("builds");
+        let b = run_workload(&cfg, &w, 400_000_000).expect("sharded runs");
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.total, b.total);
+        assert_eq!(a.phases, b.phases);
+        assert_eq!(format!("{:?}", a.mem), format!("{:?}", b.mem));
+    }
+
+    /// MXS models opt out of staging; a sharded config must still run them
+    /// (serially) and produce the serial results.
+    #[test]
+    fn sharded_config_with_mxs_falls_back_to_serial() {
+        let mut cfg = MachineConfig::new(ArchKind::SharedL1, CpuKind::Mxs);
+        cfg.shards = Some(4);
+        let w = build_by_name("eqntott", 4, 0.02).expect("builds");
+        let b = run_workload(&cfg, &w, 100_000_000).expect("runs");
+        cfg.shards = Some(1);
+        let w = build_by_name("eqntott", 4, 0.02).expect("builds");
+        let a = run_workload(&cfg, &w, 100_000_000).expect("runs");
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.total, b.total);
     }
 
     #[test]

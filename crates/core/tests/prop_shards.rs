@@ -1,0 +1,84 @@
+//! Property: the sharded run loop is bit-identical to the serial loop.
+//!
+//! The tentpole contract of DESIGN.md §12 — shard count is a host-time
+//! knob, never a results knob — checked over random draws of workload ×
+//! architecture × CPU-count geometry, comparing the full `Debug` rendering
+//! of the [`RunSummary`] (per-CPU counters, merged counters, `MemStats`
+//! including the latency histogram, port utilization, phase markers) at 1,
+//! 2 and 4 shards. The prop framework's per-case seed is the only
+//! randomness; a failure prints a `CMPSIM_PROP_SEED` line that reproduces
+//! the exact draw.
+//!
+//! [`RunSummary`]: cmpsim_core::RunSummary
+
+use cmpsim_core::machine::run_workload;
+use cmpsim_core::{ArchKind, CpuKind, MachineConfig};
+use cmpsim_engine::prop::{self, Config};
+use cmpsim_kernels::build_by_name;
+
+/// Cycle budget: every drawn scale finishes far below this.
+const BUDGET: u64 = 10_000_000_000;
+
+/// Runs one configuration at a pinned shard count and renders the whole
+/// summary for comparison. Pinned through `MachineConfig::shards`, not the
+/// environment, so shard counts can be compared within one process.
+fn digest(cfg: &MachineConfig, w: &cmpsim_kernels::BuiltWorkload, shards: usize) -> String {
+    let mut cfg = *cfg;
+    cfg.shards = Some(shards);
+    let s = run_workload(&cfg, w, BUDGET).expect("pinned-good configuration runs");
+    format!("{s:?}")
+}
+
+/// Random workload × architecture × geometry: the sharded loop must match
+/// the serial loop bit for bit. Mipsy only — MXS declines staging and
+/// falls back to the serial loop, which `sharded_config_with_mxs_falls_
+/// back_to_serial` (in `cmpsim_core::machine`) already pins.
+#[test]
+fn sharded_run_matches_serial_on_random_configurations() {
+    // Each case is three whole-machine runs; 10 cases keeps the suite in
+    // tier-1 time. CMPSIM_PROP_CASES overrides for soak runs.
+    let cfg = Config::from_env_or_cases(10);
+    prop::check_with(&cfg, "sharded_run_matches_serial", |src| {
+        let workload = src.choice(&cmpsim_kernels::ALL_WORKLOADS[..]);
+        let arch = src.choice(&[
+            ArchKind::SharedL1,
+            ArchKind::SharedL2,
+            ArchKind::SharedMem,
+            ArchKind::Clustered,
+        ]);
+        let n_cpus = src.choice(&[2usize, 4, 8]);
+        let scale = src.choice(&[0.02, 0.03]);
+        let w = build_by_name(workload, n_cpus, scale)
+            .unwrap_or_else(|e| panic!("building {workload}: {e}"));
+        let mut base = MachineConfig::new(arch, CpuKind::Mipsy);
+        base.n_cpus = n_cpus;
+        let serial = digest(&base, &w, 1);
+        for shards in [2usize, 4] {
+            assert_eq!(
+                serial,
+                digest(&base, &w, shards),
+                "{workload} on {arch} with {n_cpus} CPUs at scale {scale}: \
+                 {shards} shards changed the run summary"
+            );
+        }
+    });
+}
+
+/// The fixed 8-CPU clustered case: sharding must commute with the cluster
+/// topology's crossbar lookahead, including at a shard count that does not
+/// divide the CPU count.
+#[test]
+fn clustered_8cpu_sharded_matches_serial() {
+    let w = build_by_name("ocean", 8, 0.03).expect("builds");
+    let mut cfg = MachineConfig::new(ArchKind::Clustered, CpuKind::Mipsy);
+    cfg.n_cpus = 8;
+    cfg.cpus_per_cluster = Some(2);
+    let serial = digest(&cfg, &w, 1);
+    for shards in [2usize, 3, 4] {
+        assert_eq!(
+            serial,
+            digest(&cfg, &w, shards),
+            "clustered 4x2: {shards} shards changed the run summary"
+        );
+    }
+}

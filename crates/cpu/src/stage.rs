@@ -1,0 +1,476 @@
+//! Stage-ahead execution records for the sharded run loop.
+//!
+//! A shard *stages* a CPU by executing its next instructions functionally
+//! against a frozen `&PhysMem` snapshot plus a private write overlay
+//! ([`StagingMem`]), producing one [`StagedStep`] per instruction. Nothing
+//! shared is mutated. The commit spine later replays each record in the
+//! canonical `(cycle, cpu)` order: it validates the step's recorded read
+//! words against the round's store journal
+//! ([`SliceJournal`](cmpsim_mem::SliceJournal)), charges the exact timing
+//! the serial path would have charged, and applies the register delta and
+//! store through the real [`PhysMem`] primitives. A step whose read set
+//! intersects another CPU's committed stores is discarded along with its
+//! successors, and the spine falls back to plain serial stepping — so the
+//! result is bit-identical to a serial run by construction, whatever the
+//! shard count (DESIGN.md §12).
+
+use crate::func::DataMem;
+use cmpsim_engine::FastMap;
+use cmpsim_isa::Instr;
+use cmpsim_mem::{Addr, CpuId, PhysMem};
+
+/// Most words one staged instruction can read: the fetch word plus up to
+/// three data words (an unaligned `f64` spans three).
+pub const MAX_STEP_READS: usize = 4;
+
+/// The register a staged instruction wrote, with its new value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RegDelta {
+    /// No register result (stores, branches, `NOP`, ...).
+    None,
+    /// An integer register result.
+    Gpr(cmpsim_isa::Reg, u32),
+    /// A floating-point register result.
+    Fpr(cmpsim_isa::FReg, f64),
+}
+
+/// The value of a staged store, by width. Committing replays the exact
+/// byte sequence the serial path would have written.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StoreVal {
+    /// `SB`.
+    U8(u8),
+    /// `SW` / `FSS` (bit pattern).
+    U32(u32),
+    /// `FSD` (bit pattern).
+    U64(u64),
+}
+
+/// The memory access of a staged instruction, if any.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StagedAccess {
+    /// No data access.
+    None,
+    /// A load from the physical address (the timing charge).
+    Load(Addr),
+    /// A store to the physical address with the value to apply at commit.
+    Store(Addr, StoreVal),
+}
+
+/// One speculatively executed instruction, ready to commit.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedStep {
+    /// Translated fetch address (untruncated, as the timing model charges
+    /// it).
+    pub ipa: Addr,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Architectural PC after this instruction.
+    pub pc_after: u32,
+    /// Register result to apply at commit.
+    pub delta: RegDelta,
+    /// Data access to charge/apply at commit.
+    pub access: StagedAccess,
+    /// Whether this was an `LL` (commit establishes the link).
+    pub ll: bool,
+    /// Whether the decode came fresh from memory (commit memoizes it,
+    /// exactly as a serial fetch miss would have).
+    pub fresh_decode: bool,
+    /// Word addresses this step read (fetch + data), for validation.
+    pub reads: [Addr; MAX_STEP_READS],
+    /// Number of valid entries in `reads`.
+    pub n_reads: u8,
+}
+
+impl StagedStep {
+    /// The read words to validate against the round's store journal.
+    pub fn read_words(&self) -> &[Addr] {
+        &self.reads[..self.n_reads as usize]
+    }
+}
+
+/// A word of staged-store overlay: the bytes this CPU has written over the
+/// snapshot, tracked per byte.
+#[derive(Debug, Clone, Copy, Default)]
+struct OverlayWord {
+    bytes: [u8; 4],
+    mask: u8,
+}
+
+impl OverlayWord {
+    fn merge(self, base: u32) -> u32 {
+        let mut b = base.to_le_bytes();
+        for (i, ob) in self.bytes.iter().enumerate() {
+            if self.mask & (1 << i) != 0 {
+                b[i] = *ob;
+            }
+        }
+        u32::from_le_bytes(b)
+    }
+}
+
+/// Frozen-snapshot memory with a private write overlay and per-step read
+/// recording — the [`DataMem`] a shard stages against.
+///
+/// Reads see the snapshot patched with this CPU's own staged stores (so a
+/// CPU always observes its own program order); every read also notes the
+/// word addresses it touched into the current step's read set. Writes go
+/// only to the overlay. Link operations are deferred: `LL` records a flag
+/// for the commit spine, and `SC` never executes here (staging stops at it
+/// first).
+#[derive(Debug)]
+pub struct StagingMem<'a> {
+    phys: &'a PhysMem,
+    overlay: FastMap<Addr, OverlayWord>,
+    reads: [Addr; MAX_STEP_READS],
+    n_reads: u8,
+    /// Whether the current step executed an `LL` (deferred `set_link`).
+    step_ll: bool,
+    /// The current step's store, captured as it executes.
+    step_store: Option<(Addr, StoreVal)>,
+}
+
+impl<'a> StagingMem<'a> {
+    /// A staging view over the frozen snapshot `phys`.
+    pub fn new(phys: &'a PhysMem) -> StagingMem<'a> {
+        StagingMem {
+            phys,
+            overlay: FastMap::default(),
+            reads: [0; MAX_STEP_READS],
+            n_reads: 0,
+            step_ll: false,
+            step_store: None,
+        }
+    }
+
+    /// Starts recording a new step: clears the read set and step flags
+    /// (the overlay persists for the whole staging run).
+    pub fn begin_step(&mut self) {
+        self.n_reads = 0;
+        self.step_ll = false;
+        self.step_store = None;
+    }
+
+    /// Notes that the current step read the word containing `addr` (used
+    /// by the CPU model for the fetch word; data reads note themselves).
+    pub fn note_read(&mut self, addr: Addr) {
+        let word = addr & !3;
+        let n = self.n_reads as usize;
+        if self.reads[..n].contains(&word) {
+            return;
+        }
+        debug_assert!(
+            n < MAX_STEP_READS,
+            "one instruction reads at most {MAX_STEP_READS} words"
+        );
+        if n < MAX_STEP_READS {
+            self.reads[n] = word;
+            self.n_reads += 1;
+        }
+    }
+
+    /// The current step's read set, `LL` flag and captured store.
+    pub fn step_record(&self) -> ([Addr; MAX_STEP_READS], u8, bool, Option<(Addr, StoreVal)>) {
+        (self.reads, self.n_reads, self.step_ll, self.step_store)
+    }
+
+    /// Whether any byte of the word containing `addr` has been staged by
+    /// this CPU — the self-modifying-code check for instruction fetches.
+    pub fn overlay_contains(&self, addr: Addr) -> bool {
+        !self.overlay.is_empty() && self.overlay.contains_key(&(addr & !3))
+    }
+
+    fn byte_at(&mut self, addr: Addr) -> u8 {
+        let word = addr & !3;
+        self.note_read(word);
+        let base = self.phys.read_u8(addr);
+        if self.overlay.is_empty() {
+            return base;
+        }
+        match self.overlay.get(&word) {
+            Some(ow) if ow.mask & (1 << (addr & 3)) != 0 => ow.bytes[(addr & 3) as usize],
+            _ => base,
+        }
+    }
+
+    fn load_word(&mut self, word: Addr) -> u32 {
+        self.note_read(word);
+        let base = self.phys.read_u32(word);
+        if self.overlay.is_empty() {
+            return base;
+        }
+        match self.overlay.get(&word) {
+            Some(ow) => ow.merge(base),
+            None => base,
+        }
+    }
+
+    fn store_byte(&mut self, addr: Addr, value: u8) {
+        let word = addr & !3;
+        let ow = self.overlay.entry(word).or_default();
+        ow.bytes[(addr & 3) as usize] = value;
+        ow.mask |= 1 << (addr & 3);
+    }
+
+    fn store_u32(&mut self, addr: Addr, value: u32) {
+        if addr & 3 == 0 {
+            let ow = self.overlay.entry(addr).or_default();
+            ow.bytes = value.to_le_bytes();
+            ow.mask = 0xF;
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.store_byte(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+}
+
+impl DataMem for StagingMem<'_> {
+    fn read_u8(&mut self, addr: Addr) -> u8 {
+        self.byte_at(addr)
+    }
+
+    fn read_u32(&mut self, addr: Addr) -> u32 {
+        if addr & 3 == 0 {
+            self.load_word(addr)
+        } else {
+            let mut b = [0u8; 4];
+            for (i, byte) in b.iter_mut().enumerate() {
+                *byte = self.byte_at(addr.wrapping_add(i as u32));
+            }
+            u32::from_le_bytes(b)
+        }
+    }
+
+    fn read_f32(&mut self, addr: Addr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    fn read_f64(&mut self, addr: Addr) -> f64 {
+        let lo = u64::from(self.read_u32(addr));
+        let hi = u64::from(self.read_u32(addr.wrapping_add(4)));
+        f64::from_bits(lo | (hi << 32))
+    }
+
+    fn write_u8(&mut self, addr: Addr, value: u8) {
+        self.step_store = Some((addr, StoreVal::U8(value)));
+        self.store_byte(addr, value);
+    }
+
+    fn write_f32(&mut self, addr: Addr, value: f32) {
+        self.step_store = Some((addr, StoreVal::U32(value.to_bits())));
+        self.store_u32(addr, value.to_bits());
+    }
+
+    fn write_f64(&mut self, addr: Addr, value: f64) {
+        let bits = value.to_bits();
+        self.step_store = Some((addr, StoreVal::U64(bits)));
+        self.store_u32(addr, bits as u32);
+        self.store_u32(addr.wrapping_add(4), (bits >> 32) as u32);
+    }
+
+    fn write_u32_tracked(&mut self, _cpu: CpuId, addr: Addr, value: u32) {
+        self.step_store = Some((addr, StoreVal::U32(value)));
+        self.store_u32(addr, value);
+    }
+
+    fn snoop_store(&mut self, _addr: Addr) {
+        // Link invalidation is a shared-state effect; the commit spine
+        // replays it in canonical order when the store is applied.
+    }
+
+    fn set_link(&mut self, _cpu: CpuId, _addr: Addr) {
+        self.step_ll = true;
+    }
+
+    fn check_and_clear_link(&mut self, _cpu: CpuId, _addr: Addr) -> bool {
+        debug_assert!(false, "SC is never staged; staging stops before it");
+        false
+    }
+}
+
+/// Applies a committed store to real memory, byte-exactly replaying the
+/// serial path's write sequence (snoop once, then the sized write).
+pub fn apply_store(phys: &mut PhysMem, cpu: CpuId, addr: Addr, val: StoreVal) {
+    match val {
+        StoreVal::U8(v) => {
+            phys.snoop_store(addr);
+            phys.write_u8(addr, v);
+        }
+        StoreVal::U32(v) => {
+            phys.write_u32_tracked(cpu, addr, v);
+        }
+        StoreVal::U64(v) => {
+            // Serial FSD snoops the line once (at `addr`) and writes the
+            // two words; replicate exactly.
+            phys.snoop_store(addr);
+            phys.write_u64(addr, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchState;
+    use crate::func::{self, ExecEnv};
+    use cmpsim_isa::{AluOp, Instr, Reg};
+    use cmpsim_mem::AddrSpace;
+
+    #[test]
+    fn reads_see_snapshot_then_own_overlay() {
+        let mut phys = PhysMem::new(1);
+        phys.write_u32(0x100, 0x1111_2222);
+        let mut sm = StagingMem::new(&phys);
+        sm.begin_step();
+        assert_eq!(sm.read_u32(0x100), 0x1111_2222);
+        sm.write_u32_tracked(0, 0x100, 0xaaaa_bbbb);
+        assert_eq!(sm.read_u32(0x100), 0xaaaa_bbbb, "own store visible");
+        // Partial overlay merges with the snapshot.
+        sm.write_u8(0x105, 0xcc);
+        phys_eq(&mut sm, 0x104, 0x0000_cc00);
+        // The real memory is untouched.
+        assert_eq!(phys.read_u32(0x100), 0x1111_2222);
+    }
+
+    fn phys_eq(sm: &mut StagingMem<'_>, addr: Addr, want: u32) {
+        assert_eq!(sm.read_u32(addr), want);
+    }
+
+    #[test]
+    fn read_set_records_words_with_dedup() {
+        let phys = PhysMem::new(1);
+        let mut sm = StagingMem::new(&phys);
+        sm.begin_step();
+        sm.note_read(0x1002); // fetch word, truncated
+        let _ = sm.read_u8(0x2003);
+        let _ = sm.read_u8(0x2001); // same word: deduplicated
+        let (reads, n, ll, store) = sm.step_record();
+        assert_eq!(&reads[..n as usize], &[0x1000, 0x2000]);
+        assert!(!ll);
+        assert!(store.is_none());
+        // Unaligned u32 spans two words.
+        sm.begin_step();
+        let _ = sm.read_u32(0x3006);
+        let (reads, n, _, _) = sm.step_record();
+        assert_eq!(&reads[..n as usize], &[0x3004, 0x3008]);
+    }
+
+    #[test]
+    fn unaligned_f64_stays_within_read_budget() {
+        let phys = PhysMem::new(1);
+        let mut sm = StagingMem::new(&phys);
+        sm.begin_step();
+        sm.note_read(0x1000); // fetch
+        let _ = sm.read_f64(0x2006); // words 0x2004, 0x2008, 0x200c
+        let (reads, n, _, _) = sm.step_record();
+        assert_eq!(&reads[..n as usize], &[0x1000, 0x2004, 0x2008, 0x200c]);
+    }
+
+    #[test]
+    fn store_capture_by_width() {
+        let phys = PhysMem::new(1);
+        let mut sm = StagingMem::new(&phys);
+        sm.begin_step();
+        sm.write_u8(0x10, 7);
+        assert_eq!(sm.step_record().3, Some((0x10, StoreVal::U8(7))));
+        sm.begin_step();
+        sm.write_f64(0x20, 2.5);
+        assert_eq!(
+            sm.step_record().3,
+            Some((0x20, StoreVal::U64(2.5f64.to_bits())))
+        );
+        sm.begin_step();
+        sm.set_link(0, 0x40);
+        assert!(sm.step_record().2, "LL recorded for deferred set_link");
+    }
+
+    #[test]
+    fn overlay_contains_flags_staged_code_words() {
+        let phys = PhysMem::new(1);
+        let mut sm = StagingMem::new(&phys);
+        sm.begin_step();
+        assert!(!sm.overlay_contains(0x1000));
+        sm.write_u32_tracked(0, 0x1000, 5);
+        assert!(sm.overlay_contains(0x1002), "any byte of the word");
+        assert!(!sm.overlay_contains(0x1004));
+    }
+
+    #[test]
+    fn apply_store_matches_serial_write_sequences() {
+        // Byte store: breaks links on the line, like Sb's snoop+write_u8.
+        let mut phys = PhysMem::new(2);
+        phys.set_link(1, 0x100);
+        apply_store(&mut phys, 0, 0x104, StoreVal::U8(9));
+        assert_eq!(phys.read_u8(0x104), 9);
+        assert!(!phys.check_and_clear_link(1, 0x100), "link broken");
+        // f64 store crossing a line boundary: snoops only the first line,
+        // exactly like serial Fsd.
+        phys.set_link(1, 0x120); // line 0x120..0x140
+        apply_store(&mut phys, 0, 0x11c, StoreVal::U64(0x1122_3344_5566_7788));
+        assert_eq!(phys.read_u64(0x11c), 0x1122_3344_5566_7788);
+        assert!(
+            phys.check_and_clear_link(1, 0x120),
+            "second line not snooped (serial Fsd snoops only the addressed line)"
+        );
+    }
+
+    /// Functional execution through `StagingMem` produces the same
+    /// architectural result as through `PhysMem`.
+    #[test]
+    fn staged_and_real_execution_agree() {
+        let mut phys = PhysMem::new(1);
+        phys.write_u32(0x1000, 41);
+        let prog = [
+            Instr::Lw {
+                rt: Reg::T0,
+                base: Reg::A0,
+                off: 0,
+            },
+            Instr::AluI {
+                op: AluOp::Add,
+                rt: Reg::T0,
+                rs: Reg::T0,
+                imm: 1,
+            },
+            Instr::Sw {
+                rt: Reg::T0,
+                base: Reg::A0,
+                off: 4,
+            },
+            Instr::Lw {
+                rt: Reg::T1,
+                base: Reg::A0,
+                off: 4,
+            },
+        ];
+        let mut real_phys = phys.clone();
+        let mut real = ArchState::new(0);
+        real.set_gpr(Reg::A0, 0x1000);
+        let mut staged = real.clone();
+
+        let mut env = ExecEnv {
+            mem: &mut real_phys,
+            space: AddrSpace::identity(),
+            cpu: 0,
+        };
+        for i in &prog {
+            func::step(&mut real, i, &mut env);
+        }
+
+        let mut sm = StagingMem::new(&phys);
+        let mut senv = ExecEnv {
+            mem: &mut sm,
+            space: AddrSpace::identity(),
+            cpu: 0,
+        };
+        for i in &prog {
+            senv.mem.begin_step();
+            func::step(&mut staged, i, &mut senv);
+        }
+        assert_eq!(staged.gpr(Reg::T0), real.gpr(Reg::T0));
+        assert_eq!(staged.gpr(Reg::T1), 42, "read own staged store back");
+        assert_eq!(phys.read_u32(0x1004), 0, "snapshot untouched");
+        assert_eq!(real_phys.read_u32(0x1004), 42);
+    }
+}

@@ -7,6 +7,11 @@
 //! * [`Port`] and [`BankedResource`] — occupancy-based contention models for
 //!   cache ports, buses and DRAM banks.
 //! * [`EventQueue`] — a deterministic time-ordered event queue.
+//! * [`ReadyHeap`] — an indexed min-heap over `(Cycle, index)` keys, the
+//!   earliest-ready order the machine run loops use.
+//! * [`pool`] — scoped-thread fan-out: the index-ordered job pool the bench
+//!   harness uses and the stage/commit barrier rounds the sharded machine
+//!   runner is built on.
 //! * [`hash`] — deterministic fixed-function hashing ([`FastMap`],
 //!   [`FastSet`]) for the simulators' internal line-address maps.
 //! * [`stats`] — counters and histograms used for the paper's
@@ -32,14 +37,18 @@
 //! ```
 
 pub mod hash;
+pub mod pool;
 pub mod prop;
 pub mod queue;
+pub mod ready;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 
 pub use hash::{BuildFastHasher, FastHasher, FastMap, FastSet};
+pub use pool::{barrier_rounds, map_jobs, run_indexed};
 pub use queue::EventQueue;
+pub use ready::ReadyHeap;
 pub use resource::{BankedResource, Port};
 pub use rng::Rng64;
 pub use stats::{Counter, Histogram};

@@ -1,0 +1,203 @@
+//! Scoped-thread fan-out primitives shared by the bench harness and the
+//! sharded run loop.
+//!
+//! Two shapes of parallelism live here, both built on `std::thread::scope`
+//! with zero external dependencies:
+//!
+//! * [`run_indexed`] / [`map_jobs`] — an atomic-cursor job pool for
+//!   independent work items whose results are always returned **in index
+//!   order**, so callers produce byte-identical output whatever the thread
+//!   count or scheduling. The bench matrix fans out over this.
+//! * [`barrier_rounds`] — a persistent worker team alternating parallel
+//!   *stage* phases with serial *commit* phases, the skeleton of the
+//!   sharded machine runner (DESIGN.md §12). Workers are spawned once and
+//!   reused every round; round boundaries are full barriers, so the stage
+//!   closure may freely read state the commit closure mutates between
+//!   rounds.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// Runs `f(0..n)` on up to `jobs` scoped threads and returns the results in
+/// index order. With `jobs <= 1` (or a single item) everything runs inline
+/// on the calling thread — same results, no thread machinery.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker closure.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = jobs.max(1).min(n);
+    if workers == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let fref = &f;
+    let nextref = &next;
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = nextref.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        got.push((i, fref(i)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("pool worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("the cursor visits every index exactly once"))
+        .collect()
+}
+
+/// Maps `f` over `items` on up to `jobs` threads, results in item order.
+pub fn map_jobs<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_indexed(jobs, items.len(), |i| f(&items[i]))
+}
+
+/// Alternates parallel stage phases with serial commit phases over a
+/// persistent team of `shards` participants until `commit` returns `false`.
+///
+/// Each round every participant `0..shards` runs `stage(i)` concurrently
+/// (the calling thread doubles as participant 0, so `shards` participants
+/// cost `shards - 1` spawned threads); once all have finished, the calling
+/// thread alone runs `commit()`. Returning `false` from `commit` ends the
+/// loop after releasing the workers.
+///
+/// Full barriers separate the phases, so `commit` may mutate state that
+/// `stage` reads (e.g. behind an `RwLock` whose writer side only the commit
+/// phase takes) without any per-access synchronization. With `shards <= 1`
+/// the loop runs inline with no threads or barriers.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker's `stage` call (the scope unwinds).
+pub fn barrier_rounds<S, C>(shards: usize, stage: S, mut commit: C)
+where
+    S: Fn(usize) + Sync,
+    C: FnMut() -> bool,
+{
+    if shards <= 1 {
+        loop {
+            stage(0);
+            if !commit() {
+                return;
+            }
+        }
+    }
+    let start = Barrier::new(shards);
+    let end = Barrier::new(shards);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for w in 1..shards {
+            let (stage, start, end, done) = (&stage, &start, &end, &done);
+            s.spawn(move || loop {
+                start.wait();
+                if done.load(Ordering::Acquire) {
+                    return;
+                }
+                stage(w);
+                end.wait();
+            });
+        }
+        loop {
+            start.wait();
+            stage(0);
+            end.wait();
+            if !commit() {
+                // One more release lets every worker observe `done`.
+                done.store(true, Ordering::Release);
+                start.wait();
+                return;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Stagger completion so late indices finish first under real
+        // threading; index order must hold regardless.
+        let out = run_indexed(4, 16, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(((16 - i) * 50) as u64));
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let work = |i: usize| (i as u64).wrapping_mul(2_654_435_761) % 1013;
+        let serial = run_indexed(1, 64, work);
+        let parallel = run_indexed(8, 64, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_single_and_zero_jobs_inputs() {
+        assert_eq!(run_indexed(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(8, 1, |i| i + 7), vec![7]);
+        assert_eq!(run_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_jobs_preserves_item_order() {
+        let items = ["a", "bb", "ccc"];
+        assert_eq!(map_jobs(3, &items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    /// Every participant stages once per round, and commit sees all of the
+    /// round's contributions — for each team size, including the inline
+    /// `shards = 1` path.
+    #[test]
+    fn barrier_rounds_stage_then_commit() {
+        for shards in [1usize, 2, 4] {
+            let staged: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let mut rounds = 0usize;
+            barrier_rounds(
+                shards,
+                |w| staged.lock().unwrap().push(w),
+                || {
+                    let mut s = staged.lock().unwrap();
+                    // All participants contributed exactly once this round.
+                    let mut got = std::mem::take(&mut *s);
+                    got.sort_unstable();
+                    assert_eq!(got, (0..shards).collect::<Vec<_>>());
+                    rounds += 1;
+                    rounds < 5
+                },
+            );
+            assert_eq!(rounds, 5);
+        }
+    }
+}

@@ -43,6 +43,7 @@ pub mod config;
 pub mod hierarchy;
 pub mod phys;
 pub mod sentinel;
+pub mod slice;
 pub mod stats;
 pub mod systems;
 pub mod wbuf;
@@ -54,6 +55,7 @@ pub use sentinel::{
     FaultClassSet, FaultInjector, FaultKind, Sentinel, SentinelSpec, SentinelViolation,
     ViolationKind,
 };
+pub use slice::SliceJournal;
 pub use stats::{LevelStats, MemStats};
 pub use systems::{ClusteredSystem, SharedL1System, SharedL2System, SharedMemSystem};
 pub use wbuf::WriteBuffer;
@@ -202,5 +204,20 @@ pub trait MemorySystem {
     /// these against [`MemorySystem::violations`]).
     fn injected_faults(&self) -> &[(sentinel::FaultKind, Addr)] {
         &[]
+    }
+
+    /// Minimum number of cycles before one CPU's store can affect another
+    /// CPU's execution through this memory system — the conservative
+    /// cross-CPU interaction lookahead.
+    ///
+    /// The sharded run loop sizes its staging slices from this bound: a
+    /// larger lookahead means more work can be speculated per barrier
+    /// round before cross-CPU validation is likely to fail. Correctness
+    /// never depends on the value (every staged read is validated against
+    /// the round's store journal), so implementations should return their
+    /// cheapest cross-CPU path honestly rather than pessimistically. The
+    /// default is the fully conservative 1 cycle.
+    fn cross_cpu_lookahead(&self) -> u64 {
+        1
     }
 }

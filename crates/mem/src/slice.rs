@@ -1,0 +1,167 @@
+//! Slice-local store journaling for the sharded run loop.
+//!
+//! The sharded runner (DESIGN.md §12) lets each shard *stage* its CPUs'
+//! next instructions against a frozen memory snapshot, then commits all
+//! staged steps serially in the canonical `(cycle, cpu)` order. A staged
+//! step is valid exactly when no *other* CPU committed a store to any word
+//! it read during the same round. [`SliceJournal`] answers that question:
+//! the commit spine arms it on [`PhysMem`](crate::PhysMem), every store
+//! records the word addresses it touches under the committing CPU's id,
+//! and validation asks [`SliceJournal::written_by_other`] per staged read.
+//!
+//! The journal is word-granular (4-byte) and per-round: a round rarely
+//! commits more than a few hundred stores, so a small open-addressed map
+//! plus a 64-bit bloom filter in front keeps the common no-conflict case to
+//! one multiply and one test.
+
+use crate::{Addr, CpuId};
+use cmpsim_engine::FastMap;
+
+/// Per-round journal of stored words, attributed to the storing CPU.
+///
+/// # Examples
+///
+/// ```
+/// use cmpsim_mem::slice::SliceJournal;
+///
+/// let mut j = SliceJournal::new();
+/// j.set_cpu(1);
+/// j.record(0x100);
+/// assert!(j.written_by_other(0x100, 0)); // CPU 0's read conflicts
+/// assert!(!j.written_by_other(0x100, 1)); // CPU 1 reads its own store
+/// assert!(!j.written_by_other(0x104, 0)); // untouched word
+/// j.begin_slice();
+/// assert!(!j.written_by_other(0x100, 0)); // new round, journal clear
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SliceJournal {
+    /// CPU id stamped onto subsequent [`SliceJournal::record`] calls.
+    cpu: CpuId,
+    /// 64-bit bloom over recorded words: a miss proves no conflict without
+    /// touching the map.
+    bloom: u64,
+    /// Word address → bitmask of CPUs that stored to it this round.
+    words: FastMap<Addr, u64>,
+}
+
+impl SliceJournal {
+    /// An empty journal.
+    pub fn new() -> SliceJournal {
+        SliceJournal::default()
+    }
+
+    /// Starts a new round: forgets every recorded store.
+    pub fn begin_slice(&mut self) {
+        self.bloom = 0;
+        self.words.clear();
+    }
+
+    /// Sets the CPU id attributed to subsequent stores.
+    pub fn set_cpu(&mut self, cpu: CpuId) {
+        debug_assert!(cpu < 64, "journal CPU bitmask holds at most 64 CPUs");
+        self.cpu = cpu;
+    }
+
+    /// Records a store to the word at `word` (callers pass `addr & !3`) by
+    /// the current CPU.
+    pub fn record(&mut self, word: Addr) {
+        self.bloom |= Self::bloom_bit(word);
+        *self.words.entry(word).or_insert(0) |= 1u64 << self.cpu;
+    }
+
+    /// Whether any CPU other than `reader` stored to `word` this round.
+    #[inline]
+    pub fn written_by_other(&self, word: Addr, reader: CpuId) -> bool {
+        if self.bloom & Self::bloom_bit(word) == 0 {
+            return false;
+        }
+        match self.words.get(&word) {
+            Some(mask) => mask & !(1u64 << reader) != 0,
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn bloom_bit(word: Addr) -> u64 {
+        1u64 << ((word >> 2).wrapping_mul(0x9E37_79B1) >> 26)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_attribute_to_the_set_cpu() {
+        let mut j = SliceJournal::new();
+        j.set_cpu(0);
+        j.record(0x40);
+        j.set_cpu(3);
+        j.record(0x40);
+        // Both CPU 0 and CPU 3 wrote the word: everyone conflicts except a
+        // hypothetical sole writer.
+        assert!(j.written_by_other(0x40, 0));
+        assert!(j.written_by_other(0x40, 3));
+        assert!(j.written_by_other(0x40, 1));
+    }
+
+    #[test]
+    fn own_writes_do_not_conflict() {
+        let mut j = SliceJournal::new();
+        j.set_cpu(2);
+        j.record(0x80);
+        j.record(0x84);
+        assert!(!j.written_by_other(0x80, 2));
+        assert!(!j.written_by_other(0x84, 2));
+        assert!(j.written_by_other(0x80, 0));
+    }
+
+    #[test]
+    fn begin_slice_clears_everything() {
+        let mut j = SliceJournal::new();
+        j.set_cpu(1);
+        for w in (0..4096).step_by(4) {
+            j.record(w);
+        }
+        assert!(j.written_by_other(0x100, 0));
+        j.begin_slice();
+        for w in (0..4096).step_by(4) {
+            assert!(!j.written_by_other(w, 0));
+        }
+    }
+
+    #[test]
+    fn journal_hooks_into_physmem_stores() {
+        use crate::PhysMem;
+        let mut m = PhysMem::new(4);
+        assert!(m.slice_journal().is_none());
+        m.arm_slice_journal();
+        m.slice_journal_mut().unwrap().set_cpu(1);
+        m.write_u32(0x100, 7);
+        m.write_u8(0x203, 9);
+        // Unaligned word write spans two words.
+        m.write_u32(0x306, 0xffff_ffff);
+        let j = m.slice_journal().unwrap();
+        assert!(j.written_by_other(0x100, 0));
+        assert!(j.written_by_other(0x200, 0));
+        assert!(j.written_by_other(0x304, 0));
+        assert!(j.written_by_other(0x308, 0));
+        assert!(!j.written_by_other(0x30c, 0));
+        assert!(!j.written_by_other(0x100, 1));
+        m.disarm_slice_journal();
+        assert!(m.slice_journal().is_none());
+    }
+
+    #[test]
+    fn page_crossing_write_records_both_pages_words() {
+        use crate::PhysMem;
+        let mut m = PhysMem::new(2);
+        m.arm_slice_journal();
+        m.slice_journal_mut().unwrap().set_cpu(0);
+        let addr = 0x1000 - 2; // straddles a page boundary
+        m.write_u32(addr, 0xa1b2_c3d4);
+        let j = m.slice_journal().unwrap();
+        assert!(j.written_by_other(0xffc, 1));
+        assert!(j.written_by_other(0x1000, 1));
+    }
+}

@@ -26,11 +26,17 @@
 #    byte-identical lines to the execution-driven run. This is the
 #    capture/replay fidelity contract: a trace carries everything the
 #    memory system ever sees.
-# 9. Quick simulator-speed check: the sim_throughput bench in quick mode
-#    (CMPSIM_BENCH_QUICK=1, single run per case) appended to
-#    BENCH_pr5.json, so every verification leaves a dated throughput
-#    record (sentinel overhead, geometry rows, and the trace-replay sweep
-#    included) next to the pre/post-PR entries.
+# 9. Shard identity: the quick digest matrix runs again with
+#    CMPSIM_SHARDS=4 — the sharded machine loop staging instructions
+#    ahead on worker threads (DESIGN.md §12) — and must produce
+#    byte-identical lines to the serial run, with the sentinel off and
+#    on. Shard count is a host-time knob, never a results knob.
+# 10. Quick simulator-speed check: the sim_throughput and shard_sweep
+#    benches in quick mode (CMPSIM_BENCH_QUICK=1, single run per case)
+#    appended to BENCH_pr6.json, so every verification leaves a dated
+#    throughput record (sentinel overhead, geometry rows, the
+#    trace-replay sweep and the shard-scaling sweep included) next to
+#    the pre/post-PR entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -88,12 +94,29 @@ if [ "$matrix_off" != "$matrix_replay" ]; then
 fi
 echo "ok: trace-replay matrix is bit-identical to execution-driven"
 
-echo "== quick simulator-speed record -> BENCH_pr5.json =="
+echo "== shard identity: quick matrix at CMPSIM_SHARDS=4 vs serial =="
+matrix_sharded=$(CMPSIM_SHARDS=4 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
+if [ "$matrix_off" != "$matrix_sharded" ]; then
+    echo "ERROR: CMPSIM_SHARDS=4 digest matrix differs from serial:" >&2
+    diff <(printf '%s\n' "$matrix_off") <(printf '%s\n' "$matrix_sharded") >&2 || true
+    exit 1
+fi
+matrix_sharded_on=$(CMPSIM_SHARDS=4 CMPSIM_SENTINEL=1 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
+if [ "$matrix_off" != "$matrix_sharded_on" ]; then
+    echo "ERROR: CMPSIM_SHARDS=4 sentinel-on digest matrix differs from serial:" >&2
+    diff <(printf '%s\n' "$matrix_off") <(printf '%s\n' "$matrix_sharded_on") >&2 || true
+    exit 1
+fi
+echo "ok: sharded matrix is bit-identical to serial (sentinel off and on)"
+
+echo "== quick simulator-speed record -> BENCH_pr6.json =="
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench sim_throughput 2>/dev/null \
-    | grep '^{' \
-    | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
-    >> BENCH_pr5.json
-echo "ok: appended quick sim_throughput records"
+for bench in sim_throughput shard_sweep; do
+    CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench "$bench" 2>/dev/null \
+        | grep '^{' \
+        | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
+        >> BENCH_pr6.json
+done
+echo "ok: appended quick sim_throughput and shard_sweep records"
 
 echo "verify.sh: all checks passed"
