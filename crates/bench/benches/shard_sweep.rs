@@ -11,11 +11,11 @@
 //! the test suite's and `verify.sh`'s job; this bench only tracks the
 //! host-time win.
 //!
-//! Every record also carries `host_cpus` (`std::thread::available_
-//! parallelism`): sharding trades host cores for wall-clock time, so on a
-//! host with fewer cores than shards the sweep measures the overhead
-//! bound of the sharded loop (speedup below 1), not its scaling. Compare
-//! records at equal `host_cpus`.
+//! Every record carries `host_cpus` (all `timing::emit_record` output
+//! does): sharding trades host cores for wall-clock time, so on a host
+//! with fewer cores than shards the sweep measures the overhead bound of
+//! the sharded loop (speedup below 1), not its scaling. Compare records
+//! at equal `host_cpus`.
 //!
 //! MXS rows are expected to report a speedup of ~1.0: the model declines
 //! stage-ahead execution (`CpuModel::stageable`), so a sharded
@@ -48,7 +48,6 @@ fn knobs() -> (u32, u32, f64) {
 /// slice budgets — and therefore the sharding win — are largest.
 fn sweep(label: &str, cpu: CpuKind, n_cpus: usize) {
     let (warmup, runs, scale) = knobs();
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
     let mut base_min_ns = 0u64;
     for shards in [1usize, 2, 4] {
         let mut sim_instructions = 0u64;
@@ -72,7 +71,6 @@ fn sweep(label: &str, cpu: CpuKind, n_cpus: usize) {
             &[
                 ("n_cpus", (n_cpus as u64).into()),
                 ("shards", (shards as u64).into()),
-                ("host_cpus", host_cpus.into()),
                 ("sim_instructions", sim_instructions.into()),
                 (
                     "sim_instr_per_host_sec",

@@ -20,8 +20,8 @@
 //! Setting `CMPSIM_BENCH_QUICK` (to anything but `0`) drops warmup and
 //! repeat counts so `scripts/verify.sh` can append a cheap record.
 
-use cmpsim_bench::jobs;
 use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
+use cmpsim_bench::n_jobs;
 use cmpsim_bench::timing::{self, JsonVal};
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::{capture_run, ArchKind, CpuKind, MachineConfig};
@@ -319,7 +319,7 @@ fn replay_sweep_throughput() {
 }
 
 /// Times the full arch x workload x cpu summary matrix with a given job
-/// count — `jobs = 1` is the serial baseline, `jobs::n_jobs()` the pooled
+/// count — `jobs = 1` is the serial baseline, `n_jobs()` the pooled
 /// run — so `BENCH_*.json` tracks the harness-level speedup.
 fn matrix_throughput(jobs: usize) {
     let (warmup, runs, _, scale) = knobs();
@@ -374,7 +374,7 @@ fn main() {
     geometry_throughput("clustered_2x4", ArchKind::Clustered, 8, Some(4));
 
     matrix_throughput(1);
-    let pooled = jobs::n_jobs();
+    let pooled = n_jobs();
     if pooled > 1 {
         matrix_throughput(pooled);
     }

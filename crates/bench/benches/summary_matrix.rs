@@ -17,8 +17,8 @@
 //! a diff of replay-mode output against plain output proves the capture
 //! hook perturbs nothing.
 
-use cmpsim_bench::jobs;
 use cmpsim_bench::matrix::{extended_matrix, matrix_json_lines, matrix_json_lines_replay_checked};
+use cmpsim_bench::n_jobs;
 
 fn main() {
     let scale = std::env::var("CMPSIM_MATRIX_SCALE")
@@ -30,9 +30,9 @@ fn main() {
         .unwrap_or(false);
     let cases = extended_matrix(scale);
     let lines = if replay {
-        matrix_json_lines_replay_checked(&cases, jobs::n_jobs())
+        matrix_json_lines_replay_checked(&cases, n_jobs())
     } else {
-        matrix_json_lines(&cases, jobs::n_jobs())
+        matrix_json_lines(&cases, n_jobs())
     };
     for line in lines {
         println!("{line}");

@@ -1,25 +1,36 @@
-//! Bench-harness job fan-out: the `CMPSIM_BENCH_JOBS` knob over the
-//! engine's scoped-thread pool.
+//! Deprecated shim over [`cmpsim_engine::pool`].
 //!
-//! Every simulated run is single-threaded and deterministic, so independent
-//! `(arch × workload × cpu-model)` runs can fan out across host cores
-//! without touching the simulator itself. The pool machinery itself lives
-//! in [`cmpsim_engine::pool`] (the sharded machine runner shares it); this
-//! module only owns the bench-side worker-count policy.
+//! The pool primitives moved to the engine crate in PR 6 so the sharded
+//! machine runner could share them; this module briefly re-exported them
+//! for bench-side callers. Those callers now use
+//! [`cmpsim_engine::pool`] (and [`crate::n_jobs`] for the worker-count
+//! policy) directly — the wrappers here only keep old out-of-tree
+//! scripts compiling, with a deprecation warning pointing at the real
+//! home.
 
-pub use cmpsim_engine::pool::{map_jobs, run_indexed};
+/// Deprecated wrapper: use [`cmpsim_engine::pool::run_indexed`].
+#[deprecated(note = "use cmpsim_engine::pool::run_indexed")]
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    cmpsim_engine::pool::run_indexed(jobs, n, f)
+}
 
-/// Worker-thread count for bench fan-out: `CMPSIM_BENCH_JOBS` if set (an
-/// unparsable or zero value falls back to 1), else the host's available
-/// parallelism.
+/// Deprecated wrapper: use [`cmpsim_engine::pool::map_jobs`].
+#[deprecated(note = "use cmpsim_engine::pool::map_jobs")]
+pub fn map_jobs<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    cmpsim_engine::pool::map_jobs(jobs, items, f)
+}
+
+/// Deprecated wrapper: use [`crate::n_jobs`].
+#[deprecated(note = "use cmpsim_bench::n_jobs")]
 pub fn n_jobs() -> usize {
-    match std::env::var("CMPSIM_BENCH_JOBS") {
-        Ok(s) => s
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    crate::n_jobs()
 }

@@ -7,6 +7,7 @@
 //! the rows the paper reports. `EXPERIMENTS.md` records paper-vs-measured
 //! values produced by these targets.
 
+#[deprecated(note = "use cmpsim_engine::pool (and cmpsim_bench::n_jobs for the worker count)")]
 pub mod jobs;
 pub mod matrix;
 pub mod timing;
@@ -14,10 +15,30 @@ pub mod timing;
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::report::IpcBreakdown;
 use cmpsim_core::{ArchKind, Breakdown, CpuKind, MachineConfig, MissRates, RunSummary};
+use cmpsim_engine::pool::map_jobs;
 use cmpsim_kernels::build_by_name;
 
 /// Default cycle budget for bench runs.
 pub const BUDGET: u64 = 40_000_000_000;
+
+/// Worker-thread count for bench fan-out: `CMPSIM_BENCH_JOBS` if set (an
+/// unparsable or zero value falls back to 1), else the host's available
+/// parallelism. Every simulated run is single-threaded and
+/// deterministic, so independent `(arch × workload × cpu-model)` runs
+/// fan out across host cores without touching the simulator itself; the
+/// pool machinery lives in [`cmpsim_engine::pool`], this is only the
+/// bench-side worker-count policy.
+pub fn n_jobs() -> usize {
+    match std::env::var("CMPSIM_BENCH_JOBS") {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
 
 /// Results of one workload on one architecture.
 #[derive(Debug, Clone)]
@@ -75,7 +96,7 @@ impl FigureData {
 ///
 /// `tweak` lets ablation benches adjust each machine configuration. The
 /// three per-architecture runs are independent deterministic simulations,
-/// so they fan out across host cores (see [`jobs::n_jobs`]); results come
+/// so they fan out across host cores (see [`n_jobs`]); results come
 /// back in `ArchKind::ALL` order regardless of the worker count.
 ///
 /// # Panics
@@ -88,7 +109,7 @@ pub fn run_figure_with(
     cpu: CpuKind,
     tweak: impl Fn(&mut MachineConfig) + Sync,
 ) -> FigureData {
-    let results = jobs::map_jobs(jobs::n_jobs(), &ArchKind::ALL, |&arch| {
+    let results = map_jobs(n_jobs(), &ArchKind::ALL, |&arch| {
         let w = build_by_name(workload, 4, scale)
             .unwrap_or_else(|e| panic!("building {workload}: {e}"));
         let mut cfg = MachineConfig::new(arch, cpu);

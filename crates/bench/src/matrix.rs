@@ -12,10 +12,10 @@
 //!   `CMPSIM_BENCH_JOBS=1` and `=8` must produce byte-identical lines
 //!   (`jobs` only changes which thread runs a case, never its result).
 
-use crate::jobs;
 use crate::timing::{json_line, JsonVal};
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::{capture_run, ArchKind, CpuKind, MachineConfig, RunSummary};
+use cmpsim_engine::pool::map_jobs;
 use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
 
 /// Cycle budget for matrix runs (small scales finish far below this).
@@ -208,20 +208,28 @@ pub fn run_case_pinned(
 /// Runs the whole matrix on `jobs` worker threads and returns one JSON line
 /// per case, in matrix order — byte-identical for any `jobs` value.
 pub fn matrix_json_lines(cases: &[MatrixCase], jobs: usize) -> Vec<String> {
-    jobs::map_jobs(jobs, cases, |case| summary_json(case, &run_case(case)))
+    map_jobs(jobs, cases, |case| summary_json(case, &run_case(case)))
 }
 
 /// Runs one matrix case with reference-trace capture on, then replays the
-/// capture into a second, freshly built identical memory system and
-/// asserts the replayed `MemStats` and port utilization are bit-identical
-/// to the captured run's. Returns the captured run's summary, so a matrix
-/// of these renders the same JSON lines as [`run_case`] — which is the
+/// capture into a freshly built identical memory system and asserts the
+/// replayed `MemStats` and port utilization are bit-identical to the
+/// captured run's. Returns the captured run's summary, so a matrix of
+/// these renders the same JSON lines as [`run_case`] — which is the
 /// other half of the contract: capture must not perturb the run.
+///
+/// The decode and the replay both go through the parallel pipeline at
+/// `CMPSIM_REPLAY_JOBS` ([`cmpsim_trace::replay_jobs`]): parallel chunk
+/// decode is asserted byte-identical to serial decode, and the replay
+/// runs through the batched [`cmpsim_trace::replay_matrix`] driver — so
+/// the verify.sh 56-case gate pins the whole parallel path, not just the
+/// serial one.
 ///
 /// # Panics
 ///
-/// As [`run_case`]; additionally panics if the trace fails to decode or
-/// the replayed statistics differ.
+/// As [`run_case`]; additionally panics if the trace fails to decode,
+/// parallel decode diverges from serial, or the replayed statistics
+/// differ.
 pub fn run_case_replay_checked(case: &MatrixCase) -> RunSummary {
     let w = build_by_name(case.workload, case.n_cpus, case.scale)
         .unwrap_or_else(|e| panic!("building {}: {e}", case.workload));
@@ -230,14 +238,30 @@ pub fn run_case_replay_checked(case: &MatrixCase) -> RunSummary {
     cfg.cpus_per_cluster = case.cpus_per_cluster;
     let (s, bytes) = capture_run(&cfg, &w, MATRIX_BUDGET)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", case.workload, case.arch));
-    let mut fresh = cfg
-        .arch
-        .try_build(&cfg.system_config())
-        .unwrap_or_else(|e| panic!("{e}"));
-    cmpsim_trace::replay_bytes(&bytes, fresh.as_mut())
-        .unwrap_or_else(|e| panic!("{} on {}: replay failed: {e}", case.workload, case.arch));
+    let jobs = cmpsim_trace::replay_jobs();
+    let records = cmpsim_trace::decode(&bytes)
+        .unwrap_or_else(|e| panic!("{} on {}: decode failed: {e}", case.workload, case.arch));
+    let parallel = cmpsim_trace::decode_parallel(&bytes, jobs).unwrap_or_else(|e| {
+        panic!(
+            "{} on {}: parallel decode failed: {e}",
+            case.workload, case.arch
+        )
+    });
     assert_eq!(
-        format!("{:?}", fresh.stats()),
+        records,
+        parallel,
+        "{} on {} ({}): parallel decode (jobs={jobs}) diverged from serial",
+        case.workload,
+        case.arch,
+        cpu_label(case.cpu),
+    );
+    let sc = cfg.system_config();
+    let replayed = cmpsim_trace::replay_matrix(&records, 1, jobs, |_| {
+        cfg.arch.try_build(&sc).unwrap_or_else(|e| panic!("{e}"))
+    });
+    let fresh = &replayed[0];
+    assert_eq!(
+        format!("{:?}", fresh.stats),
         format!("{:?}", s.mem),
         "{} on {} ({}): replayed MemStats differ from the captured run's",
         case.workload,
@@ -245,7 +269,7 @@ pub fn run_case_replay_checked(case: &MatrixCase) -> RunSummary {
         cpu_label(case.cpu),
     );
     assert_eq!(
-        format!("{:?}", fresh.port_utilization()),
+        format!("{:?}", fresh.ports),
         format!("{:?}", s.port_util),
         "{} on {} ({}): replayed port utilization differs",
         case.workload,
@@ -261,7 +285,7 @@ pub fn run_case_replay_checked(case: &MatrixCase) -> RunSummary {
 /// plain matrix proves both that the capture hook does not perturb
 /// results and that replay reproduces them.
 pub fn matrix_json_lines_replay_checked(cases: &[MatrixCase], jobs: usize) -> Vec<String> {
-    jobs::map_jobs(jobs, cases, |case| {
+    map_jobs(jobs, cases, |case| {
         summary_json(case, &run_case_replay_checked(case))
     })
 }

@@ -176,8 +176,18 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// Host core count as seen by this process (affinity-respecting), for
+/// BENCH records: every host-time figure is meaningless without it — on
+/// the 1-core CI container parallel "speedups" are overhead bounds, not
+/// scaling.
+pub fn host_cpus() -> u64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
+}
+
 /// Emits one benchmark record as a JSON line on stdout: the standard
-/// fields every `sim_throughput` record shares plus `extra` pairs.
+/// fields every BENCH record shares — including `host_cpus`, so perf
+/// trajectories recorded on different hosts stay interpretable — plus
+/// `extra` pairs.
 pub fn emit_record(bench: &str, case: &str, m: &Measured, extra: &[(&str, JsonVal)]) {
     let mut pairs: Vec<(&str, JsonVal)> = vec![
         ("bench", bench.into()),
@@ -187,6 +197,7 @@ pub fn emit_record(bench: &str, case: &str, m: &Measured, extra: &[(&str, JsonVa
         ("max_host_ns", m.max_ns.into()),
         ("runs", u64::from(m.runs).into()),
         ("warmup", u64::from(m.warmup).into()),
+        ("host_cpus", host_cpus().into()),
     ];
     pairs.extend_from_slice(extra);
     println!("{}", json_line(&pairs));

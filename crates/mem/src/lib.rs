@@ -221,3 +221,44 @@ pub trait MemorySystem {
         1
     }
 }
+
+/// A boxed system is a system: lets `Box<dyn MemorySystem>` (the shape
+/// `ArchKind::try_build`-style factories return) flow into APIs generic
+/// over `S: MemorySystem` — the batched replay driver in particular —
+/// without unboxing. Forwards every method, including the defaulted ones,
+/// so sentinel reports and lookahead bounds survive the indirection.
+impl<M: MemorySystem + ?Sized> MemorySystem for Box<M> {
+    fn access(&mut self, now: Cycle, req: MemRequest) -> MemResult {
+        (**self).access(now, req)
+    }
+    fn load_would_hit_l1(&self, cpu: CpuId, addr: Addr) -> bool {
+        (**self).load_would_hit_l1(cpu, addr)
+    }
+    fn line_bytes(&self) -> u32 {
+        (**self).line_bytes()
+    }
+    fn n_cpus(&self) -> usize {
+        (**self).n_cpus()
+    }
+    fn stats(&self) -> &MemStats {
+        (**self).stats()
+    }
+    fn stats_mut(&mut self) -> &mut MemStats {
+        (**self).stats_mut()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn port_utilization(&self) -> Vec<PortUtil> {
+        (**self).port_utilization()
+    }
+    fn violations(&self) -> &[sentinel::SentinelViolation] {
+        (**self).violations()
+    }
+    fn injected_faults(&self) -> &[(sentinel::FaultKind, Addr)] {
+        (**self).injected_faults()
+    }
+    fn cross_cpu_lookahead(&self) -> u64 {
+        (**self).cross_cpu_lookahead()
+    }
+}

@@ -8,13 +8,19 @@
 //!   Nothing installed ⇒ exactly zero overhead.
 //! - **Codec** ([`codec`]): a chunked binary format — delta-encoded
 //!   cycles/addresses as zigzag LEB128 varints, FNV-1a checksummed
-//!   chunks, a footer that doubles as a truncation detector. Dependency
-//!   free, streaming in both directions.
+//!   chunks, a footer that doubles as a truncation detector. Format v2
+//!   chunks carry restart state, so any chunk decodes independently:
+//!   [`decode_parallel`] fans chunk decode across the engine job pool
+//!   with results byte-identical to serial decode at any job count
+//!   (legacy v1 traces stay readable via the serial path).
 //! - **Replay** ([`replay`]): re-issue a captured stream into a memory
 //!   system built from configuration alone, skipping the CPU models.
 //!   Replay into the captured configuration reproduces bit-identical
 //!   statistics; replay into a different one is the classic fixed-stream
-//!   approximation for fast hierarchy sweeps.
+//!   approximation for fast hierarchy sweeps. [`replay_matrix`] batches
+//!   that: decode once, replay N configurations from the shared record
+//!   arena across `CMPSIM_REPLAY_JOBS` threads, each point bit-identical
+//!   to its single-config replay.
 //! - **Analysis** ([`analyze()`]): footprint, per-line sharing degree,
 //!   producer→consumer communication matrix and reuse-distance profile
 //!   computed from the trace alone.
@@ -27,9 +33,11 @@ pub mod replay;
 pub use analyze::{analyze, analyze_bytes, comm_matrix, TraceAnalysis};
 pub use capture::{sink_to, SharedBuf, SinkHandle, TraceSink, TracingSystem};
 pub use codec::{
-    decode, decode_with_header, encode, TraceError, TraceHeader, TraceKind, TraceReader,
-    TraceRecord, TraceWriter,
+    decode, decode_chunk, decode_parallel, decode_parallel_with_header, decode_with_header, encode,
+    encode_with_version, rewrite_v2, scan_chunks, ChunkFrame, TraceError, TraceHeader, TraceKind,
+    TraceReader, TraceRecord, TraceWriter, ENV_TRACE_FORMAT, VERSION, VERSION_V1,
 };
 pub use replay::{
-    count_accesses, kind_totals, replay_bytes, replay_reader, replay_records, ReplayStats,
+    count_accesses, kind_totals, replay_bytes, replay_jobs, replay_matrix, replay_reader,
+    replay_records, ConfigReplay, ReplayStats, ENV_REPLAY_JOBS,
 };

@@ -4,7 +4,7 @@
 //! A memory system's state and statistics are a pure function of its
 //! `access` call sequence (plus region-of-interest resets), so replaying
 //! the captured stream into a freshly built identical system reproduces
-//! bit-identical [`MemStats`](cmpsim_mem::MemStats) — the golden
+//! bit-identical [`MemStats`] — the golden
 //! equivalence the digest matrix enforces. Replaying into a *different*
 //! configuration is the classic fixed-stream approximation: the addresses
 //! and issue cycles stay those the captured machine produced, which is
@@ -13,8 +13,24 @@
 
 use crate::codec::{TraceError, TraceKind, TraceReader, TraceRecord};
 use cmpsim_engine::Cycle;
-use cmpsim_mem::{AccessKind, MemRequest, MemorySystem};
+use cmpsim_mem::{AccessKind, MemRequest, MemStats, MemorySystem, PortUtil};
 use std::io::Read;
+
+/// Environment knob: thread count for batched replay
+/// ([`replay_matrix`]) and parallel trace decode in the `cmpsim` binary.
+/// Unset ⇒ host parallelism.
+pub const ENV_REPLAY_JOBS: &str = "CMPSIM_REPLAY_JOBS";
+
+/// Resolves [`ENV_REPLAY_JOBS`]: the explicit setting, else the host's
+/// available parallelism, else 1.
+pub fn replay_jobs() -> usize {
+    match std::env::var(ENV_REPLAY_JOBS) {
+        Ok(v) => v.parse().ok().filter(|&n| n > 0).unwrap_or(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
 
 /// What a replay pushed through the target system.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -103,6 +119,58 @@ pub fn replay_bytes<S: MemorySystem + ?Sized>(
     sys: &mut S,
 ) -> Result<ReplayStats, TraceError> {
     Ok(replay_records(&crate::codec::decode(bytes)?, sys))
+}
+
+/// What replaying one decoded stream into one configuration produced:
+/// the plain-data summary a batched sweep keeps per point. Everything a
+/// single-config replay reports, minus the live system itself — which is
+/// what lets [`replay_matrix`] build and drop each system inside its
+/// worker thread.
+#[derive(Debug, Clone)]
+pub struct ConfigReplay {
+    /// Stream totals pushed through this configuration.
+    pub replay: ReplayStats,
+    /// The system's accumulated statistics after replay.
+    pub stats: MemStats,
+    /// Per-resource utilization after replay.
+    pub ports: Vec<PortUtil>,
+    /// The system's architecture name.
+    pub name: &'static str,
+}
+
+/// Batched multi-config replay: decode once, replay `n_configs`
+/// configurations from the shared in-memory record arena, fanned across
+/// up to `jobs` threads of the engine job pool.
+///
+/// `build(i)` constructs the `i`-th target system; it runs *inside* the
+/// worker, so the system itself never crosses a thread boundary — only
+/// the plain-data [`ConfigReplay`] summary does, which is why `S` needs
+/// neither `Send` nor `Sync`. Each configuration's replay is the exact
+/// serial [`replay_records`] call, and results come back in config-index
+/// order, so every [`ConfigReplay`] is bit-identical to a single-config
+/// replay of the same configuration at any job count (the
+/// `CMPSIM_REPLAY_JOBS` gate in verify.sh holds this across the 56-case
+/// matrix).
+pub fn replay_matrix<S, F>(
+    records: &[TraceRecord],
+    n_configs: usize,
+    jobs: usize,
+    build: F,
+) -> Vec<ConfigReplay>
+where
+    S: MemorySystem,
+    F: Fn(usize) -> S + Sync,
+{
+    cmpsim_engine::pool::run_indexed(jobs, n_configs, |i| {
+        let mut sys = build(i);
+        let replay = replay_records(records, &mut sys);
+        ConfigReplay {
+            replay,
+            stats: sys.stats().clone(),
+            ports: sys.port_utilization(),
+            name: sys.name(),
+        }
+    })
 }
 
 /// Counts the replayable accesses in an encoded trace without touching
@@ -214,5 +282,74 @@ mod tests {
         let stats = replay_bytes(&bytes, &mut sys).expect("replays");
         assert_eq!(stats.accesses, 200);
         assert_eq!(sys.stats().l1d.accesses, 200);
+    }
+
+    /// The batched driver must be bit-identical to per-config serial
+    /// replay at every job count — same stats, same ports, same order.
+    #[test]
+    fn replay_matrix_matches_per_config_serial_replay() {
+        let records: Vec<TraceRecord> = (0..6_000u64)
+            .map(|i| TraceRecord {
+                cycle: i * 5,
+                cpu: (i % 4) as u8,
+                kind: match i % 3 {
+                    0 => TraceKind::IFetch,
+                    1 => TraceKind::Load,
+                    _ => TraceKind::Store,
+                },
+                addr: ((i * 131) as u32).wrapping_mul(2_654_435_761) & 0xf_ffff,
+            })
+            .collect();
+        let assocs = [1usize, 2, 4, 8];
+        let build = |i: usize| {
+            SharedL2System::new(&SystemConfig::paper_shared_l2(4).with_l2_assoc(assocs[i]))
+        };
+        let mut expected = Vec::new();
+        for i in 0..assocs.len() {
+            let mut sys = build(i);
+            let replay = replay_records(&records, &mut sys);
+            expected.push((
+                replay,
+                format!("{:?}", sys.stats()),
+                format!("{:?}", sys.port_utilization()),
+                sys.name(),
+            ));
+        }
+        for jobs in [1usize, 2, 4, 7] {
+            let got = replay_matrix(&records, assocs.len(), jobs, build);
+            assert_eq!(got.len(), assocs.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(g.replay, e.0, "jobs={jobs}");
+                assert_eq!(format!("{:?}", g.stats), e.1, "jobs={jobs}");
+                assert_eq!(format!("{:?}", g.ports), e.2, "jobs={jobs}");
+                assert_eq!(g.name, e.3, "jobs={jobs}");
+            }
+        }
+    }
+
+    /// `replay_matrix` accepts boxed systems via the blanket
+    /// `MemorySystem for Box<M>` impl — the shape the cmpsim binary's
+    /// arch factory produces.
+    #[test]
+    fn replay_matrix_accepts_boxed_systems() {
+        let records: Vec<TraceRecord> = (0..500u64)
+            .map(|i| TraceRecord {
+                cycle: i * 3,
+                cpu: (i % 4) as u8,
+                kind: TraceKind::Load,
+                addr: (i as u32) * 32,
+            })
+            .collect();
+        let got = replay_matrix(&records, 2, 2, |_| {
+            Box::new(SharedL2System::new(&SystemConfig::paper_shared_l2(4)))
+                as Box<dyn MemorySystem>
+        });
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].replay.accesses, 500);
+        assert_eq!(
+            format!("{:?}", got[0].stats),
+            format!("{:?}", got[1].stats),
+            "identical configs replay identically"
+        );
     }
 }

@@ -5,7 +5,10 @@
 //! minimizes to a single-record counterexample.
 
 use cmpsim_engine::prop::{self, Config, Source};
-use cmpsim_trace::{decode, encode, TraceKind, TraceReader, TraceRecord};
+use cmpsim_trace::{
+    decode, decode_chunk, decode_parallel, encode, encode_with_version, scan_chunks, TraceKind,
+    TraceReader, TraceRecord, VERSION_V1,
+};
 
 /// Draws a record stream with the shapes capture actually produces:
 /// mostly forward cycle jumps with occasional backward steps (the run
@@ -94,13 +97,106 @@ fn prop_decoder_never_panics_on_arbitrary_bytes() {
     prop::check("trace codec arbitrary input", |src| {
         let mut bytes = src.vec(0..300, |s| s.u32(0..256) as u8);
         if src.bool() {
-            // Valid magic + version so the deeper chunk machinery runs too.
-            let mut framed = b"CMPT\x01".to_vec();
+            // Valid magic + a real version so the deeper chunk machinery
+            // runs too — both the legacy and the restartable format.
+            let version = if src.bool() { 1u8 } else { 2 };
+            let mut framed = b"CMPT".to_vec();
+            framed.push(version);
             framed.append(&mut bytes);
             bytes = framed;
         }
-        // Must return (Ok or Err), never panic or loop.
+        // Must return (Ok or Err), never panic or loop — on every entry
+        // point: serial decode, the frame scanner, and parallel decode.
         let _ = decode(&bytes);
+        let _ = decode_parallel(&bytes, 4);
+        if let Ok((_, frames)) = scan_chunks(&bytes) {
+            for frame in &frames {
+                let _ = decode_chunk(&bytes, frame);
+            }
+        }
+    });
+}
+
+/// Tentpole property — v2 chunk independence: decoding any chunk subset
+/// in any order equals the corresponding slices of the serial decode.
+/// Streams span several chunks (the writer flushes every 4096 records),
+/// and the visit order is a drawn permutation, so later chunks routinely
+/// decode before — or without — earlier ones.
+#[test]
+fn prop_any_chunk_subset_decodes_in_any_order() {
+    let cfg = Config {
+        cases: 25,
+        ..Config::default()
+    };
+    prop::check_result(&cfg, "v2 chunk subset independence", |src| {
+        let mut cycle = src.u64(0..1_000_000);
+        let records: Vec<TraceRecord> = src.vec(1..10_000, |s| {
+            cycle = cycle.saturating_add_signed(s.i64(-64..4096));
+            TraceRecord {
+                cycle,
+                cpu: s.u8(0..64),
+                kind: s.choice(&[TraceKind::IFetch, TraceKind::Load, TraceKind::Store]),
+                addr: s.u32_any(),
+            }
+        });
+        let bytes = encode(&records, 4, 32).expect("encodes");
+        let serial = decode(&bytes).expect("decodes");
+        assert_eq!(serial, records);
+        let (_, frames) = scan_chunks(&bytes).expect("scans");
+        // Draw a permutation (Fisher-Yates off the choice stream), then a
+        // subset of it: any prefix of a random permutation is a random
+        // subset in random order.
+        let mut order: Vec<usize> = (0..frames.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, src.usize(0..i + 1));
+        }
+        let keep = src.usize(1..order.len() + 1);
+        for &fi in &order[..keep] {
+            let frame = &frames[fi];
+            let got = decode_chunk(&bytes, frame).expect("chunk decodes");
+            let lo = frame.first_record as usize;
+            assert_eq!(
+                got,
+                serial[lo..lo + frame.n_records as usize],
+                "chunk {fi} diverged from the serial slice"
+            );
+        }
+    })
+    .expect("holds");
+}
+
+/// Migration property: a v1 encoding of any stream still round-trips
+/// through every serial path, and the parallel entry point's v1 fallback
+/// agrees with it.
+#[test]
+fn prop_v1_encodings_remain_readable() {
+    let cfg = Config {
+        cases: 50,
+        ..Config::default()
+    };
+    prop::check_result(&cfg, "v1 back-compat round-trip", |src| {
+        let records = gen_records(src);
+        let bytes = encode_with_version(&records, 4, 32, VERSION_V1).expect("encodes");
+        assert_eq!(decode(&bytes).expect("decodes"), records);
+        assert_eq!(decode_parallel(&bytes, 4).expect("decodes"), records);
+        let reader = TraceReader::new(bytes.as_slice()).expect("opens");
+        assert_eq!(reader.header().version, VERSION_V1);
+        assert_eq!(reader.collect_all().expect("streams"), records);
+    })
+    .expect("holds");
+}
+
+/// The parallel decoder is byte-identical to the serial one on arbitrary
+/// streams at several job counts (unit tests pin the multi-chunk case;
+/// this covers arbitrary shapes).
+#[test]
+fn prop_parallel_decode_equals_serial() {
+    prop::check("parallel decode identity", |src| {
+        let records = gen_records(src);
+        let bytes = encode(&records, 4, 32).expect("encodes");
+        let serial = decode(&bytes).expect("decodes");
+        let jobs = src.usize(1..8);
+        assert_eq!(decode_parallel(&bytes, jobs).expect("decodes"), serial);
     });
 }
 

@@ -23,20 +23,29 @@
 # 8. Replay equivalence: the quick digest matrix runs again with
 #    CMPSIM_MATRIX_REPLAY=1 — every case captured to a reference trace
 #    and replayed through a fresh memory system — and must produce
-#    byte-identical lines to the execution-driven run. This is the
-#    capture/replay fidelity contract: a trace carries everything the
-#    memory system ever sees.
+#    byte-identical lines to the execution-driven run, at
+#    CMPSIM_REPLAY_JOBS=1 and =4. The replay-checked matrix decodes each
+#    trace both serially and through the parallel chunk decoder and
+#    replays through the batched replay_matrix driver, so this gate pins
+#    the whole parallel trace pipeline to the execution-driven digests.
+#    This is the capture/replay fidelity contract: a trace carries
+#    everything the memory system ever sees, at any job count.
+# 8b. Trace-format migration: a run captured in the legacy v1 format
+#    (CMPSIM_TRACE_FORMAT=1) is rewritten to v2 with `cmpsim replay
+#    --rewrite`, and replaying the original and the rewrite must print
+#    identical reports (MemStats, ports, stream profile) — the v1→v2
+#    round-trip changes bytes, never results.
 # 9. Shard identity: the quick digest matrix runs again with
 #    CMPSIM_SHARDS=4 — the sharded machine loop staging instructions
 #    ahead on worker threads (DESIGN.md §12) — and must produce
 #    byte-identical lines to the serial run, with the sentinel off and
 #    on. Shard count is a host-time knob, never a results knob.
-# 10. Quick simulator-speed check: the sim_throughput and shard_sweep
-#    benches in quick mode (CMPSIM_BENCH_QUICK=1, single run per case)
-#    appended to BENCH_pr6.json, so every verification leaves a dated
-#    throughput record (sentinel overhead, geometry rows, the
-#    trace-replay sweep and the shard-scaling sweep included) next to
-#    the pre/post-PR entries.
+# 10. Quick simulator-speed check: the sim_throughput, shard_sweep and
+#    replay_sweep benches in quick mode (CMPSIM_BENCH_QUICK=1) appended
+#    to BENCH_pr7.json, so every verification leaves a dated throughput
+#    record (sentinel overhead, geometry rows, the trace-replay sweep,
+#    the shard-scaling sweep, and the parallel decode/batched-replay
+#    sweep included) next to the pre/post-PR entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,13 +95,33 @@ fi
 echo "ok: default-row digests match the golden file"
 
 echo "== replay equivalence: quick matrix, trace replay vs execution =="
-matrix_replay=$(CMPSIM_MATRIX_REPLAY=1 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
-if [ "$matrix_off" != "$matrix_replay" ]; then
-    echo "ERROR: trace-replay digest matrix differs from execution-driven:" >&2
-    diff <(printf '%s\n' "$matrix_off") <(printf '%s\n' "$matrix_replay") >&2 || true
+for replay_jobs in 1 4; do
+    matrix_replay=$(CMPSIM_REPLAY_JOBS=$replay_jobs CMPSIM_MATRIX_REPLAY=1 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
+    if [ "$matrix_off" != "$matrix_replay" ]; then
+        echo "ERROR: trace-replay digest matrix (CMPSIM_REPLAY_JOBS=$replay_jobs) differs from execution-driven:" >&2
+        diff <(printf '%s\n' "$matrix_off") <(printf '%s\n' "$matrix_replay") >&2 || true
+        exit 1
+    fi
+    echo "ok: trace-replay matrix is bit-identical to execution-driven (CMPSIM_REPLAY_JOBS=$replay_jobs)"
+done
+
+echo "== trace-format migration: v1 capture -> --rewrite v2 -> identical replay =="
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+CMPSIM_TRACE_FORMAT=1 CMPSIM_TRACE_OUT="$tracedir/v1.trace" \
+    target/release/cmpsim run --workload eqntott --scale 0.05 >/dev/null
+target/release/cmpsim replay --file "$tracedir/v1.trace" --rewrite "$tracedir/v2.trace" \
+    > "$tracedir/replay_v1.txt"
+target/release/cmpsim replay --file "$tracedir/v2.trace" > "$tracedir/replay_v2.txt"
+# Drop the trace-path and rewrite-report lines; every result line
+# (replayed counts, miss rates, latencies, ports, stream profile) must
+# be byte-identical between the v1 original and its v2 rewrite.
+if ! diff <(grep -vE '^(trace|rewrote)' "$tracedir/replay_v1.txt") \
+          <(grep -vE '^(trace|rewrote)' "$tracedir/replay_v2.txt"); then
+    echo "ERROR: v1 trace and its --rewrite v2 migration replay differently" >&2
     exit 1
 fi
-echo "ok: trace-replay matrix is bit-identical to execution-driven"
+echo "ok: v1 -> v2 rewrite round-trips to identical replay results"
 
 echo "== shard identity: quick matrix at CMPSIM_SHARDS=4 vs serial =="
 matrix_sharded=$(CMPSIM_SHARDS=4 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
@@ -109,14 +138,14 @@ if [ "$matrix_off" != "$matrix_sharded_on" ]; then
 fi
 echo "ok: sharded matrix is bit-identical to serial (sentinel off and on)"
 
-echo "== quick simulator-speed record -> BENCH_pr6.json =="
+echo "== quick simulator-speed record -> BENCH_pr7.json =="
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-for bench in sim_throughput shard_sweep; do
+for bench in sim_throughput shard_sweep replay_sweep; do
     CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench "$bench" 2>/dev/null \
         | grep '^{' \
         | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
-        >> BENCH_pr6.json
+        >> BENCH_pr7.json
 done
-echo "ok: appended quick sim_throughput and shard_sweep records"
+echo "ok: appended quick sim_throughput, shard_sweep and replay_sweep records"
 
 echo "verify.sh: all checks passed"

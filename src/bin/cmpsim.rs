@@ -14,7 +14,9 @@ use cmpsim::core::{
     probe_latencies, ArchKind, Breakdown, CpuKind, MachineConfig, MissRates, RunSummary,
     TraceProfile, ENV_TRACE_IN,
 };
-use cmpsim::trace::{analyze_bytes, replay_bytes};
+use cmpsim::trace::{
+    analyze_bytes, decode_parallel_with_header, encode_with_version, replay_jobs, replay_matrix,
+};
 use cmpsim_kernels::synth::{build as build_synth, SynthParams};
 use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
 use std::process::ExitCode;
@@ -31,10 +33,14 @@ USAGE:
                  [--shared PCT] [--shared-kb KB] [--cpu <MODEL>]
                                  sweep a parameterized synthetic workload
                                  across all three architectures
-    cmpsim replay [--file <TRACE>] [--arch <ARCH>] [--cpus <N>]
+    cmpsim replay [--file <TRACE>] [--arch <ARCH>]... [--cpus <N>]
                  [--l2-assoc <N>] [--l1-latency <N>] [--l1-banks <N>]
-                                 replay a captured reference trace into a
-                                 freshly built memory system (no CPU model)
+                 [--rewrite <OUT>]
+                                 replay a captured reference trace into
+                                 freshly built memory systems (no CPU
+                                 model); repeat --arch to batch several
+                                 architectures over one decode, --rewrite
+                                 to migrate the trace to format v2
     cmpsim probe                 measure Table 2 latencies
     cmpsim list                  list workloads and architectures
 
@@ -42,8 +48,10 @@ ARCH:   shared-l1 | shared-l2 | shared-mem | clustered   (default shared-mem)
 MODEL:  mipsy | mxs                          (default mipsy)
 NAME:   eqntott mp3d ocean volpack ear fft multiprog
 
-Set CMPSIM_TRACE_OUT=<path> on any `run` to capture its reference trace;
-`replay` reads --file or CMPSIM_TRACE_IN.
+Set CMPSIM_TRACE_OUT=<path> on any `run` to capture its reference trace
+(CMPSIM_TRACE_FORMAT=1 pins the legacy v1 format); `replay` reads --file
+or CMPSIM_TRACE_IN, decodes chunks in parallel, and fans a multi-arch
+batch across CMPSIM_REPLAY_JOBS threads (default: host parallelism).
 ";
 
 #[derive(Debug)]
@@ -241,11 +249,12 @@ fn main() -> ExitCode {
         }),
         "replay" => (|| {
             let mut file = std::env::var(ENV_TRACE_IN).ok();
-            let mut arch = ArchKind::SharedMem;
+            let mut archs: Vec<ArchKind> = Vec::new();
             let mut cpus = 4usize;
             let mut l2_assoc = None;
             let mut l1_latency = None;
             let mut l1_banks = None;
+            let mut rewrite: Option<String> = None;
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
                 let mut val = || {
@@ -255,7 +264,7 @@ fn main() -> ExitCode {
                 };
                 match flag.as_str() {
                     "--file" | "-f" => file = Some(val()?),
-                    "--arch" | "-a" => arch = parse_arch(&val()?)?,
+                    "--arch" | "-a" => archs.push(parse_arch(&val()?)?),
                     "--cpus" | "-n" => {
                         cpus = val()?.parse().map_err(|e| format!("bad cpus: {e}"))?
                     }
@@ -268,33 +277,70 @@ fn main() -> ExitCode {
                     "--l1-banks" => {
                         l1_banks = Some(val()?.parse().map_err(|e| format!("bad banks: {e}"))?)
                     }
+                    "--rewrite" => rewrite = Some(val()?),
                     other => return Err(format!("unknown flag `{other}`")),
                 }
             }
+            if archs.is_empty() {
+                archs.push(ArchKind::SharedMem);
+            }
             let path = file.ok_or(format!("--file or {ENV_TRACE_IN} is required"))?;
             let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
-            let mut cfg = MachineConfig::new(arch, CpuKind::Mipsy);
-            cfg.n_cpus = cpus;
-            cfg.l2_assoc = l2_assoc;
-            cfg.l1_latency = l1_latency;
-            cfg.l1_banks = l1_banks;
-            let mut sys = arch
-                .try_build(&cfg.system_config())
-                .map_err(|e| e.to_string())?;
-            let rs = replay_bytes(&bytes, sys.as_mut()).map_err(|e| e.to_string())?;
+            let jobs = replay_jobs();
+            // Decode once (chunks fanned across the job pool for a v2
+            // trace); every configuration replays from this arena.
+            let (header, records) =
+                decode_parallel_with_header(&bytes, jobs).map_err(|e| e.to_string())?;
             println!("trace        : {path}");
-            println!("system       : {} ({cpus} CPUs)", sys.name());
-            println!(
-                "replayed     : {} accesses, {} ROI resets",
-                rs.accesses, rs.resets
-            );
-            println!("miss rates   : {}", MissRates::from_mem(sys.stats()));
-            println!("access lat.  : {}", sys.stats().latency);
-            for u in sys.port_utilization() {
+            if let Some(out) = rewrite {
+                let v2 = encode_with_version(
+                    &records,
+                    usize::from(header.n_cpus),
+                    u32::from(header.line_bytes),
+                    cmpsim::trace::VERSION,
+                )
+                .map_err(|e| e.to_string())?;
+                std::fs::write(&out, &v2).map_err(|e| format!("{out}: {e}"))?;
                 println!(
-                    "port {:<12}: {:>9} grants, {:>9} busy cyc, {:>9} wait cyc",
-                    u.name, u.grants, u.busy_cycles, u.wait_cycles
+                    "rewrote      : {out} (v{} -> v{}, {} bytes)",
+                    header.version,
+                    cmpsim::trace::VERSION,
+                    v2.len()
                 );
+            }
+            // Validate every configuration before fanning out, so a bad
+            // geometry is a CLI error rather than a worker panic.
+            let cfgs: Vec<_> = archs
+                .iter()
+                .map(|&arch| {
+                    let mut cfg = MachineConfig::new(arch, CpuKind::Mipsy);
+                    cfg.n_cpus = cpus;
+                    cfg.l2_assoc = l2_assoc;
+                    cfg.l1_latency = l1_latency;
+                    cfg.l1_banks = l1_banks;
+                    let sc = cfg.system_config();
+                    arch.try_build(&sc).map(|_| (arch, sc))
+                })
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?;
+            let results = replay_matrix(&records, cfgs.len(), jobs, |i| {
+                let (arch, ref sc) = cfgs[i];
+                arch.try_build(sc).expect("configuration validated above")
+            });
+            for cr in &results {
+                println!("system       : {} ({cpus} CPUs)", cr.name);
+                println!(
+                    "replayed     : {} accesses, {} ROI resets",
+                    cr.replay.accesses, cr.replay.resets
+                );
+                println!("miss rates   : {}", MissRates::from_mem(&cr.stats));
+                println!("access lat.  : {}", cr.stats.latency);
+                for u in &cr.ports {
+                    println!(
+                        "port {:<12}: {:>9} grants, {:>9} busy cyc, {:>9} wait cyc",
+                        u.name, u.grants, u.busy_cycles, u.wait_cycles
+                    );
+                }
             }
             let a = analyze_bytes(&bytes).map_err(|e| e.to_string())?;
             println!("stream       : {}", TraceProfile::from_analysis(&a));
