@@ -15,16 +15,20 @@
 //!   reference), then the L2 datapath-width sweep driven execution-style
 //!   versus trace-replay-style, with the replay-vs-execution speedup;
 //! * the full summary matrix run serially and with the job pool
-//!   (`CMPSIM_BENCH_JOBS`), so harness-level parallel speedup is tracked.
+//!   (`CMPSIM_BENCH_JOBS`), so harness-level parallel speedup is tracked;
+//! * the same case subset through the plain pool and the supervised
+//!   execution layer, so supervision overhead (~1.0x expected) is
+//!   pinned in `BENCH_*.json`.
 //!
 //! Setting `CMPSIM_BENCH_QUICK` (to anything but `0`) drops warmup and
 //! repeat counts so `scripts/verify.sh` can append a cheap record.
 
-use cmpsim_bench::matrix::{default_matrix, matrix_json_lines};
+use cmpsim_bench::matrix::{default_matrix, matrix_json_lines, matrix_json_lines_supervised};
 use cmpsim_bench::n_jobs;
 use cmpsim_bench::timing::{self, JsonVal};
 use cmpsim_core::machine::run_workload;
 use cmpsim_core::{capture_run, ArchKind, CpuKind, MachineConfig};
+use cmpsim_engine::supervise::SuperviseSpec;
 use cmpsim_engine::Cycle;
 use cmpsim_kernels::build_by_name;
 use cmpsim_mem::{
@@ -343,6 +347,48 @@ fn matrix_throughput(jobs: usize) {
     );
 }
 
+/// Times the same case subset through the plain pool and through the
+/// supervised execution layer (panic isolation + retry bookkeeping, no
+/// journal), so `BENCH_*.json` pins supervision's overhead — it wraps
+/// every job in `catch_unwind` and an outcome merge, and the expectation
+/// is ~1.0x on real simulation work.
+fn supervision_throughput(jobs: usize) {
+    let (warmup, runs, _, scale) = knobs();
+    let warmup = warmup.min(1);
+    let cases: Vec<_> = default_matrix(scale)
+        .into_iter()
+        .filter(|c| c.cpu == CpuKind::Mipsy && c.workload == "eqntott")
+        .collect();
+    let n = cases.len() as u64;
+    let m_off = timing::measure(warmup, runs, || matrix_json_lines(&cases, jobs));
+    let spec = SuperviseSpec::new().with_retries(2);
+    let m_on = timing::measure(warmup, runs, || {
+        let out = matrix_json_lines_supervised(&cases, jobs, &spec, None);
+        assert!(out.quarantined.is_empty(), "clean cases stay clean");
+        out.lines
+    });
+    let ratio = m_on.min_ns as f64 / (m_off.min_ns as f64).max(f64::MIN_POSITIVE);
+    timing::emit_record(
+        "sim_throughput",
+        &format!("supervise/off/jobs{jobs}"),
+        &m_off,
+        &[
+            ("cases", n.into()),
+            ("cases_per_host_sec", JsonVal::F64(m_off.per_sec(n))),
+        ],
+    );
+    timing::emit_record(
+        "sim_throughput",
+        &format!("supervise/on/jobs{jobs}"),
+        &m_on,
+        &[
+            ("cases", n.into()),
+            ("cases_per_host_sec", JsonVal::F64(m_on.per_sec(n))),
+            ("supervise_vs_plain_ratio", JsonVal::F64(ratio)),
+        ],
+    );
+}
+
 fn main() {
     // The trace sweep goes first: its replay timings stream a decoded
     // record array through the host cache, and measuring before the
@@ -378,4 +424,6 @@ fn main() {
     if pooled > 1 {
         matrix_throughput(pooled);
     }
+
+    supervision_throughput(pooled.max(1));
 }

@@ -16,9 +16,21 @@
 //! are the same either way — which is itself the other half of the gate:
 //! a diff of replay-mode output against plain output proves the capture
 //! hook perturbs nothing.
+//!
+//! The plain (non-replay) path runs under the supervised execution
+//! layer: a panicking case is quarantined (reported to stderr, exit
+//! code 2) without losing any other row, `CMPSIM_RETRY` /
+//! `CMPSIM_JOB_DEADLINE_MS` set the retry policy, and
+//! `CMPSIM_RESUME=<path>` journals each completed row crash-safely so a
+//! killed sweep restarts where it died with byte-identical stdout.
 
-use cmpsim_bench::matrix::{extended_matrix, matrix_json_lines, matrix_json_lines_replay_checked};
+use cmpsim_bench::matrix::{
+    extended_matrix, matrix_json_lines_replay_checked, matrix_json_lines_supervised,
+};
 use cmpsim_bench::n_jobs;
+use cmpsim_engine::journal::Journal;
+use cmpsim_engine::supervise::SuperviseSpec;
+use std::sync::Mutex;
 
 fn main() {
     let scale = std::env::var("CMPSIM_MATRIX_SCALE")
@@ -29,12 +41,43 @@ fn main() {
         .map(|v| !v.trim().is_empty() && v.trim() != "0")
         .unwrap_or(false);
     let cases = extended_matrix(scale);
-    let lines = if replay {
-        matrix_json_lines_replay_checked(&cases, n_jobs())
-    } else {
-        matrix_json_lines(&cases, n_jobs())
-    };
-    for line in lines {
+    if replay {
+        for line in matrix_json_lines_replay_checked(&cases, n_jobs()) {
+            println!("{line}");
+        }
+        return;
+    }
+    let journal = Journal::from_env()
+        .unwrap_or_else(|e| panic!("opening resume journal: {e}"))
+        .map(Mutex::new);
+    if let Some(j) = &journal {
+        let j = j.lock().expect("journal lock");
+        if j.recovered() > 0 {
+            eprintln!(
+                "summary_matrix: resumed {} rows from {}",
+                j.recovered(),
+                j.path().display()
+            );
+        }
+    }
+    let out = matrix_json_lines_supervised(
+        &cases,
+        n_jobs(),
+        &SuperviseSpec::from_env(),
+        journal.as_ref(),
+    );
+    for line in &out.lines {
         println!("{line}");
+    }
+    if !out.quarantined.is_empty() {
+        for q in &out.quarantined {
+            eprintln!("summary_matrix: {q}");
+        }
+        eprintln!(
+            "summary_matrix: {} of {} cases quarantined",
+            out.quarantined.len(),
+            cases.len()
+        );
+        std::process::exit(2);
     }
 }

@@ -7,16 +7,19 @@
 //! the rows the paper reports. `EXPERIMENTS.md` records paper-vs-measured
 //! values produced by these targets.
 
-#[deprecated(note = "use cmpsim_engine::pool (and cmpsim_bench::n_jobs for the worker count)")]
-pub mod jobs;
 pub mod matrix;
 pub mod timing;
 
-use cmpsim_core::machine::run_workload;
+use cmpsim_core::machine::run_workload_resilient;
 use cmpsim_core::report::IpcBreakdown;
-use cmpsim_core::{ArchKind, Breakdown, CpuKind, MachineConfig, MissRates, RunSummary};
-use cmpsim_engine::pool::map_jobs;
+use cmpsim_core::{
+    decode_summary, encode_summary, ArchKind, Breakdown, CpuKind, MachineConfig, MissRates,
+    RunSummary,
+};
+use cmpsim_engine::journal::{Journal, JournalKey};
+use cmpsim_engine::supervise::{map_jobs_supervised, SuperviseSpec};
 use cmpsim_kernels::build_by_name;
+use std::sync::Mutex;
 
 /// Default cycle budget for bench runs.
 pub const BUDGET: u64 = 40_000_000_000;
@@ -99,23 +102,64 @@ impl FigureData {
 /// so they fan out across host cores (see [`n_jobs`]); results come
 /// back in `ArchKind::ALL` order regardless of the worker count.
 ///
+/// Every run goes through the supervised execution layer: panic
+/// isolation plus the `CMPSIM_RETRY` / `CMPSIM_JOB_DEADLINE_MS` policy,
+/// and — with `CMPSIM_RESUME=<path>` set — each completed architecture's
+/// full `RunSummary` is journaled (snapshot-encoded) so a restarted
+/// figure skips finished runs and reproduces identical output.
+///
 /// # Panics
 ///
-/// Panics if a run times out or fails validation — bench targets should
-/// never silently report bad data.
+/// Panics if a run times out, fails validation, or exhausts its retry
+/// budget — bench targets should never silently report bad data.
 pub fn run_figure_with(
     workload: &str,
     scale: f64,
     cpu: CpuKind,
     tweak: impl Fn(&mut MachineConfig) + Sync,
 ) -> FigureData {
-    let results = map_jobs(n_jobs(), &ArchKind::ALL, |&arch| {
-        let w = build_by_name(workload, 4, scale)
-            .unwrap_or_else(|e| panic!("building {workload}: {e}"));
+    let spec = SuperviseSpec::from_env();
+    let journal = Journal::from_env()
+        .unwrap_or_else(|e| panic!("opening resume journal: {e}"))
+        .map(Mutex::new);
+    let run = map_jobs_supervised(&spec, n_jobs(), &ArchKind::ALL, |&arch| {
         let mut cfg = MachineConfig::new(arch, cpu);
         tweak(&mut cfg);
-        let summary =
-            run_workload(&cfg, &w, BUDGET).unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
+        // The config digest covers the post-tweak `Debug` form, so two
+        // figures sharing a journal can never cross-resume each other's
+        // rows unless their machines really are identical.
+        let key = JournalKey {
+            config: matrix::fnv1a(format!("cmpsim-figure-v1|{cfg:?}").as_bytes()),
+            workload: matrix::fnv1a(format!("{workload}|{scale:?}").as_bytes()),
+        };
+        if let Some(j) = &journal {
+            let hit = j.lock().expect("journal lock").get(key).map(<[u8]>::to_vec);
+            if let Some(bytes) = hit {
+                let summary = decode_summary(&bytes).unwrap_or_else(|e| {
+                    panic!("{workload} on {arch}: resume journal row undecodable: {e}")
+                });
+                return ArchResult {
+                    arch,
+                    breakdown: Breakdown::from_summary(&summary),
+                    miss_rates: MissRates::from_mem(&summary.mem),
+                    summary,
+                };
+            }
+        }
+        let w = build_by_name(workload, 4, scale)
+            .unwrap_or_else(|e| panic!("building {workload}: {e}"));
+        let summary = run_workload_resilient(&cfg, &w, BUDGET)
+            .unwrap_or_else(|e| panic!("{workload} on {arch}: {e}"));
+        if let Some(j) = &journal {
+            // A summary with sentinel violations refuses to encode; such
+            // a run should fail loudly downstream, never resume silently.
+            if let Some(bytes) = encode_summary(&summary) {
+                j.lock()
+                    .expect("journal lock")
+                    .put(key, &bytes)
+                    .unwrap_or_else(|e| panic!("journaling {workload} on {arch}: {e}"));
+            }
+        }
         ArchResult {
             arch,
             breakdown: Breakdown::from_summary(&summary),
@@ -123,6 +167,7 @@ pub fn run_figure_with(
             summary,
         }
     });
+    let results = run.expect_clean(&format!("figure {workload}"));
     FigureData {
         workload: workload.to_string(),
         results,

@@ -13,10 +13,14 @@
 //!   (`jobs` only changes which thread runs a case, never its result).
 
 use crate::timing::{json_line, JsonVal};
-use cmpsim_core::machine::run_workload;
+use cmpsim_core::machine::run_workload_resilient;
 use cmpsim_core::{capture_run, ArchKind, CpuKind, MachineConfig, RunSummary};
+use cmpsim_engine::journal::{Journal, JournalKey};
 use cmpsim_engine::pool::map_jobs;
+use cmpsim_engine::supervise::{map_jobs_supervised, Quarantine, SuperviseSpec};
 use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Cycle budget for matrix runs (small scales finish far below this).
 pub const MATRIX_BUDGET: u64 = 10_000_000_000;
@@ -104,7 +108,7 @@ pub fn extended_matrix(scale: f64) -> Vec<MatrixCase> {
 }
 
 /// FNV-1a 64-bit hash — a stable, dependency-free fingerprint.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -192,7 +196,10 @@ pub fn run_case_pinned(
     cfg.cpus_per_cluster = case.cpus_per_cluster;
     cfg.sentinel = sentinel;
     cfg.shards = shards;
-    let s = run_workload(&cfg, &w, MATRIX_BUDGET)
+    // Resilient entry point: a sharded run that trips the forward-progress
+    // watchdog gets one serial retry before the case is declared dead, so
+    // a host-scheduling artifact cannot poison a whole sweep.
+    let s = run_workload_resilient(&cfg, &w, MATRIX_BUDGET)
         .unwrap_or_else(|e| panic!("{} on {}: {e}", case.workload, case.arch));
     assert!(
         s.violations.is_empty(),
@@ -209,6 +216,134 @@ pub fn run_case_pinned(
 /// per case, in matrix order — byte-identical for any `jobs` value.
 pub fn matrix_json_lines(cases: &[MatrixCase], jobs: usize) -> Vec<String> {
     map_jobs(jobs, cases, |case| summary_json(case, &run_case(case)))
+}
+
+/// Env knob poisoning one matrix case for the quarantine gate, spelled
+/// `<workload>:<arch-name>:<cpu-label>` (e.g. `mp3d:shared-L2:mipsy`).
+/// The matching case panics on every attempt instead of running; the
+/// supervised sweep must quarantine it without losing any other row.
+pub const ENV_MATRIX_PANIC: &str = "CMPSIM_MATRIX_PANIC";
+
+/// Env knob `SIGKILL`ing the process right after the n-th row is
+/// journaled — the kill-and-resume gate's fault injection. Only
+/// meaningful together with a resume journal (`CMPSIM_RESUME`).
+pub const ENV_KILL_AFTER: &str = "CMPSIM_KILL_AFTER";
+
+/// Stable digest of a case's machine configuration — the `config` half
+/// of its resume-journal key. Versioned so a future layout change cannot
+/// silently match stale journal rows.
+pub fn case_config_digest(case: &MatrixCase) -> u64 {
+    fnv1a(
+        format!(
+            "cmpsim-matrix-row-v1|{}|{}|{}|{:?}",
+            case.arch.name(),
+            cpu_label(case.cpu),
+            case.n_cpus,
+            case.cpus_per_cluster,
+        )
+        .as_bytes(),
+    )
+}
+
+/// Stable digest of a case's workload — the `workload` half of its
+/// resume-journal key.
+pub fn case_workload_digest(case: &MatrixCase) -> u64 {
+    fnv1a(format!("{}|{:?}", case.workload, case.scale).as_bytes())
+}
+
+/// The resume-journal key of one matrix case.
+pub fn case_key(case: &MatrixCase) -> JournalKey {
+    JournalKey {
+        config: case_config_digest(case),
+        workload: case_workload_digest(case),
+    }
+}
+
+/// What a supervised matrix sweep produced.
+#[derive(Debug)]
+pub struct MatrixOutcome {
+    /// One JSON line per surviving case, in matrix order; quarantined
+    /// cases are simply absent (their slot is dropped, never reordered).
+    pub lines: Vec<String>,
+    /// Quarantine records for the cases that exhausted their retry
+    /// budget, in matrix order.
+    pub quarantined: Vec<Quarantine>,
+    /// Rows answered verbatim from the resume journal instead of re-run.
+    pub resumed: usize,
+}
+
+/// [`matrix_json_lines`] under the supervised execution layer: each case
+/// runs in panic isolation with `spec`'s retry/deadline policy, and —
+/// when `journal` is supplied — each completed row is journaled
+/// crash-safely and resumed verbatim on restart. When nothing fails and
+/// no journal row pre-exists, the surviving lines are byte-identical to
+/// the unsupervised sweep's (test-asserted).
+///
+/// Honors [`ENV_MATRIX_PANIC`] (poison one case) and [`ENV_KILL_AFTER`]
+/// (self-`SIGKILL` after the n-th journal append) for the verify.sh
+/// fault-injection gates.
+pub fn matrix_json_lines_supervised(
+    cases: &[MatrixCase],
+    jobs: usize,
+    spec: &SuperviseSpec,
+    journal: Option<&Mutex<Journal>>,
+) -> MatrixOutcome {
+    let poison = std::env::var(ENV_MATRIX_PANIC).ok();
+    let kill_after: Option<usize> = std::env::var(ENV_KILL_AFTER)
+        .ok()
+        .and_then(|s| s.trim().parse().ok());
+    let resumed = AtomicUsize::new(0);
+    let journaled = AtomicUsize::new(0);
+    let run = map_jobs_supervised(spec, jobs, cases, |case| {
+        let key = case_key(case);
+        if let Some(j) = journal {
+            let stored = j
+                .lock()
+                .expect("journal lock")
+                .get(key)
+                .map(|b| String::from_utf8(b.to_vec()).expect("journaled rows are JSON lines"));
+            if let Some(line) = stored {
+                resumed.fetch_add(1, Ordering::Relaxed);
+                return line;
+            }
+        }
+        let label = format!(
+            "{}:{}:{}",
+            case.workload,
+            case.arch.name(),
+            cpu_label(case.cpu)
+        );
+        assert!(
+            poison.as_deref() != Some(label.as_str()),
+            "injected matrix fault: {label} poisoned via {ENV_MATRIX_PANIC}"
+        );
+        let line = summary_json(case, &run_case(case));
+        if let Some(j) = journal {
+            let mut guard = j.lock().expect("journal lock");
+            guard
+                .put(key, line.as_bytes())
+                .unwrap_or_else(|e| panic!("journaling {label}: {e}"));
+            let n = journaled.fetch_add(1, Ordering::Relaxed) + 1;
+            if kill_after == Some(n) {
+                // The kill-and-resume gate: die the hard way, mid-sweep,
+                // exactly as a crashed host would. Dying while still
+                // holding the journal lock pins the row count at exactly
+                // `n` — no other worker can append while we wait for the
+                // signal to land.
+                let _ = std::process::Command::new("kill")
+                    .args(["-9", &std::process::id().to_string()])
+                    .status();
+                unreachable!("SIGKILL delivery");
+            }
+        }
+        line
+    });
+    let (vals, quarantined) = run.into_parts();
+    MatrixOutcome {
+        lines: vals.into_iter().flatten().collect(),
+        quarantined,
+        resumed: resumed.into_inner(),
+    }
 }
 
 /// Runs one matrix case with reference-trace capture on, then replays the
@@ -442,6 +577,84 @@ mod tests {
         // And a default row never does.
         let line = summary_json(&def[0], &run_case(&def[0]));
         assert!(!line.contains("n_cpus"), "{line}");
+    }
+
+    /// Tentpole: when nothing fails, the supervised sweep's merged output
+    /// is byte-identical to the unsupervised one — supervision is pure
+    /// scheduling, never results.
+    #[test]
+    fn supervised_matrix_matches_plain_when_clean() {
+        let cases: Vec<MatrixCase> = default_matrix(0.02)
+            .into_iter()
+            .filter(|c| c.cpu == CpuKind::Mipsy && c.workload == "eqntott")
+            .collect();
+        assert_eq!(cases.len(), 4);
+        let plain = matrix_json_lines(&cases, 4);
+        let spec = SuperviseSpec::new().with_retries(2);
+        for jobs in [1usize, 4] {
+            let out = matrix_json_lines_supervised(&cases, jobs, &spec, None);
+            assert!(out.quarantined.is_empty());
+            assert_eq!(out.resumed, 0);
+            assert_eq!(
+                out.lines.join("\n").into_bytes(),
+                plain.join("\n").into_bytes(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    /// Tentpole: rows answered from the resume journal are emitted
+    /// verbatim — a resumed sweep's stdout is byte-identical to an
+    /// uninterrupted one, and completed cases are not re-run.
+    #[test]
+    fn journal_resume_reemits_identical_lines_without_rerunning() {
+        let cases: Vec<MatrixCase> = default_matrix(0.02)
+            .into_iter()
+            .filter(|c| c.cpu == CpuKind::Mipsy && c.workload == "eqntott")
+            .collect();
+        let path =
+            std::env::temp_dir().join(format!("cmpsim-matrix-resume-{}.jrnl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let spec = SuperviseSpec::new();
+
+        // First pass journals only a prefix — the "killed mid-sweep" state.
+        let j = Mutex::new(Journal::open(&path).expect("opens"));
+        let partial = matrix_json_lines_supervised(&cases[..2], 2, &spec, Some(&j));
+        assert_eq!(partial.resumed, 0);
+        drop(j);
+
+        // Restart: the journal recovers the prefix, the sweep completes,
+        // and stdout is byte-identical to an uninterrupted run.
+        let j = Mutex::new(Journal::open(&path).expect("reopens"));
+        assert_eq!(j.lock().unwrap().recovered(), 2);
+        let resumed = matrix_json_lines_supervised(&cases, 2, &spec, Some(&j));
+        assert_eq!(resumed.resumed, 2, "the journaled prefix is not re-run");
+        assert!(resumed.quarantined.is_empty());
+        assert_eq!(resumed.lines, matrix_json_lines(&cases, 2));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    /// The resume-journal key must separate every distinct case: a digest
+    /// collision would silently resume the wrong row.
+    #[test]
+    fn case_keys_are_unique_across_the_extended_matrix() {
+        let cases = extended_matrix(0.05);
+        let mut seen = std::collections::HashSet::new();
+        for case in &cases {
+            let k = case_key(case);
+            assert!(
+                seen.insert((k.config, k.workload)),
+                "duplicate journal key for {} on {} ({})",
+                case.workload,
+                case.arch,
+                cpu_label(case.cpu)
+            );
+        }
+        // Scale is part of the workload digest: the same case at another
+        // scale must never resume this one's row.
+        let mut other = cases[0];
+        other.scale = 0.07;
+        assert_ne!(case_key(&cases[0]), case_key(&other));
     }
 
     #[test]

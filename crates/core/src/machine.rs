@@ -10,12 +10,21 @@ use cmpsim_mem::{
     AddrSpace, ClusteredSystem, ConfigError, MemStats, MemorySystem, PhysMem, SentinelSpec,
     SentinelViolation, SharedL1System, SharedL2System, SharedMemSystem, SystemConfig,
 };
-use cmpsim_trace::{sink_to, SinkHandle, TracingSystem};
+use cmpsim_trace::{sink_to, sink_to_path, SinkHandle, TracingSystem};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::Write;
 use std::rc::Rc;
 use std::sync::{Mutex, RwLock};
+
+/// Where [`Machine::try_new_inner`] sends the reference trace: a path
+/// (from `CMPSIM_TRACE_OUT`) captured crash-safely through an atomic
+/// temp-file rename, or a caller-supplied writer (programmatic capture)
+/// streamed as-is.
+enum TraceDest {
+    Path(String),
+    Writer(Box<dyn Write>),
+}
 
 /// Which of the paper's three architectures to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -391,6 +400,49 @@ impl Watchdog {
     }
 }
 
+/// Why a sharded run demoted itself to the serial spine mid-run (see
+/// [`ShardStats::demoted`]). Demotion never changes results — staging is
+/// pure scheduling — it only gives up the speculative parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemotionReason {
+    /// A stage-phase thread panicked. The panicking cell's speculative
+    /// buffer was discarded (staging is `&self`, so no CPU state was
+    /// touched) and the run finished on the serial spine.
+    StagePanic,
+    /// Read-set validation discarded staged work faster than it committed
+    /// it — a journal-validation storm, the signature of a workload whose
+    /// CPUs communicate every few instructions. Staging was costing
+    /// wall-clock instead of saving it, so the run demoted.
+    ValidationStorm,
+}
+
+impl fmt::Display for DemotionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DemotionReason::StagePanic => "stage-thread panic",
+            DemotionReason::ValidationStorm => "validation storm",
+        })
+    }
+}
+
+/// Diagnostics from a sharded run: how the commit spine consumed work,
+/// and whether (and why) the run demoted itself to serial execution.
+/// Purely observational — bit-identity of results holds regardless.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Stage/commit rounds completed.
+    pub rounds: u64,
+    /// Steps committed from validated staged records.
+    pub staged: u64,
+    /// Steps executed serially on the spine (drained buffers, spine-only
+    /// instructions, or post-demotion execution).
+    pub serial: u64,
+    /// Staged tails discarded by read-set validation.
+    pub invalidated: u64,
+    /// Set when the run gave up on staging partway through.
+    pub demoted: Option<DemotionReason>,
+}
+
 /// Why a run stopped without completing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
@@ -490,6 +542,9 @@ pub struct Machine {
     /// the [`TracingSystem`] wrapped around `mem`. `None` means `mem` is
     /// the raw system — capture off costs exactly zero.
     trace: Option<SinkHandle>,
+    /// Diagnostics from the most recent sharded run (`None` until a
+    /// sharded run happens).
+    shard_stats: Option<ShardStats>,
 }
 
 impl fmt::Debug for Machine {
@@ -516,19 +571,18 @@ impl Machine {
 
     /// Fallible constructor: rejects a workload built for a different CPU
     /// count and invalid system configurations. Honors `CMPSIM_TRACE_OUT`:
-    /// when set, the machine captures its reference trace to that path.
+    /// when set, the machine captures its reference trace to that path
+    /// crash-safely — bytes land at `<path>.tmp` and rename onto the path
+    /// only when the footer has been written, so a killed run never
+    /// leaves a torn file where a finished trace is expected.
     ///
     /// # Panics
     ///
-    /// Panics if `CMPSIM_TRACE_OUT` names a path that cannot be created —
-    /// an environment-knob misuse with no typed-error path.
+    /// Panics if `CMPSIM_TRACE_OUT` names a path whose temp file cannot
+    /// be created — an environment-knob misuse with no typed-error path.
     pub fn try_new(cfg: &MachineConfig, workload: &BuiltWorkload) -> Result<Machine, ConfigError> {
-        let writer: Option<Box<dyn Write>> = cfg.resolved_trace_out().map(|path| {
-            let f = std::fs::File::create(&path)
-                .unwrap_or_else(|e| panic!("{ENV_TRACE_OUT}={path}: {e}"));
-            Box::new(std::io::BufWriter::new(f)) as Box<dyn Write>
-        });
-        Machine::try_new_inner(cfg, workload, writer)
+        let dest = cfg.resolved_trace_out().map(TraceDest::Path);
+        Machine::try_new_inner(cfg, workload, dest)
     }
 
     /// Builds a machine that captures its reference trace into `out`
@@ -558,13 +612,13 @@ impl Machine {
         workload: &BuiltWorkload,
         out: Box<dyn Write>,
     ) -> Result<Machine, ConfigError> {
-        Machine::try_new_inner(cfg, workload, Some(out))
+        Machine::try_new_inner(cfg, workload, Some(TraceDest::Writer(out)))
     }
 
     fn try_new_inner(
         cfg: &MachineConfig,
         workload: &BuiltWorkload,
-        trace_out: Option<Box<dyn Write>>,
+        trace_out: Option<TraceDest>,
     ) -> Result<Machine, ConfigError> {
         if workload.entries.len() != cfg.n_cpus {
             return Err(ConfigError::WorkloadCpuMismatch {
@@ -582,9 +636,13 @@ impl Machine {
         // forwards everything unchanged (a traced run is bit-identical to
         // an untraced one), and its absence means zero overhead.
         let (mem, trace): (Box<dyn MemorySystem>, Option<SinkHandle>) = match trace_out {
-            Some(out) => {
-                let sink = sink_to(out, cfg.n_cpus, mem.line_bytes())
-                    .unwrap_or_else(|e| panic!("trace capture failed: {e}"));
+            Some(dest) => {
+                let sink = match dest {
+                    TraceDest::Path(path) => sink_to_path(&path, cfg.n_cpus, mem.line_bytes())
+                        .unwrap_or_else(|e| panic!("{ENV_TRACE_OUT}={path}: {e}")),
+                    TraceDest::Writer(out) => sink_to(out, cfg.n_cpus, mem.line_bytes())
+                        .unwrap_or_else(|e| panic!("trace capture failed: {e}")),
+                };
                 (
                     Box::new(TracingSystem::new(mem, Rc::clone(&sink))),
                     Some(sink),
@@ -637,6 +695,7 @@ impl Machine {
             sentinel_on: sc.sentinel.enabled,
             stall_limit: cfg.resolved_stall_cycles(),
             trace,
+            shard_stats: None,
         })
     }
 
@@ -784,6 +843,19 @@ impl Machine {
             &mut n_invalidated,
         );
 
+        // Graceful degradation: instead of aborting, the run demotes
+        // itself to the serial spine when staging stops being safe (a
+        // stage thread panicked) or stops paying (validation storm).
+        // `stage_panic` is the stage→commit signal; `demoted_flag` is the
+        // commit→stage signal telling the team to stop staging.
+        let mut demotion: Option<DemotionReason> = None;
+        let demote_ref = &mut demotion;
+        let stage_panic = std::sync::atomic::AtomicBool::new(false);
+        let demoted_flag = std::sync::atomic::AtomicBool::new(false);
+        // Below this many invalidations the storm detector stays quiet:
+        // startup communication bursts are normal and staging recovers.
+        const STORM_MIN_INVALIDATIONS: u64 = 10_000;
+
         let this = &mut *self;
         let watchdog_ref = &mut watchdog;
         let stop_ref = &mut stop;
@@ -795,6 +867,9 @@ impl Machine {
                 // per-cell buffers. CPU-to-shard assignment is striped but
                 // any assignment yields identical results — staging is
                 // per-CPU work against the same snapshot.
+                if demoted_flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    return; // demoted: the spine does all the work now
+                }
                 let phys = phys_lock.read().unwrap();
                 for i in (w..cells.len()).step_by(shards) {
                     let mut cell = cells[i].lock().unwrap();
@@ -803,7 +878,18 @@ impl Machine {
                         continue;
                     }
                     debug_assert!(cell.staged.is_empty());
-                    cell.cpu.stage(&phys, budget, &mut cell.staged);
+                    // A panicking model must not kill the run: stage() is
+                    // `&self`, so unwinding cannot corrupt CPU state — the
+                    // half-filled buffer is dropped and the commit spine
+                    // demotes the run to serial execution.
+                    let staged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        cell.cpu.stage(&phys, budget, &mut cell.staged)
+                    }));
+                    if staged.is_err() {
+                        cell.staged.clear();
+                        cell.cursor = 0;
+                        stage_panic.store(true, std::sync::atomic::Ordering::Relaxed);
+                    }
                 }
             },
             || {
@@ -815,6 +901,19 @@ impl Machine {
                 phys.slice_journal_mut()
                     .expect("journal armed for the sharded run")
                     .begin_slice();
+                if stage_panic.swap(false, std::sync::atomic::Ordering::Relaxed)
+                    && demote_ref.is_none()
+                {
+                    // Discard every cell's speculative work, not just the
+                    // panicking cell's: simplest invariant, and the steps
+                    // simply recompute serially with identical results.
+                    *demote_ref = Some(DemotionReason::StagePanic);
+                    demoted_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                    for g in guards.iter_mut() {
+                        g.staged.clear();
+                        g.cursor = 0;
+                    }
+                }
                 loop {
                     let Some((now, c)) = heap.peek() else {
                         return false; // every CPU finished
@@ -897,7 +996,25 @@ impl Machine {
                     } else {
                         heap.set(c, next);
                     }
-                    if guards.iter().all(|g| g.cursor >= g.staged.len()) {
+                    if demote_ref.is_none()
+                        && *r_inval >= STORM_MIN_INVALIDATIONS
+                        && *r_inval > *r_staged
+                    {
+                        // Validation is discarding more than it keeps:
+                        // staging is pure overhead for this workload.
+                        // Demote and let this commit pass run the rest of
+                        // the program serially.
+                        *demote_ref = Some(DemotionReason::ValidationStorm);
+                        demoted_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                        for g in guards.iter_mut() {
+                            g.staged.clear();
+                            g.cursor = 0;
+                        }
+                    }
+                    // Once demoted there is no next stage phase worth
+                    // feeding, so the spine keeps stepping until the run
+                    // finishes rather than breaking the round.
+                    if demote_ref.is_none() && guards.iter().all(|g| g.cursor >= g.staged.len()) {
                         break; // round fully drained
                     }
                 }
@@ -911,9 +1028,17 @@ impl Machine {
             },
         );
 
+        self.shard_stats = Some(ShardStats {
+            rounds: n_rounds,
+            staged: n_staged,
+            serial: n_serial,
+            invalidated: n_invalidated,
+            demoted: demotion,
+        });
         if std::env::var(ENV_SHARD_STATS).is_ok() {
+            let demoted = demotion.map_or(String::new(), |r| format!(" demoted={r}"));
             eprintln!(
-                "shard stats: rounds={n_rounds} staged={n_staged} serial={n_serial} invalidated={n_invalidated}"
+                "shard stats: rounds={n_rounds} staged={n_staged} serial={n_serial} invalidated={n_invalidated}{demoted}"
             );
         }
 
@@ -1018,6 +1143,13 @@ impl Machine {
         &self.phys
     }
 
+    /// Diagnostics from the most recent sharded run: commit tallies and
+    /// the demotion record, if the run gave up on staging. `None` until a
+    /// sharded run happens (serial runs don't produce shard stats).
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        self.shard_stats
+    }
+
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
@@ -1105,6 +1237,50 @@ pub fn run_workload(
     let summary = m.run(max_cycles)?;
     (workload.check)(m.phys()).map_err(RunError::CheckFailed)?;
     Ok(summary)
+}
+
+/// The supervisor's stalled-run policy, factored out of
+/// [`run_workload_resilient`] so the decision arithmetic is unit-testable
+/// without building a machine: a [`RunError::Stalled`] result from a
+/// sharded run (`shards > 1`) is retried exactly once via `serial`; any
+/// other outcome — success, timeout, a stall that was already serial —
+/// passes through untouched. Returns the final result and whether the
+/// serial retry ran.
+pub fn retry_stalled_serial<T>(
+    shards: usize,
+    first: Result<T, RunError>,
+    serial: impl FnOnce() -> Result<T, RunError>,
+) -> (Result<T, RunError>, bool) {
+    match first {
+        Err(RunError::Stalled { .. }) if shards > 1 => (serial(), true),
+        other => (other, false),
+    }
+}
+
+/// [`run_workload`] with the supervisor's stalled-run follow-through: a
+/// sharded run that trips the forward-progress watchdog is retried once
+/// on the serial spine (`shards = 1`), on the theory that the stall may
+/// be a scheduling artifact of the host rather than the simulated
+/// program. If the serial retry stalls too, the error — whose `Display`
+/// embeds the full [`WatchdogReport`] — propagates, so a supervised
+/// sweep surfaces the report in its quarantine record.
+///
+/// # Errors
+///
+/// As [`run_workload`].
+pub fn run_workload_resilient(
+    cfg: &MachineConfig,
+    workload: &BuiltWorkload,
+    max_cycles: u64,
+) -> Result<RunSummary, RunError> {
+    let shards = cfg.resolved_shards();
+    let first = run_workload(cfg, workload, max_cycles);
+    let (result, _retried) = retry_stalled_serial(shards, first, || {
+        let mut serial_cfg = *cfg;
+        serial_cfg.shards = Some(1);
+        run_workload(&serial_cfg, workload, max_cycles)
+    });
+    result
 }
 
 #[cfg(test)]
@@ -1333,6 +1509,7 @@ mod tests {
             // observe-before-event order reported this run as Stalled.
             stall_limit: Some(100),
             trace: None,
+            shard_stats: None,
         };
         let s = m
             .run(1_000_000)
@@ -1413,6 +1590,225 @@ mod tests {
         let b = run_workload(&cfg, &w2, 100_000_000).expect("runs");
         assert_eq!(a.wall_cycles, b.wall_cycles, "same seed, same cycles");
         assert_eq!(a.total, b.total);
+    }
+
+    /// A stageable CPU whose stage() always panics: the fault-injection
+    /// fixture for graceful degradation. step() runs a short countdown
+    /// so the demoted run still completes on the spine.
+    struct PanicStageCpu {
+        arch: ArchState,
+        space: AddrSpace,
+        counters: CpuCounters,
+        remaining: u32,
+        halted: bool,
+    }
+
+    impl CpuModel for PanicStageCpu {
+        fn step(
+            &mut self,
+            now: Cycle,
+            _mem: &mut dyn MemorySystem,
+            _phys: &mut PhysMem,
+        ) -> (Cycle, StepEvent) {
+            self.counters.instructions += 1;
+            if self.remaining == 0 {
+                self.halted = true;
+                return (now + 1, StepEvent::Halted);
+            }
+            self.remaining -= 1;
+            (now + 1, StepEvent::None)
+        }
+        fn arch(&self) -> &ArchState {
+            &self.arch
+        }
+        fn arch_mut(&mut self) -> &mut ArchState {
+            &mut self.arch
+        }
+        fn set_space(&mut self, space: AddrSpace) {
+            self.space = space;
+        }
+        fn space(&self) -> AddrSpace {
+            self.space
+        }
+        fn flush(&mut self) {}
+        fn halted(&self) -> bool {
+            self.halted
+        }
+        fn counters(&self) -> &CpuCounters {
+            &self.counters
+        }
+        fn counters_mut(&mut self) -> &mut CpuCounters {
+            &mut self.counters
+        }
+        fn stageable(&self) -> bool {
+            true
+        }
+        fn stage(&self, _phys: &PhysMem, _budget: usize, _out: &mut Vec<StagedStep>) {
+            panic!("injected stage fault");
+        }
+    }
+
+    /// Graceful degradation: a panicking stage thread demotes the sharded
+    /// run to the serial spine (recorded in [`ShardStats`]) instead of
+    /// aborting it.
+    #[test]
+    fn stage_panic_demotes_to_serial_instead_of_aborting() {
+        let mut cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mipsy);
+        cfg.n_cpus = 2;
+        cfg.shards = Some(2);
+        let sc = cfg.system_config();
+        let stub = |c: usize| -> Box<dyn CpuModel> {
+            Box::new(PanicStageCpu {
+                arch: ArchState::new(0x1000 + c as u32 * 0x100),
+                space: AddrSpace::identity(),
+                counters: CpuCounters::new(),
+                remaining: 500,
+                halted: false,
+            })
+        };
+        let mut m = Machine {
+            cfg,
+            cpus: vec![stub(0), stub(1)],
+            mem: Box::new(SharedMemSystem::new(&sc)),
+            phys: PhysMem::new(2),
+            ready: vec![Cycle::ZERO; 2],
+            done: vec![false; 2],
+            queues: vec![VecDeque::new(), VecDeque::new()],
+            roi_start: Cycle::ZERO,
+            phases: Vec::new(),
+            workload_name: "stage-panic-stub",
+            sentinel_on: false,
+            stall_limit: None,
+            trace: None,
+            shard_stats: None,
+        };
+        let s = m
+            .run(1_000_000)
+            .expect("a stage panic must demote, not abort");
+        assert_eq!(s.total.instructions, 2 * 501);
+        let stats = m.shard_stats().expect("sharded run records stats");
+        assert_eq!(stats.demoted, Some(DemotionReason::StagePanic));
+        assert_eq!(stats.staged, 0, "no poisoned staged step may commit");
+        assert_eq!(stats.serial, 2 * 501, "every step ran on the spine");
+    }
+
+    fn stalled_error() -> RunError {
+        RunError::Stalled {
+            limit: 1_000,
+            report: Box::new(WatchdogReport {
+                cpus: vec![CpuDiag {
+                    cpu: 0,
+                    done: false,
+                    pc: 0x1234,
+                    ready_cycle: 5_000,
+                    instructions: 42,
+                    ll_reservation: None,
+                    stalled_for: 2_000,
+                }],
+                violations: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn retry_stalled_serial_retries_only_sharded_stalls() {
+        // A sharded stall retries serially.
+        let (r, retried) = retry_stalled_serial(4, Err(stalled_error()), || Ok(7u32));
+        assert!(retried);
+        assert_eq!(r.expect("serial retry succeeded"), 7);
+        // An already-serial stall passes through: retrying the same thing
+        // would just stall again.
+        let (r, retried) = retry_stalled_serial(1, Err::<u32, _>(stalled_error()), || {
+            panic!("must not retry a serial stall")
+        });
+        assert!(!retried);
+        assert!(matches!(r, Err(RunError::Stalled { .. })));
+        // Success and non-stall errors pass through.
+        let (r, retried) = retry_stalled_serial(4, Ok(3u32), || panic!("no retry on success"));
+        assert!(!retried);
+        assert_eq!(r.expect("passthrough"), 3);
+        let timeout = RunError::Timeout {
+            budget: 10,
+            report: Box::new(WatchdogReport::default()),
+        };
+        let (r, retried) =
+            retry_stalled_serial(4, Err::<u32, _>(timeout), || panic!("no retry on timeout"));
+        assert!(!retried);
+        assert!(matches!(r, Err(RunError::Timeout { .. })));
+    }
+
+    /// When the serial retry stalls too, the error that propagates (and
+    /// lands in a supervised sweep's quarantine record via `Display`)
+    /// carries the full watchdog report.
+    #[test]
+    fn double_stall_surfaces_the_watchdog_report() {
+        let (r, retried) =
+            retry_stalled_serial(2, Err::<u32, _>(stalled_error()), || Err(stalled_error()));
+        assert!(retried);
+        let msg = r.expect_err("both attempts stalled").to_string();
+        assert!(msg.contains("watchdog"), "{msg}");
+        assert!(msg.contains("pc 0x1234"), "{msg}");
+        assert!(msg.contains("no progress for 2000 cycles"), "{msg}");
+    }
+
+    /// End of the follow-through chain: a sweep job that dies of a
+    /// double stall panics with the error text, and the supervisor's
+    /// quarantine record carries the full watchdog report — stuck PC
+    /// and stall age included — so the sweep's stderr names the broken
+    /// configuration's diagnosis, not just its index.
+    #[test]
+    fn stalled_job_quarantine_record_carries_the_watchdog_report() {
+        use cmpsim_engine::supervise::{run_indexed_supervised, SuperviseSpec};
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let default = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let quiet = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|p| p.contains("[stall-fixture]"));
+                if !quiet {
+                    default(info);
+                }
+            }));
+        });
+        let run =
+            run_indexed_supervised(&SuperviseSpec::new(), 2, 3, |i| {
+                if i == 1 {
+                    let err = retry_stalled_serial(2, Err::<u32, _>(stalled_error()), || {
+                        Err(stalled_error())
+                    })
+                    .0
+                    .expect_err("both attempts stalled");
+                    panic!("[stall-fixture] case mp3d/shared-L2: {err}");
+                }
+                i as u64
+            });
+        assert_eq!(run.quarantined.len(), 1);
+        let q = &run.quarantined[0];
+        assert_eq!(q.job_id, 1);
+        assert!(q.reason.contains("watchdog"), "{}", q.reason);
+        assert!(q.reason.contains("pc 0x1234"), "{}", q.reason);
+        assert!(
+            q.reason.contains("no progress for 2000 cycles"),
+            "{}",
+            q.reason
+        );
+        let (vals, _) = run.into_parts();
+        assert_eq!(vals, vec![Some(0), None, Some(2)]);
+    }
+
+    #[test]
+    fn resilient_run_matches_plain_run_when_nothing_stalls() {
+        let w = build_by_name("eqntott", 4, 0.03).expect("builds");
+        let mut cfg = MachineConfig::new(ArchKind::SharedMem, CpuKind::Mipsy);
+        cfg.shards = Some(2);
+        cfg.stall_cycles = Some(50_000_000);
+        let a = run_workload(&cfg, &w, 200_000_000).expect("plain runs");
+        let b = run_workload_resilient(&cfg, &w, 200_000_000).expect("resilient runs");
+        assert_eq!(a.wall_cycles, b.wall_cycles);
+        assert_eq!(a.total, b.total);
+        assert_eq!(format!("{:?}", a.mem), format!("{:?}", b.mem));
     }
 }
 

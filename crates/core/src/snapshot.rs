@@ -1,0 +1,402 @@
+//! Versioned byte codec for [`RunSummary`] — the payload format the
+//! figure sweeps journal per completed row (see `cmpsim_engine::journal`).
+//!
+//! A resumed sweep must re-emit its artifact byte-identically, so the
+//! snapshot must round-trip *everything* the renderers read: counters,
+//! memory statistics (including the latency histogram's accumulators),
+//! port utilization and phase markers. Summaries with sentinel
+//! violations refuse to encode — a violating row is a bug report, not a
+//! result, and must never be skipped on resume.
+//!
+//! Layout (all integers little-endian): an 8-byte magic, the arch tag,
+//! `wall_cycles`, the per-CPU counter blocks (each a fixed 21-word
+//! record), the merged totals, the memory statistics with the histogram's
+//! raw parts, the named port-utilization rows, and the phase markers.
+//! The magic doubles as the version; any layout change bumps it and old
+//! journals simply miss (rows recompute — never misdecode).
+
+use crate::machine::{ArchKind, RunSummary};
+use cmpsim_cpu::CpuCounters;
+use cmpsim_mem::{LevelStats, MemStats, PortUtil};
+
+/// Magic + version prefix for encoded summaries.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CMPSNAP1";
+
+/// Port labels the memory systems can emit, for interning decoded names
+/// back to `&'static str`. An unknown name (a future resource) falls
+/// back to a leaked allocation — correct, just not free; per-process
+/// cost is bounded by the set of distinct names.
+const KNOWN_PORT_NAMES: [&str; 7] = [
+    "bus",
+    "l2",
+    "l2-bank",
+    "mem",
+    "l1i-bank",
+    "l1d-bank",
+    "cluster-l1-bank",
+];
+
+const CPU_COUNTER_WORDS: usize = 21;
+
+fn counters_to_words(c: &CpuCounters) -> [u64; CPU_COUNTER_WORDS] {
+    [
+        c.instructions,
+        c.busy_cycles,
+        c.stall_instruction,
+        c.stall_l1_data,
+        c.stall_l2,
+        c.stall_memory,
+        c.stall_c2c,
+        c.stall_store_buffer,
+        c.stall_fence,
+        c.loads,
+        c.stores,
+        c.branches,
+        c.mispredicts,
+        c.sc_failures,
+        c.mxs_cycles,
+        c.slots_icache,
+        c.slots_dcache,
+        c.slots_pipeline,
+        c.dispatch_stall_rob,
+        c.dispatch_stall_preg,
+        c.window_occupancy_sum,
+    ]
+}
+
+fn counters_from_words(w: &[u64; CPU_COUNTER_WORDS]) -> CpuCounters {
+    let mut c = CpuCounters::new();
+    c.instructions = w[0];
+    c.busy_cycles = w[1];
+    c.stall_instruction = w[2];
+    c.stall_l1_data = w[3];
+    c.stall_l2 = w[4];
+    c.stall_memory = w[5];
+    c.stall_c2c = w[6];
+    c.stall_store_buffer = w[7];
+    c.stall_fence = w[8];
+    c.loads = w[9];
+    c.stores = w[10];
+    c.branches = w[11];
+    c.mispredicts = w[12];
+    c.sc_failures = w[13];
+    c.mxs_cycles = w[14];
+    c.slots_icache = w[15];
+    c.slots_dcache = w[16];
+    c.slots_pipeline = w[17];
+    c.dispatch_stall_rob = w[18];
+    c.dispatch_stall_preg = w[19];
+    c.window_occupancy_sum = w[20];
+    c
+}
+
+fn arch_tag(a: ArchKind) -> u8 {
+    match a {
+        ArchKind::SharedL1 => 0,
+        ArchKind::SharedL2 => 1,
+        ArchKind::SharedMem => 2,
+        ArchKind::Clustered => 3,
+    }
+}
+
+fn arch_from_tag(t: u8) -> Option<ArchKind> {
+    Some(match t {
+        0 => ArchKind::SharedL1,
+        1 => ArchKind::SharedL2,
+        2 => ArchKind::SharedMem,
+        3 => ArchKind::Clustered,
+        _ => return None,
+    })
+}
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn words(&mut self, w: &[u64]) {
+        self.u32(w.len() as u32);
+        for &v in w {
+            self.u64(v);
+        }
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn level(&mut self, l: &LevelStats) {
+        self.u64(l.accesses);
+        self.u64(l.hits);
+        self.u64(l.miss_repl);
+        self.u64(l.miss_inval);
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.bytes.len() - self.pos < n {
+            return Err(format!(
+                "snapshot truncated at byte {} (wanted {n} more)",
+                self.pos
+            ));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn words(&mut self) -> Result<Vec<u64>, String> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.u64()).collect()
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("snapshot string: {e}"))
+    }
+    fn level(&mut self) -> Result<LevelStats, String> {
+        Ok(LevelStats {
+            accesses: self.u64()?,
+            hits: self.u64()?,
+            miss_repl: self.u64()?,
+            miss_inval: self.u64()?,
+        })
+    }
+}
+
+/// Encodes a summary for the resume journal. Returns `None` when the
+/// summary carries sentinel violations: a violating row must fail the
+/// sweep, not be checkpointed past.
+pub fn encode_summary(s: &RunSummary) -> Option<Vec<u8>> {
+    if !s.violations.is_empty() {
+        return None;
+    }
+    let mut e = Enc(Vec::with_capacity(512));
+    e.0.extend_from_slice(&SNAPSHOT_MAGIC);
+    e.u8(arch_tag(s.arch));
+    e.u64(s.wall_cycles);
+    e.u32(s.per_cpu.len() as u32);
+    for c in &s.per_cpu {
+        for w in counters_to_words(c) {
+            e.u64(w);
+        }
+    }
+    for w in counters_to_words(&s.total) {
+        e.u64(w);
+    }
+    e.level(&s.mem.l1d);
+    e.level(&s.mem.l1i);
+    e.level(&s.mem.l2);
+    e.u64(s.mem.mem_accesses);
+    e.u64(s.mem.c2c_transfers);
+    e.u64(s.mem.upgrades);
+    e.u64(s.mem.writebacks);
+    e.u64(s.mem.invalidations_sent);
+    e.u64(s.mem.l1_bank_wait);
+    e.u64(s.mem.l2_bank_wait);
+    e.u64(s.mem.mem_wait);
+    let (bounds, counts, total, sum, max) = s.mem.latency.raw_parts();
+    e.words(bounds);
+    e.words(counts);
+    e.u64(total);
+    e.u64(sum);
+    e.u64(max);
+    e.u32(s.port_util.len() as u32);
+    for p in &s.port_util {
+        e.str(p.name);
+        e.u64(p.grants);
+        e.u64(p.busy_cycles);
+        e.u64(p.wait_cycles);
+    }
+    e.u32(s.phases.len() as u32);
+    for &(cycle, cpu, tag) in &s.phases {
+        e.u64(cycle);
+        e.u32(cpu as u32);
+        e.u8(tag);
+    }
+    Some(e.0)
+}
+
+/// Interns a decoded port name back to `&'static str`.
+fn intern_name(name: &str) -> &'static str {
+    KNOWN_PORT_NAMES
+        .iter()
+        .find(|&&k| k == name)
+        .copied()
+        .unwrap_or_else(|| Box::leak(name.to_string().into_boxed_str()))
+}
+
+/// Decodes a summary previously produced by [`encode_summary`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: wrong magic
+/// (foreign or stale-format journal), truncation, an unknown arch tag,
+/// or histogram bounds that no longer match the current layout.
+pub fn decode_summary(bytes: &[u8]) -> Result<RunSummary, String> {
+    let mut d = Dec { bytes, pos: 0 };
+    if d.take(SNAPSHOT_MAGIC.len())? != SNAPSHOT_MAGIC {
+        return Err("not a cmpsim run-summary snapshot (bad magic)".to_string());
+    }
+    let arch = arch_from_tag(d.u8()?).ok_or_else(|| "unknown arch tag".to_string())?;
+    let wall_cycles = d.u64()?;
+    let n_cpus = d.u32()? as usize;
+    let read_counters = |d: &mut Dec| -> Result<CpuCounters, String> {
+        let mut w = [0u64; CPU_COUNTER_WORDS];
+        for v in &mut w {
+            *v = d.u64()?;
+        }
+        Ok(counters_from_words(&w))
+    };
+    let per_cpu: Vec<CpuCounters> = (0..n_cpus)
+        .map(|_| read_counters(&mut d))
+        .collect::<Result<_, _>>()?;
+    let total = read_counters(&mut d)?;
+    // Struct fields evaluate in source order, which is the wire order.
+    let mut mem = MemStats {
+        l1d: d.level()?,
+        l1i: d.level()?,
+        l2: d.level()?,
+        mem_accesses: d.u64()?,
+        c2c_transfers: d.u64()?,
+        upgrades: d.u64()?,
+        writebacks: d.u64()?,
+        invalidations_sent: d.u64()?,
+        l1_bank_wait: d.u64()?,
+        l2_bank_wait: d.u64()?,
+        mem_wait: d.u64()?,
+        ..Default::default()
+    };
+    let bounds = d.words()?;
+    let counts = d.words()?;
+    let (h_total, h_sum, h_max) = (d.u64()?, d.u64()?, d.u64()?);
+    {
+        let (cur_bounds, cur_counts, _, _, _) = mem.latency.raw_parts();
+        if bounds != cur_bounds {
+            return Err("latency histogram bounds drifted since the snapshot".to_string());
+        }
+        if counts.len() != cur_counts.len() {
+            return Err("latency histogram bucket count drifted".to_string());
+        }
+    }
+    mem.latency.restore(&counts, h_total, h_sum, h_max);
+    let n_ports = d.u32()? as usize;
+    let mut port_util = Vec::with_capacity(n_ports);
+    for _ in 0..n_ports {
+        let name = d.str()?;
+        port_util.push(PortUtil {
+            name: intern_name(&name),
+            grants: d.u64()?,
+            busy_cycles: d.u64()?,
+            wait_cycles: d.u64()?,
+        });
+    }
+    let n_phases = d.u32()? as usize;
+    let mut phases = Vec::with_capacity(n_phases);
+    for _ in 0..n_phases {
+        phases.push((d.u64()?, d.u32()? as usize, d.u8()?));
+    }
+    if d.pos != d.bytes.len() {
+        return Err(format!(
+            "snapshot has {} trailing bytes",
+            d.bytes.len() - d.pos
+        ));
+    }
+    Ok(RunSummary {
+        arch,
+        wall_cycles,
+        per_cpu,
+        total,
+        mem,
+        port_util,
+        phases,
+        violations: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{run_workload, CpuKind, MachineConfig};
+    use cmpsim_kernels::build_by_name;
+
+    /// The load-bearing property: a real run's summary survives the
+    /// codec with Debug-level equality, so a resumed sweep renders the
+    /// identical artifact. Debug covers every field — a future field
+    /// added to any stats struct fails this test until the codec learns
+    /// it.
+    #[test]
+    fn real_summaries_round_trip_debug_identical() {
+        for (arch, cpu) in [
+            (ArchKind::SharedL2, CpuKind::Mipsy),
+            (ArchKind::SharedMem, CpuKind::Mxs),
+        ] {
+            let w = build_by_name("eqntott", 4, 0.02).expect("builds");
+            let cfg = MachineConfig::new(arch, cpu);
+            let s = run_workload(&cfg, &w, 100_000_000).expect("runs");
+            let bytes = encode_summary(&s).expect("no violations");
+            let back = decode_summary(&bytes).expect("decodes");
+            assert_eq!(format!("{s:?}"), format!("{back:?}"), "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn phases_and_clustered_arch_round_trip() {
+        let w = build_by_name("mp3d", 4, 0.02).expect("builds");
+        let mut cfg = MachineConfig::new(ArchKind::Clustered, CpuKind::Mipsy);
+        cfg.cpus_per_cluster = Some(2);
+        let s = run_workload(&cfg, &w, 100_000_000).expect("runs");
+        let bytes = encode_summary(&s).expect("encodes");
+        let back = decode_summary(&bytes).expect("decodes");
+        assert_eq!(format!("{s:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn violating_summaries_refuse_to_encode() {
+        let w = build_by_name("eqntott", 4, 0.02).expect("builds");
+        let cfg = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mipsy);
+        let mut s = run_workload(&cfg, &w, 100_000_000).expect("runs");
+        s.violations.push(cmpsim_mem::SentinelViolation {
+            cycle: 1,
+            cpu: 0,
+            addr: 0x40,
+            kind: cmpsim_mem::ViolationKind::OracleMismatch,
+            detail: "injected".to_string(),
+        });
+        assert!(encode_summary(&s).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert!(decode_summary(b"definitely not a snapshot").is_err());
+        let w = build_by_name("eqntott", 4, 0.02).expect("builds");
+        let cfg = MachineConfig::new(ArchKind::SharedL2, CpuKind::Mipsy);
+        let s = run_workload(&cfg, &w, 100_000_000).expect("runs");
+        let bytes = encode_summary(&s).expect("encodes");
+        for cut in [9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_summary(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_summary(&extra).is_err(), "trailing bytes rejected");
+    }
+}

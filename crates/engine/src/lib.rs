@@ -21,6 +21,11 @@
 //! * [`prop`] — a deterministic property-testing framework built on
 //!   [`Rng64`], so the whole workspace tests itself without any external
 //!   dependency.
+//! * [`supervise`] — panic isolation, wall-clock deadlines and
+//!   deterministic retry over the [`pool`] fan-out, with a quarantine
+//!   list instead of sweep-killing panics.
+//! * [`journal`] — an append-only, crash-tolerant resume journal so
+//!   interrupted sweeps skip completed rows on restart.
 //!
 //! # Examples
 //!
@@ -37,6 +42,7 @@
 //! ```
 
 pub mod hash;
+pub mod journal;
 pub mod pool;
 pub mod prop;
 pub mod queue;
@@ -44,14 +50,20 @@ pub mod ready;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod supervise;
 
 pub use hash::{BuildFastHasher, FastHasher, FastMap, FastSet};
+pub use journal::{Journal, JournalKey};
 pub use pool::{barrier_rounds, map_jobs, run_indexed};
 pub use queue::EventQueue;
 pub use ready::ReadyHeap;
 pub use resource::{BankedResource, Port};
 pub use rng::Rng64;
 pub use stats::{Counter, Histogram};
+pub use supervise::{
+    map_jobs_supervised, run_indexed_supervised, JobOutcome, Quarantine, SuperviseSpec,
+    SupervisedRun,
+};
 
 use std::fmt;
 use std::iter::Sum;

@@ -182,6 +182,34 @@ impl Histogram {
         self.sum = 0;
         self.max = 0;
     }
+
+    /// Raw accumulator state `(bounds, counts, total, sum, max)`, for
+    /// serializing a histogram into a resume snapshot.
+    pub fn raw_parts(&self) -> (&[u64], &[u64], u64, u64, u64) {
+        (&self.bounds, &self.counts, self.total, self.sum, self.max)
+    }
+
+    /// Restores accumulator state captured by [`Histogram::raw_parts`]
+    /// into a histogram built with the same bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` does not match this histogram's bucket count
+    /// (bounds drifted between snapshot and restore).
+    pub fn restore(&mut self, counts: &[u64], total: u64, sum: u64, max: u64) {
+        assert_eq!(
+            counts.len(),
+            self.counts.len(),
+            "histogram '{}': snapshot has {} buckets, layout has {}",
+            self.name,
+            counts.len(),
+            self.counts.len()
+        );
+        self.counts.copy_from_slice(counts);
+        self.total = total;
+        self.sum = sum;
+        self.max = max;
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -237,5 +265,29 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new("h", &[10, 10]);
+    }
+
+    #[test]
+    fn raw_parts_round_trips_through_restore() {
+        let mut h = Histogram::new("h", &[10, 100]);
+        h.record(9);
+        h.record(55);
+        h.record(400);
+        let (bounds, counts, total, sum, max) = h.raw_parts();
+        assert_eq!(bounds, &[10, 100]);
+        let (counts, total, sum, max) = (counts.to_vec(), total, sum, max);
+        let mut fresh = Histogram::new("h", &[10, 100]);
+        fresh.restore(&counts, total, sum, max);
+        assert_eq!(fresh.counts(), h.counts());
+        assert_eq!(fresh.total(), 3);
+        assert_eq!(fresh.mean(), h.mean());
+        assert_eq!(fresh.max(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "buckets")]
+    fn restore_rejects_bucket_drift() {
+        let mut h = Histogram::new("h", &[10, 100]);
+        h.restore(&[1, 2], 3, 4, 5);
     }
 }

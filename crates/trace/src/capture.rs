@@ -14,15 +14,119 @@ use crate::codec::{TraceKind, TraceRecord, TraceWriter};
 use cmpsim_engine::Cycle;
 use cmpsim_mem::{sentinel, Addr, CpuId, MemRequest, MemResult, MemStats, MemorySystem, PortUtil};
 use std::cell::RefCell;
+use std::fs::File;
 use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
+
+/// A file that materializes atomically: every byte goes to `<dest>.tmp`,
+/// and only [`AtomicFile::commit`] renames it onto the destination. A
+/// crash at any earlier point leaves the destination untouched (absent,
+/// or its previous complete contents) and the torn `.tmp` behind for
+/// [`crate::salvage`] — dropping without committing deliberately does NOT
+/// delete it.
+#[derive(Debug)]
+pub struct AtomicFile {
+    file: File,
+    tmp: PathBuf,
+    dest: PathBuf,
+}
+
+impl AtomicFile {
+    /// Opens `<dest>.tmp` for writing, truncating any stale temp file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the temp-file creation failure.
+    pub fn create(dest: impl Into<PathBuf>) -> io::Result<AtomicFile> {
+        let dest = dest.into();
+        let mut tmp = dest.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile { file, tmp, dest })
+    }
+
+    /// Where bytes are accumulating until commit.
+    pub fn tmp_path(&self) -> &Path {
+        &self.tmp
+    }
+
+    /// Where [`AtomicFile::commit`] will publish the file.
+    pub fn dest_path(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Durably publishes the file: flush, sync, rename onto `dest`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush/sync/rename failures; on error the temp file is
+    /// left in place.
+    pub fn commit(mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_all()?;
+        std::fs::rename(&self.tmp, &self.dest)
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.file.write(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+/// The capture target a [`TraceSink`] writes through: either a plain
+/// caller-supplied writer (in-memory buffers, pipes, tests) or an
+/// [`AtomicFile`] that only surfaces at its destination path once the
+/// footer has landed.
+pub enum SinkOut {
+    /// A caller-supplied writer; [`SinkOut::finalize`] is a no-op.
+    Plain(Box<dyn Write>),
+    /// A temp-file-then-rename destination committed on finalize.
+    Atomic(AtomicFile),
+}
+
+impl SinkOut {
+    /// Publishes an atomic destination; no-op for a plain writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AtomicFile::commit`] failures.
+    pub fn finalize(self) -> io::Result<()> {
+        match self {
+            SinkOut::Plain(_) => Ok(()),
+            SinkOut::Atomic(f) => f.commit(),
+        }
+    }
+}
+
+impl Write for SinkOut {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        match self {
+            SinkOut::Plain(w) => w.write(data),
+            SinkOut::Atomic(f) => f.write(data),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            SinkOut::Plain(w) => w.flush(),
+            SinkOut::Atomic(f) => f.flush(),
+        }
+    }
+}
 
 /// A chunk-buffered trace writer shared between the machine (which emits
 /// region-of-interest markers and finishes the file) and the
 /// [`TracingSystem`] wrapper (which emits access records).
 #[derive(Debug)]
 pub struct TraceSink {
-    writer: TraceWriter<Box<dyn Write>>,
+    writer: TraceWriter<SinkOut>,
 }
 
 impl TraceSink {
@@ -33,6 +137,25 @@ impl TraceSink {
     ///
     /// Propagates header-write failures.
     pub fn new(out: Box<dyn Write>, n_cpus: usize, line_bytes: u32) -> io::Result<TraceSink> {
+        Ok(TraceSink {
+            writer: TraceWriter::new(SinkOut::Plain(out), n_cpus, line_bytes)?,
+        })
+    }
+
+    /// Starts a sink capturing to `path` through an [`AtomicFile`]: the
+    /// trace lands at `<path>.tmp` and renames onto `path` only when
+    /// [`TraceSink::finish`] has written the footer, so a killed run
+    /// never leaves a torn file at the published path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates temp-file creation and header-write failures.
+    pub fn new_atomic(
+        path: impl Into<PathBuf>,
+        n_cpus: usize,
+        line_bytes: u32,
+    ) -> io::Result<TraceSink> {
+        let out = SinkOut::Atomic(AtomicFile::create(path)?);
         Ok(TraceSink {
             writer: TraceWriter::new(out, n_cpus, line_bytes)?,
         })
@@ -71,10 +194,15 @@ impl TraceSink {
             .unwrap_or_else(|e| panic!("trace capture failed: {e}"));
     }
 
-    /// Flushes pending records and writes the footer. Idempotent; also
-    /// runs (best-effort) on drop.
+    /// Flushes pending records, writes the footer, and — for an atomic
+    /// sink — renames the temp file onto its destination. Idempotent.
+    /// Drop writes the footer best-effort but never commits the rename,
+    /// so an unfinished atomic capture stays at `<path>.tmp`.
     pub fn finish(&mut self) -> io::Result<()> {
-        self.writer.finish()
+        match self.writer.finish_into_inner()? {
+            Some(out) => out.finalize(),
+            None => Ok(()),
+        }
     }
 
     /// Records captured so far.
@@ -214,6 +342,22 @@ impl Write for SharedBuf {
 pub fn sink_to(out: Box<dyn Write>, n_cpus: usize, line_bytes: u32) -> io::Result<SinkHandle> {
     Ok(Rc::new(RefCell::new(TraceSink::new(
         out, n_cpus, line_bytes,
+    )?)))
+}
+
+/// Builds a sink/handle pair capturing crash-safely to `path` (see
+/// [`TraceSink::new_atomic`]).
+///
+/// # Errors
+///
+/// Propagates temp-file creation and header-write failures.
+pub fn sink_to_path(
+    path: impl Into<PathBuf>,
+    n_cpus: usize,
+    line_bytes: u32,
+) -> io::Result<SinkHandle> {
+    Ok(Rc::new(RefCell::new(TraceSink::new_atomic(
+        path, n_cpus, line_bytes,
     )?)))
 }
 

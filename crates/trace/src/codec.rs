@@ -563,8 +563,16 @@ impl<W: Write> TraceWriter<W> {
 
     /// Flushes the final partial chunk and the footer. Idempotent.
     pub fn finish(&mut self) -> io::Result<()> {
+        self.finish_into_inner().map(drop)
+    }
+
+    /// [`TraceWriter::finish`] that hands the sealed sink back to the
+    /// caller — the hook crash-safe capture needs: the caller can commit
+    /// an atomic temp-file rename only *after* the footer landed. Returns
+    /// `None` on every call after the first (finish is idempotent).
+    pub fn finish_into_inner(&mut self) -> io::Result<Option<W>> {
         if self.out.is_none() {
-            return Ok(());
+            return Ok(None);
         }
         self.flush_chunk()?;
         let mut out = self.out.take().expect("checked above");
@@ -572,7 +580,7 @@ impl<W: Write> TraceWriter<W> {
         out.write_all(&self.records.to_le_bytes())?;
         out.flush()?;
         self.bytes += 12;
-        Ok(())
+        Ok(Some(out))
     }
 
     /// Records written so far (including still-buffered ones).
@@ -933,6 +941,146 @@ pub fn decode_chunk(bytes: &[u8], frame: &ChunkFrame) -> Result<Vec<TraceRecord>
         return Err(TraceError::ChunkOverrun { chunk: frame.index });
     }
     Ok(out)
+}
+
+/// What a lenient [`salvage`] pass recovered from a torn or corrupted
+/// trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Salvage {
+    /// The validated file header.
+    pub header: TraceHeader,
+    /// Every record recovered, in stream order. Records from skipped
+    /// chunks are absent — the stream has gaps where chunks were bad.
+    pub records: Vec<TraceRecord>,
+    /// Chunks whose payload verified and decoded.
+    pub chunks_recovered: u64,
+    /// Chunks whose framing was intact but whose payload failed its
+    /// checksum, restart preamble, or decode (v2 only: a bad v1 chunk
+    /// ends the walk instead, because later v1 chunks need its final
+    /// delta state as their baseline).
+    pub chunks_skipped: u64,
+    /// Bytes abandoned at the tail: a torn chunk header, a partial
+    /// payload, a missing footer, or trailing garbage after it.
+    pub bytes_dropped: usize,
+    /// Whether the file ends with an intact footer whose record total
+    /// matches the sum of every chunk's declared count and nothing
+    /// follows it. `true` means the file was finalized, not torn —
+    /// skipped chunks can still make `records` incomplete.
+    pub clean_eof: bool,
+}
+
+/// Recovers every intact chunk from a torn or corrupted in-memory trace.
+///
+/// Where [`decode`] rejects the whole file on the first framing or
+/// payload error, this walks leniently: torn framing at the tail (the
+/// usual result of a `kill -9` or disk-full mid-capture) drops only the
+/// unfinished bytes; a v2 chunk with a bad checksum or payload is
+/// skipped and the walk continues, because every v2 chunk carries a
+/// restart preamble and decodes independently. A bad v1 chunk ends the
+/// walk — chunks after it would inherit a poisoned delta baseline.
+///
+/// # Errors
+///
+/// Only an unusable header (`Truncated`, `BadMagic`, `BadVersion`) —
+/// with fewer than 8 intact leading bytes there is nothing to salvage.
+pub fn salvage(bytes: &[u8]) -> Result<Salvage, TraceError> {
+    let mut pos = 0usize;
+    let header = parse_header(bytes, &mut pos)?;
+    let mut out = Salvage {
+        header,
+        records: Vec::new(),
+        chunks_recovered: 0,
+        chunks_skipped: 0,
+        bytes_dropped: 0,
+        clean_eof: false,
+    };
+    // v1 chunks chain their delta state; v2 chunks each re-seed from
+    // their restart preamble, so `state` is only carried for v1.
+    let mut state = DeltaState::default();
+    let mut declared = 0u64;
+    loop {
+        let frame_start = pos;
+        let Some(len_bytes) = take::<4>(bytes, &mut pos) else {
+            out.bytes_dropped = bytes.len() - frame_start;
+            return Ok(out);
+        };
+        let payload_len = u32::from_le_bytes(len_bytes);
+        if payload_len == FOOTER_SENTINEL {
+            let Some(total_bytes) = take::<8>(bytes, &mut pos) else {
+                out.bytes_dropped = bytes.len() - frame_start;
+                return Ok(out);
+            };
+            let total = u64::from_le_bytes(total_bytes);
+            out.clean_eof = total == declared && pos == bytes.len();
+            out.bytes_dropped = bytes.len() - pos;
+            return Ok(out);
+        }
+        let (Some(n_bytes), Some(sum_bytes)) =
+            (take::<4>(bytes, &mut pos), take::<8>(bytes, &mut pos))
+        else {
+            out.bytes_dropped = bytes.len() - frame_start;
+            return Ok(out);
+        };
+        let n_records = u32::from_le_bytes(n_bytes);
+        let checksum = u64::from_le_bytes(sum_bytes);
+        let Some(end) = pos
+            .checked_add(payload_len as usize)
+            .filter(|&e| e <= bytes.len())
+        else {
+            out.bytes_dropped = bytes.len() - frame_start;
+            return Ok(out);
+        };
+        let payload = &bytes[pos..end];
+        pos = end;
+        declared += u64::from(n_records);
+        // From here the framing is intact; payload faults are per-chunk.
+        let decoded =
+            decode_salvage_payload(header.version, payload, checksum, n_records, &mut state);
+        match decoded {
+            Some(records) => {
+                out.records.extend(records);
+                out.chunks_recovered += 1;
+            }
+            None if header.version == VERSION_V1 => {
+                // Later v1 chunks have no baseline without this one.
+                out.chunks_skipped += 1;
+                out.bytes_dropped = bytes.len() - pos;
+                return Ok(out);
+            }
+            None => out.chunks_skipped += 1,
+        }
+    }
+}
+
+/// Verifies and decodes one chunk payload during [`salvage`], returning
+/// `None` on any fault. For v1, `state` chains across chunks and is only
+/// advanced when the whole chunk decodes.
+fn decode_salvage_payload(
+    version: u8,
+    payload: &[u8],
+    checksum: u64,
+    n_records: u32,
+    state: &mut DeltaState,
+) -> Option<Vec<TraceRecord>> {
+    if fnv1a(payload) != checksum {
+        return None;
+    }
+    let mut pos = 0usize;
+    let mut local = if version == VERSION {
+        DeltaState::read_restart(payload, &mut pos)?
+    } else {
+        *state
+    };
+    let mut records = Vec::with_capacity(n_records as usize);
+    if !decode_records(payload, &mut pos, n_records, &mut local, &mut records)
+        || pos != payload.len()
+    {
+        return None;
+    }
+    if version == VERSION_V1 {
+        *state = local;
+    }
+    Some(records)
 }
 
 /// Decodes an in-memory trace, validating every chunk and the footer.

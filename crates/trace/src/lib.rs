@@ -5,7 +5,10 @@
 //! - **Capture** ([`capture`]): [`TracingSystem`] decorates any
 //!   [`MemorySystem`](cmpsim_mem::MemorySystem) at the CPU → memory
 //!   boundary and streams every issued request into a [`TraceSink`].
-//!   Nothing installed ⇒ exactly zero overhead.
+//!   Nothing installed ⇒ exactly zero overhead. File capture is
+//!   crash-safe: [`sink_to_path`] writes through an [`AtomicFile`] that
+//!   renames onto the destination only after the footer lands, and
+//!   [`salvage`] recovers every intact chunk from a torn `.tmp`.
 //! - **Codec** ([`codec`]): a chunked binary format — delta-encoded
 //!   cycles/addresses as zigzag LEB128 varints, FNV-1a checksummed
 //!   chunks, a footer that doubles as a truncation detector. Format v2
@@ -31,11 +34,14 @@ pub mod codec;
 pub mod replay;
 
 pub use analyze::{analyze, analyze_bytes, comm_matrix, TraceAnalysis};
-pub use capture::{sink_to, SharedBuf, SinkHandle, TraceSink, TracingSystem};
+pub use capture::{
+    sink_to, sink_to_path, AtomicFile, SharedBuf, SinkHandle, SinkOut, TraceSink, TracingSystem,
+};
 pub use codec::{
     decode, decode_chunk, decode_parallel, decode_parallel_with_header, decode_with_header, encode,
-    encode_with_version, rewrite_v2, scan_chunks, ChunkFrame, TraceError, TraceHeader, TraceKind,
-    TraceReader, TraceRecord, TraceWriter, ENV_TRACE_FORMAT, VERSION, VERSION_V1,
+    encode_with_version, rewrite_v2, salvage, scan_chunks, ChunkFrame, Salvage, TraceError,
+    TraceHeader, TraceKind, TraceReader, TraceRecord, TraceWriter, ENV_TRACE_FORMAT, VERSION,
+    VERSION_V1,
 };
 pub use replay::{
     count_accesses, kind_totals, replay_bytes, replay_jobs, replay_matrix, replay_reader,

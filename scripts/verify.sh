@@ -30,11 +30,28 @@
 #    the whole parallel trace pipeline to the execution-driven digests.
 #    This is the capture/replay fidelity contract: a trace carries
 #    everything the memory system ever sees, at any job count.
+# 6b. Kill-and-resume: the quick matrix runs with CMPSIM_RESUME pointing
+#    at a fresh journal and CMPSIM_KILL_AFTER=28 — the sweep SIGKILLs
+#    itself after journaling its 28th row. A second run with only
+#    CMPSIM_RESUME set must report exactly 28 resumed rows and emit
+#    stdout byte-identical to the uninterrupted sweep: a crashed host
+#    loses no completed work and changes no bytes.
+# 6c. Quarantine: the quick matrix runs with CMPSIM_MATRIX_PANIC
+#    poisoning one case (mp3d:shared-L2:mipsy) to panic on every
+#    attempt. The sweep must exit nonzero, report the quarantined case
+#    on stderr, and emit every OTHER row byte-identical to the clean
+#    sweep — one poisoned job never takes the sweep down with it.
 # 8b. Trace-format migration: a run captured in the legacy v1 format
 #    (CMPSIM_TRACE_FORMAT=1) is rewritten to v2 with `cmpsim replay
 #    --rewrite`, and replaying the original and the rewrite must print
 #    identical reports (MemStats, ports, stream profile) — the v1→v2
 #    round-trip changes bytes, never results.
+# 8c. Trace salvage: the v2 capture from (8b) is truncated at 60%, 85%
+#    and 99% of its length. Strict replay must reject every torn file;
+#    `cmpsim replay --salvage` must recover every intact chunk, and
+#    replaying the salvaged records must match `--salvage --head N` on
+#    the intact file (N = the salvaged record count) byte for byte — a
+#    torn capture degrades to a clean prefix, never to wrong results.
 # 9. Shard identity: the quick digest matrix runs again with
 #    CMPSIM_SHARDS=4 — the sharded machine loop staging instructions
 #    ahead on worker threads (DESIGN.md §12) — and must produce
@@ -42,10 +59,11 @@
 #    on. Shard count is a host-time knob, never a results knob.
 # 10. Quick simulator-speed check: the sim_throughput, shard_sweep and
 #    replay_sweep benches in quick mode (CMPSIM_BENCH_QUICK=1) appended
-#    to BENCH_pr7.json, so every verification leaves a dated throughput
-#    record (sentinel overhead, geometry rows, the trace-replay sweep,
-#    the shard-scaling sweep, and the parallel decode/batched-replay
-#    sweep included) next to the pre/post-PR entries.
+#    to BENCH_pr8.json, so every verification leaves a dated throughput
+#    record (sentinel overhead, supervised-vs-plain sweep overhead,
+#    geometry rows, the trace-replay sweep, the shard-scaling sweep,
+#    and the parallel decode/batched-replay sweep included) next to
+#    the pre/post-PR entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -76,6 +94,9 @@ echo "== doc gate: cargo doc --no-deps with warnings denied =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "ok: rustdoc is clean"
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
 echo "== sentinel pass + golden digest: quick matrix, checker on vs off =="
 matrix_off=$(CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
 matrix_on=$(CMPSIM_SENTINEL=1 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
@@ -94,6 +115,55 @@ if ! printf '%s\n' "$matrix_off" | head -n "$(wc -l < "$golden")" | diff -q - "$
 fi
 echo "ok: default-row digests match the golden file"
 
+echo "== kill-and-resume: SIGKILL mid-sweep, CMPSIM_RESUME replays the journal =="
+journal="$tmpdir/matrix.jrnl"
+set +e
+CMPSIM_RESUME="$journal" CMPSIM_KILL_AFTER=28 CMPSIM_MATRIX_SCALE=0.02 \
+    cargo bench -q -p cmpsim-bench --bench summary_matrix \
+    > "$tmpdir/killed.out" 2> "$tmpdir/killed.err"
+killed_rc=$?
+set -e
+if [ "$killed_rc" -eq 0 ]; then
+    echo "ERROR: CMPSIM_KILL_AFTER=28 sweep exited cleanly instead of dying" >&2
+    exit 1
+fi
+matrix_resumed=$(CMPSIM_RESUME="$journal" CMPSIM_MATRIX_SCALE=0.02 \
+    cargo bench -q -p cmpsim-bench --bench summary_matrix 2> "$tmpdir/resume.err" | grep '^{')
+if ! grep -q 'resumed 28 rows' "$tmpdir/resume.err"; then
+    echo "ERROR: resumed sweep did not report exactly 28 journaled rows:" >&2
+    cat "$tmpdir/resume.err" >&2
+    exit 1
+fi
+if [ "$matrix_off" != "$matrix_resumed" ]; then
+    echo "ERROR: resumed digest matrix differs from the uninterrupted sweep:" >&2
+    diff <(printf '%s\n' "$matrix_off") <(printf '%s\n' "$matrix_resumed") >&2 || true
+    exit 1
+fi
+echo "ok: killed sweep resumed 28 rows and reproduced the artifact byte-for-byte"
+
+echo "== quarantine: one poisoned case, every other row survives =="
+set +e
+CMPSIM_MATRIX_PANIC=mp3d:shared-L2:mipsy CMPSIM_RETRY=1 CMPSIM_MATRIX_SCALE=0.02 \
+    cargo bench -q -p cmpsim-bench --bench summary_matrix \
+    > "$tmpdir/poison.out" 2> "$tmpdir/poison.err"
+poison_rc=$?
+set -e
+if [ "$poison_rc" -eq 0 ]; then
+    echo "ERROR: poisoned sweep exited cleanly instead of signalling quarantine" >&2
+    exit 1
+fi
+if ! grep -q 'quarantined' "$tmpdir/poison.err"; then
+    echo "ERROR: poisoned sweep never reported a quarantine on stderr:" >&2
+    cat "$tmpdir/poison.err" >&2
+    exit 1
+fi
+if ! diff <(grep '^{' "$tmpdir/poison.out") \
+          <(printf '%s\n' "$matrix_off" | grep -v '"workload":"mp3d","arch":"shared-L2","cpu":"mipsy"'); then
+    echo "ERROR: quarantining one case perturbed other rows" >&2
+    exit 1
+fi
+echo "ok: poisoned case quarantined, every other row byte-identical"
+
 echo "== replay equivalence: quick matrix, trace replay vs execution =="
 for replay_jobs in 1 4; do
     matrix_replay=$(CMPSIM_REPLAY_JOBS=$replay_jobs CMPSIM_MATRIX_REPLAY=1 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
@@ -106,22 +176,48 @@ for replay_jobs in 1 4; do
 done
 
 echo "== trace-format migration: v1 capture -> --rewrite v2 -> identical replay =="
-tracedir=$(mktemp -d)
-trap 'rm -rf "$tracedir"' EXIT
-CMPSIM_TRACE_FORMAT=1 CMPSIM_TRACE_OUT="$tracedir/v1.trace" \
+CMPSIM_TRACE_FORMAT=1 CMPSIM_TRACE_OUT="$tmpdir/v1.trace" \
     target/release/cmpsim run --workload eqntott --scale 0.05 >/dev/null
-target/release/cmpsim replay --file "$tracedir/v1.trace" --rewrite "$tracedir/v2.trace" \
-    > "$tracedir/replay_v1.txt"
-target/release/cmpsim replay --file "$tracedir/v2.trace" > "$tracedir/replay_v2.txt"
+target/release/cmpsim replay --file "$tmpdir/v1.trace" --rewrite "$tmpdir/v2.trace" \
+    > "$tmpdir/replay_v1.txt"
+target/release/cmpsim replay --file "$tmpdir/v2.trace" > "$tmpdir/replay_v2.txt"
 # Drop the trace-path and rewrite-report lines; every result line
 # (replayed counts, miss rates, latencies, ports, stream profile) must
 # be byte-identical between the v1 original and its v2 rewrite.
-if ! diff <(grep -vE '^(trace|rewrote)' "$tracedir/replay_v1.txt") \
-          <(grep -vE '^(trace|rewrote)' "$tracedir/replay_v2.txt"); then
+if ! diff <(grep -vE '^(trace|rewrote)' "$tmpdir/replay_v1.txt") \
+          <(grep -vE '^(trace|rewrote)' "$tmpdir/replay_v2.txt"); then
     echo "ERROR: v1 trace and its --rewrite v2 migration replay differently" >&2
     exit 1
 fi
 echo "ok: v1 -> v2 rewrite round-trips to identical replay results"
+
+echo "== trace salvage: torn v2 capture recovers every intact chunk =="
+v2size=$(wc -c < "$tmpdir/v2.trace")
+for pct in 60 85 99; do
+    head -c $(( v2size * pct / 100 )) "$tmpdir/v2.trace" > "$tmpdir/torn.trace"
+    if target/release/cmpsim replay --file "$tmpdir/torn.trace" >/dev/null 2>&1; then
+        echo "ERROR: strict replay accepted a trace torn at ${pct}%" >&2
+        exit 1
+    fi
+    target/release/cmpsim replay --salvage --file "$tmpdir/torn.trace" > "$tmpdir/salv.txt"
+    n=$(sed -n 's/^salvaged.*(\([0-9][0-9]*\) records).*/\1/p' "$tmpdir/salv.txt")
+    if [ -z "$n" ] || [ "$n" -eq 0 ]; then
+        echo "ERROR: salvage of the ${pct}% torn trace recovered no records:" >&2
+        cat "$tmpdir/salv.txt" >&2
+        exit 1
+    fi
+    target/release/cmpsim replay --salvage --head "$n" --file "$tmpdir/v2.trace" \
+        > "$tmpdir/intact_head.txt"
+    # The salvaged torn file must replay exactly like the same-length
+    # prefix of the intact file — only the trace-path and salvage-report
+    # lines may differ.
+    if ! diff <(grep -vE '^(trace|salvaged)' "$tmpdir/salv.txt") \
+              <(grep -vE '^(trace|salvaged)' "$tmpdir/intact_head.txt"); then
+        echo "ERROR: salvage of the ${pct}% torn trace diverges from the intact prefix" >&2
+        exit 1
+    fi
+    echo "ok: torn at ${pct}% -> salvaged ${n} records replay identically to the intact prefix"
+done
 
 echo "== shard identity: quick matrix at CMPSIM_SHARDS=4 vs serial =="
 matrix_sharded=$(CMPSIM_SHARDS=4 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
@@ -138,13 +234,13 @@ if [ "$matrix_off" != "$matrix_sharded_on" ]; then
 fi
 echo "ok: sharded matrix is bit-identical to serial (sentinel off and on)"
 
-echo "== quick simulator-speed record -> BENCH_pr7.json =="
+echo "== quick simulator-speed record -> BENCH_pr8.json =="
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 for bench in sim_throughput shard_sweep replay_sweep; do
     CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench "$bench" 2>/dev/null \
         | grep '^{' \
         | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
-        >> BENCH_pr7.json
+        >> BENCH_pr8.json
 done
 echo "ok: appended quick sim_throughput, shard_sweep and replay_sweep records"
 

@@ -14,8 +14,11 @@ use cmpsim::core::{
     probe_latencies, ArchKind, Breakdown, CpuKind, MachineConfig, MissRates, RunSummary,
     TraceProfile, ENV_TRACE_IN,
 };
+use cmpsim::engine::journal::{Journal, JournalKey};
+use cmpsim::trace::codec::fnv1a;
 use cmpsim::trace::{
     analyze_bytes, decode_parallel_with_header, encode_with_version, replay_jobs, replay_matrix,
+    salvage, ConfigReplay,
 };
 use cmpsim_kernels::synth::{build as build_synth, SynthParams};
 use cmpsim_kernels::{build_by_name, ALL_WORKLOADS};
@@ -35,12 +38,16 @@ USAGE:
                                  across all three architectures
     cmpsim replay [--file <TRACE>] [--arch <ARCH>]... [--cpus <N>]
                  [--l2-assoc <N>] [--l1-latency <N>] [--l1-banks <N>]
-                 [--rewrite <OUT>]
+                 [--rewrite <OUT>] [--salvage] [--head <N>]
                                  replay a captured reference trace into
                                  freshly built memory systems (no CPU
                                  model); repeat --arch to batch several
                                  architectures over one decode, --rewrite
-                                 to migrate the trace to format v2
+                                 to migrate the trace to format v2,
+                                 --salvage to recover every intact chunk
+                                 of a torn/corrupted trace instead of
+                                 rejecting it, --head N to replay only
+                                 the first N records
     cmpsim probe                 measure Table 2 latencies
     cmpsim list                  list workloads and architectures
 
@@ -49,9 +56,13 @@ MODEL:  mipsy | mxs                          (default mipsy)
 NAME:   eqntott mp3d ocean volpack ear fft multiprog
 
 Set CMPSIM_TRACE_OUT=<path> on any `run` to capture its reference trace
-(CMPSIM_TRACE_FORMAT=1 pins the legacy v1 format); `replay` reads --file
-or CMPSIM_TRACE_IN, decodes chunks in parallel, and fans a multi-arch
-batch across CMPSIM_REPLAY_JOBS threads (default: host parallelism).
+crash-safely (bytes land at <path>.tmp and rename onto <path> when the
+footer is written; CMPSIM_TRACE_FORMAT=1 pins the legacy v1 format);
+`replay` reads --file or CMPSIM_TRACE_IN, decodes chunks in parallel,
+and fans a multi-arch batch across CMPSIM_REPLAY_JOBS threads (default:
+host parallelism). CMPSIM_RESUME=<path> journals each replayed
+configuration's block so an interrupted multi-arch replay restarts where
+it died with identical output.
 ";
 
 #[derive(Debug)]
@@ -175,6 +186,32 @@ fn print_summary(cpu: CpuKind, s: &RunSummary) {
     }
 }
 
+/// Renders one replayed configuration's report block — built as a string
+/// (rather than printed directly) so the replay journal can store and
+/// re-emit it byte-identically on resume.
+fn render_replay_block(cr: &ConfigReplay, cpus: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "system       : {} ({cpus} CPUs)", cr.name).expect("string write");
+    writeln!(
+        out,
+        "replayed     : {} accesses, {} ROI resets",
+        cr.replay.accesses, cr.replay.resets
+    )
+    .expect("string write");
+    writeln!(out, "miss rates   : {}", MissRates::from_mem(&cr.stats)).expect("string write");
+    writeln!(out, "access lat.  : {}", cr.stats.latency).expect("string write");
+    for u in &cr.ports {
+        writeln!(
+            out,
+            "port {:<12}: {:>9} grants, {:>9} busy cyc, {:>9} wait cyc",
+            u.name, u.grants, u.busy_cycles, u.wait_cycles
+        )
+        .expect("string write");
+    }
+    out
+}
+
 fn run_one(a: &Args, arch: ArchKind) -> Result<RunSummary, String> {
     let w = build_by_name(&a.workload, a.cpus, a.scale)?;
     let mut cfg = MachineConfig::new(arch, a.cpu);
@@ -255,6 +292,8 @@ fn main() -> ExitCode {
             let mut l1_latency = None;
             let mut l1_banks = None;
             let mut rewrite: Option<String> = None;
+            let mut do_salvage = false;
+            let mut head: Option<usize> = None;
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
                 let mut val = || {
@@ -278,6 +317,8 @@ fn main() -> ExitCode {
                         l1_banks = Some(val()?.parse().map_err(|e| format!("bad banks: {e}"))?)
                     }
                     "--rewrite" => rewrite = Some(val()?),
+                    "--salvage" => do_salvage = true,
+                    "--head" => head = Some(val()?.parse().map_err(|e| format!("bad head: {e}"))?),
                     other => return Err(format!("unknown flag `{other}`")),
                 }
             }
@@ -287,10 +328,27 @@ fn main() -> ExitCode {
             let path = file.ok_or(format!("--file or {ENV_TRACE_IN} is required"))?;
             let bytes = std::fs::read(&path).map_err(|e| format!("{path}: {e}"))?;
             let jobs = replay_jobs();
-            // Decode once (chunks fanned across the job pool for a v2
-            // trace); every configuration replays from this arena.
-            let (header, records) =
-                decode_parallel_with_header(&bytes, jobs).map_err(|e| e.to_string())?;
+            // Decode once; every configuration replays from this arena.
+            // Strict mode rejects any framing or payload fault and fans
+            // chunk decode across the job pool; --salvage walks leniently
+            // and keeps every chunk that verifies.
+            let (header, mut records) = if do_salvage {
+                let s = salvage(&bytes).map_err(|e| e.to_string())?;
+                println!(
+                    "salvaged     : {} chunks ({} records), {} skipped, {} bytes dropped, {}",
+                    s.chunks_recovered,
+                    s.records.len(),
+                    s.chunks_skipped,
+                    s.bytes_dropped,
+                    if s.clean_eof { "clean eof" } else { "torn eof" }
+                );
+                (s.header, s.records)
+            } else {
+                decode_parallel_with_header(&bytes, jobs).map_err(|e| e.to_string())?
+            };
+            if let Some(n) = head {
+                records.truncate(n);
+            }
             println!("trace        : {path}");
             if let Some(out) = rewrite {
                 let v2 = encode_with_version(
@@ -323,27 +381,71 @@ fn main() -> ExitCode {
                 })
                 .collect::<Result<_, _>>()
                 .map_err(|e| e.to_string())?;
-            let results = replay_matrix(&records, cfgs.len(), jobs, |i| {
-                let (arch, ref sc) = cfgs[i];
-                arch.try_build(sc).expect("configuration validated above")
-            });
-            for cr in &results {
-                println!("system       : {} ({cpus} CPUs)", cr.name);
-                println!(
-                    "replayed     : {} accesses, {} ROI resets",
-                    cr.replay.accesses, cr.replay.resets
-                );
-                println!("miss rates   : {}", MissRates::from_mem(&cr.stats));
-                println!("access lat.  : {}", cr.stats.latency);
-                for u in &cr.ports {
-                    println!(
-                        "port {:<12}: {:>9} grants, {:>9} busy cyc, {:>9} wait cyc",
-                        u.name, u.grants, u.busy_cycles, u.wait_cycles
-                    );
+            // With CMPSIM_RESUME set, each configuration's rendered block
+            // is journaled under (config digest, record-stream digest);
+            // a restarted replay re-emits journaled blocks verbatim and
+            // only replays the configurations that are missing.
+            let mut journal = Journal::from_env().map_err(|e| e.to_string())?;
+            let stream_digest = fnv1a(
+                format!(
+                    "cmpsim-replay-trace-v1|{:016x}|{}",
+                    fnv1a(&bytes),
+                    records.len()
+                )
+                .as_bytes(),
+            );
+            let keys: Vec<JournalKey> = cfgs
+                .iter()
+                .map(|&(arch, _)| JournalKey {
+                    config: fnv1a(
+                        format!(
+                            "cmpsim-replay-row-v1|{}|{cpus}|{l2_assoc:?}|{l1_latency:?}|{l1_banks:?}",
+                            arch.name()
+                        )
+                        .as_bytes(),
+                    ),
+                    workload: stream_digest,
+                })
+                .collect();
+            let todo: Vec<usize> = (0..cfgs.len())
+                .filter(|&i| journal.as_ref().is_none_or(|j| !j.contains(keys[i])))
+                .collect();
+            if let Some(j) = &journal {
+                let hits = cfgs.len() - todo.len();
+                if hits > 0 {
+                    eprintln!("replay: resumed {hits} rows from {}", j.path().display());
                 }
             }
-            let a = analyze_bytes(&bytes).map_err(|e| e.to_string())?;
-            println!("stream       : {}", TraceProfile::from_analysis(&a));
+            let results = replay_matrix(&records, todo.len(), jobs, |i| {
+                let (arch, ref sc) = cfgs[todo[i]];
+                arch.try_build(sc).expect("configuration validated above")
+            });
+            let mut fresh = results.iter();
+            for (i, key) in keys.iter().enumerate() {
+                let block = if todo.contains(&i) {
+                    let cr = fresh.next().expect("one result per missing row");
+                    let block = render_replay_block(cr, cpus);
+                    if let Some(j) = journal.as_mut() {
+                        j.put(*key, block.as_bytes())
+                            .map_err(|e| format!("journaling replay row: {e}"))?;
+                    }
+                    block
+                } else {
+                    let j = journal
+                        .as_ref()
+                        .expect("todo excludes rows only when journaled");
+                    String::from_utf8(j.get(*key).expect("checked above").to_vec())
+                        .map_err(|e| format!("journaled replay row not UTF-8: {e}"))?
+                };
+                print!("{block}");
+            }
+            // The stream profile decodes strictly from the raw bytes, so
+            // it has no meaning for a torn --salvage input; the replayed
+            // statistics above are the recovery product.
+            if !do_salvage {
+                let a = analyze_bytes(&bytes).map_err(|e| e.to_string())?;
+                println!("stream       : {}", TraceProfile::from_analysis(&a));
+            }
             Ok(())
         })(),
         "synth" => (|| {
