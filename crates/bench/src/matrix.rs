@@ -80,9 +80,10 @@ pub fn default_matrix(scale: f64) -> Vec<MatrixCase> {
     cases
 }
 
-/// The default matrix plus non-default geometry rows: 8-CPU machines and
+/// The default matrix plus non-default geometry rows: 8-CPU machines,
 /// alternate cluster shapes (4×2 is the default 4-CPU clustered row; the
-/// extras cover 8×(2), 8×(4) and 4×(4)), all running through
+/// extras cover 8×(2), 8×(4) and 4×(4)) and mesh tile grids (2×2 through
+/// 4×4, on their near-square defaults), all running through
 /// `SystemConfig` alone. Default rows come FIRST so the leading lines of
 /// the output stay byte-identical to the default matrix (golden-digest
 /// checks take a prefix).
@@ -104,6 +105,10 @@ pub fn extended_matrix(scale: f64) -> Vec<MatrixCase> {
     cases.push(geo(ArchKind::Clustered, CpuKind::Mxs, 8, Some(2)));
     cases.push(geo(ArchKind::Clustered, CpuKind::Mipsy, 8, Some(4)));
     cases.push(geo(ArchKind::Clustered, CpuKind::Mipsy, 4, Some(4)));
+    cases.push(geo(ArchKind::Mesh, CpuKind::Mipsy, 4, None));
+    cases.push(geo(ArchKind::Mesh, CpuKind::Mxs, 4, None));
+    cases.push(geo(ArchKind::Mesh, CpuKind::Mipsy, 8, None));
+    cases.push(geo(ArchKind::Mesh, CpuKind::Mipsy, 16, None));
     cases
 }
 
@@ -562,10 +567,13 @@ mod tests {
         let extras = &ext[def.len()..];
         assert!(extras
             .iter()
-            .all(|c| c.n_cpus != 4 || c.cpus_per_cluster.is_some()));
+            .all(|c| c.n_cpus != 4 || c.cpus_per_cluster.is_some() || c.arch == ArchKind::Mesh));
         assert!(extras
             .iter()
             .any(|c| c.arch == ArchKind::Clustered && c.cpus_per_cluster == Some(4)));
+        assert!(extras
+            .iter()
+            .any(|c| c.arch == ArchKind::Mesh && c.n_cpus == 16));
         // One geometry row end-to-end: its JSON carries the extra keys.
         let case = extras
             .iter()

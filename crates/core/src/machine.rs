@@ -7,8 +7,8 @@ use cmpsim_engine::{barrier_rounds, Cycle, ReadyHeap};
 use cmpsim_isa::HcallNo;
 use cmpsim_kernels::BuiltWorkload;
 use cmpsim_mem::{
-    AddrSpace, ClusteredSystem, ConfigError, MemStats, MemorySystem, PhysMem, SentinelSpec,
-    SentinelViolation, SharedL1System, SharedL2System, SharedMemSystem, SystemConfig,
+    AddrSpace, ClusteredSystem, ConfigError, MemStats, MemorySystem, MeshSystem, PhysMem,
+    SentinelSpec, SentinelViolation, SharedL1System, SharedL2System, SharedMemSystem, SystemConfig,
 };
 use cmpsim_trace::{sink_to, sink_to_path, SinkHandle, TracingSystem};
 use std::collections::VecDeque;
@@ -39,6 +39,11 @@ pub enum ArchKind {
     /// each sharing an L1, over the shared L2. Not part of the paper's
     /// three-way comparison, so excluded from [`ArchKind::ALL`].
     Clustered,
+    /// Scaling extension: a 2D mesh of tiles (private L1 + router each)
+    /// over the directory-kept shared L2, line-interleaved across home
+    /// tiles with XY-routed NoC traffic. Not part of the paper's
+    /// three-way comparison, so excluded from [`ArchKind::ALL`].
+    Mesh,
 }
 
 impl ArchKind {
@@ -54,6 +59,7 @@ impl ArchKind {
             ArchKind::SharedL2 => "shared-L2",
             ArchKind::SharedMem => "shared-memory",
             ArchKind::Clustered => "clustered",
+            ArchKind::Mesh => "mesh",
         }
     }
 
@@ -65,6 +71,7 @@ impl ArchKind {
             ArchKind::SharedMem => SystemConfig::paper_shared_mem(n_cpus),
             // The clustered extension shares the shared-L2 substrate.
             ArchKind::Clustered => SystemConfig::paper_shared_l2(n_cpus),
+            ArchKind::Mesh => SystemConfig::paper_mesh(n_cpus),
         }
     }
 
@@ -88,6 +95,7 @@ impl ArchKind {
             ArchKind::SharedL2 => Box::new(SharedL2System::new(cfg)),
             ArchKind::SharedMem => Box::new(SharedMemSystem::new(cfg)),
             ArchKind::Clustered => Box::new(ClusteredSystem::try_new(cfg)?),
+            ArchKind::Mesh => Box::new(MeshSystem::try_new(cfg)?),
         })
     }
 }
@@ -141,6 +149,10 @@ pub struct MachineConfig {
     /// Override the cluster geometry (clustered architecture): CPUs per
     /// cluster-shared L1. `None` keeps the paper default of 2.
     pub cpus_per_cluster: Option<usize>,
+    /// Override the tile grid (mesh architecture) as `(rows, cols)`.
+    /// `None` keeps the near-square default; rows × cols must equal
+    /// `n_cpus` or the build fails validation.
+    pub mesh_dims: Option<(usize, usize)>,
     /// Coherence-sentinel specification. `None` resolves from the
     /// environment (`CMPSIM_SENTINEL`, `CMPSIM_FAULT_RATE`,
     /// `CMPSIM_FAULT_SEED`); `Some` pins it regardless of the environment.
@@ -194,6 +206,7 @@ impl MachineConfig {
             l1_size: None,
             ideal_shared_l1: None,
             cpus_per_cluster: None,
+            mesh_dims: None,
             sentinel: None,
             stall_cycles: None,
             shards: None,
@@ -261,6 +274,9 @@ impl MachineConfig {
         }
         if let Some(k) = self.cpus_per_cluster {
             sc = sc.with_cpus_per_cluster(k);
+        }
+        if let Some((r, c)) = self.mesh_dims {
+            sc = sc.with_mesh_dims(r, c);
         }
         let ideal = self.ideal_shared_l1.unwrap_or_else(|| {
             self.cpu.is_mipsy() && matches!(self.arch, ArchKind::SharedL1 | ArchKind::Clustered)

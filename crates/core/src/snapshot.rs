@@ -96,6 +96,7 @@ fn arch_tag(a: ArchKind) -> u8 {
         ArchKind::SharedL2 => 1,
         ArchKind::SharedMem => 2,
         ArchKind::Clustered => 3,
+        ArchKind::Mesh => 4,
     }
 }
 
@@ -105,6 +106,7 @@ fn arch_from_tag(t: u8) -> Option<ArchKind> {
         1 => ArchKind::SharedL2,
         2 => ArchKind::SharedMem,
         3 => ArchKind::Clustered,
+        4 => ArchKind::Mesh,
         _ => return None,
     })
 }

@@ -23,6 +23,17 @@ const A_BASE: u32 = Layout::DATA;
 const B_BASE: u32 = Layout::DATA + 0x8000;
 const RESULT_BASE: u32 = Layout::DATA + 0x1_0000;
 
+fn lcm(a: usize, b: usize) -> usize {
+    fn gcd(a: usize, b: usize) -> usize {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    a / gcd(a, b) * b
+}
+
 fn initial_a(i: u32) -> u32 {
     i.wrapping_mul(2654435761)
 }
@@ -54,16 +65,18 @@ fn reference_total(vlen: usize, iters: u32) -> u32 {
 /// Returns an assembly error if the generated program is malformed (a bug).
 pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
     let n = params.n_cpus;
-    assert!(
-        matches!(n, 1 | 2 | 4 | 8 | 16),
-        "eqntott needs a power-of-two CPU count dividing the vector"
-    );
-    // Vector length in words, power of two: paper-scale 256 words (1 KB
-    // vectors: small working set, fine grain).
-    let vlen = params.scaled(512, 16).next_power_of_two();
+    // Vector length in words: paper-scale 256 words (1 KB vectors: small
+    // working set, fine grain), rounded up so both the master's
+    // every-16th-word mutation and the n-way split tile it exactly. At
+    // power-of-two CPU counts this is the historical power-of-two length
+    // unchanged.
+    let vlen = {
+        let base = params.scaled(512, 16).next_power_of_two();
+        let step = lcm(16, n);
+        base.div_ceil(step) * step
+    };
     let iters = params.scaled(300, 4) as u32;
     let quarter = vlen / n;
-    let qshift = (quarter * 4).trailing_zeros() as i16;
 
     let mut rt = Runtime::new();
     let mut a = Asm::new(Layout::CODE);
@@ -92,8 +105,16 @@ pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
 
     rt.barrier(&mut a, Reg::A2, n);
 
-    // Each CPU compares its quarter.
-    a.slli(Reg::T0, Reg::S7, qshift);
+    // Each CPU compares its quarter. Power-of-two strides keep the
+    // historical shift encoding (the golden digests cover it); any other
+    // CPU count multiplies.
+    let qbytes = quarter * 4;
+    if qbytes.is_power_of_two() {
+        a.slli(Reg::T0, Reg::S7, qbytes.trailing_zeros() as i16);
+    } else {
+        a.li(Reg::T0, qbytes as i64);
+        a.mul(Reg::T0, Reg::S7, Reg::T0);
+    }
     a.add(Reg::T1, Reg::S0, Reg::T0);
     a.add(Reg::T2, Reg::S1, Reg::T0);
     a.li(Reg::T3, quarter as i64);
@@ -188,6 +209,42 @@ mod tests {
         })
         .expect("builds");
         run_workload_mipsy(&w).expect("workload validates");
+    }
+
+    /// Satellite: the generator covers arbitrary CPU counts, not just the
+    /// power-of-two ladder — a non-power-of-two count picks the multiply
+    /// offset path and still validates against the Rust reference.
+    #[test]
+    fn runs_and_validates_at_a_non_power_of_two_cpu_count() {
+        let w = build(&WorkloadParams {
+            n_cpus: 6,
+            scale: 0.05,
+        })
+        .expect("builds");
+        assert_eq!(w.entries.len(), 6);
+        run_workload_mipsy(&w).expect("6-cpu run validates");
+    }
+
+    #[test]
+    fn builds_at_sixty_four_cpus() {
+        let w = build(&WorkloadParams {
+            n_cpus: 64,
+            scale: 0.05,
+        })
+        .expect("builds");
+        assert_eq!(w.entries.len(), 64);
+    }
+
+    #[test]
+    fn vector_length_tiles_master_stride_and_cpu_split() {
+        for n in [1usize, 2, 3, 5, 6, 7, 12, 64] {
+            let step = lcm(16, n);
+            assert_eq!(step % 16, 0);
+            assert_eq!(step % n, 0);
+        }
+        assert_eq!(lcm(16, 4), 16);
+        assert_eq!(lcm(16, 6), 48);
+        assert_eq!(lcm(16, 64), 64);
     }
 
     #[test]

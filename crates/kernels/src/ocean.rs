@@ -66,8 +66,10 @@ pub fn build(params: &WorkloadParams) -> Result<BuiltWorkload, AsmError> {
     let n_cpus = params.n_cpus;
     // Interior size; paper uses 130x130 points => n = 128 interior. Capped
     // at 140 so the grid fits the fixed buffer layout (the B buffer starts
-    // 0x2_9040 bytes after A).
-    let n = (params.scaled(128, 16).min(140) / n_cpus) * n_cpus;
+    // 0x2_9040 bytes after A). Floored at one row per CPU so large
+    // machines (the 64-CPU scaling study) keep a non-empty band; the
+    // buffer-fit asserts below reject CPU counts the layout cannot hold.
+    let n = ((params.scaled(128, 16).min(140) / n_cpus) * n_cpus).max(n_cpus);
     let dim = n + 2;
     let stride = (dim * 8) as u32;
     assert!(stride < 32768 / 2, "row stride must fit branch offsets");
@@ -256,6 +258,19 @@ mod tests {
         })
         .expect("builds");
         run_workload_mipsy(&w).expect("workload validates");
+    }
+
+    /// Satellite: small scales used to round the grid to zero rows per
+    /// CPU on large machines, leaving every CPU spinning in an empty
+    /// band; the floor keeps one row per CPU so 64-CPU runs terminate.
+    #[test]
+    fn grid_keeps_one_row_per_cpu_on_large_machines() {
+        let w = build(&WorkloadParams {
+            n_cpus: 64,
+            scale: 0.05,
+        })
+        .expect("builds");
+        assert_eq!(w.entries.len(), 64);
     }
 
     #[test]

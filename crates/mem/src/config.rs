@@ -1,5 +1,6 @@
 //! Configuration: cache geometries and the paper's latency/occupancy table.
 
+use crate::cpuset::CpuSet;
 use crate::sentinel::SentinelSpec;
 use crate::Addr;
 use std::fmt;
@@ -31,15 +32,25 @@ pub enum ConfigError {
         /// Requested line size in bytes.
         line_bytes: u32,
     },
-    /// CPU count exceeds what the directory presence bitmaps can track.
+    /// CPU count exceeds the validated [`CpuSet`] ceiling.
     TooManyCpus {
         /// Requested CPU count.
         n_cpus: usize,
-        /// Supported maximum.
+        /// Supported maximum ([`CpuSet::MAX_CPUS`]).
         max: usize,
     },
     /// Zero CPUs.
     NoCpus,
+    /// The mesh architecture requires its tile grid to cover the CPUs
+    /// exactly.
+    MeshGeometry {
+        /// Requested CPU count.
+        n_cpus: usize,
+        /// Requested mesh rows.
+        rows: usize,
+        /// Requested mesh columns.
+        cols: usize,
+    },
     /// The clustered architecture requires full clusters.
     PartialCluster {
         /// Requested CPU count.
@@ -94,9 +105,13 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::TooManyCpus { n_cpus, max } => write!(
                 f,
-                "{n_cpus} CPUs exceed the directory's {max}-bit presence bitmaps"
+                "{n_cpus} CPUs exceed the {max}-CPU CpuSet validation ceiling"
             ),
             ConfigError::NoCpus => write!(f, "a machine needs at least one CPU"),
+            ConfigError::MeshGeometry { n_cpus, rows, cols } => write!(
+                f,
+                "mesh tiles must cover the CPUs exactly: {rows} x {cols} != {n_cpus}"
+            ),
             ConfigError::PartialCluster {
                 n_cpus,
                 cpus_per_cluster,
@@ -302,6 +317,12 @@ pub struct SystemConfig {
     /// `clusters = n_cpus / cpus_per_cluster`. Other architectures ignore
     /// it.
     pub cpus_per_cluster: usize,
+    /// Mesh rows (mesh architecture). `mesh_rows * mesh_cols` must equal
+    /// `n_cpus`; the `paper_*` constructors derive a near-square grid.
+    /// Other architectures ignore it.
+    pub mesh_rows: usize,
+    /// Mesh columns (mesh architecture; see `mesh_rows`).
+    pub mesh_cols: usize,
     /// Idealize the shared L1 (1-cycle hit, no bank contention) — the
     /// paper's Mipsy runs do this to avoid penalizing the shared-L1
     /// architecture on a CPU model with no latency hiding.
@@ -327,6 +348,8 @@ impl SystemConfig {
             l1_banks: 4,
             l2_banks: 1,
             cpus_per_cluster: 2,
+            mesh_rows: default_mesh_dims(n_cpus).0,
+            mesh_cols: default_mesh_dims(n_cpus).1,
             ideal_shared_l1: false,
             sentinel: SentinelSpec::off(),
         }
@@ -344,9 +367,21 @@ impl SystemConfig {
             l1_banks: 1,
             l2_banks: 4,
             cpus_per_cluster: 2,
+            mesh_rows: default_mesh_dims(n_cpus).0,
+            mesh_cols: default_mesh_dims(n_cpus).1,
             ideal_shared_l1: false,
             sentinel: SentinelSpec::off(),
         }
+    }
+
+    /// Mesh/NoC architecture: per-tile write-through 16 KB L1s on a 2D
+    /// mesh of point-to-point links over the banked shared L2 (shared-L2
+    /// cache geometry and Table 2 latencies; the interconnect adds
+    /// XY-routing hop latency and per-link contention on top). The grid
+    /// defaults to the most-square factorization of `n_cpus`; override it
+    /// with [`SystemConfig::with_mesh_dims`].
+    pub fn paper_mesh(n_cpus: usize) -> SystemConfig {
+        SystemConfig::paper_shared_l2(n_cpus)
     }
 
     /// Bus-based shared-memory architecture (Figure 3): private write-back
@@ -362,6 +397,8 @@ impl SystemConfig {
             l1_banks: 1,
             l2_banks: 1,
             cpus_per_cluster: 2,
+            mesh_rows: default_mesh_dims(n_cpus).0,
+            mesh_cols: default_mesh_dims(n_cpus).1,
             ideal_shared_l1: false,
             sentinel: SentinelSpec::off(),
         }
@@ -428,25 +465,56 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the mesh tile grid (mesh architecture only); validation
+    /// requires `rows * cols == n_cpus`.
+    #[must_use]
+    pub fn with_mesh_dims(mut self, rows: usize, cols: usize) -> SystemConfig {
+        self.mesh_rows = rows;
+        self.mesh_cols = cols;
+        self
+    }
+
     /// Validates cross-field constraints the `CacheSpec`s cannot see.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if the CPU count is zero or exceeds the
-    /// 32-bit directory presence bitmaps used by the shared-L2 and
-    /// clustered systems.
+    /// [`CpuSet::MAX_CPUS`] sanity ceiling, or the mesh tile grid does not
+    /// cover the CPUs exactly.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.n_cpus == 0 {
             return Err(ConfigError::NoCpus);
         }
-        if self.n_cpus > 32 {
+        if self.n_cpus > CpuSet::MAX_CPUS {
             return Err(ConfigError::TooManyCpus {
                 n_cpus: self.n_cpus,
-                max: 32,
+                max: CpuSet::MAX_CPUS,
+            });
+        }
+        if self.mesh_rows * self.mesh_cols != self.n_cpus {
+            return Err(ConfigError::MeshGeometry {
+                n_cpus: self.n_cpus,
+                rows: self.mesh_rows,
+                cols: self.mesh_cols,
             });
         }
         Ok(())
     }
+}
+
+/// The most-square `rows x cols` factorization of `n`: rows is the
+/// largest divisor of `n` at most `sqrt(n)` (4 -> 2x2, 8 -> 2x4,
+/// 64 -> 8x8, primes -> 1xn).
+fn default_mesh_dims(n: usize) -> (usize, usize) {
+    let mut rows = 1;
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            rows = d;
+        }
+        d += 1;
+    }
+    (rows, n / rows)
 }
 
 #[cfg(test)]
@@ -503,16 +571,58 @@ mod tests {
         assert!(SystemConfig::paper_shared_l2(4).validate().is_ok());
         assert!(SystemConfig::paper_shared_l2(8).validate().is_ok());
         assert!(SystemConfig::paper_shared_l2(32).validate().is_ok());
+        // The old 32-CPU presence-bitmap ceiling is gone: any count up to
+        // the CpuSet sanity bound validates.
+        assert!(SystemConfig::paper_shared_l2(33).validate().is_ok());
+        assert!(SystemConfig::paper_shared_l2(64).validate().is_ok());
+        assert!(SystemConfig::paper_shared_l2(CpuSet::MAX_CPUS)
+            .validate()
+            .is_ok());
         assert_eq!(
-            SystemConfig::paper_shared_l2(33).validate(),
+            SystemConfig::paper_shared_l2(CpuSet::MAX_CPUS + 1).validate(),
             Err(ConfigError::TooManyCpus {
-                n_cpus: 33,
-                max: 32
+                n_cpus: CpuSet::MAX_CPUS + 1,
+                max: CpuSet::MAX_CPUS
             })
         );
         assert_eq!(
             SystemConfig::paper_shared_l2(0).validate(),
             Err(ConfigError::NoCpus)
+        );
+    }
+
+    #[test]
+    fn mesh_dims_must_tile_the_cpus_exactly() {
+        // Constructors derive a near-square grid that always validates.
+        let c = SystemConfig::paper_mesh(16);
+        assert_eq!((c.mesh_rows, c.mesh_cols), (4, 4));
+        assert!(c.validate().is_ok());
+        assert_eq!(
+            {
+                let c = SystemConfig::paper_mesh(8);
+                (c.mesh_rows, c.mesh_cols)
+            },
+            (2, 4)
+        );
+        assert_eq!(
+            {
+                let c = SystemConfig::paper_mesh(7);
+                (c.mesh_rows, c.mesh_cols)
+            },
+            (1, 7)
+        );
+        // Explicit grids validate iff rows * cols == n_cpus.
+        assert!(SystemConfig::paper_mesh(12)
+            .with_mesh_dims(3, 4)
+            .validate()
+            .is_ok());
+        assert_eq!(
+            SystemConfig::paper_mesh(16).with_mesh_dims(3, 4).validate(),
+            Err(ConfigError::MeshGeometry {
+                n_cpus: 16,
+                rows: 3,
+                cols: 4
+            })
         );
     }
 

@@ -12,6 +12,7 @@ use super::frontend::NodeMap;
 use super::{util_of_banks, util_of_port, HierarchyCore, Topology};
 use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
 use crate::config::{CacheSpec, SystemConfig};
+use crate::cpuset::CpuSet;
 use crate::sentinel::{FaultKind, Sentinel, ViolationKind};
 use crate::stats::MemStats;
 use crate::{AccessKind, Addr, CpuId, MemRequest, MemResult, PortUtil, ServiceLevel};
@@ -30,10 +31,11 @@ use std::marker::PhantomData;
 /// instead of hashing into a side map.
 #[derive(Debug)]
 pub struct Directory {
-    /// Per-L2-way (d-side presence bits, i-side presence bits), one bit
-    /// per node (up to 32 nodes). `(0, 0)` for ways holding no tracked
-    /// line; invariant: bits are zero whenever the way is invalid.
-    slots: Vec<(u32, u32)>,
+    /// Per-L2-way (d-side presence set, i-side presence set), one
+    /// [`CpuSet`] member per node. Empty pairs for ways holding no
+    /// tracked line; invariant: both sets are empty whenever the way is
+    /// invalid.
+    slots: Vec<(CpuSet, CpuSet)>,
     n_nodes: usize,
 }
 
@@ -42,7 +44,7 @@ impl Directory {
     /// `n_slots` way slots.
     pub fn new(n_nodes: usize, n_slots: usize) -> Directory {
         Directory {
-            slots: vec![(0, 0); n_slots],
+            slots: vec![(CpuSet::EMPTY, CpuSet::EMPTY); n_slots],
             n_nodes,
         }
     }
@@ -63,22 +65,22 @@ impl Directory {
         if let Some(slot) = l2.slot_of(line) {
             let entry = &mut self.slots[slot];
             if ifetch {
-                entry.1 |= 1 << node;
+                entry.1.set(node);
             } else {
-                entry.0 |= 1 << node;
+                entry.0.set(node);
             }
             if spurious {
                 let ghost = (node + 1) % self.n_nodes;
-                entry.0 |= 1 << ghost;
+                entry.0.set(ghost);
             }
         }
         if let Some(v) = victim {
             if let Some(slot) = l2.slot_of(v) {
                 let e = &mut self.slots[slot];
                 if ifetch {
-                    e.1 &= !(1 << node);
+                    e.1.clear(node);
                 } else {
-                    e.0 &= !(1 << node);
+                    e.0.clear(node);
                 }
             }
         }
@@ -106,19 +108,18 @@ impl Directory {
             return;
         };
         let (d, i) = &mut self.slots[slot];
-        let keep = !(1u32 << writer);
-        let d_victims = *d & keep;
-        let i_victims = *i & keep;
-        if d_victims | i_victims == 0 {
+        if !d.contains_other(writer) && !i.contains_other(writer) {
             // Common case: only the writer holds the line — one map probe,
             // no victim walk. (Every store funnels through here.)
             return;
         }
-        *d &= !d_victims;
-        *i &= !i_victims;
+        let d_victims = d.except(writer);
+        let i_victims = i.except(writer);
+        d.subtract(&d_victims);
+        i.subtract(&i_victims);
         let mut drop_one = sentinel.inject(FaultKind::DroppedInvalidation, line);
         for node in 0..self.n_nodes {
-            if d_victims & (1 << node) != 0 {
+            if d_victims.contains(node) {
                 if drop_one {
                     drop_one = false;
                 } else {
@@ -126,7 +127,7 @@ impl Directory {
                 }
                 stats.invalidations_sent += 1;
             }
-            if i_victims & (1 << node) != 0 {
+            if i_victims.contains(node) {
                 if drop_one {
                     drop_one = false;
                 } else {
@@ -151,14 +152,14 @@ impl Directory {
         line: Addr,
     ) {
         let (d_bits, i_bits) = std::mem::take(&mut self.slots[slot]);
-        if d_bits | i_bits == 0 {
+        if d_bits.is_empty() && i_bits.is_empty() {
             return;
         }
         for node in 0..self.n_nodes {
-            if d_bits & (1 << node) != 0 {
+            if d_bits.contains(node) {
                 l1d[node].evict(line);
             }
-            if i_bits & (1 << node) != 0 {
+            if i_bits.contains(node) {
                 l1i[node].evict(line);
             }
         }
@@ -174,26 +175,26 @@ impl Directory {
                     let Some(slot) = l2.slot_of(line) else {
                         return false; // inclusion violated
                     };
-                    let (d, i) = self.slots[slot];
+                    let (d, i) = &self.slots[slot];
                     let bits = if side == 0 { d } else { i };
-                    if bits & (1 << node) == 0 {
+                    if !bits.contains(node) {
                         return false;
                     }
                 }
             }
         }
-        for (slot, &(d_bits, i_bits)) in self.slots.iter().enumerate() {
-            if d_bits | i_bits == 0 {
+        for (slot, (d_bits, i_bits)) in self.slots.iter().enumerate() {
+            if d_bits.is_empty() && i_bits.is_empty() {
                 continue;
             }
             let Some(line) = l2.line_at_slot(slot) else {
                 return false; // presence bits on an invalid L2 way
             };
             for node in 0..self.n_nodes {
-                if d_bits & (1 << node) != 0 && !l1d[node].probe(line).is_valid() {
+                if d_bits.contains(node) && !l1d[node].probe(line).is_valid() {
                     return false;
                 }
-                if i_bits & (1 << node) != 0 && !l1i[node].probe(line).is_valid() {
+                if i_bits.contains(node) && !l1i[node].probe(line).is_valid() {
                     return false;
                 }
             }
@@ -218,14 +219,15 @@ impl Directory {
         cpu: CpuId,
         line: Addr,
     ) {
+        static EMPTY: (CpuSet, CpuSet) = (CpuSet::EMPTY, CpuSet::EMPTY);
         let slot = l2.slot_of(line);
-        let (d_bits, i_bits) = slot.map_or((0, 0), |s| self.slots[s]);
+        let (d_bits, i_bits) = slot.map_or(&EMPTY, |s| &self.slots[s]);
         let l2_valid = slot.is_some();
         let mut found: Vec<(ViolationKind, String)> = Vec::new();
         for n in 0..self.n_nodes {
             for (cache, bits, side) in [(&l1d[n], d_bits, "l1d"), (&l1i[n], i_bits, "l1i")] {
                 let state = cache.probe(line);
-                let bit = bits & (1 << n) != 0;
+                let bit = bits.contains(n);
                 if state.is_valid() && !bit {
                     found.push((
                         ViolationKind::CopyWithoutPresence,

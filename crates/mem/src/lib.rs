@@ -12,10 +12,11 @@
 //!   blocks (L1 frontend, directory/invalidation engine, MESI snooping,
 //!   sentinel hooks, `MemorySystem` boilerplate) every architecture is
 //!   assembled from.
-//! * The four topologies behind the [`MemorySystem`] trait:
-//!   [`SharedL1System`], [`SharedL2System`], [`SharedMemSystem`] and
-//!   [`ClusteredSystem`] — each a thin geometry description over the
-//!   hierarchy core, generic over `n_cpus` and cluster geometry.
+//! * The five topologies behind the [`MemorySystem`] trait:
+//!   [`SharedL1System`], [`SharedL2System`], [`SharedMemSystem`],
+//!   [`ClusteredSystem`] and [`MeshSystem`] — each a thin geometry
+//!   description over the hierarchy core, generic over `n_cpus` and
+//!   cluster/grid geometry.
 //! * [`WriteBuffer`] — the per-CPU store buffer both CPU models drain
 //!   stores through.
 //!
@@ -40,6 +41,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod cpuset;
 pub mod hierarchy;
 pub mod phys;
 pub mod sentinel;
@@ -50,6 +52,7 @@ pub mod wbuf;
 
 pub use cache::{AccessOutcome, CacheArray, LineState, MissKind, Victim};
 pub use config::{CacheSpec, ConfigError, LatencySpec, SystemConfig};
+pub use cpuset::CpuSet;
 pub use phys::{AddrSpace, PhysMem, KERNEL_BASE};
 pub use sentinel::{
     FaultClassSet, FaultInjector, FaultKind, Sentinel, SentinelSpec, SentinelViolation,
@@ -57,7 +60,7 @@ pub use sentinel::{
 };
 pub use slice::SliceJournal;
 pub use stats::{LevelStats, MemStats};
-pub use systems::{ClusteredSystem, SharedL1System, SharedL2System, SharedMemSystem};
+pub use systems::{ClusteredSystem, MeshSystem, SharedL1System, SharedL2System, SharedMemSystem};
 pub use wbuf::WriteBuffer;
 
 use cmpsim_engine::Cycle;

@@ -14,6 +14,7 @@
 //! plus a 64-bit bloom filter in front keeps the common no-conflict case to
 //! one multiply and one test.
 
+use crate::cpuset::CpuSet;
 use crate::{Addr, CpuId};
 use cmpsim_engine::FastMap;
 
@@ -40,8 +41,8 @@ pub struct SliceJournal {
     /// 64-bit bloom over recorded words: a miss proves no conflict without
     /// touching the map.
     bloom: u64,
-    /// Word address → bitmask of CPUs that stored to it this round.
-    words: FastMap<Addr, u64>,
+    /// Word address → set of CPUs that stored to it this round.
+    words: FastMap<Addr, CpuSet>,
 }
 
 impl SliceJournal {
@@ -58,7 +59,10 @@ impl SliceJournal {
 
     /// Sets the CPU id attributed to subsequent stores.
     pub fn set_cpu(&mut self, cpu: CpuId) {
-        debug_assert!(cpu < 64, "journal CPU bitmask holds at most 64 CPUs");
+        debug_assert!(
+            cpu < CpuSet::MAX_CPUS,
+            "journal CPU id beyond the validated CpuSet ceiling"
+        );
         self.cpu = cpu;
     }
 
@@ -66,7 +70,7 @@ impl SliceJournal {
     /// the current CPU.
     pub fn record(&mut self, word: Addr) {
         self.bloom |= Self::bloom_bit(word);
-        *self.words.entry(word).or_insert(0) |= 1u64 << self.cpu;
+        self.words.entry(word).or_default().set(self.cpu);
     }
 
     /// Whether any CPU other than `reader` stored to `word` this round.
@@ -76,7 +80,7 @@ impl SliceJournal {
             return false;
         }
         match self.words.get(&word) {
-            Some(mask) => mask & !(1u64 << reader) != 0,
+            Some(set) => set.contains_other(reader),
             None => false,
         }
     }

@@ -1,0 +1,462 @@
+//! Mesh/NoC architecture: a 2D grid of tiles over a directory-kept shared
+//! L2 — the many-core extension the ROADMAP's MemPool direction calls for.
+//!
+//! Each CPU owns one *tile*: a private write-through L1 (shared-L2 cache
+//! geometry and Table 2 latencies) plus a router with four outgoing links
+//! (east/west/south/north) to its grid neighbours. The shared L2 is
+//! distributed across the tiles line-interleaved — line `k` lives in the
+//! L2 slice at tile `k % n_tiles` — so an L1 miss travels the mesh to its
+//! *home tile* under dimension-ordered XY routing (columns first, then
+//! rows), paying one [`LINK_LAT`]-cycle hop per link and contending for
+//! each directed link it crosses ([`LINK_OCC`]-cycle occupancy per
+//! transfer, event-driven [`Port`] reservations like every other resource
+//! in the simulator). The response retraces the path latency-only — the
+//! return network is modeled as contention-free, the usual
+//! separate-virtual-network assumption.
+//!
+//! Coherence is the same per-line directory scheme as the shared-L2
+//! architecture ([`Directory`]): write-through no-write-allocate L1s,
+//! invalidations on writes and replacements, handled at the home tile.
+//! Only the interconnect differs — a crossbar reaches any bank in a fixed
+//! 14 cycles, while the mesh pays `l2_lat + 2 * hops * LINK_LAT`, which
+//! is what makes the topology scale past the crossbar's port limits.
+
+use crate::cache::{AccessOutcome, CacheArray, LineState, MissKind};
+use crate::config::{ConfigError, SystemConfig};
+use crate::hierarchy::{
+    util_of_banks, util_of_port, Directory, HierarchyCore, HierarchySystem, SharedL2Back, Topology,
+};
+use crate::{AccessKind, Addr, CpuId, MemRequest, MemResult, PortUtil, ServiceLevel};
+use cmpsim_engine::{Cycle, Port};
+
+/// Latency of one router-to-router hop, in cycles.
+pub const LINK_LAT: u64 = 1;
+
+/// Cycles a line transfer occupies each directed link it crosses.
+pub const LINK_OCC: u64 = 1;
+
+/// Outgoing-link slots per tile, in `links` index order.
+const E: usize = 0;
+const W: usize = 1;
+const S: usize = 2;
+const N: usize = 3;
+
+/// The mesh multiprocessor memory system.
+pub type MeshSystem = HierarchySystem<MeshTopo>;
+
+/// The mesh topology: per-tile L1s, per-tile routers with directed links,
+/// a line-interleaved home-tile map, and the directory-kept shared L2.
+#[derive(Debug)]
+pub struct MeshTopo {
+    rows: usize,
+    cols: usize,
+    l1i: Vec<CacheArray>,
+    l1d: Vec<CacheArray>,
+    /// Directed links, `tile * 4 + direction`. Edge tiles keep unused
+    /// ports (never reserved) so indexing stays branch-free.
+    links: Vec<Port>,
+    dir: Directory,
+    back: SharedL2Back,
+}
+
+impl MeshSystem {
+    /// Builds the system from a configuration (see
+    /// [`SystemConfig::paper_mesh`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; use [`MeshSystem::try_new`] to
+    /// reject one without unwinding.
+    pub fn new(cfg: &SystemConfig) -> MeshSystem {
+        MeshSystem::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the system, validating the tile grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration fails
+    /// [`SystemConfig::validate`] — in particular when
+    /// `mesh_rows * mesh_cols != n_cpus`.
+    pub fn try_new(cfg: &SystemConfig) -> Result<MeshSystem, ConfigError> {
+        cfg.validate()?;
+        let n = cfg.n_cpus;
+        let back = SharedL2Back::new(cfg);
+        let topo = MeshTopo {
+            rows: cfg.mesh_rows,
+            cols: cfg.mesh_cols,
+            l1i: (0..n).map(|_| CacheArray::new("l1i", cfg.l1i)).collect(),
+            l1d: (0..n).map(|_| CacheArray::new("l1d", cfg.l1d)).collect(),
+            links: (0..n * 4).map(|_| Port::new("mesh-link")).collect(),
+            dir: Directory::new(n, back.l2.n_slots()),
+            back,
+        };
+        Ok(HierarchySystem::from_parts(cfg, topo))
+    }
+
+    /// The tile grid as `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.topo().rows, self.topo().cols)
+    }
+
+    /// Read-only view of one tile's L1 data cache (tests, probes).
+    pub fn l1d(&self, cpu: usize) -> &CacheArray {
+        &self.topo().l1d[cpu]
+    }
+
+    /// Read-only view of the shared L2 (tests, probes).
+    pub fn l2(&self) -> &CacheArray {
+        &self.topo().back.l2
+    }
+
+    /// Full-state directory consistency check (see
+    /// [`Directory::consistent`]).
+    pub fn directory_consistent(&self) -> bool {
+        let t = self.topo();
+        t.dir.consistent(&t.l1d, &t.l1i, &t.back.l2)
+    }
+}
+
+impl MeshTopo {
+    /// The tile whose L2 slice is home to `addr`'s line.
+    #[inline]
+    fn home_of(&self, addr: Addr) -> usize {
+        let line = addr / self.back.l2.spec().line_bytes;
+        line as usize % (self.rows * self.cols)
+    }
+
+    /// Routes a request from tile `from` to tile `to` under XY routing,
+    /// reserving every directed link crossed. Returns the arrival time and
+    /// the hop count (the response retraces the same distance
+    /// latency-only).
+    fn route(&mut self, from: usize, to: usize, start: Cycle) -> (Cycle, u64) {
+        let (mut r, mut c) = (from / self.cols, from % self.cols);
+        let (tr, tc) = (to / self.cols, to % self.cols);
+        let mut t = start;
+        let mut hops = 0u64;
+        while c != tc {
+            let d = if tc > c { E } else { W };
+            let g = self.links[(r * self.cols + c) * 4 + d].reserve(t, LINK_OCC);
+            t = g + LINK_LAT;
+            hops += 1;
+            c = if tc > c { c + 1 } else { c - 1 };
+        }
+        while r != tr {
+            let d = if tr > r { S } else { N };
+            let g = self.links[(r * self.cols + c) * 4 + d].reserve(t, LINK_OCC);
+            t = g + LINK_LAT;
+            hops += 1;
+            r = if tr > r { r + 1 } else { r - 1 };
+        }
+        (t, hops)
+    }
+
+    /// A load or ifetch that missed the tile's L1: route to the home
+    /// tile's L2 slice (and memory beyond), then refill the L1 and the
+    /// directory, paying the return trip latency-only.
+    fn read_miss(
+        &mut self,
+        core: &mut HierarchyCore,
+        now: Cycle,
+        tile: usize,
+        addr: Addr,
+        ifetch: bool,
+        kind: MissKind,
+    ) -> MemResult {
+        if ifetch {
+            core.stats.l1i.miss(kind);
+        } else {
+            core.stats.l1d.miss(kind);
+        }
+        let (arrive, hops) = self.route(tile, self.home_of(addr), now);
+        let (finish, level) = self.back.read(
+            &mut core.stats,
+            &mut self.dir,
+            &mut self.l1d,
+            &mut self.l1i,
+            &core.cfg.lat,
+            addr,
+            arrive,
+        );
+        let cache = if ifetch {
+            &mut self.l1i[tile]
+        } else {
+            &mut self.l1d[tile]
+        };
+        // Write-through L1: lines are never dirty.
+        let victim = cache.fill(addr, LineState::Shared).map(|v| v.addr);
+        let line = self.back.line(addr);
+        self.dir.note_fill(
+            &mut core.sentinel,
+            &self.back.l2,
+            tile,
+            line,
+            ifetch,
+            victim,
+        );
+        MemResult {
+            finish: finish + hops * LINK_LAT,
+            serviced_by: level,
+            l1_miss: true,
+            l1_extra: core.cfg.lat.l1_lat - 1,
+        }
+    }
+
+    /// Write-through, no-write-allocate: the word travels the mesh to its
+    /// home tile; the directory there invalidates other sharers.
+    fn store(
+        &mut self,
+        core: &mut HierarchyCore,
+        now: Cycle,
+        tile: usize,
+        addr: Addr,
+    ) -> MemResult {
+        self.l1d[tile].touch(addr);
+        let (arrive, hops) = self.route(tile, self.home_of(addr), now);
+        let line = self.back.line(addr);
+        self.dir.invalidate_sharers(
+            &mut core.sentinel,
+            &mut core.stats,
+            &mut self.l1d,
+            &mut self.l1i,
+            &self.back.l2,
+            tile,
+            line,
+            addr,
+        );
+        let (finish, level) = self.back.store(
+            &mut core.stats,
+            &mut self.dir,
+            &mut self.l1d,
+            &mut self.l1i,
+            &core.cfg.lat,
+            addr,
+            arrive,
+        );
+        MemResult {
+            finish: finish + hops * LINK_LAT,
+            serviced_by: level,
+            l1_miss: false,
+            l1_extra: core.cfg.lat.l1_lat - 1,
+        }
+    }
+}
+
+impl Topology for MeshTopo {
+    const NAME: &'static str = "mesh";
+
+    /// The fastest cross-CPU path is a store landing on its own tile's L2
+    /// slice (zero hops): the shared-L2 service latency bounds how soon
+    /// one CPU's action can change another CPU's timing, exactly as in the
+    /// crossbar shared-L2 system.
+    fn cross_cpu_lookahead(&self, core: &HierarchyCore) -> u64 {
+        core.cfg.lat.l2_lat
+    }
+
+    #[inline]
+    fn access(&mut self, core: &mut HierarchyCore, now: Cycle, req: MemRequest) -> MemResult {
+        let tile = req.cpu;
+        let addr = req.addr;
+        match req.kind {
+            AccessKind::IFetch | AccessKind::Load => {
+                let ifetch = req.kind == AccessKind::IFetch;
+                let outcome = if ifetch {
+                    self.l1i[tile].lookup(addr)
+                } else {
+                    self.l1d[tile].lookup(addr)
+                };
+                match outcome {
+                    AccessOutcome::Hit(_) => {
+                        if ifetch {
+                            core.stats.l1i.hit();
+                        } else {
+                            core.stats.l1d.hit();
+                        }
+                        MemResult {
+                            finish: now + core.cfg.lat.l1_lat,
+                            serviced_by: ServiceLevel::L1,
+                            l1_miss: false,
+                            l1_extra: core.cfg.lat.l1_lat - 1,
+                        }
+                    }
+                    AccessOutcome::Miss(kind) => {
+                        self.read_miss(core, now, tile, addr, ifetch, kind)
+                    }
+                }
+            }
+            AccessKind::Store => self.store(core, now, tile, addr),
+        }
+    }
+
+    fn check_line(&self, core: &mut HierarchyCore, now: Cycle, cpu: CpuId, addr: Addr) {
+        let line = self.back.line(addr);
+        self.dir.check_line(
+            &mut core.sentinel,
+            &self.l1d,
+            &self.l1i,
+            &self.back.l2,
+            "tile",
+            now,
+            cpu,
+            line,
+        );
+    }
+
+    fn load_would_hit_l1(&self, cpu: CpuId, addr: Addr) -> bool {
+        self.l1d[cpu].probe(addr).is_valid()
+    }
+
+    fn push_port_util(&self, out: &mut Vec<PortUtil>) {
+        let mut mesh = PortUtil {
+            name: "mesh-link",
+            grants: 0,
+            busy_cycles: 0,
+            wait_cycles: 0,
+        };
+        for p in &self.links {
+            mesh.grants += p.grants();
+            mesh.busy_cycles += p.busy_cycles();
+            mesh.wait_cycles += p.wait_cycles();
+        }
+        out.push(mesh);
+        out.push(util_of_banks(&self.back.banks));
+        out.push(util_of_port(&self.back.mem));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::MemorySystem;
+
+    fn sys(n: usize) -> MeshSystem {
+        MeshSystem::new(&SystemConfig::paper_mesh(n))
+    }
+
+    /// 0x1000 is line 128: home tile 0 at any power-of-two tile count
+    /// below 128.
+    const HOME0: Addr = 0x1000;
+
+    #[test]
+    fn grid_defaults_to_the_most_square_factorization() {
+        assert_eq!(sys(4).dims(), (2, 2));
+        assert_eq!(sys(16).dims(), (4, 4));
+        assert_eq!(sys(64).dims(), (8, 8));
+        assert_eq!(sys(6).dims(), (2, 3));
+    }
+
+    #[test]
+    fn bad_grid_is_a_typed_error() {
+        let cfg = SystemConfig::paper_mesh(16).with_mesh_dims(3, 4);
+        assert_eq!(
+            MeshSystem::try_new(&cfg).err(),
+            Some(ConfigError::MeshGeometry {
+                n_cpus: 16,
+                rows: 3,
+                cols: 4
+            })
+        );
+    }
+
+    #[test]
+    fn l1_hit_is_one_cycle() {
+        let mut s = sys(4);
+        s.access(Cycle(0), MemRequest::load(0, HOME0));
+        let r = s.access(Cycle(100), MemRequest::load(0, HOME0));
+        assert_eq!(r.finish, Cycle(101));
+        assert_eq!(r.serviced_by, ServiceLevel::L1);
+    }
+
+    #[test]
+    fn cold_miss_at_the_home_tile_costs_memory_latency() {
+        let mut s = sys(4);
+        let r = s.access(Cycle(0), MemRequest::load(0, HOME0));
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(r.finish, Cycle(50), "zero hops: cpu 0 is the home tile");
+    }
+
+    #[test]
+    fn remote_l2_hit_pays_round_trip_hops() {
+        let mut s = sys(4);
+        s.access(Cycle(0), MemRequest::load(0, HOME0)); // cold: fills L2
+                                                        // CPU 1 sits one hop from home tile 0 on the 2x2 grid.
+        let r = s.access(Cycle(100), MemRequest::load(1, HOME0));
+        assert_eq!(r.serviced_by, ServiceLevel::L2);
+        assert_eq!(
+            r.finish,
+            Cycle(100 + 14 + 2 * LINK_LAT),
+            "l2_lat plus one hop each way"
+        );
+    }
+
+    #[test]
+    fn corner_to_corner_pays_the_full_manhattan_distance() {
+        let mut s = sys(64);
+        // CPU 63 sits at (7,7); HOME0 homes at tile 0 = (0,0): 14 hops.
+        let r = s.access(Cycle(0), MemRequest::load(63, HOME0));
+        assert_eq!(r.serviced_by, ServiceLevel::Memory);
+        assert_eq!(r.finish, Cycle(14 * LINK_LAT + 50 + 14 * LINK_LAT));
+    }
+
+    #[test]
+    fn concurrent_transfers_contend_for_shared_links() {
+        let mut s = sys(4);
+        // Warm the L2 so both probes below are L2 hits.
+        s.access(Cycle(0), MemRequest::load(0, HOME0));
+        // Two same-cycle misses from tile 1 (one data, one instruction, so
+        // neither hits the other's L1 fill) serialize on tile 1's west
+        // link toward home tile 0.
+        let a = s.access(Cycle(100), MemRequest::load(1, HOME0));
+        let b = s.access(Cycle(100), MemRequest::ifetch(1, HOME0));
+        assert_eq!(a.finish, Cycle(116));
+        assert!(
+            b.finish > a.finish,
+            "the second transfer waits for the link: {:?} vs {:?}",
+            b.finish,
+            a.finish
+        );
+        let util = s.port_utilization();
+        let link = util.iter().find(|u| u.name == "mesh-link").unwrap();
+        assert!(link.grants >= 2);
+        assert!(link.wait_cycles >= 1, "contention is visible in the util");
+    }
+
+    #[test]
+    fn store_invalidates_sharers_across_tiles() {
+        let mut s = sys(4);
+        s.access(Cycle(0), MemRequest::load(0, HOME0));
+        s.access(Cycle(100), MemRequest::load(3, HOME0));
+        s.access(Cycle(200), MemRequest::store(0, HOME0));
+        assert_eq!(s.stats().invalidations_sent, 1);
+        assert_eq!(s.l1d(3).probe(HOME0), LineState::Invalid);
+        assert_eq!(s.l1d(0).probe(HOME0), LineState::Shared, "writer keeps it");
+        assert!(s.directory_consistent());
+    }
+
+    #[test]
+    fn sixty_four_tiles_run_clean_under_the_sentinel() {
+        use crate::sentinel::SentinelSpec;
+        let mut s =
+            MeshSystem::new(&SystemConfig::paper_mesh(64).with_sentinel(SentinelSpec::on()));
+        assert_eq!(s.n_cpus(), 64);
+        for t in 0..400u64 {
+            let cpu = (t % 64) as usize;
+            let addr = 0x1000 + ((t * 52) % 8192) as Addr;
+            if t % 3 == 0 {
+                s.access(Cycle(t * 10), MemRequest::store(cpu, addr));
+            } else {
+                s.access(Cycle(t * 10), MemRequest::load(cpu, addr));
+            }
+        }
+        assert!(s.violations().is_empty(), "{:?}", s.violations());
+        assert!(s.directory_consistent());
+    }
+
+    #[test]
+    fn lookahead_is_the_l2_latency() {
+        let s = sys(16);
+        assert_eq!(s.cross_cpu_lookahead(), 14);
+        assert_eq!(s.name(), "mesh");
+    }
+}

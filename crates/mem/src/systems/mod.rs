@@ -1,4 +1,4 @@
-//! The four multiprocessor memory architectures as thin topology
+//! The five multiprocessor memory architectures as thin topology
 //! descriptions over the shared [`hierarchy`](crate::hierarchy) core.
 //!
 //! * [`SharedL1System`] — Figure 1: four CPUs share banked L1 caches through
@@ -13,6 +13,9 @@
 //! * [`ClusteredSystem`] — extension (the authors' HPCA'96 follow-up,
 //!   reference \[16\]): `n_cpus / cpus_per_cluster` clusters each sharing
 //!   an L1, over the shared L2.
+//! * [`MeshSystem`] — scaling extension: a 2D mesh of tiles (private L1 +
+//!   router each) over the directory-kept shared L2, line-interleaved
+//!   across home tiles with XY-routed, link-contended NoC traffic.
 //!
 //! Each file here only names its topology type and builds its geometry;
 //! the access walks, the directory/invalidation engine, the MESI snooping
@@ -20,11 +23,13 @@
 //! [`crate::hierarchy`].
 
 mod clustered;
+mod mesh;
 mod shared_l1;
 mod shared_l2;
 mod shared_mem;
 
 pub use clustered::ClusteredSystem;
+pub use mesh::{MeshSystem, MeshTopo, LINK_LAT, LINK_OCC};
 pub use shared_l1::{SharedL1System, SharedL1Topo};
 pub use shared_l2::SharedL2System;
 pub use shared_mem::{SharedMemSystem, SharedMemTopo};

@@ -1,5 +1,5 @@
 //! Cross-system contract suite: every invariant here must hold for all
-//! four memory-system topologies, because upper layers (the CPU models,
+//! five memory-system topologies, because upper layers (the CPU models,
 //! the run harness, the report generator) rely on them without knowing
 //! which architecture they drive.
 //!
@@ -10,7 +10,7 @@
 
 use cmpsim_engine::Cycle;
 use cmpsim_mem::{
-    ClusteredSystem, MemRequest, MemResult, MemorySystem, ServiceLevel, SharedL1System,
+    ClusteredSystem, MemRequest, MemResult, MemorySystem, MeshSystem, ServiceLevel, SharedL1System,
     SharedL2System, SharedMemSystem, SystemConfig,
 };
 
@@ -75,6 +75,17 @@ fn contracts() -> Vec<Contract> {
             // A CPU in the *other* cluster reads the line: its cluster L1
             // misses, the shared L2 services it.
             l2_probe: |s, at| s.access(at, MemRequest::load(2, ADDR)),
+        },
+        Contract {
+            arch: "mesh",
+            make: |n| Box::new(MeshSystem::new(&SystemConfig::paper_mesh(n))),
+            l1_hit: 1,
+            // `ADDR` homes at tile 0; CPU 1 sits one hop away, so the
+            // shared-L2 latency picks up one link hop each way.
+            l2_hit: 16,
+            // A neighbouring tile reads the line: its private L1 misses,
+            // the home tile's L2 slice services it over the mesh.
+            l2_probe: |s, at| s.access(at, MemRequest::load(1, ADDR)),
         },
     ]
 }

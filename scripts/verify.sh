@@ -52,18 +52,26 @@
 #    replaying the salvaged records must match `--salvage --head N` on
 #    the intact file (N = the salvaged record count) byte for byte — a
 #    torn capture degrades to a clean prefix, never to wrong results.
+# 8d. Mesh replay smoke: a 16-CPU mesh fft run captured to a v2 trace
+#    must replay through a fresh mesh system (same grid) with the
+#    replayed reference count and per-link port rows intact, and the
+#    replay report must be byte-identical at CMPSIM_REPLAY_JOBS=1 and
+#    =4 — the mesh topology rides the same capture/replay contract as
+#    the crossbar machines. (The mesh rows of the extended matrix also
+#    pass through gate 8's digest-equality replay check.)
 # 9. Shard identity: the quick digest matrix runs again with
 #    CMPSIM_SHARDS=4 — the sharded machine loop staging instructions
 #    ahead on worker threads (DESIGN.md §12) — and must produce
 #    byte-identical lines to the serial run, with the sentinel off and
 #    on. Shard count is a host-time knob, never a results knob.
-# 10. Quick simulator-speed check: the sim_throughput, shard_sweep and
-#    replay_sweep benches in quick mode (CMPSIM_BENCH_QUICK=1) appended
-#    to BENCH_pr8.json, so every verification leaves a dated throughput
-#    record (sentinel overhead, supervised-vs-plain sweep overhead,
-#    geometry rows, the trace-replay sweep, the shard-scaling sweep,
-#    and the parallel decode/batched-replay sweep included) next to
-#    the pre/post-PR entries.
+# 10. Quick simulator-speed check: the sim_throughput, shard_sweep,
+#    replay_sweep and extension_mesh_scaling benches in quick mode
+#    (CMPSIM_BENCH_QUICK=1) appended to BENCH_pr9.json, so every
+#    verification leaves a dated throughput record (sentinel overhead,
+#    supervised-vs-plain sweep overhead, geometry rows, the
+#    trace-replay sweep, the shard-scaling sweep, the parallel
+#    decode/batched-replay sweep, and the mesh 4->16->64 scaling study
+#    included) next to the pre/post-PR entries.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -219,6 +227,24 @@ for pct in 60 85 99; do
     echo "ok: torn at ${pct}% -> salvaged ${n} records replay identically to the intact prefix"
 done
 
+echo "== mesh replay smoke: 16-CPU mesh capture -> byte-identical replay =="
+CMPSIM_TRACE_OUT="$tmpdir/mesh.trace" \
+    target/release/cmpsim run --arch mesh --workload fft --cpus 16 --scale 0.05 >/dev/null
+CMPSIM_REPLAY_JOBS=1 target/release/cmpsim replay --file "$tmpdir/mesh.trace" \
+    --arch mesh --cpus 16 > "$tmpdir/mesh_replay_j1.txt"
+CMPSIM_REPLAY_JOBS=4 target/release/cmpsim replay --file "$tmpdir/mesh.trace" \
+    --arch mesh --cpus 16 > "$tmpdir/mesh_replay_j4.txt"
+if ! grep -q '^port mesh-link' "$tmpdir/mesh_replay_j1.txt"; then
+    echo "ERROR: mesh replay report lost the mesh-link port row:" >&2
+    cat "$tmpdir/mesh_replay_j1.txt" >&2
+    exit 1
+fi
+if ! diff "$tmpdir/mesh_replay_j1.txt" "$tmpdir/mesh_replay_j4.txt"; then
+    echo "ERROR: mesh replay differs between CMPSIM_REPLAY_JOBS=1 and =4" >&2
+    exit 1
+fi
+echo "ok: mesh trace replays byte-identically (jobs 1 vs 4, link stats intact)"
+
 echo "== shard identity: quick matrix at CMPSIM_SHARDS=4 vs serial =="
 matrix_sharded=$(CMPSIM_SHARDS=4 CMPSIM_MATRIX_SCALE=0.02 cargo bench -q -p cmpsim-bench --bench summary_matrix 2>/dev/null | grep '^{')
 if [ "$matrix_off" != "$matrix_sharded" ]; then
@@ -234,14 +260,14 @@ if [ "$matrix_off" != "$matrix_sharded_on" ]; then
 fi
 echo "ok: sharded matrix is bit-identical to serial (sentinel off and on)"
 
-echo "== quick simulator-speed record -> BENCH_pr8.json =="
+echo "== quick simulator-speed record -> BENCH_pr9.json =="
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-for bench in sim_throughput shard_sweep replay_sweep; do
+for bench in sim_throughput shard_sweep replay_sweep extension_mesh_scaling; do
     CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench "$bench" 2>/dev/null \
         | grep '^{' \
         | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
-        >> BENCH_pr8.json
+        >> BENCH_pr9.json
 done
-echo "ok: appended quick sim_throughput, shard_sweep and replay_sweep records"
+echo "ok: appended quick sim_throughput, shard_sweep, replay_sweep and mesh-scaling records"
 
 echo "verify.sh: all checks passed"
