@@ -29,18 +29,10 @@ pub const BUDGET: u64 = 40_000_000_000;
 /// parallelism. Every simulated run is single-threaded and
 /// deterministic, so independent `(arch × workload × cpu-model)` runs
 /// fan out across host cores without touching the simulator itself; the
-/// pool machinery lives in [`cmpsim_engine::pool`], this is only the
-/// bench-side worker-count policy.
+/// policy lives in [`cmpsim_engine::pool::env_jobs`], shared with the
+/// explore drivers.
 pub fn n_jobs() -> usize {
-    match std::env::var("CMPSIM_BENCH_JOBS") {
-        Ok(s) => s
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .filter(|&n| n >= 1)
-            .unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    cmpsim_engine::pool::env_jobs("CMPSIM_BENCH_JOBS")
 }
 
 /// Results of one workload on one architecture.
@@ -128,10 +120,11 @@ pub fn run_figure_with(
         // The config digest covers the post-tweak `Debug` form, so two
         // figures sharing a journal can never cross-resume each other's
         // rows unless their machines really are identical.
-        let key = JournalKey {
-            config: matrix::fnv1a(format!("cmpsim-figure-v1|{cfg:?}").as_bytes()),
-            workload: matrix::fnv1a(format!("{workload}|{scale:?}").as_bytes()),
-        };
+        let key = JournalKey::digest(
+            "cmpsim-figure-v1",
+            &format!("{cfg:?}"),
+            &format!("{workload}|{scale:?}"),
+        );
         if let Some(j) = &journal {
             let hit = j.lock().expect("journal lock").get(key).map(<[u8]>::to_vec);
             if let Some(bytes) = hit {

@@ -234,34 +234,22 @@ pub const ENV_MATRIX_PANIC: &str = "CMPSIM_MATRIX_PANIC";
 /// meaningful together with a resume journal (`CMPSIM_RESUME`).
 pub const ENV_KILL_AFTER: &str = "CMPSIM_KILL_AFTER";
 
-/// Stable digest of a case's machine configuration — the `config` half
-/// of its resume-journal key. Versioned so a future layout change cannot
-/// silently match stale journal rows.
-pub fn case_config_digest(case: &MatrixCase) -> u64 {
-    fnv1a(
-        format!(
-            "cmpsim-matrix-row-v1|{}|{}|{}|{:?}",
+/// The resume-journal key of one matrix case, built through the shared
+/// [`JournalKey::digest`] helper: the config half covers the namespaced
+/// machine geometry (versioned so a future layout change cannot silently
+/// match stale journal rows), the workload half the name and scale.
+pub fn case_key(case: &MatrixCase) -> JournalKey {
+    JournalKey::digest(
+        "cmpsim-matrix-row-v1",
+        &format!(
+            "{}|{}|{}|{:?}",
             case.arch.name(),
             cpu_label(case.cpu),
             case.n_cpus,
             case.cpus_per_cluster,
-        )
-        .as_bytes(),
+        ),
+        &format!("{}|{:?}", case.workload, case.scale),
     )
-}
-
-/// Stable digest of a case's workload — the `workload` half of its
-/// resume-journal key.
-pub fn case_workload_digest(case: &MatrixCase) -> u64 {
-    fnv1a(format!("{}|{:?}", case.workload, case.scale).as_bytes())
-}
-
-/// The resume-journal key of one matrix case.
-pub fn case_key(case: &MatrixCase) -> JournalKey {
-    JournalKey {
-        config: case_config_digest(case),
-        workload: case_workload_digest(case),
-    }
 }
 
 /// What a supervised matrix sweep produced.

@@ -136,6 +136,12 @@ pub struct MachineConfig {
     pub n_cpus: usize,
     /// Override the L2 associativity (MP3D ablation).
     pub l2_assoc: Option<usize>,
+    /// Override the L2 capacity in bytes (explore size sweeps). Total for
+    /// shared configurations, per CPU for shared-memory — the
+    /// [`SystemConfig::l2`] convention.
+    pub l2_size: Option<u32>,
+    /// Override the L2 bank count (explore bank sweeps).
+    pub l2_banks: Option<usize>,
     /// Override the shared-L1 hit latency.
     pub l1_latency: Option<u64>,
     /// Override the shared-L1 bank count.
@@ -200,6 +206,8 @@ impl MachineConfig {
             cpu,
             n_cpus: 4,
             l2_assoc: None,
+            l2_size: None,
+            l2_banks: None,
             l1_latency: None,
             l1_banks: None,
             l2_occupancy: None,
@@ -259,6 +267,12 @@ impl MachineConfig {
         let mut sc = self.arch.config(self.n_cpus);
         if let Some(a) = self.l2_assoc {
             sc = sc.with_l2_assoc(a);
+        }
+        if let Some(b) = self.l2_size {
+            sc = sc.with_l2_size(b);
+        }
+        if let Some(b) = self.l2_banks {
+            sc = sc.with_l2_banks(b);
         }
         if let Some(l) = self.l1_latency {
             sc = sc.with_l1_latency(l);

@@ -1,0 +1,354 @@
+//! Batch point evaluation: the replay fast path and the execution path.
+//!
+//! The evaluator is a **pure function of the point** — results never
+//! depend on which other points share a batch, so the cache stays
+//! coherent across overlapping searches and any job count.
+//!
+//! * **Replay mode** (the default): points are grouped by their CPU-side
+//!   signature (timing model, reorder window, CPU count — everything
+//!   that shapes the reference stream). Each group runs **one**
+//!   execution-driven capture on its canonical machine (the paper's
+//!   bus-based shared-memory architecture, whose private-L1 stream is
+//!   the natural reference), then every point in the group replays the
+//!   decoded trace through its own candidate hierarchy via
+//!   [`cmpsim_trace::replay_matrix`] — decode once, N hierarchies. The
+//!   replayed `MemStats` are exact for the fixed stream; IPC is the
+//!   blocking-model estimate `ifetches / (Σ access latency / n_cpus)`,
+//!   a consistent fitness proxy rather than a cycle-accurate number
+//!   (DESIGN.md §15 quantifies the approximation).
+//! * **Execution mode** (`--exec`): every point runs the full machine —
+//!   exact IPC, at execution speed.
+//!
+//! Both paths fan out through the supervised job pool (panic isolation,
+//! retry, quarantine) and land results in the persistent cache.
+
+use crate::cache::ResultCache;
+use crate::space::{DesignSpace, Point};
+use crate::ExploreError;
+use cmpsim_core::machine::run_workload_resilient;
+use cmpsim_core::{capture_run, ArchKind, MachineConfig, RunSummary};
+use cmpsim_engine::supervise::{map_jobs_supervised, SuperviseSpec};
+use cmpsim_kernels::build_by_name;
+use cmpsim_mem::{LevelStats, MemStats, SentinelSpec};
+use cmpsim_trace::TraceRecord;
+use std::collections::{BTreeMap, HashSet};
+
+/// How points are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// One capture per CPU-side signature, trace replay per point.
+    Replay,
+    /// Full execution-driven run per point.
+    Exec,
+}
+
+impl EvalMode {
+    /// Stable tag for cache keys and JSON.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EvalMode::Replay => "replay",
+            EvalMode::Exec => "exec",
+        }
+    }
+}
+
+/// Which path produced a stored result (in replay mode the capture runs
+/// are not points, so every point's metrics carry `Replay`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPath {
+    /// Execution-driven: exact machine IPC.
+    Exec,
+    /// Trace replay: exact `MemStats` for the fixed stream, estimated
+    /// IPC.
+    Replay,
+}
+
+/// The evaluation contract: what every point runs against.
+#[derive(Debug, Clone)]
+pub struct EvalSpec {
+    /// Workload name (see `cmpsim_kernels::ALL_WORKLOADS`).
+    pub workload: String,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Cycle budget per run.
+    pub budget: u64,
+    /// Evaluation mode.
+    pub mode: EvalMode,
+    /// Worker threads for batch fan-out.
+    pub jobs: usize,
+}
+
+impl EvalSpec {
+    /// The workload half of every cache key: versioned, and covering
+    /// mode + budget so execution-driven and replay-estimated results
+    /// can never answer for each other.
+    pub fn workload_tag(&self) -> String {
+        format!(
+            "explore-eval-v1|{}|{:?}|{}|{}",
+            self.workload,
+            self.scale,
+            self.budget,
+            self.mode.tag()
+        )
+    }
+}
+
+/// Headline numbers of one evaluated point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointMetrics {
+    /// Which path produced this result.
+    pub path: EvalPath,
+    /// Instructions graduated (exec) or instruction fetches replayed
+    /// (replay — the fixed-stream stand-in).
+    pub instructions: u64,
+    /// Memory accesses observed (L1I + L1D).
+    pub accesses: u64,
+    /// Wall cycles (exec) or the blocking-model estimate (replay).
+    pub wall_cycles: u64,
+    /// Machine IPC (exec) or the blocking-model estimate (replay).
+    pub ipc: f64,
+    /// L1D miss rate in percent of L1D accesses.
+    pub l1d_miss_pct: f64,
+    /// L2 miss rate in percent of L2 accesses.
+    pub l2_miss_pct: f64,
+    /// Mean end-to-end access latency in cycles.
+    pub avg_lat: f64,
+    /// Static area proxy in KB-equivalents (DESIGN.md §15).
+    pub area_kb: f64,
+}
+
+fn miss_pct(l: &LevelStats) -> f64 {
+    if l.accesses == 0 {
+        0.0
+    } else {
+        (l.miss_repl + l.miss_inval) as f64 / l.accesses as f64 * 100.0
+    }
+}
+
+fn exec_metrics(p: &Point, s: &RunSummary) -> PointMetrics {
+    PointMetrics {
+        path: EvalPath::Exec,
+        instructions: s.total.instructions,
+        accesses: s.mem.l1i.accesses + s.mem.l1d.accesses,
+        wall_cycles: s.wall_cycles,
+        ipc: s.machine_ipc(),
+        l1d_miss_pct: miss_pct(&s.mem.l1d),
+        l2_miss_pct: miss_pct(&s.mem.l2),
+        avg_lat: s.mem.latency.mean(),
+        area_kb: p.area_kb(),
+    }
+}
+
+fn replay_metrics(p: &Point, accesses: u64, stats: &MemStats) -> PointMetrics {
+    // Blocking-model IPC estimate over the fixed stream: every CPU is a
+    // one-instruction-per-fetch in-order core whose time is the summed
+    // access latency, spread across `n_cpus` parallel cores. Exact for
+    // neither CPU model, but monotone in the hierarchy's service time —
+    // a consistent fitness proxy (DESIGN.md §15).
+    let (_, _, _, lat_sum, _) = stats.latency.raw_parts();
+    let wall_est = (lat_sum / p.cfg.n_cpus as u64).max(1);
+    let ifetches = stats.l1i.accesses;
+    PointMetrics {
+        path: EvalPath::Replay,
+        instructions: ifetches,
+        accesses,
+        wall_cycles: wall_est,
+        ipc: ifetches as f64 / wall_est as f64,
+        l1d_miss_pct: miss_pct(&stats.l1d),
+        l2_miss_pct: miss_pct(&stats.l2),
+        avg_lat: stats.latency.mean(),
+        area_kb: p.area_kb(),
+    }
+}
+
+/// The canonical capture machine of one CPU-side signature: the paper's
+/// bus-based shared-memory architecture with the point's CPU model and
+/// count — a pure function of the signature, so cached results never
+/// depend on which architectures happen to share a batch.
+fn capture_config(p: &Point) -> MachineConfig {
+    let mut cfg = MachineConfig::new(ArchKind::SharedMem, p.cfg.cpu);
+    cfg.n_cpus = p.cfg.n_cpus;
+    cfg.sentinel = Some(SentinelSpec::off());
+    cfg.shards = Some(1);
+    cfg
+}
+
+/// Batch evaluator with an in-process memo, the persistent cache, and
+/// per-group reference traces.
+#[derive(Debug)]
+pub struct Evaluator {
+    /// The evaluation contract.
+    pub spec: EvalSpec,
+    cache: Option<ResultCache>,
+    seen: BTreeMap<u64, PointMetrics>,
+    traces: BTreeMap<String, Vec<TraceRecord>>,
+    /// Execution-driven runs performed (captures in replay mode, full
+    /// runs in exec mode).
+    pub exec_runs: usize,
+    /// Points evaluated through trace replay.
+    pub replay_points: usize,
+    /// Points that exhausted the supervised retry budget and were
+    /// dropped (exec mode only; replay-mode capture failures are typed
+    /// errors).
+    pub quarantined: usize,
+}
+
+impl Evaluator {
+    /// A fresh evaluator over `spec`, optionally backed by a persistent
+    /// cache.
+    pub fn new(spec: EvalSpec, cache: Option<ResultCache>) -> Evaluator {
+        Evaluator {
+            spec,
+            cache,
+            seen: BTreeMap::new(),
+            traces: BTreeMap::new(),
+            exec_runs: 0,
+            replay_points: 0,
+            quarantined: 0,
+        }
+    }
+
+    /// Metrics of an already evaluated point.
+    pub fn metrics(&self, code: u64) -> Option<&PointMetrics> {
+        self.seen.get(&code)
+    }
+
+    /// Every evaluated point in ascending code order.
+    pub fn results(&self) -> impl Iterator<Item = (u64, &PointMetrics)> {
+        self.seen.iter().map(|(&c, m)| (c, m))
+    }
+
+    /// Unique points evaluated so far.
+    pub fn evaluated(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Points answered from the persistent cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cache.as_ref().map_or(0, ResultCache::hits)
+    }
+
+    /// Rows the persistent cache recovered from disk at open.
+    pub fn cache_recovered(&self) -> usize {
+        self.cache.as_ref().map_or(0, ResultCache::recovered)
+    }
+
+    /// Evaluates every code in `codes` (duplicates and already-known
+    /// points are free), landing results in the memo and the cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::InvalidEmbedding`]/[`ExploreError::Config`] when
+    /// a driver submits a code outside the space,
+    /// [`ExploreError::Workload`] when a canonical capture fails, and
+    /// [`ExploreError::Io`] on cache append failure.
+    pub fn eval_batch(&mut self, space: &DesignSpace, codes: &[u64]) -> Result<(), ExploreError> {
+        let tag = self.spec.workload_tag();
+        let mut todo: Vec<Point> = Vec::new();
+        let mut dedup: HashSet<u64> = HashSet::new();
+        for &code in codes {
+            if self.seen.contains_key(&code) || !dedup.insert(code) {
+                continue;
+            }
+            let p = space.decode(code)?;
+            if let Some(cache) = &mut self.cache {
+                if let Some(m) = cache.get(ResultCache::key(&tag, &format!("{:?}", p.cfg))) {
+                    self.seen.insert(code, m);
+                    continue;
+                }
+            }
+            todo.push(p);
+        }
+        if todo.is_empty() {
+            return Ok(());
+        }
+        let results = match self.spec.mode {
+            EvalMode::Exec => self.exec_batch(&todo),
+            EvalMode::Replay => self.replay_batch(&todo)?,
+        };
+        // Store in todo order: deterministic journal append order, so
+        // the kill-after hook severs the same run prefix every time.
+        for (p, m) in todo.iter().zip(results) {
+            let Some(m) = m else { continue };
+            if let Some(cache) = &mut self.cache {
+                cache.put(ResultCache::key(&tag, &format!("{:?}", p.cfg)), &m)?;
+            }
+            self.seen.insert(p.code, m);
+        }
+        Ok(())
+    }
+
+    /// Execution mode: every point through the full machine, supervised.
+    fn exec_batch(&mut self, todo: &[Point]) -> Vec<Option<PointMetrics>> {
+        let spec = &self.spec;
+        let run = map_jobs_supervised(&SuperviseSpec::from_env(), spec.jobs, todo, |p| {
+            let w = build_by_name(&spec.workload, p.cfg.n_cpus, spec.scale)
+                .unwrap_or_else(|e| panic!("building {}: {e}", spec.workload));
+            let s = run_workload_resilient(&p.cfg, &w, spec.budget)
+                .unwrap_or_else(|e| panic!("explore point {}: {e}", p.code));
+            exec_metrics(p, &s)
+        });
+        let (vals, quarantined) = run.into_parts();
+        self.quarantined += quarantined.len();
+        self.exec_runs += vals.iter().flatten().count();
+        vals
+    }
+
+    /// Replay mode: one canonical capture per CPU-side signature, then
+    /// `replay_matrix` over each group's candidate hierarchies.
+    fn replay_batch(&mut self, todo: &[Point]) -> Result<Vec<Option<PointMetrics>>, ExploreError> {
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, p) in todo.iter().enumerate() {
+            groups.entry(p.group_sig()).or_default().push(i);
+        }
+        // Stage A: capture the missing reference traces, fanned out in
+        // parallel across signatures.
+        let missing: Vec<(String, Point)> = groups
+            .iter()
+            .filter(|(sig, _)| !self.traces.contains_key(*sig))
+            .map(|(sig, idxs)| (sig.clone(), todo[idxs[0]]))
+            .collect();
+        if !missing.is_empty() {
+            let spec = &self.spec;
+            let run =
+                map_jobs_supervised(&SuperviseSpec::from_env(), spec.jobs, &missing, |(_, p)| {
+                    let w = build_by_name(&spec.workload, p.cfg.n_cpus, spec.scale)
+                        .unwrap_or_else(|e| panic!("building {}: {e}", spec.workload));
+                    let (_, bytes) = capture_run(&capture_config(p), &w, spec.budget)
+                        .unwrap_or_else(|e| panic!("capture for group {}: {e}", p.group_sig()));
+                    cmpsim_trace::decode(&bytes)
+                        .unwrap_or_else(|e| panic!("decoding group {} trace: {e}", p.group_sig()))
+                });
+            let (vals, _) = run.into_parts();
+            for ((sig, _), records) in missing.iter().zip(vals) {
+                let records = records.ok_or_else(|| {
+                    ExploreError::Workload(format!(
+                        "canonical capture for CPU-side signature {sig} failed (see quarantine diagnostics on stderr)"
+                    ))
+                })?;
+                self.traces.insert(sig.clone(), records);
+                self.exec_runs += 1;
+            }
+        }
+        // Stage B: batched replay, group by group in signature order.
+        let mut out: Vec<Option<PointMetrics>> = vec![None; todo.len()];
+        for (sig, idxs) in &groups {
+            let records = &self.traces[sig];
+            let pts: Vec<&Point> = idxs.iter().map(|&i| &todo[i]).collect();
+            let replayed = cmpsim_trace::replay_matrix(records, pts.len(), self.spec.jobs, |i| {
+                pts[i]
+                    .cfg
+                    .arch
+                    .try_build(&pts[i].system_config())
+                    .unwrap_or_else(|e| {
+                        panic!("decoded point {} failed to build: {e}", pts[i].code)
+                    })
+            });
+            for (&i, r) in idxs.iter().zip(replayed) {
+                out[i] = Some(replay_metrics(&todo[i], r.replay.accesses, &r.stats));
+                self.replay_points += 1;
+            }
+        }
+        Ok(out)
+    }
+}

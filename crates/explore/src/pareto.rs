@@ -1,0 +1,85 @@
+//! Pareto frontier extraction over (IPC ↑, area proxy ↓, average access
+//! latency ↓).
+//!
+//! The paper's conclusion is exactly a frontier argument — which fixed
+//! transistor budget buys the most throughput — so the explorer reports
+//! the full non-dominated set rather than a single winner.
+
+use crate::eval::PointMetrics;
+
+/// `a` dominates `b` when it is no worse on every objective and
+/// strictly better on at least one. A point with a non-finite objective
+/// can never dominate (a NaN IPC must not knock out real results), and
+/// comparisons otherwise use `total_cmp` so the frontier is a total
+/// deterministic function of the inputs.
+fn dominates(a: &PointMetrics, b: &PointMetrics) -> bool {
+    if !(a.ipc.is_finite() && a.area_kb.is_finite() && a.avg_lat.is_finite()) {
+        return false;
+    }
+    let ge = a.ipc.total_cmp(&b.ipc).is_ge()
+        && b.area_kb.total_cmp(&a.area_kb).is_ge()
+        && b.avg_lat.total_cmp(&a.avg_lat).is_ge();
+    let strict = a.ipc.total_cmp(&b.ipc).is_gt()
+        || b.area_kb.total_cmp(&a.area_kb).is_gt()
+        || b.avg_lat.total_cmp(&a.avg_lat).is_gt();
+    ge && strict
+}
+
+/// The non-dominated subset of `points`, as codes in ascending order.
+/// Metric-for-metric ties survive together (neither dominates), so
+/// distinct configurations with identical results all stay visible.
+pub fn frontier(points: &[(u64, PointMetrics)]) -> Vec<u64> {
+    let mut out: Vec<u64> = points
+        .iter()
+        .filter(|(_, m)| !points.iter().any(|(_, other)| dominates(other, m)))
+        .map(|&(code, _)| code)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::EvalPath;
+
+    fn m(ipc: f64, area: f64, lat: f64) -> PointMetrics {
+        PointMetrics {
+            path: EvalPath::Replay,
+            instructions: 0,
+            accesses: 0,
+            wall_cycles: 1,
+            ipc,
+            l1d_miss_pct: 0.0,
+            l2_miss_pct: 0.0,
+            avg_lat: lat,
+            area_kb: area,
+        }
+    }
+
+    #[test]
+    fn dominated_points_drop_ties_survive() {
+        let pts = vec![
+            (0, m(2.0, 100.0, 5.0)), // frontier: best ipc
+            (1, m(1.0, 50.0, 5.0)),  // frontier: cheapest
+            (2, m(1.0, 100.0, 9.0)), // dominated by 0 (ipc) and 1 (area, lat)
+            (3, m(1.5, 80.0, 4.0)),  // frontier: latency/area trade
+            (4, m(1.5, 80.0, 4.0)),  // exact tie with 3: both survive
+        ];
+        assert_eq!(frontier(&pts), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        assert_eq!(frontier(&[(7, m(1.0, 1.0, 1.0))]), vec![7]);
+    }
+
+    #[test]
+    fn nan_objective_never_wins() {
+        let pts = vec![(0, m(f64::NAN, 10.0, 1.0)), (1, m(1.0, 10.0, 1.0))];
+        // NaN IPC sorts above every finite IPC under total_cmp, so point
+        // 0 is not dominated — but it must not knock out point 1 either.
+        assert!(frontier(&pts).contains(&1));
+    }
+}

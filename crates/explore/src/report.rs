@@ -1,0 +1,135 @@
+//! Deterministic JSON-lines rendering of a finished search.
+//!
+//! One `meta` line, one `point` line per evaluated configuration in
+//! ascending code order, one `frontier` line per non-dominated point.
+//! The lines are a pure function of `(space, spec, driver, seed,
+//! results)` — run-variant facts (cache hits, capture counts, timing)
+//! are deliberately excluded so a fully cached rerun is byte-identical
+//! to the run that populated the cache.
+
+use crate::eval::{EvalPath, EvalSpec, PointMetrics};
+use crate::search::{Driver, SearchOutcome};
+use crate::space::DesignSpace;
+use crate::ExploreError;
+
+/// Minimal JSON string escape (the explorer's strings are plain ASCII
+/// names, but a workload name is user input).
+fn js(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shortest round-trip float; non-finite values become JSON null.
+fn jf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn path_tag(p: EvalPath) -> &'static str {
+    match p {
+        EvalPath::Exec => "exec",
+        EvalPath::Replay => "replay",
+    }
+}
+
+/// Renders the search as JSON lines (no trailing newlines).
+///
+/// # Errors
+///
+/// [`ExploreError::InvalidEmbedding`] if an outcome code no longer
+/// decodes in `space` — a caller bug (outcome and space must match).
+pub fn render_lines(
+    space: &DesignSpace,
+    spec: &EvalSpec,
+    driver: Driver,
+    seed: u64,
+    outcome: &SearchOutcome,
+) -> Result<Vec<String>, ExploreError> {
+    let mut lines = Vec::with_capacity(outcome.points.len() + outcome.frontier.len() + 1);
+    let radices: Vec<String> = space.radices().iter().map(u64::to_string).collect();
+    lines.push(format!(
+        concat!(
+            "{{\"kind\":\"meta\",\"format\":\"cmpsim-explore-v1\",\"workload\":{},",
+            "\"scale\":{},\"budget\":{},\"mode\":{},\"driver\":{},\"seed\":{},",
+            "\"cardinality\":{},\"radices\":[{}],\"points\":{},\"frontier\":{}}}"
+        ),
+        js(&spec.workload),
+        jf(spec.scale),
+        spec.budget,
+        js(spec.mode.tag()),
+        js(driver.tag()),
+        seed,
+        outcome.cardinality,
+        radices.join(","),
+        outcome.points.len(),
+        outcome.frontier.len(),
+    ));
+    for &(code, ref m) in &outcome.points {
+        let p = space.decode(code)?;
+        let sc = p.system_config();
+        let on_frontier = outcome.frontier.binary_search(&code).is_ok();
+        lines.push(format!(
+            concat!(
+                "{{\"kind\":\"point\",\"code\":{},\"arch\":{},\"cpu\":{},\"cpus\":{},",
+                "\"l1_kb\":{},\"l1_banks\":{},\"l2_kb\":{},\"l2_assoc\":{},\"l2_banks\":{},",
+                "\"l2_width_bits\":{},\"rob\":{},\"path\":{},\"ipc\":{},",
+                "\"l1d_miss_pct\":{},\"l2_miss_pct\":{},\"avg_lat_cycles\":{},",
+                "\"area_kb\":{},\"instructions\":{},\"accesses\":{},\"wall_cycles\":{},",
+                "\"pareto\":{}}}"
+            ),
+            code,
+            js(p.cfg.arch.name()),
+            js(p.cpu_label()),
+            p.cfg.n_cpus,
+            sc.l1d.size_bytes / 1024,
+            sc.l1_banks,
+            sc.l2.size_bytes / 1024,
+            sc.l2.assoc,
+            sc.l2_banks,
+            if sc.lat.l2_occ <= 2 { 128 } else { 64 },
+            p.rob_entries(),
+            js(path_tag(m.path)),
+            jf(m.ipc),
+            jf(m.l1d_miss_pct),
+            jf(m.l2_miss_pct),
+            jf(m.avg_lat),
+            jf(m.area_kb),
+            m.instructions,
+            m.accesses,
+            m.wall_cycles,
+            on_frontier,
+        ));
+    }
+    for &code in &outcome.frontier {
+        let m: &PointMetrics = outcome
+            .points
+            .iter()
+            .find(|&&(c, _)| c == code)
+            .map(|(_, m)| m)
+            .ok_or(ExploreError::InvalidEmbedding {
+                code,
+                why: "frontier code missing from the point set".to_string(),
+            })?;
+        lines.push(format!(
+            "{{\"kind\":\"frontier\",\"code\":{},\"ipc\":{},\"area_kb\":{},\"avg_lat_cycles\":{}}}",
+            code,
+            jf(m.ipc),
+            jf(m.area_kb),
+            jf(m.avg_lat),
+        ));
+    }
+    Ok(lines)
+}

@@ -1,0 +1,328 @@
+//! End-to-end exploration tests: embedding round-trips, canonicality
+//! rejection, driver determinism across job counts, cache-hit byte
+//! identity and the execution path.
+
+use cmpsim_explore::search::dry_run;
+use cmpsim_explore::space::{CpuSel, NDIMS};
+use cmpsim_explore::{
+    render_lines, run_search, DesignSpace, Driver, EvalMode, EvalSpec, ExploreError,
+};
+use std::path::PathBuf;
+
+/// A multi-dimensional space that exercises every canonicality rule:
+/// two architectures (one shared-L1), both CPU models, swept rob and
+/// l1-banks dimensions.
+fn thorny_space() -> DesignSpace {
+    let mut s = DesignSpace::paper();
+    s.set_dim("arch", "shared-l1,shared-l2,mesh").unwrap();
+    s.set_dim("cpu", "mipsy,mxs").unwrap();
+    s.set_dim("cpus", "2,4").unwrap();
+    s.set_dim("l2-kb", "512,2048").unwrap();
+    s.set_dim("l1-banks", "2,4").unwrap();
+    s.set_dim("rob", "16,64").unwrap();
+    s.validate().unwrap();
+    s
+}
+
+/// The memory-system sweep used for the search-driver tests: CPU side
+/// fixed, so one capture serves every point.
+fn mem_space() -> DesignSpace {
+    let mut s = DesignSpace::paper();
+    s.set_dim("arch", "shared-l2,shared-mem,mesh").unwrap();
+    s.set_dim("l2-kb", "512,1024,2048,4096").unwrap();
+    s.set_dim("l2-assoc", "1,2").unwrap();
+    s.set_dim("l2-width", "64,128").unwrap();
+    s.validate().unwrap();
+    s
+}
+
+fn spec(jobs: usize, mode: EvalMode) -> EvalSpec {
+    EvalSpec {
+        workload: "eqntott".to_string(),
+        scale: 0.02,
+        budget: 2_000_000_000,
+        mode,
+        jobs,
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cmpsim-explore-{tag}-{}.jrnl", std::process::id()))
+}
+
+#[test]
+fn embedding_roundtrips_over_the_whole_space() {
+    let s = thorny_space();
+    let card = s.cardinality();
+    assert_eq!(card, 3 * 2 * 2 * 2 * 2 * 2);
+    let mut valid = 0u64;
+    for code in 0..card {
+        let digits = s.split(code).unwrap();
+        assert_eq!(s.encode(&digits), code, "split/encode round-trip");
+        if let Ok(p) = s.decode(code) {
+            assert_eq!(p.code, code);
+            assert_eq!(p.digits, digits);
+            valid += 1;
+        }
+    }
+    // Canonicality prunes aliases but must leave the canonical points.
+    assert_eq!(valid, s.enumerate().len() as u64);
+    assert!(valid > 0 && valid < card, "some codes alias, some survive");
+}
+
+#[test]
+fn embedding_roundtrip_property_over_random_spaces() {
+    cmpsim_engine::prop::check("explore-embedding-roundtrip", |src| {
+        let mut s = DesignSpace::paper();
+        // Random sub-sweeps drawn from valid level pools.
+        let archs = [
+            "shared-l1",
+            "shared-l2",
+            "shared-memory",
+            "clustered",
+            "mesh",
+        ];
+        let a0 = src.index(archs.len());
+        let a1 = src.index(archs.len());
+        let arch_dim = if a0 == a1 {
+            archs[a0].to_string()
+        } else {
+            format!("{},{}", archs[a0], archs[a1])
+        };
+        s.set_dim("arch", &arch_dim).expect("valid arch levels");
+        s.set_dim("cpus", ["2", "4", "8"][src.index(3)]).unwrap();
+        if src.bool() {
+            s.set_dim("l2-kb", ["512,1024", "2048", "1024,4096"][src.index(3)])
+                .unwrap();
+        }
+        if src.bool() {
+            s.set_dim("rob", ["16,64", "32", "8,128"][src.index(3)])
+                .unwrap();
+        }
+        s.validate().expect("constructed from valid levels");
+        let card = s.cardinality();
+        let code = src.u64(0..card);
+        let digits = s.split(code).expect("in-range code splits");
+        assert_eq!(s.encode(&digits), code);
+        if let Ok(p) = s.decode(code) {
+            // A decoded point re-encodes to itself and its neighbors
+            // stay inside the space.
+            assert_eq!(s.encode(&p.digits), code);
+            for n in s.neighbors(code) {
+                assert!(n < card);
+                assert!(s.decode(n).is_ok(), "neighbors are pre-validated");
+                assert_ne!(n, code);
+            }
+        }
+    });
+}
+
+#[test]
+fn invalid_embeddings_are_rejected_with_reasons() {
+    let s = thorny_space();
+    // Past the cardinality.
+    match s.decode(s.cardinality()) {
+        Err(ExploreError::InvalidEmbedding { code, .. }) => assert_eq!(code, s.cardinality()),
+        other => panic!("expected InvalidEmbedding, got {other:?}"),
+    }
+    // Mipsy with a non-zero rob digit is an alias of the rob=first-level
+    // point; find one and check the rejection.
+    let mut digits = [0usize; NDIMS];
+    assert_eq!(s.cpus[0], CpuSel::Mipsy);
+    digits[9] = 1; // rob dimension
+    let code = s.encode(&digits);
+    match s.decode(code) {
+        Err(ExploreError::InvalidEmbedding { why, .. }) => {
+            assert!(why.contains("MXS"), "rob rule names the model: {why}")
+        }
+        other => panic!("expected rob canonicality rejection, got {other:?}"),
+    }
+    // l1-banks off its first level on a non-shared-L1 architecture.
+    let mut digits = [0usize; NDIMS];
+    digits[0] = 1; // shared-L2
+    digits[7] = 1; // l1-banks dimension
+    let code = s.encode(&digits);
+    match s.decode(code) {
+        Err(ExploreError::InvalidEmbedding { why, .. }) => {
+            assert!(
+                why.contains("shared-L1"),
+                "l1-banks rule names the arch: {why}"
+            )
+        }
+        other => panic!("expected l1-banks canonicality rejection, got {other:?}"),
+    }
+    // The same digit is canonical on the shared-L1 architecture itself.
+    let mut digits = [0usize; NDIMS];
+    digits[7] = 1;
+    let p = s.decode(s.encode(&digits)).expect("canonical on shared-L1");
+    assert_eq!(p.cfg.l1_banks, Some(4));
+}
+
+#[test]
+fn bad_spaces_are_typed_errors() {
+    let mut s = DesignSpace::paper();
+    assert!(matches!(
+        s.set_dim("l3-kb", "1"),
+        Err(ExploreError::UnknownDimension(_))
+    ));
+    assert!(matches!(
+        s.set_dim("l2-kb", "12,not-a-number"),
+        Err(ExploreError::BadLevel { dim: "l2-kb", .. })
+    ));
+    s.set_dim("l2-kb", "768").unwrap();
+    assert!(
+        matches!(
+            s.validate(),
+            Err(ExploreError::BadLevel { dim: "l2-kb", .. })
+        ),
+        "768 KB is not a power of two"
+    );
+    s.set_dim("l2-kb", "512").unwrap();
+    s.archs.clear();
+    assert!(matches!(
+        s.validate(),
+        Err(ExploreError::EmptyDimension("arch"))
+    ));
+}
+
+#[test]
+fn random_search_is_identical_across_job_counts() {
+    let space = mem_space();
+    let driver = Driver::Random { points: 16 };
+    let mut outputs = Vec::new();
+    for jobs in [1usize, 2, 4, 7] {
+        let sp = spec(jobs, EvalMode::Replay);
+        let outcome = run_search(&space, sp.clone(), driver, 7, None).expect("search runs");
+        assert!(
+            outcome.replay_points > 0,
+            "memory sweep routes through replay"
+        );
+        assert_eq!(outcome.exec_runs, 1, "one capture for the fixed CPU side");
+        outputs.push(render_lines(&space, &sp, driver, 7, &outcome).expect("renders"));
+    }
+    for o in &outputs[1..] {
+        assert_eq!(&outputs[0], o, "byte-identical at any job count");
+    }
+}
+
+#[test]
+fn hill_and_evolve_are_deterministic_and_stay_in_space() {
+    let space = mem_space();
+    for driver in [
+        Driver::HillClimb {
+            starts: 3,
+            steps: 4,
+        },
+        Driver::Evolve {
+            population: 8,
+            generations: 3,
+        },
+    ] {
+        let sp = spec(4, EvalMode::Replay);
+        let a = run_search(&space, sp.clone(), driver, 42, None).expect("search runs");
+        let b = run_search(&space, sp.clone(), driver, 42, None).expect("search runs");
+        assert_eq!(
+            render_lines(&space, &sp, driver, 42, &a).unwrap(),
+            render_lines(&space, &sp, driver, 42, &b).unwrap(),
+            "same seed, same output ({driver:?})"
+        );
+        assert!(!a.points.is_empty());
+        for &(code, _) in &a.points {
+            assert!(space.decode(code).is_ok(), "every visited point decodes");
+        }
+        assert!(!a.frontier.is_empty(), "non-degenerate frontier");
+    }
+}
+
+#[test]
+fn cache_hit_rerun_is_byte_identical_and_fully_cached() {
+    let space = mem_space();
+    let driver = Driver::Random { points: 12 };
+    let path = tmp("cache-identity");
+    let _ = std::fs::remove_file(&path);
+    let sp = spec(4, EvalMode::Replay);
+    let first = run_search(&space, sp.clone(), driver, 9, Some(&path)).expect("cold run");
+    assert_eq!(first.cache_hits, 0);
+    assert!(first.replay_points > 0);
+    let second = run_search(&space, sp.clone(), driver, 9, Some(&path)).expect("warm run");
+    assert_eq!(second.cache_hits, second.points.len(), "100% cached rerun");
+    assert_eq!(second.exec_runs, 0, "no captures on a cached rerun");
+    assert_eq!(second.replay_points, 0);
+    assert_eq!(
+        render_lines(&space, &sp, driver, 9, &first).unwrap(),
+        render_lines(&space, &sp, driver, 9, &second).unwrap(),
+        "cache hits reproduce the cold run byte for byte"
+    );
+    // A different eval contract (exec mode) must not reuse those rows.
+    let plan = dry_run(&space, &spec(4, EvalMode::Exec), driver, 9, Some(&path)).unwrap();
+    assert_eq!(plan.cache_hits, 0, "mode is part of the cache key");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dry_run_plans_without_touching_disk() {
+    let space = mem_space();
+    let driver = Driver::Random { points: 10 };
+    let path = tmp("dry-run");
+    let _ = std::fs::remove_file(&path);
+    let sp = spec(1, EvalMode::Replay);
+    let plan = dry_run(&space, &sp, driver, 3, Some(&path)).expect("plans");
+    assert!(!path.exists(), "a dry run must not create the cache file");
+    assert_eq!(plan.planned, 10);
+    assert_eq!(plan.replay_points, 10);
+    assert_eq!(plan.exec_captures, 1, "one capture for the shared CPU side");
+    assert_eq!(plan.cache_hits, 0);
+    // Populate the cache, then the plan collapses to pure hits.
+    let outcome = run_search(&space, sp.clone(), driver, 3, Some(&path)).expect("runs");
+    assert_eq!(outcome.points.len(), 10);
+    let warm = dry_run(&space, &sp, driver, 3, Some(&path)).expect("plans again");
+    assert_eq!(warm.cache_hits, 10);
+    assert_eq!(warm.exec_captures, 0);
+    assert_eq!(warm.replay_points, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn exec_mode_runs_the_full_machine() {
+    let mut space = DesignSpace::paper();
+    space.set_dim("arch", "shared-l2,shared-mem").unwrap();
+    space.set_dim("cpus", "2").unwrap();
+    let sp = spec(2, EvalMode::Exec);
+    let outcome = run_search(&space, sp.clone(), Driver::Exhaustive, 1, None).expect("exec search");
+    assert_eq!(outcome.points.len(), 2);
+    assert_eq!(outcome.exec_runs, 2);
+    assert_eq!(outcome.replay_points, 0);
+    for (_, m) in &outcome.points {
+        assert!(m.ipc > 0.0, "full runs report real IPC");
+        assert!(m.wall_cycles > 0);
+        assert!(m.area_kb > 0.0);
+    }
+    let lines = render_lines(&space, &sp, Driver::Exhaustive, 1, &outcome).unwrap();
+    assert!(lines[1].contains("\"path\":\"exec\""));
+}
+
+#[test]
+fn replay_and_exec_agree_on_miss_rates() {
+    // The replay path re-issues the captured stream into a freshly
+    // built hierarchy of the same architecture the capture ran on, so
+    // its L1D miss rate should closely track the execution run's.
+    let mut space = DesignSpace::paper();
+    space.set_dim("arch", "shared-mem").unwrap();
+    let replayed = run_search(
+        &space,
+        spec(2, EvalMode::Replay),
+        Driver::Exhaustive,
+        1,
+        None,
+    )
+    .expect("replay search");
+    let executed = run_search(&space, spec(2, EvalMode::Exec), Driver::Exhaustive, 1, None)
+        .expect("exec search");
+    let (r, e) = (&replayed.points[0].1, &executed.points[0].1);
+    assert!(
+        (r.l1d_miss_pct - e.l1d_miss_pct).abs() < 1.0,
+        "replay {} vs exec {} L1D miss%",
+        r.l1d_miss_pct,
+        e.l1d_miss_pct
+    );
+}

@@ -411,6 +411,23 @@ impl SystemConfig {
         self
     }
 
+    /// Overrides the L2 capacity (size ablations; associativity and line
+    /// size are preserved). Total for shared configurations, per CPU for
+    /// the shared-memory architecture — the same convention as the `l2`
+    /// field itself.
+    #[must_use]
+    pub fn with_l2_size(mut self, bytes: u32) -> SystemConfig {
+        self.l2 = CacheSpec::new(bytes, self.l2.assoc, self.l2.line_bytes);
+        self
+    }
+
+    /// Overrides the number of L2 banks (ablation).
+    #[must_use]
+    pub fn with_l2_banks(mut self, banks: usize) -> SystemConfig {
+        self.l2_banks = banks;
+        self
+    }
+
     /// Enables/disables the idealized shared-L1 (Mipsy mode).
     #[must_use]
     pub fn with_ideal_shared_l1(mut self, ideal: bool) -> SystemConfig {
@@ -499,6 +516,71 @@ impl SystemConfig {
             });
         }
         Ok(())
+    }
+}
+
+/// Weights of the static area-proxy model (DESIGN.md §15). The proxy is
+/// deliberately simple — SRAM capacity dominates, with multiplicative
+/// surcharges for extra ports/banks and the wide datapath, plus a flat
+/// per-router term for mesh tiles — so two configurations are comparable
+/// without a technology file. The absolute numbers are "KB-equivalents",
+/// not square millimetres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Extra area per additional bank beyond the first (crossbar ports,
+    /// duplicated decoders): each bank past one multiplies that level's
+    /// SRAM by `1 + bank_weight`.
+    pub bank_weight: f64,
+    /// Surcharge on the L2 array for a 128-bit datapath (`l2_occ <= 2`)
+    /// relative to the narrow 64-bit one: wider sense amps and buses.
+    pub wide_path_weight: f64,
+    /// Flat KB-equivalent per mesh router (buffers + crossbar).
+    pub router_kb: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> AreaModel {
+        AreaModel {
+            bank_weight: 0.08,
+            wide_path_weight: 0.10,
+            router_kb: 2.0,
+        }
+    }
+}
+
+/// How many physical instances of each structure a floorplan holds — the
+/// architecture-dependent input to [`SystemConfig::area_proxy_kb`]. The
+/// explore crate maps each `ArchKind` to its copy counts (e.g. shared-L2:
+/// `n_cpus` private L1 pairs over one shared L2; mesh adds one router per
+/// tile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCopies {
+    /// Physical L1 instruction+data cache pairs (1 for a pooled shared L1,
+    /// `n_cpus` for private L1s, `n_clusters` for cluster L1s).
+    pub l1: usize,
+    /// Physical L2 arrays (1 shared, `n_cpus` private).
+    pub l2: usize,
+    /// Mesh routers (0 for crossbar/bus architectures).
+    pub routers: usize,
+}
+
+impl SystemConfig {
+    /// Static area proxy of this memory system in KB-equivalents of SRAM:
+    /// `Σ level copies × capacity × bank factor`, with the L2 datapath
+    /// surcharge and a flat per-router term (see [`AreaModel`]). Pure
+    /// arithmetic over the configuration — no simulation — so search
+    /// drivers can rank thousands of candidate floorplans for free.
+    pub fn area_proxy_kb(&self, copies: CacheCopies, model: &AreaModel) -> f64 {
+        let bank = |banks: usize| 1.0 + model.bank_weight * banks.saturating_sub(1) as f64;
+        let kb = |c: &CacheSpec| f64::from(c.size_bytes) / 1024.0;
+        let l1 = copies.l1 as f64 * (kb(&self.l1i) + kb(&self.l1d)) * bank(self.l1_banks);
+        let wide = if self.lat.l2_occ <= 2 {
+            1.0 + model.wide_path_weight
+        } else {
+            1.0
+        };
+        let l2 = copies.l2 as f64 * kb(&self.l2) * bank(self.l2_banks) * wide;
+        l1 + l2 + copies.routers as f64 * model.router_kb
     }
 }
 
@@ -692,6 +774,8 @@ mod tests {
             .with_l1_banks(8)
             .with_l2_occupancy(4)
             .with_l1_size(128 * 1024)
+            .with_l2_size(4 * 1024 * 1024)
+            .with_l2_banks(8)
             .with_cpus_per_cluster(4);
         assert_eq!(c.l2.assoc, 4);
         assert!(c.ideal_shared_l1);
@@ -700,6 +784,37 @@ mod tests {
         assert_eq!(c.lat.l2_occ, 4);
         assert_eq!(c.l1d.size_bytes, 128 * 1024);
         assert_eq!(c.l1d.assoc, 2, "associativity preserved");
+        assert_eq!(c.l2.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.l2.assoc, 4, "with_l2_size preserves associativity");
+        assert_eq!(c.l2_banks, 8);
         assert_eq!(c.cpus_per_cluster, 4);
+    }
+
+    #[test]
+    fn area_proxy_tracks_capacity_banks_and_routers() {
+        let model = AreaModel::default();
+        let per_cpu = CacheCopies {
+            l1: 4,
+            l2: 1,
+            routers: 0,
+        };
+        // Paper shared-L2 at a 64-bit path (l2_occ = 4): 4 x 32 KB of L1
+        // plus one 4-banked 2 MB L2, no wide-path surcharge.
+        let c = SystemConfig::paper_shared_l2(4);
+        let base = c.area_proxy_kb(per_cpu, &model);
+        let expect = 4.0 * 32.0 + 2048.0 * (1.0 + 0.08 * 3.0);
+        assert!((base - expect).abs() < 1e-9, "{base} vs {expect}");
+        // More capacity, more banks, a wider path, or routers all cost.
+        let grow = c.with_l2_size(4 * 1024 * 1024);
+        assert!(grow.area_proxy_kb(per_cpu, &model) > base);
+        let banked = c.with_l2_banks(8);
+        assert!(banked.area_proxy_kb(per_cpu, &model) > base);
+        let wide = c.with_l2_occupancy(2);
+        assert!(wide.area_proxy_kb(per_cpu, &model) > base);
+        let meshy = CacheCopies {
+            routers: 4,
+            ..per_cpu
+        };
+        assert!((c.area_proxy_kb(meshy, &model) - base - 8.0).abs() < 1e-9);
     }
 }

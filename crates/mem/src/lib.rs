@@ -51,7 +51,7 @@ pub mod systems;
 pub mod wbuf;
 
 pub use cache::{AccessOutcome, CacheArray, LineState, MissKind, Victim};
-pub use config::{CacheSpec, ConfigError, LatencySpec, SystemConfig};
+pub use config::{AreaModel, CacheCopies, CacheSpec, ConfigError, LatencySpec, SystemConfig};
 pub use cpuset::CpuSet;
 pub use phys::{AddrSpace, PhysMem, KERNEL_BASE};
 pub use sentinel::{

@@ -65,13 +65,21 @@
 #    byte-identical lines to the serial run, with the sentinel off and
 #    on. Shard count is a host-time knob, never a results knob.
 # 10. Quick simulator-speed check: the sim_throughput, shard_sweep,
-#    replay_sweep and extension_mesh_scaling benches in quick mode
-#    (CMPSIM_BENCH_QUICK=1) appended to BENCH_pr9.json, so every
-#    verification leaves a dated throughput record (sentinel overhead,
-#    supervised-vs-plain sweep overhead, geometry rows, the
+#    replay_sweep, extension_mesh_scaling and explore_sweep benches in
+#    quick mode (CMPSIM_BENCH_QUICK=1) appended to BENCH_pr10.json, so
+#    every verification leaves a dated throughput record (sentinel
+#    overhead, supervised-vs-plain sweep overhead, geometry rows, the
 #    trace-replay sweep, the shard-scaling sweep, the parallel
-#    decode/batched-replay sweep, and the mesh 4->16->64 scaling study
-#    included) next to the pre/post-PR entries.
+#    decode/batched-replay sweep, the mesh 4->16->64 scaling study, and
+#    the explore points/s + cache-hit speedup) next to the pre/post-PR
+#    entries.
+# 11. Explore smoke: a seeded 64-point `cmpsim explore` search over a
+#    4-dimensional memory sweep must (a) emit byte-identical JSON at
+#    --jobs 1 and --jobs 4, (b) report replayed points > 0 on stderr
+#    (memory-only sweeps route through the trace-replay fast path),
+#    (c) re-emit byte-identical JSON from a 100%-cached rerun, and
+#    (d) survive a CMPSIM_EXPLORE_KILL_AFTER SIGKILL mid-run — the
+#    resumed search completes from the torn cache with clean diffs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -260,14 +268,64 @@ if [ "$matrix_off" != "$matrix_sharded_on" ]; then
 fi
 echo "ok: sharded matrix is bit-identical to serial (sentinel off and on)"
 
-echo "== quick simulator-speed record -> BENCH_pr9.json =="
+echo "== explore smoke: seeded 64-point search, jobs/cache/kill invariance =="
+explore_args=(explore --workload eqntott --scale 0.02 --seed 7 --points 64
+    --dim arch=shared-l2,shared-mem,mesh --dim cpus=2,4
+    --dim l2-kb=512,1024,2048,4096 --dim l2-assoc=1,2 --dim l2-width=64,128)
+target/release/cmpsim "${explore_args[@]}" --jobs 1 --cache "$tmpdir/exploreA.jrnl" \
+    > "$tmpdir/explore_j1.json" 2> "$tmpdir/explore_j1.err"
+target/release/cmpsim "${explore_args[@]}" --jobs 4 --cache "$tmpdir/exploreB.jrnl" \
+    > "$tmpdir/explore_j4.json" 2>/dev/null
+if ! diff "$tmpdir/explore_j1.json" "$tmpdir/explore_j4.json"; then
+    echo "ERROR: explore output differs between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+if ! grep -qE '[1-9][0-9]* replayed' "$tmpdir/explore_j1.err"; then
+    echo "ERROR: memory-only explore sweep did not route through trace replay:" >&2
+    cat "$tmpdir/explore_j1.err" >&2
+    exit 1
+fi
+target/release/cmpsim "${explore_args[@]}" --jobs 4 --cache "$tmpdir/exploreB.jrnl" \
+    > "$tmpdir/explore_cached.json" 2> "$tmpdir/explore_cached.err"
+if ! diff "$tmpdir/explore_j4.json" "$tmpdir/explore_cached.json"; then
+    echo "ERROR: cache-hit explore rerun is not byte-identical" >&2
+    exit 1
+fi
+if ! grep -q '0 exec runs, 0 replayed, 64 cached' "$tmpdir/explore_cached.err"; then
+    echo "ERROR: explore rerun was not answered 100% from the cache:" >&2
+    cat "$tmpdir/explore_cached.err" >&2
+    exit 1
+fi
+set +e
+CMPSIM_EXPLORE_KILL_AFTER=20 target/release/cmpsim "${explore_args[@]}" --jobs 4 \
+    --cache "$tmpdir/exploreK.jrnl" > /dev/null 2>&1
+explore_killed_rc=$?
+set -e
+if [ "$explore_killed_rc" -eq 0 ]; then
+    echo "ERROR: CMPSIM_EXPLORE_KILL_AFTER=20 search exited cleanly instead of dying" >&2
+    exit 1
+fi
+target/release/cmpsim "${explore_args[@]}" --jobs 4 --cache "$tmpdir/exploreK.jrnl" \
+    > "$tmpdir/explore_resumed.json" 2> "$tmpdir/explore_resumed.err"
+if ! diff "$tmpdir/explore_j4.json" "$tmpdir/explore_resumed.json"; then
+    echo "ERROR: explore search resumed from a torn cache diverges from the clean run" >&2
+    exit 1
+fi
+if ! grep -qE '[1-9][0-9]* cached' "$tmpdir/explore_resumed.err"; then
+    echo "ERROR: resumed explore search reused nothing from the torn cache:" >&2
+    cat "$tmpdir/explore_resumed.err" >&2
+    exit 1
+fi
+echo "ok: explore search byte-identical across jobs, cache reruns and a mid-run SIGKILL"
+
+echo "== quick simulator-speed record -> BENCH_pr10.json =="
 stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
-for bench in sim_throughput shard_sweep replay_sweep extension_mesh_scaling; do
+for bench in sim_throughput shard_sweep replay_sweep extension_mesh_scaling explore_sweep; do
     CMPSIM_BENCH_QUICK=1 cargo bench -q -p cmpsim-bench --bench "$bench" 2>/dev/null \
         | grep '^{' \
         | sed "s/^{/{\"phase\":\"verify\",\"utc\":\"${stamp}\",/" \
-        >> BENCH_pr9.json
+        >> BENCH_pr10.json
 done
-echo "ok: appended quick sim_throughput, shard_sweep, replay_sweep and mesh-scaling records"
+echo "ok: appended quick sim_throughput, shard_sweep, replay_sweep, mesh-scaling and explore records"
 
 echo "verify.sh: all checks passed"

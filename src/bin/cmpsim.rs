@@ -50,6 +50,22 @@ USAGE:
                                  of a torn/corrupted trace instead of
                                  rejecting it, --head N to replay only
                                  the first N records
+    cmpsim explore --workload <NAME> [--scale <F>] [--budget <CYCLES>]
+                 [--driver exhaustive|random|hill|evolve] [--seed <N>]
+                 [--dim <name>=<v1,v2,...>]... [--points <N>]
+                 [--starts <N>] [--steps <N>] [--pop <N>] [--gens <N>]
+                 [--cache <PATH>] [--exec] [--dry-run] [--jobs <N>]
+                                 seeded design-space search: JSON-lines
+                                 points + Pareto frontier on stdout,
+                                 byte-identical at any job count; --cache
+                                 persists every evaluated point so
+                                 overlapping or interrupted searches
+                                 never recompute; --dry-run plans the
+                                 search (cardinality, exec/replay split,
+                                 cache hits) without simulating.
+                                 Dimensions: arch, cpu, cpus, l1-kb,
+                                 l2-kb, l2-assoc, l2-banks, l1-banks,
+                                 l2-width (128|64 bits), rob
     cmpsim probe                 measure Table 2 latencies
     cmpsim list                  list workloads and architectures
 
@@ -259,6 +275,132 @@ fn run_one(a: &Args, arch: ArchKind) -> Result<RunSummary, String> {
     run_workload(&cfg, &w, a.budget).map_err(|e| e.to_string())
 }
 
+/// `cmpsim explore`: seeded design-space search with cached batch
+/// evaluation and Pareto frontier extraction (DESIGN.md §15).
+///
+/// Points go to stdout as JSON lines — a pure function of (space, spec,
+/// driver, seed), byte-identical at any job count and across cache-hit
+/// reruns. Run-variant facts (cache hits, capture counts) go to stderr.
+fn cmd_explore(rest: &[String]) -> Result<(), String> {
+    use cmpsim::explore::search::dry_run;
+    use cmpsim::explore::{render_lines, run_search, DesignSpace, Driver, EvalMode, EvalSpec};
+
+    let mut space = DesignSpace::paper();
+    let mut workload: Option<String> = None;
+    let mut scale = 0.05f64;
+    let mut budget = 10_000_000_000u64;
+    let mut seed = 1u64;
+    let mut driver_name = "random".to_string();
+    let mut points = 64usize;
+    let mut starts = 4usize;
+    let mut steps = 8usize;
+    let mut pop = 16usize;
+    let mut gens = 8usize;
+    let mut cache: Option<std::path::PathBuf> = None;
+    let mut exec = false;
+    let mut dry = false;
+    let mut jobs = cmpsim::engine::pool::env_jobs("CMPSIM_EXPLORE_JOBS");
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" | "-w" => workload = Some(val()?),
+            "--scale" | "-s" => scale = val()?.parse().map_err(|e| format!("bad scale: {e}"))?,
+            "--budget" => budget = val()?.parse().map_err(|e| format!("bad budget: {e}"))?,
+            "--seed" => seed = val()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--driver" => driver_name = val()?,
+            "--points" => points = val()?.parse().map_err(|e| format!("bad points: {e}"))?,
+            "--starts" => starts = val()?.parse().map_err(|e| format!("bad starts: {e}"))?,
+            "--steps" => steps = val()?.parse().map_err(|e| format!("bad steps: {e}"))?,
+            "--pop" => pop = val()?.parse().map_err(|e| format!("bad pop: {e}"))?,
+            "--gens" => gens = val()?.parse().map_err(|e| format!("bad gens: {e}"))?,
+            "--jobs" | "-j" => jobs = val()?.parse().map_err(|e| format!("bad jobs: {e}"))?,
+            "--cache" => cache = Some(val()?.into()),
+            "--exec" => exec = true,
+            "--dry-run" => dry = true,
+            "--dim" | "-d" => {
+                let v = val()?;
+                let (name, levels) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--dim wants name=v1,v2,... (got `{v}`)"))?;
+                space
+                    .set_dim(name.trim(), levels)
+                    .map_err(|e| e.to_string())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let driver = match driver_name.as_str() {
+        "exhaustive" => Driver::Exhaustive,
+        "random" => Driver::Random { points },
+        "hill" => Driver::HillClimb { starts, steps },
+        "evolve" => Driver::Evolve {
+            population: pop,
+            generations: gens,
+        },
+        other => {
+            return Err(format!(
+                "unknown driver `{other}` (exhaustive, random, hill, evolve)"
+            ))
+        }
+    };
+    let spec = EvalSpec {
+        workload: workload.ok_or("--workload is required")?,
+        scale,
+        budget,
+        mode: if exec {
+            EvalMode::Exec
+        } else {
+            EvalMode::Replay
+        },
+        jobs,
+    };
+    if dry {
+        let plan =
+            dry_run(&space, &spec, driver, seed, cache.as_deref()).map_err(|e| e.to_string())?;
+        println!("space cardinality : {}", plan.cardinality);
+        println!("planned points    : {}", plan.planned);
+        println!("exec runs         : {}", plan.exec_captures);
+        println!("replay points     : {}", plan.replay_points);
+        println!("cache hits        : {}", plan.cache_hits);
+        return Ok(());
+    }
+    let outcome = run_search(&space, spec.clone(), driver, seed, cache.as_deref())
+        .map_err(|e| e.to_string())?;
+    for line in render_lines(&space, &spec, driver, seed, &outcome).map_err(|e| e.to_string())? {
+        println!("{line}");
+    }
+    eprintln!(
+        "explore: cardinality {}, evaluated {} points ({} exec runs, {} replayed, {} cached), frontier {}",
+        outcome.cardinality,
+        outcome.points.len(),
+        outcome.exec_runs,
+        outcome.replay_points,
+        outcome.cache_hits,
+        outcome.frontier.len()
+    );
+    if outcome.cache_recovered > 0 {
+        eprintln!(
+            "explore: cache recovered {} rows from disk",
+            outcome.cache_recovered
+        );
+    }
+    if outcome.quarantined > 0 {
+        eprintln!(
+            "explore: {} points quarantined and dropped",
+            outcome.quarantined
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -433,25 +575,25 @@ fn main() -> ExitCode {
             // a restarted replay re-emits journaled blocks verbatim and
             // only replays the configurations that are missing.
             let mut journal = Journal::from_env().map_err(|e| e.to_string())?;
-            let stream_digest = fnv1a(
-                format!(
-                    "cmpsim-replay-trace-v1|{:016x}|{}",
-                    fnv1a(&bytes),
-                    records.len()
-                )
-                .as_bytes(),
+            let stream = format!(
+                "cmpsim-replay-trace-v1|{:016x}|{}",
+                fnv1a(&bytes),
+                records.len()
             );
+            // v3: keys now come from the shared JournalKey::digest helper
+            // (journal-side FNV), so rows journaled by older binaries are
+            // recomputed rather than misread.
             let keys: Vec<JournalKey> = cfgs
                 .iter()
-                .map(|&(arch, _)| JournalKey {
-                    config: fnv1a(
-                        format!(
-                            "cmpsim-replay-row-v2|{}|{cpus}|{l2_assoc:?}|{l1_latency:?}|{l1_banks:?}|{mesh_dims:?}",
+                .map(|&(arch, _)| {
+                    JournalKey::digest(
+                        "cmpsim-replay-row-v3",
+                        &format!(
+                            "{}|{cpus}|{l2_assoc:?}|{l1_latency:?}|{l1_banks:?}|{mesh_dims:?}",
                             arch.name()
-                        )
-                        .as_bytes(),
-                    ),
-                    workload: stream_digest,
+                        ),
+                        &stream,
+                    )
                 })
                 .collect();
             let todo: Vec<usize> = (0..cfgs.len())
@@ -554,6 +696,7 @@ fn main() -> ExitCode {
             }
             Ok(())
         })(),
+        "explore" => cmd_explore(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             Ok(())

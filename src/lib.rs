@@ -42,6 +42,7 @@
 pub use cmpsim_core as core;
 pub use cmpsim_cpu as cpu;
 pub use cmpsim_engine as engine;
+pub use cmpsim_explore as explore;
 pub use cmpsim_isa as isa;
 pub use cmpsim_kernels as kernels;
 pub use cmpsim_mem as mem;
